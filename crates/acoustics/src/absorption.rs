@@ -1,0 +1,102 @@
+//! Atmospheric absorption of sound.
+//!
+//! Beyond spherical spreading, air itself absorbs acoustic energy, more
+//! strongly at higher frequencies. At the reproduction's physical signal
+//! band (the 25–35 kHz candidates fold to 9.1–19.1 kHz) absorption is a
+//! fraction of a dB per meter — a small but honest contribution to the
+//! ≈2.5 m maximum ranging distance the paper observes.
+//!
+//! The model is a simplified fit to ISO 9613-1 at 20 °C / 50 % relative
+//! humidity: `a(f) ≈ a₁·(f/1kHz)²` dB per meter with a gentle saturation,
+//! which is accurate to tens of percent over 1–20 kHz — ample for a
+//! simulation whose dominant losses are spreading and transducer gain.
+
+/// Absorption coefficient in dB (amplitude) per meter at frequency `f_hz`.
+///
+/// Clamped to the physical (folded) band: callers should pass physical
+/// frequencies ≤ Nyquist; values are clamped at 25 kHz where the fit ends.
+pub fn absorption_db_per_m(f_hz: f64) -> f64 {
+    let f_khz = (f_hz.abs() / 1_000.0).min(25.0);
+    // ~0.005 dB/m at 1 kHz rising roughly quadratically, saturating toward
+    // ~0.6 dB/m at 20 kHz (ISO 9613-1 magnitude at 20 °C, 50 % RH).
+    let quad = 0.0016 * f_khz * f_khz;
+    quad / (1.0 + 0.04 * f_khz)
+}
+
+/// Linear amplitude gain after traveling `distance_m` at `f_hz`.
+pub fn absorption_gain(f_hz: f64, distance_m: f64) -> f64 {
+    piano_dsp::db::db_to_amplitude(-absorption_db_per_m(f_hz) * distance_m.max(0.0))
+}
+
+/// Folds a (possibly above-Nyquist) digital frequency to its physical alias
+/// for a given sample rate.
+///
+/// A 30 kHz tone synthesized at 44.1 kHz physically emerges at 14.1 kHz;
+/// propagation physics must be evaluated at the latter.
+pub fn fold_to_physical(f_hz: f64, sample_rate: f64) -> f64 {
+    let nyquist = sample_rate / 2.0;
+    let f = f_hz.abs() % sample_rate;
+    if f <= nyquist {
+        f
+    } else {
+        sample_rate - f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn absorption_grows_with_frequency() {
+        assert!(absorption_db_per_m(1_000.0) < absorption_db_per_m(5_000.0));
+        assert!(absorption_db_per_m(5_000.0) < absorption_db_per_m(15_000.0));
+    }
+
+    #[test]
+    fn magnitudes_are_physically_plausible() {
+        // Sub-0.01 dB/m at 1 kHz; a few tenths of a dB/m in the signal band.
+        assert!(absorption_db_per_m(1_000.0) < 0.01);
+        let band = absorption_db_per_m(14_000.0);
+        assert!(band > 0.1 && band < 0.5, "14 kHz absorption {band} dB/m");
+    }
+
+    #[test]
+    fn absorption_over_protocol_distances_is_small() {
+        // At the paper's 2.5 m maximum range the loss must be a minor
+        // correction (< 2 dB), not the dominant cutoff mechanism.
+        let g = absorption_gain(19_000.0, 2.5);
+        assert!(g > piano_dsp::db::db_to_amplitude(-2.0), "gain {g}");
+        assert!(g < 1.0);
+    }
+
+    #[test]
+    fn zero_distance_is_unity_gain() {
+        assert_eq!(absorption_gain(10_000.0, 0.0), 1.0);
+        assert_eq!(absorption_gain(10_000.0, -5.0), 1.0); // clamped
+    }
+
+    #[test]
+    fn folding_matches_aliasing() {
+        let fs = 44_100.0;
+        assert!((fold_to_physical(30_000.0, fs) - 14_100.0).abs() < 1e-9);
+        assert!((fold_to_physical(25_000.0, fs) - 19_100.0).abs() < 1e-9);
+        assert!((fold_to_physical(35_000.0, fs) - 9_100.0).abs() < 1e-9);
+        assert_eq!(fold_to_physical(5_000.0, fs), 5_000.0);
+        assert_eq!(fold_to_physical(22_050.0, fs), 22_050.0);
+    }
+
+    proptest! {
+        #[test]
+        fn folded_frequency_is_within_nyquist(f in 0.0f64..200_000.0) {
+            let folded = fold_to_physical(f, 44_100.0);
+            prop_assert!((0.0..=22_050.0).contains(&folded));
+        }
+
+        #[test]
+        fn gain_decreases_with_distance(f in 1_000.0f64..20_000.0, d in 0.0f64..10.0) {
+            prop_assert!(absorption_gain(f, d + 1.0) < absorption_gain(f, d) + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Audio buffers.
+//!
+//! Recordings in the reproduction live in "Android sample units": the paper
+//! synthesizes reference signals with amplitude up to 32000 because "the
+//! Android system uses 16 bit integer to represent signals in the time
+//! domain". [`AudioBuffer`] stores samples as `f64` for processing headroom;
+//! [`AudioBuffer::quantize_i16`] rounds and clamps to the 16-bit range the
+//! way a real ADC would.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum magnitude representable by a 16-bit sample.
+pub const I16_FULL_SCALE: f64 = 32_767.0;
+
+/// A mono audio buffer with an associated sample rate.
+///
+/// # Example
+///
+/// ```
+/// use piano_acoustics::AudioBuffer;
+///
+/// let buf = AudioBuffer::new(vec![0.0; 44_100], 44_100.0);
+/// assert!((buf.duration_s() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AudioBuffer {
+    samples: Vec<f64>,
+    sample_rate: f64,
+}
+
+impl AudioBuffer {
+    /// Wraps samples with their sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not strictly positive and finite.
+    pub fn new(samples: Vec<f64>, sample_rate: f64) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive and finite"
+        );
+        AudioBuffer { samples, sample_rate }
+    }
+
+    /// An all-zero buffer of `len` samples.
+    pub fn silence(len: usize, sample_rate: f64) -> Self {
+        AudioBuffer::new(vec![0.0; len], sample_rate)
+    }
+
+    /// Sample rate in Hz.
+    #[inline]
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Immutable view of the samples.
+    #[inline]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable view of the samples.
+    #[inline]
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the buffer, returning the samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Converts a sample index to the buffer-local time in seconds.
+    #[inline]
+    pub fn index_to_time(&self, index: usize) -> f64 {
+        index as f64 / self.sample_rate
+    }
+
+    /// Converts a buffer-local time to the nearest sample index (clamped).
+    pub fn time_to_index(&self, time_s: f64) -> usize {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        ((time_s * self.sample_rate).round().max(0.0) as usize).min(self.samples.len() - 1)
+    }
+
+    /// Rounds every sample to an integer and clamps to ±32767, emulating a
+    /// 16-bit ADC. Returns self for chaining.
+    pub fn quantize_i16(&mut self) -> &mut Self {
+        for s in &mut self.samples {
+            *s = s.round().clamp(-I16_FULL_SCALE, I16_FULL_SCALE);
+        }
+        self
+    }
+
+    /// Adds another buffer into this one, sample by sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rates differ or `other` is longer than `self`.
+    pub fn mix_in(&mut self, other: &AudioBuffer) {
+        assert_eq!(
+            self.sample_rate, other.sample_rate,
+            "cannot mix buffers with different sample rates"
+        );
+        assert!(other.len() <= self.len(), "mixed buffer must fit");
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += b;
+        }
+    }
+
+    /// Root-mean-square level of the buffer.
+    pub fn rms(&self) -> f64 {
+        piano_dsp::tone::rms(&self.samples)
+    }
+
+    /// Peak absolute sample value.
+    pub fn peak(&self) -> f64 {
+        piano_dsp::tone::peak(&self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = AudioBuffer::new(vec![1.0, -2.0, 3.0], 44_100.0);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.sample_rate(), 44_100.0);
+        assert_eq!(b.samples(), &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn silence_is_zeroed() {
+        let b = AudioBuffer::silence(10, 8_000.0);
+        assert_eq!(b.len(), 10);
+        assert!(b.samples().iter().all(|&s| s == 0.0));
+        assert_eq!(b.rms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_sample_rate() {
+        let _ = AudioBuffer::new(vec![], 0.0);
+    }
+
+    #[test]
+    fn time_index_roundtrip() {
+        let b = AudioBuffer::silence(44_100, 44_100.0);
+        assert_eq!(b.time_to_index(0.5), 22_050);
+        assert!((b.index_to_time(22_050) - 0.5).abs() < 1e-12);
+        // Clamping behaviour.
+        assert_eq!(b.time_to_index(-1.0), 0);
+        assert_eq!(b.time_to_index(100.0), 44_099);
+    }
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        let mut b = AudioBuffer::new(vec![0.4, 0.6, -40_000.0, 40_000.0], 44_100.0);
+        b.quantize_i16();
+        assert_eq!(b.samples(), &[0.0, 1.0, -32_767.0, 32_767.0]);
+    }
+
+    #[test]
+    fn mix_in_adds_samples() {
+        let mut a = AudioBuffer::new(vec![1.0, 2.0, 3.0], 44_100.0);
+        let b = AudioBuffer::new(vec![10.0, 20.0], 44_100.0);
+        a.mix_in(&b);
+        assert_eq!(a.samples(), &[11.0, 22.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sample rates")]
+    fn mix_rejects_rate_mismatch() {
+        let mut a = AudioBuffer::silence(4, 44_100.0);
+        let b = AudioBuffer::silence(4, 48_000.0);
+        a.mix_in(&b);
+    }
+
+    #[test]
+    fn peak_and_rms() {
+        let b = AudioBuffer::new(vec![3.0, -4.0], 44_100.0);
+        assert_eq!(b.peak(), 4.0);
+        assert!((b.rms() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-device clocks.
+//!
+//! The paper's central measurement trick (Eq. 3, adopted from BeepBeep) is
+//! that each device only ever computes *differences of sample locations
+//! inside its own recording*, so the two devices' clocks never need to be
+//! synchronized. To honor that, the simulator gives every device its own
+//! clock with a random offset (seconds to minutes of disagreement) and a
+//! crystal skew measured in parts per million — and the reproduction's
+//! tests verify that ACTION's accuracy is unaffected while naive one-way
+//! timestamping (Eq. 1/2) would be wrecked.
+
+use serde::{Deserialize, Serialize};
+
+/// A device-local clock related to world time by an offset and a rate skew.
+///
+/// Local time is `(world − offset) · (1 + skew)`: the device's crystal runs
+/// `skew_ppm` parts per million fast (positive) or slow (negative), and the
+/// device booted at world time `offset_s`.
+///
+/// # Example
+///
+/// ```
+/// use piano_acoustics::DeviceClock;
+///
+/// let clock = DeviceClock::new(100.0, 50.0); // booted at t=100s, +50 ppm
+/// let w = 160.0;
+/// let l = clock.world_to_local(w);
+/// assert!((clock.local_to_world(l) - w).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceClock {
+    offset_s: f64,
+    skew_ppm: f64,
+}
+
+impl DeviceClock {
+    /// Creates a clock with the given world-time offset and skew in ppm.
+    pub fn new(offset_s: f64, skew_ppm: f64) -> Self {
+        DeviceClock { offset_s, skew_ppm }
+    }
+
+    /// An ideal clock: zero offset, zero skew.
+    pub fn ideal() -> Self {
+        DeviceClock::new(0.0, 0.0)
+    }
+
+    /// Crystal skew in parts per million.
+    pub fn skew_ppm(&self) -> f64 {
+        self.skew_ppm
+    }
+
+    /// World-time offset in seconds.
+    pub fn offset_s(&self) -> f64 {
+        self.offset_s
+    }
+
+    /// Rate multiplier `1 + skew`.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        1.0 + self.skew_ppm * 1e-6
+    }
+
+    /// Converts a world time to this device's local time.
+    #[inline]
+    pub fn world_to_local(&self, world_s: f64) -> f64 {
+        (world_s - self.offset_s) * self.rate()
+    }
+
+    /// Converts a local time to world time.
+    #[inline]
+    pub fn local_to_world(&self, local_s: f64) -> f64 {
+        local_s / self.rate() + self.offset_s
+    }
+
+    /// World-time duration of one sample period at a nominal rate, as
+    /// produced by this device's ADC/DAC: `1 / (f_s · (1 + skew))`.
+    #[inline]
+    pub fn sample_interval_world(&self, nominal_rate_hz: f64) -> f64 {
+        1.0 / (nominal_rate_hz * self.rate())
+    }
+}
+
+impl Default for DeviceClock {
+    fn default() -> Self {
+        DeviceClock::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = DeviceClock::ideal();
+        assert_eq!(c.world_to_local(5.0), 5.0);
+        assert_eq!(c.local_to_world(5.0), 5.0);
+        assert_eq!(c.rate(), 1.0);
+    }
+
+    #[test]
+    fn positive_skew_runs_fast() {
+        let c = DeviceClock::new(0.0, 100.0);
+        // After 1 world second the local clock shows slightly more.
+        assert!(c.world_to_local(1.0) > 1.0);
+        assert!((c.world_to_local(1.0) - 1.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_shifts_epoch() {
+        let c = DeviceClock::new(10.0, 0.0);
+        assert_eq!(c.world_to_local(10.0), 0.0);
+        assert_eq!(c.local_to_world(0.0), 10.0);
+    }
+
+    #[test]
+    fn sample_interval_reflects_skew() {
+        let fast = DeviceClock::new(0.0, 1000.0); // +1000 ppm
+        let slow = DeviceClock::new(0.0, -1000.0);
+        let nominal = 1.0 / 44_100.0;
+        assert!(fast.sample_interval_world(44_100.0) < nominal);
+        assert!(slow.sample_interval_world(44_100.0) > nominal);
+    }
+
+    #[test]
+    fn two_clocks_disagree_but_are_internally_consistent() {
+        // The situation ACTION must survive: two devices with wildly
+        // different epochs measuring the same world-time interval.
+        let a = DeviceClock::new(1_000.0, 30.0);
+        let v = DeviceClock::new(-500.0, -70.0);
+        let t0 = 2_000.0;
+        let t1 = 2_000.5;
+        let da = a.world_to_local(t1) - a.world_to_local(t0);
+        let dv = v.world_to_local(t1) - v.world_to_local(t0);
+        // Intervals agree to within the 100 ppm skew difference …
+        assert!((da - dv).abs() < 0.5 * 200e-6);
+        // … while absolute timestamps disagree by ~1500 s.
+        assert!((a.world_to_local(t0) - v.world_to_local(t0)).abs() > 1_000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(
+            offset in -1e4f64..1e4,
+            skew in -200.0f64..200.0,
+            t in -1e4f64..1e4,
+        ) {
+            let c = DeviceClock::new(offset, skew);
+            prop_assert!((c.local_to_world(c.world_to_local(t)) - t).abs() < 1e-6);
+        }
+    }
+}

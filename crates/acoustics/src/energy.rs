@@ -1,0 +1,136 @@
+//! Component-level energy model (the PowerTutor substitution).
+//!
+//! The paper measured, with PowerTutor, that "performing 100 times of
+//! authentication only consumes 0.6% of the smartphone battery"
+//! (Sec. VI-D). PowerTutor attributes battery drain to hardware components
+//! with per-component power models; this module does the same from first
+//! principles: every phase of an authentication run charges one of four
+//! components (speaker, microphone+ADC, CPU, Bluetooth) for its duration.
+//!
+//! Default power figures are S4-class magnitudes from the smartphone power
+//! literature (media playback, audio capture, active compute, BT transfer).
+
+use serde::{Deserialize, Serialize};
+
+/// Power draw per component, in watts, plus the battery capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Speaker amplifier power while playing (W).
+    pub speaker_w: f64,
+    /// Microphone + ADC capture power (W).
+    pub microphone_w: f64,
+    /// Active CPU power during signal processing (W).
+    pub cpu_w: f64,
+    /// Bluetooth radio power while transferring (W).
+    pub bluetooth_w: f64,
+    /// Battery capacity in watt-hours (Galaxy S4: 2600 mAh · 3.8 V).
+    pub battery_wh: f64,
+}
+
+impl EnergyModel {
+    /// Galaxy-S4-class defaults.
+    pub fn galaxy_s4() -> Self {
+        EnergyModel {
+            speaker_w: 0.45,
+            microphone_w: 0.35,
+            cpu_w: 1.00,
+            bluetooth_w: 0.10,
+            battery_wh: 9.88,
+        }
+    }
+
+    /// Energy in joules for one authentication, given the phase durations.
+    pub fn energy_per_auth_j(&self, durations: &PhaseDurations) -> f64 {
+        self.speaker_w * durations.playback_s
+            + self.microphone_w * durations.recording_s
+            + self.cpu_w * durations.compute_s
+            + self.bluetooth_w * durations.bluetooth_s
+    }
+
+    /// Battery percentage consumed by `n` authentications.
+    pub fn battery_percent(&self, durations: &PhaseDurations, n: u32) -> f64 {
+        let battery_j = self.battery_wh * 3_600.0;
+        100.0 * self.energy_per_auth_j(durations) * n as f64 / battery_j
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::galaxy_s4()
+    }
+}
+
+/// Durations of the energy-consuming phases of one authentication, in
+/// seconds. Produced by [`TimingModel`](crate::timing::TimingModel).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDurations {
+    /// Time the speaker is actively radiating.
+    pub playback_s: f64,
+    /// Time the microphone/ADC is capturing.
+    pub recording_s: f64,
+    /// Active CPU time (detection, spectra, bookkeeping).
+    pub compute_s: f64,
+    /// Time the Bluetooth radio is transferring.
+    pub bluetooth_s: f64,
+}
+
+impl PhaseDurations {
+    /// Total wall-clock lower bound if all phases were sequential.
+    pub fn total_s(&self) -> f64 {
+        self.playback_s + self.recording_s + self.compute_s + self.bluetooth_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> PhaseDurations {
+        // One ACTION run: 93 ms playback, ~2.4 s recording, ~1.5 s compute,
+        // ~0.6 s of BT transfers (signals + report).
+        PhaseDurations {
+            playback_s: 0.093,
+            recording_s: 2.4,
+            compute_s: 1.5,
+            bluetooth_s: 0.6,
+        }
+    }
+
+    #[test]
+    fn energy_is_sum_of_components() {
+        let m = EnergyModel::galaxy_s4();
+        let d = typical();
+        let expected = 0.45 * 0.093 + 0.35 * 2.4 + 1.00 * 1.5 + 0.10 * 0.6;
+        assert!((m.energy_per_auth_j(&d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hundred_auths_cost_fraction_of_percent() {
+        // The headline Sec. VI-D number: ≈0.6 % per 100 authentications.
+        let m = EnergyModel::galaxy_s4();
+        let pct = m.battery_percent(&typical(), 100);
+        assert!(pct > 0.3 && pct < 1.0, "battery percent {pct}");
+    }
+
+    #[test]
+    fn battery_percent_scales_linearly() {
+        let m = EnergyModel::galaxy_s4();
+        let d = typical();
+        let one = m.battery_percent(&d, 1);
+        let hundred = m.battery_percent(&d, 100);
+        assert!((hundred - 100.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_durations_zero_energy() {
+        let m = EnergyModel::galaxy_s4();
+        assert_eq!(m.energy_per_auth_j(&PhaseDurations::default()), 0.0);
+        assert_eq!(m.battery_percent(&PhaseDurations::default(), 1000), 0.0);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let d = typical();
+        assert!((d.total_s() - (0.093 + 2.4 + 1.5 + 0.6)).abs() < 1e-12);
+    }
+}

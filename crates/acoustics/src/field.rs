@@ -1,0 +1,479 @@
+//! The acoustic field: propagation and recording rendering.
+//!
+//! [`AcousticField`] is the stand-in for "air" in the reproduction. Devices
+//! register [`Emission`]s (a radiated waveform at a position and world
+//! time); microphones render recordings of everything audible at their
+//! position. Rendering applies, per propagation path:
+//!
+//! * speed-of-sound delay with **sub-sample precision** (the paper's
+//!   centimeter errors are fractions of the 0.78 cm sample distance);
+//! * spherical spreading `1/d` (pressure), the dominant attenuation that —
+//!   together with transducer gains — yields the paper's ≈2.5 m maximum
+//!   ranging distance;
+//! * frequency-dependent air absorption;
+//! * wall transmission loss for paths crossing registered [`Wall`]s (the
+//!   "separated by a wall ⇒ denial" experiment);
+//! * randomized early reflections per the environment's
+//!   [`ReflectionSpec`](crate::environment::ReflectionSpec);
+//! * sample-clock conversion between the emitter's and recorder's skewed
+//!   clocks;
+//! * environment background noise, then microphone transduction (response +
+//!   16-bit quantization).
+
+use piano_dsp::filter::apply_transfer_function;
+use piano_dsp::resample::FractionalDelayReader;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::absorption::{absorption_gain, fold_to_physical};
+use crate::buffer::AudioBuffer;
+use crate::clock::DeviceClock;
+use crate::environment::Environment;
+use crate::geometry::{wall_gain, Position, Wall};
+use crate::hardware::MicrophoneModel;
+
+/// Closest approach used for the spreading law, in meters.
+///
+/// Two jobs: it keeps the `1/d` far-field law from diverging as a path
+/// length approaches zero, and it models the near-field/body-shadowing
+/// attenuation of a device hearing its *own* speaker — real phones couple
+/// speaker to microphone at roughly the level of a 25 cm free-air path.
+/// (If self-coupling were modeled at full point-blank level, its spectral
+/// sidelobe leakage would trip Algorithm 2's β sanity check — a failure
+/// mode real prototypes avoid exactly because of this coupling loss.)
+pub const MIN_SPREADING_DISTANCE_M: f64 = 0.25;
+
+/// Equivalent free-air path length for a device hearing its *own* speaker,
+/// in meters.
+///
+/// Phone speaker→own-microphone coupling is heavily attenuated (off-axis
+/// placement, body shadowing); measurements on commodity phones put it near
+/// the level of a half-meter free-air path. Modeling it faithfully matters:
+/// if self-coupling were near-field loud, the self-heard reference signal's
+/// rectangular-window sidelobe splatter would hover at Algorithm 2's β
+/// ceiling and fragment the detector's passing region — a failure mode the
+/// paper's prototype visibly does not have.
+pub const SELF_COUPLING_DISTANCE_M: f64 = 0.6;
+
+/// A radiated waveform at a position and time.
+///
+/// The waveform must already include speaker effects (see
+/// [`SpeakerModel::radiate`](crate::hardware::SpeakerModel::radiate));
+/// the field applies only propagation.
+#[derive(Clone, Debug)]
+pub struct Emission {
+    /// Radiated samples, in sample units referenced to 1 m.
+    pub waveform: Vec<f64>,
+    /// World time at which sample 0 leaves the speaker (seconds).
+    pub start_world_s: f64,
+    /// World-time spacing between consecutive waveform samples (seconds) —
+    /// `clock.sample_interval_world(nominal_rate)` of the emitting device.
+    pub sample_interval_s: f64,
+    /// Speaker position.
+    pub position: Position,
+}
+
+/// The shared acoustic medium for one simulated scenario.
+#[derive(Debug)]
+pub struct AcousticField {
+    environment: Environment,
+    walls: Vec<Wall>,
+    emissions: Vec<Emission>,
+    rng: ChaCha8Rng,
+    /// This trial's relative path-length perturbation, drawn once per
+    /// field from the environment's `path_jitter_rel` (clamped to ±25 %).
+    placement_factor: f64,
+}
+
+impl AcousticField {
+    /// Creates a field for an environment, seeding all stochastic physics
+    /// (noise, reflections) from `seed`.
+    pub fn new(environment: Environment, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Box–Muller: one Gaussian draw for this trial's geometry jitter,
+        // clamped so pathological draws cannot push a path into the near
+        // field (where the 1/d law and the β leakage budget break down).
+        let placement_factor = if environment.path_jitter_rel > 0.0 {
+            let u1: f64 = rand::Rng::gen_range(&mut rng, 1e-12..1.0);
+            let u2: f64 = rand::Rng::gen_range(&mut rng, 0.0..std::f64::consts::TAU);
+            let g = environment.path_jitter_rel * (-2.0 * u1.ln()).sqrt() * u2.cos();
+            1.0 + g.clamp(-0.25, 0.25)
+        } else {
+            1.0
+        };
+        AcousticField {
+            environment,
+            walls: Vec::new(),
+            emissions: Vec::new(),
+            rng,
+            placement_factor,
+        }
+    }
+
+    /// This trial's relative path-length perturbation (diagnostics); `1.0`
+    /// means the nominal geometry.
+    pub fn placement_factor(&self) -> f64 {
+        self.placement_factor
+    }
+
+    /// The environment this field simulates.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// Speed of sound in this environment (m/s).
+    pub fn speed_of_sound(&self) -> f64 {
+        self.environment.speed_of_sound()
+    }
+
+    /// Registers a wall.
+    pub fn add_wall(&mut self, wall: Wall) {
+        self.walls.push(wall);
+    }
+
+    /// Registers an emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emission's sample interval is not strictly positive.
+    pub fn emit(&mut self, emission: Emission) {
+        assert!(
+            emission.sample_interval_s > 0.0,
+            "emission sample interval must be positive"
+        );
+        self.emissions.push(emission);
+    }
+
+    /// Number of registered emissions.
+    pub fn emission_count(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// Removes all emissions (walls stay), e.g. between protocol rounds.
+    pub fn clear_emissions(&mut self) {
+        self.emissions.clear();
+    }
+
+    /// Renders what a microphone records.
+    ///
+    /// * `mic`, `clock`, `position` — the recording device's capsule, clock
+    ///   and location.
+    /// * `record_start_world_s` — world time of the first captured sample.
+    /// * `len` — number of samples to capture.
+    /// * `nominal_rate_hz` — the nominal ADC rate (44.1 kHz in the paper);
+    ///   the device's actual rate differs by its clock skew.
+    ///
+    /// Rendering consumes RNG state (noise, reflections), so render order
+    /// matters for bit-exact reproducibility; the protocol layer always
+    /// renders in a fixed device order.
+    pub fn render_recording(
+        &mut self,
+        mic: &MicrophoneModel,
+        clock: &DeviceClock,
+        position: Position,
+        record_start_world_s: f64,
+        len: usize,
+        nominal_rate_hz: f64,
+    ) -> AudioBuffer {
+        let mut air = vec![0.0; len];
+        let recv_interval = clock.sample_interval_world(nominal_rate_hz);
+        let c = self.speed_of_sound();
+
+        // The borrow checker would flag `self.rng` use inside a loop over
+        // `self.emissions`; clone the RNG handle pattern by splitting.
+        let walls = &self.walls;
+        let reflections = self.environment.reflections;
+        for emission in &self.emissions {
+            let nominal_d = emission.position.distance_to(&position);
+            // Inter-device paths carry this trial's geometry jitter; a
+            // device hearing itself does not (same chassis).
+            let d = if nominal_d < 1e-9 { nominal_d } else { nominal_d * self.placement_factor };
+            let spread = if d < 1e-9 {
+                1.0 / SELF_COUPLING_DISTANCE_M
+            } else {
+                1.0 / d.max(MIN_SPREADING_DISTANCE_M)
+            };
+            let wgain = wall_gain(walls, &emission.position, &position);
+            if wgain * spread < 1e-9 {
+                continue; // inaudible; skip the filtering work
+            }
+
+            // Air absorption for this path length, evaluated per FFT bin at
+            // the folded physical frequency.
+            let filtered = apply_transfer_function(&emission.waveform, nominal_rate_hz, |f| {
+                piano_dsp::Complex64::from_real(absorption_gain(fold_to_physical(f, nominal_rate_hz), d))
+            });
+            let reader = FractionalDelayReader::new(&filtered);
+
+            let step = recv_interval / emission.sample_interval_s;
+            let direct_arrival = emission.start_world_s + d / c;
+            let start = (record_start_world_s - direct_arrival) / emission.sample_interval_s;
+            reader.mix_into(&mut air, start, step, spread * wgain);
+
+            // Early reflections: longer paths, weaker, same filtered source
+            // (the small extra air absorption is negligible at room scale).
+            for (extra_delay_s, echo_gain) in reflections.sample(&mut self.rng) {
+                let echo_start = start - extra_delay_s / emission.sample_interval_s;
+                reader.mix_into(&mut air, echo_start, step, spread * wgain * echo_gain);
+            }
+        }
+
+        // Ambient noise at the capsule.
+        let noise = self.environment.noise.render(len, nominal_rate_hz, &mut self.rng);
+        for (a, n) in air.iter_mut().zip(&noise) {
+            *a += n;
+        }
+
+        let recorded = mic.transduce(air, nominal_rate_hz);
+        AudioBuffer::new(recorded, nominal_rate_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::SpeakerModel;
+    use crate::NOMINAL_SAMPLE_RATE as FS;
+    use piano_dsp::tone;
+
+    fn tone_emission(at: Position, start_world_s: f64, f: f64, amp: f64) -> Emission {
+        let wave = tone::sine(f, 0.0, amp, FS, 4096);
+        Emission {
+            waveform: SpeakerModel::ideal().radiate(&wave, FS),
+            start_world_s,
+            sample_interval_s: 1.0 / FS,
+            position: at,
+        }
+    }
+
+    fn quiet_field() -> AcousticField {
+        AcousticField::new(Environment::anechoic(), 99)
+    }
+
+    #[test]
+    fn arrival_time_matches_distance() {
+        let mut field = quiet_field();
+        let d = 2.0;
+        field.emit(tone_emission(Position::ORIGIN, 0.10, 14_000.0, 1_000.0));
+        let mic = MicrophoneModel::ideal();
+        let rec = field.render_recording(
+            &mic,
+            &DeviceClock::ideal(),
+            Position::new(d, 0.0, 0.0),
+            0.0,
+            (0.5 * FS) as usize,
+            FS,
+        );
+        // First sample with meaningful energy should appear at
+        // (0.10 + d/c)·fs samples.
+        let c = field.speed_of_sound();
+        let expected = ((0.10 + d / c) * FS) as usize;
+        let onset = rec
+            .samples()
+            .iter()
+            .position(|&s| s.abs() > 50.0)
+            .expect("signal must arrive");
+        assert!(
+            (onset as isize - expected as isize).abs() < 40,
+            "onset {onset} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn spreading_halves_amplitude_per_doubled_distance() {
+        let measure_at = |d: f64| -> f64 {
+            let mut field = quiet_field();
+            field.emit(tone_emission(Position::ORIGIN, 0.0, 14_000.0, 10_000.0));
+            let rec = field.render_recording(
+                &MicrophoneModel::ideal(),
+                &DeviceClock::ideal(),
+                Position::new(d, 0.0, 0.0),
+                0.0,
+                (0.3 * FS) as usize,
+                FS,
+            );
+            rec.peak()
+        };
+        let near = measure_at(1.0);
+        let far = measure_at(2.0);
+        assert!((near / far - 2.0).abs() < 0.2, "ratio {}", near / far);
+    }
+
+    #[test]
+    fn wall_attenuates_crossing_path() {
+        let rec_with_wall = |wall: Option<Wall>| -> f64 {
+            let mut field = quiet_field();
+            if let Some(w) = wall {
+                field.add_wall(w);
+            }
+            field.emit(tone_emission(Position::ORIGIN, 0.0, 14_000.0, 10_000.0));
+            let rec = field.render_recording(
+                &MicrophoneModel::ideal(),
+                &DeviceClock::ideal(),
+                Position::new(1.0, 0.0, 0.0),
+                0.0,
+                (0.3 * FS) as usize,
+                FS,
+            );
+            rec.peak()
+        };
+        let open = rec_with_wall(None);
+        let blocked = rec_with_wall(Some(Wall::at_x(0.5)));
+        assert!(
+            blocked < open / 100.0,
+            "wall should attenuate ≥40 dB power: open {open}, blocked {blocked}"
+        );
+    }
+
+    #[test]
+    fn recording_before_emission_is_silent() {
+        let mut field = quiet_field();
+        field.emit(tone_emission(Position::ORIGIN, 10.0, 14_000.0, 1_000.0));
+        let rec = field.render_recording(
+            &MicrophoneModel::ideal(),
+            &DeviceClock::ideal(),
+            Position::new(1.0, 0.0, 0.0),
+            0.0,
+            4_410,
+            FS,
+        );
+        assert!(rec.peak() < 1e-9, "nothing should arrive in the first 0.1 s");
+    }
+
+    #[test]
+    fn clock_offset_does_not_move_world_time_arrivals() {
+        // Two recorders with wildly different clock epochs but the same
+        // world start time must capture the same signal.
+        let render = |clock: DeviceClock| {
+            let mut field = quiet_field();
+            field.emit(tone_emission(Position::ORIGIN, 0.05, 14_000.0, 5_000.0));
+            field.render_recording(
+                &MicrophoneModel::ideal(),
+                &clock,
+                Position::new(1.0, 0.0, 0.0),
+                0.0,
+                (0.3 * FS) as usize,
+                FS,
+            )
+        };
+        let a = render(DeviceClock::ideal());
+        let b = render(DeviceClock::new(12_345.0, 0.0)); // offset only
+        for (x, y) in a.samples().iter().zip(b.samples()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewed_recorder_drifts_relative_to_ideal() {
+        let render = |skew_ppm: f64| {
+            let mut field = quiet_field();
+            field.emit(tone_emission(Position::ORIGIN, 0.0, 1_000.0, 5_000.0));
+            field.render_recording(
+                &MicrophoneModel::ideal(),
+                &DeviceClock::new(0.0, skew_ppm),
+                Position::new(0.3, 0.0, 0.0),
+                0.0,
+                4096,
+                FS,
+            )
+        };
+        let ideal = render(0.0);
+        let skewed = render(500.0);
+        // Same start, but by the end of 4096 samples a +500 ppm clock has
+        // drifted ~2 samples; the waveforms must diverge.
+        let diff: f64 = ideal
+            .samples()
+            .iter()
+            .zip(skewed.samples())
+            .skip(3000)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1.0, "skew should visibly shift the waveform, diff={diff}");
+    }
+
+    #[test]
+    fn noise_environment_adds_noise() {
+        let mut field = AcousticField::new(Environment::office(), 3);
+        let rec = field.render_recording(
+            &MicrophoneModel::ideal(),
+            &DeviceClock::ideal(),
+            Position::ORIGIN,
+            0.0,
+            8_192,
+            FS,
+        );
+        assert!(rec.rms() > 50.0, "office noise missing, rms {}", rec.rms());
+    }
+
+    #[test]
+    fn same_seed_same_recording() {
+        let render = || {
+            let mut field = AcousticField::new(Environment::street(), 42);
+            field.emit(tone_emission(Position::ORIGIN, 0.01, 14_000.0, 2_000.0));
+            field.render_recording(
+                &MicrophoneModel::phone(1),
+                &DeviceClock::ideal(),
+                Position::new(1.0, 0.0, 0.0),
+                0.0,
+                8_192,
+                FS,
+            )
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn clear_emissions_resets_sources() {
+        let mut field = quiet_field();
+        field.emit(tone_emission(Position::ORIGIN, 0.0, 14_000.0, 1_000.0));
+        assert_eq!(field.emission_count(), 1);
+        field.clear_emissions();
+        assert_eq!(field.emission_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn emit_rejects_bad_sample_interval() {
+        let mut field = quiet_field();
+        field.emit(Emission {
+            waveform: vec![0.0; 8],
+            start_world_s: 0.0,
+            sample_interval_s: 0.0,
+            position: Position::ORIGIN,
+        });
+    }
+
+    #[test]
+    fn reflections_add_trailing_energy() {
+        let reverberant = Environment {
+            reflections: crate::environment::ReflectionSpec {
+                count: (4, 4),
+                delay_ms: (8.0, 12.0),
+                gain_db: (-8.0, -6.0),
+            },
+            ..Environment::anechoic()
+        };
+        let render = |env: Environment| {
+            let mut field = AcousticField::new(env, 7);
+            field.emit(tone_emission(Position::ORIGIN, 0.0, 14_000.0, 10_000.0));
+            field.render_recording(
+                &MicrophoneModel::ideal(),
+                &DeviceClock::ideal(),
+                Position::new(0.5, 0.0, 0.0),
+                0.0,
+                (0.25 * FS) as usize,
+                FS,
+            )
+        };
+        let dry = render(Environment::anechoic());
+        let wet = render(reverberant);
+        // Energy in the tail region after the direct copy ends
+        // (waveform is 4096 samples ≈ 93 ms; look at 100–180 ms).
+        let tail = |b: &AudioBuffer| -> f64 {
+            let lo = (0.105 * FS) as usize;
+            let hi = (0.180 * FS) as usize;
+            b.samples()[lo..hi].iter().map(|s| s * s).sum()
+        };
+        assert!(tail(&wet) > 10.0 * tail(&dry).max(1e-12), "echoes missing");
+    }
+}

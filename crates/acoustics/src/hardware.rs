@@ -1,0 +1,337 @@
+//! Speaker and microphone models.
+//!
+//! Two hardware effects carry the paper's story:
+//!
+//! 1. **Attenuation** — "reference signals are often attenuated by
+//!    hardware"; Algorithm 2's α parameter exists to absorb it. Transducer
+//!    gains here (default 0.5 each) combine with spreading loss so that a
+//!    reference signal retains ≈1 % of its power at 2.5 m, which is where
+//!    the paper's prototype stops detecting signals (d_s ≈ 2.5 m).
+//! 2. **Frequency smoothing / waveform distortion** — after a signal is
+//!    played and recorded "its recorded version becomes S′, which is
+//!    significantly different from S" (Sec. IV-C). Cheap phone transducers
+//!    near their resonance have strongly frequency-dependent gain *and
+//!    phase*. [`FrequencyResponse`] models both as smooth random curves,
+//!    fixed per device (seeded), decorrelating over a few hundred Hz — so
+//!    tones 333 Hz apart acquire essentially independent phase shifts. That
+//!    preserves per-bin *power* (ACTION survives) while scrambling the time
+//!    waveform (cross-correlation fails), exactly the Fig. 2b contrast.
+
+use piano_dsp::filter::apply_transfer_function;
+use piano_dsp::Complex64;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::absorption::fold_to_physical;
+use crate::buffer::I16_FULL_SCALE;
+
+/// A smooth random frequency response: gain ripple (dB) and phase dispersion
+/// (radians), both varying over a configurable correlation bandwidth.
+///
+/// The response is deterministic given the seed, modeling a fixed physical
+/// device. Gain and phase are independent sums of `K` random-phase cosines
+/// in frequency, giving curves that are smooth but decorrelate over roughly
+/// `correlation_hz`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyResponse {
+    gain_components: Vec<ResponseComponent>,
+    phase_components: Vec<ResponseComponent>,
+    /// Peak-ish gain ripple amplitude in dB.
+    ripple_db: f64,
+    /// Peak-ish phase dispersion amplitude in radians.
+    dispersion_rad: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+struct ResponseComponent {
+    period_hz: f64,
+    phase: f64,
+    weight: f64,
+}
+
+impl FrequencyResponse {
+    /// Number of cosine components per curve.
+    const COMPONENTS: usize = 24;
+
+    /// Builds a random response curve.
+    ///
+    /// * `ripple_db` — RMS-scale gain ripple in dB (typical phone
+    ///   transducer in the 9–19 kHz band: 3–6 dB).
+    /// * `dispersion_rad` — RMS-scale phase dispersion in radians. Around
+    ///   1 rad of tone-to-tone phase scrambling suppresses the central
+    ///   cross-correlation lobe below its ±3 ms neighbours (the paper's
+    ///   "frequency smoothing"), while keeping transducer group-delay
+    ///   ripple at the realistic sub-millisecond scale.
+    /// * `correlation_hz` — bandwidth over which the curves decorrelate.
+    pub fn random(ripple_db: f64, dispersion_rad: f64, correlation_hz: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let gen_components = |rng: &mut ChaCha8Rng| {
+            (0..Self::COMPONENTS)
+                .map(|_| {
+                    // Periods log-uniform in [correlation, 16·correlation]:
+                    // structure at and above the correlation scale.
+                    let log_span = rng.gen_range(0.0..1.0) * (16.0f64).ln();
+                    ResponseComponent {
+                        period_hz: correlation_hz * log_span.exp(),
+                        phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                        weight: rng.gen_range(0.5..1.0),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let gain_components = gen_components(&mut rng);
+        let phase_components = gen_components(&mut rng);
+        FrequencyResponse { gain_components, phase_components, ripple_db, dispersion_rad }
+    }
+
+    /// A perfectly flat response (unity gain, zero phase).
+    pub fn flat() -> Self {
+        FrequencyResponse {
+            gain_components: Vec::new(),
+            phase_components: Vec::new(),
+            ripple_db: 0.0,
+            dispersion_rad: 0.0,
+        }
+    }
+
+    fn curve(components: &[ResponseComponent], f_hz: f64) -> f64 {
+        if components.is_empty() {
+            return 0.0;
+        }
+        let norm = (components.iter().map(|c| c.weight * c.weight).sum::<f64>() / 2.0).sqrt();
+        components
+            .iter()
+            .map(|c| c.weight * (std::f64::consts::TAU * f_hz / c.period_hz + c.phase).cos())
+            .sum::<f64>()
+            / norm.max(1e-12)
+    }
+
+    /// Gain ripple in dB at a physical frequency.
+    pub fn gain_db(&self, f_hz: f64) -> f64 {
+        self.ripple_db * Self::curve(&self.gain_components, f_hz)
+    }
+
+    /// Phase shift in radians at a physical frequency.
+    pub fn phase_rad(&self, f_hz: f64) -> f64 {
+        self.dispersion_rad * Self::curve(&self.phase_components, f_hz)
+    }
+
+    /// Complex transfer value at a physical frequency.
+    pub fn transfer(&self, f_hz: f64) -> Complex64 {
+        Complex64::from_polar(
+            piano_dsp::db::db_to_amplitude(self.gain_db(f_hz)),
+            self.phase_rad(f_hz),
+        )
+    }
+}
+
+/// A loudspeaker model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeakerModel {
+    /// Broadband amplitude efficiency (dimensionless; the fraction of
+    /// commanded amplitude radiated at 1 m equivalent).
+    pub efficiency: f64,
+    /// Frequency response of the driver.
+    pub response: FrequencyResponse,
+    /// Onset/offset ramp applied by the audio pipeline, in samples.
+    pub fade_samples: usize,
+}
+
+impl SpeakerModel {
+    /// A phone-class speaker with a seeded random response.
+    pub fn phone(seed: u64) -> Self {
+        SpeakerModel {
+            efficiency: 0.575,
+            response: FrequencyResponse::random(0.7, 0.9, 700.0, seed),
+            fade_samples: 64,
+        }
+    }
+
+    /// An ideal speaker: unity efficiency, flat response, no ramp.
+    pub fn ideal() -> Self {
+        SpeakerModel { efficiency: 1.0, response: FrequencyResponse::flat(), fade_samples: 0 }
+    }
+
+    /// Renders the waveform the speaker actually radiates for a commanded
+    /// digital signal: fade ramps, efficiency, and frequency response
+    /// (evaluated at the folded physical frequency of each FFT bin).
+    pub fn radiate(&self, commanded: &[f64], sample_rate: f64) -> Vec<f64> {
+        if commanded.is_empty() {
+            return Vec::new();
+        }
+        let mut signal = commanded.to_vec();
+        piano_dsp::window::apply_fade(&mut signal, self.fade_samples);
+        let eff = self.efficiency;
+        let resp = &self.response;
+        apply_transfer_function(&signal, sample_rate, |f| {
+            let phys = fold_to_physical(f, sample_rate);
+            resp.transfer(phys).scale(eff)
+        })
+    }
+}
+
+/// A microphone + ADC model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MicrophoneModel {
+    /// Broadband amplitude sensitivity (dimensionless).
+    pub sensitivity: f64,
+    /// Frequency response of the capsule.
+    pub response: FrequencyResponse,
+    /// Whether to quantize to 16-bit integers (true for realistic devices).
+    pub quantize: bool,
+}
+
+impl MicrophoneModel {
+    /// A phone-class microphone with a seeded random response.
+    pub fn phone(seed: u64) -> Self {
+        MicrophoneModel {
+            sensitivity: 0.575,
+            response: FrequencyResponse::random(0.5, 0.7, 700.0, seed),
+            quantize: true,
+        }
+    }
+
+    /// An ideal microphone: unity sensitivity, flat, unquantized.
+    pub fn ideal() -> Self {
+        MicrophoneModel { sensitivity: 1.0, response: FrequencyResponse::flat(), quantize: false }
+    }
+
+    /// Converts air pressure samples at the capsule into recorded samples:
+    /// sensitivity, frequency response, and optional 16-bit quantization.
+    pub fn transduce(&self, air: Vec<f64>, sample_rate: f64) -> Vec<f64> {
+        if air.is_empty() {
+            return air;
+        }
+        let sens = self.sensitivity;
+        let resp = &self.response;
+        let mut out = apply_transfer_function(&air, sample_rate, |f| {
+            let phys = fold_to_physical(f, sample_rate);
+            resp.transfer(phys).scale(sens)
+        });
+        if self.quantize {
+            for s in &mut out {
+                *s = s.round().clamp(-I16_FULL_SCALE, I16_FULL_SCALE);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_dsp::spectrum::{band_power, freq_to_bin, power_spectrum};
+    use piano_dsp::tone;
+
+    const FS: f64 = 44_100.0;
+
+    #[test]
+    fn flat_response_is_identity() {
+        let r = FrequencyResponse::flat();
+        assert_eq!(r.gain_db(12_345.0), 0.0);
+        assert_eq!(r.phase_rad(9_999.0), 0.0);
+        assert!((r.transfer(5_000.0) - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_is_deterministic_per_seed() {
+        let a = FrequencyResponse::random(4.0, 2.0, 400.0, 7);
+        let b = FrequencyResponse::random(4.0, 2.0, 400.0, 7);
+        let c = FrequencyResponse::random(4.0, 2.0, 400.0, 8);
+        assert_eq!(a.gain_db(10_000.0), b.gain_db(10_000.0));
+        assert_ne!(a.gain_db(10_000.0), c.gain_db(10_000.0));
+    }
+
+    #[test]
+    fn ripple_magnitude_is_bounded() {
+        let r = FrequencyResponse::random(1.5, 2.0, 400.0, 3);
+        let mut max_gain: f64 = 0.0;
+        for k in 0..500 {
+            let f = 9_000.0 + k as f64 * 20.0;
+            max_gain = max_gain.max(r.gain_db(f).abs());
+        }
+        // Sum of 24 cosines normalized to unit RMS: excursions stay within
+        // a few sigma of the nominal 1.5 dB ripple.
+        assert!(max_gain < 4.0 * 1.5, "max ripple {max_gain} dB");
+        assert!(max_gain > 0.5, "response suspiciously flat: {max_gain} dB");
+    }
+
+    #[test]
+    fn phases_decorrelate_across_candidate_spacing() {
+        // Candidates are ~333 Hz apart; phases of adjacent candidates must
+        // differ substantially for the Fig. 2b mechanism to exist.
+        let r = FrequencyResponse::random(4.0, 2.2, 400.0, 11);
+        let mut distinct = 0;
+        for k in 0..29 {
+            let f = 9_100.0 + k as f64 * 333.0;
+            let dp = (r.phase_rad(f) - r.phase_rad(f + 333.0)).abs();
+            if dp > 0.5 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 10, "only {distinct}/29 adjacent pairs decorrelated");
+    }
+
+    #[test]
+    fn ideal_speaker_radiates_input() {
+        let sig = tone::sine(14_000.0, 0.0, 100.0, FS, 1024);
+        let out = SpeakerModel::ideal().radiate(&sig, FS);
+        for (a, b) in out.iter().zip(&sig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn phone_speaker_preserves_band_power_roughly() {
+        // Gain ripple is a few dB: power at the tone's bin cluster should
+        // be within ~±8 dB of the ideal, never wiped out.
+        let amp = 1_000.0;
+        let sig = tone::sine(30_000.0, 0.0, amp, FS, 4096);
+        let spk = SpeakerModel::phone(5);
+        let out = spk.radiate(&sig, FS);
+        let ps = power_spectrum(&out);
+        let p = band_power(&ps, freq_to_bin(30_000.0, FS, 4096), 5);
+        let nominal = (amp * spk.efficiency).powi(2);
+        assert!(p > nominal / 8.0 && p < nominal * 8.0, "band power {p} vs nominal {nominal}");
+    }
+
+    #[test]
+    fn phone_speaker_scrambles_waveform_but_not_spectrum() {
+        // The frequency-smoothing effect: radiated waveform correlates
+        // poorly with the commanded one even though band power survives.
+        let tones: Vec<tone::ToneSpec> = (0..8)
+            .map(|k| tone::ToneSpec::new(25_300.0 + 1_200.0 * k as f64, 100.0))
+            .collect();
+        let sig = tone::multi_tone(&tones, FS, 4096);
+        let out = SpeakerModel::phone(9).radiate(&sig, FS);
+        // Normalized zero-lag correlation between commanded and radiated.
+        let dot: f64 = sig.iter().zip(&out).map(|(a, b)| a * b).sum();
+        let na: f64 = sig.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let nb: f64 = out.iter().map(|b| b * b).sum::<f64>().sqrt();
+        let corr = (dot / (na * nb)).abs();
+        assert!(corr < 0.8, "waveform correlation {corr} too high for dispersion to matter");
+    }
+
+    #[test]
+    fn mic_quantizes_to_integers() {
+        let air = vec![0.4; 256];
+        let mic = MicrophoneModel { quantize: true, ..MicrophoneModel::ideal() };
+        let out = mic.transduce(air, FS);
+        assert!(out.iter().all(|s| s.fract() == 0.0));
+    }
+
+    #[test]
+    fn mic_clamps_to_full_scale() {
+        let air = vec![1e6; 64];
+        let mic = MicrophoneModel { quantize: true, ..MicrophoneModel::ideal() };
+        let out = mic.transduce(air, FS);
+        assert!(out.iter().all(|&s| s == I16_FULL_SCALE));
+    }
+
+    #[test]
+    fn empty_signals_pass_through() {
+        assert!(SpeakerModel::phone(1).radiate(&[], FS).is_empty());
+        assert!(MicrophoneModel::phone(1).transduce(Vec::new(), FS).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Audio-stack scheduling latency.
+//!
+//! The paper (Sec. VI-B3): "processing delay is very unpredictable on the
+//! devices. For instance, when the vouching device wants to play the
+//! reference signal, there is an unpredictable delay between the API to
+//! play acoustic signal is called and the signal is actually played."
+//!
+//! That unpredictability is precisely why Echo-style one-way ranging fails
+//! on commodity devices (Fig. 2b) and why ACTION is designed to cancel it.
+//! [`LatencyModel`] samples those delays: a fixed mean (the pipeline depth)
+//! plus a uniform jitter term (scheduler, buffer boundaries, GC pauses).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of playback / recording start latencies for one device.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Mean delay between a playback API call and sound leaving the
+    /// speaker (seconds).
+    pub playback_mean_s: f64,
+    /// Half-width of the uniform playback jitter (seconds).
+    pub playback_jitter_s: f64,
+    /// Mean delay between a record API call and the first captured sample
+    /// (seconds).
+    pub record_mean_s: f64,
+    /// Half-width of the uniform recording jitter (seconds).
+    pub record_jitter_s: f64,
+}
+
+impl LatencyModel {
+    /// Phone-class defaults: ~150 ms pipelines with tens of ms of jitter —
+    /// the regime in which Echo's calibrated-delay subtraction leaves
+    /// meters of ranging error (speed of sound ≈ 0.34 m/ms).
+    pub fn phone() -> Self {
+        LatencyModel {
+            playback_mean_s: 0.150,
+            playback_jitter_s: 0.030,
+            record_mean_s: 0.120,
+            record_jitter_s: 0.025,
+        }
+    }
+
+    /// Zero latency, zero jitter — for isolating other error sources.
+    pub fn ideal() -> Self {
+        LatencyModel {
+            playback_mean_s: 0.0,
+            playback_jitter_s: 0.0,
+            record_mean_s: 0.0,
+            record_jitter_s: 0.0,
+        }
+    }
+
+    /// Scales the *jitter* terms only (the means calibrate away), returning
+    /// the modified model. Used by the Echo-sensitivity ablation.
+    #[must_use]
+    pub fn with_jitter_scale(mut self, factor: f64) -> Self {
+        self.playback_jitter_s *= factor;
+        self.record_jitter_s *= factor;
+        self
+    }
+
+    /// Samples a playback start latency in seconds.
+    pub fn sample_playback(&self, rng: &mut ChaCha8Rng) -> f64 {
+        sample(self.playback_mean_s, self.playback_jitter_s, rng)
+    }
+
+    /// Samples a recording start latency in seconds.
+    pub fn sample_record(&self, rng: &mut ChaCha8Rng) -> f64 {
+        sample(self.record_mean_s, self.record_jitter_s, rng)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::phone()
+    }
+}
+
+fn sample(mean: f64, jitter: f64, rng: &mut ChaCha8Rng) -> f64 {
+    if jitter <= 0.0 {
+        return mean.max(0.0);
+    }
+    (mean + rng.gen_range(-jitter..jitter)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_deterministic_zero() {
+        let m = LatencyModel::ideal();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(m.sample_playback(&mut rng), 0.0);
+        assert_eq!(m.sample_record(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn samples_stay_within_jitter_bounds() {
+        let m = LatencyModel::phone();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let p = m.sample_playback(&mut rng);
+            assert!(p >= m.playback_mean_s - m.playback_jitter_s);
+            assert!(p < m.playback_mean_s + m.playback_jitter_s);
+            let r = m.sample_record(&mut rng);
+            assert!(r >= m.record_mean_s - m.record_jitter_s);
+            assert!(r < m.record_mean_s + m.record_jitter_s);
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let m = LatencyModel::phone();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = m.sample_playback(&mut rng);
+        let b = m.sample_playback(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn latency_never_negative() {
+        let m = LatencyModel {
+            playback_mean_s: 0.001,
+            playback_jitter_s: 0.1,
+            record_mean_s: 0.0,
+            record_jitter_s: 0.05,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(m.sample_playback(&mut rng) >= 0.0);
+            assert!(m.sample_record(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jitter_scale_affects_only_jitter() {
+        let m = LatencyModel::phone().with_jitter_scale(2.0);
+        assert_eq!(m.playback_mean_s, LatencyModel::phone().playback_mean_s);
+        assert_eq!(m.playback_jitter_s, 2.0 * LatencyModel::phone().playback_jitter_s);
+    }
+
+    #[test]
+    fn jitter_magnitude_ruins_sub_meter_one_way_ranging() {
+        // Sanity-check the premise of Fig. 2b: ±30 ms of playback jitter is
+        // ±10 m of one-way ranging error at 343 m/s.
+        let m = LatencyModel::phone();
+        let worst = m.playback_jitter_s + m.record_jitter_s;
+        assert!(worst * 343.0 > 5.0, "jitter too small to demonstrate Echo failure");
+    }
+}

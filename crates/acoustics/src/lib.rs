@@ -1,0 +1,77 @@
+//! # piano-acoustics
+//!
+//! Simulated acoustic substrate for the PIANO reproduction (Gong et al.,
+//! ICDCS 2017).
+//!
+//! The paper's testbed is two Samsung Galaxy S4 smartphones exchanging
+//! near-ultrasonic reference signals through real air in real rooms. This
+//! crate replaces that physical layer with a deterministic, seedable
+//! simulation that preserves every mechanism the paper's evaluation depends
+//! on:
+//!
+//! * **Propagation** ([`field`]): speed-of-sound delay with sub-sample
+//!   precision (1 sample ≈ 0.78 cm at 44.1 kHz), spherical spreading,
+//!   frequency-dependent air absorption ([`absorption`]), wall transmission
+//!   loss ([`geometry`]), and randomized early reflections.
+//! * **Hardware** ([`hardware`]): speaker/microphone frequency-response
+//!   ripple and phase dispersion (the *frequency smoothing* that defeats
+//!   cross-correlation in the paper's Fig. 2b), transducer gains, and 16-bit
+//!   ADC quantization.
+//! * **Clocks and latency** ([`clock`], [`latency`]): independent per-device
+//!   sample clocks with ppm-scale skew, plus the unpredictable audio-stack
+//!   scheduling latency that ruins the Echo baseline while leaving ACTION's
+//!   in-recording time differences intact.
+//! * **Environments** ([`environment`], [`noise`]): office / home / street /
+//!   restaurant noise profiles, concentrated below 6 kHz as the paper
+//!   measured, with an environment-scaled broadband tail that sets the
+//!   ranging jitter ordering of Fig. 1.
+//! * **Cost models** ([`energy`], [`timing`]): component-level energy and
+//!   wall-clock models reproducing Sec. VI-D (≈3 s and ≈0.6 % battery per
+//!   100 authentications).
+//!
+//! Everything stochastic flows from explicit `rand_chacha` seeds, so every
+//! experiment in the reproduction is replayable bit-for-bit.
+
+pub mod absorption;
+pub mod buffer;
+pub mod clock;
+pub mod energy;
+pub mod environment;
+pub mod field;
+pub mod geometry;
+pub mod hardware;
+pub mod latency;
+pub mod noise;
+pub mod timing;
+
+pub use buffer::AudioBuffer;
+pub use clock::DeviceClock;
+pub use environment::Environment;
+pub use field::{AcousticField, Emission};
+pub use geometry::{Position, Wall};
+pub use hardware::{MicrophoneModel, SpeakerModel};
+
+/// Nominal sampling rate used throughout the reproduction (Hz).
+///
+/// The paper sets both phones to 44.1 kHz, "the largest sampling frequency
+/// supported by the Android system".
+pub const NOMINAL_SAMPLE_RATE: f64 = 44_100.0;
+
+/// Speed of sound in air (m/s) at a given temperature in °C.
+///
+/// Linear approximation `331.3 + 0.606·T`; at 20 °C this gives 343.4 m/s,
+/// matching the paper's "around 340 m/s".
+pub fn speed_of_sound(temperature_c: f64) -> f64 {
+    331.3 + 0.606 * temperature_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_of_sound_near_340() {
+        assert!((speed_of_sound(20.0) - 343.42).abs() < 0.01);
+        assert!(speed_of_sound(0.0) > 330.0 && speed_of_sound(0.0) < 332.0);
+    }
+}

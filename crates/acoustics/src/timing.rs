@@ -1,0 +1,126 @@
+//! Wall-clock timing model for one authentication.
+//!
+//! Sec. VI-D: "one authentication can be finished within around 3 seconds"
+//! on the Galaxy S4 prototype. The duration decomposes into Bluetooth round
+//! trips, the shared recording window (which must cover both playback slots
+//! plus propagation), and the detection compute. This module reconstructs
+//! that budget from an operation-count cost model so the efficiency
+//! experiment (E8) reports a breakdown rather than a single asserted
+//! number.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::PhaseDurations;
+
+/// Cost model for an S4-class device running the ACTION pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Seconds per 4096-point FFT (including spectrum bookkeeping) on the
+    /// device CPU. S4-class Java/NDK implementations land near 0.8 ms.
+    pub fft_4096_s: f64,
+    /// One-way Bluetooth message latency (seconds).
+    pub bluetooth_latency_s: f64,
+    /// Bluetooth throughput for payload transfer (bytes/second).
+    pub bluetooth_bytes_per_s: f64,
+    /// Fixed protocol overhead: API calls, audio pipeline spin-up…
+    pub fixed_overhead_s: f64,
+}
+
+impl TimingModel {
+    /// Galaxy-S4-class defaults.
+    pub fn galaxy_s4() -> Self {
+        TimingModel {
+            fft_4096_s: 0.7e-3,
+            bluetooth_latency_s: 0.035,
+            bluetooth_bytes_per_s: 120_000.0,
+            fixed_overhead_s: 0.20,
+        }
+    }
+
+    /// Predicted breakdown of one authentication.
+    ///
+    /// * `recording_s` — length of the shared recording window.
+    /// * `playback_s` — reference-signal duration (93 ms in the paper).
+    /// * `fft_count` — total FFTs executed by the device's detection scan.
+    /// * `bluetooth_payload_bytes` — bytes exchanged (two reference
+    ///   signals, the time-difference report, control messages).
+    /// * `bluetooth_messages` — number of one-way messages exchanged.
+    pub fn phase_durations(
+        &self,
+        recording_s: f64,
+        playback_s: f64,
+        fft_count: usize,
+        bluetooth_payload_bytes: usize,
+        bluetooth_messages: usize,
+    ) -> PhaseDurations {
+        let bluetooth_s = self.bluetooth_latency_s * bluetooth_messages as f64
+            + bluetooth_payload_bytes as f64 / self.bluetooth_bytes_per_s;
+        PhaseDurations {
+            playback_s,
+            recording_s,
+            compute_s: self.fft_4096_s * fft_count as f64 + self.fixed_overhead_s,
+            bluetooth_s,
+        }
+    }
+
+    /// Total latency of one authentication: recording and Bluetooth overlap
+    /// with nothing, compute follows the recording; playback overlaps the
+    /// recording window and contributes no extra wall time.
+    pub fn total_latency_s(&self, durations: &PhaseDurations) -> f64 {
+        durations.bluetooth_s + durations.recording_s + durations.compute_s
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::galaxy_s4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FFT count for the paper's adapted two-stage scan over a 2.4 s
+    /// recording: coarse step 1000 over ~106 k samples (~102 windows) plus
+    /// a ±1000-sample fine scan at step 10 (~200 windows), for both
+    /// reference signals detected in one pass ⇒ ~300 FFTs per device.
+    const TYPICAL_FFTS: usize = 320;
+
+    #[test]
+    fn authentication_finishes_within_about_three_seconds() {
+        let m = TimingModel::galaxy_s4();
+        // 2 signals × 4096 samples × 2 bytes ≈ 16 KiB signal payload plus
+        // a small report; 6 one-way messages.
+        let d = m.phase_durations(2.4, 0.093, TYPICAL_FFTS, 17_000, 6);
+        let total = m.total_latency_s(&d);
+        assert!(total < 3.2, "total {total} s exceeds the paper's ≈3 s");
+        assert!(total > 2.0, "total {total} s suspiciously fast for a 2.4 s recording");
+    }
+
+    #[test]
+    fn compute_scales_with_fft_count() {
+        let m = TimingModel::galaxy_s4();
+        let few = m.phase_durations(2.4, 0.093, 100, 0, 0);
+        let many = m.phase_durations(2.4, 0.093, 1000, 0, 0);
+        assert!(many.compute_s > few.compute_s);
+        assert!((many.compute_s - few.compute_s - 900.0 * m.fft_4096_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bluetooth_time_includes_latency_and_throughput() {
+        let m = TimingModel::galaxy_s4();
+        let d = m.phase_durations(0.0, 0.0, 0, 120_000, 2);
+        assert!((d.bluetooth_s - (2.0 * 0.035 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recording_dominates_the_budget() {
+        // The paper's ≈3 s is mostly the listening window, not compute —
+        // the model should reflect that structure.
+        let m = TimingModel::galaxy_s4();
+        let d = m.phase_durations(2.4, 0.093, TYPICAL_FFTS, 17_000, 6);
+        assert!(d.recording_s > d.compute_s);
+        assert!(d.recording_s > d.bluetooth_s);
+    }
+}

@@ -1,0 +1,176 @@
+//! All-frequency-based spoofing attacks (paper Sec. V).
+//!
+//! "An attacker can construct a spoofing reference signal that includes all
+//! candidate frequencies … and plays it in the entire authentication
+//! process." The β sanity check defeats it for *any* attacker power `P_a`
+//! (the paper's case analysis):
+//!
+//! * `P_a ≥ α·R_f` — the unchosen-candidate check fails (every candidate is
+//!   powered);
+//! * `P_a ≤ β` — the attack adds nothing that survives the checks;
+//! * `β < P_a < α·R_f` — both can fail; either way windows containing the
+//!   spoof score `−∞`.
+//!
+//! So the detector either still finds the genuine signal or reports
+//! absence; the attacker never shortens the distance.
+
+use piano_acoustics::field::Emission;
+use piano_acoustics::{AcousticField, Position, SpeakerModel};
+use piano_core::config::ActionConfig;
+use piano_dsp::tone::{multi_tone, ToneSpec};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The all-frequency spoofing attacker.
+#[derive(Clone, Debug)]
+pub struct AllFrequencyAttacker {
+    /// Where the attacker's speaker sits.
+    pub position: Position,
+    /// Per-tone amplitude of the spoofing signal (the paper's `√P_a`).
+    pub tone_amplitude: f64,
+    /// The attacker's speaker hardware.
+    pub speaker: SpeakerModel,
+}
+
+impl AllFrequencyAttacker {
+    /// An attacker `0.3 m` from the target with a mid-range power choice
+    /// (comparable to a legitimate tone's received level).
+    pub fn near(position: Position) -> Self {
+        AllFrequencyAttacker {
+            position: position.along_x(0.3),
+            tone_amplitude: 2_000.0,
+            speaker: SpeakerModel::phone(0xFEED),
+        }
+    }
+
+    /// Sets the per-tone amplitude, returning the modified attacker — used
+    /// by the power-sweep security experiment to cover the paper's three
+    /// `P_a` regimes.
+    #[must_use]
+    pub fn with_tone_amplitude(mut self, amplitude: f64) -> Self {
+        self.tone_amplitude = amplitude;
+        self
+    }
+
+    /// Builds the spoofing waveform: one sine per candidate frequency, all
+    /// at the same power, random phases, `duration_s` long.
+    pub fn spoof_waveform(
+        &self,
+        config: &ActionConfig,
+        duration_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<f64> {
+        let len = (duration_s * config.sample_rate).round() as usize;
+        let tones: Vec<ToneSpec> = (0..config.grid.len())
+            .map(|i| {
+                ToneSpec::new(config.grid.candidate_hz(i), self.tone_amplitude)
+                    .with_phase(rng.gen_range(0.0..std::f64::consts::TAU))
+            })
+            .collect();
+        multi_tone(&tones, config.sample_rate, len)
+    }
+
+    /// Injects the spoofing emission, covering `[start_s, start_s +
+    /// duration_s]` in world time — long enough to blanket the entire
+    /// authentication recording, per the paper's attack description.
+    pub fn inject(
+        &self,
+        field: &mut AcousticField,
+        config: &ActionConfig,
+        start_s: f64,
+        duration_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) {
+        let wave = self.spoof_waveform(config, duration_s, rng);
+        field.emit(Emission {
+            waveform: self.speaker.radiate(&wave, config.sample_rate),
+            start_world_s: start_s,
+            sample_interval_s: 1.0 / config.sample_rate,
+            position: self.position,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_acoustics::Environment;
+    use piano_core::device::Device;
+    use piano_core::piano::{PianoAuthenticator, PianoConfig};
+    use rand::SeedableRng;
+
+    /// Full-stack attempt: user away (6 m), attacker blankets the
+    /// authenticating device with the all-frequency spoof.
+    fn attempt(tone_amplitude: f64, seed: u64) -> bool {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
+        let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), seed + 2);
+        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        authn.register(&auth_dev, &vouch_dev, &mut rng);
+        let mut field = AcousticField::new(Environment::office(), seed ^ 0xD00D);
+        let attacker = AllFrequencyAttacker::near(auth_dev.position)
+            .with_tone_amplitude(tone_amplitude);
+        let cfg = authn.config().action.clone();
+        attacker.inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
+        // Second emitter near the vouching device, as the threat model
+        // allows "around the authenticating device and/or vouching device".
+        let attacker2 = AllFrequencyAttacker::near(vouch_dev.position)
+            .with_tone_amplitude(tone_amplitude);
+        attacker2.inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
+        authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng).is_granted()
+    }
+
+    #[test]
+    fn loud_spoof_fails() {
+        // P_a ≥ α·R_f regime.
+        assert!(!attempt(8_000.0, 11));
+    }
+
+    #[test]
+    fn midrange_spoof_fails() {
+        // β < P_a < α·R_f regime.
+        assert!(!attempt(1_000.0, 12));
+    }
+
+    #[test]
+    fn quiet_spoof_fails() {
+        // P_a ≤ β regime: harmless, but also useless for the attacker.
+        assert!(!attempt(50.0, 13));
+    }
+
+    #[test]
+    fn spoof_waveform_covers_all_candidates() {
+        let cfg = ActionConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let attacker = AllFrequencyAttacker::near(Position::ORIGIN);
+        let wave = attacker.spoof_waveform(&cfg, 0.2, &mut rng);
+        let ps = piano_dsp::spectrum::power_spectrum(&wave[..4096].to_vec());
+        for i in 0..cfg.grid.len() {
+            let bin = cfg.grid.fft_bin(i, cfg.sample_rate, cfg.signal_len);
+            let p = piano_dsp::spectrum::band_power(&ps, bin, cfg.theta);
+            assert!(
+                p > 0.5 * attacker.tone_amplitude * attacker.tone_amplitude,
+                "candidate {i} underpowered: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn spoof_also_denies_legitimate_user() {
+        // Collateral effect the paper accepts: with the spoof blanketing
+        // the room, even a nearby legitimate user is denied (availability,
+        // not authentication, is sacrificed).
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let auth_dev = Device::phone(1, Position::ORIGIN, 31);
+        let vouch_dev = Device::phone(2, Position::new(0.5, 0.0, 0.0), 32);
+        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        authn.register(&auth_dev, &vouch_dev, &mut rng);
+        let mut field = AcousticField::new(Environment::office(), 0xCAFE);
+        let cfg = authn.config().action.clone();
+        AllFrequencyAttacker::near(auth_dev.position)
+            .with_tone_amplitude(8_000.0)
+            .inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
+        let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+        assert!(!decision.is_granted());
+    }
+}

@@ -1,0 +1,182 @@
+//! Guessing-success probability analysis (paper Sec. V; experiment E10).
+//!
+//! The paper claims the probability of guessing one reference signal's
+//! frequency set is `1/(2^N − 2) ≈ 1/2^N`, and that a replay needs two
+//! correct guesses, for `1/2^(N+1)` overall. Two observations, both
+//! quantified here and in EXPERIMENTS.md:
+//!
+//! 1. `1/(2^N − 2)` is correct **only for uniform-subset sampling**. The
+//!    paper's own two-stage construction (uniform size, then uniform
+//!    subset of that size) concentrates probability on extreme sizes: a
+//!    mimicking attacker collides with probability
+//!    `Σ_n 1/((N−1)²·C(N,n))` ≈ 7.7·10⁻⁵ at N = 30 — about 10⁵× the
+//!    claimed bound (still far too small to matter in 100 trials, but a
+//!    real gap).
+//! 2. Two independent guesses multiply: the success probability is `p²`,
+//!    i.e. `≈ 1/2^(2N)` for uniform subsets — the paper's `1/2^(N+1)`
+//!    appears to be an algebra slip (`(1/2^N)² ≠ 1/2^(N+1)`); we report
+//!    the exact figure.
+
+use piano_core::signal::SignalSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Exact probability that two independent draws from the sampler produce
+/// the same frequency subset, for a grid of `n_candidates`.
+///
+/// # Panics
+///
+/// Panics if `n_candidates < 2`.
+pub fn collision_probability(sampler: SignalSampler, n_candidates: usize) -> f64 {
+    assert!(n_candidates >= 2, "need at least 2 candidates");
+    match sampler {
+        SignalSampler::UniformSubset => {
+            // All subsets with 1 ≤ |F| ≤ N−1 equally likely.
+            1.0 / (2f64.powi(n_candidates as i32) - 2.0)
+        }
+        SignalSampler::TwoStage => {
+            // P = Σ_n P(size n)²·Σ_F P(F | n)² · C(N,n)
+            //   = Σ_n (1/(N−1))²·C(N,n)·(1/C(N,n))²
+            //   = Σ_n 1/((N−1)²·C(N,n)).
+            let nm1 = (n_candidates - 1) as f64;
+            (1..n_candidates)
+                .map(|k| 1.0 / (nm1 * nm1 * binomial(n_candidates, k)))
+                .sum()
+        }
+    }
+}
+
+/// Probability that a replay attack guessing both signals succeeds:
+/// the square of the single-signal collision probability.
+pub fn replay_success_probability(sampler: SignalSampler, n_candidates: usize) -> f64 {
+    let p = collision_probability(sampler, n_candidates);
+    p * p
+}
+
+/// The paper's claimed single-guess probability `1/(2^N − 2)` (its Sec. V
+/// analysis), for comparison against [`collision_probability`].
+pub fn paper_claimed_single_guess(n_candidates: usize) -> f64 {
+    1.0 / (2f64.powi(n_candidates as i32) - 2.0)
+}
+
+/// The paper's claimed replay probability `1/2^(N+1)` — reported verbatim
+/// so EXPERIMENTS.md can show it alongside the exact value.
+pub fn paper_claimed_replay(n_candidates: usize) -> f64 {
+    1.0 / 2f64.powi(n_candidates as i32 + 1)
+}
+
+/// Monte-Carlo estimate of the collision probability: draws `trials`
+/// independent (truth, guess) pairs and counts exact frequency-set matches.
+///
+/// Useful at small `n_candidates`, where collisions are observable.
+pub fn monte_carlo_collision(
+    sampler: SignalSampler,
+    n_candidates: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let truth = sampler.sample(n_candidates, &mut rng);
+        let guess = sampler.sample(n_candidates, &mut rng);
+        if truth == guess {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_matches_known_values() {
+        assert_eq!(binomial(6, 0), 1.0);
+        assert_eq!(binomial(6, 3), 20.0);
+        assert_eq!(binomial(30, 15), 155_117_520.0);
+    }
+
+    #[test]
+    fn uniform_subset_matches_paper_formula() {
+        assert!((collision_probability(SignalSampler::UniformSubset, 30)
+            - 1.0 / (2f64.powi(30) - 2.0))
+            .abs()
+            < 1e-18);
+        assert_eq!(
+            collision_probability(SignalSampler::UniformSubset, 30),
+            paper_claimed_single_guess(30)
+        );
+    }
+
+    #[test]
+    fn two_stage_exact_small_case() {
+        // N = 6: Σ_n 1/(25·C(6,n)) for n = 1..5
+        //      = (1/6 + 1/15 + 1/20 + 1/15 + 1/6)/25.
+        let expected = (1.0 / 6.0 + 1.0 / 15.0 + 1.0 / 20.0 + 1.0 / 15.0 + 1.0 / 6.0) / 25.0;
+        assert!((collision_probability(SignalSampler::TwoStage, 6) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_stage_is_much_weaker_than_claimed_at_paper_size() {
+        let two_stage = collision_probability(SignalSampler::TwoStage, 30);
+        let claimed = paper_claimed_single_guess(30);
+        assert!(
+            two_stage > 1e4 * claimed,
+            "two-stage {two_stage:e} vs claimed {claimed:e}"
+        );
+        // Known value ≈ 7.7e-5, dominated by the singleton/co-singleton sizes.
+        assert!((7e-5..9e-5).contains(&two_stage), "two-stage {two_stage:e}");
+    }
+
+    #[test]
+    fn replay_squares_single_probability() {
+        for sampler in [SignalSampler::TwoStage, SignalSampler::UniformSubset] {
+            let p = collision_probability(sampler, 12);
+            assert!((replay_success_probability(sampler, 12) - p * p).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn papers_replay_claim_is_not_the_square() {
+        // Document the paper's algebra slip: 1/2^(N+1) ≫ (1/2^N)².
+        let claimed = paper_claimed_replay(30);
+        let exact = replay_success_probability(SignalSampler::UniformSubset, 30);
+        assert!(claimed > 1e8 * exact, "claimed {claimed:e}, exact {exact:e}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_small_n() {
+        for sampler in [SignalSampler::TwoStage, SignalSampler::UniformSubset] {
+            let exact = collision_probability(sampler, 6);
+            let mc = monte_carlo_collision(sampler, 6, 60_000, 99);
+            let rel = (mc - exact).abs() / exact;
+            assert!(rel < 0.15, "{sampler:?}: mc {mc} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn collisions_at_paper_size_are_unobservable() {
+        // 2000 trials at N = 30 should see zero collisions for either
+        // sampler (E9's 100 trials are a strict subset of this claim).
+        for sampler in [SignalSampler::TwoStage, SignalSampler::UniformSubset] {
+            assert_eq!(monte_carlo_collision(sampler, 30, 2_000, 7), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_grid_rejected() {
+        let _ = collision_probability(SignalSampler::UniformSubset, 1);
+    }
+}

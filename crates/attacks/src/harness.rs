@@ -1,0 +1,190 @@
+//! Batch attack trials (the paper's Sec. VI-E experiment).
+//!
+//! "We performed 100 trials of guessing-based replay attacks and
+//! all-frequency-based spoofing attacks … In all of these trials, ACTION
+//! detects that the reference signals are not in the recorded signal …
+//! As a result, all these attack trials failed."
+//!
+//! [`run_trials`] reproduces that experiment for any [`AttackKind`],
+//! tallying outcomes and denial reasons.
+
+use std::collections::BTreeMap;
+
+use piano_acoustics::{AcousticField, Environment, Position};
+use piano_core::device::Device;
+use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::all_freq::AllFrequencyAttacker;
+use crate::replay::ReplayAttacker;
+
+/// The attack to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttackKind {
+    /// No adversarial sound; rely on estimator error (Sec. III).
+    ZeroEffort,
+    /// Guess both reference signals and replay them (Sec. V).
+    GuessingReplay,
+    /// Blanket the room with all candidate frequencies at the given
+    /// per-tone amplitude (Sec. V).
+    AllFrequency {
+        /// Per-tone amplitude of the spoofing signal.
+        tone_amplitude: f64,
+    },
+}
+
+/// Outcome of one attack trial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttackOutcome {
+    /// Whether the attacker was (falsely) granted access.
+    pub granted: bool,
+    /// The authenticator's decision.
+    pub decision: AuthDecision,
+}
+
+/// Aggregated results over a batch of trials.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttackStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Number of trials where access was granted (attack successes).
+    pub successes: usize,
+    /// Histogram of denial reasons (by display label).
+    pub denial_reasons: BTreeMap<String, usize>,
+}
+
+impl AttackStats {
+    /// Empirical success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+fn reason_label(reason: &DenialReason) -> String {
+    match reason {
+        DenialReason::NotPaired => "not-paired".into(),
+        DenialReason::BluetoothUnreachable => "bluetooth-unreachable".into(),
+        DenialReason::SignalAbsent => "signal-absent".into(),
+        DenialReason::TooFar { .. } => "distance-exceeds-threshold".into(),
+        DenialReason::ProtocolFailure(_) => "protocol-failure".into(),
+    }
+}
+
+/// Runs `trials` independent attack attempts in the "user away" geometry
+/// (vouching device `vouch_distance_m` from the authenticating device,
+/// inside Bluetooth range) and tallies outcomes.
+///
+/// Every trial uses fresh devices, field and RNG streams derived from
+/// `base_seed`, so batches are reproducible and embarrassingly parallel.
+pub fn run_trials(
+    kind: AttackKind,
+    environment: &Environment,
+    vouch_distance_m: f64,
+    trials: usize,
+    base_seed: u64,
+) -> AttackStats {
+    let mut stats = AttackStats { trials, ..Default::default() };
+    for t in 0..trials as u64 {
+        let outcome = run_one(kind, environment.clone(), vouch_distance_m, base_seed ^ (t << 16) ^ t);
+        if outcome.granted {
+            stats.successes += 1;
+        } else if let AuthDecision::Denied { reason } = &outcome.decision {
+            *stats.denial_reasons.entry(reason_label(reason)).or_insert(0) += 1;
+        }
+    }
+    stats
+}
+
+fn run_one(
+    kind: AttackKind,
+    environment: Environment,
+    vouch_distance_m: f64,
+    seed: u64,
+) -> AttackOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let auth_dev = Device::phone(1, Position::ORIGIN, seed.wrapping_add(0x11));
+    let vouch_dev = Device::phone(
+        2,
+        Position::new(vouch_distance_m, 0.0, 0.0),
+        seed.wrapping_add(0x22),
+    );
+    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    authn.register(&auth_dev, &vouch_dev, &mut rng);
+    let mut field = AcousticField::new(environment, seed.wrapping_mul(0x1234_5677).wrapping_add(9));
+    let config = authn.config().action.clone();
+
+    // Attacker acts before the protocol begins (it blankets/anticipates).
+    let mut attacker_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xADAD_ADAD);
+    match kind {
+        AttackKind::ZeroEffort => {}
+        AttackKind::GuessingReplay => {
+            let attacker = ReplayAttacker::flanking(auth_dev.position, vouch_dev.position);
+            // The attacker observes the Bluetooth send and knows the link
+            // latency, so its start-command estimate is exact.
+            attacker.inject_guesses(&mut field, &config, 0.035, &mut attacker_rng);
+        }
+        AttackKind::AllFrequency { tone_amplitude } => {
+            AllFrequencyAttacker::near(auth_dev.position)
+                .with_tone_amplitude(tone_amplitude)
+                .inject(&mut field, &config, 0.0, 3.5, &mut attacker_rng);
+            AllFrequencyAttacker::near(vouch_dev.position)
+                .with_tone_amplitude(tone_amplitude)
+                .inject(&mut field, &config, 0.0, 3.5, &mut attacker_rng);
+        }
+    }
+
+    let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+    AttackOutcome { granted: decision.is_granted(), decision }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_batch_all_fail() {
+        let stats = run_trials(
+            AttackKind::GuessingReplay,
+            &Environment::office(),
+            6.0,
+            5,
+            0xABCD,
+        );
+        assert_eq!(stats.trials, 5);
+        assert_eq!(stats.successes, 0);
+        assert_eq!(stats.success_rate(), 0.0);
+        assert_eq!(stats.denial_reasons.values().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn all_frequency_batch_all_fail() {
+        let stats = run_trials(
+            AttackKind::AllFrequency { tone_amplitude: 4_000.0 },
+            &Environment::office(),
+            6.0,
+            4,
+            0x1234,
+        );
+        assert_eq!(stats.successes, 0);
+    }
+
+    #[test]
+    fn zero_effort_batch_all_fail_when_user_away() {
+        let stats =
+            run_trials(AttackKind::ZeroEffort, &Environment::office(), 6.0, 4, 0x777);
+        assert_eq!(stats.successes, 0);
+        // Beyond acoustic range the denial reason must be signal absence.
+        assert!(stats.denial_reasons.contains_key("signal-absent"), "{stats:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let stats = run_trials(AttackKind::ZeroEffort, &Environment::office(), 6.0, 0, 1);
+        assert_eq!(stats.success_rate(), 0.0);
+    }
+}

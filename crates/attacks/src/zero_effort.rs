@@ -1,0 +1,100 @@
+//! Zero-effort attacks (paper Sec. III).
+//!
+//! "An attacker can directly try to use the authenticating device while the
+//! legitimate user is away. Due to distance estimation errors, the
+//! authenticating device would falsely authenticate the attacker with a
+//! certain probability."
+//!
+//! No adversarial sound is played; the attack succeeds only if ACTION's
+//! error crosses the threshold (quantified by Table II's FARs) — or not at
+//! all once the vouching device is beyond acoustic range.
+
+use piano_acoustics::{AcousticField, Environment, Position};
+use piano_core::device::Device;
+use piano_core::piano::{AuthDecision, PianoAuthenticator};
+use rand_chacha::ChaCha8Rng;
+
+/// The geometry of a zero-effort attempt: the legitimate user (and the
+/// vouching device) is `vouch_distance_m` away from the authenticating
+/// device the attacker is touching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZeroEffortScenario {
+    /// Distance between authenticating and vouching device in meters.
+    pub vouch_distance_m: f64,
+}
+
+impl ZeroEffortScenario {
+    /// The paper's canonical "user went to lunch" geometry: vouching device
+    /// across the room, inside Bluetooth range but beyond acoustic reach.
+    pub fn user_away() -> Self {
+        ZeroEffortScenario { vouch_distance_m: 6.0 }
+    }
+}
+
+/// Runs one zero-effort attempt and returns the authenticator's decision.
+///
+/// The caller supplies a registered authenticator; devices are created
+/// fresh per attempt with seeds derived from `seed`.
+pub fn attempt(
+    scenario: &ZeroEffortScenario,
+    environment: Environment,
+    seed: u64,
+    rng: &mut ChaCha8Rng,
+) -> AuthDecision {
+    let mut authenticator =
+        PianoAuthenticator::new(piano_core::piano::PianoConfig::default());
+    let auth_dev = Device::phone(1, Position::ORIGIN, seed.wrapping_add(17));
+    let vouch_dev = Device::phone(
+        2,
+        Position::new(scenario.vouch_distance_m, 0.0, 0.0),
+        seed.wrapping_add(29),
+    );
+    authenticator.register(&auth_dev, &vouch_dev, rng);
+    let mut field = AcousticField::new(environment, seed.wrapping_mul(0x9E37).wrapping_add(3));
+    authenticator.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_core::piano::DenialReason;
+    use rand::SeedableRng;
+
+    #[test]
+    fn user_away_attempts_are_denied() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for seed in 0..5 {
+            let d = attempt(
+                &ZeroEffortScenario::user_away(),
+                Environment::office(),
+                seed,
+                &mut rng,
+            );
+            assert!(!d.is_granted(), "zero-effort attempt {seed} succeeded: {d:?}");
+        }
+    }
+
+    #[test]
+    fn beyond_acoustic_range_denial_is_signal_absent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = attempt(
+            &ZeroEffortScenario { vouch_distance_m: 7.0 },
+            Environment::office(),
+            99,
+            &mut rng,
+        );
+        assert_eq!(d, AuthDecision::Denied { reason: DenialReason::SignalAbsent });
+    }
+
+    #[test]
+    fn outside_bluetooth_never_reaches_the_protocol() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = attempt(
+            &ZeroEffortScenario { vouch_distance_m: 14.0 },
+            Environment::office(),
+            7,
+            &mut rng,
+        );
+        assert_eq!(d, AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable });
+    }
+}

@@ -1,0 +1,184 @@
+//! ACTION-CC: ACTION with a cross-correlation detector (Fig. 2b baseline).
+//!
+//! Identical protocol flow to [`piano_core::action::run_action`] — Steps
+//! I–III and V–VI are unchanged — but Step IV detects each reference signal
+//! by normalized cross-correlation of the recording against the *original*
+//! synthesized waveform, the way BeepBeep-style rangers do.
+//!
+//! The paper (Sec. VI-B3): "ACTION-CC is inaccurate because the reference
+//! signals change significantly in the time domain after they are played
+//! and recorded, due to frequency smoothing. As a result, cross-correlation
+//! algorithm tries to match the original reference signal with the changed
+//! reference signal, resulting in high errors." In the simulation the
+//! change is produced by transducer phase dispersion plus noise; the sum of
+//! a few sinusoids also has a quasi-periodic autocorrelation whose sidelobe
+//! spacing (~3 ms for the 333 Hz candidate grid) converts small phase
+//! distortions into meter-scale argmax displacements.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use piano_acoustics::AcousticField;
+use piano_bluetooth::{BluetoothLink, PairingRegistry};
+use piano_core::action::DistanceEstimate;
+use piano_core::config::ActionConfig;
+use piano_core::device::Device;
+use piano_core::error::PianoError;
+use piano_core::ranging::{estimate_distance, LocationDiffs};
+use piano_core::signal::ReferenceSignal;
+use piano_dsp::correlate::best_alignment;
+
+/// Runs ACTION-CC and returns its distance verdict.
+///
+/// Cross-correlation always produces *some* argmax, so unlike ACTION this
+/// baseline has no principled "signal absent" outcome — which is itself a
+/// security weakness the comparison surfaces. `SignalAbsent` is returned
+/// only if a recording is shorter than the reference.
+///
+/// # Errors
+///
+/// Same Bluetooth/config errors as [`piano_core::action::run_action`].
+pub fn run_action_cc(
+    config: &ActionConfig,
+    field: &mut AcousticField,
+    link: &mut BluetoothLink,
+    registry: &PairingRegistry,
+    auth: &Device,
+    vouch: &Device,
+    now_world_s: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<DistanceEstimate, PianoError> {
+    config.validate()?;
+    let key = registry.key_for(auth.id, vouch.id)?;
+    let _ = key; // same pairing gate as ACTION; payload exchange elided
+
+    // Step I.
+    let sa = ReferenceSignal::random(config, rng);
+    let sv = ReferenceSignal::random(config, rng);
+    let sa_wave = sa.waveform();
+    let sv_wave = sv.waveform();
+
+    // Step II (range gate only; the payload itself is identical to ACTION).
+    let probe = piano_bluetooth::channel::SecureChannel::new(key, rng.gen::<u64>() << 8)
+        .seal(&piano_core::wire::Message::ReferenceSignals {
+            session: rng.gen(),
+            sa: piano_core::wire::SignalSpec::of(&sa),
+            sv: piano_core::wire::SignalSpec::of(&sv),
+        }
+        .encode());
+    let start_cmd = link.transmit(now_world_s, &auth.position, &vouch.position, &probe)?;
+
+    // Step III.
+    auth.play(field, &sa_wave, start_cmd + config.play_offset_auth_s, config.sample_rate, rng);
+    vouch.play(field, &sv_wave, start_cmd + config.play_offset_vouch_s, config.sample_rate, rng);
+    let (rec_auth, _) =
+        auth.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+    let (rec_vouch, _) =
+        vouch.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+
+    // Step IV — cross-correlation against the original waveforms.
+    let locate = |recording: &[f64], reference: &[f64]| -> Option<usize> {
+        best_alignment(recording, reference, true).map(|a| a.offset)
+    };
+    let l_aa = locate(rec_auth.samples(), &sa_wave);
+    let l_av = locate(rec_auth.samples(), &sv_wave);
+    let l_va = locate(rec_vouch.samples(), &sa_wave);
+    let l_vv = locate(rec_vouch.samples(), &sv_wave);
+
+    // Steps V–VI.
+    match (l_aa, l_av, l_va, l_vv) {
+        (Some(aa), Some(av), Some(va), Some(vv)) => {
+            let diffs = LocationDiffs {
+                auth_diff_samples: av as f64 - aa as f64,
+                vouch_diff_samples: vv as f64 - va as f64,
+            };
+            Ok(DistanceEstimate::Measured(estimate_distance(
+                &diffs,
+                config.sample_rate,
+                config.sample_rate,
+                config.assumed_speed_of_sound,
+            )))
+        }
+        _ => Ok(DistanceEstimate::SignalAbsent),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_acoustics::{Environment, Position};
+    use rand::SeedableRng;
+
+    fn setup(
+        d: f64,
+        env: Environment,
+        seed: u64,
+    ) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let field = AcousticField::new(env, seed ^ 0xF0F0);
+        let link = BluetoothLink::new();
+        let mut registry = PairingRegistry::new();
+        let auth = Device::phone(1, Position::ORIGIN, seed + 1);
+        let vouch = Device::phone(2, Position::new(d, 0.0, 0.0), seed + 2);
+        registry.pair(auth.id, vouch.id, &mut rng);
+        (field, link, registry, auth, vouch, rng)
+    }
+
+    #[test]
+    fn produces_an_estimate() {
+        let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, Environment::office(), 21);
+        let est = run_action_cc(
+            &ActionConfig::default(), &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng,
+        )
+        .unwrap();
+        assert!(matches!(est, DistanceEstimate::Measured(_)));
+    }
+
+    #[test]
+    fn cc_errors_are_orders_of_magnitude_worse_than_action() {
+        // The Fig. 2b claim, in miniature: across a handful of office
+        // trials, ACTION-CC's mean absolute error is at least 10× ACTION's.
+        let cfg = ActionConfig::default();
+        let mut cc_err = 0.0;
+        let mut action_err = 0.0;
+        let trials = 6;
+        for t in 0..trials {
+            let (mut field, mut link, reg, a, v, mut rng) =
+                setup(1.0, Environment::office(), 500 + t);
+            let cc = run_action_cc(&cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng)
+                .unwrap();
+            if let DistanceEstimate::Measured(d) = cc {
+                cc_err += (d - 1.0).abs();
+            } else {
+                cc_err += 5.0; // absent counts as a gross failure
+            }
+
+            let (mut field, mut link, reg, a, v, mut rng) =
+                setup(1.0, Environment::office(), 900 + t);
+            let act = piano_core::action::run_action(
+                &cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng,
+            )
+            .unwrap();
+            if let DistanceEstimate::Measured(d) = act.estimate {
+                action_err += (d - 1.0).abs();
+            }
+        }
+        cc_err /= trials as f64;
+        action_err /= trials as f64;
+        assert!(
+            cc_err > 10.0 * action_err,
+            "CC mean error {cc_err:.3} m vs ACTION {action_err:.3} m — expected ≥10× gap"
+        );
+        assert!(cc_err > 0.5, "CC error {cc_err:.3} m suspiciously small");
+    }
+
+    #[test]
+    fn unpaired_devices_error() {
+        let (mut field, mut link, _reg, a, v, mut rng) = setup(1.0, Environment::office(), 33);
+        let empty = PairingRegistry::new();
+        assert!(run_action_cc(
+            &ActionConfig::default(), &mut field, &mut link, &empty, &a, &v, 0.0, &mut rng,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Ambience-similarity proximity checking (paper Sec. II, related work).
+//!
+//! Amigo [Varshavsky et al., UbiComp'07] and "Come Closer" [Shafagh &
+//! Hithnawi, MobiCom'14] decide proximity by comparing *ambient* signals at
+//! the two devices: nearby devices hear similar noise. The paper dismisses
+//! the approach for two reasons this module makes testable:
+//!
+//! 1. **No absolute distances** — similarity gives a relative score, so a
+//!    user cannot ask for "0.5 m" vs "1 m" (not personalizable).
+//! 2. **Spoofable ambience** — an attacker who plays the same loud sound
+//!    near both devices makes far-apart devices look adjacent.
+
+use piano_acoustics::{AcousticField, AudioBuffer};
+use piano_core::device::Device;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of one ambience comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmbienceScore {
+    /// Normalized cross-correlation (peak over small lags) of the two
+    /// simultaneous ambient recordings, in `[-1, 1]`.
+    pub similarity: f64,
+}
+
+/// Records `duration_s` of ambience at both devices simultaneously and
+/// returns the peak normalized cross-correlation over lags up to
+/// `max_lag` samples (to absorb propagation and clock offsets).
+pub fn ambience_similarity(
+    field: &mut AcousticField,
+    a: &Device,
+    b: &Device,
+    now_world_s: f64,
+    duration_s: f64,
+    rng: &mut ChaCha8Rng,
+) -> AmbienceScore {
+    let rate = 44_100.0;
+    let (rec_a, _) = a.record(field, now_world_s, duration_s, rate, rng);
+    let (rec_b, _) = b.record(field, now_world_s, duration_s, rate, rng);
+    AmbienceScore { similarity: peak_normalized_correlation(&rec_a, &rec_b, 2_000) }
+}
+
+fn peak_normalized_correlation(a: &AudioBuffer, b: &AudioBuffer, max_lag: usize) -> f64 {
+    let xa = a.samples();
+    let xb = b.samples();
+    let n = xa.len().min(xb.len());
+    if n < max_lag * 2 + 16 {
+        return 0.0;
+    }
+    let na: f64 = xa[..n].iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = xb[..n].iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na < 1e-9 || nb < 1e-9 {
+        return 0.0;
+    }
+    let mut best: f64 = -1.0;
+    // Both signs of lag, coarse stride then unit refinement is unnecessary
+    // here: ambience windows are short.
+    for lag in 0..=max_lag {
+        let dot_pos: f64 = xa[lag..n].iter().zip(&xb[..n - lag]).map(|(x, y)| x * y).sum();
+        let dot_neg: f64 = xb[lag..n].iter().zip(&xa[..n - lag]).map(|(x, y)| x * y).sum();
+        best = best.max(dot_pos / (na * nb)).max(dot_neg / (na * nb));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_acoustics::field::Emission;
+    use piano_acoustics::{Environment, Position, SpeakerModel};
+    use piano_core::device::Device;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A loud shared tonal source heard by both devices.
+    fn loud_source(field: &mut AcousticField, at: Position, start: f64) {
+        let wave = piano_dsp::tone::multi_tone(
+            &[
+                piano_dsp::tone::ToneSpec::new(800.0, 6_000.0),
+                piano_dsp::tone::ToneSpec::new(1_900.0, 4_000.0),
+            ],
+            44_100.0,
+            44_100, // 1 s
+        );
+        field.emit(Emission {
+            waveform: SpeakerModel::ideal().radiate(&wave, 44_100.0),
+            start_world_s: start,
+            sample_interval_s: 1.0 / 44_100.0,
+            position: at,
+        });
+    }
+
+    #[test]
+    fn nearby_devices_hear_similar_ambience() {
+        let mut field = AcousticField::new(Environment::anechoic(), 9);
+        loud_source(&mut field, Position::new(1.0, 1.0, 0.0), 0.0);
+        let a = Device::ideal(1, Position::ORIGIN);
+        let b = Device::ideal(2, Position::new(0.3, 0.0, 0.0));
+        let mut r = rng(1);
+        let score = ambience_similarity(&mut field, &a, &b, 0.1, 0.5, &mut r);
+        assert!(score.similarity > 0.8, "similarity {}", score.similarity);
+    }
+
+    #[test]
+    fn independent_noise_is_dissimilar() {
+        // In a noisy environment with no shared loud source, the dominant
+        // noise at each mic is independently generated (independent draws
+        // from the noise process), so similarity collapses.
+        let mut field = AcousticField::new(Environment::street(), 11);
+        let a = Device::ideal(1, Position::ORIGIN);
+        let b = Device::ideal(2, Position::new(6.0, 0.0, 0.0));
+        let mut r = rng(2);
+        let score = ambience_similarity(&mut field, &a, &b, 0.1, 0.5, &mut r);
+        assert!(score.similarity < 0.4, "similarity {}", score.similarity);
+    }
+
+    #[test]
+    fn attacker_can_spoof_far_devices_to_look_close() {
+        // The paper's Sec. II attack: play the same sound near both
+        // devices. Far-apart devices then score as similar as close ones.
+        let mut field = AcousticField::new(Environment::anechoic(), 12);
+        let a = Device::ideal(1, Position::ORIGIN);
+        let b = Device::ideal(2, Position::new(8.0, 0.0, 0.0));
+        // Attacker speakers, one adjacent to each device, same material.
+        loud_source(&mut field, Position::new(0.4, 0.0, 0.0), 0.0);
+        loud_source(&mut field, Position::new(7.6, 0.0, 0.0), 0.0);
+        let mut r = rng(3);
+        let score = ambience_similarity(&mut field, &a, &b, 0.1, 0.5, &mut r);
+        assert!(
+            score.similarity > 0.8,
+            "spoofed far devices should look close, similarity {}",
+            score.similarity
+        );
+    }
+
+    #[test]
+    fn silence_scores_zero() {
+        let mut field = AcousticField::new(Environment::anechoic(), 13);
+        let a = Device::ideal(1, Position::ORIGIN);
+        let b = Device::ideal(2, Position::new(0.3, 0.0, 0.0));
+        let mut r = rng(4);
+        let score = ambience_similarity(&mut field, &a, &b, 0.0, 0.3, &mut r);
+        assert_eq!(score.similarity, 0.0);
+    }
+
+    #[test]
+    fn short_recordings_score_zero() {
+        let a = AudioBuffer::new(vec![1.0; 100], 44_100.0);
+        let b = AudioBuffer::new(vec![1.0; 100], 44_100.0);
+        assert_eq!(peak_normalized_correlation(&a, &b, 2_000), 0.0);
+    }
+}

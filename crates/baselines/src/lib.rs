@@ -1,0 +1,26 @@
+//! # piano-baselines
+//!
+//! The comparison protocols of the paper's Fig. 2b, plus an ambience
+//! comparator from the related-work discussion:
+//!
+//! * [`action_cc`] — **ACTION-CC**: the ACTION protocol with the
+//!   frequency-based detector replaced by classic cross-correlation
+//!   (BeepBeep-style matched filtering). The paper uses it to show that
+//!   cross-correlation cannot detect frequency-domain randomized reference
+//!   signals after hardware *frequency smoothing*.
+//! * [`echo`] — **Echo-Secure**: the Echo distance-bounding protocol
+//!   [Sastry et al., WiSec'03] hardened with randomized reference signals
+//!   and the frequency-based detector, but still one-way: it must subtract
+//!   a *calibrated processing delay*, and unpredictable audio-stack latency
+//!   makes that calibration useless on commodity devices.
+//! * [`ambience`] — a similarity-based proximity check from ambient noise
+//!   (Amigo/Come-closer style, paper Sec. II), used by ablations to
+//!   demonstrate why ambience methods cannot offer absolute thresholds and
+//!   are spoofable by playing the same sound at both devices.
+
+pub mod action_cc;
+pub mod ambience;
+pub mod echo;
+
+pub use action_cc::run_action_cc;
+pub use echo::{run_echo_secure, EchoCalibration};

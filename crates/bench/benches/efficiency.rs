@@ -1,0 +1,35 @@
+//! Bench + regeneration of Sec. VI-D (efficiency) plus the wall and
+//! maximum-range experiments of Sec. VI-B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
+
+fn bench_efficiency(c: &mut Criterion) {
+    let eff = piano_eval::efficiency::run(BENCH_SEED);
+    print_artifact("Sec. VI-D efficiency", &eff.table().render());
+
+    let wall = piano_eval::wall::run(5, BENCH_SEED);
+    print_artifact("Sec. VI-B wall", &wall.table().render());
+
+    let range = piano_eval::range::run(4, BENCH_SEED);
+    print_artifact("Sec. VI-B max range", &range.table().render());
+
+    let mut group = c.benchmark_group("efficiency");
+    group.sample_size(10);
+    group.bench_function("one_authentication_end_to_end", |b| {
+        use piano_eval::trials::{run_trial, TrialSetup};
+        let setup = TrialSetup::new(piano_acoustics::Environment::office(), 1.0, BENCH_SEED);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            run_trial(&setup, i)
+        })
+    });
+    group.bench_function("wall_experiment", |b| {
+        b.iter(|| piano_eval::wall::run(BENCH_TRIALS, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

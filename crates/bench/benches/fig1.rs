@@ -1,0 +1,20 @@
+//! Bench + regeneration of Fig. 1 (distance-estimation error bars).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
+
+fn bench_fig1(c: &mut Criterion) {
+    // Regenerate the paper artifact once at the paper's 10 trials/point.
+    let full = piano_eval::fig1::run(piano_eval::PAPER_TRIALS_PER_POINT, BENCH_SEED);
+    print_artifact("Fig. 1", &full.table().render());
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("distance_error_grid", |b| {
+        b.iter(|| piano_eval::fig1::run(BENCH_TRIALS, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

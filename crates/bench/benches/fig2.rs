@@ -1,0 +1,25 @@
+//! Bench + regeneration of Fig. 2a (multi-user) and Fig. 2b (protocol
+//! comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
+
+fn bench_fig2(c: &mut Criterion) {
+    let fig2a = piano_eval::fig2a::run(piano_eval::PAPER_TRIALS_PER_POINT, BENCH_SEED);
+    print_artifact("Fig. 2a", &fig2a.table().render());
+    let fig2b = piano_eval::fig2b::run(piano_eval::PAPER_TRIALS_PER_POINT, BENCH_SEED);
+    print_artifact("Fig. 2b", &fig2b.table().render());
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("multi_user_grid", |b| {
+        b.iter(|| piano_eval::fig2a::run(BENCH_TRIALS, BENCH_SEED))
+    });
+    group.bench_function("protocol_comparison", |b| {
+        b.iter(|| piano_eval::fig2b::run(BENCH_TRIALS, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

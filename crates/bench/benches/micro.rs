@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the computational hot paths: the 4096-point FFT,
+//! Algorithm 2's normalized power, the full Algorithm 1 scan, signal
+//! synthesis, and the channel renderer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano_core::config::ActionConfig;
+use piano_core::detect::{Detector, SignalSignature};
+use piano_core::signal::ReferenceSignal;
+use piano_dsp::fft::FftPlan;
+use piano_dsp::Complex64;
+
+fn bench_micro(c: &mut Criterion) {
+    let config = ActionConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let signal = ReferenceSignal::random(&config, &mut rng);
+    let signature = SignalSignature::of(&signal, &config);
+    let detector = Detector::new(&config);
+
+    // FFT 4096 — the unit the paper's compute budget counts.
+    let plan = FftPlan::new(4096);
+    let wave = signal.waveform();
+    c.bench_function("fft_4096", |b| {
+        b.iter_batched(
+            || wave.iter().map(|&x| Complex64::from_real(x)).collect::<Vec<_>>(),
+            |mut buf| plan.forward(&mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Algorithm 2 on a precomputed spectrum.
+    let spectrum = detector.window_spectrum(&wave);
+    c.bench_function("norm_power_algorithm2", |b| {
+        b.iter(|| detector.norm_power(&spectrum, &signature))
+    });
+
+    // Algorithm 1 over a realistic 2 s recording with the signal embedded.
+    let mut recording = vec![0.0; (2.0 * config.sample_rate) as usize];
+    for (i, &v) in wave.iter().enumerate() {
+        recording[30_000 + i] = 0.25 * v;
+    }
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(20);
+    group.bench_function("algorithm1_scan_2s", |b| {
+        b.iter(|| detector.detect(&recording, &signature))
+    });
+    group.finish();
+
+    // Step I synthesis.
+    c.bench_function("reference_signal_synthesis", |b| b.iter(|| signal.waveform()));
+
+    // Channel render: one recording with one emission in an office.
+    c.bench_function("acoustic_render_1s", |b| {
+        use piano_acoustics::field::Emission;
+        use piano_acoustics::*;
+        b.iter_batched(
+            || {
+                let mut field = AcousticField::new(Environment::office(), 3);
+                field.emit(Emission {
+                    waveform: wave.clone(),
+                    start_world_s: 0.2,
+                    sample_interval_s: 1.0 / 44_100.0,
+                    position: Position::ORIGIN,
+                });
+                field
+            },
+            |mut field| {
+                field.render_recording(
+                    &MicrophoneModel::phone(1),
+                    &DeviceClock::ideal(),
+                    Position::new(1.0, 0.0, 0.0),
+                    0.0,
+                    44_100,
+                    44_100.0,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench + regeneration of the Sec. VI-E security experiment and the
+//! Sec. V guessing analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
+
+fn bench_security(c: &mut Criterion) {
+    let sec = piano_eval::security::run(10, BENCH_SEED);
+    print_artifact("Sec. VI-E attack trials", &sec.table().render());
+    assert_eq!(sec.total_successes(), 0, "an attack succeeded in the bench run");
+
+    let guess = piano_eval::guessing::run(50_000, BENCH_SEED);
+    print_artifact("Sec. V guessing analysis", &guess.table().render());
+
+    let mut group = c.benchmark_group("security");
+    group.sample_size(10);
+    group.bench_function("attack_batches", |b| {
+        b.iter(|| piano_eval::security::run(BENCH_TRIALS, BENCH_SEED))
+    });
+    group.bench_function("guessing_monte_carlo", |b| {
+        b.iter(|| piano_eval::guessing::run(10_000, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_security);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench + regeneration of Tables I (FRR) and II (FAR).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
+
+fn bench_tables(c: &mut Criterion) {
+    let full = piano_eval::tables::run(piano_eval::PAPER_TRIALS_PER_POINT, BENCH_SEED);
+    print_artifact("Table I", &full.table_frr().render());
+    print_artifact("Table II", &full.table_far().render());
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("sigma_fit_and_rates", |b| {
+        b.iter(|| piano_eval::tables::run(BENCH_TRIALS.max(2), BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

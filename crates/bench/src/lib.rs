@@ -1,0 +1,26 @@
+//! # piano-bench
+//!
+//! Criterion benchmark harness: one bench target per paper table/figure
+//! (each also prints the regenerated rows/series before timing) plus
+//! micro-benchmarks of the DSP/detection hot paths.
+//!
+//! ```text
+//! cargo bench --workspace            # run everything
+//! cargo bench -p piano-bench --bench fig1
+//! ```
+//!
+//! The experiment functions live in [`piano_eval`]; these benches time
+//! them at reduced trial counts and print their tables, so `cargo bench`
+//! regenerates every paper artifact in one command.
+
+/// Trials per point used inside benchmark loops (kept small: Criterion
+/// repeats the closure many times).
+pub const BENCH_TRIALS: usize = 2;
+
+/// A fixed seed for benchmark determinism.
+pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// Prints a rendered table once, flagged so bench logs are greppable.
+pub fn print_artifact(label: &str, rendered: &str) {
+    println!("\n=== paper artifact: {label} ===\n{rendered}");
+}

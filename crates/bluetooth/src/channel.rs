@@ -1,0 +1,334 @@
+//! The secure channel and the range-gated link.
+//!
+//! Step II of ACTION: "The authenticating device securely transmits the two
+//! reference signals S_A and S_V to the vouching device via Bluetooth. The
+//! communication channel is secure so an attacker cannot eavesdrop the
+//! reference signals."
+//!
+//! [`SecureChannel`] seals and opens opaque byte payloads with a
+//! ChaCha-keystream XOR plus a keyed 64-bit tag and a monotone nonce. This
+//! is **simulation-grade** cryptography: within the simulation it gives the
+//! threat model exactly the guarantees the paper assumes (confidentiality
+//! against the attacker models in `piano-attacks`, integrity, replay
+//! detection), but it is not a vetted AEAD and must not be used outside the
+//! simulation.
+//!
+//! [`BluetoothLink`] models the physical radio: a 10 m range gate (beyond
+//! which transmission fails, which PIANO maps to immediate denial), a
+//! per-message latency, and a transfer log consumed by the timing/energy
+//! models of `piano-acoustics`.
+
+use bytes::Bytes;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+use piano_acoustics::Position;
+
+use crate::error::BluetoothError;
+use crate::pairing::LinkKey;
+
+/// An encrypted, authenticated frame as observed "on the air".
+///
+/// Attacker models receive these via [`BluetoothLink::eavesdropped`]; the
+/// tests demonstrate that ciphertext reveals nothing usable and that
+/// tampering or replaying is detected.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncryptedFrame {
+    /// Monotone per-sender nonce.
+    pub nonce: u64,
+    /// Keystream-XORed payload.
+    pub ciphertext: Bytes,
+    /// Keyed integrity tag.
+    pub tag: u64,
+}
+
+impl EncryptedFrame {
+    /// Size of the frame on the wire in bytes (nonce + tag + payload).
+    pub fn wire_len(&self) -> usize {
+        8 + 8 + self.ciphertext.len()
+    }
+}
+
+/// One endpoint's view of the secure channel for a bonded pair.
+///
+/// Both peers construct a `SecureChannel` from the same [`LinkKey`]; each
+/// maintains its own send nonce and the set of nonces it has accepted.
+#[derive(Debug)]
+pub struct SecureChannel {
+    key: LinkKey,
+    next_nonce: u64,
+    seen_nonces: HashSet<u64>,
+}
+
+impl SecureChannel {
+    /// Creates a channel endpoint from a link key.
+    ///
+    /// `nonce_base` separates the two directions: conventionally the
+    /// authenticating device uses 0 and the vouching device a large offset,
+    /// so their nonces never collide.
+    pub fn new(key: LinkKey, nonce_base: u64) -> Self {
+        SecureChannel { key, next_nonce: nonce_base, seen_nonces: HashSet::new() }
+    }
+
+    fn keystream(key: &LinkKey, nonce: u64, len: usize) -> Vec<u8> {
+        // Seed a ChaCha stream from (key subkey, nonce).
+        let seed = key.subkey(0x01) ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ks = vec![0u8; len];
+        rng.fill_bytes(&mut ks);
+        ks
+    }
+
+    fn compute_tag(key: &LinkKey, nonce: u64, ciphertext: &[u8]) -> u64 {
+        // Keyed FNV-1a over nonce ‖ ciphertext. Simulation-grade.
+        let mut h = key.subkey(0x02);
+        for &b in nonce.to_le_bytes().iter().chain(ciphertext) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Encrypts and authenticates a payload.
+    pub fn seal(&mut self, plaintext: &[u8]) -> EncryptedFrame {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let ks = Self::keystream(&self.key, nonce, plaintext.len());
+        let ciphertext: Vec<u8> = plaintext.iter().zip(&ks).map(|(p, k)| p ^ k).collect();
+        let tag = Self::compute_tag(&self.key, nonce, &ciphertext);
+        EncryptedFrame { nonce, ciphertext: Bytes::from(ciphertext), tag }
+    }
+
+    /// Verifies and decrypts a frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`BluetoothError::AuthenticationFailure`] if the tag does not
+    ///   verify (wrong key or tampered frame).
+    /// * [`BluetoothError::ReplayDetected`] if the nonce was seen before.
+    pub fn open(&mut self, frame: &EncryptedFrame) -> Result<Vec<u8>, BluetoothError> {
+        let expected = Self::compute_tag(&self.key, frame.nonce, &frame.ciphertext);
+        if expected != frame.tag {
+            return Err(BluetoothError::AuthenticationFailure);
+        }
+        if !self.seen_nonces.insert(frame.nonce) {
+            return Err(BluetoothError::ReplayDetected { nonce: frame.nonce });
+        }
+        let ks = Self::keystream(&self.key, frame.nonce, frame.ciphertext.len());
+        Ok(frame.ciphertext.iter().zip(&ks).map(|(c, k)| c ^ k).collect())
+    }
+}
+
+/// Record of one transmitted frame, for the timing/energy models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferRecord {
+    /// World time the send was initiated (seconds).
+    pub sent_world_s: f64,
+    /// World time the frame arrived (seconds).
+    pub arrived_world_s: f64,
+    /// Bytes on the wire.
+    pub wire_bytes: usize,
+}
+
+/// The physical radio link between two positions.
+#[derive(Clone, Debug)]
+pub struct BluetoothLink {
+    /// Radio range in meters.
+    pub range_m: f64,
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    log: Vec<TransferRecord>,
+    airwaves: Vec<EncryptedFrame>,
+}
+
+impl BluetoothLink {
+    /// A link with the default commodity range and latency.
+    pub fn new() -> Self {
+        BluetoothLink {
+            range_m: crate::BLUETOOTH_RANGE_M,
+            latency_s: 0.035,
+            log: Vec::new(),
+            airwaves: Vec::new(),
+        }
+    }
+
+    /// Whether two positions are within radio range.
+    pub fn in_range(&self, a: &Position, b: &Position) -> bool {
+        a.distance_to(b) <= self.range_m
+    }
+
+    /// Transmits a frame from `from` to `to` at world time `now_world_s`.
+    ///
+    /// On success, returns the arrival world time. The frame is also
+    /// appended to the public airwaves log (ciphertext is broadcast;
+    /// attackers can see it, per the threat model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BluetoothError::OutOfRange`] when the peers are too far
+    /// apart.
+    pub fn transmit(
+        &mut self,
+        now_world_s: f64,
+        from: &Position,
+        to: &Position,
+        frame: &EncryptedFrame,
+    ) -> Result<f64, BluetoothError> {
+        let distance_m = from.distance_to(to);
+        if distance_m > self.range_m {
+            return Err(BluetoothError::OutOfRange { distance_m, range_m: self.range_m });
+        }
+        let arrived = now_world_s + self.latency_s;
+        self.log.push(TransferRecord {
+            sent_world_s: now_world_s,
+            arrived_world_s: arrived,
+            wire_bytes: frame.wire_len(),
+        });
+        self.airwaves.push(frame.clone());
+        Ok(arrived)
+    }
+
+    /// All successfully transmitted frames, as an eavesdropper sees them.
+    pub fn eavesdropped(&self) -> &[EncryptedFrame] {
+        &self.airwaves
+    }
+
+    /// Transfer log for timing/energy accounting.
+    pub fn transfers(&self) -> &[TransferRecord] {
+        &self.log
+    }
+
+    /// Total bytes transmitted so far.
+    pub fn total_bytes(&self) -> usize {
+        self.log.iter().map(|t| t.wire_bytes).sum()
+    }
+
+    /// Number of messages transmitted so far.
+    pub fn message_count(&self) -> usize {
+        self.log.len()
+    }
+}
+
+impl Default for BluetoothLink {
+    fn default() -> Self {
+        BluetoothLink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::PairingRegistry;
+    use crate::DeviceId;
+    use rand::SeedableRng;
+
+    fn bonded_key() -> LinkKey {
+        let mut reg = PairingRegistry::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        reg.pair(DeviceId::new(1), DeviceId::new(2), &mut rng)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let key = bonded_key();
+        let mut sender = SecureChannel::new(key, 0);
+        let mut receiver = SecureChannel::new(key, 1 << 32);
+        let msg = b"two randomized reference signals".to_vec();
+        let frame = sender.seal(&msg);
+        assert_eq!(receiver.open(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let key = bonded_key();
+        let mut sender = SecureChannel::new(key, 0);
+        let msg = vec![0u8; 64]; // worst case: all zeros exposes keystream reuse
+        let f1 = sender.seal(&msg);
+        let f2 = sender.seal(&msg);
+        assert_ne!(&f1.ciphertext[..], &msg[..]);
+        // Same plaintext, different nonce ⇒ different ciphertext.
+        assert_ne!(f1.ciphertext, f2.ciphertext);
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let mut sender = SecureChannel::new(bonded_key(), 0);
+        let mut eve = SecureChannel::new(LinkKey::from_bytes([9; 16]), 0);
+        let frame = sender.seal(b"secret");
+        assert_eq!(eve.open(&frame), Err(BluetoothError::AuthenticationFailure));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = bonded_key();
+        let mut sender = SecureChannel::new(key, 0);
+        let mut receiver = SecureChannel::new(key, 1 << 32);
+        let mut frame = sender.seal(b"payload");
+        let mut bytes = frame.ciphertext.to_vec();
+        bytes[0] ^= 0xFF;
+        frame.ciphertext = Bytes::from(bytes);
+        assert_eq!(receiver.open(&frame), Err(BluetoothError::AuthenticationFailure));
+    }
+
+    #[test]
+    fn replayed_frame_is_rejected() {
+        let key = bonded_key();
+        let mut sender = SecureChannel::new(key, 0);
+        let mut receiver = SecureChannel::new(key, 1 << 32);
+        let frame = sender.seal(b"once");
+        assert!(receiver.open(&frame).is_ok());
+        assert_eq!(receiver.open(&frame), Err(BluetoothError::ReplayDetected { nonce: 0 }));
+    }
+
+    #[test]
+    fn link_enforces_range() {
+        let mut link = BluetoothLink::new();
+        let frame = SecureChannel::new(bonded_key(), 0).seal(b"x");
+        let near = link.transmit(0.0, &Position::ORIGIN, &Position::new(9.9, 0.0, 0.0), &frame);
+        assert!(near.is_ok());
+        let far = link.transmit(0.0, &Position::ORIGIN, &Position::new(10.1, 0.0, 0.0), &frame);
+        assert_eq!(
+            far.unwrap_err(),
+            BluetoothError::OutOfRange { distance_m: 10.1, range_m: 10.0 }
+        );
+    }
+
+    #[test]
+    fn link_logs_and_delays() {
+        let mut link = BluetoothLink::new();
+        let frame = SecureChannel::new(bonded_key(), 0).seal(&vec![0u8; 100]);
+        let arrival = link
+            .transmit(1.0, &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0), &frame)
+            .unwrap();
+        assert!((arrival - 1.035).abs() < 1e-12);
+        assert_eq!(link.message_count(), 1);
+        assert_eq!(link.total_bytes(), 116); // 100 + nonce + tag
+        assert_eq!(link.eavesdropped().len(), 1);
+    }
+
+    #[test]
+    fn in_range_matches_transmit_behaviour() {
+        let link = BluetoothLink::new();
+        assert!(link.in_range(&Position::ORIGIN, &Position::new(10.0, 0.0, 0.0)));
+        assert!(!link.in_range(&Position::ORIGIN, &Position::new(10.0001, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn eavesdropper_cannot_decrypt_without_key() {
+        // The Sec. V premise: ciphertext on the air does not reveal the
+        // reference signals. Recover attempt with a guessed key must fail.
+        let key = bonded_key();
+        let mut sender = SecureChannel::new(key, 0);
+        let mut link = BluetoothLink::new();
+        let secret = b"frequency indices: 3 7 11 19".to_vec();
+        let frame = sender.seal(&secret);
+        link.transmit(0.0, &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0), &frame).unwrap();
+
+        let observed = &link.eavesdropped()[0];
+        for guess in 0u8..8 {
+            let mut eve = SecureChannel::new(LinkKey::from_bytes([guess; 16]), 0);
+            assert!(eve.open(observed).is_err());
+        }
+    }
+}

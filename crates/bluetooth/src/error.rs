@@ -1,0 +1,74 @@
+//! Bluetooth simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::identity::DeviceId;
+
+/// Errors raised by the simulated Bluetooth layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BluetoothError {
+    /// The peers are farther apart than the radio range; the link is down.
+    ///
+    /// This is the error PIANO's authentication phase maps to an immediate
+    /// denial ("PIANO first checks whether the vouching device is still
+    /// paired … if not … PIANO rejects the access").
+    OutOfRange {
+        /// Actual distance between the peers in meters.
+        distance_m: f64,
+        /// Radio range in meters.
+        range_m: f64,
+    },
+    /// No bond exists between the two devices (registration never ran).
+    NotPaired(DeviceId, DeviceId),
+    /// A frame failed authentication (wrong key or tampered ciphertext).
+    AuthenticationFailure,
+    /// A frame's nonce was already seen (replayed ciphertext).
+    ReplayDetected {
+        /// The repeated nonce value.
+        nonce: u64,
+    },
+}
+
+impl fmt::Display for BluetoothError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BluetoothError::OutOfRange { distance_m, range_m } => write!(
+                f,
+                "peers are {distance_m:.2} m apart, beyond the {range_m:.1} m radio range"
+            ),
+            BluetoothError::NotPaired(a, b) => {
+                write!(f, "no bond between {a} and {b}; run registration first")
+            }
+            BluetoothError::AuthenticationFailure => {
+                write!(f, "frame failed authentication (bad key or tampered data)")
+            }
+            BluetoothError::ReplayDetected { nonce } => {
+                write!(f, "frame nonce {nonce} was already accepted (replay)")
+            }
+        }
+    }
+}
+
+impl Error for BluetoothError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = BluetoothError::OutOfRange { distance_m: 12.5, range_m: 10.0 };
+        assert!(e.to_string().contains("12.50"));
+        let e = BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2));
+        assert!(e.to_string().contains("registration"));
+        assert!(BluetoothError::AuthenticationFailure.to_string().contains("authentication"));
+        assert!(BluetoothError::ReplayDetected { nonce: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<BluetoothError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Device identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier for a Bluetooth-capable device (stand-in for a BD_ADDR).
+///
+/// # Example
+///
+/// ```
+/// use piano_bluetooth::DeviceId;
+///
+/// let watch = DeviceId::new(1);
+/// let phone = DeviceId::new(2);
+/// assert_ne!(watch, phone);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(u64);
+
+impl DeviceId {
+    /// Creates a device id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        DeviceId(raw)
+    }
+
+    /// The raw integer value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev-{:04x}", self.0)
+    }
+}
+
+impl From<u64> for DeviceId {
+    fn from(raw: u64) -> Self {
+        DeviceId::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = DeviceId::new(0xBEEF);
+        assert_eq!(id.raw(), 0xBEEF);
+        assert_eq!(id.to_string(), "dev-beef");
+        assert_eq!(DeviceId::from(7u64), DeviceId::new(7));
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut set = HashSet::new();
+        set.insert(DeviceId::new(1));
+        set.insert(DeviceId::new(1));
+        set.insert(DeviceId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+    }
+}

@@ -1,0 +1,42 @@
+//! # piano-bluetooth
+//!
+//! Simulated Bluetooth substrate for the PIANO reproduction (Gong et al.,
+//! ICDCS 2017).
+//!
+//! PIANO uses Bluetooth for three things, all modeled here:
+//!
+//! 1. **Registration** ([`pairing`]): the one-time pairing of the vouching
+//!    and authenticating devices, which establishes a shared link key.
+//! 2. **Presence gating**: authentication is refused outright when the
+//!    devices are no longer connected; since Bluetooth reaches roughly 10 m
+//!    on commodity phones, the paper's FAR is 0 beyond that range
+//!    (Sec. VI-C). [`channel::BluetoothLink`] enforces the range check.
+//! 3. **A secure channel** ([`channel`]): the randomized reference signals
+//!    travel from the authenticating device to the vouching device
+//!    encrypted and authenticated, so "an attacker cannot eavesdrop the
+//!    reference signals" (Step II) — the premise of the guessing-attack
+//!    analysis in Sec. V.
+//!
+//! The cryptography is **simulation-grade**, not production cryptography: a
+//! ChaCha-keystream XOR with a keyed 64-bit tag provides the *properties
+//! the threat model needs inside the simulation* (attacker models in
+//! `piano-attacks` can observe ciphertext but cannot read or forge
+//! plaintext), while keeping the workspace free of real crypto libraries.
+//! Every relevant type documents this explicitly.
+
+pub mod channel;
+pub mod error;
+pub mod identity;
+pub mod pairing;
+
+pub use channel::{BluetoothLink, EncryptedFrame, SecureChannel, TransferRecord};
+pub use error::BluetoothError;
+pub use identity::DeviceId;
+pub use pairing::{LinkKey, PairingRegistry};
+
+/// Nominal Bluetooth range on commodity mobile devices, in meters.
+///
+/// The paper: "FAR is 0 when the real distance between the two devices is
+/// larger than 10 meters, which is roughly the communication range of
+/// Bluetooth on many commodity mobile devices."
+pub const BLUETOOTH_RANGE_M: f64 = 10.0;

@@ -1,0 +1,197 @@
+//! Registration-phase pairing.
+//!
+//! "In the registration phase, a user pairs the vouching device with the
+//! authenticating device using Bluetooth. This pairing process could
+//! involve human interactions … but the pairing process only needs to be
+//! done once." (paper Sec. IV)
+//!
+//! [`PairingRegistry`] is the bond database: pairing two devices mints a
+//! shared [`LinkKey`] that both sides later use to build a
+//! [`SecureChannel`](crate::channel::SecureChannel).
+
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+use crate::error::BluetoothError;
+use crate::identity::DeviceId;
+
+/// A 128-bit link key shared by a bonded device pair.
+///
+/// Simulation-grade secret: it gates who can construct a working secure
+/// channel inside the simulation; it is not a real Bluetooth link key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkKey([u8; 16]);
+
+impl LinkKey {
+    /// Creates a key from raw bytes (useful in tests).
+    pub const fn from_bytes(bytes: [u8; 16]) -> Self {
+        LinkKey(bytes)
+    }
+
+    /// Raw key bytes.
+    pub const fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Derives a 64-bit subkey for a given purpose label — used to separate
+    /// the encryption and tag keys.
+    pub fn subkey(&self, purpose: u8) -> u64 {
+        // FNV-1a over key bytes plus the purpose byte; simulation-grade.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.0.iter().chain(std::iter::once(&purpose)) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+// Debug intentionally redacts the key material so accidental logging of a
+// bond cannot leak it into experiment reports.
+impl std::fmt::Debug for LinkKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LinkKey(<redacted>)")
+    }
+}
+
+/// The bond database mapping unordered device pairs to link keys.
+#[derive(Debug, Default)]
+pub struct PairingRegistry {
+    bonds: HashMap<(DeviceId, DeviceId), LinkKey>,
+}
+
+impl PairingRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PairingRegistry::default()
+    }
+
+    fn canonical(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Pairs two devices, minting a fresh link key from `rng`. Re-pairing
+    /// an existing bond replaces the key (as re-running registration
+    /// would). Returns the new key.
+    pub fn pair(&mut self, a: DeviceId, b: DeviceId, rng: &mut ChaCha8Rng) -> LinkKey {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        let key = LinkKey(bytes);
+        self.bonds.insert(Self::canonical(a, b), key);
+        key
+    }
+
+    /// Whether the two devices share a bond.
+    pub fn is_paired(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.bonds.contains_key(&Self::canonical(a, b))
+    }
+
+    /// Looks up the link key for a bonded pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BluetoothError::NotPaired`] if no bond exists.
+    pub fn key_for(&self, a: DeviceId, b: DeviceId) -> Result<LinkKey, BluetoothError> {
+        self.bonds
+            .get(&Self::canonical(a, b))
+            .copied()
+            .ok_or(BluetoothError::NotPaired(a, b))
+    }
+
+    /// Removes a bond ("forget this device"). Returns whether one existed.
+    pub fn unpair(&mut self, a: DeviceId, b: DeviceId) -> bool {
+        self.bonds.remove(&Self::canonical(a, b)).is_some()
+    }
+
+    /// Number of bonds stored.
+    pub fn len(&self) -> usize {
+        self.bonds.len()
+    }
+
+    /// Whether the registry has no bonds.
+    pub fn is_empty(&self) -> bool {
+        self.bonds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn pairing_is_symmetric() {
+        let mut reg = PairingRegistry::new();
+        let (a, b) = (DeviceId::new(1), DeviceId::new(2));
+        let key = reg.pair(a, b, &mut rng());
+        assert!(reg.is_paired(a, b));
+        assert!(reg.is_paired(b, a));
+        assert_eq!(reg.key_for(a, b).unwrap(), key);
+        assert_eq!(reg.key_for(b, a).unwrap(), key);
+    }
+
+    #[test]
+    fn unpaired_lookup_errors() {
+        let reg = PairingRegistry::new();
+        let err = reg.key_for(DeviceId::new(1), DeviceId::new(2)).unwrap_err();
+        assert_eq!(err, BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2)));
+    }
+
+    #[test]
+    fn repairing_replaces_key() {
+        let mut reg = PairingRegistry::new();
+        let (a, b) = (DeviceId::new(1), DeviceId::new(2));
+        let mut r = rng();
+        let k1 = reg.pair(a, b, &mut r);
+        let k2 = reg.pair(a, b, &mut r);
+        assert_ne!(k1, k2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.key_for(a, b).unwrap(), k2);
+    }
+
+    #[test]
+    fn unpair_removes_bond() {
+        let mut reg = PairingRegistry::new();
+        let (a, b) = (DeviceId::new(1), DeviceId::new(2));
+        reg.pair(a, b, &mut rng());
+        assert!(reg.unpair(b, a));
+        assert!(!reg.is_paired(a, b));
+        assert!(!reg.unpair(a, b));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_keys() {
+        let mut reg = PairingRegistry::new();
+        let mut r = rng();
+        let k1 = reg.pair(DeviceId::new(1), DeviceId::new(2), &mut r);
+        let k2 = reg.pair(DeviceId::new(1), DeviceId::new(3), &mut r);
+        assert_ne!(k1, k2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let key = LinkKey::from_bytes([0xAA; 16]);
+        let dbg = format!("{key:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("aa"), "debug output leaked key bytes: {dbg}");
+    }
+
+    #[test]
+    fn subkeys_differ_by_purpose() {
+        let key = LinkKey::from_bytes([7; 16]);
+        assert_ne!(key.subkey(0), key.subkey(1));
+        // And are stable.
+        assert_eq!(key.subkey(0), key.subkey(0));
+    }
+}

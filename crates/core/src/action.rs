@@ -1,0 +1,426 @@
+//! The ACTION protocol, Steps I–VI (paper Sec. IV-A).
+//!
+//! One call to [`run_action`] executes the whole exchange between the
+//! authenticating device A and the vouching device V:
+//!
+//! 1. **Step I** — A constructs two randomized reference signals `S_A`,
+//!    `S_V` ([`crate::signal`]).
+//! 2. **Step II** — A sends both to V over the Bluetooth secure channel
+//!    ([`piano_bluetooth`], [`crate::wire`]). The same message doubles as
+//!    the start command.
+//! 3. **Step III** — both devices record; A plays `S_A` and V plays `S_V`
+//!    at staggered offsets. All playback/record commands suffer each
+//!    device's audio-stack latency; nobody compensates for it.
+//! 4. **Step IV** — each device detects both signals in its own recording
+//!    ([`crate::detect`]).
+//! 5. **Step V** — V reports its local location difference back to A.
+//! 6. **Step VI** — A combines the two differences (Eq. 3,
+//!    [`crate::ranging`]).
+//!
+//! The returned [`ActionOutcome`] carries the estimate (or
+//! [`DistanceEstimate::SignalAbsent`]) plus diagnostics used by the
+//! efficiency models and by the evaluation harness.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use piano_acoustics::AcousticField;
+use piano_bluetooth::channel::SecureChannel;
+use piano_bluetooth::{BluetoothLink, PairingRegistry};
+
+use crate::config::ActionConfig;
+use crate::detect::{Detector, SignalSignature};
+use crate::device::Device;
+use crate::error::PianoError;
+use crate::ranging::{estimate_distance, LocationDiffs};
+use crate::signal::ReferenceSignal;
+use crate::wire::{Message, SignalSpec};
+
+/// The protocol's distance verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DistanceEstimate {
+    /// Both signals were detected on both devices; distance in meters.
+    Measured(f64),
+    /// At least one reference signal was not present in one recording —
+    /// the devices are out of acoustic range (or a wall/spoofing defense
+    /// suppressed detection). PIANO denies access in this case.
+    SignalAbsent,
+}
+
+impl DistanceEstimate {
+    /// The measured distance, if any.
+    pub fn distance_m(&self) -> Option<f64> {
+        match self {
+            DistanceEstimate::Measured(d) => Some(*d),
+            DistanceEstimate::SignalAbsent => None,
+        }
+    }
+}
+
+/// Everything a protocol run produced besides the estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionDiagnostics {
+    /// Detected locations `(l_AA, l_AV)` on the authenticating device.
+    pub locations_auth: Option<(usize, usize)>,
+    /// Detected locations `(l_VA, l_VV)` on the vouching device.
+    pub locations_vouch: Option<(usize, usize)>,
+    /// Window FFTs executed by the authenticating device's scan.
+    pub ffts_auth: usize,
+    /// Window FFTs executed by the vouching device's scan.
+    pub ffts_vouch: usize,
+    /// Bluetooth payload bytes this run added to the link.
+    pub bluetooth_bytes: usize,
+    /// Bluetooth messages this run added to the link.
+    pub bluetooth_messages: usize,
+    /// Recording length in samples (per device).
+    pub recording_len: usize,
+    /// Tone counts of the two reference signals.
+    pub tone_counts: (usize, usize),
+}
+
+/// Result of one ACTION run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionOutcome {
+    /// The distance verdict.
+    pub estimate: DistanceEstimate,
+    /// Run diagnostics.
+    pub diagnostics: ActionDiagnostics,
+}
+
+/// Draws the session id and the two reference signals exactly as
+/// [`run_action`] does, in the same RNG order.
+///
+/// Exposed so tests and the oracle-replay attacker (which validates the
+/// security experiments) can replicate a session's secrets from a cloned
+/// RNG. Honest code has no reason to call this.
+pub fn draw_session_signals(
+    config: &ActionConfig,
+    rng: &mut ChaCha8Rng,
+) -> (u64, ReferenceSignal, ReferenceSignal) {
+    let session: u64 = rng.gen();
+    let sa = ReferenceSignal::random(config, rng);
+    let sv = ReferenceSignal::random(config, rng);
+    (session, sa, sv)
+}
+
+/// Runs the complete ACTION protocol between two paired devices.
+///
+/// `now_world_s` is the world time at which the authenticating device
+/// initiates the run. Interfering or adversarial sound sources must be
+/// registered as emissions on `field` before the call (their world times
+/// decide whether they land inside the recordings).
+///
+/// # Errors
+///
+/// * [`PianoError::Bluetooth`] if the devices are not paired or the radio
+///   link fails (out of range) at any exchange.
+/// * [`PianoError::InvalidConfig`] if `config` fails validation.
+/// * [`PianoError::Wire`] if a message fails to decode (cannot happen
+///   between honest devices; surfaced for completeness).
+pub fn run_action(
+    config: &ActionConfig,
+    field: &mut AcousticField,
+    link: &mut BluetoothLink,
+    registry: &PairingRegistry,
+    auth: &Device,
+    vouch: &Device,
+    now_world_s: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<ActionOutcome, PianoError> {
+    config.validate()?;
+    let bytes_before = link.total_bytes();
+    let msgs_before = link.message_count();
+
+    // Secure channel endpoints over the bonded link key.
+    let key = registry.key_for(auth.id, vouch.id)?;
+
+    // ── Step I: construct the randomized reference signals. ──────────────
+    let (session, sa, sv) = draw_session_signals(config, rng);
+    let mut chan_auth = SecureChannel::new(key, session << 8);
+    let mut chan_vouch = SecureChannel::new(key, (session << 8) | 0x80);
+
+    // ── Step II: transmit both to the vouching device. ───────────────────
+    let msg = Message::ReferenceSignals {
+        session,
+        sa: SignalSpec::of(&sa),
+        sv: SignalSpec::of(&sv),
+    };
+    let frame = chan_auth.seal(&msg.encode());
+    let arrival_s = link.transmit(now_world_s, &auth.position, &vouch.position, &frame)?;
+    let opened = chan_vouch.open(&frame)?;
+    let decoded = Message::decode(&opened)?;
+    let (sv_rx, sa_rx) = match decoded {
+        Message::ReferenceSignals { sa, sv, .. } => {
+            (sv.reconstruct(config)?, sa.reconstruct(config)?)
+        }
+        other => {
+            return Err(PianoError::Wire(format!("expected ReferenceSignals, got {other:?}")))
+        }
+    };
+
+    // ── Step III: record on both devices; play S_A then S_V. ─────────────
+    // The signals message doubles as the start command: both devices act at
+    // `arrival_s` (A knows its own send completed then).
+    let start_cmd = arrival_s;
+    auth.play(
+        field,
+        &sa.waveform(),
+        start_cmd + config.play_offset_auth_s,
+        config.sample_rate,
+        rng,
+    );
+    vouch.play(
+        field,
+        &sv_rx.waveform(),
+        start_cmd + config.play_offset_vouch_s,
+        config.sample_rate,
+        rng,
+    );
+    let (rec_auth, _) =
+        auth.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+    let (rec_vouch, _) =
+        vouch.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+
+    // ── Step IV: detect both signals in both recordings. ─────────────────
+    let detector = Detector::new(config);
+    let sig_a = SignalSignature::of(&sa, config);
+    let sig_v = SignalSignature::of(&sv, config);
+    let scan_auth = detector.detect_many(rec_auth.samples(), &[&sig_a, &sig_v]);
+    // V uses its received copies (identical content, honest devices).
+    let sig_a_rx = SignalSignature::of(&sa_rx, config);
+    let sig_v_rx = SignalSignature::of(&sv_rx, config);
+    let scan_vouch = detector.detect_many(rec_vouch.samples(), &[&sig_a_rx, &sig_v_rx]);
+
+    let loc_aa = scan_auth.detections[0].location();
+    let loc_av = scan_auth.detections[1].location();
+    let loc_va = scan_vouch.detections[0].location();
+    let loc_vv = scan_vouch.detections[1].location();
+
+    // ── Step V: V reports its local difference (or absence). ─────────────
+    let vouch_diff = match (loc_va, loc_vv) {
+        (Some(va), Some(vv)) => Some(vv as f64 - va as f64),
+        _ => None,
+    };
+    let report = Message::TimeDiffReport { session, vouch_diff_samples: vouch_diff };
+    let report_frame = chan_vouch.seal(&report.encode());
+    link.transmit(
+        start_cmd + config.recording_duration_s,
+        &vouch.position,
+        &auth.position,
+        &report_frame,
+    )?;
+    let report_opened = chan_auth.open(&report_frame)?;
+    let report_decoded = Message::decode(&report_opened)?;
+    let vouch_diff = match report_decoded {
+        Message::TimeDiffReport { vouch_diff_samples, .. } => vouch_diff_samples,
+        other => return Err(PianoError::Wire(format!("expected TimeDiffReport, got {other:?}"))),
+    };
+
+    // ── Step VI: combine (Eq. 3). ─────────────────────────────────────────
+    let estimate = match (loc_aa, loc_av, vouch_diff) {
+        (Some(aa), Some(av), Some(vd)) => {
+            let diffs = LocationDiffs {
+                auth_diff_samples: av as f64 - aa as f64,
+                vouch_diff_samples: vd,
+            };
+            DistanceEstimate::Measured(estimate_distance(
+                &diffs,
+                config.sample_rate,
+                config.sample_rate,
+                config.assumed_speed_of_sound,
+            ))
+        }
+        _ => DistanceEstimate::SignalAbsent,
+    };
+
+    Ok(ActionOutcome {
+        estimate,
+        diagnostics: ActionDiagnostics {
+            locations_auth: loc_aa.zip(loc_av),
+            locations_vouch: loc_va.zip(loc_vv),
+            ffts_auth: scan_auth.ffts_used,
+            ffts_vouch: scan_vouch.ffts_used,
+            bluetooth_bytes: link.total_bytes() - bytes_before,
+            bluetooth_messages: link.message_count() - msgs_before,
+            recording_len: rec_auth.len(),
+            tone_counts: (sa.n_tones(), sv.n_tones()),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_acoustics::{Environment, Position};
+    use rand::SeedableRng;
+
+    fn setup(
+        distance_m: f64,
+        env: Environment,
+        seed: u64,
+    ) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let field = AcousticField::new(env, seed.wrapping_mul(31).wrapping_add(5));
+        let mut link = BluetoothLink::new();
+        let _ = &mut link;
+        let mut registry = PairingRegistry::new();
+        let auth = Device::phone(1, Position::ORIGIN, seed.wrapping_add(100));
+        let vouch = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed.wrapping_add(200));
+        registry.pair(auth.id, vouch.id, &mut rng);
+        (field, link, registry, auth, vouch, rng)
+    }
+
+    #[test]
+    fn measures_distance_in_quiet_room() {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(1.0, Environment::anechoic(), 42);
+        let outcome = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &registry,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let d = outcome.estimate.distance_m().expect("should measure");
+        assert!(
+            (d - 1.0).abs() < 0.15,
+            "quiet-room estimate {d} m should be within 15 cm of truth"
+        );
+        assert!(outcome.diagnostics.locations_auth.is_some());
+        assert!(outcome.diagnostics.locations_vouch.is_some());
+        assert!(outcome.diagnostics.bluetooth_messages >= 2);
+        assert!(outcome.diagnostics.ffts_auth > 50);
+    }
+
+    #[test]
+    fn unpaired_devices_error() {
+        let (mut field, mut link, _registry, auth, vouch, mut rng) =
+            setup(1.0, Environment::anechoic(), 7);
+        let empty = PairingRegistry::new();
+        let err = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &empty,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PianoError::Bluetooth(_)));
+    }
+
+    #[test]
+    fn beyond_bluetooth_range_errors() {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(12.0, Environment::anechoic(), 8);
+        let err = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &registry,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PianoError::Bluetooth(_)));
+    }
+
+    #[test]
+    fn far_apart_in_bluetooth_range_reports_absent() {
+        // 6 m: within Bluetooth range but far beyond acoustic reach.
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(6.0, Environment::anechoic(), 9);
+        let outcome = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &registry,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.estimate, DistanceEstimate::SignalAbsent);
+    }
+
+    #[test]
+    fn office_noise_still_measures_with_centimeter_error() {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(0.5, Environment::office(), 10);
+        let outcome = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &registry,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let d = outcome.estimate.distance_m().expect("measured");
+        assert!((d - 0.5).abs() < 0.3, "office estimate {d}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let run = || {
+            let (mut field, mut link, registry, auth, vouch, mut rng) =
+                setup(1.5, Environment::home(), 77);
+            run_action(
+                &ActionConfig::default(),
+                &mut field,
+                &mut link,
+                &registry,
+                &auth,
+                &vouch,
+                0.0,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_between_devices_reports_absent() {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(1.0, Environment::anechoic(), 11);
+        field.add_wall(piano_acoustics::Wall::at_x(0.5));
+        let outcome = run_action(
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &registry,
+            &auth,
+            &vouch,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.estimate, DistanceEstimate::SignalAbsent);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_any_io() {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            setup(1.0, Environment::anechoic(), 12);
+        let mut cfg = ActionConfig::default();
+        cfg.fine_step = 0;
+        let err = run_action(
+            &cfg, &mut field, &mut link, &registry, &auth, &vouch, 0.0, &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PianoError::InvalidConfig(_)));
+        assert_eq!(link.message_count(), 0);
+    }
+}

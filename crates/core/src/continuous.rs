@@ -1,0 +1,220 @@
+//! Continuous authentication sessions (paper future work, Sec. VII).
+//!
+//! The paper's conclusion points at "adapting PIANO to other application
+//! scenarios". The natural first extension — and what products actually
+//! need — is *continuous* authentication: instead of one distance check at
+//! unlock time, the authenticating device re-verifies proximity on a
+//! schedule and locks as soon as the vouching device leaves.
+//!
+//! [`ContinuousSession`] implements that policy loop on top of
+//! [`PianoAuthenticator`]: a sliding window of recent decisions with a
+//! configurable lock-out rule (`k` consecutive denials lock the session,
+//! absorbing occasional false rejections so the user isn't locked out by
+//! one noisy measurement — the FRR/FAR trade-off of Tables I/II composed
+//! over time).
+
+use rand_chacha::ChaCha8Rng;
+
+use piano_acoustics::AcousticField;
+
+use crate::device::Device;
+use crate::piano::{AuthDecision, PianoAuthenticator};
+
+/// Session policy: how many consecutive denials lock the session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionPolicy {
+    /// Consecutive denials required to lock (≥1). With the office FRR at
+    /// τ = 1 m around 3 %, `2` drives spurious lock-outs below 0.1 %.
+    pub denials_to_lock: u32,
+    /// Re-verification period in seconds.
+    pub recheck_period_s: f64,
+}
+
+impl Default for SessionPolicy {
+    fn default() -> Self {
+        SessionPolicy { denials_to_lock: 2, recheck_period_s: 30.0 }
+    }
+}
+
+/// State of a continuous session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// The user is present; access remains granted.
+    Active,
+    /// The session locked after the configured run of denials.
+    Locked,
+}
+
+/// A continuous-authentication session.
+#[derive(Debug)]
+pub struct ContinuousSession {
+    policy: SessionPolicy,
+    state: SessionState,
+    consecutive_denials: u32,
+    checks: u64,
+    next_check_s: f64,
+}
+
+impl ContinuousSession {
+    /// Opens a session. The caller must already have authenticated once
+    /// (sessions begin [`SessionState::Active`]).
+    pub fn open(policy: SessionPolicy, now_s: f64) -> Self {
+        assert!(policy.denials_to_lock >= 1, "policy needs at least one denial to lock");
+        assert!(policy.recheck_period_s > 0.0, "recheck period must be positive");
+        ContinuousSession {
+            policy,
+            state: SessionState::Active,
+            consecutive_denials: 0,
+            checks: 0,
+            next_check_s: now_s + policy.recheck_period_s,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Number of re-verifications performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// World time of the next scheduled re-verification.
+    pub fn next_check_s(&self) -> f64 {
+        self.next_check_s
+    }
+
+    /// Whether a re-verification is due at `now_s`.
+    pub fn due(&self, now_s: f64) -> bool {
+        self.state == SessionState::Active && now_s >= self.next_check_s
+    }
+
+    /// Runs one scheduled re-verification (regardless of `due`; callers
+    /// normally gate on it). Returns the new state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recheck(
+        &mut self,
+        authenticator: &mut PianoAuthenticator,
+        field: &mut AcousticField,
+        auth_device: &Device,
+        vouch_device: &Device,
+        now_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> SessionState {
+        if self.state == SessionState::Locked {
+            return self.state;
+        }
+        self.checks += 1;
+        self.next_check_s = now_s + self.policy.recheck_period_s;
+        match authenticator.authenticate(field, auth_device, vouch_device, now_s, rng) {
+            AuthDecision::Granted { .. } => {
+                self.consecutive_denials = 0;
+            }
+            AuthDecision::Denied { .. } => {
+                self.consecutive_denials += 1;
+                if self.consecutive_denials >= self.policy.denials_to_lock {
+                    self.state = SessionState::Locked;
+                }
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piano::PianoConfig;
+    use piano_acoustics::{Environment, Position};
+    use rand::SeedableRng;
+
+    fn setup(distance_m: f64) -> (PianoAuthenticator, Device, Device, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = Device::phone(1, Position::ORIGIN, 1);
+        let v = Device::phone(2, Position::new(distance_m, 0.0, 0.0), 2);
+        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        authn.register(&a, &v, &mut rng);
+        (authn, a, v, rng)
+    }
+
+    #[test]
+    fn session_stays_active_while_user_present() {
+        let (mut authn, a, v, mut rng) = setup(0.5);
+        let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
+        for k in 0..3 {
+            let mut field = AcousticField::new(Environment::office(), 100 + k);
+            let state =
+                session.recheck(&mut authn, &mut field, &a, &v, k as f64 * 30.0, &mut rng);
+            assert_eq!(state, SessionState::Active, "check {k}");
+        }
+        assert_eq!(session.checks(), 3);
+    }
+
+    #[test]
+    fn session_locks_when_user_leaves() {
+        let (mut authn, a, v, mut rng) = setup(0.5);
+        let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
+        // User walks away: re-position the vouching device far.
+        let v_far = v.clone().at(Position::new(6.0, 0.0, 0.0));
+        let mut states = Vec::new();
+        for k in 0..2 {
+            let mut field = AcousticField::new(Environment::office(), 200 + k);
+            states.push(session.recheck(
+                &mut authn, &mut field, &a, &v_far, k as f64 * 30.0, &mut rng,
+            ));
+        }
+        assert_eq!(states, vec![SessionState::Active, SessionState::Locked]);
+        // Locked sessions stay locked.
+        let mut field = AcousticField::new(Environment::office(), 300);
+        assert_eq!(
+            session.recheck(&mut authn, &mut field, &a, &v, 90.0, &mut rng),
+            SessionState::Locked
+        );
+    }
+
+    #[test]
+    fn single_denial_does_not_lock_with_default_policy() {
+        let (mut authn, a, v, mut rng) = setup(0.5);
+        let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
+        let v_far = v.clone().at(Position::new(6.0, 0.0, 0.0));
+        // One denial…
+        let mut field = AcousticField::new(Environment::office(), 400);
+        assert_eq!(
+            session.recheck(&mut authn, &mut field, &a, &v_far, 0.0, &mut rng),
+            SessionState::Active
+        );
+        // …then the user returns: the denial streak resets.
+        let mut field = AcousticField::new(Environment::office(), 401);
+        assert_eq!(
+            session.recheck(&mut authn, &mut field, &a, &v, 30.0, &mut rng),
+            SessionState::Active
+        );
+        let mut field = AcousticField::new(Environment::office(), 402);
+        assert_eq!(
+            session.recheck(&mut authn, &mut field, &a, &v_far, 60.0, &mut rng),
+            SessionState::Active,
+            "streak must have reset"
+        );
+    }
+
+    #[test]
+    fn due_respects_schedule_and_state() {
+        let session = ContinuousSession::open(
+            SessionPolicy { denials_to_lock: 1, recheck_period_s: 10.0 },
+            0.0,
+        );
+        assert!(!session.due(5.0));
+        assert!(session.due(10.0));
+        assert_eq!(session.next_check_s(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one denial")]
+    fn zero_denial_policy_rejected() {
+        let _ = ContinuousSession::open(
+            SessionPolicy { denials_to_lock: 0, recheck_period_s: 1.0 },
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! Step IV: the frequency-based signal detection algorithm.
+//!
+//! This module is the paper's Algorithms 1 and 2.
+//!
+//! * [`Detector::norm_power`] is **Algorithm 2** (`NormPower`): FFT the
+//!   window, aggregate each candidate's power over `2θ+1` bins (the
+//!   frequency-smoothing allowance), apply the two sanity checks —
+//!   `P_f > α·R_f` for every chosen frequency and `P_f' < β` for every
+//!   unchosen candidate — and return `Σ P_f − Σ P_f'`, or `−∞` if a check
+//!   fails. The β check is what defeats all-frequency spoofing (Sec. V).
+//! * [`Detector::detect_many`] is **Algorithm 1** with the prototype's
+//!   "adapted step sizes" (Sec. VI-A): a coarse scan with step 1000 shared
+//!   by both reference signals in a single pass, then a fine scan with
+//!   step 10 around each coarse maximum. A signal whose best normalized
+//!   power falls below `ε·R_S` is declared [`Detection::NotPresent`]
+//!   (Algorithm 1 line 12; see DESIGN.md §4 for the ε reading).
+
+use piano_dsp::spectrum::{band_power, SpectrumAnalyzer};
+use piano_dsp::Complex64;
+use std::cell::RefCell;
+
+use crate::config::ActionConfig;
+use crate::signal::ReferenceSignal;
+
+/// Precomputed detection constants for one reference signal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignalSignature {
+    /// FFT bin index per chosen candidate (`F`).
+    chosen_bins: Vec<usize>,
+    /// FFT bin index per unchosen candidate (`F_R \ F`).
+    other_bins: Vec<usize>,
+    /// Per-tone reference power `R_f`.
+    rf: f64,
+    /// Total reference power `R_S`.
+    rs: f64,
+}
+
+impl SignalSignature {
+    /// Builds the signature of a reference signal under a configuration.
+    pub fn of(signal: &ReferenceSignal, config: &ActionConfig) -> Self {
+        let grid = signal.grid();
+        let chosen_bins = signal
+            .indices()
+            .iter()
+            .map(|&i| grid.fft_bin(i, config.sample_rate, config.signal_len))
+            .collect();
+        let other_bins = grid
+            .complement(signal.indices())
+            .iter()
+            .map(|&i| grid.fft_bin(i, config.sample_rate, config.signal_len))
+            .collect();
+        SignalSignature {
+            chosen_bins,
+            other_bins,
+            rf: signal.tone_power(),
+            rs: signal.total_power(),
+        }
+    }
+
+    /// Per-tone reference power `R_f`.
+    pub fn rf(&self) -> f64 {
+        self.rf
+    }
+
+    /// Total reference power `R_S`.
+    pub fn rs(&self) -> f64 {
+        self.rs
+    }
+
+    /// Number of chosen candidates.
+    pub fn n_tones(&self) -> usize {
+        self.chosen_bins.len()
+    }
+}
+
+/// Outcome of detecting one reference signal in a recording.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Detection {
+    /// The signal was found starting at `location` (sample index), with the
+    /// maximum normalized power attained there.
+    Found {
+        /// Sample index of the window where normalized power peaked.
+        location: usize,
+        /// The peak normalized power.
+        norm_power: f64,
+    },
+    /// The signal is not present (the paper's `⊥`): every window failed the
+    /// sanity checks or the maximum fell below `ε·R_S`.
+    NotPresent,
+}
+
+impl Detection {
+    /// The detected location, if any.
+    pub fn location(&self) -> Option<usize> {
+        match self {
+            Detection::Found { location, .. } => Some(*location),
+            Detection::NotPresent => None,
+        }
+    }
+
+    /// Whether the signal was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, Detection::Found { .. })
+    }
+}
+
+/// Result of a detection scan, including work accounting for the
+/// timing/energy models.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanResult {
+    /// Per-signature detection outcomes, in input order.
+    pub detections: Vec<Detection>,
+    /// Number of window FFTs executed.
+    pub ffts_used: usize,
+}
+
+/// The frequency-based signal detector.
+#[derive(Debug)]
+pub struct Detector {
+    config: ActionConfig,
+    analyzer: RefCell<SpectrumAnalyzer>,
+}
+
+impl Detector {
+    /// Builds a detector for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails
+    /// [`ActionConfig::validate`] — constructing a detector from an invalid
+    /// configuration is a programming error.
+    pub fn new(config: &ActionConfig) -> Self {
+        config.validate().expect("detector requires a valid configuration");
+        Detector {
+            config: config.clone(),
+            analyzer: RefCell::new(SpectrumAnalyzer::new(
+                config.signal_len,
+                config.analysis_window,
+            )),
+        }
+    }
+
+    /// Computes the analysis power spectrum of one window exactly as the
+    /// scanning loops do — exposed for diagnostics and tests.
+    pub fn window_spectrum(&self, window: &[f64]) -> Vec<f64> {
+        self.analyzer.borrow_mut().power_spectrum(window)
+    }
+
+    /// The configuration this detector runs.
+    pub fn config(&self) -> &ActionConfig {
+        &self.config
+    }
+
+    /// Algorithm 2: the normalized power of a window's spectrum for one
+    /// signature, or `−∞` if a sanity check fails.
+    ///
+    /// `spectrum` must be a full-length power spectrum of a
+    /// `signal_len`-sample window (see [`piano_dsp::spectrum`]).
+    pub fn norm_power(&self, spectrum: &[f64], sig: &SignalSignature) -> f64 {
+        let theta = self.config.theta;
+        let alpha_rf = self.config.alpha * sig.rf;
+        let beta = self.config.beta_fraction * sig.rf;
+
+        let mut sum_chosen = 0.0;
+        for &bin in &sig.chosen_bins {
+            let p = band_power(spectrum, bin, theta);
+            if p <= alpha_rf {
+                return f64::NEG_INFINITY;
+            }
+            sum_chosen += p;
+        }
+        let mut sum_other = 0.0;
+        for &bin in &sig.other_bins {
+            let p = band_power(spectrum, bin, theta);
+            if self.config.enforce_beta_check && p >= beta {
+                return f64::NEG_INFINITY;
+            }
+            sum_other += p;
+        }
+        sum_chosen - sum_other
+    }
+
+    /// Detects a single reference signal (Algorithm 1).
+    pub fn detect(&self, recording: &[f64], sig: &SignalSignature) -> Detection {
+        self.detect_many(recording, &[sig]).detections[0]
+    }
+
+    /// Detects several reference signals in one coarse scan (the
+    /// prototype's single-pass optimization), then refines each with a fine
+    /// scan.
+    ///
+    /// Returns [`Detection::NotPresent`] per signal when the recording is
+    /// shorter than one window.
+    pub fn detect_many(&self, recording: &[f64], sigs: &[&SignalSignature]) -> ScanResult {
+        let w = self.config.signal_len;
+        if recording.len() < w || sigs.is_empty() {
+            return ScanResult {
+                detections: vec![Detection::NotPresent; sigs.len()],
+                ffts_used: 0,
+            };
+        }
+        let last = recording.len() - w;
+        let mut analyzer = self.analyzer.borrow_mut();
+        let mut scratch: Vec<Complex64> = Vec::with_capacity(w);
+        let mut spectrum: Vec<f64> = Vec::with_capacity(w);
+        let mut ffts = 0usize;
+
+        // Coarse pass, shared across signatures.
+        let mut best: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); sigs.len()];
+        let mut i = 0usize;
+        loop {
+            analyzer.compute(&recording[i..i + w], &mut scratch, &mut spectrum);
+            ffts += 1;
+            for (b, sig) in best.iter_mut().zip(sigs) {
+                let p = self.norm_power(&spectrum, sig);
+                if p > b.0 {
+                    *b = (p, i);
+                }
+            }
+            if i == last {
+                break;
+            }
+            i = (i + self.config.coarse_step).min(last);
+        }
+
+        // Fine pass per signature.
+        let mut detections = Vec::with_capacity(sigs.len());
+        for ((coarse_p, coarse_loc), sig) in best.into_iter().zip(sigs) {
+            if coarse_p.is_infinite() && coarse_p < 0.0 {
+                // No window ever passed the sanity checks.
+                detections.push(Detection::NotPresent);
+                continue;
+            }
+            let lo = coarse_loc.saturating_sub(self.config.fine_radius);
+            let hi = (coarse_loc + self.config.fine_radius).min(last);
+            let mut best_p = coarse_p;
+            let mut best_loc = coarse_loc;
+            let mut j = lo;
+            loop {
+                analyzer.compute(&recording[j..j + w], &mut scratch, &mut spectrum);
+                ffts += 1;
+                let p = self.norm_power(&spectrum, sig);
+                if p > best_p {
+                    best_p = p;
+                    best_loc = j;
+                }
+                if j >= hi {
+                    break;
+                }
+                j = (j + self.config.fine_step).min(hi);
+            }
+            // Algorithm 1 line 12 (with the ε·R_S reading, DESIGN.md §4).
+            if best_p < self.config.epsilon * sig.rs {
+                detections.push(Detection::NotPresent);
+            } else {
+                detections.push(Detection::Found { location: best_loc, norm_power: best_p });
+            }
+        }
+        ScanResult { detections, ffts_used: ffts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::ReferenceSignal;
+    use piano_dsp::tone::{multi_tone, ToneSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn config() -> ActionConfig {
+        ActionConfig::default()
+    }
+
+    /// Embeds a scaled copy of `wave` at `offset` in a silent recording.
+    fn embed(wave: &[f64], offset: usize, total: usize, gain: f64) -> Vec<f64> {
+        let mut rec = vec![0.0; total];
+        for (i, &v) in wave.iter().enumerate() {
+            rec[offset + i] = v * gain;
+        }
+        rec
+    }
+
+    #[test]
+    fn detects_clean_signal_at_exact_location() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![3, 8, 14, 22], &mut rng(1));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let true_loc = 12_345;
+        let rec = embed(&sig.waveform(), true_loc, 30_000, 0.4);
+        let d = det.detect(&rec, &signature);
+        let loc = d.location().expect("signal must be found");
+        assert!(
+            (loc as isize - true_loc as isize).abs() <= cfg.fine_step as isize,
+            "loc {loc} vs true {true_loc}"
+        );
+    }
+
+    #[test]
+    fn detects_attenuated_signal_above_alpha() {
+        // Power fraction 0.15² = 2.25 % > α = 1 %.
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![0, 10, 20, 29], &mut rng(2));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = embed(&sig.waveform(), 6_000, 20_000, 0.15);
+        assert!(det.detect(&rec, &signature).is_found());
+    }
+
+    #[test]
+    fn rejects_signal_below_alpha_floor() {
+        // Power fraction 0.05² = 0.25 % < α = 1 % ⇒ not present.
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![0, 10, 20, 29], &mut rng(3));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = embed(&sig.waveform(), 6_000, 20_000, 0.05);
+        assert_eq!(det.detect(&rec, &signature), Detection::NotPresent);
+    }
+
+    #[test]
+    fn absent_signal_reports_not_present() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![5, 6, 7], &mut rng(4));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = vec![0.0; 20_000];
+        assert_eq!(det.detect(&rec, &signature), Detection::NotPresent);
+    }
+
+    #[test]
+    fn wrong_frequency_set_is_not_detected() {
+        // A signal with a *different* subset plays; ours must not be found.
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let ours = ReferenceSignal::from_indices(&cfg, vec![1, 4, 9], &mut rng(5));
+        let theirs = ReferenceSignal::from_indices(&cfg, vec![2, 5, 11], &mut rng(6));
+        let rec = embed(&theirs.waveform(), 5_000, 20_000, 0.4);
+        let signature = SignalSignature::of(&ours, &cfg);
+        assert_eq!(det.detect(&rec, &signature), Detection::NotPresent);
+    }
+
+    #[test]
+    fn overlapping_foreign_tones_kill_the_window_via_beta() {
+        // Our signal plays, but a foreign tone at an unchosen candidate
+        // overlaps it: the β sanity check must reject those windows, and
+        // with no clean window left the signal is declared absent.
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let ours = ReferenceSignal::from_indices(&cfg, vec![3, 8, 14], &mut rng(7));
+        let mut rec = embed(&ours.waveform(), 5_000, 20_000, 0.4);
+        // Foreign tone at candidate 20, full overlap, comparable power.
+        let foreign = multi_tone(
+            &[ToneSpec::new(cfg.grid.candidate_hz(20), 3_000.0)],
+            cfg.sample_rate,
+            4096,
+        );
+        for (i, &v) in foreign.iter().enumerate() {
+            rec[5_000 + i] += v;
+        }
+        assert_eq!(det.detect(&rec, &SignalSignature::of(&ours, &cfg)), Detection::NotPresent);
+    }
+
+    #[test]
+    fn nonoverlapping_foreign_signal_does_not_disturb_detection() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let ours = ReferenceSignal::from_indices(&cfg, vec![3, 8, 14], &mut rng(8));
+        let foreign = ReferenceSignal::from_indices(&cfg, vec![1, 20, 27], &mut rng(9));
+        let mut rec = embed(&ours.waveform(), 4_000, 30_000, 0.4);
+        for (i, &v) in foreign.waveform().iter().enumerate() {
+            rec[15_000 + i] += 0.4 * v;
+        }
+        let d = det.detect(&rec, &SignalSignature::of(&ours, &cfg));
+        let loc = d.location().expect("found");
+        assert!((loc as isize - 4_000).abs() <= 10);
+    }
+
+    #[test]
+    fn two_signals_detected_in_one_scan() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sa = ReferenceSignal::from_indices(&cfg, vec![0, 6, 12], &mut rng(10));
+        let sv = ReferenceSignal::from_indices(&cfg, vec![17, 23, 29], &mut rng(11));
+        let mut rec = embed(&sa.waveform(), 3_000, 40_000, 0.5);
+        for (i, &v) in sv.waveform().iter().enumerate() {
+            rec[20_000 + i] += 0.5 * v;
+        }
+        let siga = SignalSignature::of(&sa, &cfg);
+        let sigv = SignalSignature::of(&sv, &cfg);
+        let result = det.detect_many(&rec, &[&siga, &sigv]);
+        let la = result.detections[0].location().expect("SA found");
+        let lv = result.detections[1].location().expect("SV found");
+        assert!((la as isize - 3_000).abs() <= 10, "la={la}");
+        assert!((lv as isize - 20_000).abs() <= 10, "lv={lv}");
+        assert!(result.ffts_used > 0);
+    }
+
+    #[test]
+    fn recording_shorter_than_window_is_not_present() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![1], &mut rng(12));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let result = det.detect_many(&vec![0.0; 100], &[&signature]);
+        assert_eq!(result.detections[0], Detection::NotPresent);
+        assert_eq!(result.ffts_used, 0);
+    }
+
+    #[test]
+    fn norm_power_rewards_exact_match_and_penalizes_foreign_power() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![5, 15, 25], &mut rng(13));
+        let signature = SignalSignature::of(&sig, &cfg);
+
+        let clean = piano_dsp::spectrum::power_spectrum(&sig.waveform());
+        let p_clean = det.norm_power(&clean, &signature);
+        assert!(p_clean.is_finite() && p_clean > 0.0);
+
+        // Roughly R_S: three tones at R_f each.
+        assert!((p_clean - signature.rs()).abs() < 0.2 * signature.rs());
+
+        // Small foreign tone below β subtracts but does not reject.
+        let beta = cfg.beta_fraction * signature.rf();
+        let small_amp = (0.3 * beta).sqrt();
+        let mut with_foreign = sig.waveform();
+        let foreign = multi_tone(
+            &[ToneSpec::new(cfg.grid.candidate_hz(0), small_amp)],
+            cfg.sample_rate,
+            4096,
+        );
+        for (a, b) in with_foreign.iter_mut().zip(&foreign) {
+            *a += b;
+        }
+        let p_foreign =
+            det.norm_power(&piano_dsp::spectrum::power_spectrum(&with_foreign), &signature);
+        assert!(p_foreign.is_finite());
+        assert!(p_foreign < p_clean, "foreign power must reduce the score");
+    }
+
+    #[test]
+    fn scan_result_counts_ffts() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![2, 12], &mut rng(14));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = embed(&sig.waveform(), 8_000, 24_096, 0.5);
+        let result = det.detect_many(&rec, &[&signature]);
+        // Coarse: ceil((24096−4096)/1000)+1 = 21; fine: ~2·1500/10 + 1.
+        assert!(result.ffts_used >= 21, "ffts {}", result.ffts_used);
+        assert!(result.ffts_used < 500, "ffts {}", result.ffts_used);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid configuration")]
+    fn detector_rejects_invalid_config() {
+        let mut cfg = config();
+        cfg.beta_fraction = 0.9;
+        let _ = Detector::new(&cfg);
+    }
+}

@@ -1,0 +1,197 @@
+//! A simulated voice-powered device.
+//!
+//! [`Device`] bundles what the paper's hardware-requirements paragraph
+//! lists — "PIANO requires the vouching device and authenticating device to
+//! be equipped with microphone, speaker, and Bluetooth" — plus the two
+//! imperfections the protocol must survive: an unsynchronized, skewed
+//! sample clock and an unpredictable audio-stack latency.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use piano_acoustics::field::Emission;
+use piano_acoustics::latency::LatencyModel;
+use piano_acoustics::{
+    AcousticField, AudioBuffer, DeviceClock, MicrophoneModel, Position, SpeakerModel,
+};
+use piano_bluetooth::DeviceId;
+
+/// A device that can play and record through an [`AcousticField`].
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Bluetooth identity.
+    pub id: DeviceId,
+    /// Location in the environment.
+    pub position: Position,
+    /// Speaker hardware.
+    pub speaker: SpeakerModel,
+    /// Microphone hardware.
+    pub microphone: MicrophoneModel,
+    /// The device's free-running clock.
+    pub clock: DeviceClock,
+    /// Audio pipeline latency distribution.
+    pub latency: LatencyModel,
+}
+
+impl Device {
+    /// A phone-class device with seeded random hardware: response ripple,
+    /// clock skew within ±80 ppm, epoch offset up to ±5000 s, phone-grade
+    /// latency.
+    pub fn phone(id: u64, position: Position, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let clock = DeviceClock::new(rng.gen_range(-5_000.0..5_000.0), rng.gen_range(-80.0..80.0));
+        Device {
+            id: DeviceId::new(id),
+            position,
+            speaker: SpeakerModel::phone(rng.gen()),
+            microphone: MicrophoneModel::phone(rng.gen()),
+            clock,
+            latency: LatencyModel::phone(),
+        }
+    }
+
+    /// An idealized device: flat hardware, perfect clock, zero latency.
+    /// Used by tests that isolate a single error source.
+    pub fn ideal(id: u64, position: Position) -> Self {
+        Device {
+            id: DeviceId::new(id),
+            position,
+            speaker: SpeakerModel::ideal(),
+            microphone: MicrophoneModel::ideal(),
+            clock: DeviceClock::ideal(),
+            latency: LatencyModel::ideal(),
+        }
+    }
+
+    /// Moves the device, returning it (builder-style for scenario setup).
+    #[must_use]
+    pub fn at(mut self, position: Position) -> Self {
+        self.position = position;
+        self
+    }
+
+    /// Issues a playback command at `command_world_s`: after the sampled
+    /// pipeline latency, the speaker radiates `waveform` into the field.
+    ///
+    /// Returns the actual world time the first sample left the speaker —
+    /// for the simulation's bookkeeping only; protocol code never sees it
+    /// (that opacity is the point of the paper's design).
+    pub fn play(
+        &self,
+        field: &mut AcousticField,
+        waveform: &[f64],
+        command_world_s: f64,
+        nominal_rate_hz: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> f64 {
+        let start = command_world_s + self.latency.sample_playback(rng);
+        let radiated = self.speaker.radiate(waveform, nominal_rate_hz);
+        field.emit(Emission {
+            waveform: radiated,
+            start_world_s: start,
+            sample_interval_s: self.clock.sample_interval_world(nominal_rate_hz),
+            position: self.position,
+        });
+        start
+    }
+
+    /// Issues a record command at `command_world_s`: after the sampled
+    /// pipeline latency, captures `duration_s` of audio.
+    ///
+    /// Returns the recording and the actual capture start in world time
+    /// (simulation bookkeeping only, as with [`Device::play`]).
+    pub fn record(
+        &self,
+        field: &mut AcousticField,
+        command_world_s: f64,
+        duration_s: f64,
+        nominal_rate_hz: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> (AudioBuffer, f64) {
+        let start = command_world_s + self.latency.sample_record(rng);
+        let len = (duration_s * nominal_rate_hz).round() as usize;
+        let buf = field.render_recording(
+            &self.microphone,
+            &self.clock,
+            self.position,
+            start,
+            len,
+            nominal_rate_hz,
+        );
+        (buf, start)
+    }
+
+    /// Distance to another device in meters.
+    pub fn distance_to(&self, other: &Device) -> f64 {
+        self.position.distance_to(&other.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_acoustics::Environment;
+    use piano_dsp::tone;
+
+    const FS: f64 = 44_100.0;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn phone_devices_differ_by_seed() {
+        let a = Device::phone(1, Position::ORIGIN, 1);
+        let b = Device::phone(2, Position::ORIGIN, 2);
+        assert_ne!(a.clock, b.clock);
+        assert_ne!(a.speaker.response, b.speaker.response);
+    }
+
+    #[test]
+    fn phone_device_is_reproducible() {
+        let a = Device::phone(1, Position::ORIGIN, 7);
+        let b = Device::phone(1, Position::ORIGIN, 7);
+        assert_eq!(a.clock, b.clock);
+        assert_eq!(a.speaker, b.speaker);
+    }
+
+    #[test]
+    fn clock_skew_is_within_crystal_tolerance() {
+        for seed in 0..50 {
+            let d = Device::phone(1, Position::ORIGIN, seed);
+            assert!(d.clock.skew_ppm().abs() < 80.0);
+        }
+    }
+
+    #[test]
+    fn play_then_record_roundtrip() {
+        let mut field = AcousticField::new(Environment::anechoic(), 5);
+        let speaker_dev = Device::ideal(1, Position::ORIGIN);
+        let mic_dev = Device::ideal(2, Position::new(1.0, 0.0, 0.0));
+        let wave = tone::sine(14_000.0, 0.0, 5_000.0, FS, 4096);
+        let mut r = rng(1);
+        speaker_dev.play(&mut field, &wave, 0.05, FS, &mut r);
+        let (rec, start) = mic_dev.record(&mut field, 0.0, 0.5, FS, &mut r);
+        assert_eq!(start, 0.0); // ideal latency
+        assert!(rec.peak() > 100.0, "signal should be audible");
+    }
+
+    #[test]
+    fn latency_delays_playback() {
+        let mut field = AcousticField::new(Environment::anechoic(), 5);
+        let dev = Device::phone(1, Position::ORIGIN, 3);
+        let wave = tone::sine(14_000.0, 0.0, 5_000.0, FS, 512);
+        let mut r = rng(2);
+        let start = dev.play(&mut field, &wave, 1.0, FS, &mut r);
+        assert!(start > 1.0 + dev.latency.playback_mean_s - dev.latency.playback_jitter_s);
+        assert!(start < 1.0 + dev.latency.playback_mean_s + dev.latency.playback_jitter_s);
+    }
+
+    #[test]
+    fn at_moves_device() {
+        let d = Device::ideal(1, Position::ORIGIN).at(Position::new(2.0, 0.0, 0.0));
+        assert_eq!(d.position, Position::new(2.0, 0.0, 0.0));
+        let e = Device::ideal(2, Position::ORIGIN);
+        assert!((d.distance_to(&e) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the PIANO core.
+
+use std::error::Error;
+use std::fmt;
+
+use piano_bluetooth::BluetoothError;
+
+/// Errors surfaced by the ACTION protocol and the PIANO authenticator.
+///
+/// Note that *authentication denials are not errors*: a denied access is a
+/// successful protocol outcome (see
+/// [`AuthDecision`](crate::piano::AuthDecision)). Errors are conditions
+/// that prevent the protocol from producing an outcome at all.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PianoError {
+    /// The Bluetooth layer failed (out of range, not paired, bad frame).
+    Bluetooth(BluetoothError),
+    /// A configuration parameter is invalid; the string names it.
+    InvalidConfig(String),
+    /// A wire message could not be decoded; the string says why.
+    Wire(String),
+}
+
+impl fmt::Display for PianoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PianoError::Bluetooth(e) => write!(f, "bluetooth layer failure: {e}"),
+            PianoError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            PianoError::Wire(what) => write!(f, "malformed wire message: {what}"),
+        }
+    }
+}
+
+impl Error for PianoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PianoError::Bluetooth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BluetoothError> for PianoError {
+    fn from(e: BluetoothError) -> Self {
+        PianoError::Bluetooth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_bluetooth::DeviceId;
+
+    #[test]
+    fn conversion_from_bluetooth_error() {
+        let be = BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2));
+        let pe: PianoError = be.clone().into();
+        assert_eq!(pe, PianoError::Bluetooth(be));
+        assert!(pe.source().is_some());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PianoError::InvalidConfig("theta".into()).to_string().contains("theta"));
+        assert!(PianoError::Wire("truncated".into()).to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<PianoError>();
+    }
+}

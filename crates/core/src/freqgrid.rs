@@ -1,0 +1,196 @@
+//! The candidate frequency grid.
+//!
+//! Paper, Sec. VI-A: "we use the frequency range [25K Hz, 35K Hz].
+//! Specifically, we equally divide this frequency range to be 30 bins and
+//! take the center of each bin as a candidate frequency, i.e., we have 30
+//! candidate frequencies."
+//!
+//! At the 44.1 kHz sampling rate these candidates exceed Nyquist and fold
+//! to 9.1–19.1 kHz physically — above the <6 kHz bulk of background noise
+//! and near-inaudible, which is the entire point of the band choice. The
+//! grid works in the *digital* (pre-fold) domain exactly as the paper's
+//! Algorithm 2 does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PianoError;
+
+/// An equally divided candidate frequency grid (the paper's `F_R`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyGrid {
+    lo_hz: f64,
+    hi_hz: f64,
+    bins: usize,
+}
+
+impl FrequencyGrid {
+    /// Creates a grid over `[lo_hz, hi_hz]` with `bins` equal divisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PianoError::InvalidConfig`] if the band is empty or
+    /// `bins == 0`.
+    pub fn new(lo_hz: f64, hi_hz: f64, bins: usize) -> Result<Self, PianoError> {
+        if !(lo_hz.is_finite() && hi_hz.is_finite()) || lo_hz <= 0.0 || hi_hz <= lo_hz {
+            return Err(PianoError::InvalidConfig(format!(
+                "frequency band [{lo_hz}, {hi_hz}] must be positive and non-empty"
+            )));
+        }
+        if bins == 0 {
+            return Err(PianoError::InvalidConfig("grid must have at least one bin".into()));
+        }
+        Ok(FrequencyGrid { lo_hz, hi_hz, bins })
+    }
+
+    /// The paper's grid: [25 kHz, 35 kHz] in 30 bins.
+    pub fn paper_default() -> Self {
+        FrequencyGrid { lo_hz: 25_000.0, hi_hz: 35_000.0, bins: 30 }
+    }
+
+    /// Number of candidate frequencies (`N` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bins
+    }
+
+    /// Whether the grid has no candidates (never true for valid grids).
+    pub fn is_empty(&self) -> bool {
+        self.bins == 0
+    }
+
+    /// Lower band edge in Hz.
+    pub fn lo_hz(&self) -> f64 {
+        self.lo_hz
+    }
+
+    /// Upper band edge in Hz.
+    pub fn hi_hz(&self) -> f64 {
+        self.hi_hz
+    }
+
+    /// Width of one bin in Hz.
+    pub fn bin_width_hz(&self) -> f64 {
+        (self.hi_hz - self.lo_hz) / self.bins as f64
+    }
+
+    /// The candidate frequency at `index` — the center of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn candidate_hz(&self, index: usize) -> f64 {
+        assert!(index < self.bins, "candidate index {index} out of range ({})", self.bins);
+        self.lo_hz + (index as f64 + 0.5) * self.bin_width_hz()
+    }
+
+    /// All candidate frequencies in index order.
+    pub fn candidates_hz(&self) -> Vec<f64> {
+        (0..self.bins).map(|i| self.candidate_hz(i)).collect()
+    }
+
+    /// FFT bin index of candidate `index` for a window of `window_len`
+    /// samples at `sample_rate` — the paper's `⌊f/f_s·|W|⌋`.
+    pub fn fft_bin(&self, index: usize, sample_rate: f64, window_len: usize) -> usize {
+        piano_dsp::spectrum::freq_to_bin(self.candidate_hz(index), sample_rate, window_len)
+    }
+
+    /// Indices not in `chosen` (the paper's `F_R \ F`), assuming `chosen`
+    /// is sorted ascending.
+    pub fn complement(&self, chosen: &[usize]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.bins.saturating_sub(chosen.len()));
+        let mut it = chosen.iter().peekable();
+        for i in 0..self.bins {
+            if it.peek() == Some(&&i) {
+                it.next();
+            } else {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+impl Default for FrequencyGrid {
+    fn default() -> Self {
+        FrequencyGrid::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_grid_has_thirty_candidates() {
+        let g = FrequencyGrid::paper_default();
+        assert_eq!(g.len(), 30);
+        assert!((g.bin_width_hz() - 333.333).abs() < 0.01);
+        // First candidate: 25000 + 166.67; last: 35000 − 166.67.
+        assert!((g.candidate_hz(0) - 25_166.666).abs() < 0.01);
+        assert!((g.candidate_hz(29) - 34_833.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn candidates_are_strictly_increasing_and_in_band() {
+        let g = FrequencyGrid::paper_default();
+        let c = g.candidates_hz();
+        for w in c.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(c[0] > g.lo_hz() && c[29] < g.hi_hz());
+    }
+
+    #[test]
+    fn fft_bins_do_not_collide_at_theta_five() {
+        // Detection aggregates ±θ = ±5 FFT bins (≈±54 Hz at 4096/44100);
+        // adjacent candidates are ~333 Hz apart so clusters must not touch.
+        let g = FrequencyGrid::paper_default();
+        let bins: Vec<usize> = (0..30).map(|i| g.fft_bin(i, 44_100.0, 4096)).collect();
+        for w in bins.windows(2) {
+            let gap = (w[1] as isize - w[0] as isize).unsigned_abs();
+            assert!(gap > 2 * 5, "bin gap {gap} too small for θ=5 clusters");
+        }
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        assert!(FrequencyGrid::new(0.0, 10.0, 4).is_err());
+        assert!(FrequencyGrid::new(100.0, 100.0, 4).is_err());
+        assert!(FrequencyGrid::new(200.0, 100.0, 4).is_err());
+        assert!(FrequencyGrid::new(100.0, 200.0, 0).is_err());
+        assert!(FrequencyGrid::new(100.0, f64::NAN, 4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn candidate_index_is_bounds_checked() {
+        let _ = FrequencyGrid::paper_default().candidate_hz(30);
+    }
+
+    #[test]
+    fn complement_partitions_the_grid() {
+        let g = FrequencyGrid::new(1_000.0, 2_000.0, 6).unwrap();
+        let chosen = vec![1, 3, 4];
+        assert_eq!(g.complement(&chosen), vec![0, 2, 5]);
+        assert_eq!(g.complement(&[]), vec![0, 1, 2, 3, 4, 5]);
+        assert!(g.complement(&[0, 1, 2, 3, 4, 5]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn complement_is_exact_partition(
+            bins in 2usize..40,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let g = FrequencyGrid::new(1_000.0, 9_000.0, bins).unwrap();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let chosen: Vec<usize> = (0..bins).filter(|_| rng.gen_bool(0.5)).collect();
+            let comp = g.complement(&chosen);
+            let mut all: Vec<usize> = chosen.iter().chain(comp.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..bins).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # piano-core
+//!
+//! The primary contribution of *PIANO: Proximity-based User Authentication
+//! on Voice-Powered Internet-of-Things Devices* (Gong et al., ICDCS 2017),
+//! implemented in full on top of the simulated substrates
+//! [`piano_acoustics`] and [`piano_bluetooth`]:
+//!
+//! * [`freqgrid`] — the candidate frequency grid (Sec. VI-A: the 25–35 kHz
+//!   band split into 30 bins).
+//! * [`signal`] — Step I: frequency-domain randomized reference signals,
+//!   with both the paper-literal two-stage sampler and a uniform-subset
+//!   sampler (see `DESIGN.md` §5 for why they differ against guessing).
+//! * [`detect`] — Step IV: the frequency-based signal detection algorithm
+//!   (paper Algorithms 1 and 2), including the adapted coarse→fine step
+//!   sizes and single-scan detection of both reference signals.
+//! * [`ranging`] — Step VI: the BeepBeep-style two-way combination (Eq. 3)
+//!   that cancels clock offsets and processing delays.
+//! * [`device`] — a simulated voice-powered device: speaker, microphone,
+//!   skewed clock, audio-stack latency.
+//! * [`action`] — the ACTION protocol end to end (Steps I–VI) over the
+//!   acoustic field and the Bluetooth secure channel.
+//! * [`piano`] — the PIANO authenticator: registration, the Bluetooth
+//!   presence gate, threshold comparison, and the final decision.
+//! * [`metrics`] — the paper's Gaussian FRR/FAR model (Sec. VI-C).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use piano_core::piano::{AuthDecision, PianoAuthenticator, PianoConfig};
+//! use piano_core::device::Device;
+//! use piano_acoustics::{AcousticField, Environment, Position};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let mut authenticator = PianoAuthenticator::new(PianoConfig::default());
+//!
+//! // Registration: pair the smartwatch (vouching) with the phone
+//! // (authenticating) once.
+//! let phone = Device::phone(1, Position::ORIGIN, 101);
+//! let watch = Device::phone(2, Position::new(0.6, 0.0, 0.0), 202);
+//! authenticator.register(&phone, &watch, &mut rng);
+//!
+//! // Authentication: the user (wearing the watch) picks up the phone.
+//! let mut field = AcousticField::new(Environment::office(), 42);
+//! let decision = authenticator.authenticate(&mut field, &phone, &watch, 0.0, &mut rng);
+//! assert!(matches!(decision, AuthDecision::Granted { .. }));
+//! ```
+
+pub mod action;
+pub mod config;
+pub mod continuous;
+pub mod detect;
+pub mod device;
+pub mod error;
+pub mod freqgrid;
+pub mod metrics;
+pub mod piano;
+pub mod ranging;
+pub mod signal;
+pub mod wire;
+
+pub use action::{run_action, ActionOutcome, DistanceEstimate};
+pub use config::ActionConfig;
+pub use detect::{Detection, Detector};
+pub use device::Device;
+pub use error::PianoError;
+pub use freqgrid::FrequencyGrid;
+pub use piano::{AuthDecision, PianoAuthenticator, PianoConfig};
+pub use signal::{ReferenceSignal, SignalSampler};

@@ -1,0 +1,258 @@
+//! The paper's FRR/FAR model (Sec. VI-C).
+//!
+//! The paper models the estimated distance at true distance `d` as
+//! `N(d, σ_d²)` with a constant σ_d per scenario, estimated by averaging
+//! the standard deviations measured at 0.5/1.0/1.5/2.0 m. Then:
+//!
+//! * **FRR(τ)** averages `P(d̂ > τ) = Q((τ−d)/σ)` over legitimate
+//!   distances `d ∈ (0, τ]`;
+//! * **FAR(τ)** averages `P(d̂ ≤ τ)` over illegitimate distances
+//!   `d ∈ (τ, 10 m]` — but detection is impossible beyond the maximum
+//!   acoustic range `d_s ≈ 2.5 m` (the signal is declared absent), so only
+//!   `d ∈ (τ, d_s)` contributes; and FAR is 0 outside Bluetooth range.
+//!
+//! [`GaussianRangingModel`] implements both by numeric averaging over a
+//! fine distance grid, plus closed-form approximations used as sanity
+//! cross-checks in tests.
+
+use piano_dsp::stats::q_function;
+use serde::{Deserialize, Serialize};
+
+/// The Sec. VI-C Gaussian ranging-error model for one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaussianRangingModel {
+    /// Ranging standard deviation σ_d in meters.
+    pub sigma_m: f64,
+    /// Maximum acoustic detection range d_s in meters (≈2.5 in the paper).
+    pub max_acoustic_range_m: f64,
+    /// Bluetooth range in meters (10 in the paper).
+    pub bluetooth_range_m: f64,
+}
+
+/// Grid resolution for the numeric distance averages.
+const GRID_POINTS: usize = 4_000;
+
+impl GaussianRangingModel {
+    /// Builds a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < σ`, `0 < d_s < bluetooth_range`.
+    pub fn new(sigma_m: f64, max_acoustic_range_m: f64, bluetooth_range_m: f64) -> Self {
+        assert!(sigma_m > 0.0, "sigma must be positive");
+        assert!(
+            max_acoustic_range_m > 0.0 && max_acoustic_range_m < bluetooth_range_m,
+            "require 0 < d_s < bluetooth range"
+        );
+        GaussianRangingModel { sigma_m, max_acoustic_range_m, bluetooth_range_m }
+    }
+
+    /// Paper-like defaults with a caller-supplied σ.
+    pub fn with_sigma(sigma_m: f64) -> Self {
+        GaussianRangingModel::new(sigma_m, 2.5, 10.0)
+    }
+
+    /// Probability that a legitimate user at distance `d` is rejected with
+    /// threshold `tau`: `Q((τ−d)/σ)`, or 1 if the user is beyond acoustic
+    /// range (signal absent ⇒ denied).
+    pub fn reject_probability(&self, d: f64, tau: f64) -> f64 {
+        if d >= self.max_acoustic_range_m {
+            return 1.0;
+        }
+        q_function((tau - d) / self.sigma_m)
+    }
+
+    /// Probability that an attacker with the vouching device at distance
+    /// `d > τ` is accepted: `Q((d−τ)/σ)` within acoustic range, else 0.
+    pub fn accept_probability(&self, d: f64, tau: f64) -> f64 {
+        if d >= self.max_acoustic_range_m || d > self.bluetooth_range_m {
+            return 0.0;
+        }
+        q_function((d - tau) / self.sigma_m)
+    }
+
+    /// FRR(τ): the mean rejection probability over legitimate distances
+    /// `d ∈ (0, τ]` (the paper's "averaging the FRRs at each legitimate
+    /// distance").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn frr(&self, tau: f64) -> f64 {
+        assert!(tau > 0.0, "threshold must be positive");
+        let mut acc = 0.0;
+        for k in 0..GRID_POINTS {
+            let d = tau * (k as f64 + 0.5) / GRID_POINTS as f64;
+            acc += self.reject_probability(d, tau);
+        }
+        acc / GRID_POINTS as f64
+    }
+
+    /// FAR(τ): the mean acceptance probability over illegitimate distances
+    /// `d ∈ (τ, bluetooth_range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < τ < bluetooth_range`.
+    pub fn far(&self, tau: f64) -> f64 {
+        assert!(
+            tau > 0.0 && tau < self.bluetooth_range_m,
+            "threshold must lie inside the Bluetooth range"
+        );
+        let span = self.bluetooth_range_m - tau;
+        let mut acc = 0.0;
+        for k in 0..GRID_POINTS {
+            let d = tau + span * (k as f64 + 0.5) / GRID_POINTS as f64;
+            acc += self.accept_probability(d, tau);
+        }
+        acc / GRID_POINTS as f64
+    }
+
+    /// Closed-form FRR approximation `σ/(τ·√(2π))`, valid for `τ ≫ σ`.
+    /// Explains the paper's empirical halving of FRR when τ doubles
+    /// (Table I).
+    pub fn frr_closed_form(&self, tau: f64) -> f64 {
+        self.sigma_m / (tau * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Closed-form FAR approximation `σ/((R_bt−τ)·√(2π))`, valid for
+    /// `d_s − τ ≫ σ`. Explains Table II's near-constant rows.
+    pub fn far_closed_form(&self, tau: f64) -> f64 {
+        self.sigma_m / ((self.bluetooth_range_m - tau) * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+/// Estimates σ_d the way the paper does: group trials by true distance,
+/// take the standard deviation of the estimates at each distance, and
+/// average the per-distance standard deviations.
+///
+/// `trials` are `(true_distance_m, estimated_distance_m)` pairs; distances
+/// are grouped exactly (the harness uses exact grid distances). Returns
+/// `None` when no group has at least two trials.
+pub fn estimate_sigma(trials: &[(f64, f64)]) -> Option<f64> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for &(d, est) in trials {
+        groups.entry(d.to_bits()).or_default().push(est);
+    }
+    let mut sigmas = Vec::new();
+    for ests in groups.values() {
+        if ests.len() < 2 {
+            continue;
+        }
+        let summary = piano_dsp::stats::Summary::of(ests);
+        sigmas.push(summary.std);
+    }
+    if sigmas.is_empty() {
+        None
+    } else {
+        Some(sigmas.iter().sum::<f64>() / sigmas.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Office-like σ from the paper's numbers (Table I: FRR 5.6 % at
+    /// τ = 0.5 implies σ ≈ 7 cm via the closed form).
+    const OFFICE_SIGMA: f64 = 0.07;
+
+    #[test]
+    fn frr_reproduces_paper_office_row_shape() {
+        let m = GaussianRangingModel::with_sigma(OFFICE_SIGMA);
+        let frr_05 = m.frr(0.5);
+        let frr_10 = m.frr(1.0);
+        let frr_20 = m.frr(2.0);
+        // Paper office row: 5.6 %, 2.8 %, 1.9 %, 1.4 % — the 1/τ halving.
+        assert!((frr_05 - 0.056).abs() < 0.01, "FRR(0.5) = {frr_05}");
+        assert!((frr_10 - 0.028).abs() < 0.006, "FRR(1.0) = {frr_10}");
+        assert!((frr_05 / frr_10 - 2.0).abs() < 0.1, "halving law");
+        assert!((frr_05 / frr_20 - 4.0).abs() < 0.2, "quartering law");
+    }
+
+    #[test]
+    fn far_reproduces_paper_office_row_shape() {
+        let m = GaussianRangingModel::with_sigma(OFFICE_SIGMA);
+        // Paper office FARs: 0.3–0.4 % nearly flat in τ.
+        for &tau in &[0.5, 1.0, 1.5, 2.0] {
+            let far = m.far(tau);
+            assert!((0.002..0.005).contains(&far), "FAR({tau}) = {far}");
+        }
+        assert!(m.far(2.0) > m.far(0.5), "FAR grows slightly with τ");
+    }
+
+    #[test]
+    fn closed_forms_match_numeric_integrals() {
+        let m = GaussianRangingModel::with_sigma(0.1);
+        for &tau in &[0.5, 1.0, 2.0] {
+            let rel = (m.frr(tau) - m.frr_closed_form(tau)).abs() / m.frr(tau);
+            assert!(rel < 0.05, "FRR closed form off by {rel} at τ={tau}");
+            let rel = (m.far(tau) - m.far_closed_form(tau)).abs() / m.far(tau);
+            assert!(rel < 0.05, "FAR closed form off by {rel} at τ={tau}");
+        }
+    }
+
+    #[test]
+    fn noisier_scenarios_have_higher_error_rates() {
+        let quiet = GaussianRangingModel::with_sigma(0.07);
+        let loud = GaussianRangingModel::with_sigma(0.16);
+        assert!(loud.frr(1.0) > quiet.frr(1.0));
+        assert!(loud.far(1.0) > quiet.far(1.0));
+    }
+
+    #[test]
+    fn beyond_acoustic_range_never_accepts() {
+        let m = GaussianRangingModel::with_sigma(0.1);
+        assert_eq!(m.accept_probability(3.0, 2.0), 0.0);
+        assert_eq!(m.accept_probability(9.9, 2.0), 0.0);
+        // And a "legitimate" user beyond d_s is always rejected.
+        assert_eq!(m.reject_probability(2.6, 2.0), 1.0);
+    }
+
+    #[test]
+    fn reject_prob_is_monotone_in_distance() {
+        let m = GaussianRangingModel::with_sigma(0.1);
+        let tau = 1.0;
+        let mut prev = 0.0;
+        for k in 1..=20 {
+            let d = k as f64 * 0.1;
+            let p = m.reject_probability(d, tau);
+            assert!(p >= prev - 1e-12, "rejection must grow with distance");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn estimate_sigma_recovers_known_spread() {
+        // Synthetic trials: exact ±σ alternation at two distances.
+        let mut trials = Vec::new();
+        for &d in &[0.5, 1.0] {
+            for k in 0..20 {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                trials.push((d, d + sign * 0.08));
+            }
+        }
+        let sigma = estimate_sigma(&trials).unwrap();
+        // Alternating ±0.08 has sample std ≈ 0.082.
+        assert!((sigma - 0.082).abs() < 0.003, "sigma {sigma}");
+    }
+
+    #[test]
+    fn estimate_sigma_requires_repeats() {
+        assert_eq!(estimate_sigma(&[(0.5, 0.51)]), None);
+        assert_eq!(estimate_sigma(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn frr_rejects_bad_threshold() {
+        let _ = GaussianRangingModel::with_sigma(0.1).frr(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn model_rejects_bad_sigma() {
+        let _ = GaussianRangingModel::with_sigma(0.0);
+    }
+}

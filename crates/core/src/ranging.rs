@@ -1,0 +1,148 @@
+//! Step VI: estimating distance (paper Eq. 3).
+//!
+//! Each device detects both reference signals in *its own* recording and
+//! reduces them to one number: the location difference between the other
+//! device's signal and its own. Combining the two differences cancels both
+//! clock offsets and all processing delays:
+//!
+//! ```text
+//! d_AV = ½·s·( (l_AV − l_AA)/f_A  −  (l_VV − l_VA)/f_V )
+//! ```
+//!
+//! where `l_AA, l_AV` are sample locations in the authenticating device's
+//! recording, `l_VA, l_VV` in the vouching device's, and `f_A, f_V` the
+//! nominal sampling rates. No timestamps ever cross devices — only the
+//! dimensionless location differences — which is why the paper's Eq. 1/2
+//! synchronization problem never arises.
+
+use serde::{Deserialize, Serialize};
+
+/// The location differences each device extracts from its recording.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LocationDiffs {
+    /// `l_AV − l_AA` on the authenticating device, in samples.
+    pub auth_diff_samples: f64,
+    /// `l_VV − l_VA` on the vouching device, in samples.
+    pub vouch_diff_samples: f64,
+}
+
+/// Computes Eq. 3.
+///
+/// * `diffs` — the two per-device location differences.
+/// * `rate_auth_hz`, `rate_vouch_hz` — nominal sampling rates `f_A`, `f_V`.
+/// * `speed_of_sound` — `s` in m/s.
+///
+/// The result can be negative when detection errors exceed the true
+/// distance; callers treat negative estimates like any other estimate
+/// (the paper's error bars in Fig. 1 include a below-zero whisker).
+pub fn estimate_distance(
+    diffs: &LocationDiffs,
+    rate_auth_hz: f64,
+    rate_vouch_hz: f64,
+    speed_of_sound: f64,
+) -> f64 {
+    0.5 * speed_of_sound
+        * (diffs.auth_diff_samples / rate_auth_hz - diffs.vouch_diff_samples / rate_vouch_hz)
+}
+
+/// One-way distance from a single pair of timestamps (paper Eq. 1/2):
+/// `d = s·Δt`. Provided for the Echo baseline and for tests demonstrating
+/// why unsynchronized clocks make it useless.
+pub fn one_way_distance(elapsed_s: f64, speed_of_sound: f64) -> f64 {
+    speed_of_sound * elapsed_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const S: f64 = 343.0;
+    const FS: f64 = 44_100.0;
+
+    /// Builds the four ideal locations for a ground-truth geometry and
+    /// schedule, mimicking Step IV's outputs exactly.
+    fn ideal_diffs(distance_m: f64, auth_play_s: f64, vouch_play_s: f64) -> LocationDiffs {
+        let tof = distance_m / S;
+        // Device A records from t=0 (its clock); V records from any offset —
+        // offsets cancel inside each difference, so use 0 for clarity.
+        let l_aa = auth_play_s * FS;
+        let l_av = (vouch_play_s + tof) * FS;
+        let l_va = (auth_play_s + tof) * FS;
+        let l_vv = vouch_play_s * FS;
+        LocationDiffs {
+            auth_diff_samples: l_av - l_aa,
+            vouch_diff_samples: l_vv - l_va,
+        }
+    }
+
+    #[test]
+    fn recovers_ground_truth_distance() {
+        for &d in &[0.0, 0.5, 1.0, 1.5, 2.0, 2.5] {
+            let diffs = ideal_diffs(d, 0.35, 1.15);
+            let est = estimate_distance(&diffs, FS, FS, S);
+            assert!((est - d).abs() < 1e-9, "d={d} est={est}");
+        }
+    }
+
+    #[test]
+    fn schedule_choice_cancels() {
+        // Playback times drop out of Eq. 3 entirely.
+        let a = estimate_distance(&ideal_diffs(1.0, 0.35, 1.15), FS, FS, S);
+        let b = estimate_distance(&ideal_diffs(1.0, 0.10, 1.90), FS, FS, S);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_error_maps_to_centimeters() {
+        // One sample of location error on one device moves the estimate by
+        // s/(2·fs) ≈ 3.9 mm — the paper's centimeter errors correspond to
+        // tens of samples.
+        let clean = ideal_diffs(1.0, 0.35, 1.15);
+        let mut noisy = clean;
+        noisy.auth_diff_samples += 1.0;
+        let delta = estimate_distance(&noisy, FS, FS, S) - estimate_distance(&clean, FS, FS, S);
+        assert!((delta - S / (2.0 * FS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_errors_cancel() {
+        // Equal-sized errors on both devices in the same direction cancel:
+        // the two-way combination is differential by design.
+        let mut diffs = ideal_diffs(1.5, 0.35, 1.15);
+        diffs.auth_diff_samples += 25.0;
+        diffs.vouch_diff_samples += 25.0;
+        let est = estimate_distance(&diffs, FS, FS, S);
+        assert!((est - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_way_distance_is_linear() {
+        assert!((one_way_distance(0.01, S) - 3.43).abs() < 1e-12);
+        assert_eq!(one_way_distance(0.0, S), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn eq3_is_exact_for_ideal_inputs(
+            d in 0.0f64..5.0,
+            pa in 0.0f64..1.0,
+            pv in 1.2f64..2.0,
+        ) {
+            let est = estimate_distance(&ideal_diffs(d, pa, pv), FS, FS, S);
+            prop_assert!((est - d).abs() < 1e-9);
+        }
+
+        #[test]
+        fn estimate_is_antisymmetric_in_differences(
+            ad in -1e5f64..1e5,
+            vd in -1e5f64..1e5,
+        ) {
+            let diffs = LocationDiffs { auth_diff_samples: ad, vouch_diff_samples: vd };
+            let swapped = LocationDiffs { auth_diff_samples: vd, vouch_diff_samples: ad };
+            let a = estimate_distance(&diffs, FS, FS, S);
+            let b = estimate_distance(&swapped, FS, FS, S);
+            prop_assert!((a + b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Step I: constructing randomized reference signals.
+//!
+//! Paper, Sec. IV-B: "we first sample an integer n (0 < n < N) and then
+//! select n frequencies from F_R uniformly at random. For each sampled
+//! frequency, we synthesize a sine wave with the frequency, and then we
+//! construct a reference signal by adding these sine waves." Per-tone power
+//! is `R_f = (32000/n)²` (Sec. VI-A), i.e. tone amplitude `32000/n` — which
+//! also guarantees the mixed signal never exceeds 32000 and cannot clip the
+//! 16-bit DAC.
+//!
+//! ## Two samplers
+//!
+//! The paper's *two-stage* sampler (uniform `n`, then uniform `n`-subset)
+//! does **not** make all subsets equally likely: singletons and
+//! near-complete sets are hugely over-weighted, so a mimicking attacker
+//! guesses a signal with probability `Σ_n 1/((N−1)²·C(N,n))` ≈ 7.7·10⁻⁵
+//! for N = 30 — far above the paper's claimed `1/(2^N−2)` ≈ 9.3·10⁻¹⁰,
+//! which holds only if subsets are uniform. Both samplers are provided;
+//! [`SignalSampler::UniformSubset`] is the default (and what the security
+//! claim needs); the experiment suite quantifies the gap (experiment E10).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use piano_dsp::tone::{multi_tone, ToneSpec};
+
+use crate::config::ActionConfig;
+use crate::freqgrid::FrequencyGrid;
+
+/// Strategy for sampling the random frequency subset of a reference signal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalSampler {
+    /// The paper's literal construction: `n ~ Uniform{1..N−1}`, then an
+    /// `n`-subset uniformly at random. Biased toward extreme subset sizes
+    /// in guessing probability (see module docs).
+    TwoStage,
+    /// Uniform over all subsets with `1 ≤ |F| ≤ N−1`, matching the paper's
+    /// `1/(2^N−2)` guessing analysis. Default.
+    #[default]
+    UniformSubset,
+}
+
+impl SignalSampler {
+    /// Samples a sorted frequency-index subset from a grid of `n` candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than 2 candidates (no valid subset with
+    /// `0 < |F| < N` exists).
+    pub fn sample(&self, grid_len: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+        assert!(grid_len >= 2, "grid must have at least 2 candidates");
+        let mut indices: Vec<usize> = match self {
+            SignalSampler::TwoStage => {
+                let n = rng.gen_range(1..grid_len);
+                let mut all: Vec<usize> = (0..grid_len).collect();
+                all.shuffle(rng);
+                all.truncate(n);
+                all
+            }
+            SignalSampler::UniformSubset => loop {
+                let picked: Vec<usize> = (0..grid_len).filter(|_| rng.gen_bool(0.5)).collect();
+                if !picked.is_empty() && picked.len() < grid_len {
+                    break picked;
+                }
+            },
+        };
+        indices.sort_unstable();
+        indices
+    }
+}
+
+/// A fully specified reference signal (the paper's `S`).
+///
+/// Carries the construction parameters rather than PCM: the waveform is
+/// synthesized on demand with [`ReferenceSignal::waveform`], and the
+/// parameters are what travels over the Bluetooth secure channel in Step II
+/// (they are equivalent information and three orders of magnitude smaller).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceSignal {
+    grid: FrequencyGrid,
+    /// Sorted candidate indices — the paper's frequency set `F`.
+    indices: Vec<usize>,
+    /// Per-tone amplitude (`max_amplitude / n`).
+    amplitude: f64,
+    /// Initial phase per tone, aligned with `indices`.
+    phases: Vec<f64>,
+    /// Signal length in samples.
+    length: usize,
+    /// Nominal sample rate in Hz.
+    sample_rate: f64,
+}
+
+impl ReferenceSignal {
+    /// Constructs a fresh randomized reference signal per the protocol
+    /// configuration (Step I).
+    pub fn random(config: &ActionConfig, rng: &mut ChaCha8Rng) -> Self {
+        let indices = config.sampler.sample(config.grid.len(), rng);
+        Self::from_indices(config, indices, rng)
+    }
+
+    /// Constructs a signal from a caller-chosen frequency set. Used by the
+    /// guessing-attack model (which synthesizes its guesses with the same
+    /// machinery) and by deterministic tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty, unsorted, contains duplicates, or
+    /// references candidates outside the grid.
+    pub fn from_indices(config: &ActionConfig, indices: Vec<usize>, rng: &mut ChaCha8Rng) -> Self {
+        assert!(!indices.is_empty(), "a reference signal needs at least one tone");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted and unique"
+        );
+        assert!(
+            *indices.last().expect("nonempty") < config.grid.len(),
+            "index out of grid range"
+        );
+        let amplitude = config.max_amplitude / indices.len() as f64;
+        let phases = indices
+            .iter()
+            .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+            .collect();
+        ReferenceSignal {
+            grid: config.grid,
+            indices,
+            amplitude,
+            phases,
+            length: config.signal_len,
+            sample_rate: config.sample_rate,
+        }
+    }
+
+    /// Reassembles a signal from raw parts — the receiving side of the wire
+    /// codec ([`crate::wire::SignalSpec::reconstruct`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (empty set,
+    /// unsorted indices, index out of grid, phase-count mismatch,
+    /// non-positive amplitude or length).
+    pub fn from_parts(
+        grid: FrequencyGrid,
+        indices: Vec<usize>,
+        amplitude: f64,
+        phases: Vec<f64>,
+        length: usize,
+        sample_rate: f64,
+    ) -> Result<Self, String> {
+        if indices.is_empty() {
+            return Err("frequency set is empty".into());
+        }
+        if !indices.windows(2).all(|w| w[0] < w[1]) {
+            return Err("indices are not sorted/unique".into());
+        }
+        if *indices.last().expect("nonempty") >= grid.len() {
+            return Err("index out of grid range".into());
+        }
+        if phases.len() != indices.len() {
+            return Err("phase count does not match tone count".into());
+        }
+        if amplitude <= 0.0 || !amplitude.is_finite() {
+            return Err("amplitude must be positive".into());
+        }
+        if length == 0 || sample_rate <= 0.0 {
+            return Err("length and sample rate must be positive".into());
+        }
+        Ok(ReferenceSignal { grid, indices, amplitude, phases, length, sample_rate })
+    }
+
+    /// The frequency set `F` as sorted candidate indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of tones `n`.
+    pub fn n_tones(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Per-tone amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Per-tone phases.
+    pub fn phases(&self) -> &[f64] {
+        &self.phases
+    }
+
+    /// Signal length in samples.
+    pub fn len(&self) -> usize {
+        self.length
+    }
+
+    /// Whether the signal has zero length (never true for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.length == 0
+    }
+
+    /// Nominal sample rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The grid this signal draws from.
+    pub fn grid(&self) -> &FrequencyGrid {
+        &self.grid
+    }
+
+    /// Per-tone reference power `R_f` (amplitude squared).
+    pub fn tone_power(&self) -> f64 {
+        self.amplitude * self.amplitude
+    }
+
+    /// Total reference power `R_S = Σ_f R_f = n·R_f`.
+    pub fn total_power(&self) -> f64 {
+        self.n_tones() as f64 * self.tone_power()
+    }
+
+    /// Synthesizes the PCM waveform (what Step III plays).
+    pub fn waveform(&self) -> Vec<f64> {
+        let tones: Vec<ToneSpec> = self
+            .indices
+            .iter()
+            .zip(&self.phases)
+            .map(|(&i, &ph)| {
+                ToneSpec::new(self.grid.candidate_hz(i), self.amplitude).with_phase(ph)
+            })
+            .collect();
+        multi_tone(&tones, self.sample_rate, self.length)
+    }
+
+    /// Whether another signal uses exactly the same frequency set — the
+    /// success condition for a guessing-based replay attack.
+    pub fn same_frequency_set(&self, other: &ReferenceSignal) -> bool {
+        self.indices == other.indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piano_dsp::spectrum::{band_power, power_spectrum};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn two_stage_respects_paper_bounds() {
+        let mut r = rng(1);
+        for _ in 0..500 {
+            let s = SignalSampler::TwoStage.sample(30, &mut r);
+            assert!(!s.is_empty() && s.len() < 30, "0 < n < N violated: {}", s.len());
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_subset_respects_bounds() {
+        let mut r = rng(2);
+        for _ in 0..500 {
+            let s = SignalSampler::UniformSubset.sample(30, &mut r);
+            assert!(!s.is_empty() && s.len() < 30);
+        }
+    }
+
+    #[test]
+    fn two_stage_sizes_are_roughly_uniform() {
+        let mut r = rng(3);
+        let mut counts = HashMap::new();
+        let trials = 29_000;
+        for _ in 0..trials {
+            let n = SignalSampler::TwoStage.sample(30, &mut r).len();
+            *counts.entry(n).or_insert(0usize) += 1;
+        }
+        // 29 possible sizes, so expect ~1000 each; allow generous slack.
+        for n in 1..30 {
+            let c = *counts.get(&n).unwrap_or(&0);
+            assert!((700..1300).contains(&c), "size {n} count {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_subset_sizes_concentrate_near_half() {
+        let mut r = rng(4);
+        let mut acc = 0usize;
+        let trials = 2_000;
+        for _ in 0..trials {
+            acc += SignalSampler::UniformSubset.sample(30, &mut r).len();
+        }
+        let mean = acc as f64 / trials as f64;
+        assert!((mean - 15.0).abs() < 0.5, "mean subset size {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn sampler_rejects_degenerate_grid() {
+        let _ = SignalSampler::TwoStage.sample(1, &mut rng(5));
+    }
+
+    #[test]
+    fn amplitude_follows_paper_power_rule() {
+        let config = ActionConfig::default();
+        let sig = ReferenceSignal::from_indices(&config, vec![0, 5, 7, 20], &mut rng(6));
+        assert!((sig.amplitude() - 8_000.0).abs() < 1e-9);
+        assert!((sig.tone_power() - config.reference_power(4)).abs() < 1e-6);
+        assert!((sig.total_power() - 4.0 * sig.tone_power()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waveform_never_clips_sixteen_bit() {
+        let config = ActionConfig::default();
+        for seed in 0..20 {
+            let sig = ReferenceSignal::random(&config, &mut rng(seed));
+            let peak = piano_dsp::tone::peak(&sig.waveform());
+            assert!(peak <= config.max_amplitude + 1e-9, "peak {peak}");
+        }
+    }
+
+    #[test]
+    fn waveform_concentrates_power_on_chosen_candidates() {
+        let config = ActionConfig::default();
+        let sig = ReferenceSignal::from_indices(&config, vec![2, 9, 17], &mut rng(8));
+        let wave = sig.waveform();
+        let ps = power_spectrum(&wave);
+        for &i in sig.indices() {
+            let bin = config.grid.fft_bin(i, config.sample_rate, config.signal_len);
+            let p = band_power(&ps, bin, config.theta);
+            assert!(
+                p > 0.5 * sig.tone_power(),
+                "candidate {i} power {p} vs R_f {}",
+                sig.tone_power()
+            );
+        }
+        // Complement candidates carry (almost) nothing.
+        for &i in &config.grid.complement(sig.indices()) {
+            let bin = config.grid.fft_bin(i, config.sample_rate, config.signal_len);
+            let p = band_power(&ps, bin, config.theta);
+            // Rectangular-window sidelobes of off-bin tones leak ~0.1 % of
+            // R_f into neighbouring clusters — inherent to the paper's
+            // analysis window and safely below the β = 0.5 % ceiling.
+            assert!(p < 0.003 * sig.tone_power(), "leakage at candidate {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn random_signals_differ_between_sessions() {
+        let config = ActionConfig::default();
+        let mut r = rng(9);
+        let a = ReferenceSignal::random(&config, &mut r);
+        let b = ReferenceSignal::random(&config, &mut r);
+        assert!(!a.same_frequency_set(&b) || a.phases() != b.phases());
+    }
+
+    #[test]
+    fn same_frequency_set_compares_indices_only() {
+        let config = ActionConfig::default();
+        let a = ReferenceSignal::from_indices(&config, vec![1, 2], &mut rng(10));
+        let b = ReferenceSignal::from_indices(&config, vec![1, 2], &mut rng(11));
+        let c = ReferenceSignal::from_indices(&config, vec![1, 3], &mut rng(12));
+        assert!(a.same_frequency_set(&b));
+        assert!(!a.same_frequency_set(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn from_indices_rejects_unsorted() {
+        let config = ActionConfig::default();
+        let _ = ReferenceSignal::from_indices(&config, vec![3, 1], &mut rng(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn from_indices_rejects_out_of_range() {
+        let config = ActionConfig::default();
+        let _ = ReferenceSignal::from_indices(&config, vec![30], &mut rng(14));
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_signals_are_always_valid(seed in 0u64..500) {
+            let config = ActionConfig::default();
+            let sig = ReferenceSignal::random(&config, &mut rng(seed));
+            prop_assert!(sig.n_tones() >= 1 && sig.n_tones() < 30);
+            prop_assert_eq!(sig.phases().len(), sig.n_tones());
+            prop_assert_eq!(sig.waveform().len(), 4096);
+            prop_assert!((sig.amplitude() * sig.n_tones() as f64 - 32_000.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Binary wire format for protocol messages.
+//!
+//! Step II sends the two reference signals to the vouching device and Step
+//! V returns the local time difference. Messages are encoded with a small
+//! explicit binary codec (little-endian, length-prefixed) rather than a
+//! serialization framework so the on-the-wire byte count — which feeds the
+//! Bluetooth timing/energy models — is meaningful and stable.
+
+use crate::config::ActionConfig;
+use crate::error::PianoError;
+use crate::ranging::LocationDiffs;
+use crate::signal::ReferenceSignal;
+
+/// Protocol messages exchanged over the Bluetooth secure channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Step II: both reference signals plus the session's schedule, sent by
+    /// the authenticating device.
+    ReferenceSignals {
+        /// Session identifier chosen by the authenticating device.
+        session: u64,
+        /// The authenticating device's signal `S_A`.
+        sa: SignalSpec,
+        /// The vouching device's signal `S_V`.
+        sv: SignalSpec,
+    },
+    /// Step V: the vouching device's local location difference
+    /// `l_VV − l_VA` (in samples).
+    TimeDiffReport {
+        /// Session identifier echoed back.
+        session: u64,
+        /// `l_VV − l_VA` in samples, or `None` if either signal was not
+        /// present in the vouching device's recording.
+        vouch_diff_samples: Option<f64>,
+    },
+}
+
+/// The construction parameters of one reference signal — equivalent
+/// information to the PCM, three orders of magnitude smaller.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignalSpec {
+    /// Sorted candidate indices (the frequency set `F`).
+    pub indices: Vec<u16>,
+    /// Per-tone phases, aligned with `indices`.
+    pub phases: Vec<f64>,
+    /// Per-tone amplitude.
+    pub amplitude: f64,
+}
+
+impl SignalSpec {
+    /// Extracts the spec from a reference signal.
+    pub fn of(signal: &ReferenceSignal) -> Self {
+        SignalSpec {
+            indices: signal.indices().iter().map(|&i| i as u16).collect(),
+            phases: signal.phases().to_vec(),
+            amplitude: signal.amplitude(),
+        }
+    }
+
+    /// Reconstructs the full reference signal under a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PianoError::Wire`] if the spec is inconsistent with the
+    /// configuration (bad indices, mismatched lengths, wrong amplitude).
+    pub fn reconstruct(&self, config: &ActionConfig) -> Result<ReferenceSignal, PianoError> {
+        if self.indices.is_empty() {
+            return Err(PianoError::Wire("signal spec has no tones".into()));
+        }
+        if self.indices.len() != self.phases.len() {
+            return Err(PianoError::Wire("indices/phases length mismatch".into()));
+        }
+        let indices: Vec<usize> = self.indices.iter().map(|&i| i as usize).collect();
+        if !indices.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PianoError::Wire("signal spec indices not sorted/unique".into()));
+        }
+        if indices[indices.len() - 1] >= config.grid.len() {
+            return Err(PianoError::Wire("signal spec index out of grid".into()));
+        }
+        let expected_amp = config.max_amplitude / indices.len() as f64;
+        if (self.amplitude - expected_amp).abs() > 1e-6 * expected_amp {
+            return Err(PianoError::Wire("signal spec amplitude violates power rule".into()));
+        }
+        ReferenceSignal::from_parts(
+            config.grid,
+            indices,
+            self.amplitude,
+            self.phases.clone(),
+            config.signal_len,
+            config.sample_rate,
+        )
+        .map_err(PianoError::Wire)
+    }
+}
+
+const TAG_REFERENCE_SIGNALS: u8 = 1;
+const TAG_TIME_DIFF: u8 = 2;
+
+impl Message {
+    /// Encodes the message to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::ReferenceSignals { session, sa, sv } => {
+                out.push(TAG_REFERENCE_SIGNALS);
+                out.extend_from_slice(&session.to_le_bytes());
+                encode_spec(&mut out, sa);
+                encode_spec(&mut out, sv);
+            }
+            Message::TimeDiffReport { session, vouch_diff_samples } => {
+                out.push(TAG_TIME_DIFF);
+                out.extend_from_slice(&session.to_le_bytes());
+                match vouch_diff_samples {
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a message from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PianoError::Wire`] on truncation, unknown tags, or
+    /// trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Message, PianoError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_REFERENCE_SIGNALS => {
+                let session = r.u64()?;
+                let sa = decode_spec(&mut r)?;
+                let sv = decode_spec(&mut r)?;
+                Message::ReferenceSignals { session, sa, sv }
+            }
+            TAG_TIME_DIFF => {
+                let session = r.u64()?;
+                let present = r.u8()?;
+                let vouch_diff_samples = match present {
+                    0 => None,
+                    1 => Some(r.f64()?),
+                    x => return Err(PianoError::Wire(format!("bad option byte {x}"))),
+                };
+                Message::TimeDiffReport { session, vouch_diff_samples }
+            }
+            x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
+        };
+        if r.pos != bytes.len() {
+            return Err(PianoError::Wire(format!(
+                "{} trailing bytes after message",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+fn encode_spec(out: &mut Vec<u8>, spec: &SignalSpec) {
+    out.extend_from_slice(&(spec.indices.len() as u16).to_le_bytes());
+    for &i in &spec.indices {
+        out.extend_from_slice(&i.to_le_bytes());
+    }
+    for &p in &spec.phases {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out.extend_from_slice(&spec.amplitude.to_le_bytes());
+}
+
+fn decode_spec(r: &mut Reader<'_>) -> Result<SignalSpec, PianoError> {
+    let n = r.u16()? as usize;
+    if n == 0 || n > 4096 {
+        return Err(PianoError::Wire(format!("implausible tone count {n}")));
+    }
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        indices.push(r.u16()?);
+    }
+    let mut phases = Vec::with_capacity(n);
+    for _ in 0..n {
+        phases.push(r.f64()?);
+    }
+    let amplitude = r.f64()?;
+    Ok(SignalSpec { indices, phases, amplitude })
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], PianoError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(PianoError::Wire("truncated message".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, PianoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, PianoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("size")))
+    }
+    fn u64(&mut self) -> Result<u64, PianoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("size")))
+    }
+    fn f64(&mut self) -> Result<f64, PianoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("size")))
+    }
+}
+
+/// Convenience: encodes the Step V report from detection output.
+pub fn time_diff_report(session: u64, diffs: Option<&LocationDiffs>) -> Message {
+    Message::TimeDiffReport {
+        session,
+        vouch_diff_samples: diffs.map(|d| d.vouch_diff_samples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec(indices: Vec<u16>) -> SignalSpec {
+        let n = indices.len();
+        SignalSpec {
+            phases: indices.iter().map(|&i| i as f64 * 0.1).collect(),
+            indices,
+            amplitude: 32_000.0 / n as f64,
+        }
+    }
+
+    #[test]
+    fn reference_signals_roundtrip() {
+        let msg = Message::ReferenceSignals {
+            session: 0xDEADBEEF,
+            sa: spec(vec![1, 5, 9]),
+            sv: spec(vec![0, 2, 4, 6, 8]),
+        };
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn time_diff_roundtrips_both_variants() {
+        for v in [Some(1234.5), None] {
+            let msg = Message::TimeDiffReport { session: 7, vouch_diff_samples: v };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        let msg = Message::ReferenceSignals {
+            session: 1,
+            sa: spec(vec![1, 2]),
+            sv: spec(vec![3]),
+        };
+        let bytes = msg.encode();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut bytes = Message::TimeDiffReport { session: 1, vouch_diff_samples: None }.encode();
+        bytes.push(0xFF);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert!(Message::decode(&[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_reference_signal() {
+        let config = ActionConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let original = ReferenceSignal::random(&config, &mut rng);
+        let spec = SignalSpec::of(&original);
+        let rebuilt = spec.reconstruct(&config).unwrap();
+        assert_eq!(rebuilt, original);
+        // Crucially the waveforms are identical: V plays exactly S_V.
+        assert_eq!(rebuilt.waveform(), original.waveform());
+    }
+
+    #[test]
+    fn reconstruct_validates() {
+        let config = ActionConfig::default();
+        // Empty.
+        assert!(spec_err(SignalSpec { indices: vec![], phases: vec![], amplitude: 1.0 }, &config));
+        // Length mismatch.
+        assert!(spec_err(
+            SignalSpec { indices: vec![1, 2], phases: vec![0.0], amplitude: 16_000.0 },
+            &config
+        ));
+        // Unsorted.
+        assert!(spec_err(
+            SignalSpec { indices: vec![2, 1], phases: vec![0.0, 0.0], amplitude: 16_000.0 },
+            &config
+        ));
+        // Out of grid.
+        assert!(spec_err(
+            SignalSpec { indices: vec![40], phases: vec![0.0], amplitude: 32_000.0 },
+            &config
+        ));
+        // Wrong amplitude (power rule).
+        assert!(spec_err(
+            SignalSpec { indices: vec![1, 2], phases: vec![0.0, 0.0], amplitude: 99.0 },
+            &config
+        ));
+    }
+
+    fn spec_err(s: SignalSpec, c: &ActionConfig) -> bool {
+        s.reconstruct(c).is_err()
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        // The Step II payload must be O(100) bytes, not PCM-sized: this is
+        // what the Bluetooth timing budget in E8 assumes.
+        let msg = Message::ReferenceSignals {
+            session: 1,
+            sa: spec((0..15).collect()),
+            sv: spec((15..29).collect()),
+        };
+        let len = msg.encode().len();
+        assert!(len < 600, "wire size {len} bytes");
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-correlation.
+//!
+//! The paper's Fig. 2b compares ACTION against ACTION-CC, a variant whose
+//! detector is the classic cross-correlation used by BeepBeep. This module
+//! provides that detector: [`cross_correlate`] computes
+//! `c[k] = Σ_n x[n+k]·s[n]` for every alignment `k` of the reference `s`
+//! inside the recording `x`, and [`best_alignment`] returns the argmax —
+//! optionally normalized per window so loud noise bursts don't win.
+//!
+//! Both a direct `O(N·M)` implementation and an FFT-based `O(N log N)` one
+//! are provided; they produce identical results and the tests enforce that.
+
+use crate::complex::Complex64;
+use crate::fft::{next_pow2, FftPlan};
+
+/// Valid-mode cross-correlation: output index `k` is the correlation of
+/// `signal[k..k+reference.len()]` with `reference`.
+///
+/// Returns an empty vector when the reference is longer than the signal or
+/// either is empty.
+pub fn cross_correlate(signal: &[f64], reference: &[f64]) -> Vec<f64> {
+    if reference.is_empty() || signal.len() < reference.len() {
+        return Vec::new();
+    }
+    let lags = signal.len() - reference.len() + 1;
+    (0..lags)
+        .map(|k| {
+            signal[k..k + reference.len()]
+                .iter()
+                .zip(reference)
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect()
+}
+
+/// FFT-based valid-mode cross-correlation; identical output to
+/// [`cross_correlate`] up to floating-point rounding, but `O(N log N)`.
+pub fn cross_correlate_fft(signal: &[f64], reference: &[f64]) -> Vec<f64> {
+    if reference.is_empty() || signal.len() < reference.len() {
+        return Vec::new();
+    }
+    let lags = signal.len() - reference.len() + 1;
+    let n = next_pow2(signal.len() + reference.len());
+    let plan = FftPlan::new(n);
+
+    let mut sig: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_real(x)).collect();
+    sig.resize(n, Complex64::ZERO);
+    plan.forward(&mut sig);
+
+    // Correlation = convolution with the time-reversed reference, i.e.
+    // multiply by the conjugate spectrum.
+    let mut refr: Vec<Complex64> = reference.iter().map(|&x| Complex64::from_real(x)).collect();
+    refr.resize(n, Complex64::ZERO);
+    plan.forward(&mut refr);
+
+    for (s, r) in sig.iter_mut().zip(&refr) {
+        *s = *s * r.conj();
+    }
+    plan.inverse(&mut sig);
+    sig[..lags].iter().map(|z| z.re).collect()
+}
+
+/// Result of a correlation search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alignment {
+    /// Offset (in samples) of the best alignment of the reference within the
+    /// signal.
+    pub offset: usize,
+    /// Correlation score at that offset (normalized if requested).
+    pub score: f64,
+}
+
+/// Finds the best alignment of `reference` inside `signal`.
+///
+/// With `normalized = true` each window's correlation is divided by the
+/// window's energy square root (a normalized matched filter), which is the
+/// robust form typically used in ranging systems.
+///
+/// Returns `None` if the reference does not fit inside the signal.
+pub fn best_alignment(signal: &[f64], reference: &[f64], normalized: bool) -> Option<Alignment> {
+    if reference.is_empty() || signal.len() < reference.len() {
+        return None;
+    }
+    let raw = cross_correlate_fft(signal, reference);
+    if !normalized {
+        let (offset, &score) = raw
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        return Some(Alignment { offset, score });
+    }
+
+    // Rolling window energy for normalization.
+    let m = reference.len();
+    let mut energy = signal[..m].iter().map(|x| x * x).sum::<f64>();
+    let mut best = Alignment { offset: 0, score: f64::NEG_INFINITY };
+    for (k, &c) in raw.iter().enumerate() {
+        let denom = energy.max(1e-12).sqrt();
+        let score = c / denom;
+        if score > best.score {
+            best = Alignment { offset: k, score };
+        }
+        if k + m < signal.len() {
+            energy += signal[k + m] * signal[k + m] - signal[k] * signal[k];
+            energy = energy.max(0.0);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn direct_and_fft_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let signal: Vec<f64> = (0..300).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let reference: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = cross_correlate(&signal, &reference);
+        let b = cross_correlate_fft(&signal, &reference);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn finds_embedded_copy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let reference: Vec<f64> = (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut signal = vec![0.0; 1000];
+        let true_offset = 313;
+        for (i, &r) in reference.iter().enumerate() {
+            signal[true_offset + i] = r;
+        }
+        let found = best_alignment(&signal, &reference, false).unwrap();
+        assert_eq!(found.offset, true_offset);
+    }
+
+    #[test]
+    fn normalized_resists_loud_noise_burst() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let reference: Vec<f64> = (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut signal = vec![0.0; 2000];
+        let true_offset = 500;
+        for (i, &r) in reference.iter().enumerate() {
+            signal[true_offset + i] = 0.5 * r;
+        }
+        // Loud unrelated burst elsewhere.
+        for i in 1500..1628 {
+            signal[i] = rng.gen_range(-20.0..20.0);
+        }
+        let found = best_alignment(&signal, &reference, true).unwrap();
+        assert_eq!(found.offset, true_offset);
+    }
+
+    #[test]
+    fn sparse_multitone_correlation_is_ambiguous_under_phase_distortion() {
+        // Core phenomenon behind Fig. 2b: a sum of a few sines has a
+        // quasi-periodic autocorrelation; per-tone phase shifts displace the
+        // global maximum by whole sidelobes. This test documents the effect.
+        let fs = 44_100.0;
+        let tones: Vec<tone::ToneSpec> = [25_500.0f64, 27_800.0, 31_200.0, 33_100.0]
+            .iter()
+            .map(|&f| tone::ToneSpec::new(f, 1.0))
+            .collect();
+        let reference = tone::multi_tone(&tones, fs, 4096);
+        let shifted: Vec<tone::ToneSpec> = tones
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.with_phase(1.1 + 1.9 * i as f64))
+            .collect();
+        let mut signal = vec![0.0; 12_000];
+        let true_offset = 4000;
+        let distorted = tone::multi_tone(&shifted, fs, 4096);
+        for (i, &v) in distorted.iter().enumerate() {
+            signal[true_offset + i] = v;
+        }
+        let found = best_alignment(&signal, &reference, true).unwrap();
+        let err = (found.offset as isize - true_offset as isize).unsigned_abs();
+        assert!(
+            err > 10,
+            "phase distortion should displace the correlation peak, err={err}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(best_alignment(&[], &[1.0], false).is_none());
+        assert!(best_alignment(&[1.0, 2.0], &[1.0, 2.0, 3.0], true).is_none());
+        assert!(cross_correlate(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn reference_equal_to_signal_gives_single_lag() {
+        let s = [1.0, -2.0, 3.0];
+        let c = cross_correlate(&s, &s);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 14.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn fft_path_matches_direct_path(
+            sig in proptest::collection::vec(-10.0f64..10.0, 16..80),
+            refr in proptest::collection::vec(-10.0f64..10.0, 1..16),
+        ) {
+            let a = cross_correlate(&sig, &refr);
+            let b = cross_correlate_fft(&sig, &refr);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn autocorrelation_peaks_at_zero_lag(
+            seed in 0u64..1000,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let reference: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+            let mut signal = vec![0.0; 256];
+            let offset = (seed % 180) as usize;
+            for (i, &r) in reference.iter().enumerate() {
+                signal[offset + i] = r;
+            }
+            let found = best_alignment(&signal, &reference, false).unwrap();
+            prop_assert_eq!(found.offset, offset);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Decibel conversions.
+//!
+//! Attenuation budgets in the acoustic substrate (air absorption, wall
+//! transmission loss, hardware response ripple) are specified in dB and
+//! converted to linear gains at the point of use.
+
+/// Converts a power ratio to decibels: `10·log₁₀(ratio)`.
+///
+/// Returns `-inf` for a zero ratio.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative.
+pub fn power_to_db(ratio: f64) -> f64 {
+    assert!(ratio >= 0.0, "power ratio must be non-negative");
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a power ratio: `10^(db/10)`.
+pub fn db_to_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts an amplitude ratio to decibels: `20·log₁₀(ratio)`.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative.
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    assert!(ratio >= 0.0, "amplitude ratio must be non-negative");
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to an amplitude ratio: `10^(db/20)`.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_conversions() {
+        assert!((power_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((db_to_power(30.0) - 1000.0).abs() < 1e-9);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+        assert!((db_to_amplitude(-20.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        assert_eq!(power_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn amplitude_and_power_db_relate_by_square() {
+        let amp = 0.25;
+        assert!((amplitude_to_db(amp) - power_to_db(amp * amp)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ratio_panics() {
+        let _ = power_to_db(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_power(db in -120.0f64..120.0) {
+            prop_assert!((power_to_db(db_to_power(db)) - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn roundtrip_amplitude(db in -120.0f64..120.0) {
+            prop_assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The ACTION detector (paper Algorithm 2, line 2) computes the power
+//! spectrum of every candidate window via FFT; the paper fixes the window
+//! length to 4096 samples precisely because "FFT requires the length of the
+//! signal to be a power of 2". This module implements that FFT from scratch:
+//! an in-place, iterative, decimation-in-time radix-2 transform with
+//! precomputed twiddle tables (see [`FftPlan`]) so the detector's inner loop
+//! does no trigonometry.
+//!
+//! Conventions: [`fft`] computes the unnormalized DFT
+//! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
+//! `ifft(fft(x)) == x` up to floating-point error.
+
+use crate::complex::Complex64;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// The plan precomputes the bit-reversal permutation and the twiddle-factor
+/// table. Reusing a plan across the thousands of windows scanned by the
+/// ACTION detector avoids recomputing `sin`/`cos` per window.
+///
+/// # Example
+///
+/// ```
+/// use piano_dsp::fft::FftPlan;
+/// use piano_dsp::Complex64;
+///
+/// let plan = FftPlan::new(8);
+/// let mut buf: Vec<Complex64> = (0..8).map(|n| Complex64::from_real(n as f64)).collect();
+/// let copy = buf.clone();
+/// plan.forward(&mut buf);
+/// plan.inverse(&mut buf);
+/// for (a, b) in buf.iter().zip(&copy) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    size: usize,
+    /// Bit-reversed index for every position.
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform: `e^{-2πi·k/N}` for `k < N/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two() && size > 0, "FFT size must be a power of two, got {size}");
+        let bits = size.trailing_zeros();
+        let rev = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        let twiddles = (0..size / 2)
+            .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        // For size == 1 the shift above is degenerate; fix up explicitly.
+        let rev = if size == 1 { vec![0] } else { rev };
+        FftPlan { size, rev, twiddles }
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.size()`.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        if self.size <= 1 {
+            return;
+        }
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse DFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.size()`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        if self.size <= 1 {
+            return;
+        }
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let scale = 1.0 / self.size as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn permute(&self, buf: &mut [Complex64]) {
+        for i in 0..self.size {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex64], inverse: bool) {
+        let n = self.size;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = if inverse { tw.conj() } else { tw };
+                    let even = buf[start + k];
+                    let odd = buf[start + k + half] * tw;
+                    buf[start + k] = even + odd;
+                    buf[start + k + half] = even - odd;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT of a complex buffer. Returns a new vector.
+///
+/// Prefer [`FftPlan`] in hot loops.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = input.to_vec();
+    FftPlan::new(input.len()).forward(&mut buf);
+    buf
+}
+
+/// One-shot inverse FFT (normalized by `1/N`). Returns a new vector.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = input.to_vec();
+    FftPlan::new(input.len()).inverse(&mut buf);
+    buf
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+///
+/// The result has the conjugate symmetry `X[N-k] = X[k]*`, which the ACTION
+/// detector exploits implicitly: the paper indexes candidate frequencies
+/// above Nyquist directly (`⌊f/f_s·|W|⌋` for f up to 35 kHz at
+/// f_s = 44.1 kHz), which lands on the mirrored bins of the full spectrum.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn fft_real(input: &[f64]) -> Vec<Complex64> {
+    let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
+    fft(&buf)
+}
+
+/// Next power of two `>= n` (with `next_pow2(0) == 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone;
+    use proptest::prelude::*;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex64::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex64> = (0..32)
+            .map(|n| Complex64::new((n as f64 * 0.7).sin(), (n as f64 * 0.3).cos()))
+            .collect();
+        let fast = fft(&x);
+        let slow = naive_dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9, "fast {a} vs slow {b}");
+        }
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let x = vec![Complex64::new(2.0, -3.0)];
+        assert_eq!(fft(&x), x);
+        assert_eq!(ifft(&x), x);
+    }
+
+    #[test]
+    fn size_two_butterfly() {
+        let x = vec![Complex64::from_real(1.0), Complex64::from_real(2.0)];
+        let y = fft(&x);
+        assert!((y[0] - Complex64::from_real(3.0)).abs() < 1e-12);
+        assert!((y[1] - Complex64::from_real(-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        for z in fft(&x) {
+            assert!((z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 1024;
+        let fs = 44_100.0;
+        let bin = 100;
+        let f = bin as f64 * fs / n as f64;
+        let x = tone::sine(f, 0.0, 1.0, fs, n);
+        let spec = fft_real(&x);
+        // Amplitude-1 sine on an exact bin: |X[bin]| == N/2.
+        assert!((spec[bin].abs() - n as f64 / 2.0).abs() < 1e-6);
+        // Mirror bin carries the conjugate.
+        assert!((spec[n - bin].abs() - n as f64 / 2.0).abs() < 1e-6);
+        // Everything else is numerically zero.
+        let leak: f64 = (0..n)
+            .filter(|&k| k != bin && k != n - bin)
+            .map(|k| spec[k].abs())
+            .fold(0.0, f64::max);
+        assert!(leak < 1e-6, "max leakage {leak}");
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input() {
+        let x: Vec<f64> = (0..64).map(|n| ((n * n) as f64).sin()).collect();
+        let spec = fft_real(&x);
+        for k in 1..32 {
+            assert!((spec[64 - k] - spec[k].conj()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match plan size")]
+    fn rejects_mismatched_buffer() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex64::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn next_pow2_examples() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(4096), 4096);
+        assert_eq!(next_pow2(4097), 8192);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_recovers_input(
+            data in proptest::collection::vec(-1000.0f64..1000.0, 1..=128),
+        ) {
+            let n = next_pow2(data.len());
+            let mut padded = data.clone();
+            padded.resize(n, 0.0);
+            let spec = fft_real(&padded);
+            let back = ifft(&spec);
+            for (a, b) in padded.iter().zip(&back) {
+                prop_assert!((a - b.re).abs() < 1e-8);
+                prop_assert!(b.im.abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_preserved(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..=64),
+        ) {
+            let n = next_pow2(data.len());
+            let mut padded = data.clone();
+            padded.resize(n, 0.0);
+            let time_energy: f64 = padded.iter().map(|x| x * x).sum();
+            let spec = fft_real(&padded);
+            let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+        }
+
+        #[test]
+        fn linearity(
+            a in proptest::collection::vec(-10.0f64..10.0, 16),
+            b in proptest::collection::vec(-10.0f64..10.0, 16),
+            k in -5.0f64..5.0,
+        ) {
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + k * y).collect();
+            let fa = fft_real(&a);
+            let fb = fft_real(&b);
+            let fsum = fft_real(&sum);
+            for i in 0..16 {
+                let expect = fa[i] + fb[i].scale(k);
+                prop_assert!((fsum[i] - expect).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! FIR filter design and application.
+//!
+//! The acoustic substrate uses these filters in two places: shaping
+//! environment noise (the paper measured that background noise concentrates
+//! below ~6 kHz, so noise synthesis low-passes white noise) and applying
+//! frequency-dependent channel effects (air absorption, speaker/microphone
+//! responses) to emitted reference signals.
+
+use crate::complex::Complex64;
+use crate::fft::{next_pow2, FftPlan};
+
+/// Designs a windowed-sinc low-pass FIR filter.
+///
+/// `cutoff_hz` is the -6 dB point; `taps` must be odd so the filter has a
+/// symmetric (linear-phase) kernel with an integer group delay of
+/// `(taps-1)/2` samples.
+///
+/// # Panics
+///
+/// Panics if `taps` is even or zero, or if the cutoff is not inside
+/// `(0, sample_rate/2)`.
+pub fn lowpass(cutoff_hz: f64, sample_rate: f64, taps: usize) -> Vec<f64> {
+    assert!(taps % 2 == 1 && taps > 0, "taps must be odd and positive, got {taps}");
+    assert!(
+        cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+        "cutoff must lie in (0, Nyquist)"
+    );
+    let fc = cutoff_hz / sample_rate;
+    let m = (taps - 1) as f64 / 2.0;
+    let mut kernel: Vec<f64> = (0..taps)
+        .map(|n| {
+            let x = n as f64 - m;
+            let sinc = if x == 0.0 {
+                2.0 * fc
+            } else {
+                (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
+            };
+            // Blackman window for good stop-band rejection (~-74 dB).
+            let w = 0.42
+                - 0.5 * (2.0 * std::f64::consts::PI * n as f64 / (taps - 1) as f64).cos()
+                + 0.08 * (4.0 * std::f64::consts::PI * n as f64 / (taps - 1) as f64).cos();
+            sinc * w
+        })
+        .collect();
+    // Normalize to unit DC gain.
+    let sum: f64 = kernel.iter().sum();
+    for k in kernel.iter_mut() {
+        *k /= sum;
+    }
+    kernel
+}
+
+/// Designs a windowed-sinc high-pass FIR filter by spectral inversion of
+/// [`lowpass`]. Same constraints as `lowpass`.
+pub fn highpass(cutoff_hz: f64, sample_rate: f64, taps: usize) -> Vec<f64> {
+    let mut kernel = lowpass(cutoff_hz, sample_rate, taps);
+    for k in kernel.iter_mut() {
+        *k = -*k;
+    }
+    kernel[(taps - 1) / 2] += 1.0;
+    kernel
+}
+
+/// Designs a band-pass filter as a cascade (convolution) of a high-pass and
+/// a low-pass kernel.
+///
+/// # Panics
+///
+/// Panics if `lo_hz >= hi_hz` or either edge is outside `(0, Nyquist)`.
+pub fn bandpass(lo_hz: f64, hi_hz: f64, sample_rate: f64, taps: usize) -> Vec<f64> {
+    assert!(lo_hz < hi_hz, "band edges out of order");
+    let hp = highpass(lo_hz, sample_rate, taps);
+    let lp = lowpass(hi_hz, sample_rate, taps);
+    convolve(&hp, &lp)
+}
+
+/// Full linear convolution; output length `a.len() + b.len() - 1`.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    // Use the FFT for anything big; direct for small kernels.
+    if a.len().min(b.len()) > 64 {
+        convolve_fft(a, b)
+    } else {
+        let mut out = vec![0.0; out_len];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+}
+
+fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let plan = FftPlan::new(n);
+    let mut fa: Vec<Complex64> = a.iter().map(|&x| Complex64::from_real(x)).collect();
+    fa.resize(n, Complex64::ZERO);
+    let mut fb: Vec<Complex64> = b.iter().map(|&x| Complex64::from_real(x)).collect();
+    fb.resize(n, Complex64::ZERO);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    plan.inverse(&mut fa);
+    fa[..out_len].iter().map(|z| z.re).collect()
+}
+
+/// "Same"-mode filtering: convolves and trims so the output aligns with the
+/// input (compensating the linear-phase group delay of a symmetric kernel).
+///
+/// Output length equals `signal.len()`.
+pub fn filter_same(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return signal.to_vec();
+    }
+    let full = convolve(signal, kernel);
+    let delay = (kernel.len() - 1) / 2;
+    full[delay..delay + signal.len()].to_vec()
+}
+
+/// Applies an arbitrary frequency-domain transfer function to a signal.
+///
+/// `response(f_hz)` is sampled at every FFT bin (using the folded/physical
+/// frequency for bins above Nyquist so the result stays real) and multiplied
+/// into the spectrum. Used for air absorption and hardware responses where
+/// designing an FIR kernel per path would be wasteful.
+///
+/// The output has the same length as the input.
+pub fn apply_transfer_function<F>(signal: &[f64], sample_rate: f64, mut response: F) -> Vec<f64>
+where
+    F: FnMut(f64) -> Complex64,
+{
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let n = next_pow2(signal.len());
+    let plan = FftPlan::new(n);
+    let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_real(x)).collect();
+    buf.resize(n, Complex64::ZERO);
+    plan.forward(&mut buf);
+    let half = n / 2;
+    // Apply to the lower half, then mirror conjugate so the IFFT is real.
+    for k in 0..=half {
+        let f = k as f64 * sample_rate / n as f64;
+        let h = response(f);
+        buf[k] = buf[k] * h;
+        if k != 0 && k != half {
+            buf[n - k] = buf[k].conj();
+        }
+    }
+    plan.inverse(&mut buf);
+    buf[..signal.len()].iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::power_spectrum;
+    use crate::tone;
+    use proptest::prelude::*;
+
+    const FS: f64 = 44_100.0;
+
+    fn tone_gain(kernel: &[f64], f: f64) -> f64 {
+        let sig = tone::sine(f, 0.0, 1.0, FS, 8192);
+        let out = filter_same(&sig, kernel);
+        // Measure steady-state RMS away from the edges.
+        tone::rms(&out[2000..6000]) / tone::rms(&sig[2000..6000])
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let k = lowpass(6_000.0, FS, 129);
+        assert!(tone_gain(&k, 1_000.0) > 0.95);
+        assert!(tone_gain(&k, 15_000.0) < 0.01);
+    }
+
+    #[test]
+    fn highpass_blocks_low_passes_high() {
+        let k = highpass(6_000.0, FS, 129);
+        assert!(tone_gain(&k, 1_000.0) < 0.01);
+        assert!(tone_gain(&k, 15_000.0) > 0.95);
+    }
+
+    #[test]
+    fn bandpass_selects_band() {
+        let k = bandpass(8_000.0, 16_000.0, FS, 129);
+        assert!(tone_gain(&k, 12_000.0) > 0.9);
+        assert!(tone_gain(&k, 2_000.0) < 0.02);
+        assert!(tone_gain(&k, 20_000.0) < 0.02);
+    }
+
+    #[test]
+    fn convolve_matches_hand_computed() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0];
+        assert_eq!(convolve(&a, &b), vec![0.5, 0.0, -0.5, -3.0]);
+        assert!(convolve(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn convolve_large_uses_fft_and_matches_direct() {
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.05).cos()).collect();
+        let fast = convolve(&a, &b); // both > 64 taps → FFT path
+        let mut direct = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                direct[i + j] += x * y;
+            }
+        }
+        for (x, y) in fast.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_alignment() {
+        let sig = tone::sine(5_000.0, 0.0, 1.0, FS, 1024);
+        let k = lowpass(10_000.0, FS, 65);
+        let out = filter_same(&sig, &k);
+        assert_eq!(out.len(), sig.len());
+        // Pass-band tone should emerge nearly unchanged and aligned.
+        for i in 200..800 {
+            assert!((out[i] - sig[i]).abs() < 0.05, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn transfer_function_scales_selected_band() {
+        let sig = tone::multi_tone(
+            &[tone::ToneSpec::new(3_000.0, 1.0), tone::ToneSpec::new(12_000.0, 1.0)],
+            FS,
+            4096,
+        );
+        let out = apply_transfer_function(&sig, FS, |f| {
+            if f > 8_000.0 {
+                Complex64::from_real(0.1)
+            } else {
+                Complex64::ONE
+            }
+        });
+        let ps = power_spectrum(&out[..4096.min(out.len())]);
+        let low = crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(3_000.0, FS, 4096), 3);
+        let high = crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(12_000.0, FS, 4096), 3);
+        assert!(low > 0.8, "low band should pass, got {low}");
+        assert!(high < 0.05, "high band should be attenuated, got {high}");
+    }
+
+    #[test]
+    fn transfer_function_output_is_real_for_real_input() {
+        let sig = tone::sine(10_000.0, 0.3, 1.0, FS, 1000);
+        let out = apply_transfer_function(&sig, FS, |f| Complex64::cis(f / 1_000.0));
+        assert_eq!(out.len(), sig.len());
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn lowpass_rejects_even_taps() {
+        let _ = lowpass(1_000.0, FS, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn lowpass_rejects_cutoff_beyond_nyquist() {
+        let _ = lowpass(30_000.0, FS, 65);
+    }
+
+    proptest! {
+        #[test]
+        fn convolution_is_commutative(
+            a in proptest::collection::vec(-5.0f64..5.0, 1..20),
+            b in proptest::collection::vec(-5.0f64..5.0, 1..20),
+        ) {
+            let ab = convolve(&a, &b);
+            let ba = convolve(&b, &a);
+            prop_assert_eq!(ab.len(), ba.len());
+            for (x, y) in ab.iter().zip(&ba) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn convolution_with_unit_impulse_is_identity(
+            a in proptest::collection::vec(-5.0f64..5.0, 1..30),
+        ) {
+            let out = convolve(&a, &[1.0]);
+            prop_assert_eq!(out.len(), a.len());
+            for (x, y) in out.iter().zip(&a) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+}

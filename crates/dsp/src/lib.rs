@@ -1,0 +1,55 @@
+//! # piano-dsp
+//!
+//! Self-contained digital signal processing primitives for the PIANO
+//! reproduction (Gong et al., ICDCS 2017).
+//!
+//! Everything in this crate is implemented from scratch — no external DSP
+//! dependencies — because the reproduction needs full control over numerics
+//! (the paper's Algorithm 2 indexes a raw, full-length power spectrum,
+//! including bins above Nyquist) and deterministic behaviour across
+//! platforms.
+//!
+//! The crate provides:
+//!
+//! * [`Complex64`] — minimal complex arithmetic ([`complex`]).
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT/IFFT and real-signal
+//!   helpers.
+//! * [`spectrum`] — power spectra normalized so a sine of amplitude `B`
+//!   measures `B²` at its bin, matching the paper's `R_f = (32000/n)²`
+//!   convention.
+//! * [`window`] — Hann / Hamming / Blackman / rectangular windows.
+//! * [`correlate`] — direct and FFT-based cross-correlation (the ACTION-CC
+//!   baseline of Fig. 2b is built on this).
+//! * [`filter`] — windowed-sinc FIR design and convolution.
+//! * [`resample`] — fractional-sample delay and clock-skew resampling used
+//!   by the acoustic channel simulator.
+//! * [`tone`] — sine/multi-tone synthesis (Step I of ACTION).
+//! * [`stats`] — streaming statistics, percentiles, and the Gaussian
+//!   Q-function used by the paper's FRR/FAR model (Sec. VI-C).
+//! * [`db`] — decibel conversions.
+//!
+//! # Example
+//!
+//! ```
+//! use piano_dsp::{spectrum, tone};
+//!
+//! // Synthesize a 1 kHz tone and confirm its power lands in the right bin.
+//! let fs = 44_100.0;
+//! let sine = tone::sine(1_000.0, 0.0, 100.0, fs, 4096);
+//! let ps = spectrum::power_spectrum(&sine);
+//! let peak = spectrum::peak_bin(&ps, 1..2048);
+//! assert_eq!(peak, (1_000.0 / fs * 4096.0).round() as usize);
+//! ```
+
+pub mod complex;
+pub mod correlate;
+pub mod db;
+pub mod fft;
+pub mod filter;
+pub mod resample;
+pub mod spectrum;
+pub mod stats;
+pub mod tone;
+pub mod window;
+
+pub use complex::Complex64;

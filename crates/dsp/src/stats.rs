@@ -1,0 +1,354 @@
+//! Statistics used by the evaluation harness and the paper's FRR/FAR model.
+//!
+//! Sec. VI-C of the paper models the estimated distance as Gaussian around
+//! the true distance with a constant standard deviation σ_d, and derives
+//! false-rejection/false-acceptance rates from Gaussian tail probabilities.
+//! [`q_function`] provides that tail; [`Summary`]/[`Welford`] provide the
+//! error-bar statistics behind Figs. 1 and 2.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use piano_dsp::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_std() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by n).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Unbiased sample variance (divides by n-1; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+/// Five-number-plus summary of a sample, used for error-bar rendering.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 when n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (mean of the middle two for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice. Returns a zeroed summary for empty input.
+    pub fn of(data: &[f64]) -> Self {
+        if data.is_empty() {
+            return Summary::default();
+        }
+        let mut w = Welford::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            w.push(x);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+        };
+        Summary {
+            count: data.len(),
+            mean: w.mean(),
+            std: w.sample_std(),
+            min,
+            max,
+            median,
+        }
+    }
+}
+
+/// Percentile via linear interpolation between order statistics
+/// (`p` in `[0, 100]`). Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Complementary error function, accurate to roughly 1e-13 over the real
+/// line: Maclaurin series of `erf` for small arguments and a Lentz-evaluated
+/// continued fraction for the tail.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let result = if z < 2.5 {
+        1.0 - erf_series(z)
+    } else {
+        erfc_continued_fraction(z)
+    };
+    if x >= 0.0 {
+        result
+    } else {
+        2.0 - result
+    }
+}
+
+/// Maclaurin series for erf, adequate for |x| < ~3.
+fn erf_series(x: f64) -> f64 {
+    let mut term = x; // n = 0 term before the 2/√π factor
+    let mut sum = x;
+    let x2 = x * x;
+    for n in 1..200 {
+        term *= -x2 / n as f64;
+        let contribution = term / (2 * n + 1) as f64;
+        sum += contribution;
+        if contribution.abs() < 1e-17 * sum.abs().max(1e-300) {
+            break;
+        }
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// Continued fraction erfc(x) = e^{-x²}/√π · 1/(x + 1/2/(x + 1/(x + 3/2/(x + ...))))
+/// evaluated with the modified Lentz algorithm; valid for x ≥ ~2.
+fn erfc_continued_fraction(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut f = x.max(TINY);
+    let mut c = f;
+    let mut d = 0.0;
+    for k in 1..300 {
+        let a = k as f64 / 2.0; // coefficients 1/2, 1, 3/2, ...
+        d = x + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = x + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / (std::f64::consts::PI.sqrt() * f)
+}
+
+/// Standard normal CDF Φ(x).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Gaussian tail probability Q(x) = P(Z > x) = 1 − Φ(x).
+///
+/// This is the quantity behind the paper's FRR/FAR model: a legitimate user
+/// at distance `d ≤ τ` is falsely rejected with probability
+/// `Q((τ − d)/σ_d)`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Mean absolute deviation of a zero-mean Gaussian with standard deviation
+/// `sigma`: `σ·√(2/π)`. Converts between the paper's σ_d and the mean
+/// absolute errors plotted in Fig. 1.
+pub fn gaussian_mean_abs(sigma: f64) -> f64 {
+    sigma * (2.0 / std::f64::consts::PI).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_single_observation() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 100.0), Some(50.0));
+        assert_eq!(percentile(&data, 50.0), Some(30.0));
+        assert_eq!(percentile(&data, 25.0), Some(20.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-9);
+        assert!((q_function(1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!((q_function(1.96) - 0.024_998).abs() < 1e-4);
+        assert!((q_function(-1.0) - 0.841_344_7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_complements_q() {
+        for &x in &[-2.0, -0.5, 0.0, 0.7, 3.0] {
+            assert!((normal_cdf(x) + q_function(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_mean_abs_factor() {
+        assert!((gaussian_mean_abs(1.0) - 0.797_884_56).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_two_pass(
+            data in proptest::collection::vec(-1e3f64..1e3, 2..200),
+        ) {
+            let mut w = Welford::new();
+            for &x in &data {
+                w.push(x);
+            }
+            let mean = data.iter().sum::<f64>() / data.len() as f64;
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (data.len() - 1) as f64;
+            prop_assert!((w.mean() - mean).abs() < 1e-8 * (1.0 + mean.abs()));
+            prop_assert!((w.sample_variance() - var).abs() < 1e-6 * (1.0 + var));
+        }
+
+        #[test]
+        fn q_is_monotone_decreasing(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(q_function(lo) >= q_function(hi) - 1e-12);
+        }
+
+        #[test]
+        fn percentile_is_within_data_range(
+            data in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            p in 0.0f64..=100.0,
+        ) {
+            let v = percentile(&data, p).unwrap();
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+}

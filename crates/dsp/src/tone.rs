@@ -1,0 +1,176 @@
+//! Sine and multi-tone synthesis (Step I of the ACTION protocol).
+//!
+//! A PIANO reference signal is a sum of sine waves at randomly chosen
+//! candidate frequencies (paper Sec. IV-B). The synthesis here is plain
+//! `sin(2πfn/f_s + φ)`; when `f` exceeds Nyquist (the paper's candidates are
+//! 25–35 kHz at f_s = 44.1 kHz) the samples automatically alias to the
+//! folded physical frequency, exactly as they would when an Android app
+//! writes such samples to a DAC.
+
+/// One component of a multi-tone signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ToneSpec {
+    /// Frequency in Hz (may exceed Nyquist; it will alias, as in the paper).
+    pub frequency_hz: f64,
+    /// Peak amplitude in linear sample units.
+    pub amplitude: f64,
+    /// Initial phase in radians.
+    pub phase: f64,
+}
+
+impl ToneSpec {
+    /// Creates a tone spec with zero initial phase.
+    pub fn new(frequency_hz: f64, amplitude: f64) -> Self {
+        ToneSpec { frequency_hz, amplitude, phase: 0.0 }
+    }
+
+    /// Sets the initial phase, returning the modified spec.
+    #[must_use]
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+/// Synthesizes a single sine wave.
+///
+/// # Example
+///
+/// ```
+/// use piano_dsp::tone::sine;
+///
+/// let s = sine(441.0, 0.0, 1.0, 44_100.0, 100); // one full cycle
+/// assert!(s[0].abs() < 1e-12);
+/// assert!((s[25] - 1.0).abs() < 1e-10); // quarter cycle peaks
+/// ```
+pub fn sine(frequency_hz: f64, phase: f64, amplitude: f64, sample_rate: f64, len: usize) -> Vec<f64> {
+    let w = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate;
+    (0..len).map(|n| amplitude * (w * n as f64 + phase).sin()).collect()
+}
+
+/// Synthesizes a sum of tones into a fresh buffer.
+pub fn multi_tone(tones: &[ToneSpec], sample_rate: f64, len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; len];
+    add_multi_tone(&mut out, tones, sample_rate);
+    out
+}
+
+/// Adds a sum of tones into an existing buffer (mixes in place).
+pub fn add_multi_tone(buf: &mut [f64], tones: &[ToneSpec], sample_rate: f64) {
+    for t in tones {
+        let w = 2.0 * std::f64::consts::PI * t.frequency_hz / sample_rate;
+        for (n, s) in buf.iter_mut().enumerate() {
+            *s += t.amplitude * (w * n as f64 + t.phase).sin();
+        }
+    }
+}
+
+/// Synthesizes a linear chirp from `f0` to `f1` over the buffer.
+///
+/// Used by ablation experiments to contrast multi-tone reference signals
+/// with the wideband signals classic ranging systems (e.g. BeepBeep) use.
+pub fn chirp(f0: f64, f1: f64, amplitude: f64, sample_rate: f64, len: usize) -> Vec<f64> {
+    let dur = len as f64 / sample_rate;
+    let k = (f1 - f0) / dur;
+    (0..len)
+        .map(|n| {
+            let t = n as f64 / sample_rate;
+            amplitude * (2.0 * std::f64::consts::PI * (f0 * t + 0.5 * k * t * t)).sin()
+        })
+        .collect()
+}
+
+/// Root-mean-square of a signal.
+pub fn rms(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    (signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64).sqrt()
+}
+
+/// Peak absolute amplitude of a signal.
+pub fn peak(signal: &[f64]) -> f64 {
+    signal.iter().fold(0.0, |acc: f64, &x| acc.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sine_respects_amplitude_and_phase() {
+        let s = sine(1000.0, std::f64::consts::FRAC_PI_2, 3.0, 44_100.0, 8);
+        assert!((s[0] - 3.0).abs() < 1e-12); // sin(π/2) = 1 scaled by 3
+    }
+
+    #[test]
+    fn aliasing_folds_over_nyquist() {
+        // 30 kHz at 44.1 kHz sampling is indistinguishable from a (negated)
+        // 14.1 kHz tone — the identity the paper's inaudible band relies on.
+        let fs = 44_100.0;
+        let hi = sine(30_000.0, 0.0, 1.0, fs, 512);
+        let folded = sine(fs - 30_000.0, 0.0, 1.0, fs, 512);
+        for (a, b) in hi.iter().zip(&folded) {
+            assert!((a + b).abs() < 1e-9, "expected fold with sign flip");
+        }
+    }
+
+    #[test]
+    fn multi_tone_is_sum_of_sines() {
+        let tones = [
+            ToneSpec::new(1000.0, 1.0),
+            ToneSpec::new(2000.0, 0.5).with_phase(0.3),
+        ];
+        let combined = multi_tone(&tones, 44_100.0, 64);
+        let a = sine(1000.0, 0.0, 1.0, 44_100.0, 64);
+        let b = sine(2000.0, 0.3, 0.5, 44_100.0, 64);
+        for i in 0..64 {
+            assert!((combined[i] - (a[i] + b[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rms_of_unit_sine_is_inverse_sqrt2() {
+        let s = sine(441.0, 0.0, 1.0, 44_100.0, 4410); // whole cycles
+        assert!((rms(&s) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rms_of_empty_is_zero() {
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn peak_finds_largest_magnitude() {
+        assert_eq!(peak(&[0.1, -0.9, 0.5]), 0.9);
+    }
+
+    #[test]
+    fn chirp_starts_at_low_frequency() {
+        // Compare the first few samples of the chirp with a pure f0 sine;
+        // they should agree closely before the sweep departs.
+        let c = chirp(1000.0, 2000.0, 1.0, 44_100.0, 4410);
+        let s = sine(1000.0, 0.0, 1.0, 44_100.0, 16);
+        for i in 0..16 {
+            assert!((c[i] - s[i]).abs() < 1e-2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mixed_signal_peak_bounded_by_amplitude_sum(
+            amps in proptest::collection::vec(0.0f64..100.0, 1..6),
+            freqs in proptest::collection::vec(100.0f64..20_000.0, 6),
+        ) {
+            let tones: Vec<ToneSpec> = amps
+                .iter()
+                .zip(&freqs)
+                .map(|(&a, &f)| ToneSpec::new(f, a))
+                .collect();
+            let sig = multi_tone(&tones, 44_100.0, 256);
+            let bound: f64 = amps.iter().take(tones.len()).sum();
+            prop_assert!(peak(&sig) <= bound + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Window functions.
+//!
+//! The paper's detector scans *rectangular* windows (it FFTs raw signal
+//! slices), so the ACTION implementation uses [`WindowKind::Rectangular`].
+//! The other windows support the acoustic channel simulator (smooth splice
+//! envelopes) and the ablation experiments that ask whether tapering the
+//! detector window changes accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// No tapering; what the paper's Algorithm 2 implicitly uses.
+    #[default]
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for length `len`.
+    ///
+    /// For `len == 1` every window degenerates to `[1.0]`.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if len == 1 {
+            return vec![1.0];
+        }
+        let m = (len - 1) as f64;
+        (0..len)
+            .map(|n| {
+                let x = n as f64 / m;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: mean of the coefficients. Used to compensate tone
+    /// amplitude measurements made through a tapered window.
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        self.coefficients(len).iter().sum::<f64>() / len as f64
+    }
+
+    /// Multiplies the window into a signal in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() != len` coefficients would be generated;
+    /// callers pass the signal and the window length is taken from it.
+    pub fn apply(self, signal: &mut [f64]) {
+        let coeffs = self.coefficients(signal.len());
+        for (s, c) in signal.iter_mut().zip(coeffs) {
+            *s *= c;
+        }
+    }
+}
+
+/// A half-cosine fade-in/fade-out envelope applied in place.
+///
+/// The acoustic field simulator uses this to avoid clicks (spectral
+/// splatter) at the edges of emitted reference signals — real Android audio
+/// stacks apply similar ramps, and without one the rectangular onset leaks
+/// power across the whole band, polluting the β sanity check.
+pub fn apply_fade(signal: &mut [f64], fade_len: usize) {
+    let n = signal.len();
+    let fade = fade_len.min(n / 2);
+    for i in 0..fade {
+        let g = 0.5 - 0.5 * (std::f64::consts::PI * i as f64 / fade as f64).cos();
+        signal[i] *= g;
+        signal[n - 1 - i] *= g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn hann_is_zero_at_edges_and_one_at_center() {
+        let w = WindowKind::Hann.coefficients(65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let w = WindowKind::Hamming.coefficients(33);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_symmetric() {
+        let w = WindowKind::Blackman.coefficients(64);
+        for k in 0..32 {
+            assert!((w[k] - w[63 - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            assert!(kind.coefficients(0).is_empty());
+            assert_eq!(kind.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_of_hann_is_about_half() {
+        let g = WindowKind::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3, "gain {g}");
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let mut s = vec![2.0; 8];
+        WindowKind::Hann.apply(&mut s);
+        assert!(s[0].abs() < 1e-12);
+        assert!(s.iter().all(|&x| x <= 2.0));
+    }
+
+    #[test]
+    fn fade_tapers_edges_only() {
+        let mut s = vec![1.0; 100];
+        apply_fade(&mut s, 10);
+        assert!(s[0].abs() < 1e-12);
+        assert!(s[99].abs() < 1e-12);
+        assert_eq!(s[50], 1.0);
+        // Monotone ramp up within the fade.
+        for i in 0..9 {
+            assert!(s[i] <= s[i + 1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fade_longer_than_half_is_clamped() {
+        let mut s = vec![1.0; 7];
+        apply_fade(&mut s, 100); // must not panic
+        assert!(s[3] >= s[0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Ablations A1–A6: design choices the paper commits to, quantified.
+//!
+//! | Id | Knob | Paper's choice | Question |
+//! |----|------|----------------|----------|
+//! | A1 | fine scan step δ | 10 | accuracy/work trade-off |
+//! | A2 | smoothing width θ | 5 | tolerance vs selectivity |
+//! | A3 | candidate count N | 30 | accuracy vs guessing security |
+//! | A4 | β sanity check | on | spoofing resistance (Sec. V claim) |
+//! | A5 | Echo latency jitter | phone-scale | why one-way ranging fails |
+//! | A6 | analysis window | rectangular | localization vs leakage |
+
+use serde::Serialize;
+
+use piano_acoustics::Environment;
+use piano_attacks::{run_trials as run_attack_trials, AttackKind};
+use piano_core::config::ActionConfig;
+use piano_core::freqgrid::FrequencyGrid;
+use piano_core::signal::SignalSampler;
+use piano_dsp::window::WindowKind;
+
+use crate::report::{cm, Table};
+use crate::trials::{run_trials, TrialSetup, TrialStats};
+
+/// One ablation data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationPoint {
+    /// Which ablation (A1..A6).
+    pub ablation: String,
+    /// The knob value, rendered.
+    pub setting: String,
+    /// Primary metric, rendered (metric named in `metric`).
+    pub value: String,
+    /// What the metric is.
+    pub metric: String,
+}
+
+/// Full ablation result.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationResult {
+    /// All points, grouped by ablation id.
+    pub points: Vec<AblationPoint>,
+    /// Trials per point.
+    pub trials: usize,
+}
+
+fn ranging_mae(action: ActionConfig, trials: usize, seed: u64) -> (f64, usize) {
+    let mut setup = TrialSetup::new(Environment::office(), 1.0, seed);
+    setup.action = action;
+    let outcomes = run_trials(&setup, trials);
+    let stats = TrialStats::of(&outcomes);
+    (stats.mean_abs_error_m, stats.absent)
+}
+
+/// Runs all ablations with `trials` protocol runs per point.
+pub fn run(trials: usize, seed: u64) -> AblationResult {
+    let mut points = Vec::new();
+
+    // A1: fine step.
+    for step in [1usize, 10, 50, 200] {
+        let mut cfg = ActionConfig::default();
+        cfg.fine_step = step;
+        let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA1);
+        points.push(AblationPoint {
+            ablation: "A1 fine step δ".into(),
+            setting: format!("{step}"),
+            value: format!("{} cm ({} absent)", cm(mae), absent),
+            metric: "office MAE @1 m".into(),
+        });
+    }
+
+    // A2: smoothing width θ.
+    for theta in [1usize, 3, 5, 10] {
+        let mut cfg = ActionConfig::default();
+        cfg.theta = theta;
+        let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA2);
+        points.push(AblationPoint {
+            ablation: "A2 smoothing θ".into(),
+            setting: format!("{theta}"),
+            value: format!("{} cm ({} absent)", cm(mae), absent),
+            metric: "office MAE @1 m".into(),
+        });
+    }
+
+    // A3: candidate count N — accuracy and guessing security together.
+    for n in [10usize, 20, 30] {
+        let mut cfg = ActionConfig::default();
+        cfg.grid = FrequencyGrid::new(25_000.0, 35_000.0, n).expect("valid grid");
+        let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA3);
+        let guess = piano_attacks::analysis::collision_probability(SignalSampler::UniformSubset, n);
+        points.push(AblationPoint {
+            ablation: "A3 candidates N".into(),
+            setting: format!("{n}"),
+            value: format!("{} cm ({} absent), P(guess) {:.1e}", cm(mae), absent, guess),
+            metric: "office MAE @1 m + guessing odds".into(),
+        });
+    }
+
+    // A4: β sanity check on/off under the all-frequency attack.
+    for enforce in [true, false] {
+        // Success rate of the mid-power all-frequency attack.
+        let (successes, n) = if enforce {
+            let stats = run_attack_trials(
+                AttackKind::AllFrequency { tone_amplitude: 1_500.0 },
+                &Environment::office(),
+                6.0,
+                trials,
+                seed ^ 0xA4,
+            );
+            (stats.successes, stats.trials)
+        } else {
+            // Custom run with the check disabled: replicate the harness
+            // geometry but patch the authenticator config.
+            run_attack_trials_no_beta(trials, seed ^ 0xA4)
+        };
+        points.push(AblationPoint {
+            ablation: "A4 β sanity check".into(),
+            setting: if enforce { "enforced".into() } else { "disabled".into() },
+            value: format!("{successes}/{n} attacks succeed"),
+            metric: "all-frequency spoofing success".into(),
+        });
+    }
+
+    // A5: Echo-Secure error vs latency jitter scale.
+    for scale in [0.0, 0.25, 1.0, 2.0] {
+        let err = echo_error_with_jitter(scale, trials, seed ^ 0xA5);
+        points.push(AblationPoint {
+            ablation: "A5 Echo latency jitter".into(),
+            setting: format!("×{scale}"),
+            value: format!("{} cm", cm(err)),
+            metric: "Echo-Secure MAE @1 m".into(),
+        });
+    }
+
+    // A6: analysis window.
+    for window in [WindowKind::Rectangular, WindowKind::Hann] {
+        let mut cfg = ActionConfig::default();
+        cfg.analysis_window = window;
+        let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA6);
+        points.push(AblationPoint {
+            ablation: "A6 analysis window".into(),
+            setting: format!("{window:?}"),
+            value: format!("{} cm ({} absent)", cm(mae), absent),
+            metric: "office MAE @1 m".into(),
+        });
+    }
+
+    AblationResult { points, trials }
+}
+
+/// All-frequency attack with the β check disabled: (successes, trials).
+fn run_attack_trials_no_beta(trials: usize, seed: u64) -> (usize, usize) {
+    use piano_acoustics::{AcousticField, Position};
+    use piano_attacks::all_freq::AllFrequencyAttacker;
+    use piano_core::device::Device;
+    use piano_core::piano::{PianoAuthenticator, PianoConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let mut successes = 0;
+    for t in 0..trials as u64 {
+        let s = seed ^ (t << 10) ^ t;
+        let mut rng = ChaCha8Rng::seed_from_u64(s);
+        let auth_dev = Device::phone(1, Position::ORIGIN, s + 1);
+        let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), s + 2);
+        let mut config = PianoConfig::default();
+        config.action.enforce_beta_check = false;
+        let mut authn = PianoAuthenticator::new(config);
+        authn.register(&auth_dev, &vouch_dev, &mut rng);
+        let mut field = AcousticField::new(Environment::office(), s ^ 0xAB);
+        let mut attacker_rng = ChaCha8Rng::seed_from_u64(s ^ 0xFFFF);
+        let action = authn.config().action.clone();
+        AllFrequencyAttacker::near(auth_dev.position)
+            .with_tone_amplitude(1_500.0)
+            .inject(&mut field, &action, 0.0, 3.5, &mut attacker_rng);
+        AllFrequencyAttacker::near(vouch_dev.position)
+            .with_tone_amplitude(1_500.0)
+            .inject(&mut field, &action, 0.0, 3.5, &mut attacker_rng);
+        if authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng).is_granted() {
+            successes += 1;
+        }
+    }
+    (successes, trials)
+}
+
+/// Echo-Secure MAE at 1 m with latency jitter scaled by `scale`.
+fn echo_error_with_jitter(scale: f64, trials: usize, seed: u64) -> f64 {
+    use piano_acoustics::{AcousticField, Position};
+    use piano_baselines::echo::EchoCalibration;
+    use piano_bluetooth::{BluetoothLink, PairingRegistry};
+    use piano_core::action::DistanceEstimate;
+    use piano_core::device::Device;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let config = ActionConfig::default();
+    let make = |d: f64, s: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(s);
+        let field = AcousticField::new(Environment::office(), s ^ 0xE5E5);
+        let link = BluetoothLink::new();
+        let mut registry = PairingRegistry::new();
+        let mut auth = Device::phone(1, Position::ORIGIN, s + 1);
+        let mut vouch = Device::phone(2, Position::new(d, 0.0, 0.0), s + 2);
+        auth.latency = auth.latency.with_jitter_scale(scale);
+        vouch.latency = vouch.latency.with_jitter_scale(scale);
+        registry.pair(auth.id, vouch.id, &mut rng);
+        (field, link, registry, auth, vouch, rng)
+    };
+
+    let (mut field, mut link, registry, auth, vouch, mut rng) = make(0.05, seed);
+    let cal = EchoCalibration::calibrate(
+        &config, &mut field, &mut link, &registry, &auth, &vouch, 6, &mut rng,
+    )
+    .expect("calibration");
+
+    let mut total = 0.0;
+    let mut n = 0;
+    for t in 0..trials as u64 {
+        let (mut field, mut link, registry, auth, vouch, mut rng) = make(1.0, seed ^ (t << 7));
+        if let Ok(DistanceEstimate::Measured(est)) = piano_baselines::run_echo_secure(
+            &config, &mut field, &mut link, &registry, &auth, &vouch, &cal, 0.0, &mut rng,
+        ) {
+            total += (est - 1.0).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+impl AblationResult {
+    /// Renders all ablation points.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!("Ablations A1–A6 ({} trials/point)", self.trials),
+            &["ablation", "setting", "result", "metric"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.ablation.clone(),
+                p.setting.clone(),
+                p.value.clone(),
+                p.metric.clone(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_error_grows_with_jitter() {
+        let small = echo_error_with_jitter(0.0, 3, 5);
+        let large = echo_error_with_jitter(2.0, 3, 5);
+        assert!(
+            large > small,
+            "echo error should grow with jitter: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn beta_matters_against_all_frequency() {
+        // With the β check off, the mid-power attack should start working
+        // at least occasionally; with it on, never.
+        let (on, _) = {
+            let stats = run_attack_trials(
+                AttackKind::AllFrequency { tone_amplitude: 1_500.0 },
+                &Environment::office(),
+                6.0,
+                3,
+                77,
+            );
+            (stats.successes, stats.trials)
+        };
+        assert_eq!(on, 0);
+        // The disabled case is probabilistic; just verify it runs.
+        let (_, trials) = run_attack_trials_no_beta(2, 78);
+        assert_eq!(trials, 2);
+    }
+}

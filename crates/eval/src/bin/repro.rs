@@ -1,0 +1,154 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT…] [--trials N] [--seed S] [--out DIR]
+//!
+//! EXPERIMENT: all | fig1 | fig2a | fig2b | tables | wall | range |
+//!             efficiency | security | guessing | ablation
+//! ```
+//!
+//! Results print as text tables and are archived as JSON under `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+
+use piano_eval::{
+    ablation, efficiency, fig1, fig2a, fig2b, guessing, range, report, security, tables, wall,
+};
+
+struct Args {
+    experiments: Vec<String>,
+    trials: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut experiments = Vec::new();
+    let mut trials = piano_eval::PAPER_TRIALS_PER_POINT;
+    let mut seed = 20170411; // the paper's arXiv date
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trials" => {
+                trials = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--trials needs a number"));
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--out" => {
+                out = argv.next().map(PathBuf::from).unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|fig1|fig2a|fig2b|tables|wall|range|efficiency|security|\
+                     guessing|ablation]… [--trials N] [--seed S] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => experiments.push(other.to_owned()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_owned());
+    }
+    Args { experiments, trials, seed, out }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let run_all = args.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| run_all || args.experiments.iter().any(|e| e == name);
+    let mut ran = 0;
+
+    if wants("fig1") {
+        let r = fig1::run(args.trials, args.seed);
+        println!("{}", r.table().render());
+        archive(&args, "fig1", &r);
+        ran += 1;
+    }
+    if wants("fig2a") {
+        let r = fig2a::run(args.trials, args.seed ^ 0x2A);
+        println!("{}", r.table().render());
+        archive(&args, "fig2a", &r);
+        ran += 1;
+    }
+    if wants("fig2b") {
+        let r = fig2b::run(args.trials, args.seed ^ 0x2B);
+        println!("{}", r.table().render());
+        archive(&args, "fig2b", &r);
+        ran += 1;
+    }
+    if wants("tables") || wants("table1") || wants("table2") {
+        let r = tables::run(args.trials.max(8), args.seed ^ 0x7AB);
+        println!("{}", r.table_frr().render());
+        println!("{}", r.table_far().render());
+        archive(&args, "tables", &r);
+        ran += 1;
+    }
+    if wants("wall") {
+        let r = wall::run(args.trials, args.seed ^ 0x3A11);
+        println!("{}", r.table().render());
+        archive(&args, "wall", &r);
+        ran += 1;
+    }
+    if wants("range") {
+        let r = range::run(args.trials.min(8), args.seed ^ 0x4A);
+        println!("{}", r.table().render());
+        archive(&args, "range", &r);
+        ran += 1;
+    }
+    if wants("efficiency") {
+        let r = efficiency::run(args.seed ^ 0xEF);
+        println!("{}", r.table().render());
+        archive(&args, "efficiency", &r);
+        ran += 1;
+    }
+    if wants("security") {
+        let trials = if run_all { args.trials.max(10) } else { 100 };
+        let r = security::run(trials, args.seed ^ 0x5EC);
+        println!("{}", r.table().render());
+        println!(
+            "total attack successes: {} (paper: 0 in 100+100 trials)\n",
+            r.total_successes()
+        );
+        archive(&args, "security", &r);
+        ran += 1;
+    }
+    if wants("guessing") {
+        let r = guessing::run(100_000, args.seed ^ 0x6E);
+        println!("{}", r.table().render());
+        archive(&args, "guessing", &r);
+        ran += 1;
+    }
+    if wants("ablation") {
+        let r = ablation::run(args.trials.min(8), args.seed ^ 0xAB1);
+        println!("{}", r.table().render());
+        archive(&args, "ablation", &r);
+        ran += 1;
+    }
+
+    if ran == 0 {
+        die(&format!("no experiment matched {:?}", args.experiments));
+    }
+    eprintln!("done: {ran} experiment group(s); JSON archived under {}", args.out.display());
+}
+
+fn archive<T: serde::Serialize>(args: &Args, name: &str, value: &T) {
+    if let Err(e) = report::write_json(&args.out, name, value) {
+        eprintln!("warning: could not archive {name}: {e}");
+    }
+}

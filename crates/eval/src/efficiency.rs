@@ -1,0 +1,133 @@
+//! Experiment E8 — Sec. VI-D: time and energy per authentication.
+//!
+//! The paper: "one authentication can be finished within around 3 seconds"
+//! and "performing 100 times of authentication only consumes 0.6% of the
+//! smartphone battery" (measured with PowerTutor on a Galaxy S4).
+//!
+//! The reproduction feeds *measured protocol diagnostics* (recording
+//! length, FFT counts from the actual detector scans, Bluetooth bytes and
+//! message counts from the actual link) into the S4-class timing and
+//! energy cost models of [`piano_acoustics::timing`] and
+//! [`piano_acoustics::energy`].
+
+use serde::Serialize;
+
+use piano_acoustics::energy::{EnergyModel, PhaseDurations};
+use piano_acoustics::timing::TimingModel;
+use piano_acoustics::Environment;
+
+use crate::report::Table;
+use crate::trials::{run_trial_detailed, TrialSetup};
+
+/// Efficiency result for one authentication.
+#[derive(Clone, Debug, Serialize)]
+pub struct EfficiencyResult {
+    /// Phase durations of one authentication.
+    pub durations: PhaseDurations,
+    /// Total wall-clock latency (s). Paper: ≈3 s.
+    pub total_latency_s: f64,
+    /// Energy per authentication (J).
+    pub energy_per_auth_j: f64,
+    /// Battery percentage for 100 authentications. Paper: ≈0.6 %.
+    pub battery_percent_100: f64,
+    /// FFTs per device scan (from the real detector).
+    pub ffts_per_device: usize,
+    /// Bluetooth payload bytes per authentication.
+    pub bluetooth_bytes: usize,
+    /// Bluetooth messages per authentication.
+    pub bluetooth_messages: usize,
+}
+
+/// Runs E8: executes one real protocol run for the diagnostics, then
+/// evaluates the cost models.
+pub fn run(seed: u64) -> EfficiencyResult {
+    let setup = TrialSetup::new(Environment::office(), 1.0, seed);
+    let (_, outcome) = run_trial_detailed(&setup, 0);
+    let outcome = outcome.expect("protocol must complete at 1 m");
+    let d = outcome.diagnostics;
+
+    let timing = TimingModel::galaxy_s4();
+    let playback_s = setup.action.signal_len as f64 / setup.action.sample_rate;
+    let ffts = d.ffts_auth.max(d.ffts_vouch);
+    let durations = timing.phase_durations(
+        setup.action.recording_duration_s,
+        playback_s,
+        ffts,
+        d.bluetooth_bytes,
+        d.bluetooth_messages,
+    );
+    let energy = EnergyModel::galaxy_s4();
+    EfficiencyResult {
+        durations,
+        total_latency_s: timing.total_latency_s(&durations),
+        energy_per_auth_j: energy.energy_per_auth_j(&durations),
+        battery_percent_100: energy.battery_percent(&durations, 100),
+        ffts_per_device: ffts,
+        bluetooth_bytes: d.bluetooth_bytes,
+        bluetooth_messages: d.bluetooth_messages,
+    }
+}
+
+impl EfficiencyResult {
+    /// Renders the budget breakdown.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Sec. VI-D — efficiency (S4-class cost models on measured diagnostics)",
+            &["quantity", "value", "paper"],
+        );
+        t.push_row(vec![
+            "total latency".into(),
+            format!("{:.2} s", self.total_latency_s),
+            "≈3 s".into(),
+        ]);
+        t.push_row(vec![
+            "recording window".into(),
+            format!("{:.2} s", self.durations.recording_s),
+            "—".into(),
+        ]);
+        t.push_row(vec![
+            "compute (detection)".into(),
+            format!("{:.2} s ({} FFTs)", self.durations.compute_s, self.ffts_per_device),
+            "—".into(),
+        ]);
+        t.push_row(vec![
+            "bluetooth".into(),
+            format!(
+                "{:.2} s ({} msgs, {} B)",
+                self.durations.bluetooth_s, self.bluetooth_messages, self.bluetooth_bytes
+            ),
+            "—".into(),
+        ]);
+        t.push_row(vec![
+            "energy / auth".into(),
+            format!("{:.2} J", self.energy_per_auth_j),
+            "—".into(),
+        ]);
+        t.push_row(vec![
+            "battery / 100 auths".into(),
+            format!("{:.2} %", self.battery_percent_100),
+            "≈0.6 %".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_scale() {
+        let r = run(17);
+        assert!(r.total_latency_s < 3.5, "latency {} s", r.total_latency_s);
+        assert!(r.total_latency_s > 1.5, "latency {} s suspiciously low", r.total_latency_s);
+        assert!(
+            (0.2..1.2).contains(&r.battery_percent_100),
+            "battery {} %",
+            r.battery_percent_100
+        );
+        assert!(r.ffts_per_device > 50);
+        assert!(r.bluetooth_bytes > 100);
+        let _ = r.table();
+    }
+}

@@ -1,0 +1,136 @@
+//! Experiment E1 — Fig. 1(a–d): distance-estimation error bars per
+//! environment.
+//!
+//! For each of the four environments and each real distance in
+//! {0.5, 1.0, 1.5, 2.0} m, run N trials of the full ACTION protocol and
+//! report the mean absolute error with its spread — the series plotted in
+//! the paper's Fig. 1. Paper reference values: office 5–7 cm average
+//! absolute error; street 10–15 cm.
+
+use serde::Serialize;
+
+use piano_acoustics::Environment;
+
+use crate::report::{cm, Table};
+use crate::trials::{run_trials, TrialSetup, TrialStats};
+use crate::{PAPER_DISTANCES_M, PAPER_TRIALS_PER_POINT};
+
+/// One (environment, distance) cell of Fig. 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1Cell {
+    /// Environment name.
+    pub environment: String,
+    /// True distance (m).
+    pub distance_m: f64,
+    /// Mean absolute error (m).
+    pub mean_abs_error_m: f64,
+    /// Standard deviation of the signed error (m) — the error bar.
+    pub error_std_m: f64,
+    /// Mean signed error (m).
+    pub bias_m: f64,
+    /// Trials that measured a distance.
+    pub measured: usize,
+    /// Trials declared signal-absent.
+    pub absent: usize,
+}
+
+/// Full Fig. 1 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1Result {
+    /// All cells in environment-major order.
+    pub cells: Vec<Fig1Cell>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Runs E1 with `trials` per point (the paper used 10).
+pub fn run(trials: usize, seed: u64) -> Fig1Result {
+    let mut cells = Vec::new();
+    for (env_idx, env) in Environment::paper_environments().into_iter().enumerate() {
+        for (d_idx, &d) in PAPER_DISTANCES_M.iter().enumerate() {
+            let setup = TrialSetup::new(
+                env.clone(),
+                d,
+                seed ^ ((env_idx as u64) << 40) ^ ((d_idx as u64) << 32),
+            );
+            let outcomes = run_trials(&setup, trials);
+            let stats = TrialStats::of(&outcomes);
+            cells.push(Fig1Cell {
+                environment: env.name.clone(),
+                distance_m: d,
+                mean_abs_error_m: stats.mean_abs_error_m,
+                error_std_m: stats.error_std_m,
+                bias_m: stats.bias_m,
+                measured: stats.measured,
+                absent: stats.absent,
+            });
+        }
+    }
+    Fig1Result { cells, trials, seed }
+}
+
+/// Runs E1 with the paper's 10 trials per point.
+pub fn run_paper(seed: u64) -> Fig1Result {
+    run(PAPER_TRIALS_PER_POINT, seed)
+}
+
+impl Fig1Result {
+    /// Renders the figure as a table (one row per environment × distance).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!("Fig. 1 — distance estimation errors ({} trials/point)", self.trials),
+            &["environment", "distance (m)", "MAE (cm)", "std (cm)", "bias (cm)", "absent"],
+        );
+        for c in &self.cells {
+            t.push_row(vec![
+                c.environment.clone(),
+                format!("{:.1}", c.distance_m),
+                cm(c.mean_abs_error_m),
+                cm(c.error_std_m),
+                cm(c.bias_m),
+                format!("{}/{}", c.absent, c.absent + c.measured),
+            ]);
+        }
+        t
+    }
+
+    /// Mean absolute error averaged over the four distances for one
+    /// environment (the summary quoted in the paper's prose).
+    pub fn environment_mae_m(&self, environment: &str) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.environment == environment)
+            .map(|c| c.mean_abs_error_m)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_full_grid() {
+        let result = run(2, 42);
+        assert_eq!(result.cells.len(), 16); // 4 environments × 4 distances
+        let table = result.table();
+        assert_eq!(table.len(), 16);
+        assert!(result.environment_mae_m("office").is_some());
+        assert!(result.environment_mae_m("mars").is_none());
+    }
+
+    #[test]
+    fn office_errors_are_centimeter_scale() {
+        let result = run(3, 7);
+        let office = result.environment_mae_m("office").unwrap();
+        assert!(office < 0.20, "office MAE {office} m is not centimeter-scale");
+    }
+}

@@ -1,0 +1,233 @@
+//! Experiment E3 — Fig. 2b: ACTION vs ACTION-CC vs Echo-Secure.
+//!
+//! The paper's comparison of the three *secure* acoustic ranging protocols
+//! in a shared office: "ACTION is orders of magnitude more accurate than
+//! ACTION-CC and Echo-Secure." ACTION errors are centimeters; the
+//! baselines' reach meters (the paper's axis tops out at 3000 cm).
+
+use serde::Serialize;
+
+use piano_acoustics::{AcousticField, Environment, Position};
+use piano_bluetooth::{BluetoothLink, PairingRegistry};
+use piano_core::action::DistanceEstimate;
+use piano_core::config::ActionConfig;
+use piano_core::device::Device;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano_baselines::echo::EchoCalibration;
+
+use crate::report::{cm, Table};
+use crate::trials::{run_trials, TrialSetup};
+use crate::{PAPER_DISTANCES_M, PAPER_TRIALS_PER_POINT};
+
+/// The three compared protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Protocol {
+    /// The paper's contribution.
+    Action,
+    /// ACTION with a cross-correlation detector.
+    ActionCc,
+    /// One-way Echo with randomized signals and calibrated delay.
+    EchoSecure,
+}
+
+impl Protocol {
+    /// Display label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Action => "ACTION",
+            Protocol::ActionCc => "ACTION-CC",
+            Protocol::EchoSecure => "Echo-Secure",
+        }
+    }
+}
+
+/// One (protocol, distance) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2bCell {
+    /// Which protocol.
+    pub protocol: Protocol,
+    /// True distance (m).
+    pub distance_m: f64,
+    /// Mean absolute error (m).
+    pub mean_abs_error_m: f64,
+    /// Error standard deviation (m).
+    pub error_std_m: f64,
+    /// Measured / absent counts.
+    pub measured: usize,
+    /// Trials with no detection.
+    pub absent: usize,
+}
+
+/// Full Fig. 2b result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2bResult {
+    /// All cells, protocol-major.
+    pub cells: Vec<Fig2bCell>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+fn baseline_setup(
+    d: f64,
+    seed: u64,
+) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let field = AcousticField::new(Environment::office(), seed ^ 0x5A5A);
+    let link = BluetoothLink::new();
+    let mut registry = PairingRegistry::new();
+    let auth = Device::phone(1, Position::ORIGIN, seed.wrapping_add(0xA));
+    let vouch = Device::phone(2, Position::new(d, 0.0, 0.0), seed.wrapping_add(0xB));
+    registry.pair(auth.id, vouch.id, &mut rng);
+    (field, link, registry, auth, vouch, rng)
+}
+
+/// Runs E3 with `trials` per (protocol, distance) cell.
+pub fn run(trials: usize, seed: u64) -> Fig2bResult {
+    let config = ActionConfig::default();
+    let mut cells = Vec::new();
+
+    // Echo calibration, done once at contact distance per the paper.
+    let cal = {
+        let (mut field, mut link, registry, auth, vouch, mut rng) =
+            baseline_setup(0.05, seed ^ 0xEC40);
+        EchoCalibration::calibrate(
+            &config, &mut field, &mut link, &registry, &auth, &vouch, 8, &mut rng,
+        )
+        .expect("echo calibration at contact distance must detect")
+    };
+
+    for (d_idx, &d) in PAPER_DISTANCES_M.iter().enumerate() {
+        // ACTION via the standard trial runner.
+        let setup = TrialSetup::new(Environment::office(), d, seed ^ ((d_idx as u64) << 20));
+        let outcomes = run_trials(&setup, trials);
+        let stats = crate::trials::TrialStats::of(&outcomes);
+        cells.push(Fig2bCell {
+            protocol: Protocol::Action,
+            distance_m: d,
+            mean_abs_error_m: stats.mean_abs_error_m,
+            error_std_m: stats.error_std_m,
+            measured: stats.measured,
+            absent: stats.absent,
+        });
+
+        // ACTION-CC.
+        let mut errors = Vec::new();
+        let mut absent = 0;
+        for t in 0..trials as u64 {
+            let (mut field, mut link, registry, auth, vouch, mut rng) =
+                baseline_setup(d, seed ^ 0xCC00 ^ (t << 8) ^ (d_idx as u64));
+            match piano_baselines::run_action_cc(
+                &config, &mut field, &mut link, &registry, &auth, &vouch, 0.0, &mut rng,
+            )
+            .expect("protocol errors impossible in-range")
+            {
+                DistanceEstimate::Measured(est) => errors.push(est - d),
+                DistanceEstimate::SignalAbsent => absent += 1,
+            }
+        }
+        cells.push(stats_cell(Protocol::ActionCc, d, &errors, absent));
+
+        // Echo-Secure.
+        let mut errors = Vec::new();
+        let mut absent = 0;
+        for t in 0..trials as u64 {
+            let (mut field, mut link, registry, auth, vouch, mut rng) =
+                baseline_setup(d, seed ^ 0xE000 ^ (t << 8) ^ (d_idx as u64));
+            match piano_baselines::run_echo_secure(
+                &config, &mut field, &mut link, &registry, &auth, &vouch, &cal, 0.0, &mut rng,
+            )
+            .expect("protocol errors impossible in-range")
+            {
+                DistanceEstimate::Measured(est) => errors.push(est - d),
+                DistanceEstimate::SignalAbsent => absent += 1,
+            }
+        }
+        cells.push(stats_cell(Protocol::EchoSecure, d, &errors, absent));
+    }
+    Fig2bResult { cells, trials, seed }
+}
+
+fn stats_cell(protocol: Protocol, d: f64, signed_errors: &[f64], absent: usize) -> Fig2bCell {
+    if signed_errors.is_empty() {
+        return Fig2bCell {
+            protocol,
+            distance_m: d,
+            mean_abs_error_m: 0.0,
+            error_std_m: 0.0,
+            measured: 0,
+            absent,
+        };
+    }
+    let summary = piano_dsp::stats::Summary::of(signed_errors);
+    let mae = signed_errors.iter().map(|e| e.abs()).sum::<f64>() / signed_errors.len() as f64;
+    Fig2bCell {
+        protocol,
+        distance_m: d,
+        mean_abs_error_m: mae,
+        error_std_m: summary.std,
+        measured: signed_errors.len(),
+        absent,
+    }
+}
+
+/// Runs E3 at the paper's scale.
+pub fn run_paper(seed: u64) -> Fig2bResult {
+    run(PAPER_TRIALS_PER_POINT, seed)
+}
+
+impl Fig2bResult {
+    /// Renders the comparison rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!("Fig. 2b — secure ranging protocol comparison ({} trials/cell, office)", self.trials),
+            &["protocol", "distance (m)", "MAE (cm)", "std (cm)", "absent"],
+        );
+        for c in &self.cells {
+            t.push_row(vec![
+                c.protocol.label().to_owned(),
+                format!("{:.1}", c.distance_m),
+                cm(c.mean_abs_error_m),
+                cm(c.error_std_m),
+                format!("{}", c.absent),
+            ]);
+        }
+        t
+    }
+
+    /// Mean absolute error for one protocol across all distances (m).
+    pub fn protocol_mae_m(&self, protocol: Protocol) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.protocol == protocol && c.measured > 0)
+            .map(|c| c.mean_abs_error_m)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_beats_baselines_by_orders_of_magnitude() {
+        let r = run(3, 5);
+        assert_eq!(r.cells.len(), 12);
+        let action = r.protocol_mae_m(Protocol::Action);
+        let cc = r.protocol_mae_m(Protocol::ActionCc);
+        let echo = r.protocol_mae_m(Protocol::EchoSecure);
+        assert!(action < 0.25, "ACTION MAE {action}");
+        assert!(cc > 10.0 * action, "ACTION-CC {cc} vs ACTION {action}");
+        assert!(echo > 10.0 * action, "Echo {echo} vs ACTION {action}");
+        let _ = r.table();
+    }
+}

@@ -1,0 +1,49 @@
+//! # piano-eval
+//!
+//! The evaluation harness: one module per table/figure of the paper's
+//! Sec. VI, plus ablations. Each experiment returns a structured result
+//! that renders to the same rows/series the paper reports (via
+//! [`report`]), and the `repro` binary regenerates everything:
+//!
+//! ```text
+//! cargo run -p piano-eval --release --bin repro -- all
+//! ```
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1(a–d): ranging error bars per environment |
+//! | [`fig2a`] | Fig. 2a: multi-user interference error bars |
+//! | [`fig2b`] | Fig. 2b: ACTION vs ACTION-CC vs Echo-Secure |
+//! | [`tables`] | Tables I & II: FRR / FAR per scenario × threshold |
+//! | [`wall`] | Sec. VI-B: wall separation ⇒ denial |
+//! | [`range`] | Sec. VI-B: maximum ranging distance d_s ≈ 2.5 m |
+//! | [`efficiency`] | Sec. VI-D: ≈3 s and ≈0.6 % battery / 100 auths |
+//! | [`security`] | Sec. VI-E: 100+100 attack trials, 0 successes |
+//! | [`guessing`] | Sec. V: guessing probabilities (E10) |
+//! | [`ablation`] | Design-choice ablations (A1–A6, ours) |
+//!
+//! All experiments are deterministic given their seeds and parallelized
+//! over trials with `crossbeam`.
+
+pub mod ablation;
+pub mod efficiency;
+pub mod fig1;
+pub mod fig2a;
+pub mod fig2b;
+pub mod guessing;
+pub mod range;
+pub mod report;
+pub mod security;
+pub mod tables;
+pub mod trials;
+pub mod wall;
+
+/// Default number of trials per data point, matching the paper's "for each
+/// real distance, we average the absolute errors over 10 trials".
+pub const PAPER_TRIALS_PER_POINT: usize = 10;
+
+/// The four distances evaluated throughout Sec. VI.
+pub const PAPER_DISTANCES_M: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
+
+/// The four thresholds of Tables I and II.
+pub const PAPER_THRESHOLDS_M: [f64; 4] = [0.5, 1.0, 1.5, 2.0];

@@ -1,0 +1,126 @@
+//! Experiment E9 — Sec. VI-E: attack trials.
+//!
+//! "We performed 100 trials of guessing-based replay attacks and
+//! all-frequency-based spoofing attacks … all these attack trials failed."
+//!
+//! The reproduction runs the same batches through the full stack (plus a
+//! zero-effort batch, and a power sweep of the all-frequency attack over
+//! the paper's three `P_a` regimes).
+
+use serde::Serialize;
+
+use piano_acoustics::Environment;
+use piano_attacks::{run_trials, AttackKind, AttackStats};
+
+use crate::report::Table;
+
+/// One attack batch result.
+#[derive(Clone, Debug, Serialize)]
+pub struct AttackBatch {
+    /// Attack label.
+    pub attack: String,
+    /// Trials run.
+    pub trials: usize,
+    /// Successful grants (paper: 0).
+    pub successes: usize,
+    /// Denial reasons histogram.
+    pub denial_reasons: Vec<(String, usize)>,
+}
+
+impl AttackBatch {
+    fn of(attack: &str, stats: &AttackStats) -> Self {
+        AttackBatch {
+            attack: attack.to_owned(),
+            trials: stats.trials,
+            successes: stats.successes,
+            denial_reasons: stats
+                .denial_reasons
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Full E9 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct SecurityResult {
+    /// All batches.
+    pub batches: Vec<AttackBatch>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Runs E9 with `trials` per batch (the paper used 100).
+pub fn run(trials: usize, seed: u64) -> SecurityResult {
+    let env = Environment::office();
+    let vouch_distance = 6.0; // user away: in BT range, out of acoustic range
+    let mut batches = Vec::new();
+
+    let stats = run_trials(AttackKind::GuessingReplay, &env, vouch_distance, trials, seed);
+    batches.push(AttackBatch::of("guessing-based replay", &stats));
+
+    // The paper's three P_a regimes for the all-frequency attack.
+    for (label, amplitude) in [
+        ("all-frequency (P_a ≥ α·R_f)", 8_000.0),
+        ("all-frequency (β < P_a < α·R_f)", 1_000.0),
+        ("all-frequency (P_a ≤ β)", 60.0),
+    ] {
+        let stats = run_trials(
+            AttackKind::AllFrequency { tone_amplitude: amplitude },
+            &env,
+            vouch_distance,
+            trials / 3 + 1,
+            seed ^ 0xAF00 ^ amplitude as u64,
+        );
+        batches.push(AttackBatch::of(label, &stats));
+    }
+
+    let stats = run_trials(AttackKind::ZeroEffort, &env, vouch_distance, trials, seed ^ 0x2E00);
+    batches.push(AttackBatch::of("zero-effort", &stats));
+
+    SecurityResult { batches, seed }
+}
+
+impl SecurityResult {
+    /// Total successes across all batches (paper: 0).
+    pub fn total_successes(&self) -> usize {
+        self.batches.iter().map(|b| b.successes).sum()
+    }
+
+    /// Renders the summary.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Sec. VI-E — attack trials (user away: vouching device 6 m)",
+            &["attack", "trials", "successes", "denial reasons"],
+        );
+        for b in &self.batches {
+            let reasons = b
+                .denial_reasons
+                .iter()
+                .map(|(k, v)| format!("{k}×{v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            t.push_row(vec![
+                b.attack.clone(),
+                format!("{}", b.trials),
+                format!("{}", b.successes),
+                reasons,
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_attack_succeeds() {
+        let r = run(3, 0x5EED);
+        assert_eq!(r.total_successes(), 0);
+        assert_eq!(r.batches.len(), 5);
+        let _ = r.table();
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: register a vouching device, then authenticate by proximity.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's headline scenario: a smartwatch vouches for a phone.
+//! When the watch is on the user's wrist next to the phone, access is
+//! granted; when the user (and watch) walk away, access is denied.
+
+use piano::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+
+    // Two voice-powered devices with realistic hardware imperfections:
+    // skewed clocks, ripply transducers, jittery audio pipelines.
+    let phone = Device::phone(1, Position::ORIGIN, 1001);
+    let watch = Device::phone(2, Position::new(0.5, 0.0, 0.0), 2002);
+
+    // Registration phase (once): pair over Bluetooth.
+    let mut authenticator = PianoAuthenticator::new(PianoConfig::with_threshold(1.0));
+    authenticator.register(&phone, &watch, &mut rng);
+    println!("registered: {}", authenticator.is_registered(&phone, &watch));
+
+    // Authentication phase: user at the phone, watch on wrist (0.5 m).
+    let mut office = AcousticField::new(Environment::office(), 7);
+    match authenticator.authenticate(&mut office, &phone, &watch, 0.0, &mut rng) {
+        AuthDecision::Granted { distance_m } => {
+            println!("ACCESS GRANTED — measured distance {distance_m:.2} m (true 0.50 m)");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // The user walks away with the watch: same devices, new geometry.
+    let watch_far = watch.clone().at(Position::new(6.0, 0.0, 0.0));
+    let mut office = AcousticField::new(Environment::office(), 8);
+    match authenticator.authenticate(&mut office, &phone, &watch_far, 10.0, &mut rng) {
+        AuthDecision::Denied { reason } => {
+            println!("ACCESS DENIED — user away ({reason:?})");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // Personalization: a stricter 0.3 m threshold rejects even a desk-width
+    // separation.
+    authenticator.set_threshold_m(0.3);
+    let mut office = AcousticField::new(Environment::office(), 9);
+    match authenticator.authenticate(&mut office, &phone, &watch, 20.0, &mut rng) {
+        AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+            println!("threshold 0.3 m: denied at measured {distance_m:.2} m — personalizable");
+        }
+        other => println!("threshold 0.3 m: {other:?}"),
+    }
+}

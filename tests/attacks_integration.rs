@@ -1,0 +1,64 @@
+//! Integration tests of the attack suite against the full stack, through
+//! the facade API.
+
+use piano::attacks::{run_trials, AttackKind};
+use piano::prelude::*;
+
+#[test]
+fn gauntlet_never_grants() {
+    let env = Environment::office();
+    let kinds = [
+        AttackKind::ZeroEffort,
+        AttackKind::GuessingReplay,
+        AttackKind::AllFrequency { tone_amplitude: 8_000.0 },
+        AttackKind::AllFrequency { tone_amplitude: 1_000.0 },
+        AttackKind::AllFrequency { tone_amplitude: 50.0 },
+    ];
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let stats = run_trials(kind, &env, 6.0, 3, 0xBAD0 + i as u64);
+        assert_eq!(stats.successes, 0, "{kind:?} succeeded: {stats:?}");
+        assert_eq!(stats.trials, 3);
+    }
+}
+
+#[test]
+fn replay_denials_are_signal_absent_or_too_far() {
+    // The attacker's guessed frequencies never match, so the legitimate
+    // detector either sees nothing usable (absent) or, rarely, measures
+    // something far. Never a grant; never a protocol failure.
+    let stats = run_trials(AttackKind::GuessingReplay, &Environment::office(), 6.0, 4, 0xFACE);
+    assert_eq!(stats.successes, 0);
+    for (reason, _) in &stats.denial_reasons {
+        assert!(
+            reason == "signal-absent" || reason == "distance-exceeds-threshold",
+            "unexpected denial reason {reason}"
+        );
+    }
+}
+
+#[test]
+fn guessing_probability_consistency_between_theory_and_sampler() {
+    use piano::attacks::analysis::{collision_probability, monte_carlo_collision};
+    // Small-N Monte Carlo agrees with the closed form for the sampler that
+    // the default configuration actually uses.
+    let sampler = ActionConfig::default().sampler;
+    let exact = collision_probability(sampler, 8);
+    let mc = monte_carlo_collision(sampler, 8, 40_000, 99);
+    let rel = (mc - exact).abs() / exact;
+    assert!(rel < 0.3, "MC {mc} vs exact {exact}");
+    let _ = SignalSampler::TwoStage; // facade export exercised
+}
+
+#[test]
+fn all_frequency_attack_denies_rather_than_misleads() {
+    // With the spoof active near the authenticating device, ensure the
+    // legit-user-away scenario produces no *measured* short distance.
+    let stats = run_trials(
+        AttackKind::AllFrequency { tone_amplitude: 2_000.0 },
+        &Environment::home(),
+        6.0,
+        3,
+        0xD1CE,
+    );
+    assert_eq!(stats.successes, 0);
+}

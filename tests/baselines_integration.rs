@@ -1,0 +1,117 @@
+//! Integration tests of the Fig. 2b baselines against ACTION through the
+//! facade API: the ordering claims of the paper must hold end to end.
+
+use piano::baselines::echo::EchoCalibration;
+use piano::baselines::{run_action_cc, run_echo_secure};
+use piano::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup(
+    d: f64,
+    seed: u64,
+) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let field = AcousticField::new(Environment::office(), seed ^ 0xB15E);
+    let link = BluetoothLink::new();
+    let mut registry = PairingRegistry::new();
+    let a = Device::phone(1, Position::ORIGIN, seed + 1);
+    let v = Device::phone(2, Position::new(d, 0.0, 0.0), seed + 2);
+    registry.pair(a.id, v.id, &mut rng);
+    (field, link, registry, a, v, rng)
+}
+
+#[test]
+fn fig2b_ordering_holds_end_to_end() {
+    let config = ActionConfig::default();
+    let trials = 4;
+
+    // ACTION.
+    let mut action_err = 0.0;
+    for t in 0..trials {
+        let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, 1_000 + t);
+        let outcome =
+            run_action(&config, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng).unwrap();
+        action_err += outcome
+            .estimate
+            .distance_m()
+            .map(|d| (d - 1.0).abs())
+            .unwrap_or(2.5);
+    }
+    action_err /= trials as f64;
+
+    // ACTION-CC.
+    let mut cc_err = 0.0;
+    for t in 0..trials {
+        let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, 2_000 + t);
+        let est =
+            run_action_cc(&config, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng).unwrap();
+        cc_err += est.distance_m().map(|d| (d - 1.0).abs()).unwrap_or(5.0);
+    }
+    cc_err /= trials as f64;
+
+    // Echo-Secure (calibrated honestly at contact distance).
+    let (mut field, mut link, reg, a, v, mut rng) = setup(0.05, 3_000);
+    let cal = EchoCalibration::calibrate(
+        &config, &mut field, &mut link, &reg, &a, &v, 6, &mut rng,
+    )
+    .unwrap();
+    let mut echo_err = 0.0;
+    for t in 0..trials {
+        let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, 4_000 + t);
+        let est = run_echo_secure(
+            &config, &mut field, &mut link, &reg, &a, &v, &cal, 0.0, &mut rng,
+        )
+        .unwrap();
+        echo_err += est.distance_m().map(|d| (d - 1.0).abs()).unwrap_or(5.0);
+    }
+    echo_err /= trials as f64;
+
+    assert!(action_err < 0.3, "ACTION MAE {action_err} m");
+    assert!(
+        cc_err > 5.0 * action_err,
+        "ACTION-CC should be ≫ ACTION: {cc_err} vs {action_err}"
+    );
+    assert!(
+        echo_err > 5.0 * action_err,
+        "Echo-Secure should be ≫ ACTION: {echo_err} vs {action_err}"
+    );
+}
+
+#[test]
+fn ambience_comparator_is_spoofable_but_action_is_not() {
+    use piano::baselines::ambience::ambience_similarity;
+    use piano_acoustics::field::Emission;
+
+    // Attacker plays identical loud material near two far-apart devices.
+    let mut field = AcousticField::new(Environment::anechoic(), 5);
+    let a = Device::ideal(1, Position::ORIGIN);
+    let b = Device::ideal(2, Position::new(8.0, 0.0, 0.0));
+    let wave = piano::dsp::tone::multi_tone(
+        &[piano::dsp::tone::ToneSpec::new(900.0, 5_000.0)],
+        44_100.0,
+        44_100,
+    );
+    for x in [0.4, 7.6] {
+        field.emit(Emission {
+            waveform: SpeakerModel::ideal().radiate(&wave, 44_100.0),
+            start_world_s: 0.0,
+            sample_interval_s: 1.0 / 44_100.0,
+            position: Position::new(x, 0.0, 0.0),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let score = ambience_similarity(&mut field, &a, &b, 0.1, 0.5, &mut rng);
+    assert!(
+        score.similarity > 0.8,
+        "ambience method fooled into proximity: {}",
+        score.similarity
+    );
+    // ACTION at the same 8 m geometry refuses outright (signal absent).
+    let (mut field, mut link, reg, a2, v2, mut rng2) = setup(8.0, 777);
+    let outcome = run_action(
+        &ActionConfig::default(), &mut field, &mut link, &reg, &a2, &v2, 0.0, &mut rng2,
+    )
+    .unwrap();
+    assert_eq!(outcome.estimate, DistanceEstimate::SignalAbsent);
+}

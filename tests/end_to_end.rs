@@ -1,0 +1,130 @@
+//! End-to-end integration tests across the whole workspace: registration,
+//! authentication, denial paths, and personalization through the public
+//! facade API only.
+
+use piano::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pairings(distance_m: f64, seed: u64) -> (PianoAuthenticator, Device, Device, ChaCha8Rng) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
+    let vouch_dev = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed + 2);
+    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    authn.register(&auth_dev, &vouch_dev, &mut rng);
+    (authn, auth_dev, vouch_dev, rng)
+}
+
+#[test]
+fn grant_when_close_in_every_paper_environment() {
+    for (i, env) in Environment::paper_environments().into_iter().enumerate() {
+        let (mut authn, a, v, mut rng) = pairings(0.5, 100 + i as u64);
+        let mut field = AcousticField::new(env.clone(), 50 + i as u64);
+        let decision = authn.authenticate(&mut field, &a, &v, 0.0, &mut rng);
+        assert!(
+            decision.is_granted(),
+            "close-range grant failed in {}: {decision:?}",
+            env.name
+        );
+    }
+}
+
+#[test]
+fn deny_when_user_away_in_every_paper_environment() {
+    for (i, env) in Environment::paper_environments().into_iter().enumerate() {
+        let (mut authn, a, v, mut rng) = pairings(6.0, 200 + i as u64);
+        let mut field = AcousticField::new(env.clone(), 60 + i as u64);
+        let decision = authn.authenticate(&mut field, &a, &v, 0.0, &mut rng);
+        assert!(!decision.is_granted(), "user-away grant in {}: {decision:?}", env.name);
+    }
+}
+
+#[test]
+fn measured_distance_is_accurate_at_one_meter() {
+    // True distance 1.0 m with τ = 1.0 m would be a coin flip (half the
+    // error distribution crosses the threshold); use a threshold with
+    // margin so this test asserts *accuracy*, not threshold luck.
+    let (mut authn, a, v, mut rng) = pairings(1.0, 300);
+    authn.set_threshold_m(1.6);
+    let mut field = AcousticField::new(Environment::office(), 70);
+    match authn.authenticate(&mut field, &a, &v, 0.0, &mut rng) {
+        AuthDecision::Granted { distance_m } => {
+            assert!((distance_m - 1.0).abs() < 0.35, "estimate {distance_m} m");
+        }
+        other => panic!("expected grant: {other:?}"),
+    }
+    // Diagnostics are exposed for the efficiency models.
+    let outcome = authn.last_outcome().expect("outcome recorded");
+    assert!(outcome.diagnostics.ffts_auth > 0);
+    assert!(outcome.diagnostics.bluetooth_messages >= 2);
+}
+
+#[test]
+fn registration_is_required_and_durable() {
+    let mut rng = ChaCha8Rng::seed_from_u64(400);
+    let a = Device::phone(1, Position::ORIGIN, 401);
+    let v = Device::phone(2, Position::new(0.5, 0.0, 0.0), 402);
+    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    assert!(!authn.is_registered(&a, &v));
+    let mut field = AcousticField::new(Environment::office(), 403);
+    assert!(!authn.authenticate(&mut field, &a, &v, 0.0, &mut rng).is_granted());
+
+    authn.register(&a, &v, &mut rng);
+    assert!(authn.is_registered(&a, &v));
+    // Multiple authentications on one registration (the paper: pairing
+    // "only needs to be done once").
+    for t in 0..2 {
+        let mut field = AcousticField::new(Environment::office(), 404 + t);
+        assert!(authn
+            .authenticate(&mut field, &a, &v, t as f64 * 10.0, &mut rng)
+            .is_granted());
+    }
+}
+
+#[test]
+fn threshold_separates_grant_from_too_far() {
+    let (mut authn, a, v, mut rng) = pairings(1.5, 500);
+    authn.set_threshold_m(0.5);
+    let mut field = AcousticField::new(Environment::anechoic(), 501);
+    match authn.authenticate(&mut field, &a, &v, 0.0, &mut rng) {
+        AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+            assert!((distance_m - 1.5).abs() < 0.3);
+        }
+        other => panic!("expected TooFar: {other:?}"),
+    }
+}
+
+#[test]
+fn full_protocol_is_deterministic() {
+    let run = || {
+        let (mut authn, a, v, mut rng) = pairings(1.0, 600);
+        let mut field = AcousticField::new(Environment::street(), 601);
+        format!("{:?}", authn.authenticate(&mut field, &a, &v, 0.0, &mut rng))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn action_protocol_exposed_directly() {
+    // The lower-level run_action API works without the authenticator.
+    let mut rng = ChaCha8Rng::seed_from_u64(700);
+    let mut field = AcousticField::new(Environment::office(), 701);
+    let mut link = BluetoothLink::new();
+    let mut registry = PairingRegistry::new();
+    let a = Device::phone(1, Position::ORIGIN, 702);
+    let v = Device::phone(2, Position::new(0.8, 0.0, 0.0), 703);
+    registry.pair(a.id, v.id, &mut rng);
+    let outcome = run_action(
+        &ActionConfig::default(),
+        &mut field,
+        &mut link,
+        &registry,
+        &a,
+        &v,
+        0.0,
+        &mut rng,
+    )
+    .expect("protocol runs");
+    let d = outcome.estimate.distance_m().expect("measured");
+    assert!((d - 0.8).abs() < 0.35, "estimate {d}");
+}

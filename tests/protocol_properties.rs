@@ -1,0 +1,117 @@
+//! Property-based integration tests: protocol invariants that must hold
+//! across random seeds, geometries and environments.
+
+use piano::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn authenticate_once(distance_m: f64, env_idx: usize, seed: u64) -> AuthDecision {
+    let envs = [
+        Environment::office(),
+        Environment::home(),
+        Environment::street(),
+        Environment::restaurant(),
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = Device::phone(1, Position::ORIGIN, seed ^ 0x1);
+    let v = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed ^ 0x2);
+    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    authn.register(&a, &v, &mut rng);
+    let mut field = AcousticField::new(envs[env_idx % envs.len()].clone(), seed ^ 0x3);
+    authn.authenticate(&mut field, &a, &v, 0.0, &mut rng)
+}
+
+proptest! {
+    // The acoustic protocol is expensive; keep the case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Beyond Bluetooth range the decision is always an immediate denial,
+    /// regardless of seed/environment (paper: FAR = 0 beyond 10 m).
+    #[test]
+    fn beyond_bluetooth_always_denied(
+        d in 10.1f64..30.0,
+        env in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let decision = authenticate_once(d, env, seed);
+        prop_assert_eq!(
+            decision,
+            AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable }
+        );
+    }
+
+    /// Within easy acoustic range, a measured estimate stays within gross
+    /// physical bounds (no negative-beyond-noise, no beyond-Bluetooth
+    /// readings) — the Eq. 3 arithmetic can't run away.
+    #[test]
+    fn estimates_are_physically_bounded(
+        d in 0.4f64..1.6,
+        env in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        match authenticate_once(d, env, seed) {
+            AuthDecision::Granted { distance_m } => {
+                prop_assert!(distance_m > -0.5 && distance_m < 10.0);
+            }
+            AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+                prop_assert!(distance_m > -0.5 && distance_m < 10.0);
+            }
+            // Occasional signal-absent under heavy jitter draws is legal.
+            AuthDecision::Denied { reason: DenialReason::SignalAbsent } => {}
+            other => prop_assert!(false, "unexpected decision {:?}", other),
+        }
+    }
+
+    /// A grant implies the measured distance respected the threshold.
+    #[test]
+    fn grants_respect_threshold(
+        d in 0.4f64..2.2,
+        seed in 0u64..1000,
+    ) {
+        if let AuthDecision::Granted { distance_m } = authenticate_once(d, 0, seed) {
+            prop_assert!(distance_m <= PianoConfig::default().threshold_m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Reference-signal wire transport is lossless for arbitrary sessions.
+    #[test]
+    fn signal_specs_roundtrip(seed in 0u64..10_000) {
+        use piano::core::wire::{Message, SignalSpec};
+        let config = ActionConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sa = ReferenceSignal::random(&config, &mut rng);
+        let sv = ReferenceSignal::random(&config, &mut rng);
+        let msg = Message::ReferenceSignals {
+            session: seed,
+            sa: SignalSpec::of(&sa),
+            sv: SignalSpec::of(&sv),
+        };
+        let decoded = Message::decode(&msg.encode()).expect("roundtrip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Both samplers always construct paper-legal signals (0 < n < N) and
+    /// the power rule `n·amplitude = 32000` holds exactly.
+    #[test]
+    fn signal_construction_invariants(seed in 0u64..10_000, uniform in any::<bool>()) {
+        let mut config = ActionConfig::default();
+        config.sampler = if uniform {
+            SignalSampler::UniformSubset
+        } else {
+            SignalSampler::TwoStage
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sig = ReferenceSignal::random(&config, &mut rng);
+        prop_assert!(sig.n_tones() >= 1);
+        prop_assert!(sig.n_tones() < config.grid.len());
+        prop_assert!((sig.amplitude() * sig.n_tones() as f64 - 32_000.0).abs() < 1e-9);
+        // Peak bounded: the mixed waveform cannot clip a 16-bit DAC.
+        let peak = sig.waveform().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        prop_assert!(peak <= 32_000.0 + 1e-9);
+    }
+}
