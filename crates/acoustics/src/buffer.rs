@@ -39,7 +39,10 @@ impl AudioBuffer {
             sample_rate.is_finite() && sample_rate > 0.0,
             "sample rate must be positive and finite"
         );
-        AudioBuffer { samples, sample_rate }
+        AudioBuffer {
+            samples,
+            sample_rate,
+        }
     }
 
     /// An all-zero buffer of `len` samples.

@@ -31,7 +31,11 @@ pub struct ReflectionSpec {
 impl ReflectionSpec {
     /// No reflections at all (anechoic).
     pub fn none() -> Self {
-        ReflectionSpec { count: (0, 0), delay_ms: (0.0, 0.0), gain_db: (0.0, 0.0) }
+        ReflectionSpec {
+            count: (0, 0),
+            delay_ms: (0.0, 0.0),
+            gain_db: (0.0, 0.0),
+        }
     }
 
     /// Samples a concrete set of `(extra_delay_s, amplitude_gain)` echoes.
@@ -163,7 +167,12 @@ impl Environment {
 
     /// The four paper environments in Fig. 1 order.
     pub fn paper_environments() -> Vec<Environment> {
-        vec![Self::office(), Self::home(), Self::street(), Self::restaurant()]
+        vec![
+            Self::office(),
+            Self::home(),
+            Self::street(),
+            Self::restaurant(),
+        ]
     }
 
     /// Speed of sound at this environment's temperature (m/s).
@@ -227,7 +236,11 @@ mod tests {
 
     #[test]
     fn reflection_sampling_respects_ranges() {
-        let spec = ReflectionSpec { count: (2, 4), delay_ms: (1.0, 10.0), gain_db: (-24.0, -14.0) };
+        let spec = ReflectionSpec {
+            count: (2, 4),
+            delay_ms: (1.0, 10.0),
+            gain_db: (-24.0, -14.0),
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         for _ in 0..100 {
             let echoes = spec.sample(&mut rng);
@@ -242,7 +255,11 @@ mod tests {
 
     #[test]
     fn fixed_point_reflection_spec_is_deterministic() {
-        let spec = ReflectionSpec { count: (1, 1), delay_ms: (5.0, 5.0), gain_db: (-20.0, -20.0) };
+        let spec = ReflectionSpec {
+            count: (1, 1),
+            delay_ms: (5.0, 5.0),
+            gain_db: (-20.0, -20.0),
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let echoes = spec.sample(&mut rng);
         assert_eq!(echoes.len(), 1);

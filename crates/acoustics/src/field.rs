@@ -187,7 +187,11 @@ impl AcousticField {
             let nominal_d = emission.position.distance_to(&position);
             // Inter-device paths carry this trial's geometry jitter; a
             // device hearing itself does not (same chassis).
-            let d = if nominal_d < 1e-9 { nominal_d } else { nominal_d * self.placement_factor };
+            let d = if nominal_d < 1e-9 {
+                nominal_d
+            } else {
+                nominal_d * self.placement_factor
+            };
             let spread = if d < 1e-9 {
                 1.0 / SELF_COUPLING_DISTANCE_M
             } else {
@@ -201,7 +205,10 @@ impl AcousticField {
             // Air absorption for this path length, evaluated per FFT bin at
             // the folded physical frequency.
             let filtered = apply_transfer_function(&emission.waveform, nominal_rate_hz, |f| {
-                piano_dsp::Complex64::from_real(absorption_gain(fold_to_physical(f, nominal_rate_hz), d))
+                piano_dsp::Complex64::from_real(absorption_gain(
+                    fold_to_physical(f, nominal_rate_hz),
+                    d,
+                ))
             });
             let reader = FractionalDelayReader::new(&filtered);
 
@@ -219,7 +226,10 @@ impl AcousticField {
         }
 
         // Ambient noise at the capsule.
-        let noise = self.environment.noise.render(len, nominal_rate_hz, &mut self.rng);
+        let noise = self
+            .environment
+            .noise
+            .render(len, nominal_rate_hz, &mut self.rng);
         for (a, n) in air.iter_mut().zip(&noise) {
             *a += n;
         }
@@ -337,7 +347,10 @@ mod tests {
             4_410,
             FS,
         );
-        assert!(rec.peak() < 1e-9, "nothing should arrive in the first 0.1 s");
+        assert!(
+            rec.peak() < 1e-9,
+            "nothing should arrive in the first 0.1 s"
+        );
     }
 
     #[test]
@@ -388,7 +401,10 @@ mod tests {
             .skip(3000)
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1.0, "skew should visibly shift the waveform, diff={diff}");
+        assert!(
+            diff > 1.0,
+            "skew should visibly shift the waveform, diff={diff}"
+        );
     }
 
     #[test]

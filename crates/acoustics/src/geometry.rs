@@ -76,7 +76,11 @@ pub struct Wall {
 impl Wall {
     /// A wall plane `x = coordinate` with the default 45 dB loss.
     pub fn at_x(coordinate: f64) -> Self {
-        Wall { axis: Axis::X, coordinate, attenuation_db: 45.0 }
+        Wall {
+            axis: Axis::X,
+            coordinate,
+            attenuation_db: 45.0,
+        }
     }
 
     /// Sets the attenuation, returning the modified wall.
@@ -156,7 +160,11 @@ mod tests {
         let walls = vec![
             Wall::at_x(1.0).with_attenuation_db(20.0),
             Wall::at_x(2.0).with_attenuation_db(20.0),
-            Wall { axis: Axis::Y, coordinate: 5.0, attenuation_db: 20.0 },
+            Wall {
+                axis: Axis::Y,
+                coordinate: 5.0,
+                attenuation_db: 20.0,
+            },
         ];
         let a = Position::new(0.0, 0.0, 0.0);
         let b = Position::new(3.0, 0.0, 0.0);
@@ -166,7 +174,10 @@ mod tests {
 
     #[test]
     fn no_walls_means_unity_gain() {
-        assert_eq!(wall_gain(&[], &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0)), 1.0);
+        assert_eq!(
+            wall_gain(&[], &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0)),
+            1.0
+        );
     }
 
     #[test]

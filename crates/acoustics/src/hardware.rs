@@ -82,7 +82,12 @@ impl FrequencyResponse {
         };
         let gain_components = gen_components(&mut rng);
         let phase_components = gen_components(&mut rng);
-        FrequencyResponse { gain_components, phase_components, ripple_db, dispersion_rad }
+        FrequencyResponse {
+            gain_components,
+            phase_components,
+            ripple_db,
+            dispersion_rad,
+        }
     }
 
     /// A perfectly flat response (unity gain, zero phase).
@@ -150,7 +155,11 @@ impl SpeakerModel {
 
     /// An ideal speaker: unity efficiency, flat response, no ramp.
     pub fn ideal() -> Self {
-        SpeakerModel { efficiency: 1.0, response: FrequencyResponse::flat(), fade_samples: 0 }
+        SpeakerModel {
+            efficiency: 1.0,
+            response: FrequencyResponse::flat(),
+            fade_samples: 0,
+        }
     }
 
     /// Renders the waveform the speaker actually radiates for a commanded
@@ -194,7 +203,11 @@ impl MicrophoneModel {
 
     /// An ideal microphone: unity sensitivity, flat, unquantized.
     pub fn ideal() -> Self {
-        MicrophoneModel { sensitivity: 1.0, response: FrequencyResponse::flat(), quantize: false }
+        MicrophoneModel {
+            sensitivity: 1.0,
+            response: FrequencyResponse::flat(),
+            quantize: false,
+        }
     }
 
     /// Converts air pressure samples at the capsule into recorded samples:
@@ -270,7 +283,10 @@ mod tests {
                 distinct += 1;
             }
         }
-        assert!(distinct > 10, "only {distinct}/29 adjacent pairs decorrelated");
+        assert!(
+            distinct > 10,
+            "only {distinct}/29 adjacent pairs decorrelated"
+        );
     }
 
     #[test]
@@ -293,7 +309,10 @@ mod tests {
         let ps = power_spectrum(&out);
         let p = band_power(&ps, freq_to_bin(30_000.0, FS, 4096), 5);
         let nominal = (amp * spk.efficiency).powi(2);
-        assert!(p > nominal / 8.0 && p < nominal * 8.0, "band power {p} vs nominal {nominal}");
+        assert!(
+            p > nominal / 8.0 && p < nominal * 8.0,
+            "band power {p} vs nominal {nominal}"
+        );
     }
 
     #[test]
@@ -310,13 +329,19 @@ mod tests {
         let na: f64 = sig.iter().map(|a| a * a).sum::<f64>().sqrt();
         let nb: f64 = out.iter().map(|b| b * b).sum::<f64>().sqrt();
         let corr = (dot / (na * nb)).abs();
-        assert!(corr < 0.8, "waveform correlation {corr} too high for dispersion to matter");
+        assert!(
+            corr < 0.8,
+            "waveform correlation {corr} too high for dispersion to matter"
+        );
     }
 
     #[test]
     fn mic_quantizes_to_integers() {
         let air = vec![0.4; 256];
-        let mic = MicrophoneModel { quantize: true, ..MicrophoneModel::ideal() };
+        let mic = MicrophoneModel {
+            quantize: true,
+            ..MicrophoneModel::ideal()
+        };
         let out = mic.transduce(air, FS);
         assert!(out.iter().all(|s| s.fract() == 0.0));
     }
@@ -324,7 +349,10 @@ mod tests {
     #[test]
     fn mic_clamps_to_full_scale() {
         let air = vec![1e6; 64];
-        let mic = MicrophoneModel { quantize: true, ..MicrophoneModel::ideal() };
+        let mic = MicrophoneModel {
+            quantize: true,
+            ..MicrophoneModel::ideal()
+        };
         let out = mic.transduce(air, FS);
         assert!(out.iter().all(|&s| s == I16_FULL_SCALE));
     }
@@ -332,6 +360,8 @@ mod tests {
     #[test]
     fn empty_signals_pass_through() {
         assert!(SpeakerModel::phone(1).radiate(&[], FS).is_empty());
-        assert!(MicrophoneModel::phone(1).transduce(Vec::new(), FS).is_empty());
+        assert!(MicrophoneModel::phone(1)
+            .transduce(Vec::new(), FS)
+            .is_empty());
     }
 }

@@ -140,7 +140,10 @@ mod tests {
     fn jitter_scale_affects_only_jitter() {
         let m = LatencyModel::phone().with_jitter_scale(2.0);
         assert_eq!(m.playback_mean_s, LatencyModel::phone().playback_mean_s);
-        assert_eq!(m.playback_jitter_s, 2.0 * LatencyModel::phone().playback_jitter_s);
+        assert_eq!(
+            m.playback_jitter_s,
+            2.0 * LatencyModel::phone().playback_jitter_s
+        );
     }
 
     #[test]
@@ -149,6 +152,9 @@ mod tests {
         // ±10 m of one-way ranging error at 343 m/s.
         let m = LatencyModel::phone();
         let worst = m.playback_jitter_s + m.record_jitter_s;
-        assert!(worst * 343.0 > 5.0, "jitter too small to demonstrate Echo failure");
+        assert!(
+            worst * 343.0 > 5.0,
+            "jitter too small to demonstrate Echo failure"
+        );
     }
 }

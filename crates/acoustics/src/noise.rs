@@ -73,7 +73,10 @@ impl NoiseProfile {
     /// Adds a tonal component, returning the modified profile.
     #[must_use]
     pub fn with_tone(mut self, frequency_hz: f64, amplitude: f64) -> Self {
-        self.tones.push(NoiseTone { frequency_hz, amplitude });
+        self.tones.push(NoiseTone {
+            frequency_hz,
+            amplitude,
+        });
         self
     }
 
@@ -98,7 +101,8 @@ impl NoiseProfile {
         }
         if self.low_band_rms > 0.0 {
             let white: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let kernel = filter::lowpass(self.low_cutoff_hz.min(sample_rate * 0.45), sample_rate, 129);
+            let kernel =
+                filter::lowpass(self.low_cutoff_hz.min(sample_rate * 0.45), sample_rate, 129);
             let mut low = filter::filter_same(&white, &kernel);
             let rms = piano_dsp::tone::rms(&low).max(1e-12);
             let scale = self.low_band_rms / rms;
@@ -146,7 +150,9 @@ mod tests {
     #[test]
     fn render_zero_length_is_empty() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        assert!(NoiseProfile::new("x", 100.0, 10.0).render(0, 44_100.0, &mut rng).is_empty());
+        assert!(NoiseProfile::new("x", 100.0, 10.0)
+            .render(0, 44_100.0, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -193,7 +199,9 @@ mod tests {
 
     #[test]
     fn scaled_profile_scales_levels() {
-        let p = NoiseProfile::new("x", 100.0, 10.0).with_tone(100.0, 5.0).scaled(2.0);
+        let p = NoiseProfile::new("x", 100.0, 10.0)
+            .with_tone(100.0, 5.0)
+            .scaled(2.0);
         assert_eq!(p.low_band_rms, 200.0);
         assert_eq!(p.broadband_rms, 20.0);
         assert_eq!(p.tones[0].amplitude, 10.0);

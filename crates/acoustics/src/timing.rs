@@ -95,7 +95,10 @@ mod tests {
         let d = m.phase_durations(2.4, 0.093, TYPICAL_FFTS, 17_000, 6);
         let total = m.total_latency_s(&d);
         assert!(total < 3.2, "total {total} s exceeds the paper's ≈3 s");
-        assert!(total > 2.0, "total {total} s suspiciously fast for a 2.4 s recording");
+        assert!(
+            total > 2.0,
+            "total {total} s suspiciously fast for a 2.4 s recording"
+        );
     }
 
     #[test]

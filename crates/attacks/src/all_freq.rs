@@ -108,16 +108,18 @@ mod tests {
         let mut authn = PianoAuthenticator::new(PianoConfig::default());
         authn.register(&auth_dev, &vouch_dev, &mut rng);
         let mut field = AcousticField::new(Environment::office(), seed ^ 0xD00D);
-        let attacker = AllFrequencyAttacker::near(auth_dev.position)
-            .with_tone_amplitude(tone_amplitude);
+        let attacker =
+            AllFrequencyAttacker::near(auth_dev.position).with_tone_amplitude(tone_amplitude);
         let cfg = authn.config().action.clone();
         attacker.inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
         // Second emitter near the vouching device, as the threat model
         // allows "around the authenticating device and/or vouching device".
-        let attacker2 = AllFrequencyAttacker::near(vouch_dev.position)
-            .with_tone_amplitude(tone_amplitude);
+        let attacker2 =
+            AllFrequencyAttacker::near(vouch_dev.position).with_tone_amplitude(tone_amplitude);
         attacker2.inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
-        authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng).is_granted()
+        authn
+            .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+            .is_granted()
     }
 
     #[test]
@@ -144,7 +146,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let attacker = AllFrequencyAttacker::near(Position::ORIGIN);
         let wave = attacker.spoof_waveform(&cfg, 0.2, &mut rng);
-        let ps = piano_dsp::spectrum::power_spectrum(&wave[..4096].to_vec());
+        let ps = piano_dsp::spectrum::power_spectrum(&wave[..4096]);
         for i in 0..cfg.grid.len() {
             let bin = cfg.grid.fft_bin(i, cfg.sample_rate, cfg.signal_len);
             let p = piano_dsp::spectrum::band_power(&ps, bin, cfg.theta);

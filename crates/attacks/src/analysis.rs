@@ -109,10 +109,11 @@ mod tests {
 
     #[test]
     fn uniform_subset_matches_paper_formula() {
-        assert!((collision_probability(SignalSampler::UniformSubset, 30)
-            - 1.0 / (2f64.powi(30) - 2.0))
-            .abs()
-            < 1e-18);
+        assert!(
+            (collision_probability(SignalSampler::UniformSubset, 30) - 1.0 / (2f64.powi(30) - 2.0))
+                .abs()
+                < 1e-18
+        );
         assert_eq!(
             collision_probability(SignalSampler::UniformSubset, 30),
             paper_claimed_single_guess(30)
@@ -152,7 +153,10 @@ mod tests {
         // Document the paper's algebra slip: 1/2^(N+1) ≫ (1/2^N)².
         let claimed = paper_claimed_replay(30);
         let exact = replay_success_probability(SignalSampler::UniformSubset, 30);
-        assert!(claimed > 1e8 * exact, "claimed {claimed:e}, exact {exact:e}");
+        assert!(
+            claimed > 1e8 * exact,
+            "claimed {claimed:e}, exact {exact:e}"
+        );
     }
 
     #[test]
@@ -161,7 +165,10 @@ mod tests {
             let exact = collision_probability(sampler, 6);
             let mc = monte_carlo_collision(sampler, 6, 60_000, 99);
             let rel = (mc - exact).abs() / exact;
-            assert!(rel < 0.15, "{sampler:?}: mc {mc} vs exact {exact} (rel {rel})");
+            assert!(
+                rel < 0.15,
+                "{sampler:?}: mc {mc} vs exact {exact} (rel {rel})"
+            );
         }
     }
 

@@ -88,13 +88,24 @@ pub fn run_trials(
     trials: usize,
     base_seed: u64,
 ) -> AttackStats {
-    let mut stats = AttackStats { trials, ..Default::default() };
+    let mut stats = AttackStats {
+        trials,
+        ..Default::default()
+    };
     for t in 0..trials as u64 {
-        let outcome = run_one(kind, environment.clone(), vouch_distance_m, base_seed ^ (t << 16) ^ t);
+        let outcome = run_one(
+            kind,
+            environment.clone(),
+            vouch_distance_m,
+            base_seed ^ (t << 16) ^ t,
+        );
         if outcome.granted {
             stats.successes += 1;
         } else if let AuthDecision::Denied { reason } = &outcome.decision {
-            *stats.denial_reasons.entry(reason_label(reason)).or_insert(0) += 1;
+            *stats
+                .denial_reasons
+                .entry(reason_label(reason))
+                .or_insert(0) += 1;
         }
     }
     stats
@@ -139,7 +150,10 @@ fn run_one(
     }
 
     let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
-    AttackOutcome { granted: decision.is_granted(), decision }
+    AttackOutcome {
+        granted: decision.is_granted(),
+        decision,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +178,9 @@ mod tests {
     #[test]
     fn all_frequency_batch_all_fail() {
         let stats = run_trials(
-            AttackKind::AllFrequency { tone_amplitude: 4_000.0 },
+            AttackKind::AllFrequency {
+                tone_amplitude: 4_000.0,
+            },
             &Environment::office(),
             6.0,
             4,
@@ -175,11 +191,19 @@ mod tests {
 
     #[test]
     fn zero_effort_batch_all_fail_when_user_away() {
-        let stats =
-            run_trials(AttackKind::ZeroEffort, &Environment::office(), 6.0, 4, 0x777);
+        let stats = run_trials(
+            AttackKind::ZeroEffort,
+            &Environment::office(),
+            6.0,
+            4,
+            0x777,
+        );
         assert_eq!(stats.successes, 0);
         // Beyond acoustic range the denial reason must be signal absence.
-        assert!(stats.denial_reasons.contains_key("signal-absent"), "{stats:?}");
+        assert!(
+            stats.denial_reasons.contains_key("signal-absent"),
+            "{stats:?}"
+        );
     }
 
     #[test]

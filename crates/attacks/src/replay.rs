@@ -53,8 +53,8 @@ impl ReplayAttacker {
             emitter_near_vouch: vouch_pos.along_x(-0.3),
             speaker: SpeakerModel::phone(0xA77A),
             faked_distance_m: 0.2,
-            assumed_playback_latency_s:
-                piano_acoustics::latency::LatencyModel::phone().playback_mean_s,
+            assumed_playback_latency_s: piano_acoustics::latency::LatencyModel::phone()
+                .playback_mean_s,
         }
     }
 
@@ -136,7 +136,15 @@ mod tests {
     use rand::SeedableRng;
 
     /// Scenario: user away (vouch at 6 m), attacker flanks both devices.
-    fn scenario(seed: u64) -> (PianoAuthenticator, Device, Device, AcousticField, ChaCha8Rng) {
+    fn scenario(
+        seed: u64,
+    ) -> (
+        PianoAuthenticator,
+        Device,
+        Device,
+        AcousticField,
+        ChaCha8Rng,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
         let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), seed + 2);
@@ -160,9 +168,11 @@ mod tests {
                 start_cmd,
                 &mut attacker_rng,
             );
-            let decision =
-                authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
-            assert!(!decision.is_granted(), "seed {seed}: replay succeeded: {decision:?}");
+            let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+            assert!(
+                !decision.is_granted(),
+                "seed {seed}: replay succeeded: {decision:?}"
+            );
         }
     }
 
@@ -185,8 +195,7 @@ mod tests {
 
         // Replicate the session's secret draws from a cloned RNG.
         let mut oracle_rng = rng.clone();
-        let (_session, sa, sv) =
-            piano_core::action::draw_session_signals(&config, &mut oracle_rng);
+        let (_session, sa, sv) = piano_core::action::draw_session_signals(&config, &mut oracle_rng);
 
         let attacker = ReplayAttacker::flanking(auth_dev.position, vouch_dev.position)
             .with_assumed_latency(0.0);
@@ -215,15 +224,19 @@ mod tests {
             let (mut authn, auth_dev, vouch_dev, mut field, mut rng) = scenario(300 + seed);
             let config = authn.config().action.clone();
             let mut oracle_rng = rng.clone();
-            let (_s, sa, sv) =
-                piano_core::action::draw_session_signals(&config, &mut oracle_rng);
+            let (_s, sa, sv) = piano_core::action::draw_session_signals(&config, &mut oracle_rng);
             let attacker = ReplayAttacker::flanking(auth_dev.position, vouch_dev.position);
             attacker.inject_signals(&mut field, &config, 0.035, &sa, &sv);
-            if authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng).is_granted()
+            if authn
+                .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+                .is_granted()
             {
                 grants += 1;
             }
         }
-        assert!(grants < 5, "latency jitter should make blind-timed replay unreliable");
+        assert!(
+            grants < 5,
+            "latency jitter should make blind-timed replay unreliable"
+        );
     }
 }

@@ -27,7 +27,9 @@ impl ZeroEffortScenario {
     /// The paper's canonical "user went to lunch" geometry: vouching device
     /// across the room, inside Bluetooth range but beyond acoustic reach.
     pub fn user_away() -> Self {
-        ZeroEffortScenario { vouch_distance_m: 6.0 }
+        ZeroEffortScenario {
+            vouch_distance_m: 6.0,
+        }
     }
 }
 
@@ -41,8 +43,7 @@ pub fn attempt(
     seed: u64,
     rng: &mut ChaCha8Rng,
 ) -> AuthDecision {
-    let mut authenticator =
-        PianoAuthenticator::new(piano_core::piano::PianoConfig::default());
+    let mut authenticator = PianoAuthenticator::new(piano_core::piano::PianoConfig::default());
     let auth_dev = Device::phone(1, Position::ORIGIN, seed.wrapping_add(17));
     let vouch_dev = Device::phone(
         2,
@@ -70,7 +71,10 @@ mod tests {
                 seed,
                 &mut rng,
             );
-            assert!(!d.is_granted(), "zero-effort attempt {seed} succeeded: {d:?}");
+            assert!(
+                !d.is_granted(),
+                "zero-effort attempt {seed} succeeded: {d:?}"
+            );
         }
     }
 
@@ -78,23 +82,37 @@ mod tests {
     fn beyond_acoustic_range_denial_is_signal_absent() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let d = attempt(
-            &ZeroEffortScenario { vouch_distance_m: 7.0 },
+            &ZeroEffortScenario {
+                vouch_distance_m: 7.0,
+            },
             Environment::office(),
             99,
             &mut rng,
         );
-        assert_eq!(d, AuthDecision::Denied { reason: DenialReason::SignalAbsent });
+        assert_eq!(
+            d,
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent
+            }
+        );
     }
 
     #[test]
     fn outside_bluetooth_never_reaches_the_protocol() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let d = attempt(
-            &ZeroEffortScenario { vouch_distance_m: 14.0 },
+            &ZeroEffortScenario {
+                vouch_distance_m: 14.0,
+            },
             Environment::office(),
             7,
             &mut rng,
         );
-        assert_eq!(d, AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable });
+        assert_eq!(
+            d,
+            AuthDecision::Denied {
+                reason: DenialReason::BluetoothUnreachable
+            }
+        );
     }
 }

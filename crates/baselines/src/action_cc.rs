@@ -38,6 +38,7 @@ use piano_dsp::correlate::best_alignment;
 /// # Errors
 ///
 /// Same Bluetooth/config errors as [`piano_core::action::run_action`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_action_cc(
     config: &ActionConfig,
     field: &mut AcousticField,
@@ -59,22 +60,45 @@ pub fn run_action_cc(
     let sv_wave = sv.waveform();
 
     // Step II (range gate only; the payload itself is identical to ACTION).
-    let probe = piano_bluetooth::channel::SecureChannel::new(key, rng.gen::<u64>() << 8)
-        .seal(&piano_core::wire::Message::ReferenceSignals {
+    let probe = piano_bluetooth::channel::SecureChannel::new(key, rng.gen::<u64>() << 8).seal(
+        &piano_core::wire::Message::ReferenceSignals {
             session: rng.gen(),
             sa: piano_core::wire::SignalSpec::of(&sa),
             sv: piano_core::wire::SignalSpec::of(&sv),
         }
-        .encode());
+        .encode(),
+    );
     let start_cmd = link.transmit(now_world_s, &auth.position, &vouch.position, &probe)?;
 
     // Step III.
-    auth.play(field, &sa_wave, start_cmd + config.play_offset_auth_s, config.sample_rate, rng);
-    vouch.play(field, &sv_wave, start_cmd + config.play_offset_vouch_s, config.sample_rate, rng);
-    let (rec_auth, _) =
-        auth.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
-    let (rec_vouch, _) =
-        vouch.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+    auth.play(
+        field,
+        &sa_wave,
+        start_cmd + config.play_offset_auth_s,
+        config.sample_rate,
+        rng,
+    );
+    vouch.play(
+        field,
+        &sv_wave,
+        start_cmd + config.play_offset_vouch_s,
+        config.sample_rate,
+        rng,
+    );
+    let (rec_auth, _) = auth.record(
+        field,
+        start_cmd,
+        config.recording_duration_s,
+        config.sample_rate,
+        rng,
+    );
+    let (rec_vouch, _) = vouch.record(
+        field,
+        start_cmd,
+        config.recording_duration_s,
+        config.sample_rate,
+        rng,
+    );
 
     // Step IV — cross-correlation against the original waveforms.
     let locate = |recording: &[f64], reference: &[f64]| -> Option<usize> {
@@ -113,7 +137,14 @@ mod tests {
         d: f64,
         env: Environment,
         seed: u64,
-    ) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+    ) -> (
+        AcousticField,
+        BluetoothLink,
+        PairingRegistry,
+        Device,
+        Device,
+        ChaCha8Rng,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let field = AcousticField::new(env, seed ^ 0xF0F0);
         let link = BluetoothLink::new();
@@ -128,7 +159,14 @@ mod tests {
     fn produces_an_estimate() {
         let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, Environment::office(), 21);
         let est = run_action_cc(
-            &ActionConfig::default(), &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng,
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &reg,
+            &a,
+            &v,
+            0.0,
+            &mut rng,
         )
         .unwrap();
         assert!(matches!(est, DistanceEstimate::Measured(_)));
@@ -145,8 +183,8 @@ mod tests {
         for t in 0..trials {
             let (mut field, mut link, reg, a, v, mut rng) =
                 setup(1.0, Environment::office(), 500 + t);
-            let cc = run_action_cc(&cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng)
-                .unwrap();
+            let cc =
+                run_action_cc(&cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng).unwrap();
             if let DistanceEstimate::Measured(d) = cc {
                 cc_err += (d - 1.0).abs();
             } else {
@@ -177,7 +215,14 @@ mod tests {
         let (mut field, mut link, _reg, a, v, mut rng) = setup(1.0, Environment::office(), 33);
         let empty = PairingRegistry::new();
         assert!(run_action_cc(
-            &ActionConfig::default(), &mut field, &mut link, &empty, &a, &v, 0.0, &mut rng,
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &empty,
+            &a,
+            &v,
+            0.0,
+            &mut rng,
         )
         .is_err());
     }

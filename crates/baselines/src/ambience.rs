@@ -36,7 +36,9 @@ pub fn ambience_similarity(
     let rate = 44_100.0;
     let (rec_a, _) = a.record(field, now_world_s, duration_s, rate, rng);
     let (rec_b, _) = b.record(field, now_world_s, duration_s, rate, rng);
-    AmbienceScore { similarity: peak_normalized_correlation(&rec_a, &rec_b, 2_000) }
+    AmbienceScore {
+        similarity: peak_normalized_correlation(&rec_a, &rec_b, 2_000),
+    }
 }
 
 fn peak_normalized_correlation(a: &AudioBuffer, b: &AudioBuffer, max_lag: usize) -> f64 {
@@ -55,8 +57,16 @@ fn peak_normalized_correlation(a: &AudioBuffer, b: &AudioBuffer, max_lag: usize)
     // Both signs of lag, coarse stride then unit refinement is unnecessary
     // here: ambience windows are short.
     for lag in 0..=max_lag {
-        let dot_pos: f64 = xa[lag..n].iter().zip(&xb[..n - lag]).map(|(x, y)| x * y).sum();
-        let dot_neg: f64 = xb[lag..n].iter().zip(&xa[..n - lag]).map(|(x, y)| x * y).sum();
+        let dot_pos: f64 = xa[lag..n]
+            .iter()
+            .zip(&xb[..n - lag])
+            .map(|(x, y)| x * y)
+            .sum();
+        let dot_neg: f64 = xb[lag..n]
+            .iter()
+            .zip(&xa[..n - lag])
+            .map(|(x, y)| x * y)
+            .sum();
         best = best.max(dot_pos / (na * nb)).max(dot_neg / (na * nb));
     }
     best

@@ -59,7 +59,9 @@ impl EchoCalibration {
         rng: &mut ChaCha8Rng,
     ) -> Result<EchoCalibration, PianoError> {
         if rounds == 0 {
-            return Err(PianoError::InvalidConfig("calibration needs ≥1 round".into()));
+            return Err(PianoError::InvalidConfig(
+                "calibration needs ≥1 round".into(),
+            ));
         }
         // Co-locate for calibration (clone the geometry, not the devices).
         let auth_cal = auth.clone().at(vouch.position);
@@ -76,7 +78,10 @@ impl EchoCalibration {
             total += elapsed;
             field.clear_emissions();
         }
-        Ok(EchoCalibration { mean_delay_s: total / rounds as f64, rounds })
+        Ok(EchoCalibration {
+            mean_delay_s: total / rounds as f64,
+            rounds,
+        })
     }
 }
 
@@ -104,20 +109,33 @@ fn echo_elapsed_time(
 
     // Radio leg: verifier → prover.
     let mut chan = piano_bluetooth::channel::SecureChannel::new(key, now_world_s.to_bits());
-    let frame = chan.seal(&piano_core::wire::Message::ReferenceSignals {
-        session: now_world_s.to_bits(),
-        sa: piano_core::wire::SignalSpec::of(&sig),
-        sv: piano_core::wire::SignalSpec::of(&sig),
-    }
-    .encode());
+    let frame = chan.seal(
+        &piano_core::wire::Message::ReferenceSignals {
+            session: now_world_s.to_bits(),
+            sa: piano_core::wire::SignalSpec::of(&sig),
+            sv: piano_core::wire::SignalSpec::of(&sig),
+        }
+        .encode(),
+    );
     let radio_arrival = link.transmit(now_world_s, &auth.position, &vouch.position, &frame)?;
 
     // Prover plays "immediately" upon receipt — through its audio stack.
-    vouch.play(field, &sig.waveform(), radio_arrival, config.sample_rate, rng);
+    vouch.play(
+        field,
+        &sig.waveform(),
+        radio_arrival,
+        config.sample_rate,
+        rng,
+    );
     // The verifier starts listening the moment it sends; it knows only its
     // *command* time — audio-stack latency on both sides is invisible to it.
-    let (recording, _unobservable_start) =
-        auth.record(field, now_world_s, config.recording_duration_s, config.sample_rate, rng);
+    let (recording, _unobservable_start) = auth.record(
+        field,
+        now_world_s,
+        config.recording_duration_s,
+        config.sample_rate,
+        rng,
+    );
 
     let detector = Detector::new(config);
     let signature = SignalSignature::of(&sig, config);
@@ -169,7 +187,14 @@ mod tests {
     fn setup(
         d: f64,
         seed: u64,
-    ) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+    ) -> (
+        AcousticField,
+        BluetoothLink,
+        PairingRegistry,
+        Device,
+        Device,
+        ChaCha8Rng,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let field = AcousticField::new(Environment::office(), seed ^ 0xE0E0);
         let link = BluetoothLink::new();
@@ -232,7 +257,14 @@ mod tests {
     fn zero_rounds_calibration_is_rejected() {
         let (mut field, mut link, reg, a, v, mut rng) = setup(0.05, 63);
         assert!(EchoCalibration::calibrate(
-            &ActionConfig::default(), &mut field, &mut link, &reg, &a, &v, 0, &mut rng,
+            &ActionConfig::default(),
+            &mut field,
+            &mut link,
+            &reg,
+            &a,
+            &v,
+            0,
+            &mut rng,
         )
         .is_err());
     }
@@ -241,7 +273,10 @@ mod tests {
     fn out_of_acoustic_range_is_absent() {
         let cfg = ActionConfig::default();
         let (mut field, mut link, reg, a, v, mut rng) = setup(8.0, 64);
-        let cal = EchoCalibration { mean_delay_s: 0.3, rounds: 1 };
+        let cal = EchoCalibration {
+            mean_delay_s: 0.3,
+            rounds: 1,
+        };
         let est = run_echo_secure(
             &cfg, &mut field, &mut link, &reg, &a, &v, &cal, 0.0, &mut rng,
         )

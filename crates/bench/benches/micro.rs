@@ -1,15 +1,20 @@
-//! Micro-benchmarks of the computational hot paths: the 4096-point FFT,
-//! Algorithm 2's normalized power, the full Algorithm 1 scan, signal
-//! synthesis, and the channel renderer.
+//! Micro-benchmarks of the computational hot paths: the 4096-point FFT
+//! (real-input vs the retained padded reference), Algorithm 2's normalized
+//! power (dense and sparse), the full Algorithm 1 scan (dense, sparse,
+//! parallel), signal synthesis, and the channel renderer.
+//!
+//! Emits `BENCH_micro.json` in the workspace root with every measurement
+//! plus the headline speedup ratios, so the perf trajectory is archived
+//! per commit.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use piano_core::config::ActionConfig;
-use piano_core::detect::{Detector, SignalSignature};
+use piano_core::detect::{Detector, ScanMode, SignalSignature};
 use piano_core::signal::ReferenceSignal;
-use piano_dsp::fft::FftPlan;
+use piano_dsp::fft::{fft_real_padded, FftPlan, RealFftPlan};
 use piano_dsp::Complex64;
 
 fn bench_micro(c: &mut Criterion) {
@@ -19,21 +24,39 @@ fn bench_micro(c: &mut Criterion) {
     let signature = SignalSignature::of(&signal, &config);
     let detector = Detector::new(&config);
 
-    // FFT 4096 — the unit the paper's compute budget counts.
+    // FFT 4096 — the unit the paper's compute budget counts. The padded
+    // complex transform is the pre-optimization reference; the real-input
+    // plan is what the detector actually runs.
     let plan = FftPlan::new(4096);
     let wave = signal.waveform();
-    c.bench_function("fft_4096", |b| {
+    c.bench_function("fft_4096_naive", |b| {
         b.iter_batched(
-            || wave.iter().map(|&x| Complex64::from_real(x)).collect::<Vec<_>>(),
-            |mut buf| plan.forward(&mut buf),
+            || {
+                wave.iter()
+                    .map(|&x| Complex64::from_real(x))
+                    .collect::<Vec<_>>()
+            },
+            |mut buf| plan.forward_reference(&mut buf),
             BatchSize::SmallInput,
         )
     });
+    c.bench_function("fft_4096_naive_one_shot", |b| {
+        b.iter(|| fft_real_padded(&wave))
+    });
+    let real_plan = RealFftPlan::new(4096);
+    c.bench_function("fft_4096", |b| {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| real_plan.power_into(&wave, &mut scratch, &mut out))
+    });
 
-    // Algorithm 2 on a precomputed spectrum.
+    // Algorithm 2 on a precomputed spectrum, dense and sparse.
     let spectrum = detector.window_spectrum(&wave);
     c.bench_function("norm_power_algorithm2", |b| {
         b.iter(|| detector.norm_power(&spectrum, &signature))
+    });
+    c.bench_function("norm_power_algorithm2_sparse_one_shot", |b| {
+        b.iter(|| detector.norm_power_sparse(&wave, &signature))
     });
 
     // Algorithm 1 over a realistic 2 s recording with the signal embedded.
@@ -43,13 +66,21 @@ fn bench_micro(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("detection");
     group.sample_size(20);
+    group.bench_function("algorithm1_scan_2s_naive", |b| {
+        b.iter(|| detector.detect_many_mode(&recording, &[&signature], ScanMode::Dense))
+    });
     group.bench_function("algorithm1_scan_2s", |b| {
-        b.iter(|| detector.detect(&recording, &signature))
+        b.iter(|| detector.detect_many(&recording, &[&signature]))
+    });
+    group.bench_function("algorithm1_scan_2s_parallel", |b| {
+        b.iter(|| detector.detect_many_parallel(&recording, &[&signature]))
     });
     group.finish();
 
     // Step I synthesis.
-    c.bench_function("reference_signal_synthesis", |b| b.iter(|| signal.waveform()));
+    c.bench_function("reference_signal_synthesis", |b| {
+        b.iter(|| signal.waveform())
+    });
 
     // Channel render: one recording with one emission in an office.
     c.bench_function("acoustic_render_1s", |b| {
@@ -79,6 +110,50 @@ fn bench_micro(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    export_summary(c);
+}
+
+/// Writes `BENCH_micro.json` with raw measurements and headline speedups.
+fn export_summary(c: &Criterion) {
+    // Workspace root, two levels up from this crate's manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the workspace root")
+        .to_path_buf();
+    let path = &root.join("BENCH_micro.json");
+    if let Err(e) = c.export_json(path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        return;
+    }
+    let median = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let fft_speedup = median("fft_4096_naive") / median("fft_4096");
+    let scan_speedup =
+        median("detection/algorithm1_scan_2s_naive") / median("detection/algorithm1_scan_2s");
+    let parallel_speedup = median("detection/algorithm1_scan_2s_naive")
+        / median("detection/algorithm1_scan_2s_parallel");
+    println!("fft_4096 speedup over naive: {fft_speedup:.2}x");
+    println!("algorithm1_scan_2s speedup over naive: {scan_speedup:.2}x");
+    println!("algorithm1_scan_2s parallel speedup over naive: {parallel_speedup:.2}x");
+    // Splice the headline ratios into the top-level JSON object — strip
+    // exactly the final closing brace, never more.
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Some(body) = text.trim_end().strip_suffix('}') {
+            let patched = format!(
+                "{body},  \"speedups\": {{\"fft_4096_vs_naive\": {fft_speedup:.3}, \
+                 \"algorithm1_scan_2s_vs_naive\": {scan_speedup:.3}, \
+                 \"algorithm1_scan_2s_parallel_vs_naive\": {parallel_speedup:.3}}}\n}}\n"
+            );
+            let _ = std::fs::write(path, patched);
+        }
+    }
 }
 
 criterion_group!(benches, bench_micro);

@@ -7,7 +7,11 @@ use piano_bench::{print_artifact, BENCH_SEED, BENCH_TRIALS};
 fn bench_security(c: &mut Criterion) {
     let sec = piano_eval::security::run(10, BENCH_SEED);
     print_artifact("Sec. VI-E attack trials", &sec.table().render());
-    assert_eq!(sec.total_successes(), 0, "an attack succeeded in the bench run");
+    assert_eq!(
+        sec.total_successes(),
+        0,
+        "an attack succeeded in the bench run"
+    );
 
     let guess = piano_eval::guessing::run(50_000, BENCH_SEED);
     print_artifact("Sec. V guessing analysis", &guess.table().render());

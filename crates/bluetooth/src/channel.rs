@@ -68,7 +68,11 @@ impl SecureChannel {
     /// authenticating device uses 0 and the vouching device a large offset,
     /// so their nonces never collide.
     pub fn new(key: LinkKey, nonce_base: u64) -> Self {
-        SecureChannel { key, next_nonce: nonce_base, seen_nonces: HashSet::new() }
+        SecureChannel {
+            key,
+            next_nonce: nonce_base,
+            seen_nonces: HashSet::new(),
+        }
     }
 
     fn keystream(key: &LinkKey, nonce: u64, len: usize) -> Vec<u8> {
@@ -97,7 +101,11 @@ impl SecureChannel {
         let ks = Self::keystream(&self.key, nonce, plaintext.len());
         let ciphertext: Vec<u8> = plaintext.iter().zip(&ks).map(|(p, k)| p ^ k).collect();
         let tag = Self::compute_tag(&self.key, nonce, &ciphertext);
-        EncryptedFrame { nonce, ciphertext: Bytes::from(ciphertext), tag }
+        EncryptedFrame {
+            nonce,
+            ciphertext: Bytes::from(ciphertext),
+            tag,
+        }
     }
 
     /// Verifies and decrypts a frame.
@@ -116,7 +124,12 @@ impl SecureChannel {
             return Err(BluetoothError::ReplayDetected { nonce: frame.nonce });
         }
         let ks = Self::keystream(&self.key, frame.nonce, frame.ciphertext.len());
-        Ok(frame.ciphertext.iter().zip(&ks).map(|(c, k)| c ^ k).collect())
+        Ok(frame
+            .ciphertext
+            .iter()
+            .zip(&ks)
+            .map(|(c, k)| c ^ k)
+            .collect())
     }
 }
 
@@ -177,7 +190,10 @@ impl BluetoothLink {
     ) -> Result<f64, BluetoothError> {
         let distance_m = from.distance_to(to);
         if distance_m > self.range_m {
-            return Err(BluetoothError::OutOfRange { distance_m, range_m: self.range_m });
+            return Err(BluetoothError::OutOfRange {
+                distance_m,
+                range_m: self.range_m,
+            });
         }
         let arrived = now_world_s + self.latency_s;
         self.log.push(TransferRecord {
@@ -268,7 +284,10 @@ mod tests {
         let mut bytes = frame.ciphertext.to_vec();
         bytes[0] ^= 0xFF;
         frame.ciphertext = Bytes::from(bytes);
-        assert_eq!(receiver.open(&frame), Err(BluetoothError::AuthenticationFailure));
+        assert_eq!(
+            receiver.open(&frame),
+            Err(BluetoothError::AuthenticationFailure)
+        );
     }
 
     #[test]
@@ -278,28 +297,49 @@ mod tests {
         let mut receiver = SecureChannel::new(key, 1 << 32);
         let frame = sender.seal(b"once");
         assert!(receiver.open(&frame).is_ok());
-        assert_eq!(receiver.open(&frame), Err(BluetoothError::ReplayDetected { nonce: 0 }));
+        assert_eq!(
+            receiver.open(&frame),
+            Err(BluetoothError::ReplayDetected { nonce: 0 })
+        );
     }
 
     #[test]
     fn link_enforces_range() {
         let mut link = BluetoothLink::new();
         let frame = SecureChannel::new(bonded_key(), 0).seal(b"x");
-        let near = link.transmit(0.0, &Position::ORIGIN, &Position::new(9.9, 0.0, 0.0), &frame);
+        let near = link.transmit(
+            0.0,
+            &Position::ORIGIN,
+            &Position::new(9.9, 0.0, 0.0),
+            &frame,
+        );
         assert!(near.is_ok());
-        let far = link.transmit(0.0, &Position::ORIGIN, &Position::new(10.1, 0.0, 0.0), &frame);
+        let far = link.transmit(
+            0.0,
+            &Position::ORIGIN,
+            &Position::new(10.1, 0.0, 0.0),
+            &frame,
+        );
         assert_eq!(
             far.unwrap_err(),
-            BluetoothError::OutOfRange { distance_m: 10.1, range_m: 10.0 }
+            BluetoothError::OutOfRange {
+                distance_m: 10.1,
+                range_m: 10.0
+            }
         );
     }
 
     #[test]
     fn link_logs_and_delays() {
         let mut link = BluetoothLink::new();
-        let frame = SecureChannel::new(bonded_key(), 0).seal(&vec![0u8; 100]);
+        let frame = SecureChannel::new(bonded_key(), 0).seal(&[0u8; 100]);
         let arrival = link
-            .transmit(1.0, &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0), &frame)
+            .transmit(
+                1.0,
+                &Position::ORIGIN,
+                &Position::new(1.0, 0.0, 0.0),
+                &frame,
+            )
             .unwrap();
         assert!((arrival - 1.035).abs() < 1e-12);
         assert_eq!(link.message_count(), 1);
@@ -323,7 +363,13 @@ mod tests {
         let mut link = BluetoothLink::new();
         let secret = b"frequency indices: 3 7 11 19".to_vec();
         let frame = sender.seal(&secret);
-        link.transmit(0.0, &Position::ORIGIN, &Position::new(1.0, 0.0, 0.0), &frame).unwrap();
+        link.transmit(
+            0.0,
+            &Position::ORIGIN,
+            &Position::new(1.0, 0.0, 0.0),
+            &frame,
+        )
+        .unwrap();
 
         let observed = &link.eavesdropped()[0];
         for guess in 0u8..8 {

@@ -33,7 +33,10 @@ pub enum BluetoothError {
 impl fmt::Display for BluetoothError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BluetoothError::OutOfRange { distance_m, range_m } => write!(
+            BluetoothError::OutOfRange {
+                distance_m,
+                range_m,
+            } => write!(
                 f,
                 "peers are {distance_m:.2} m apart, beyond the {range_m:.1} m radio range"
             ),
@@ -58,12 +61,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = BluetoothError::OutOfRange { distance_m: 12.5, range_m: 10.0 };
+        let e = BluetoothError::OutOfRange {
+            distance_m: 12.5,
+            range_m: 10.0,
+        };
         assert!(e.to_string().contains("12.50"));
         let e = BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2));
         assert!(e.to_string().contains("registration"));
-        assert!(BluetoothError::AuthenticationFailure.to_string().contains("authentication"));
-        assert!(BluetoothError::ReplayDetected { nonce: 7 }.to_string().contains('7'));
+        assert!(BluetoothError::AuthenticationFailure
+            .to_string()
+            .contains("authentication"));
+        assert!(BluetoothError::ReplayDetected { nonce: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
     fn unpaired_lookup_errors() {
         let reg = PairingRegistry::new();
         let err = reg.key_for(DeviceId::new(1), DeviceId::new(2)).unwrap_err();
-        assert_eq!(err, BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2)));
+        assert_eq!(
+            err,
+            BluetoothError::NotPaired(DeviceId::new(1), DeviceId::new(2))
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     let trials = 12;
     let cfg = ActionConfig::default();
-    for env_fn in [Environment::anechoic as fn() -> Environment, Environment::office, Environment::home, Environment::street, Environment::restaurant] {
+    for env_fn in [
+        Environment::anechoic as fn() -> Environment,
+        Environment::office,
+        Environment::home,
+        Environment::street,
+        Environment::restaurant,
+    ] {
         let name = env_fn().name.clone();
         for d in [0.5, 1.0, 1.5, 2.0] {
             let mut errs = vec![];
@@ -33,16 +39,25 @@ fn main() {
                 let a = Device::phone(1, Position::ORIGIN, seed + 7);
                 let v = Device::phone(2, Position::new(d, 0.0, 0.0), seed + 13);
                 reg.pair(a.id, v.id, &mut rng);
-                match run_action(&cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng).unwrap().estimate {
+                match run_action(&cfg, &mut field, &mut link, &reg, &a, &v, 0.0, &mut rng)
+                    .unwrap()
+                    .estimate
+                {
                     DistanceEstimate::Measured(est) => errs.push(est - d),
                     DistanceEstimate::SignalAbsent => absent += 1,
                 }
             }
             let n = errs.len().max(1) as f64;
             let mean = errs.iter().sum::<f64>() / n;
-            let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (n - 1.0).max(1.0);
+            let var =
+                errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (n - 1.0).max(1.0);
             let mae = errs.iter().map(|e| e.abs()).sum::<f64>() / n;
-            println!("{name:10} d={d:.1}  mae={:6.1}cm  bias={:6.1}cm  std={:5.1}cm  absent={absent}", mae * 100.0, mean * 100.0, var.sqrt() * 100.0);
+            println!(
+                "{name:10} d={d:.1}  mae={:6.1}cm  bias={:6.1}cm  std={:5.1}cm  absent={absent}",
+                mae * 100.0,
+                mean * 100.0,
+                var.sqrt() * 100.0
+            );
         }
     }
 }

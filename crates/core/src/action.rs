@@ -117,6 +117,7 @@ pub fn draw_session_signals(
 /// * [`PianoError::InvalidConfig`] if `config` fails validation.
 /// * [`PianoError::Wire`] if a message fails to decode (cannot happen
 ///   between honest devices; surfaced for completeness).
+#[allow(clippy::too_many_arguments)]
 pub fn run_action(
     config: &ActionConfig,
     field: &mut AcousticField,
@@ -128,6 +129,42 @@ pub fn run_action(
     rng: &mut ChaCha8Rng,
 ) -> Result<ActionOutcome, PianoError> {
     config.validate()?;
+    let detector = Detector::new(config);
+    run_action_with(
+        &detector,
+        field,
+        link,
+        registry,
+        auth,
+        vouch,
+        now_world_s,
+        rng,
+    )
+}
+
+/// [`run_action`] with a caller-provided [`Detector`].
+///
+/// Building a detector allocates FFT plans and window tables; callers that
+/// authenticate repeatedly (the [`crate::piano::PianoAuthenticator`],
+/// continuous sessions, trial harnesses) should construct one detector per
+/// configuration and reuse it — it is `Sync`, so one instance can also
+/// serve concurrent sessions.
+///
+/// # Errors
+///
+/// Same as [`run_action`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_action_with(
+    detector: &Detector,
+    field: &mut AcousticField,
+    link: &mut BluetoothLink,
+    registry: &PairingRegistry,
+    auth: &Device,
+    vouch: &Device,
+    now_world_s: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<ActionOutcome, PianoError> {
+    let config = detector.config();
     let bytes_before = link.total_bytes();
     let msgs_before = link.message_count();
 
@@ -154,7 +191,9 @@ pub fn run_action(
             (sv.reconstruct(config)?, sa.reconstruct(config)?)
         }
         other => {
-            return Err(PianoError::Wire(format!("expected ReferenceSignals, got {other:?}")))
+            return Err(PianoError::Wire(format!(
+                "expected ReferenceSignals, got {other:?}"
+            )))
         }
     };
 
@@ -176,13 +215,22 @@ pub fn run_action(
         config.sample_rate,
         rng,
     );
-    let (rec_auth, _) =
-        auth.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
-    let (rec_vouch, _) =
-        vouch.record(field, start_cmd, config.recording_duration_s, config.sample_rate, rng);
+    let (rec_auth, _) = auth.record(
+        field,
+        start_cmd,
+        config.recording_duration_s,
+        config.sample_rate,
+        rng,
+    );
+    let (rec_vouch, _) = vouch.record(
+        field,
+        start_cmd,
+        config.recording_duration_s,
+        config.sample_rate,
+        rng,
+    );
 
     // ── Step IV: detect both signals in both recordings. ─────────────────
-    let detector = Detector::new(config);
     let sig_a = SignalSignature::of(&sa, config);
     let sig_v = SignalSignature::of(&sv, config);
     let scan_auth = detector.detect_many(rec_auth.samples(), &[&sig_a, &sig_v]);
@@ -201,7 +249,10 @@ pub fn run_action(
         (Some(va), Some(vv)) => Some(vv as f64 - va as f64),
         _ => None,
     };
-    let report = Message::TimeDiffReport { session, vouch_diff_samples: vouch_diff };
+    let report = Message::TimeDiffReport {
+        session,
+        vouch_diff_samples: vouch_diff,
+    };
     let report_frame = chan_vouch.seal(&report.encode());
     link.transmit(
         start_cmd + config.recording_duration_s,
@@ -212,8 +263,14 @@ pub fn run_action(
     let report_opened = chan_auth.open(&report_frame)?;
     let report_decoded = Message::decode(&report_opened)?;
     let vouch_diff = match report_decoded {
-        Message::TimeDiffReport { vouch_diff_samples, .. } => vouch_diff_samples,
-        other => return Err(PianoError::Wire(format!("expected TimeDiffReport, got {other:?}"))),
+        Message::TimeDiffReport {
+            vouch_diff_samples, ..
+        } => vouch_diff_samples,
+        other => {
+            return Err(PianoError::Wire(format!(
+                "expected TimeDiffReport, got {other:?}"
+            )))
+        }
     };
 
     // ── Step VI: combine (Eq. 3). ─────────────────────────────────────────
@@ -258,14 +315,25 @@ mod tests {
         distance_m: f64,
         env: Environment,
         seed: u64,
-    ) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+    ) -> (
+        AcousticField,
+        BluetoothLink,
+        PairingRegistry,
+        Device,
+        Device,
+        ChaCha8Rng,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let field = AcousticField::new(env, seed.wrapping_mul(31).wrapping_add(5));
         let mut link = BluetoothLink::new();
         let _ = &mut link;
         let mut registry = PairingRegistry::new();
         let auth = Device::phone(1, Position::ORIGIN, seed.wrapping_add(100));
-        let vouch = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed.wrapping_add(200));
+        let vouch = Device::phone(
+            2,
+            Position::new(distance_m, 0.0, 0.0),
+            seed.wrapping_add(200),
+        );
         registry.pair(auth.id, vouch.id, &mut rng);
         (field, link, registry, auth, vouch, rng)
     }
@@ -414,8 +482,10 @@ mod tests {
     fn invalid_config_is_rejected_before_any_io() {
         let (mut field, mut link, registry, auth, vouch, mut rng) =
             setup(1.0, Environment::anechoic(), 12);
-        let mut cfg = ActionConfig::default();
-        cfg.fine_step = 0;
+        let cfg = ActionConfig {
+            fine_step: 0,
+            ..ActionConfig::default()
+        };
         let err = run_action(
             &cfg, &mut field, &mut link, &registry, &auth, &vouch, 0.0, &mut rng,
         )

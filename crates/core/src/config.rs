@@ -131,7 +131,10 @@ impl ActionConfig {
     pub fn validate(&self) -> Result<(), PianoError> {
         let err = |m: String| Err(PianoError::InvalidConfig(m));
         if !self.signal_len.is_power_of_two() || self.signal_len < 64 {
-            return err(format!("signal_len {} must be a power of two ≥ 64", self.signal_len));
+            return err(format!(
+                "signal_len {} must be a power of two ≥ 64",
+                self.signal_len
+            ));
         }
         if self.sample_rate <= 0.0 || !self.sample_rate.is_finite() {
             return err("sample_rate must be positive".into());
@@ -279,8 +282,10 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_field() {
-        let mut c = ActionConfig::default();
-        c.beta_fraction = 0.5;
+        let c = ActionConfig {
+            beta_fraction: 0.5,
+            ..ActionConfig::default()
+        };
         let msg = c.validate().unwrap_err().to_string();
         assert!(msg.contains("beta_fraction"), "unhelpful message: {msg}");
     }

@@ -12,6 +12,15 @@
 //! absorbing occasional false rejections so the user isn't locked out by
 //! one noisy measurement — the FRR/FAR trade-off of Tables I/II composed
 //! over time).
+//!
+//! Re-verification cost matters here more than anywhere else: a deployment
+//! rechecking thousands of sessions every 30 s runs Algorithm 1
+//! continuously. Each recheck rides the authenticator's long-lived
+//! [`crate::detect::Detector`] — FFT plans and window tables are built
+//! once per authenticator, not per recheck — and the detector itself is
+//! `Sync`, so a fleet-wide scheduler can fan rechecks out across threads
+//! against shared detectors (see
+//! [`crate::detect::Detector::detect_many_parallel`]).
 
 use rand_chacha::ChaCha8Rng;
 
@@ -32,7 +41,10 @@ pub struct SessionPolicy {
 
 impl Default for SessionPolicy {
     fn default() -> Self {
-        SessionPolicy { denials_to_lock: 2, recheck_period_s: 30.0 }
+        SessionPolicy {
+            denials_to_lock: 2,
+            recheck_period_s: 30.0,
+        }
     }
 }
 
@@ -59,8 +71,14 @@ impl ContinuousSession {
     /// Opens a session. The caller must already have authenticated once
     /// (sessions begin [`SessionState::Active`]).
     pub fn open(policy: SessionPolicy, now_s: f64) -> Self {
-        assert!(policy.denials_to_lock >= 1, "policy needs at least one denial to lock");
-        assert!(policy.recheck_period_s > 0.0, "recheck period must be positive");
+        assert!(
+            policy.denials_to_lock >= 1,
+            "policy needs at least one denial to lock"
+        );
+        assert!(
+            policy.recheck_period_s > 0.0,
+            "recheck period must be positive"
+        );
         ContinuousSession {
             policy,
             state: SessionState::Active,
@@ -144,8 +162,7 @@ mod tests {
         let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
         for k in 0..3 {
             let mut field = AcousticField::new(Environment::office(), 100 + k);
-            let state =
-                session.recheck(&mut authn, &mut field, &a, &v, k as f64 * 30.0, &mut rng);
+            let state = session.recheck(&mut authn, &mut field, &a, &v, k as f64 * 30.0, &mut rng);
             assert_eq!(state, SessionState::Active, "check {k}");
         }
         assert_eq!(session.checks(), 3);
@@ -161,7 +178,12 @@ mod tests {
         for k in 0..2 {
             let mut field = AcousticField::new(Environment::office(), 200 + k);
             states.push(session.recheck(
-                &mut authn, &mut field, &a, &v_far, k as f64 * 30.0, &mut rng,
+                &mut authn,
+                &mut field,
+                &a,
+                &v_far,
+                k as f64 * 30.0,
+                &mut rng,
             ));
         }
         assert_eq!(states, vec![SessionState::Active, SessionState::Locked]);
@@ -201,7 +223,10 @@ mod tests {
     #[test]
     fn due_respects_schedule_and_state() {
         let session = ContinuousSession::open(
-            SessionPolicy { denials_to_lock: 1, recheck_period_s: 10.0 },
+            SessionPolicy {
+                denials_to_lock: 1,
+                recheck_period_s: 10.0,
+            },
             0.0,
         );
         assert!(!session.due(5.0));
@@ -213,7 +238,10 @@ mod tests {
     #[should_panic(expected = "at least one denial")]
     fn zero_denial_policy_rejected() {
         let _ = ContinuousSession::open(
-            SessionPolicy { denials_to_lock: 0, recheck_period_s: 1.0 },
+            SessionPolicy {
+                denials_to_lock: 0,
+                recheck_period_s: 1.0,
+            },
             0.0,
         );
     }

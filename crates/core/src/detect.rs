@@ -14,10 +14,33 @@
 //!   step 10 around each coarse maximum. A signal whose best normalized
 //!   power falls below `ε·R_S` is declared [`Detection::NotPresent`]
 //!   (Algorithm 1 line 12; see DESIGN.md §4 for the ε reading).
+//!
+//! # Performance architecture
+//!
+//! The scan is the system's hottest loop, and it is engineered to run as
+//! fast as the hardware allows:
+//!
+//! * **`Sync` detector** — [`Detector`] holds only immutable plan data
+//!   (no interior mutability); every scan call owns its scratch buffers,
+//!   so one detector serves any number of threads concurrently.
+//! * **Real-input FFT windows** — dense window spectra run on
+//!   [`piano_dsp::fft::RealFftPlan`] (half the butterflies of a padded
+//!   complex transform).
+//! * **Sparse fine scan** — with the paper's rectangular analysis window,
+//!   the fine scan tracks only the `2θ+1` bins around each candidate with
+//!   a [`piano_dsp::sparse::SlidingDft`]: shifting the window by
+//!   `fine_step` samples costs `O(bins × step)` instead of a fresh
+//!   `O(N log N)` transform. [`ScanMode`] selects the path; `Auto` (the
+//!   default) uses it whenever the analysis window permits.
+//! * **Parallel coarse scan** — [`Detector::detect_many_parallel`] shards
+//!   coarse window offsets across `std::thread::scope` workers and merges
+//!   per-signature maxima with a deterministic (max power, earliest
+//!   offset) rule, so results are bit-identical to the serial scan for
+//!   every worker count.
 
-use piano_dsp::spectrum::{band_power, SpectrumAnalyzer};
-use piano_dsp::Complex64;
-use std::cell::RefCell;
+use piano_dsp::sparse::{GoertzelBank, SlidingDft};
+use piano_dsp::spectrum::{band_power, SpectrumAnalyzer, SpectrumScratch};
+use piano_dsp::window::WindowKind;
 
 use crate::config::ActionConfig;
 use crate::signal::ReferenceSignal;
@@ -71,6 +94,16 @@ impl SignalSignature {
     pub fn n_tones(&self) -> usize {
         self.chosen_bins.len()
     }
+
+    /// FFT bin of every chosen candidate.
+    pub fn chosen_bins(&self) -> &[usize] {
+        &self.chosen_bins
+    }
+
+    /// FFT bin of every unchosen candidate.
+    pub fn other_bins(&self) -> &[usize] {
+        &self.other_bins
+    }
 }
 
 /// Outcome of detecting one reference signal in a recording.
@@ -110,15 +143,73 @@ impl Detection {
 pub struct ScanResult {
     /// Per-signature detection outcomes, in input order.
     pub detections: Vec<Detection>,
-    /// Number of window FFTs executed.
+    /// Number of window spectral evaluations executed (dense FFTs plus
+    /// sliding-DFT window updates; one per scanned window either way).
     pub ffts_used: usize,
 }
 
+/// Which spectral path the scan's fine pass uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Pick automatically: sparse whenever the analysis window is
+    /// rectangular (the paper's configuration), dense otherwise.
+    #[default]
+    Auto,
+    /// Dense real-FFT spectrum per window.
+    Dense,
+    /// Sliding sparse DFT over candidate-cluster bins (requires the
+    /// rectangular analysis window).
+    Sparse,
+}
+
+/// Sparse-scan layout for one signature: the sorted union of all cluster
+/// bins plus each cluster's index range within it.
+struct SparseClusters {
+    bins: Vec<usize>,
+    /// `bins[start..end]` per chosen cluster, in `chosen_bins` order.
+    chosen: Vec<(usize, usize)>,
+    /// `bins[start..end]` per unchosen cluster, in `other_bins` order.
+    other: Vec<(usize, usize)>,
+}
+
+impl SparseClusters {
+    fn build(sig: &SignalSignature, theta: usize, n: usize) -> Self {
+        let cluster = |center: usize| {
+            let lo = center.saturating_sub(theta);
+            let hi = (center + theta).min(n - 1);
+            (lo, hi)
+        };
+        let mut bins: Vec<usize> = Vec::new();
+        for &c in sig.chosen_bins.iter().chain(&sig.other_bins) {
+            let (lo, hi) = cluster(c);
+            bins.extend(lo..=hi);
+        }
+        bins.sort_unstable();
+        bins.dedup();
+        let locate = |center: usize| {
+            let (lo, hi) = cluster(center);
+            let start = bins.partition_point(|&b| b < lo);
+            let end = bins.partition_point(|&b| b <= hi);
+            (start, end)
+        };
+        let chosen = sig.chosen_bins.iter().map(|&c| locate(c)).collect();
+        let other = sig.other_bins.iter().map(|&c| locate(c)).collect();
+        SparseClusters {
+            bins,
+            chosen,
+            other,
+        }
+    }
+}
+
 /// The frequency-based signal detector.
-#[derive(Debug)]
+///
+/// Holds only immutable plan data, so it is `Send + Sync`: one detector
+/// can be shared across authentication sessions and scan workers.
+#[derive(Debug, Clone)]
 pub struct Detector {
     config: ActionConfig,
-    analyzer: RefCell<SpectrumAnalyzer>,
+    analyzer: SpectrumAnalyzer,
 }
 
 impl Detector {
@@ -130,20 +221,19 @@ impl Detector {
     /// [`ActionConfig::validate`] — constructing a detector from an invalid
     /// configuration is a programming error.
     pub fn new(config: &ActionConfig) -> Self {
-        config.validate().expect("detector requires a valid configuration");
+        config
+            .validate()
+            .expect("detector requires a valid configuration");
         Detector {
             config: config.clone(),
-            analyzer: RefCell::new(SpectrumAnalyzer::new(
-                config.signal_len,
-                config.analysis_window,
-            )),
+            analyzer: SpectrumAnalyzer::new(config.signal_len, config.analysis_window),
         }
     }
 
     /// Computes the analysis power spectrum of one window exactly as the
     /// scanning loops do — exposed for diagnostics and tests.
     pub fn window_spectrum(&self, window: &[f64]) -> Vec<f64> {
-        self.analyzer.borrow_mut().power_spectrum(window)
+        self.analyzer.power_spectrum(window)
     }
 
     /// The configuration this detector runs.
@@ -180,6 +270,90 @@ impl Detector {
         sum_chosen - sum_other
     }
 
+    /// Algorithm 2 evaluated sparsely: computes only the `2θ+1` bins
+    /// around each candidate (via a Goertzel bank over the analysis-
+    /// windowed samples) instead of materializing the full spectrum.
+    ///
+    /// Matches [`Self::norm_power`] of the same window's spectrum to
+    /// floating-point rounding. One-shot convenience for diagnostics and
+    /// few-bin workloads; the scan loops use the cheaper
+    /// [`piano_dsp::sparse::SlidingDft`] incremental path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != config.signal_len`.
+    pub fn norm_power_sparse(&self, window: &[f64], sig: &SignalSignature) -> f64 {
+        assert_eq!(
+            window.len(),
+            self.config.signal_len,
+            "window length must match signal_len"
+        );
+        let clusters = SparseClusters::build(sig, self.config.theta, self.config.signal_len);
+        let mut windowed = Vec::new();
+        self.analyzer.apply_window(window, &mut windowed);
+        let bank = GoertzelBank::new(self.config.signal_len, clusters.bins.clone());
+        let mut powers = Vec::new();
+        bank.powers_into(&windowed, &mut powers);
+        self.norm_power_clustered(&powers, &clusters, sig)
+    }
+
+    /// Algorithm 2's checks and score over per-bin raw powers laid out by
+    /// a [`SparseClusters`] plan.
+    fn norm_power_clustered(
+        &self,
+        raw_powers: &[f64],
+        clusters: &SparseClusters,
+        sig: &SignalSignature,
+    ) -> f64 {
+        let n = self.config.signal_len as f64;
+        let scale = (2.0 / n) * (2.0 / n) * self.analyzer.power_scale();
+        let alpha_rf = self.config.alpha * sig.rf;
+        let beta = self.config.beta_fraction * sig.rf;
+
+        let mut sum_chosen = 0.0;
+        for &(start, end) in &clusters.chosen {
+            let p: f64 = raw_powers[start..end].iter().sum::<f64>() * scale;
+            if p <= alpha_rf {
+                return f64::NEG_INFINITY;
+            }
+            sum_chosen += p;
+        }
+        let mut sum_other = 0.0;
+        for &(start, end) in &clusters.other {
+            let p: f64 = raw_powers[start..end].iter().sum::<f64>() * scale;
+            if self.config.enforce_beta_check && p >= beta {
+                return f64::NEG_INFINITY;
+            }
+            sum_other += p;
+        }
+        sum_chosen - sum_other
+    }
+
+    /// Whether the sparse fine scan is valid for this configuration.
+    fn sparse_applicable(&self) -> bool {
+        self.config.analysis_window == WindowKind::Rectangular
+    }
+
+    fn resolve_mode(&self, mode: ScanMode) -> ScanMode {
+        match mode {
+            ScanMode::Auto => {
+                if self.sparse_applicable() {
+                    ScanMode::Sparse
+                } else {
+                    ScanMode::Dense
+                }
+            }
+            ScanMode::Sparse => {
+                assert!(
+                    self.sparse_applicable(),
+                    "sparse scan requires the rectangular analysis window"
+                );
+                ScanMode::Sparse
+            }
+            ScanMode::Dense => ScanMode::Dense,
+        }
+    }
+
     /// Detects a single reference signal (Algorithm 1).
     pub fn detect(&self, recording: &[f64], sig: &SignalSignature) -> Detection {
         self.detect_many(recording, &[sig]).detections[0]
@@ -192,6 +366,58 @@ impl Detector {
     /// Returns [`Detection::NotPresent`] per signal when the recording is
     /// shorter than one window.
     pub fn detect_many(&self, recording: &[f64], sigs: &[&SignalSignature]) -> ScanResult {
+        self.scan(recording, sigs, 1, ScanMode::Auto)
+    }
+
+    /// [`Self::detect_many`] with an explicit spectral path for the fine
+    /// scan.
+    pub fn detect_many_mode(
+        &self,
+        recording: &[f64],
+        sigs: &[&SignalSignature],
+        mode: ScanMode,
+    ) -> ScanResult {
+        self.scan(recording, sigs, 1, mode)
+    }
+
+    /// [`Self::detect_many`] with the coarse scan sharded across all
+    /// available cores.
+    ///
+    /// Results (including [`ScanResult::ffts_used`]) are bit-identical to
+    /// the serial scan: workers compute per-signature maxima over disjoint
+    /// offset shards and the merge picks (max power, earliest offset),
+    /// which is exactly the serial first-maximum rule.
+    pub fn detect_many_parallel(&self, recording: &[f64], sigs: &[&SignalSignature]) -> ScanResult {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.scan(recording, sigs, workers, ScanMode::Auto)
+    }
+
+    /// [`Self::detect_many_parallel`] with an explicit worker count —
+    /// results do not depend on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn detect_many_parallel_with(
+        &self,
+        recording: &[f64],
+        sigs: &[&SignalSignature],
+        workers: usize,
+    ) -> ScanResult {
+        assert!(workers > 0, "at least one worker is required");
+        self.scan(recording, sigs, workers, ScanMode::Auto)
+    }
+
+    /// The scan engine behind every `detect*` entry point.
+    fn scan(
+        &self,
+        recording: &[f64],
+        sigs: &[&SignalSignature],
+        workers: usize,
+        mode: ScanMode,
+    ) -> ScanResult {
         let w = self.config.signal_len;
         if recording.len() < w || sigs.is_empty() {
             return ScanResult {
@@ -199,64 +425,190 @@ impl Detector {
                 ffts_used: 0,
             };
         }
+        let mode = self.resolve_mode(mode);
         let last = recording.len() - w;
-        let mut analyzer = self.analyzer.borrow_mut();
-        let mut scratch: Vec<Complex64> = Vec::with_capacity(w);
-        let mut spectrum: Vec<f64> = Vec::with_capacity(w);
-        let mut ffts = 0usize;
 
-        // Coarse pass, shared across signatures.
+        // Coarse offsets: 0, step, 2·step, …, clamped to end exactly at
+        // `last` (matching the legacy `(i + step).min(last)` walk).
+        let mut offsets: Vec<usize> = (0..last).step_by(self.config.coarse_step.max(1)).collect();
+        offsets.push(last);
+
+        // Coarse pass, shared across signatures, sharded across workers.
+        let workers = workers.min(offsets.len()).max(1);
+        let chunk_len = offsets.len().div_ceil(workers);
+        let mut ffts = 0usize;
         let mut best: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); sigs.len()];
-        let mut i = 0usize;
-        loop {
-            analyzer.compute(&recording[i..i + w], &mut scratch, &mut spectrum);
-            ffts += 1;
+        if workers == 1 {
+            let (chunk_best, chunk_ffts) = self.coarse_chunk(recording, sigs, &offsets);
+            merge_coarse(&mut best, &chunk_best);
+            ffts += chunk_ffts;
+        } else {
+            let chunk_results: Vec<(Vec<(f64, usize)>, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = offsets
+                    .chunks(chunk_len)
+                    .map(|chunk| scope.spawn(move || self.coarse_chunk(recording, sigs, chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("coarse scan worker panicked"))
+                    .collect()
+            });
+            // Merge in shard order: strict-greater keeps the earliest
+            // offset on ties, exactly like the serial walk.
+            for (chunk_best, chunk_ffts) in chunk_results {
+                merge_coarse(&mut best, &chunk_best);
+                ffts += chunk_ffts;
+            }
+        }
+
+        // Fine pass per signature (parallel across signatures when the
+        // caller asked for parallelism).
+        let fine: Vec<(f64, usize, usize)> = if workers > 1 && sigs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = best
+                    .iter()
+                    .zip(sigs)
+                    .map(|(&coarse, sig)| {
+                        scope.spawn(move || self.fine_scan(recording, sig, coarse, mode))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fine scan worker panicked"))
+                    .collect()
+            })
+        } else {
+            best.iter()
+                .zip(sigs)
+                .map(|(&c, sig)| self.fine_scan(recording, sig, c, mode))
+                .collect()
+        };
+
+        let mut detections = Vec::with_capacity(sigs.len());
+        for ((best_p, best_loc, fine_evals), sig) in fine.into_iter().zip(sigs) {
+            ffts += fine_evals;
+            if best_p.is_infinite() && best_p < 0.0 {
+                // No window ever passed the sanity checks.
+                detections.push(Detection::NotPresent);
+            } else if best_p < self.config.epsilon * sig.rs {
+                // Algorithm 1 line 12 (with the ε·R_S reading, DESIGN.md §4).
+                detections.push(Detection::NotPresent);
+            } else {
+                detections.push(Detection::Found {
+                    location: best_loc,
+                    norm_power: best_p,
+                });
+            }
+        }
+        ScanResult {
+            detections,
+            ffts_used: ffts,
+        }
+    }
+
+    /// Evaluates one shard of coarse offsets, returning the local
+    /// first-maximum per signature and the evaluation count.
+    fn coarse_chunk(
+        &self,
+        recording: &[f64],
+        sigs: &[&SignalSignature],
+        offsets: &[usize],
+    ) -> (Vec<(f64, usize)>, usize) {
+        let w = self.config.signal_len;
+        let mut scratch = SpectrumScratch::default();
+        let mut spectrum: Vec<f64> = Vec::with_capacity(w);
+        let mut best: Vec<(f64, usize)> =
+            vec![(f64::NEG_INFINITY, offsets.first().copied().unwrap_or(0)); sigs.len()];
+        for &i in offsets {
+            self.analyzer
+                .compute(&recording[i..i + w], &mut scratch, &mut spectrum);
             for (b, sig) in best.iter_mut().zip(sigs) {
                 let p = self.norm_power(&spectrum, sig);
                 if p > b.0 {
                     *b = (p, i);
                 }
             }
-            if i == last {
-                break;
-            }
-            i = (i + self.config.coarse_step).min(last);
         }
+        (best, offsets.len())
+    }
 
-        // Fine pass per signature.
-        let mut detections = Vec::with_capacity(sigs.len());
-        for ((coarse_p, coarse_loc), sig) in best.into_iter().zip(sigs) {
-            if coarse_p.is_infinite() && coarse_p < 0.0 {
-                // No window ever passed the sanity checks.
-                detections.push(Detection::NotPresent);
-                continue;
-            }
-            let lo = coarse_loc.saturating_sub(self.config.fine_radius);
-            let hi = (coarse_loc + self.config.fine_radius).min(last);
-            let mut best_p = coarse_p;
-            let mut best_loc = coarse_loc;
-            let mut j = lo;
-            loop {
-                analyzer.compute(&recording[j..j + w], &mut scratch, &mut spectrum);
-                ffts += 1;
-                let p = self.norm_power(&spectrum, sig);
-                if p > best_p {
-                    best_p = p;
-                    best_loc = j;
+    /// Fine scan around one signature's coarse maximum. Returns
+    /// `(best_power, best_location, window_evaluations)`.
+    fn fine_scan(
+        &self,
+        recording: &[f64],
+        sig: &SignalSignature,
+        (coarse_p, coarse_loc): (f64, usize),
+        mode: ScanMode,
+    ) -> (f64, usize, usize) {
+        if coarse_p.is_infinite() && coarse_p < 0.0 {
+            // No coarse window passed the sanity checks; nothing to refine.
+            return (coarse_p, coarse_loc, 0);
+        }
+        let w = self.config.signal_len;
+        let last = recording.len() - w;
+        let lo = coarse_loc.saturating_sub(self.config.fine_radius);
+        let hi = (coarse_loc + self.config.fine_radius).min(last);
+        let step = self.config.fine_step;
+
+        let mut best_p = coarse_p;
+        let mut best_loc = coarse_loc;
+        let mut evals = 0usize;
+
+        match mode {
+            ScanMode::Dense => {
+                let mut scratch = SpectrumScratch::default();
+                let mut spectrum: Vec<f64> = Vec::with_capacity(w);
+                let mut j = lo;
+                loop {
+                    self.analyzer
+                        .compute(&recording[j..j + w], &mut scratch, &mut spectrum);
+                    evals += 1;
+                    let p = self.norm_power(&spectrum, sig);
+                    if p > best_p {
+                        best_p = p;
+                        best_loc = j;
+                    }
+                    if j >= hi {
+                        break;
+                    }
+                    j = (j + step).min(hi);
                 }
-                if j >= hi {
-                    break;
-                }
-                j = (j + self.config.fine_step).min(hi);
             }
-            // Algorithm 1 line 12 (with the ε·R_S reading, DESIGN.md §4).
-            if best_p < self.config.epsilon * sig.rs {
-                detections.push(Detection::NotPresent);
-            } else {
-                detections.push(Detection::Found { location: best_loc, norm_power: best_p });
+            ScanMode::Sparse | ScanMode::Auto => {
+                let clusters = SparseClusters::build(sig, self.config.theta, w);
+                let mut sliding = SlidingDft::new(w, step, clusters.bins.clone());
+                let mut powers: Vec<f64> = Vec::with_capacity(clusters.bins.len());
+                sliding.init(&recording[lo..lo + w]);
+                let mut j = lo;
+                loop {
+                    sliding.powers_into(&mut powers);
+                    evals += 1;
+                    let p = self.norm_power_clustered(&powers, &clusters, sig);
+                    if p > best_p {
+                        best_p = p;
+                        best_loc = j;
+                    }
+                    if j >= hi {
+                        break;
+                    }
+                    let next = (j + step).min(hi);
+                    sliding.advance(&recording[j..next], &recording[j + w..next + w]);
+                    j = next;
+                }
             }
         }
-        ScanResult { detections, ffts_used: ffts }
+        (best_p, best_loc, evals)
+    }
+}
+
+/// Folds one shard's per-signature maxima into the running best,
+/// preserving the serial first-maximum (earliest offset) semantics.
+fn merge_coarse(best: &mut [(f64, usize)], chunk: &[(f64, usize)]) {
+    for (b, &(p, i)) in best.iter_mut().zip(chunk) {
+        if p > b.0 {
+            *b = (p, i);
+        }
     }
 }
 
@@ -283,6 +635,12 @@ mod tests {
             rec[offset + i] = v * gain;
         }
         rec
+    }
+
+    #[test]
+    fn detector_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Detector>();
     }
 
     #[test]
@@ -363,7 +721,10 @@ mod tests {
         for (i, &v) in foreign.iter().enumerate() {
             rec[5_000 + i] += v;
         }
-        assert_eq!(det.detect(&rec, &SignalSignature::of(&ours, &cfg)), Detection::NotPresent);
+        assert_eq!(
+            det.detect(&rec, &SignalSignature::of(&ours, &cfg)),
+            Detection::NotPresent
+        );
     }
 
     #[test]
@@ -438,10 +799,76 @@ mod tests {
         for (a, b) in with_foreign.iter_mut().zip(&foreign) {
             *a += b;
         }
-        let p_foreign =
-            det.norm_power(&piano_dsp::spectrum::power_spectrum(&with_foreign), &signature);
+        let p_foreign = det.norm_power(
+            &piano_dsp::spectrum::power_spectrum(&with_foreign),
+            &signature,
+        );
         assert!(p_foreign.is_finite());
         assert!(p_foreign < p_clean, "foreign power must reduce the score");
+    }
+
+    #[test]
+    fn sparse_norm_power_matches_dense() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![2, 9, 21, 27], &mut rng(21));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let wave = sig.waveform();
+        let dense = det.norm_power(&det.window_spectrum(&wave), &signature);
+        let sparse = det.norm_power_sparse(&wave, &signature);
+        assert!(
+            (dense - sparse).abs() < 1e-6 * (1.0 + dense.abs()),
+            "dense {dense} vs sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_scans_agree() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![4, 13, 26], &mut rng(22));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = embed(&sig.waveform(), 9_731, 30_000, 0.3);
+        let dense = det.detect_many_mode(&rec, &[&signature], ScanMode::Dense);
+        let sparse = det.detect_many_mode(&rec, &[&signature], ScanMode::Sparse);
+        assert_eq!(dense.ffts_used, sparse.ffts_used);
+        let (dl, dp) = match dense.detections[0] {
+            Detection::Found {
+                location,
+                norm_power,
+            } => (location, norm_power),
+            Detection::NotPresent => panic!("dense scan must find the signal"),
+        };
+        let (sl, sp) = match sparse.detections[0] {
+            Detection::Found {
+                location,
+                norm_power,
+            } => (location, norm_power),
+            Detection::NotPresent => panic!("sparse scan must find the signal"),
+        };
+        assert_eq!(dl, sl, "locations must agree");
+        assert!(
+            (dp - sp).abs() < 1e-6 * (1.0 + dp.abs()),
+            "powers {dp} vs {sp}"
+        );
+    }
+
+    #[test]
+    fn sparse_scan_requires_rectangular_window() {
+        let mut cfg = config();
+        cfg.analysis_window = piano_dsp::window::WindowKind::Hann;
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![1, 2], &mut rng(23));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = vec![0.0; 10_000];
+        // Auto must silently fall back to dense…
+        let result = det.detect_many(&rec, &[&signature]);
+        assert_eq!(result.detections[0], Detection::NotPresent);
+        // …while forcing sparse is a programming error.
+        let forced = std::panic::catch_unwind(|| {
+            det.detect_many_mode(&rec, &[&signature], ScanMode::Sparse)
+        });
+        assert!(forced.is_err());
     }
 
     #[test]
@@ -463,5 +890,53 @@ mod tests {
         let mut cfg = config();
         cfg.beta_fraction = 0.9;
         let _ = Detector::new(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![1], &mut rng(30));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let _ = det.detect_many_parallel_with(&[0.0; 8192], &[&signature], 0);
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial_for_all_worker_counts() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sa = ReferenceSignal::from_indices(&cfg, vec![0, 7, 19], &mut rng(15));
+        let sv = ReferenceSignal::from_indices(&cfg, vec![5, 11, 28], &mut rng(16));
+        let mut rec = embed(&sa.waveform(), 6_100, 60_000, 0.4);
+        for (i, &v) in sv.waveform().iter().enumerate() {
+            rec[31_017 + i] += 0.35 * v;
+        }
+        let siga = SignalSignature::of(&sa, &cfg);
+        let sigv = SignalSignature::of(&sv, &cfg);
+        let serial = det.detect_many(&rec, &[&siga, &sigv]);
+        for workers in [1, 2, 3, 4, 7, 16] {
+            let parallel = det.detect_many_parallel_with(&rec, &[&siga, &sigv], workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+        assert!(serial.detections[0].is_found());
+        assert!(serial.detections[1].is_found());
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_on_absent_signal() {
+        let cfg = config();
+        let det = Detector::new(&cfg);
+        let sig = ReferenceSignal::from_indices(&cfg, vec![3, 9], &mut rng(17));
+        let signature = SignalSignature::of(&sig, &cfg);
+        let rec = vec![0.0; 44_100];
+        let serial = det.detect_many(&rec, &[&signature]);
+        for workers in [2, 5, 8] {
+            assert_eq!(
+                serial,
+                det.detect_many_parallel_with(&rec, &[&signature], workers)
+            );
+        }
+        assert_eq!(serial.detections[0], Detection::NotPresent);
     }
 }

@@ -61,8 +61,12 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(PianoError::InvalidConfig("theta".into()).to_string().contains("theta"));
-        assert!(PianoError::Wire("truncated".into()).to_string().contains("truncated"));
+        assert!(PianoError::InvalidConfig("theta".into())
+            .to_string()
+            .contains("theta"));
+        assert!(PianoError::Wire("truncated".into())
+            .to_string()
+            .contains("truncated"));
     }
 
     #[test]

@@ -37,14 +37,20 @@ impl FrequencyGrid {
             )));
         }
         if bins == 0 {
-            return Err(PianoError::InvalidConfig("grid must have at least one bin".into()));
+            return Err(PianoError::InvalidConfig(
+                "grid must have at least one bin".into(),
+            ));
         }
         Ok(FrequencyGrid { lo_hz, hi_hz, bins })
     }
 
     /// The paper's grid: [25 kHz, 35 kHz] in 30 bins.
     pub fn paper_default() -> Self {
-        FrequencyGrid { lo_hz: 25_000.0, hi_hz: 35_000.0, bins: 30 }
+        FrequencyGrid {
+            lo_hz: 25_000.0,
+            hi_hz: 35_000.0,
+            bins: 30,
+        }
     }
 
     /// Number of candidate frequencies (`N` in the paper).
@@ -79,7 +85,11 @@ impl FrequencyGrid {
     ///
     /// Panics if `index >= len()`.
     pub fn candidate_hz(&self, index: usize) -> f64 {
-        assert!(index < self.bins, "candidate index {index} out of range ({})", self.bins);
+        assert!(
+            index < self.bins,
+            "candidate index {index} out of range ({})",
+            self.bins
+        );
         self.lo_hz + (index as f64 + 0.5) * self.bin_width_hz()
     }
 

@@ -23,6 +23,29 @@
 //!   presence gate, threshold comparison, and the final decision.
 //! * [`metrics`] — the paper's Gaussian FRR/FAR model (Sec. VI-C).
 //!
+//! # Performance architecture
+//!
+//! Detection (Algorithm 1) dominates the authentication latency budget;
+//! the scan stack is built to serve many users at hardware speed:
+//!
+//! * [`Detector`] is **immutable and `Send + Sync`** — one detector per
+//!   configuration serves any number of concurrent sessions; scratch
+//!   buffers live per call, not per detector.
+//! * Dense window spectra run on the **real-input FFT**
+//!   ([`piano_dsp::fft::RealFftPlan`], ≈2× fewer butterflies), behind the
+//!   process-wide plan cache.
+//! * The fine scan uses a **sparse sliding DFT** over only the `2θ+1`
+//!   bins around each candidate ([`piano_dsp::sparse::SlidingDft`]):
+//!   shifting by `fine_step` samples costs `O(bins × step)` instead of an
+//!   `O(N log N)` transform per window.
+//! * [`detect::Detector::detect_many_parallel`] shards the coarse scan
+//!   across `std::thread::scope` workers with a deterministic merge —
+//!   results are bit-identical to the serial scan for every worker count.
+//! * [`piano::PianoAuthenticator`] builds its detector once and reuses it
+//!   for every attempt (and every continuous-session recheck), amortizing
+//!   plan construction; [`action::run_action_with`] exposes the same reuse
+//!   to custom protocol drivers.
+//!
 //! # Quickstart
 //!
 //! ```

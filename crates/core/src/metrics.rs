@@ -44,7 +44,11 @@ impl GaussianRangingModel {
             max_acoustic_range_m > 0.0 && max_acoustic_range_m < bluetooth_range_m,
             "require 0 < d_s < bluetooth range"
         );
-        GaussianRangingModel { sigma_m, max_acoustic_range_m, bluetooth_range_m }
+        GaussianRangingModel {
+            sigma_m,
+            max_acoustic_range_m,
+            bluetooth_range_m,
+        }
     }
 
     /// Paper-like defaults with a caller-supplied σ.

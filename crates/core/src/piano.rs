@@ -16,8 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use piano_acoustics::AcousticField;
 use piano_bluetooth::{BluetoothLink, LinkKey, PairingRegistry};
 
-use crate::action::{run_action, ActionOutcome, DistanceEstimate};
+use crate::action::{run_action_with, ActionOutcome, DistanceEstimate};
 use crate::config::ActionConfig;
+use crate::detect::Detector;
 use crate::device::Device;
 use crate::error::PianoError;
 
@@ -33,14 +34,20 @@ pub struct PianoConfig {
 
 impl Default for PianoConfig {
     fn default() -> Self {
-        PianoConfig { threshold_m: 1.0, action: ActionConfig::default() }
+        PianoConfig {
+            threshold_m: 1.0,
+            action: ActionConfig::default(),
+        }
     }
 }
 
 impl PianoConfig {
     /// A config with a custom threshold and default ACTION parameters.
     pub fn with_threshold(threshold_m: f64) -> Self {
-        PianoConfig { threshold_m, ..Default::default() }
+        PianoConfig {
+            threshold_m,
+            ..Default::default()
+        }
     }
 }
 
@@ -89,9 +96,15 @@ impl AuthDecision {
 
 /// The PIANO authenticator: owns the bond registry and the Bluetooth link,
 /// and runs the authentication phase on demand.
+///
+/// The authenticator builds its ACTION [`Detector`] once at construction
+/// and reuses it for every attempt, so FFT plans and window tables are
+/// amortized across the lifetime of the authenticator — including every
+/// re-verification of a [`crate::continuous::ContinuousSession`].
 #[derive(Debug)]
 pub struct PianoAuthenticator {
     config: PianoConfig,
+    detector: Detector,
     registry: PairingRegistry,
     link: BluetoothLink,
     last_outcome: Option<ActionOutcome>,
@@ -99,13 +112,24 @@ pub struct PianoAuthenticator {
 
 impl PianoAuthenticator {
     /// Creates an authenticator with no bonds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.action` fails [`ActionConfig::validate`].
     pub fn new(config: PianoConfig) -> Self {
+        let detector = Detector::new(&config.action);
         PianoAuthenticator {
             config,
+            detector,
             registry: PairingRegistry::new(),
             link: BluetoothLink::new(),
             last_outcome: None,
         }
+    }
+
+    /// The ACTION detector this authenticator reuses across attempts.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
     }
 
     /// The configuration in force.
@@ -154,15 +178,22 @@ impl PianoAuthenticator {
     ) -> AuthDecision {
         // Bluetooth presence gate.
         if !self.registry.is_paired(auth_device.id, vouch_device.id) {
-            return AuthDecision::Denied { reason: DenialReason::NotPaired };
+            return AuthDecision::Denied {
+                reason: DenialReason::NotPaired,
+            };
         }
-        if !self.link.in_range(&auth_device.position, &vouch_device.position) {
-            return AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable };
+        if !self
+            .link
+            .in_range(&auth_device.position, &vouch_device.position)
+        {
+            return AuthDecision::Denied {
+                reason: DenialReason::BluetoothUnreachable,
+            };
         }
 
-        // ACTION distance estimation.
-        let outcome = match run_action(
-            &self.config.action,
+        // ACTION distance estimation, on the long-lived detector.
+        let outcome = match run_action_with(
+            &self.detector,
             field,
             &mut self.link,
             &self.registry,
@@ -173,7 +204,9 @@ impl PianoAuthenticator {
         ) {
             Ok(o) => o,
             Err(PianoError::Bluetooth(_)) => {
-                return AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable }
+                return AuthDecision::Denied {
+                    reason: DenialReason::BluetoothUnreachable,
+                }
             }
             Err(e) => {
                 return AuthDecision::Denied {
@@ -186,15 +219,15 @@ impl PianoAuthenticator {
 
         // Threshold comparison.
         match estimate {
-            DistanceEstimate::SignalAbsent => {
-                AuthDecision::Denied { reason: DenialReason::SignalAbsent }
-            }
+            DistanceEstimate::SignalAbsent => AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent,
+            },
             DistanceEstimate::Measured(d) if d <= self.config.threshold_m => {
                 AuthDecision::Granted { distance_m: d }
             }
-            DistanceEstimate::Measured(d) => {
-                AuthDecision::Denied { reason: DenialReason::TooFar { distance_m: d } }
-            }
+            DistanceEstimate::Measured(d) => AuthDecision::Denied {
+                reason: DenialReason::TooFar { distance_m: d },
+            },
         }
     }
 }
@@ -239,8 +272,17 @@ mod tests {
         let (a, v) = devices(0.5);
         let mut field = AcousticField::new(Environment::office(), 2);
         let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut rng(2));
-        assert_eq!(decision, AuthDecision::Denied { reason: DenialReason::NotPaired });
-        assert_eq!(auth.link().message_count(), 0, "no radio traffic before pairing");
+        assert_eq!(
+            decision,
+            AuthDecision::Denied {
+                reason: DenialReason::NotPaired
+            }
+        );
+        assert_eq!(
+            auth.link().message_count(),
+            0,
+            "no radio traffic before pairing"
+        );
     }
 
     #[test]
@@ -253,7 +295,9 @@ mod tests {
         let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
         assert_eq!(
             decision,
-            AuthDecision::Denied { reason: DenialReason::BluetoothUnreachable }
+            AuthDecision::Denied {
+                reason: DenialReason::BluetoothUnreachable
+            }
         );
     }
 
@@ -265,7 +309,12 @@ mod tests {
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::office(), 4);
         let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
-        assert_eq!(decision, AuthDecision::Denied { reason: DenialReason::SignalAbsent });
+        assert_eq!(
+            decision,
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent
+            }
+        );
     }
 
     #[test]
@@ -278,7 +327,9 @@ mod tests {
         let mut field = AcousticField::new(Environment::anechoic(), 5);
         let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
         match decision {
-            AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+            AuthDecision::Denied {
+                reason: DenialReason::TooFar { distance_m },
+            } => {
                 assert!((distance_m - 2.0).abs() < 0.3, "distance {distance_m}")
             }
             other => panic!("expected TooFar, got {other:?}"),
@@ -293,10 +344,14 @@ mod tests {
         let mut r = rng(6);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::anechoic(), 6);
-        assert!(!auth.authenticate(&mut field, &a, &v, 0.0, &mut r).is_granted());
+        assert!(!auth
+            .authenticate(&mut field, &a, &v, 0.0, &mut r)
+            .is_granted());
         auth.set_threshold_m(2.5);
         let mut field2 = AcousticField::new(Environment::anechoic(), 7);
-        assert!(auth.authenticate(&mut field2, &a, &v, 100.0, &mut r).is_granted());
+        assert!(auth
+            .authenticate(&mut field2, &a, &v, 100.0, &mut r)
+            .is_granted());
     }
 
     #[test]
@@ -308,6 +363,11 @@ mod tests {
         let mut field = AcousticField::new(Environment::office(), 8);
         field.add_wall(piano_acoustics::Wall::at_x(0.4));
         let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
-        assert_eq!(decision, AuthDecision::Denied { reason: DenialReason::SignalAbsent });
+        assert_eq!(
+            decision,
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent
+            }
+        );
     }
 }

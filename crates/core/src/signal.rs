@@ -109,7 +109,10 @@ impl ReferenceSignal {
     /// Panics if `indices` is empty, unsorted, contains duplicates, or
     /// references candidates outside the grid.
     pub fn from_indices(config: &ActionConfig, indices: Vec<usize>, rng: &mut ChaCha8Rng) -> Self {
-        assert!(!indices.is_empty(), "a reference signal needs at least one tone");
+        assert!(
+            !indices.is_empty(),
+            "a reference signal needs at least one tone"
+        );
         assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
             "indices must be sorted and unique"
@@ -167,7 +170,14 @@ impl ReferenceSignal {
         if length == 0 || sample_rate <= 0.0 {
             return Err("length and sample rate must be positive".into());
         }
-        Ok(ReferenceSignal { grid, indices, amplitude, phases, length, sample_rate })
+        Ok(ReferenceSignal {
+            grid,
+            indices,
+            amplitude,
+            phases,
+            length,
+            sample_rate,
+        })
     }
 
     /// The frequency set `F` as sorted candidate indices.
@@ -257,7 +267,11 @@ mod tests {
         let mut r = rng(1);
         for _ in 0..500 {
             let s = SignalSampler::TwoStage.sample(30, &mut r);
-            assert!(!s.is_empty() && s.len() < 30, "0 < n < N violated: {}", s.len());
+            assert!(
+                !s.is_empty() && s.len() < 30,
+                "0 < n < N violated: {}",
+                s.len()
+            );
             assert!(s.windows(2).all(|w| w[0] < w[1]));
         }
     }
@@ -331,7 +345,9 @@ mod tests {
         let wave = sig.waveform();
         let ps = power_spectrum(&wave);
         for &i in sig.indices() {
-            let bin = config.grid.fft_bin(i, config.sample_rate, config.signal_len);
+            let bin = config
+                .grid
+                .fft_bin(i, config.sample_rate, config.signal_len);
             let p = band_power(&ps, bin, config.theta);
             assert!(
                 p > 0.5 * sig.tone_power(),
@@ -341,12 +357,17 @@ mod tests {
         }
         // Complement candidates carry (almost) nothing.
         for &i in &config.grid.complement(sig.indices()) {
-            let bin = config.grid.fft_bin(i, config.sample_rate, config.signal_len);
+            let bin = config
+                .grid
+                .fft_bin(i, config.sample_rate, config.signal_len);
             let p = band_power(&ps, bin, config.theta);
             // Rectangular-window sidelobes of off-bin tones leak ~0.1 % of
             // R_f into neighbouring clusters — inherent to the paper's
             // analysis window and safely below the β = 0.5 % ceiling.
-            assert!(p < 0.003 * sig.tone_power(), "leakage at candidate {i}: {p}");
+            assert!(
+                p < 0.003 * sig.tone_power(),
+                "leakage at candidate {i}: {p}"
+            );
         }
     }
 

@@ -72,14 +72,18 @@ impl SignalSpec {
         }
         let indices: Vec<usize> = self.indices.iter().map(|&i| i as usize).collect();
         if !indices.windows(2).all(|w| w[0] < w[1]) {
-            return Err(PianoError::Wire("signal spec indices not sorted/unique".into()));
+            return Err(PianoError::Wire(
+                "signal spec indices not sorted/unique".into(),
+            ));
         }
         if indices[indices.len() - 1] >= config.grid.len() {
             return Err(PianoError::Wire("signal spec index out of grid".into()));
         }
         let expected_amp = config.max_amplitude / indices.len() as f64;
         if (self.amplitude - expected_amp).abs() > 1e-6 * expected_amp {
-            return Err(PianoError::Wire("signal spec amplitude violates power rule".into()));
+            return Err(PianoError::Wire(
+                "signal spec amplitude violates power rule".into(),
+            ));
         }
         ReferenceSignal::from_parts(
             config.grid,
@@ -107,7 +111,10 @@ impl Message {
                 encode_spec(&mut out, sa);
                 encode_spec(&mut out, sv);
             }
-            Message::TimeDiffReport { session, vouch_diff_samples } => {
+            Message::TimeDiffReport {
+                session,
+                vouch_diff_samples,
+            } => {
                 out.push(TAG_TIME_DIFF);
                 out.extend_from_slice(&session.to_le_bytes());
                 match vouch_diff_samples {
@@ -146,7 +153,10 @@ impl Message {
                     1 => Some(r.f64()?),
                     x => return Err(PianoError::Wire(format!("bad option byte {x}"))),
                 };
-                Message::TimeDiffReport { session, vouch_diff_samples }
+                Message::TimeDiffReport {
+                    session,
+                    vouch_diff_samples,
+                }
             }
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
         };
@@ -185,7 +195,11 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<SignalSpec, PianoError> {
         phases.push(r.f64()?);
     }
     let amplitude = r.f64()?;
-    Ok(SignalSpec { indices, phases, amplitude })
+    Ok(SignalSpec {
+        indices,
+        phases,
+        amplitude,
+    })
 }
 
 struct Reader<'a> {
@@ -253,7 +267,10 @@ mod tests {
     #[test]
     fn time_diff_roundtrips_both_variants() {
         for v in [Some(1234.5), None] {
-            let msg = Message::TimeDiffReport { session: 7, vouch_diff_samples: v };
+            let msg = Message::TimeDiffReport {
+                session: 7,
+                vouch_diff_samples: v,
+            };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
     }
@@ -267,13 +284,20 @@ mod tests {
         };
         let bytes = msg.encode();
         for cut in [0, 1, 5, bytes.len() - 1] {
-            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
     #[test]
     fn trailing_garbage_errors() {
-        let mut bytes = Message::TimeDiffReport { session: 1, vouch_diff_samples: None }.encode();
+        let mut bytes = Message::TimeDiffReport {
+            session: 1,
+            vouch_diff_samples: None,
+        }
+        .encode();
         bytes.push(0xFF);
         assert!(Message::decode(&bytes).is_err());
     }
@@ -299,25 +323,48 @@ mod tests {
     fn reconstruct_validates() {
         let config = ActionConfig::default();
         // Empty.
-        assert!(spec_err(SignalSpec { indices: vec![], phases: vec![], amplitude: 1.0 }, &config));
+        assert!(spec_err(
+            SignalSpec {
+                indices: vec![],
+                phases: vec![],
+                amplitude: 1.0
+            },
+            &config
+        ));
         // Length mismatch.
         assert!(spec_err(
-            SignalSpec { indices: vec![1, 2], phases: vec![0.0], amplitude: 16_000.0 },
+            SignalSpec {
+                indices: vec![1, 2],
+                phases: vec![0.0],
+                amplitude: 16_000.0
+            },
             &config
         ));
         // Unsorted.
         assert!(spec_err(
-            SignalSpec { indices: vec![2, 1], phases: vec![0.0, 0.0], amplitude: 16_000.0 },
+            SignalSpec {
+                indices: vec![2, 1],
+                phases: vec![0.0, 0.0],
+                amplitude: 16_000.0
+            },
             &config
         ));
         // Out of grid.
         assert!(spec_err(
-            SignalSpec { indices: vec![40], phases: vec![0.0], amplitude: 32_000.0 },
+            SignalSpec {
+                indices: vec![40],
+                phases: vec![0.0],
+                amplitude: 32_000.0
+            },
             &config
         ));
         // Wrong amplitude (power rule).
         assert!(spec_err(
-            SignalSpec { indices: vec![1, 2], phases: vec![0.0, 0.0], amplitude: 99.0 },
+            SignalSpec {
+                indices: vec![1, 2],
+                phases: vec![0.0, 0.0],
+                amplitude: 99.0
+            },
             &config
         ));
     }

@@ -55,7 +55,7 @@ pub fn cross_correlate_fft(signal: &[f64], reference: &[f64]) -> Vec<f64> {
     plan.forward(&mut refr);
 
     for (s, r) in sig.iter_mut().zip(&refr) {
-        *s = *s * r.conj();
+        *s *= r.conj();
     }
     plan.inverse(&mut sig);
     sig[..lags].iter().map(|z| z.re).collect()
@@ -84,17 +84,17 @@ pub fn best_alignment(signal: &[f64], reference: &[f64], normalized: bool) -> Op
     }
     let raw = cross_correlate_fft(signal, reference);
     if !normalized {
-        let (offset, &score) = raw
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (offset, &score) = raw.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         return Some(Alignment { offset, score });
     }
 
     // Rolling window energy for normalization.
     let m = reference.len();
     let mut energy = signal[..m].iter().map(|x| x * x).sum::<f64>();
-    let mut best = Alignment { offset: 0, score: f64::NEG_INFINITY };
+    let mut best = Alignment {
+        offset: 0,
+        score: f64::NEG_INFINITY,
+    };
     for (k, &c) in raw.iter().enumerate() {
         let denom = energy.max(1e-12).sqrt();
         let score = c / denom;
@@ -153,8 +153,8 @@ mod tests {
             signal[true_offset + i] = 0.5 * r;
         }
         // Loud unrelated burst elsewhere.
-        for i in 1500..1628 {
-            signal[i] = rng.gen_range(-20.0..20.0);
+        for s in signal[1500..1628].iter_mut() {
+            *s = rng.gen_range(-20.0..20.0);
         }
         let found = best_alignment(&signal, &reference, true).unwrap();
         assert_eq!(found.offset, true_offset);

@@ -8,17 +8,36 @@
 //! precomputed twiddle tables (see [`FftPlan`]) so the detector's inner loop
 //! does no trigonometry.
 //!
+//! Performance architecture (see also the crate docs):
+//!
+//! * **Branch-free butterflies** — [`FftPlan`] holds separate forward and
+//!   inverse twiddle tables, so the butterfly kernel never tests an
+//!   `inverse` flag or conjugates on the fly.
+//! * **Real-input transform** — [`RealFftPlan`] computes an N-point real
+//!   spectrum via one N/2-point complex transform plus an O(N)
+//!   recombination: half the butterflies of padding the signal into a
+//!   complex buffer. [`fft_real`] uses it; [`fft_real_padded`] retains the
+//!   padded path as the differential-testing / benchmarking reference.
+//! * **Plan cache** — [`cached_plan`] / [`cached_real_plan`] memoize plans
+//!   per size behind a `OnceLock`, so one-shot helpers (and everything in
+//!   [`crate::spectrum`], [`crate::correlate`], [`crate::filter`]) stop
+//!   rebuilding `sin`/`cos` tables on every call.
+//!
 //! Conventions: [`fft`] computes the unnormalized DFT
 //! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
 //! `ifft(fft(x)) == x` up to floating-point error.
 
 use crate::complex::Complex64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable FFT plan for a fixed power-of-two size.
 ///
-/// The plan precomputes the bit-reversal permutation and the twiddle-factor
-/// table. Reusing a plan across the thousands of windows scanned by the
-/// ACTION detector avoids recomputing `sin`/`cos` per window.
+/// The plan precomputes the bit-reversal permutation and both twiddle
+/// tables (forward and inverse), so the butterfly loop is branch-free and
+/// does no trigonometry. Reusing a plan across the thousands of windows
+/// scanned by the ACTION detector avoids recomputing `sin`/`cos` per
+/// window; [`cached_plan`] shares plans process-wide.
 ///
 /// # Example
 ///
@@ -41,7 +60,15 @@ pub struct FftPlan {
     /// Bit-reversed index for every position.
     rev: Vec<u32>,
     /// Twiddles for the forward transform: `e^{-2πi·k/N}` for `k < N/2`.
+    /// Kept in the seed's flat layout for the reference kernel
+    /// ([`Self::forward_reference`]).
     twiddles: Vec<Complex64>,
+    /// Forward twiddles re-laid-out per stage (stages of length ≥ 8), so
+    /// the hot kernel reads them contiguously instead of gathering with a
+    /// `k·stride` stride.
+    fwd_stages: Vec<Vec<Complex64>>,
+    /// Inverse counterpart of `fwd_stages`.
+    inv_stages: Vec<Vec<Complex64>>,
 }
 
 impl FftPlan {
@@ -51,17 +78,48 @@ impl FftPlan {
     ///
     /// Panics if `size` is zero or not a power of two.
     pub fn new(size: usize) -> Self {
-        assert!(size.is_power_of_two() && size > 0, "FFT size must be a power of two, got {size}");
+        assert!(
+            size.is_power_of_two() && size > 0,
+            "FFT size must be a power of two, got {size}"
+        );
         let bits = size.trailing_zeros();
+        // For size == 1, bits == 0 and every index reverses to itself.
         let rev = (0..size as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| {
+                if bits == 0 {
+                    i
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect::<Vec<_>>();
-        let twiddles = (0..size / 2)
+        let twiddles: Vec<Complex64> = (0..size / 2)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
             .collect();
-        // For size == 1 the shift above is degenerate; fix up explicitly.
-        let rev = if size == 1 { vec![0] } else { rev };
-        FftPlan { size, rev, twiddles }
+        // Per-stage contiguous twiddle tables for stages of length ≥ 8
+        // (lengths 2 and 4 are handled by multiply-free specializations).
+        let mut fwd_stages = Vec::new();
+        let mut len = 8;
+        while len <= size {
+            let stride = size / len;
+            fwd_stages.push(
+                (0..len / 2)
+                    .map(|k| twiddles[k * stride])
+                    .collect::<Vec<_>>(),
+            );
+            len <<= 1;
+        }
+        let inv_stages = fwd_stages
+            .iter()
+            .map(|stage| stage.iter().map(|tw| tw.conj()).collect())
+            .collect();
+        FftPlan {
+            size,
+            rev,
+            twiddles,
+            fwd_stages,
+            inv_stages,
+        }
     }
 
     /// Transform length this plan was built for.
@@ -81,38 +139,28 @@ impl FftPlan {
             return;
         }
         self.permute(buf);
-        self.butterflies(buf, false);
+        self.butterflies(buf, &self.fwd_stages, true);
     }
 
-    /// In-place inverse DFT (normalized by `1/N`).
+    /// In-place forward DFT via the seed's original butterfly kernel
+    /// (per-butterfly direction branch, strided twiddle gather, no
+    /// specialized first stages).
+    ///
+    /// Retained deliberately as the differential-testing and benchmarking
+    /// baseline: `piano-bench` measures the optimized kernels against this
+    /// in the same run.
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.size()`.
-    pub fn inverse(&self, buf: &mut [Complex64]) {
+    pub fn forward_reference(&self, buf: &mut [Complex64]) {
         assert_eq!(buf.len(), self.size, "buffer length must match plan size");
         if self.size <= 1 {
             return;
         }
         self.permute(buf);
-        self.butterflies(buf, true);
-        let scale = 1.0 / self.size as f64;
-        for z in buf.iter_mut() {
-            *z = z.scale(scale);
-        }
-    }
-
-    fn permute(&self, buf: &mut [Complex64]) {
-        for i in 0..self.size {
-            let j = self.rev[i] as usize;
-            if i < j {
-                buf.swap(i, j);
-            }
-        }
-    }
-
-    fn butterflies(&self, buf: &mut [Complex64], inverse: bool) {
         let n = self.size;
+        let inverse = false;
         let mut len = 2;
         while len <= n {
             let half = len / 2;
@@ -130,18 +178,300 @@ impl FftPlan {
             len <<= 1;
         }
     }
+
+    /// In-place inverse DFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.size()`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        if self.size <= 1 {
+            return;
+        }
+        self.permute(buf);
+        self.butterflies(buf, &self.inv_stages, false);
+        let scale = 1.0 / self.size as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn permute(&self, buf: &mut [Complex64]) {
+        for i in 0..self.size {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    /// Branch-free butterfly network over per-stage twiddle tables.
+    ///
+    /// The first two stages are specialized: their twiddles are `1` and
+    /// `∓i` (`forward` picks the sign), so they need no complex multiplies
+    /// at all. Later stages iterate slice pairs, which elides bounds
+    /// checks, and read their twiddles contiguously.
+    fn butterflies(&self, buf: &mut [Complex64], stages: &[Vec<Complex64>], forward: bool) {
+        let n = self.size;
+
+        // Stage len = 2: twiddle is 1.
+        for pair in buf.chunks_exact_mut(2) {
+            let a = pair[0];
+            let b = pair[1];
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+
+        // Stage len = 4: twiddles are 1 and ∓i.
+        if n >= 4 {
+            for quad in buf.chunks_exact_mut(4) {
+                let a = quad[0];
+                let b = quad[2];
+                quad[0] = a + b;
+                quad[2] = a - b;
+                let c = quad[1];
+                let d = quad[3];
+                // d · (∓i) without a full complex multiply.
+                let d = if forward {
+                    Complex64::new(d.im, -d.re)
+                } else {
+                    Complex64::new(-d.im, d.re)
+                };
+                quad[1] = c + d;
+                quad[3] = c - d;
+            }
+        }
+
+        // Remaining stages: table-driven, contiguous twiddles, no bounds
+        // checks in the inner loop.
+        for stage_tw in stages {
+            let len = stage_tw.len() * 2;
+            for chunk in buf.chunks_exact_mut(len) {
+                let (evens, odds) = chunk.split_at_mut(len / 2);
+                for ((e, o), &tw) in evens.iter_mut().zip(odds.iter_mut()).zip(stage_tw) {
+                    let a = *e;
+                    let b = *o * tw;
+                    *e = a + b;
+                    *o = a - b;
+                }
+            }
+        }
+    }
+}
+
+/// A reusable plan computing an N-point **real-input** spectrum via one
+/// N/2-point complex transform.
+///
+/// This is the detector's hot-path transform: packing even samples into
+/// real parts and odd samples into imaginary parts halves the butterfly
+/// count relative to padding the signal into a full complex buffer
+/// ([`fft_real_padded`]), and the O(N) recombination restores the exact
+/// N-point spectrum, conjugate symmetry included.
+///
+/// # Example
+///
+/// ```
+/// use piano_dsp::fft::{fft_real_padded, RealFftPlan};
+///
+/// let x: Vec<f64> = (0..16).map(|n| (n as f64 * 0.9).sin()).collect();
+/// let plan = RealFftPlan::new(16);
+/// let mut scratch = Vec::new();
+/// let mut spec = Vec::new();
+/// plan.forward_full(&x, &mut scratch, &mut spec);
+/// for (a, b) in spec.iter().zip(&fft_real_padded(&x)) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    size: usize,
+    half: FftPlan,
+    /// `e^{-2πi·k/N}` for `k < N/2`: recombination twiddles.
+    twiddles: Vec<Complex64>,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real transforms of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two or is smaller than 2.
+    pub fn new(size: usize) -> Self {
+        assert!(
+            size.is_power_of_two() && size >= 2,
+            "real FFT size must be a power of two ≥ 2, got {size}"
+        );
+        let twiddles = (0..size / 2)
+            .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        RealFftPlan {
+            size,
+            half: FftPlan::new(size / 2),
+            twiddles,
+        }
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Packs the input and runs the half-size complex transform into
+    /// `scratch`, leaving `Z[k] = E[k] + i·O[k]` (even/odd interleave).
+    fn half_transform(&self, input: &[f64], scratch: &mut Vec<Complex64>) {
+        assert_eq!(input.len(), self.size, "input length must match plan size");
+        let h = self.size / 2;
+        scratch.clear();
+        scratch.extend((0..h).map(|m| Complex64::new(input[2 * m], input[2 * m + 1])));
+        self.half.forward(scratch);
+    }
+
+    /// Computes the full N-length complex spectrum of a real signal.
+    ///
+    /// `scratch` is the half-size work buffer; `out` is resized to N. The
+    /// result is identical (to rounding) to [`fft_real_padded`], including
+    /// the mirrored bins above Nyquist that the paper's Algorithm 2
+    /// indexes directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn forward_full(
+        &self,
+        input: &[f64],
+        scratch: &mut Vec<Complex64>,
+        out: &mut Vec<Complex64>,
+    ) {
+        self.half_transform(input, scratch);
+        let n = self.size;
+        let h = n / 2;
+        out.clear();
+        out.resize(n, Complex64::ZERO);
+        let z0 = scratch[0];
+        out[0] = Complex64::from_real(z0.re + z0.im);
+        out[h] = Complex64::from_real(z0.re - z0.im);
+        // Each k < h/2 pairs with h−k: E[h−k] = E*[k] and O[h−k] = O*[k],
+        // so one twiddle multiply yields four output bins —
+        // X[k] = E + ωᵏO, X[h+k] = E − ωᵏO, and their conjugate mirrors.
+        for k in 1..h.div_ceil(2) {
+            let (e, wo) = self.recombine(scratch, k);
+            let xk = e + wo;
+            let xhk = e - wo;
+            out[k] = xk;
+            out[n - k] = xk.conj();
+            out[h + k] = xhk;
+            out[h - k] = xhk.conj();
+        }
+        if h >= 2 {
+            // Middle bin k = h/2 pairs with itself.
+            let k = h / 2;
+            let (e, wo) = self.recombine(scratch, k);
+            let xk = e + wo;
+            out[k] = xk;
+            out[n - k] = xk.conj();
+        }
+    }
+
+    /// Recombination core for bin `k` of the packed half-transform:
+    /// returns `(E[k], ωᵏ·O[k])`.
+    #[inline(always)]
+    fn recombine(&self, scratch: &[Complex64], k: usize) -> (Complex64, Complex64) {
+        let h = self.size / 2;
+        let zk = scratch[k];
+        let zc = scratch[h - k].conj();
+        // E[k] = (Z[k] + Z*[h−k])/2, O[k] = −i·(Z[k] − Z*[h−k])/2.
+        let even = (zk + zc).scale(0.5);
+        let odd = Complex64::new(0.0, -0.5) * (zk - zc);
+        (even, self.twiddles[k] * odd)
+    }
+
+    /// Computes the raw (unnormalized) power `|X[k]|²` of every bin of the
+    /// full N-length spectrum, without materializing the complex spectrum.
+    ///
+    /// This is the detector's innermost operation; callers apply their own
+    /// normalization (see [`crate::spectrum`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn power_into(&self, input: &[f64], scratch: &mut Vec<Complex64>, out: &mut Vec<f64>) {
+        self.half_transform(input, scratch);
+        let n = self.size;
+        let h = n / 2;
+        out.clear();
+        out.resize(n, 0.0);
+        let z0 = scratch[0];
+        out[0] = (z0.re + z0.im) * (z0.re + z0.im);
+        out[h] = (z0.re - z0.im) * (z0.re - z0.im);
+        for k in 1..h.div_ceil(2) {
+            let (e, wo) = self.recombine(scratch, k);
+            let pk = (e + wo).norm_sqr();
+            let phk = (e - wo).norm_sqr();
+            out[k] = pk;
+            out[n - k] = pk;
+            out[h + k] = phk;
+            out[h - k] = phk;
+        }
+        if h >= 2 {
+            let k = h / 2;
+            let (e, wo) = self.recombine(scratch, k);
+            let pk = (e + wo).norm_sqr();
+            out[k] = pk;
+            out[n - k] = pk;
+        }
+    }
+}
+
+/// Process-wide plan cache, keyed by size.
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+/// Process-wide real-input plan cache, keyed by size.
+static REAL_PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<RealFftPlan>>>> = OnceLock::new();
+
+/// Returns the shared [`FftPlan`] for `size`, building it on first use.
+///
+/// One-shot helpers ([`fft`], [`ifft`], convolution, correlation) go
+/// through this cache so repeated calls at the same size never rebuild
+/// twiddle tables.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or not a power of two.
+pub fn cached_plan(size: usize) -> Arc<FftPlan> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("FFT plan cache poisoned");
+    Arc::clone(
+        map.entry(size)
+            .or_insert_with(|| Arc::new(FftPlan::new(size))),
+    )
+}
+
+/// Returns the shared [`RealFftPlan`] for `size`, building it on first use.
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two or is smaller than 2.
+pub fn cached_real_plan(size: usize) -> Arc<RealFftPlan> {
+    let cache = REAL_PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("real FFT plan cache poisoned");
+    Arc::clone(
+        map.entry(size)
+            .or_insert_with(|| Arc::new(RealFftPlan::new(size))),
+    )
 }
 
 /// One-shot forward FFT of a complex buffer. Returns a new vector.
 ///
-/// Prefer [`FftPlan`] in hot loops.
+/// Uses the shared plan cache; prefer holding an [`FftPlan`] (or
+/// [`cached_plan`]) in hot loops to also reuse buffers.
 ///
 /// # Panics
 ///
 /// Panics if `input.len()` is not a power of two.
 pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
     let mut buf = input.to_vec();
-    FftPlan::new(input.len()).forward(&mut buf);
+    cached_plan(input.len()).forward(&mut buf);
     buf
 }
 
@@ -152,7 +482,7 @@ pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
 /// Panics if `input.len()` is not a power of two.
 pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
     let mut buf = input.to_vec();
-    FftPlan::new(input.len()).inverse(&mut buf);
+    cached_plan(input.len()).inverse(&mut buf);
     buf
 }
 
@@ -163,10 +493,41 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
 /// above Nyquist directly (`⌊f/f_s·|W|⌋` for f up to 35 kHz at
 /// f_s = 44.1 kHz), which lands on the mirrored bins of the full spectrum.
 ///
+/// Computed via the cached [`RealFftPlan`] (half the butterflies of the
+/// padded path, which remains available as [`fft_real_padded`]).
+///
 /// # Panics
 ///
 /// Panics if `input.len()` is not a power of two.
 pub fn fft_real(input: &[f64]) -> Vec<Complex64> {
+    if input.len() < 2 {
+        // Keep the documented panic for length 0 (not a power of two);
+        // length 1 is the identity transform.
+        assert!(
+            input.len().is_power_of_two(),
+            "FFT size must be a power of two, got {}",
+            input.len()
+        );
+        return input.iter().map(|&x| Complex64::from_real(x)).collect();
+    }
+    let plan = cached_real_plan(input.len());
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    plan.forward_full(input, &mut scratch, &mut out);
+    out
+}
+
+/// Forward FFT of a real signal via zero-imaginary padding into a full
+/// complex transform — the pre-optimization reference path.
+///
+/// Retained deliberately: the property tests pin [`fft_real`] against this
+/// implementation, and `piano-bench` measures the real-input speedup
+/// against it in the same run.
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not a power of two.
+pub fn fft_real_padded(input: &[f64]) -> Vec<Complex64> {
     let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
     fft(&buf)
 }
@@ -189,7 +550,9 @@ mod tests {
             .map(|k| {
                 (0..n)
                     .map(|t| {
-                        x[t] * Complex64::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                        x[t] * Complex64::cis(
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
                     })
                     .sum()
             })
@@ -213,6 +576,25 @@ mod tests {
         let x = vec![Complex64::new(2.0, -3.0)];
         assert_eq!(fft(&x), x);
         assert_eq!(ifft(&x), x);
+        assert_eq!(fft_real(&[5.0]), vec![Complex64::from_real(5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_real_rejects_empty_input() {
+        let _ = fft_real(&[]);
+    }
+
+    #[test]
+    fn size_one_plan_has_identity_permutation() {
+        // The bit-reversal table must come out correct directly, without a
+        // degenerate-shift fix-up.
+        let plan = FftPlan::new(1);
+        assert_eq!(plan.rev, vec![0]);
+        let plan2 = FftPlan::new(2);
+        assert_eq!(plan2.rev, vec![0, 1]);
+        let plan4 = FftPlan::new(4);
+        assert_eq!(plan4.rev, vec![0, 2, 1, 3]);
     }
 
     #[test]
@@ -262,9 +644,32 @@ mod tests {
     }
 
     #[test]
+    fn real_plan_power_matches_full_spectrum() {
+        let x: Vec<f64> = (0..128)
+            .map(|n| (n as f64 * 0.37).sin() + (n as f64 * 0.11).cos())
+            .collect();
+        let plan = RealFftPlan::new(128);
+        let mut scratch = Vec::new();
+        let mut spec = Vec::new();
+        let mut powers = Vec::new();
+        plan.forward_full(&x, &mut scratch, &mut spec);
+        plan.power_into(&x, &mut scratch, &mut powers);
+        assert_eq!(powers.len(), 128);
+        for (p, z) in powers.iter().zip(&spec) {
+            assert!((p - z.norm_sqr()).abs() < 1e-9 * (1.0 + z.norm_sqr()));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn real_plan_rejects_non_power_of_two() {
+        let _ = RealFftPlan::new(24);
     }
 
     #[test]
@@ -273,6 +678,37 @@ mod tests {
         let plan = FftPlan::new(8);
         let mut buf = vec![Complex64::ZERO; 4];
         plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn optimized_kernel_matches_reference_kernel() {
+        for size in [2usize, 4, 8, 64, 256, 1024] {
+            let plan = FftPlan::new(size);
+            let input: Vec<Complex64> = (0..size)
+                .map(|t| Complex64::new((t as f64 * 0.13).sin(), (t as f64 * 0.41).cos()))
+                .collect();
+            let mut fast = input.clone();
+            plan.forward(&mut fast);
+            let mut reference = input.clone();
+            plan.forward_reference(&mut reference);
+            for (a, b) in fast.iter().zip(&reference) {
+                assert!(
+                    (*a - *b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "size {size}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_plans_are_shared() {
+        let a = cached_plan(256);
+        let b = cached_plan(256);
+        assert!(Arc::ptr_eq(&a, &b));
+        let ra = cached_real_plan(256);
+        let rb = cached_real_plan(256);
+        assert!(Arc::ptr_eq(&ra, &rb));
+        assert_eq!(ra.size(), 256);
     }
 
     #[test]
@@ -297,6 +733,25 @@ mod tests {
             for (a, b) in padded.iter().zip(&back) {
                 prop_assert!((a - b.re).abs() < 1e-8);
                 prop_assert!(b.im.abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn real_fft_matches_padded_reference(
+            data in proptest::collection::vec(-1000.0f64..1000.0, 2..=256),
+        ) {
+            let n = next_pow2(data.len());
+            let mut padded = data.clone();
+            padded.resize(n, 0.0);
+            let fast = fft_real(&padded);
+            let reference = fft_real_padded(&padded);
+            prop_assert_eq!(fast.len(), reference.len());
+            let scale = 1.0 + reference.iter().map(|z| z.abs()).fold(0.0, f64::max);
+            for (a, b) in fast.iter().zip(&reference) {
+                prop_assert!(
+                    (*a - *b).abs() < 1e-9 * scale,
+                    "bin mismatch: {} vs {}", a, b
+                );
             }
         }
 

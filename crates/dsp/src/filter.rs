@@ -20,7 +20,10 @@ use crate::fft::{next_pow2, FftPlan};
 /// Panics if `taps` is even or zero, or if the cutoff is not inside
 /// `(0, sample_rate/2)`.
 pub fn lowpass(cutoff_hz: f64, sample_rate: f64, taps: usize) -> Vec<f64> {
-    assert!(taps % 2 == 1 && taps > 0, "taps must be odd and positive, got {taps}");
+    assert!(
+        taps % 2 == 1 && taps > 0,
+        "taps must be odd and positive, got {taps}"
+    );
     assert!(
         cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
         "cutoff must lie in (0, Nyquist)"
@@ -36,8 +39,7 @@ pub fn lowpass(cutoff_hz: f64, sample_rate: f64, taps: usize) -> Vec<f64> {
                 (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
             };
             // Blackman window for good stop-band rejection (~-74 dB).
-            let w = 0.42
-                - 0.5 * (2.0 * std::f64::consts::PI * n as f64 / (taps - 1) as f64).cos()
+            let w = 0.42 - 0.5 * (2.0 * std::f64::consts::PI * n as f64 / (taps - 1) as f64).cos()
                 + 0.08 * (4.0 * std::f64::consts::PI * n as f64 / (taps - 1) as f64).cos();
             sinc * w
         })
@@ -105,7 +107,7 @@ fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
     plan.forward(&mut fa);
     plan.forward(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     plan.inverse(&mut fa);
     fa[..out_len].iter().map(|z| z.re).collect()
@@ -149,7 +151,7 @@ where
     for k in 0..=half {
         let f = k as f64 * sample_rate / n as f64;
         let h = response(f);
-        buf[k] = buf[k] * h;
+        buf[k] *= h;
         if k != 0 && k != half {
             buf[n - k] = buf[k].conj();
         }
@@ -235,7 +237,10 @@ mod tests {
     #[test]
     fn transfer_function_scales_selected_band() {
         let sig = tone::multi_tone(
-            &[tone::ToneSpec::new(3_000.0, 1.0), tone::ToneSpec::new(12_000.0, 1.0)],
+            &[
+                tone::ToneSpec::new(3_000.0, 1.0),
+                tone::ToneSpec::new(12_000.0, 1.0),
+            ],
             FS,
             4096,
         );
@@ -247,8 +252,10 @@ mod tests {
             }
         });
         let ps = power_spectrum(&out[..4096.min(out.len())]);
-        let low = crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(3_000.0, FS, 4096), 3);
-        let high = crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(12_000.0, FS, 4096), 3);
+        let low =
+            crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(3_000.0, FS, 4096), 3);
+        let high =
+            crate::spectrum::band_power(&ps, crate::spectrum::freq_to_bin(12_000.0, FS, 4096), 3);
         assert!(low > 0.8, "low band should pass, got {low}");
         assert!(high < 0.05, "high band should be attenuated, got {high}");
     }

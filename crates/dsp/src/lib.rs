@@ -14,6 +14,8 @@
 //! * [`Complex64`] — minimal complex arithmetic ([`complex`]).
 //! * [`fft`] — iterative radix-2 Cooley–Tukey FFT/IFFT and real-signal
 //!   helpers.
+//! * [`sparse`] — sparse spectral evaluation: Goertzel bank and the
+//!   sliding DFT behind the detector's fine scan.
 //! * [`spectrum`] — power spectra normalized so a sine of amplitude `B`
 //!   measures `B²` at its bin, matching the paper's `R_f = (32000/n)²`
 //!   convention.
@@ -27,6 +29,32 @@
 //! * [`stats`] — streaming statistics, percentiles, and the Gaussian
 //!   Q-function used by the paper's FRR/FAR model (Sec. VI-C).
 //! * [`db`] — decibel conversions.
+//!
+//! # Performance architecture
+//!
+//! The detector's scan loop (paper Algorithm 1) is the system's hottest
+//! path, and this crate is engineered so that loop touches no avoidable
+//! work:
+//!
+//! 1. **Plan cache** — [`fft::cached_plan`] / [`fft::cached_real_plan`]
+//!    memoize twiddle/bit-reversal tables per transform size behind a
+//!    `OnceLock`, so one-shot spectra, correlation, and FIR convolution
+//!    never rebuild trigonometric tables.
+//! 2. **Real-input FFT** — [`fft::RealFftPlan`] computes an N-point real
+//!    spectrum through one N/2-point complex transform (≈2× fewer
+//!    butterflies than the retained [`fft::fft_real_padded`] reference).
+//! 3. **Branch-free butterflies** — [`fft::FftPlan`] keeps separate
+//!    forward and inverse twiddle tables, removing the per-butterfly
+//!    conjugation branch.
+//! 4. **Sparse evaluation** — [`sparse::GoertzelBank`] evaluates exactly
+//!    the bins a caller needs, and [`sparse::SlidingDft`] updates tracked
+//!    bins in `O(step)` per window shift, which is what makes the
+//!    detector's 10-sample fine scan effectively free compared to dense
+//!    re-transformation.
+//!
+//! Everything is allocation-free on the hot path: callers own scratch
+//! buffers ([`spectrum::SpectrumScratch`]) and analyzers are immutable and
+//! `Sync`, so scan workers share plans and fan out without locks.
 //!
 //! # Example
 //!
@@ -47,6 +75,7 @@ pub mod db;
 pub mod fft;
 pub mod filter;
 pub mod resample;
+pub mod sparse;
 pub mod spectrum;
 pub mod stats;
 pub mod tone;

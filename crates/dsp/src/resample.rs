@@ -135,8 +135,8 @@ mod tests {
     fn integer_positions_reproduce_source() {
         let src: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
         let r = FractionalDelayReader::new(&src);
-        for i in 0..64 {
-            assert_eq!(r.sample_at(i as f64), src[i]);
+        for (i, &want) in src.iter().enumerate() {
+            assert_eq!(r.sample_at(i as f64), want);
         }
     }
 
@@ -170,9 +170,9 @@ mod tests {
         let src = tone::sine(3_000.0, 0.0, 1.0, fs, 1024);
         let delayed = delay_signal(&src, 10.25);
         let w = 2.0 * std::f64::consts::PI * 3_000.0 / fs;
-        for n in 200..800 {
+        for (n, &got) in delayed.iter().enumerate().take(800).skip(200) {
             let want = (w * (n as f64 - 10.25)).sin();
-            assert!((delayed[n] - want).abs() < 2e-3, "n={n}");
+            assert!((got - want).abs() < 2e-3, "n={n}");
         }
     }
 

@@ -10,7 +10,7 @@
 //! tolerates the *frequency smoothing* the paper describes.
 
 use crate::complex::Complex64;
-use crate::fft::FftPlan;
+use crate::fft::{cached_real_plan, FftPlan, RealFftPlan};
 use crate::window::WindowKind;
 use std::ops::Range;
 
@@ -20,14 +20,28 @@ use std::ops::Range;
 /// Nyquist mirror the lower half, which lets callers index candidate
 /// frequencies above Nyquist exactly as the paper's Algorithm 2 does.
 ///
+/// Runs on the cached real-input plan ([`cached_real_plan`]), so repeated
+/// one-shot calls at the same size never rebuild twiddle tables.
+///
 /// # Panics
 ///
 /// Panics if `window.len()` is not a power of two.
 pub fn power_spectrum(window: &[f64]) -> Vec<f64> {
-    let plan = FftPlan::new(window.len());
-    let mut buf: Vec<Complex64> = window.iter().map(|&x| Complex64::from_real(x)).collect();
-    plan.forward(&mut buf);
-    finish_power(&buf)
+    if window.len() < 2 {
+        // Degenerate sizes keep the documented contract: length 0 panics
+        // (not a power of two) and length 1 follows the (2/N)² convention.
+        assert!(
+            window.len().is_power_of_two(),
+            "FFT size must be a power of two, got {}",
+            window.len()
+        );
+        return window.iter().map(|&x| (2.0 * x) * (2.0 * x)).collect();
+    }
+    let plan = cached_real_plan(window.len());
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    real_power_spectrum_with(&plan, window, &mut scratch, &mut out);
+    out
 }
 
 /// Power spectrum using a caller-provided plan and scratch buffer.
@@ -45,7 +59,11 @@ pub fn power_spectrum_with(
     scratch: &mut Vec<Complex64>,
     out: &mut Vec<f64>,
 ) {
-    assert_eq!(window.len(), plan.size(), "window length must match plan size");
+    assert_eq!(
+        window.len(),
+        plan.size(),
+        "window length must match plan size"
+    );
     scratch.clear();
     scratch.extend(window.iter().map(|&x| Complex64::from_real(x)));
     plan.forward(scratch);
@@ -53,6 +71,40 @@ pub fn power_spectrum_with(
     let scale = (2.0 / n) * (2.0 / n);
     out.clear();
     out.extend(scratch.iter().map(|z| z.norm_sqr() * scale));
+}
+
+/// [`power_spectrum_with`] on the half-size real-input transform: the same
+/// normalized full-length spectrum at roughly half the butterflies.
+///
+/// `scratch` is the plan's half-size work buffer; `out` is resized to the
+/// window length.
+///
+/// # Panics
+///
+/// Panics if `window.len() != plan.size()`.
+pub fn real_power_spectrum_with(
+    plan: &RealFftPlan,
+    window: &[f64],
+    scratch: &mut Vec<Complex64>,
+    out: &mut Vec<f64>,
+) {
+    plan.power_into(window, scratch, out);
+    let n = plan.size() as f64;
+    let scale = (2.0 / n) * (2.0 / n);
+    for p in out.iter_mut() {
+        *p *= scale;
+    }
+}
+
+/// Reusable per-call scratch for [`SpectrumAnalyzer::compute`].
+///
+/// Keeping the scratch outside the analyzer makes the analyzer itself
+/// immutable (and therefore `Sync`-shareable across scan workers); each
+/// worker owns one `SpectrumScratch`.
+#[derive(Debug, Default, Clone)]
+pub struct SpectrumScratch {
+    windowed: Vec<f64>,
+    freq: Vec<Complex64>,
 }
 
 /// A reusable windowed-spectrum analyzer.
@@ -66,12 +118,12 @@ pub fn power_spectrum_with(
 /// rectangular window, off-bin tone leakage into unchosen candidate
 /// clusters sits near the paper's β = 0.5 %·R_f ceiling for loud (close)
 /// signals.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SpectrumAnalyzer {
-    plan: FftPlan,
+    plan: RealFftPlan,
+    kind: WindowKind,
     coeffs: Vec<f64>,
     scale: f64,
-    windowed: Vec<f64>,
 }
 
 impl SpectrumAnalyzer {
@@ -79,15 +131,15 @@ impl SpectrumAnalyzer {
     ///
     /// # Panics
     ///
-    /// Panics if `len` is not a power of two.
+    /// Panics if `len` is not a power of two ≥ 2.
     pub fn new(len: usize, window: WindowKind) -> Self {
         let coeffs = window.coefficients(len);
         let cg = window.coherent_gain(len).max(1e-12);
         SpectrumAnalyzer {
-            plan: FftPlan::new(len),
+            plan: RealFftPlan::new(len),
+            kind: window,
             coeffs,
             scale: 1.0 / (cg * cg),
-            windowed: vec![0.0; len],
         }
     }
 
@@ -101,36 +153,64 @@ impl SpectrumAnalyzer {
         self.len() == 0
     }
 
-    /// Computes the coherent-gain-compensated power spectrum of `signal`
-    /// into `out`, using `scratch` for the FFT buffer.
+    /// The window function this analyzer applies.
+    pub fn window_kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// The coherent-gain power compensation applied to every bin.
+    pub fn power_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Applies the analysis window coefficients to `signal`, writing the
+    /// tapered samples into `out` (resized to the analyzer length).
     ///
     /// # Panics
     ///
     /// Panics if `signal.len()` differs from the analyzer length.
-    pub fn compute(&mut self, signal: &[f64], scratch: &mut Vec<Complex64>, out: &mut Vec<f64>) {
-        assert_eq!(signal.len(), self.len(), "signal length must match analyzer length");
-        for ((w, &s), &c) in self.windowed.iter_mut().zip(signal).zip(&self.coeffs) {
+    pub fn apply_window(&self, signal: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            signal.len(),
+            self.len(),
+            "signal length must match analyzer length"
+        );
+        out.clear();
+        out.extend(signal.iter().zip(&self.coeffs).map(|(&s, &c)| s * c));
+    }
+
+    /// Computes the coherent-gain-compensated power spectrum of `signal`
+    /// into `out`, using caller-owned `scratch`.
+    ///
+    /// The analyzer itself is immutable (`&self`), so one analyzer can be
+    /// shared by many scan workers, each with its own scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` differs from the analyzer length.
+    pub fn compute(&self, signal: &[f64], scratch: &mut SpectrumScratch, out: &mut Vec<f64>) {
+        assert_eq!(
+            signal.len(),
+            self.len(),
+            "signal length must match analyzer length"
+        );
+        scratch.windowed.resize(self.len(), 0.0);
+        for ((w, &s), &c) in scratch.windowed.iter_mut().zip(signal).zip(&self.coeffs) {
             *w = s * c;
         }
-        power_spectrum_with(&self.plan, &self.windowed, scratch, out);
+        real_power_spectrum_with(&self.plan, &scratch.windowed, &mut scratch.freq, out);
         for p in out.iter_mut() {
             *p *= self.scale;
         }
     }
 
     /// One-shot convenience over [`Self::compute`].
-    pub fn power_spectrum(&mut self, signal: &[f64]) -> Vec<f64> {
-        let mut scratch = Vec::new();
+    pub fn power_spectrum(&self, signal: &[f64]) -> Vec<f64> {
+        let mut scratch = SpectrumScratch::default();
         let mut out = Vec::new();
         self.compute(signal, &mut scratch, &mut out);
         out
     }
-}
-
-fn finish_power(spec: &[Complex64]) -> Vec<f64> {
-    let n = spec.len() as f64;
-    let scale = (2.0 / n) * (2.0 / n);
-    spec.iter().map(|z| z.norm_sqr() * scale).collect()
 }
 
 /// Sums spectrum power over bins `center-θ ..= center+θ`, clamped to the
@@ -175,7 +255,9 @@ pub fn power_in_range(spectrum: &[f64], lo_hz: f64, hi_hz: f64, sample_rate: f64
     let lo = freq_to_bin(lo_hz.min(hi_hz), sample_rate, n).min(n / 2);
     let hi = freq_to_bin(lo_hz.max(hi_hz), sample_rate, n).min(n / 2);
     let direct: f64 = spectrum[lo..=hi].iter().sum();
-    let mirror: f64 = spectrum[(n - hi).min(n - 1)..=(n - lo).min(n - 1)].iter().sum();
+    let mirror: f64 = spectrum[(n - hi).min(n - 1)..=(n - lo).min(n - 1)]
+        .iter()
+        .sum();
     direct + mirror
 }
 
@@ -232,6 +314,15 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sizes_keep_the_contract() {
+        // Length 1 follows the (2/N)² convention (N = 1 ⇒ scale 4)…
+        assert_eq!(power_spectrum(&[3.0]), vec![36.0]);
+        // …and length 0 panics like any other non-power-of-two.
+        let empty = std::panic::catch_unwind(|| power_spectrum(&[]));
+        assert!(empty.is_err(), "length 0 must panic");
+    }
+
+    #[test]
     fn band_power_clamps_at_edges() {
         let ps = vec![1.0; 10];
         assert_eq!(band_power(&ps, 0, 3), 4.0); // bins 0..=3
@@ -285,6 +376,38 @@ mod tests {
         for (a, b) in out.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn real_plan_path_matches_complex_plan_path() {
+        let sig = tone::sine(11_000.0, 0.9, 7.0, FS, 1024);
+        let complex_plan = FftPlan::new(1024);
+        let real_plan = RealFftPlan::new(1024);
+        let mut scratch = Vec::new();
+        let mut dense = Vec::new();
+        let mut real = Vec::new();
+        power_spectrum_with(&complex_plan, &sig, &mut scratch, &mut dense);
+        real_power_spectrum_with(&real_plan, &sig, &mut scratch, &mut real);
+        assert_eq!(dense.len(), real.len());
+        for (a, b) in dense.iter().zip(&real) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn analyzer_is_shareable_and_deterministic() {
+        let analyzer = SpectrumAnalyzer::new(512, WindowKind::Hann);
+        let sig = tone::sine(8_000.0, 0.0, 2.0, FS, 512);
+        // &self compute: two scratches, same analyzer, identical output.
+        let mut s1 = SpectrumScratch::default();
+        let mut s2 = SpectrumScratch::default();
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        analyzer.compute(&sig, &mut s1, &mut o1);
+        analyzer.compute(&sig, &mut s2, &mut o2);
+        assert_eq!(o1, o2);
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        assert_sync(&analyzer);
+        assert_eq!(analyzer.window_kind(), WindowKind::Hann);
     }
 
     proptest! {

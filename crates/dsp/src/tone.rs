@@ -21,7 +21,11 @@ pub struct ToneSpec {
 impl ToneSpec {
     /// Creates a tone spec with zero initial phase.
     pub fn new(frequency_hz: f64, amplitude: f64) -> Self {
-        ToneSpec { frequency_hz, amplitude, phase: 0.0 }
+        ToneSpec {
+            frequency_hz,
+            amplitude,
+            phase: 0.0,
+        }
     }
 
     /// Sets the initial phase, returning the modified spec.
@@ -43,9 +47,17 @@ impl ToneSpec {
 /// assert!(s[0].abs() < 1e-12);
 /// assert!((s[25] - 1.0).abs() < 1e-10); // quarter cycle peaks
 /// ```
-pub fn sine(frequency_hz: f64, phase: f64, amplitude: f64, sample_rate: f64, len: usize) -> Vec<f64> {
+pub fn sine(
+    frequency_hz: f64,
+    phase: f64,
+    amplitude: f64,
+    sample_rate: f64,
+    len: usize,
+) -> Vec<f64> {
     let w = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate;
-    (0..len).map(|n| amplitude * (w * n as f64 + phase).sin()).collect()
+    (0..len)
+        .map(|n| amplitude * (w * n as f64 + phase).sin())
+        .collect()
 }
 
 /// Synthesizes a sum of tones into a fresh buffer.

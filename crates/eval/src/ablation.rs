@@ -57,8 +57,10 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
 
     // A1: fine step.
     for step in [1usize, 10, 50, 200] {
-        let mut cfg = ActionConfig::default();
-        cfg.fine_step = step;
+        let cfg = ActionConfig {
+            fine_step: step,
+            ..ActionConfig::default()
+        };
         let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA1);
         points.push(AblationPoint {
             ablation: "A1 fine step δ".into(),
@@ -70,8 +72,10 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
 
     // A2: smoothing width θ.
     for theta in [1usize, 3, 5, 10] {
-        let mut cfg = ActionConfig::default();
-        cfg.theta = theta;
+        let cfg = ActionConfig {
+            theta,
+            ..ActionConfig::default()
+        };
         let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA2);
         points.push(AblationPoint {
             ablation: "A2 smoothing θ".into(),
@@ -83,8 +87,10 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
 
     // A3: candidate count N — accuracy and guessing security together.
     for n in [10usize, 20, 30] {
-        let mut cfg = ActionConfig::default();
-        cfg.grid = FrequencyGrid::new(25_000.0, 35_000.0, n).expect("valid grid");
+        let cfg = ActionConfig {
+            grid: FrequencyGrid::new(25_000.0, 35_000.0, n).expect("valid grid"),
+            ..ActionConfig::default()
+        };
         let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA3);
         let guess = piano_attacks::analysis::collision_probability(SignalSampler::UniformSubset, n);
         points.push(AblationPoint {
@@ -100,7 +106,9 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
         // Success rate of the mid-power all-frequency attack.
         let (successes, n) = if enforce {
             let stats = run_attack_trials(
-                AttackKind::AllFrequency { tone_amplitude: 1_500.0 },
+                AttackKind::AllFrequency {
+                    tone_amplitude: 1_500.0,
+                },
                 &Environment::office(),
                 6.0,
                 trials,
@@ -114,7 +122,11 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
         };
         points.push(AblationPoint {
             ablation: "A4 β sanity check".into(),
-            setting: if enforce { "enforced".into() } else { "disabled".into() },
+            setting: if enforce {
+                "enforced".into()
+            } else {
+                "disabled".into()
+            },
             value: format!("{successes}/{n} attacks succeed"),
             metric: "all-frequency spoofing success".into(),
         });
@@ -133,8 +145,10 @@ pub fn run(trials: usize, seed: u64) -> AblationResult {
 
     // A6: analysis window.
     for window in [WindowKind::Rectangular, WindowKind::Hann] {
-        let mut cfg = ActionConfig::default();
-        cfg.analysis_window = window;
+        let cfg = ActionConfig {
+            analysis_window: window,
+            ..ActionConfig::default()
+        };
         let (mae, absent) = ranging_mae(cfg, trials, seed ^ 0xA6);
         points.push(AblationPoint {
             ablation: "A6 analysis window".into(),
@@ -175,7 +189,10 @@ fn run_attack_trials_no_beta(trials: usize, seed: u64) -> (usize, usize) {
         AllFrequencyAttacker::near(vouch_dev.position)
             .with_tone_amplitude(1_500.0)
             .inject(&mut field, &action, 0.0, 3.5, &mut attacker_rng);
-        if authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng).is_granted() {
+        if authn
+            .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+            .is_granted()
+        {
             successes += 1;
         }
     }
@@ -269,7 +286,9 @@ mod tests {
         // at least occasionally; with it on, never.
         let (on, _) = {
             let stats = run_attack_trials(
-                AttackKind::AllFrequency { tone_amplitude: 1_500.0 },
+                AttackKind::AllFrequency {
+                    tone_amplitude: 1_500.0,
+                },
                 &Environment::office(),
                 6.0,
                 3,

@@ -44,7 +44,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--out" => {
-                out = argv.next().map(PathBuf::from).unwrap_or_else(|| die("--out needs a path"));
+                out = argv
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a path"));
             }
             "--help" | "-h" => {
                 println!(
@@ -60,7 +63,12 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
-    Args { experiments, trials, seed, out }
+    Args {
+        experiments,
+        trials,
+        seed,
+        out,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -144,7 +152,10 @@ fn main() {
     if ran == 0 {
         die(&format!("no experiment matched {:?}", args.experiments));
     }
-    eprintln!("done: {ran} experiment group(s); JSON archived under {}", args.out.display());
+    eprintln!(
+        "done: {ran} experiment group(s); JSON archived under {}",
+        args.out.display()
+    );
 }
 
 fn archive<T: serde::Serialize>(args: &Args, name: &str, value: &T) {

@@ -87,7 +87,10 @@ impl EfficiencyResult {
         ]);
         t.push_row(vec![
             "compute (detection)".into(),
-            format!("{:.2} s ({} FFTs)", self.durations.compute_s, self.ffts_per_device),
+            format!(
+                "{:.2} s ({} FFTs)",
+                self.durations.compute_s, self.ffts_per_device
+            ),
             "—".into(),
         ]);
         t.push_row(vec![
@@ -120,7 +123,11 @@ mod tests {
     fn matches_paper_scale() {
         let r = run(17);
         assert!(r.total_latency_s < 3.5, "latency {} s", r.total_latency_s);
-        assert!(r.total_latency_s > 1.5, "latency {} s suspiciously low", r.total_latency_s);
+        assert!(
+            r.total_latency_s > 1.5,
+            "latency {} s suspiciously low",
+            r.total_latency_s
+        );
         assert!(
             (0.2..1.2).contains(&r.battery_percent_100),
             "battery {} %",

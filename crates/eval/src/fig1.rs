@@ -68,7 +68,11 @@ pub fn run(trials: usize, seed: u64) -> Fig1Result {
             });
         }
     }
-    Fig1Result { cells, trials, seed }
+    Fig1Result {
+        cells,
+        trials,
+        seed,
+    }
 }
 
 /// Runs E1 with the paper's 10 trials per point.
@@ -80,8 +84,18 @@ impl Fig1Result {
     /// Renders the figure as a table (one row per environment × distance).
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            &format!("Fig. 1 — distance estimation errors ({} trials/point)", self.trials),
-            &["environment", "distance (m)", "MAE (cm)", "std (cm)", "bias (cm)", "absent"],
+            &format!(
+                "Fig. 1 — distance estimation errors ({} trials/point)",
+                self.trials
+            ),
+            &[
+                "environment",
+                "distance (m)",
+                "MAE (cm)",
+                "std (cm)",
+                "bias (cm)",
+                "absent",
+            ],
         );
         for c in &self.cells {
             t.push_row(vec![
@@ -131,6 +145,9 @@ mod tests {
     fn office_errors_are_centimeter_scale() {
         let result = run(3, 7);
         let office = result.environment_mae_m("office").unwrap();
-        assert!(office < 0.20, "office MAE {office} m is not centimeter-scale");
+        assert!(
+            office < 0.20,
+            "office MAE {office} m is not centimeter-scale"
+        );
     }
 }

@@ -66,7 +66,13 @@ pub fn run(trials: usize, seed: u64) -> Fig2aResult {
             absent: stats.absent,
         });
     }
-    Fig2aResult { cells, interferer_pairs, trials, total_absent, seed }
+    Fig2aResult {
+        cells,
+        interferer_pairs,
+        trials,
+        total_absent,
+        seed,
+    }
 }
 
 /// Runs E2 at the paper's scale (10 trials × 4 distances = 40).
@@ -101,10 +107,9 @@ impl Fig2aResult {
 
     /// Grand mean absolute error over measured trials (m).
     pub fn overall_mae_m(&self) -> f64 {
-        let (sum, n) = self
-            .cells
-            .iter()
-            .fold((0.0, 0usize), |(s, n), c| (s + c.mean_abs_error_m * c.measured as f64, n + c.measured));
+        let (sum, n) = self.cells.iter().fold((0.0, 0usize), |(s, n), c| {
+            (s + c.mean_abs_error_m * c.measured as f64, n + c.measured)
+        });
         if n == 0 {
             0.0
         } else {

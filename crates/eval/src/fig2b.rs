@@ -74,7 +74,14 @@ pub struct Fig2bResult {
 fn baseline_setup(
     d: f64,
     seed: u64,
-) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+) -> (
+    AcousticField,
+    BluetoothLink,
+    PairingRegistry,
+    Device,
+    Device,
+    ChaCha8Rng,
+) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let field = AcousticField::new(Environment::office(), seed ^ 0x5A5A);
     let link = BluetoothLink::new();
@@ -148,7 +155,11 @@ pub fn run(trials: usize, seed: u64) -> Fig2bResult {
         }
         cells.push(stats_cell(Protocol::EchoSecure, d, &errors, absent));
     }
-    Fig2bResult { cells, trials, seed }
+    Fig2bResult {
+        cells,
+        trials,
+        seed,
+    }
 }
 
 fn stats_cell(protocol: Protocol, d: f64, signed_errors: &[f64], absent: usize) -> Fig2bCell {
@@ -183,7 +194,10 @@ impl Fig2bResult {
     /// Renders the comparison rows.
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            &format!("Fig. 2b — secure ranging protocol comparison ({} trials/cell, office)", self.trials),
+            &format!(
+                "Fig. 2b — secure ranging protocol comparison ({} trials/cell, office)",
+                self.trials
+            ),
             &["protocol", "distance (m)", "MAE (cm)", "std (cm)", "absent"],
         );
         for c in &self.cells {

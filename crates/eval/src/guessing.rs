@@ -10,8 +10,8 @@
 use serde::Serialize;
 
 use piano_attacks::analysis::{
-    collision_probability, monte_carlo_collision, paper_claimed_replay,
-    paper_claimed_single_guess, replay_success_probability,
+    collision_probability, monte_carlo_collision, paper_claimed_replay, paper_claimed_single_guess,
+    replay_success_probability,
 };
 use piano_core::signal::SignalSampler;
 
@@ -67,7 +67,13 @@ impl GuessingResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Sec. V — guessing probabilities (N = 30 candidates)",
-            &["sampler", "P(guess one)", "P(replay)", "MC @N=6", "exact @N=6"],
+            &[
+                "sampler",
+                "P(guess one)",
+                "P(replay)",
+                "MC @N=6",
+                "exact @N=6",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![
@@ -99,10 +105,20 @@ mod tests {
         assert_eq!(r.rows.len(), 2);
         for row in &r.rows {
             let rel = (row.mc_small_n - row.exact_small_n).abs() / row.exact_small_n;
-            assert!(rel < 0.25, "{}: MC {} vs exact {}", row.sampler, row.mc_small_n, row.exact_small_n);
+            assert!(
+                rel < 0.25,
+                "{}: MC {} vs exact {}",
+                row.sampler,
+                row.mc_small_n,
+                row.exact_small_n
+            );
         }
         // The uniform-subset row matches the paper's single-guess claim.
-        let uniform = r.rows.iter().find(|r| r.sampler.contains("Uniform")).unwrap();
+        let uniform = r
+            .rows
+            .iter()
+            .find(|r| r.sampler.contains("Uniform"))
+            .unwrap();
         assert!((uniform.single_exact - r.paper_single).abs() < 1e-15);
         let _ = r.table();
     }

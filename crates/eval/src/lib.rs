@@ -23,7 +23,7 @@
 //! | [`ablation`] | Design-choice ablations (A1–A6, ours) |
 //!
 //! All experiments are deterministic given their seeds and parallelized
-//! over trials with `crossbeam`.
+//! over trials with scoped worker threads.
 
 pub mod ablation;
 pub mod efficiency;

@@ -45,10 +45,17 @@ pub fn run(trials: usize, seed: u64) -> RangeResult {
         if rate >= 0.5 {
             max_range_m = d;
         }
-        points.push(RangePoint { distance_m: d, detection_rate: rate });
+        points.push(RangePoint {
+            distance_m: d,
+            detection_rate: rate,
+        });
         d += 0.25;
     }
-    RangeResult { points, max_range_m, trials }
+    RangeResult {
+        points,
+        max_range_m,
+        trials,
+    }
 }
 
 impl RangeResult {

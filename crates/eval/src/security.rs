@@ -57,7 +57,13 @@ pub fn run(trials: usize, seed: u64) -> SecurityResult {
     let vouch_distance = 6.0; // user away: in BT range, out of acoustic range
     let mut batches = Vec::new();
 
-    let stats = run_trials(AttackKind::GuessingReplay, &env, vouch_distance, trials, seed);
+    let stats = run_trials(
+        AttackKind::GuessingReplay,
+        &env,
+        vouch_distance,
+        trials,
+        seed,
+    );
     batches.push(AttackBatch::of("guessing-based replay", &stats));
 
     // The paper's three P_a regimes for the all-frequency attack.
@@ -67,7 +73,9 @@ pub fn run(trials: usize, seed: u64) -> SecurityResult {
         ("all-frequency (P_a ≤ β)", 60.0),
     ] {
         let stats = run_trials(
-            AttackKind::AllFrequency { tone_amplitude: amplitude },
+            AttackKind::AllFrequency {
+                tone_amplitude: amplitude,
+            },
             &env,
             vouch_distance,
             trials / 3 + 1,
@@ -76,7 +84,13 @@ pub fn run(trials: usize, seed: u64) -> SecurityResult {
         batches.push(AttackBatch::of(label, &stats));
     }
 
-    let stats = run_trials(AttackKind::ZeroEffort, &env, vouch_distance, trials, seed ^ 0x2E00);
+    let stats = run_trials(
+        AttackKind::ZeroEffort,
+        &env,
+        vouch_distance,
+        trials,
+        seed ^ 0x2E00,
+    );
     batches.push(AttackBatch::of("zero-effort", &stats));
 
     SecurityResult { batches, seed }

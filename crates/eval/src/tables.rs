@@ -55,9 +55,7 @@ fn scenario_setup(scenario: &str, d: f64, seed: u64) -> TrialSetup {
         "home" => TrialSetup::new(Environment::home(), d, seed),
         "street" => TrialSetup::new(Environment::street(), d, seed),
         "restaurant" => TrialSetup::new(Environment::restaurant(), d, seed),
-        "multiple users" => {
-            TrialSetup::new(Environment::office(), d, seed).with_interferers(2)
-        }
+        "multiple users" => TrialSetup::new(Environment::office(), d, seed).with_interferers(2),
         other => panic!("unknown scenario {other}"),
     }
 }
@@ -108,7 +106,10 @@ impl TablesResult {
     /// Renders Table I (FRRs).
     pub fn table_frr(&self) -> Table {
         let mut t = Table::new(
-            &format!("Table I — FRRs (σ fitted from {} trials/distance)", self.trials),
+            &format!(
+                "Table I — FRRs (σ fitted from {} trials/distance)",
+                self.trials
+            ),
             &["scenario", "σ (cm)", "0.5m", "1.0m", "1.5m", "2.0m"],
         );
         for r in &self.rows {
@@ -164,12 +165,27 @@ mod tests {
         for row in &r.rows {
             // FRR decreases with threshold; FAR stays within a small band.
             assert!(row.frr[0] > row.frr[3], "{}: {:?}", row.scenario, row.frr);
-            assert!(row.far.iter().all(|&f| f < 0.03), "{}: {:?}", row.scenario, row.far);
+            assert!(
+                row.far.iter().all(|&f| f < 0.03),
+                "{}: {:?}",
+                row.scenario,
+                row.far
+            );
             assert!(row.sigma_m > 0.0 && row.sigma_m < 0.5);
         }
         // Ordering: office σ < street σ (Fig. 1 / Table I ordering).
-        let office = r.rows.iter().find(|x| x.scenario == "office").unwrap().sigma_m;
-        let street = r.rows.iter().find(|x| x.scenario == "street").unwrap().sigma_m;
+        let office = r
+            .rows
+            .iter()
+            .find(|x| x.scenario == "office")
+            .unwrap()
+            .sigma_m;
+        let street = r
+            .rows
+            .iter()
+            .find(|x| x.scenario == "street")
+            .unwrap()
+            .sigma_m;
         assert!(office < street);
         let _ = (r.table_frr(), r.table_far());
     }

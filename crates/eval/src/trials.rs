@@ -1,7 +1,6 @@
 //! Trial runner: one authenticated ranging attempt per trial, optionally
 //! with interfering PIANO users, parallelized and deterministic.
 
-use crossbeam::thread;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -87,7 +86,11 @@ pub fn run_trial_detailed(setup: &TrialSetup, index: u64) -> (TrialOutcome, Opti
     let mut link = BluetoothLink::new();
     let mut registry = PairingRegistry::new();
     let auth = Device::phone(1, Position::ORIGIN, seed.wrapping_add(0xA));
-    let vouch = Device::phone(2, Position::new(setup.distance_m, 0.0, 0.0), seed.wrapping_add(0xB));
+    let vouch = Device::phone(
+        2,
+        Position::new(setup.distance_m, 0.0, 0.0),
+        seed.wrapping_add(0xB),
+    );
     registry.pair(auth.id, vouch.id, &mut rng);
 
     // Interfering PIANO users: each pair plays its own randomized signals
@@ -113,9 +116,21 @@ pub fn run_trial_detailed(setup: &TrialSetup, index: u64) -> (TrialOutcome, Opti
                 DistanceEstimate::Measured(d) => Some(d),
                 DistanceEstimate::SignalAbsent => None,
             };
-            (TrialOutcome { true_distance_m: setup.distance_m, estimate_m }, Some(outcome))
+            (
+                TrialOutcome {
+                    true_distance_m: setup.distance_m,
+                    estimate_m,
+                },
+                Some(outcome),
+            )
         }
-        Err(_) => (TrialOutcome { true_distance_m: setup.distance_m, estimate_m: None }, None),
+        Err(_) => (
+            TrialOutcome {
+                true_distance_m: setup.distance_m,
+                estimate_m: None,
+            },
+            None,
+        ),
     }
 }
 
@@ -166,23 +181,39 @@ pub fn run_trials(setup: &TrialSetup, n: usize) -> Vec<TrialOutcome> {
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
-    let mut results = vec![None; n];
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let outcome = run_trial(setup, i as u64);
-                **slots[i].lock().expect("slot lock") = Some(outcome);
-            });
-        }
-    })
-    .expect("trial worker panicked");
+    // Dynamic work stealing over trial indices; each worker tags outcomes
+    // with their index so the merge restores trial order exactly.
+    let partials: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, run_trial(setup, i as u64)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<TrialOutcome>> = vec![None; n];
+    for (i, outcome) in partials.into_iter().flatten() {
+        results[i] = Some(outcome);
+    }
     results
         .into_iter()
         .map(|r| r.expect("every trial slot filled"))
@@ -207,10 +238,16 @@ pub struct TrialStats {
 impl TrialStats {
     /// Computes statistics for a batch.
     pub fn of(outcomes: &[TrialOutcome]) -> Self {
-        let errors: Vec<f64> = outcomes.iter().filter_map(TrialOutcome::signed_error_m).collect();
+        let errors: Vec<f64> = outcomes
+            .iter()
+            .filter_map(TrialOutcome::signed_error_m)
+            .collect();
         let absent = outcomes.len() - errors.len();
         if errors.is_empty() {
-            return TrialStats { absent, ..Default::default() };
+            return TrialStats {
+                absent,
+                ..Default::default()
+            };
         }
         let summary = piano_dsp::stats::Summary::of(&errors);
         let mae = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
@@ -243,17 +280,25 @@ mod tests {
     fn parallel_matches_sequential() {
         let setup = quick_setup();
         let parallel = run_trials(&setup, 4);
-        let sequential: Vec<TrialOutcome> =
-            (0..4).map(|i| run_trial(&setup, i as u64)).collect();
+        let sequential: Vec<TrialOutcome> = (0..4).map(|i| run_trial(&setup, i as u64)).collect();
         assert_eq!(parallel, sequential);
     }
 
     #[test]
     fn stats_handle_absent_and_measured() {
         let outcomes = vec![
-            TrialOutcome { true_distance_m: 1.0, estimate_m: Some(1.05) },
-            TrialOutcome { true_distance_m: 1.0, estimate_m: Some(0.95) },
-            TrialOutcome { true_distance_m: 1.0, estimate_m: None },
+            TrialOutcome {
+                true_distance_m: 1.0,
+                estimate_m: Some(1.05),
+            },
+            TrialOutcome {
+                true_distance_m: 1.0,
+                estimate_m: Some(0.95),
+            },
+            TrialOutcome {
+                true_distance_m: 1.0,
+                estimate_m: None,
+            },
         ];
         let stats = TrialStats::of(&outcomes);
         assert_eq!(stats.measured, 2);

@@ -46,9 +46,9 @@ pub fn run(trials: usize, seed: u64) -> WallResult {
         let mut field = AcousticField::new(Environment::office(), s ^ 0x3A3A);
         field.add_wall(Wall::at_x(0.5));
         match authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng) {
-            AuthDecision::Denied { reason: DenialReason::SignalAbsent } => {
-                denied_signal_absent += 1
-            }
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent,
+            } => denied_signal_absent += 1,
             AuthDecision::Granted { .. } => granted += 1,
             _ => {}
         }
@@ -58,7 +58,10 @@ pub fn run(trials: usize, seed: u64) -> WallResult {
         // control measures detection, not threshold luck.
         authn.set_threshold_m(1.8);
         let mut field = AcousticField::new(Environment::office(), s ^ 0x3A3B);
-        if authn.authenticate(&mut field, &auth_dev, &vouch_dev, 100.0, &mut rng).is_granted() {
+        if authn
+            .authenticate(&mut field, &auth_dev, &vouch_dev, 100.0, &mut rng)
+            .is_granted()
+        {
             control_granted += 1;
         }
     }

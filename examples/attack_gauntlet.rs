@@ -26,9 +26,24 @@ fn main() {
     let batches = [
         ("zero-effort", AttackKind::ZeroEffort),
         ("guessing replay", AttackKind::GuessingReplay),
-        ("all-freq, loud (P_a ≥ α·R_f)", AttackKind::AllFrequency { tone_amplitude: 8_000.0 }),
-        ("all-freq, mid (β < P_a < α·R_f)", AttackKind::AllFrequency { tone_amplitude: 1_000.0 }),
-        ("all-freq, quiet (P_a ≤ β)", AttackKind::AllFrequency { tone_amplitude: 50.0 }),
+        (
+            "all-freq, loud (P_a ≥ α·R_f)",
+            AttackKind::AllFrequency {
+                tone_amplitude: 8_000.0,
+            },
+        ),
+        (
+            "all-freq, mid (β < P_a < α·R_f)",
+            AttackKind::AllFrequency {
+                tone_amplitude: 1_000.0,
+            },
+        ),
+        (
+            "all-freq, quiet (P_a ≤ β)",
+            AttackKind::AllFrequency {
+                tone_amplitude: 50.0,
+            },
+        ),
     ];
 
     let mut total_successes = 0;
@@ -48,7 +63,9 @@ fn main() {
         );
     }
 
-    println!("\ntotal attacker successes: {total_successes} (paper Sec. VI-E: 0 in 100+100 trials)");
+    println!(
+        "\ntotal attacker successes: {total_successes} (paper Sec. VI-E: 0 in 100+100 trials)"
+    );
     println!(
         "single-guess probability at N=30 (uniform subsets): {:.2e}",
         piano::attacks::analysis::collision_probability(SignalSampler::UniformSubset, 30)

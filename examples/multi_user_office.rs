@@ -16,13 +16,16 @@ use piano::prelude::*;
 fn main() {
     let trials = 10;
     println!("three concurrent PIANO users in a shared office; {trials} trials per distance\n");
-    println!("{:>12} {:>10} {:>10} {:>8}", "distance", "MAE", "std", "absent");
+    println!(
+        "{:>12} {:>10} {:>10} {:>8}",
+        "distance", "MAE", "std", "absent"
+    );
 
     let mut total_absent = 0;
     let mut total = 0;
     for (i, d) in [0.5, 1.0, 1.5, 2.0].into_iter().enumerate() {
-        let setup = TrialSetup::new(Environment::office(), d, 0x0FF1CE + i as u64)
-            .with_interferers(2);
+        let setup =
+            TrialSetup::new(Environment::office(), d, 0x0FF1CE + i as u64).with_interferers(2);
         let outcomes = run_trials(&setup, trials);
         let stats = TrialStats::of(&outcomes);
         total_absent += stats.absent;

@@ -23,7 +23,10 @@ fn main() {
     // Registration phase (once): pair over Bluetooth.
     let mut authenticator = PianoAuthenticator::new(PianoConfig::with_threshold(1.0));
     authenticator.register(&phone, &watch, &mut rng);
-    println!("registered: {}", authenticator.is_registered(&phone, &watch));
+    println!(
+        "registered: {}",
+        authenticator.is_registered(&phone, &watch)
+    );
 
     // Authentication phase: user at the phone, watch on wrist (0.5 m).
     let mut office = AcousticField::new(Environment::office(), 7);
@@ -49,7 +52,9 @@ fn main() {
     authenticator.set_threshold_m(0.3);
     let mut office = AcousticField::new(Environment::office(), 9);
     match authenticator.authenticate(&mut office, &phone, &watch, 20.0, &mut rng) {
-        AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+        AuthDecision::Denied {
+            reason: DenialReason::TooFar { distance_m },
+        } => {
             println!("threshold 0.3 m: denied at measured {distance_m:.2} m — personalizable");
         }
         other => println!("threshold 0.3 m: {other:?}"),

@@ -10,7 +10,14 @@ use rand_chacha::ChaCha8Rng;
 fn setup(
     d: f64,
     seed: u64,
-) -> (AcousticField, BluetoothLink, PairingRegistry, Device, Device, ChaCha8Rng) {
+) -> (
+    AcousticField,
+    BluetoothLink,
+    PairingRegistry,
+    Device,
+    Device,
+    ChaCha8Rng,
+) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let field = AcousticField::new(Environment::office(), seed ^ 0xB15E);
     let link = BluetoothLink::new();
@@ -52,10 +59,8 @@ fn fig2b_ordering_holds_end_to_end() {
 
     // Echo-Secure (calibrated honestly at contact distance).
     let (mut field, mut link, reg, a, v, mut rng) = setup(0.05, 3_000);
-    let cal = EchoCalibration::calibrate(
-        &config, &mut field, &mut link, &reg, &a, &v, 6, &mut rng,
-    )
-    .unwrap();
+    let cal = EchoCalibration::calibrate(&config, &mut field, &mut link, &reg, &a, &v, 6, &mut rng)
+        .unwrap();
     let mut echo_err = 0.0;
     for t in 0..trials {
         let (mut field, mut link, reg, a, v, mut rng) = setup(1.0, 4_000 + t);
@@ -110,7 +115,14 @@ fn ambience_comparator_is_spoofable_but_action_is_not() {
     // ACTION at the same 8 m geometry refuses outright (signal absent).
     let (mut field, mut link, reg, a2, v2, mut rng2) = setup(8.0, 777);
     let outcome = run_action(
-        &ActionConfig::default(), &mut field, &mut link, &reg, &a2, &v2, 0.0, &mut rng2,
+        &ActionConfig::default(),
+        &mut field,
+        &mut link,
+        &reg,
+        &a2,
+        &v2,
+        0.0,
+        &mut rng2,
     )
     .unwrap();
     assert_eq!(outcome.estimate, DistanceEstimate::SignalAbsent);

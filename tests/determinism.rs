@@ -52,10 +52,53 @@ fn experiment_results_are_reproducible() {
 }
 
 #[test]
+fn parallel_detection_is_bit_identical_to_serial_across_worker_counts() {
+    use piano::core::detect::{ScanMode, SignalSignature};
+    use piano::core::Detector;
+
+    let config = ActionConfig::default();
+    let detector = Detector::new(&config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xACED);
+    let sa = ReferenceSignal::random(&config, &mut rng);
+    let sv = ReferenceSignal::random(&config, &mut rng);
+    let mut recording = vec![0.0; config.recording_len()];
+    for (i, &v) in sa.waveform().iter().enumerate() {
+        recording[17_001 + i] += 0.3 * v;
+    }
+    for (i, &v) in sv.waveform().iter().enumerate() {
+        recording[52_424 + i] += 0.25 * v;
+    }
+    let siga = SignalSignature::of(&sa, &config);
+    let sigv = SignalSignature::of(&sv, &config);
+
+    let serial = detector.detect_many(&recording, &[&siga, &sigv]);
+    for workers in [1, 2, 3, 5, 8, 32] {
+        let parallel = detector.detect_many_parallel_with(&recording, &[&siga, &sigv], workers);
+        assert_eq!(
+            serial, parallel,
+            "parallel scan diverged at {workers} workers"
+        );
+    }
+    // The sparse fine scan (the default here: rectangular analysis window)
+    // must land on the same windows as the dense reference path.
+    let dense = detector.detect_many_mode(&recording, &[&siga, &sigv], ScanMode::Dense);
+    assert_eq!(dense.ffts_used, serial.ffts_used);
+    for (d, s) in dense.detections.iter().zip(&serial.detections) {
+        assert_eq!(d.location(), s.location());
+    }
+}
+
+#[test]
 fn attack_batches_are_reproducible() {
     use piano::attacks::{run_trials, AttackKind};
     let run = || {
-        run_trials(AttackKind::GuessingReplay, &Environment::office(), 6.0, 2, 0xD00F)
+        run_trials(
+            AttackKind::GuessingReplay,
+            &Environment::office(),
+            6.0,
+            2,
+            0xD00F,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -35,7 +35,11 @@ fn deny_when_user_away_in_every_paper_environment() {
         let (mut authn, a, v, mut rng) = pairings(6.0, 200 + i as u64);
         let mut field = AcousticField::new(env.clone(), 60 + i as u64);
         let decision = authn.authenticate(&mut field, &a, &v, 0.0, &mut rng);
-        assert!(!decision.is_granted(), "user-away grant in {}: {decision:?}", env.name);
+        assert!(
+            !decision.is_granted(),
+            "user-away grant in {}: {decision:?}",
+            env.name
+        );
     }
 }
 
@@ -67,7 +71,9 @@ fn registration_is_required_and_durable() {
     let mut authn = PianoAuthenticator::new(PianoConfig::default());
     assert!(!authn.is_registered(&a, &v));
     let mut field = AcousticField::new(Environment::office(), 403);
-    assert!(!authn.authenticate(&mut field, &a, &v, 0.0, &mut rng).is_granted());
+    assert!(!authn
+        .authenticate(&mut field, &a, &v, 0.0, &mut rng)
+        .is_granted());
 
     authn.register(&a, &v, &mut rng);
     assert!(authn.is_registered(&a, &v));
@@ -87,7 +93,9 @@ fn threshold_separates_grant_from_too_far() {
     authn.set_threshold_m(0.5);
     let mut field = AcousticField::new(Environment::anechoic(), 501);
     match authn.authenticate(&mut field, &a, &v, 0.0, &mut rng) {
-        AuthDecision::Denied { reason: DenialReason::TooFar { distance_m } } => {
+        AuthDecision::Denied {
+            reason: DenialReason::TooFar { distance_m },
+        } => {
             assert!((distance_m - 1.5).abs() < 0.3);
         }
         other => panic!("expected TooFar: {other:?}"),
@@ -99,7 +107,10 @@ fn full_protocol_is_deterministic() {
     let run = || {
         let (mut authn, a, v, mut rng) = pairings(1.0, 600);
         let mut field = AcousticField::new(Environment::street(), 601);
-        format!("{:?}", authn.authenticate(&mut field, &a, &v, 0.0, &mut rng))
+        format!(
+            "{:?}",
+            authn.authenticate(&mut field, &a, &v, 0.0, &mut rng)
+        )
     };
     assert_eq!(run(), run());
 }

@@ -99,12 +99,9 @@ proptest! {
     /// the power rule `n·amplitude = 32000` holds exactly.
     #[test]
     fn signal_construction_invariants(seed in 0u64..10_000, uniform in any::<bool>()) {
-        let mut config = ActionConfig::default();
-        config.sampler = if uniform {
-            SignalSampler::UniformSubset
-        } else {
-            SignalSampler::TwoStage
-        };
+        let sampler =
+            if uniform { SignalSampler::UniformSubset } else { SignalSampler::TwoStage };
+        let config = ActionConfig { sampler, ..ActionConfig::default() };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let sig = ReferenceSignal::random(&config, &mut rng);
         prop_assert!(sig.n_tones() >= 1);

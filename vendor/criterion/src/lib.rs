@@ -1,0 +1,348 @@
+//! Offline vendored mini-criterion.
+//!
+//! Provides the subset of the `criterion` API the workspace's bench
+//! targets use — [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`, and
+//! [`Bencher::iter`]/[`Bencher::iter_batched`] — backed by a simple
+//! wall-clock measurement loop (warmup, then `sample_size` samples of an
+//! adaptively chosen iteration count; the median per-iteration time is
+//! reported).
+//!
+//! Extensions over upstream (used by `piano-bench`):
+//!
+//! * [`Criterion::results`] exposes the measurements taken so far;
+//! * [`Criterion::export_json`] writes them as machine-readable JSON —
+//!   how `BENCH_micro.json` is produced.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// vendored harness always materializes one input per routine call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One benchmark's measurement summary.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark under the default sample size.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_bench(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group whose benches share a sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All measurements taken so far (vendored extension).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes all measurements as pretty JSON (vendored extension).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from writing `path`.
+    pub fn export_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.id, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(path, out)
+    }
+
+    fn run_bench<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median_ns = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let mean_ns = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        let min_ns = sorted.first().copied().unwrap_or(0.0);
+        println!(
+            "{id:<40} time: [median {} | mean {} | min {}] ({} samples x {} iters)",
+            format_ns(median_ns),
+            format_ns(mean_ns),
+            format_ns(min_ns),
+            sorted.len(),
+            bencher.iters_per_sample,
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            mean_ns,
+            min_ns,
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A benchmark group sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group as `group/name`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_bench(format!("{}/{}", self.name, id), sample_size, f);
+        self
+    }
+
+    /// Ends the group (bookkeeping only).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+/// Total wall-clock budget per benchmark (warmup + measurement).
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_iters < 3 || (warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 10_000) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let iters = (SAMPLE_TARGET.as_secs_f64() / est_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_secs_f64() * 1e9 / iters as f64);
+            if measure_start.elapsed() > MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.iters_per_sample = iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        let mut routine_ns = 0.0f64;
+        while warm_iters < 3 || (warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 10_000) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            routine_ns += t0.elapsed().as_secs_f64() * 1e9;
+            warm_iters += 1;
+        }
+        let est_iter = routine_ns / warm_iters as f64 / 1e9;
+
+        let iters = (SAMPLE_TARGET.as_secs_f64() / est_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed();
+            }
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+            if measure_start.elapsed() > MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.iters_per_sample = iters;
+    }
+}
+
+/// Bundles bench functions into a runnable group (vendored form of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (vendored form of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "noop");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.samples > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(4);
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/inner");
+        assert!(c.results()[0].samples <= 4);
+    }
+
+    #[test]
+    fn export_json_writes_parsable_output() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            results: Vec::new(),
+        };
+        c.bench_function("x", |b| b.iter(|| 0));
+        let dir = std::env::temp_dir().join("criterion_stub_test.json");
+        c.export_json(&dir).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"id\": \"x\""));
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,63 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Inclusive length bounds for [`vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy generating `Vec`s of values from an element strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors whose elements come from `element` and whose length lies in
+/// `size` (a fixed `usize`, `Range`, or `RangeInclusive`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

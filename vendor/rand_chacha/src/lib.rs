@@ -1,0 +1,169 @@
+//! Offline vendored `ChaCha8Rng`: a real ChaCha stream cipher (8 rounds)
+//! driving the workspace's [`rand::RngCore`] trait.
+//!
+//! The block function is the standard ChaCha quarter-round network
+//! (Bernstein; RFC 8439 layout) with a 64-bit block counter and zero
+//! nonce, keyed by the 32-byte seed. Output bytes are the little-endian
+//! serialization of the post-addition state, consumed sequentially —
+//! the same layout `rand_chacha` uses.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher with 8 rounds, used as a deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state[4..12]).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current 64-byte output block.
+    block: [u8; 64],
+    /// Bytes of `block` already consumed.
+    used: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] is the (zero) nonce.
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (i, (s, init)) in state.iter().zip(&initial).enumerate() {
+            self.block[4 * i..4 * i + 4].copy_from_slice(&s.wrapping_add(*init).to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.used = 0;
+    }
+
+    #[inline]
+    fn take_bytes<const N: usize>(&mut self) -> [u8; N] {
+        debug_assert!(N <= 64);
+        if self.used + N > 64 {
+            self.refill();
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.block[self.used..self.used + N]);
+        self.used += N;
+        out
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0u8; 64],
+            used: 64,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes::<4>())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes::<8>())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.used >= 64 {
+                self.refill();
+            }
+            let n = (dest.len() - filled).min(64 - self.used);
+            dest[filled..filled + n].copy_from_slice(&self.block[self.used..self.used + n]);
+            self.used += n;
+            filled += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1234);
+        let mut b = ChaCha8Rng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(1235);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut bytes = [0u8; 24];
+        a.fill_bytes(&mut bytes);
+        let mut expect = [0u8; 24];
+        for chunk in expect.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&b.next_u64().to_le_bytes());
+        }
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn crosses_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut big = vec![0u8; 1000];
+        rng.fill_bytes(&mut big);
+        assert!(big.iter().any(|&b| b != 0));
+        // Mean byte value of a uniform stream sits near 127.5.
+        let mean = big.iter().map(|&b| b as f64).sum::<f64>() / big.len() as f64;
+        assert!((100.0..155.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_floats_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline vendored `serde` facade.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the small serialization surface the workspace actually uses: a
+//! [`Serialize`] trait that lowers values to a JSON [`Value`] tree (which
+//! the vendored `serde_json` renders), a marker [`Deserialize`] trait, and
+//! `#[derive(Serialize, Deserialize)]` macros from the sibling
+//! `serde_derive` crate (plain structs, tuple structs, and unit-variant
+//! enums — exactly the shapes this workspace derives on).
+
+// Lets the `::serde::` paths emitted by the derive macros resolve when the
+// derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the intermediate representation [`Serialize`]
+/// lowers into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so `u64::MAX` survives).
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves to a JSON [`Value`].
+pub trait Serialize {
+    /// Produces the JSON value tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait mirroring `serde::Deserialize`; the workspace never
+/// deserializes, so this carries no methods.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3i32.to_json_value(), Value::Int(3));
+        assert_eq!(3u64.to_json_value(), Value::UInt(3));
+        assert_eq!(1.5f64.to_json_value(), Value::Float(1.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_string().to_json_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_recurse() {
+        let v = vec![1u8, 2];
+        assert_eq!(
+            v.to_json_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        let pair = (1u8, "a".to_string());
+        assert_eq!(
+            pair.to_json_value(),
+            Value::Array(vec![Value::UInt(1), Value::String("a".into())])
+        );
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derive_handles_workspace_shapes() {
+        let n = Named { a: 1, b: 2.5 };
+        assert_eq!(
+            n.to_json_value(),
+            Value::Object(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::Float(2.5)),
+            ])
+        );
+        assert_eq!(Newtype(9).to_json_value(), Value::UInt(9));
+        assert_eq!(Kind::Alpha.to_json_value(), Value::String("Alpha".into()));
+        assert_eq!(Kind::Beta.to_json_value(), Value::String("Beta".into()));
+    }
+}

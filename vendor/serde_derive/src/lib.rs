@@ -1,0 +1,296 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! No `syn`/`quote` are available offline, so the derive input is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — the
+//! only ones this workspace derives on — are:
+//!
+//! * structs with named fields → JSON object, field order preserved;
+//! * tuple structs: one field → the inner value (newtype convention),
+//!   several → JSON array;
+//! * enums whose variants are all unit variants → JSON string of the
+//!   variant name (serde's external tagging for unit variants).
+//!
+//! Generic types and data-carrying enum variants are rejected with a
+//! compile-time panic naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input.
+enum Shape {
+    /// Named-field struct with its field names.
+    Struct(Vec<String>),
+    /// Tuple struct with its field count.
+    Tuple(usize),
+    /// Enum with its unit-variant names.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips one `#[...]` attribute if present at `tokens[i]`; returns the new
+/// index.
+fn skip_attribute(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '#' {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Bracket {
+                    return i + 1;
+                }
+            }
+            panic!("serde_derive: malformed attribute");
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let next = skip_attribute(&tokens, i);
+        if next == i {
+            break;
+        }
+        i = next;
+    }
+    // Visibility: `pub` with optional `(...)`.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// Extracts field names from a named-field struct body, tolerating
+/// attributes, visibility, and generic types in field positions.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        loop {
+            let next = skip_attribute(&tokens, i);
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: advance to the next comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut angle: i32 = 0;
+    let mut pending = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    count + usize::from(pending)
+}
+
+/// Extracts variant names from an enum body, asserting every variant is a
+/// unit variant (optionally with a discriminant).
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        loop {
+            let next = skip_attribute(&tokens, i);
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                panic!("serde_derive: expected variant name in `{enum_name}`, found {other:?}")
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip the discriminant expression up to the next comma.
+                i += 1;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(q) = &tokens[i] {
+                        if q.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push(variant);
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive (vendored): enum `{enum_name}` has a data-carrying variant \
+                 `{variant}`, which is not supported"
+            ),
+            other => panic!("serde_derive: unexpected token after variant `{variant}`: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn serialize_impl(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!("::serde::Value::String(::std::string::String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (JSON-value lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    serialize_impl(&parsed)
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}

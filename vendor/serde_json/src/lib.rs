@@ -1,0 +1,160 @@
+//! Offline vendored `serde_json`: renders the vendored [`serde::Value`]
+//! tree as JSON text. Only the serialization surface the workspace uses
+//! ([`to_string`], [`to_string_pretty`]) is provided.
+
+pub use serde::Value;
+
+/// Serialization error. Rendering a [`Value`] tree cannot actually fail,
+/// so this type exists only to satisfy `Result`-shaped call sites.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; upstream serde_json errors, we degrade
+        // to null so archival reports never abort mid-experiment.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{:.1}", x));
+    } else {
+        out.push_str(&format!("{}", x));
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (open_sep, close_sep, item_sep) = match indent {
+        Some(w) => (
+            format!("\n{}", " ".repeat(w * (depth + 1))),
+            format!("\n{}", " ".repeat(w * depth)),
+            format!(",\n{}", " ".repeat(w * (depth + 1))),
+        ),
+        None => (String::new(), String::new(), ",".to_string()),
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => render_float(*x, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            out.push_str(&open_sep);
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(&item_sep);
+                }
+                render(item, indent, depth + 1, out);
+            }
+            out.push_str(&close_sep);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            out.push_str(&open_sep);
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(&item_sep);
+                }
+                escape_into(k, out);
+                out.push_str(": ");
+                render(v, indent, depth + 1, out);
+            }
+            out.push_str(&close_sep);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(-3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a": -3,"b": [true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::UInt(1)]))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"x\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_render_as_valid_json() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+}
