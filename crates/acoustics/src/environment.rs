@@ -1,7 +1,7 @@
 //! Environment presets.
 //!
 //! The paper evaluates PIANO "in a shared office, at home, on the street,
-//! and in a restaurant … represent[ing] different levels of background
+//! and in a restaurant … represent\[ing\] different levels of background
 //! noises" (Sec. VI-B1). An [`Environment`] bundles everything that varies
 //! between those places: the noise profile, the air temperature (speed of
 //! sound), and the room's early-reflection statistics.

@@ -96,7 +96,8 @@ mod tests {
     use super::*;
     use piano_acoustics::Environment;
     use piano_core::device::Device;
-    use piano_core::piano::{PianoAuthenticator, PianoConfig};
+    use piano_core::piano::PianoConfig;
+    use piano_core::stream::AuthService;
     use rand::SeedableRng;
 
     /// Full-stack attempt: user away (6 m), attacker blankets the
@@ -105,7 +106,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
         let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), seed + 2);
-        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        let mut authn = AuthService::new(PianoConfig::default());
         authn.register(&auth_dev, &vouch_dev, &mut rng);
         let mut field = AcousticField::new(Environment::office(), seed ^ 0xD00D);
         let attacker =
@@ -118,7 +119,7 @@ mod tests {
             AllFrequencyAttacker::near(vouch_dev.position).with_tone_amplitude(tone_amplitude);
         attacker2.inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
         authn
-            .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+            .authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
             .is_granted()
     }
 
@@ -165,14 +166,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let auth_dev = Device::phone(1, Position::ORIGIN, 31);
         let vouch_dev = Device::phone(2, Position::new(0.5, 0.0, 0.0), 32);
-        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        let mut authn = AuthService::new(PianoConfig::default());
         authn.register(&auth_dev, &vouch_dev, &mut rng);
         let mut field = AcousticField::new(Environment::office(), 0xCAFE);
         let cfg = authn.config().action.clone();
         AllFrequencyAttacker::near(auth_dev.position)
             .with_tone_amplitude(8_000.0)
             .inject(&mut field, &cfg, 0.0, 3.0, &mut rng);
-        let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+        let decision = authn.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
         assert!(!decision.is_granted());
     }
 }

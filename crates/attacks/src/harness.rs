@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 
 use piano_acoustics::{AcousticField, Environment, Position};
 use piano_core::device::Device;
-use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
+use piano_core::piano::{AuthDecision, DenialReason, PianoConfig};
+use piano_core::stream::AuthService;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -124,7 +125,7 @@ fn run_one(
         Position::new(vouch_distance_m, 0.0, 0.0),
         seed.wrapping_add(0x22),
     );
-    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    let mut authn = AuthService::new(PianoConfig::default());
     authn.register(&auth_dev, &vouch_dev, &mut rng);
     let mut field = AcousticField::new(environment, seed.wrapping_mul(0x1234_5677).wrapping_add(9));
     let config = authn.config().action.clone();
@@ -149,7 +150,7 @@ fn run_one(
         }
     }
 
-    let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+    let decision = authn.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
     AttackOutcome {
         granted: decision.is_granted(),
         decision,

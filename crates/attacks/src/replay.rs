@@ -132,23 +132,16 @@ mod tests {
     use super::*;
     use piano_acoustics::Environment;
     use piano_core::device::Device;
-    use piano_core::piano::{AuthDecision, PianoAuthenticator, PianoConfig};
+    use piano_core::piano::{AuthDecision, PianoConfig};
+    use piano_core::stream::AuthService;
     use rand::SeedableRng;
 
     /// Scenario: user away (vouch at 6 m), attacker flanks both devices.
-    fn scenario(
-        seed: u64,
-    ) -> (
-        PianoAuthenticator,
-        Device,
-        Device,
-        AcousticField,
-        ChaCha8Rng,
-    ) {
+    fn scenario(seed: u64) -> (AuthService, Device, Device, AcousticField, ChaCha8Rng) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
         let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), seed + 2);
-        let mut authenticator = PianoAuthenticator::new(PianoConfig::default());
+        let mut authenticator = AuthService::new(PianoConfig::default());
         authenticator.register(&auth_dev, &vouch_dev, &mut rng);
         let field = AcousticField::new(Environment::office(), seed ^ 0xBEE);
         (authenticator, auth_dev, vouch_dev, field, rng)
@@ -168,7 +161,8 @@ mod tests {
                 start_cmd,
                 &mut attacker_rng,
             );
-            let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+            let decision =
+                authn.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
             assert!(
                 !decision.is_granted(),
                 "seed {seed}: replay succeeded: {decision:?}"
@@ -188,7 +182,7 @@ mod tests {
         let mut vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), 79);
         auth_dev.latency = piano_acoustics::latency::LatencyModel::ideal();
         vouch_dev.latency = piano_acoustics::latency::LatencyModel::ideal();
-        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        let mut authn = AuthService::new(PianoConfig::default());
         authn.register(&auth_dev, &vouch_dev, &mut rng);
         let mut field = AcousticField::new(Environment::office(), 77 ^ 0xBEE);
         let config = authn.config().action.clone();
@@ -200,7 +194,7 @@ mod tests {
         let attacker = ReplayAttacker::flanking(auth_dev.position, vouch_dev.position)
             .with_assumed_latency(0.0);
         attacker.inject_signals(&mut field, &config, 0.035, &sa, &sv);
-        let decision = authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
+        let decision = authn.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng);
         match decision {
             AuthDecision::Granted { distance_m } => {
                 assert!(
@@ -228,7 +222,7 @@ mod tests {
             let attacker = ReplayAttacker::flanking(auth_dev.position, vouch_dev.position);
             attacker.inject_signals(&mut field, &config, 0.035, &sa, &sv);
             if authn
-                .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+                .authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
                 .is_granted()
             {
                 grants += 1;

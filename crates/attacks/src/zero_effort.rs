@@ -11,7 +11,8 @@
 
 use piano_acoustics::{AcousticField, Environment, Position};
 use piano_core::device::Device;
-use piano_core::piano::{AuthDecision, PianoAuthenticator};
+use piano_core::piano::AuthDecision;
+use piano_core::stream::AuthService;
 use rand_chacha::ChaCha8Rng;
 
 /// The geometry of a zero-effort attempt: the legitimate user (and the
@@ -43,7 +44,7 @@ pub fn attempt(
     seed: u64,
     rng: &mut ChaCha8Rng,
 ) -> AuthDecision {
-    let mut authenticator = PianoAuthenticator::new(piano_core::piano::PianoConfig::default());
+    let mut authenticator = AuthService::new(piano_core::piano::PianoConfig::default());
     let auth_dev = Device::phone(1, Position::ORIGIN, seed.wrapping_add(17));
     let vouch_dev = Device::phone(
         2,
@@ -52,7 +53,7 @@ pub fn attempt(
     );
     authenticator.register(&auth_dev, &vouch_dev, rng);
     let mut field = AcousticField::new(environment, seed.wrapping_mul(0x9E37).wrapping_add(3));
-    authenticator.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, rng)
+    authenticator.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, rng)
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! plus the headline speedup ratios, so the perf trajectory is archived
 //! per commit.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -14,6 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use piano_core::config::ActionConfig;
 use piano_core::detect::{Detector, ScanMode, SignalSignature};
 use piano_core::signal::ReferenceSignal;
+use piano_core::stream::StreamingDetector;
 use piano_dsp::fft::{fft_real_padded, FftPlan, RealFftPlan};
 use piano_dsp::Complex64;
 
@@ -75,7 +78,47 @@ fn bench_micro(c: &mut Criterion) {
     group.bench_function("algorithm1_scan_2s_parallel", |b| {
         b.iter(|| detector.detect_many_parallel(&recording, &[&signature]))
     });
+
+    // Streaming scans over the same recording. `stream_scan_2s` consumes
+    // the whole buffer in audio-callback chunks and finishes (equivalent
+    // result to `algorithm1_scan_2s`); `stream_to_decision` stops at the
+    // first provisional detection — the latency-to-decision a live device
+    // experiences, reached well before `recording_len()` samples.
+    let shared = Arc::new(detector.clone());
+    group.bench_function("stream_scan_2s", |b| {
+        b.iter(|| {
+            let mut s = StreamingDetector::new(Arc::clone(&shared), vec![signature.clone()]);
+            for chunk in recording.chunks(1024) {
+                let _ = s.push(chunk);
+            }
+            s.finish()
+        })
+    });
+    group.bench_function("stream_to_decision", |b| {
+        b.iter(|| {
+            let mut s = StreamingDetector::new(Arc::clone(&shared), vec![signature.clone()]);
+            for chunk in recording.chunks(1024) {
+                if !s.push(chunk).is_empty() {
+                    break;
+                }
+            }
+            s.samples_consumed()
+        })
+    });
     group.finish();
+
+    // Samples-to-decision for the summary (deterministic, measured once).
+    let samples_to_decision = {
+        let mut s = StreamingDetector::new(Arc::clone(&shared), vec![signature.clone()]);
+        let mut at = recording.len();
+        for chunk in recording.chunks(1024) {
+            if !s.push(chunk).is_empty() {
+                at = s.samples_consumed();
+                break;
+            }
+        }
+        at
+    };
 
     // Step I synthesis.
     c.bench_function("reference_signal_synthesis", |b| {
@@ -111,11 +154,11 @@ fn bench_micro(c: &mut Criterion) {
         )
     });
 
-    export_summary(c);
+    export_summary(c, samples_to_decision, recording.len());
 }
 
 /// Writes `BENCH_micro.json` with raw measurements and headline speedups.
-fn export_summary(c: &Criterion) {
+fn export_summary(c: &Criterion, samples_to_decision: usize, recording_len: usize) {
     // Workspace root, two levels up from this crate's manifest.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -139,9 +182,15 @@ fn export_summary(c: &Criterion) {
         median("detection/algorithm1_scan_2s_naive") / median("detection/algorithm1_scan_2s");
     let parallel_speedup = median("detection/algorithm1_scan_2s_naive")
         / median("detection/algorithm1_scan_2s_parallel");
+    let decision_speedup =
+        median("detection/algorithm1_scan_2s") / median("detection/stream_to_decision");
     println!("fft_4096 speedup over naive: {fft_speedup:.2}x");
     println!("algorithm1_scan_2s speedup over naive: {scan_speedup:.2}x");
     println!("algorithm1_scan_2s parallel speedup over naive: {parallel_speedup:.2}x");
+    println!(
+        "streaming decision after {samples_to_decision}/{recording_len} samples, \
+         {decision_speedup:.2}x faster than the full-buffer scan"
+    );
     // Splice the headline ratios into the top-level JSON object — strip
     // exactly the final closing brace, never more.
     if let Ok(text) = std::fs::read_to_string(path) {
@@ -149,7 +198,12 @@ fn export_summary(c: &Criterion) {
             let patched = format!(
                 "{body},  \"speedups\": {{\"fft_4096_vs_naive\": {fft_speedup:.3}, \
                  \"algorithm1_scan_2s_vs_naive\": {scan_speedup:.3}, \
-                 \"algorithm1_scan_2s_parallel_vs_naive\": {parallel_speedup:.3}}}\n}}\n"
+                 \"algorithm1_scan_2s_parallel_vs_naive\": {parallel_speedup:.3}, \
+                 \"stream_to_decision_vs_full_scan\": {decision_speedup:.3}}},\n  \
+                 \"streaming\": {{\"samples_to_decision\": {samples_to_decision}, \
+                 \"recording_len\": {recording_len}, \
+                 \"decision_before_full_buffer\": {}}}\n}}\n",
+                samples_to_decision < recording_len
             );
             let _ = std::fs::write(path, patched);
         }

@@ -20,6 +20,14 @@
 //! The returned [`ActionOutcome`] carries the estimate (or
 //! [`DistanceEstimate::SignalAbsent`]) plus diagnostics used by the
 //! efficiency models and by the evaluation harness.
+//!
+//! Since the streaming redesign, the protocol logic itself lives in the
+//! sans-IO [`crate::stream::AuthSession`] state machines;
+//! [`run_session_pair`] is the canonical driver wiring a pair of them to
+//! the simulated radio and acoustics, and [`run_action`] /
+//! [`run_action_with`] are thin compatibility wrappers over it.
+
+use std::sync::Arc;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -29,12 +37,12 @@ use piano_bluetooth::channel::SecureChannel;
 use piano_bluetooth::{BluetoothLink, PairingRegistry};
 
 use crate::config::ActionConfig;
-use crate::detect::{Detector, SignalSignature};
+use crate::detect::Detector;
 use crate::device::Device;
 use crate::error::PianoError;
-use crate::ranging::{estimate_distance, LocationDiffs};
 use crate::signal::ReferenceSignal;
-use crate::wire::{Message, SignalSpec};
+use crate::stream::AuthSession;
+use crate::wire::Message;
 
 /// The protocol's distance verdict.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -129,8 +137,8 @@ pub fn run_action(
     rng: &mut ChaCha8Rng,
 ) -> Result<ActionOutcome, PianoError> {
     config.validate()?;
-    let detector = Detector::new(config);
-    run_action_with(
+    let detector = Arc::new(Detector::new(config));
+    run_session_pair(
         &detector,
         field,
         link,
@@ -145,10 +153,10 @@ pub fn run_action(
 /// [`run_action`] with a caller-provided [`Detector`].
 ///
 /// Building a detector allocates FFT plans and window tables; callers that
-/// authenticate repeatedly (the [`crate::piano::PianoAuthenticator`],
-/// continuous sessions, trial harnesses) should construct one detector per
-/// configuration and reuse it — it is `Sync`, so one instance can also
-/// serve concurrent sessions.
+/// authenticate repeatedly should reuse one detector per configuration.
+/// This wrapper clones `detector` into an `Arc` and delegates to
+/// [`run_session_pair`]; the clone is O(1) (detectors share their plan
+/// memory behind an `Arc`), so per-call reuse semantics are preserved.
 ///
 /// # Errors
 ///
@@ -164,6 +172,46 @@ pub fn run_action_with(
     now_world_s: f64,
     rng: &mut ChaCha8Rng,
 ) -> Result<ActionOutcome, PianoError> {
+    let detector = Arc::new(detector.clone());
+    run_session_pair(
+        &detector,
+        field,
+        link,
+        registry,
+        auth,
+        vouch,
+        now_world_s,
+        rng,
+    )
+}
+
+/// The canonical protocol driver: runs the complete ACTION exchange by
+/// wiring two sans-IO [`AuthSession`] state machines
+/// ([`crate::stream`]) to the simulated substrates — the secure channel
+/// and radio for Step II/V, the devices' speakers and microphones for
+/// Step III. All protocol logic (signal drawing, reconstruction,
+/// detection, Eq. 3) lives in the sessions; this function only moves
+/// bytes and samples.
+///
+/// RNG order, wire traffic, and results are identical to the historical
+/// monolithic implementation: the authenticator session draws
+/// `(session, S_A, S_V)` via [`draw_session_signals`] and the sessions'
+/// end-of-stream scans are bit-identical to [`Detector::detect_many`].
+///
+/// # Errors
+///
+/// Same as [`run_action`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_pair(
+    detector: &Arc<Detector>,
+    field: &mut AcousticField,
+    link: &mut BluetoothLink,
+    registry: &PairingRegistry,
+    auth: &Device,
+    vouch: &Device,
+    now_world_s: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<ActionOutcome, PianoError> {
     let config = detector.config();
     let bytes_before = link.total_bytes();
     let msgs_before = link.message_count();
@@ -171,31 +219,21 @@ pub fn run_action_with(
     // Secure channel endpoints over the bonded link key.
     let key = registry.key_for(auth.id, vouch.id)?;
 
-    // ── Step I: construct the randomized reference signals. ──────────────
-    let (session, sa, sv) = draw_session_signals(config, rng);
+    // ── Step I: the authenticator session draws the randomized signals. ──
+    let mut session_a = AuthSession::authenticator_with(Arc::clone(detector), f64::INFINITY, rng);
+    let session = session_a.session_id();
     let mut chan_auth = SecureChannel::new(key, session << 8);
     let mut chan_vouch = SecureChannel::new(key, (session << 8) | 0x80);
 
-    // ── Step II: transmit both to the vouching device. ───────────────────
-    let msg = Message::ReferenceSignals {
-        session,
-        sa: SignalSpec::of(&sa),
-        sv: SignalSpec::of(&sv),
-    };
+    // ── Step II: transmit the challenge to the vouching device. ──────────
+    let msg = session_a
+        .poll_transmit()
+        .expect("authenticator queues its challenge at construction");
     let frame = chan_auth.seal(&msg.encode());
     let arrival_s = link.transmit(now_world_s, &auth.position, &vouch.position, &frame)?;
     let opened = chan_vouch.open(&frame)?;
-    let decoded = Message::decode(&opened)?;
-    let (sv_rx, sa_rx) = match decoded {
-        Message::ReferenceSignals { sa, sv, .. } => {
-            (sv.reconstruct(config)?, sa.reconstruct(config)?)
-        }
-        other => {
-            return Err(PianoError::Wire(format!(
-                "expected ReferenceSignals, got {other:?}"
-            )))
-        }
-    };
+    let mut session_v = AuthSession::voucher_with(Arc::clone(detector));
+    session_v.handle_message(Message::decode(&opened)?)?;
 
     // ── Step III: record on both devices; play S_A then S_V. ─────────────
     // The signals message doubles as the start command: both devices act at
@@ -203,14 +241,18 @@ pub fn run_action_with(
     let start_cmd = arrival_s;
     auth.play(
         field,
-        &sa.waveform(),
+        &session_a
+            .playback_waveform()
+            .expect("authenticator knows S_A"),
         start_cmd + config.play_offset_auth_s,
         config.sample_rate,
         rng,
     );
     vouch.play(
         field,
-        &sv_rx.waveform(),
+        &session_v
+            .playback_waveform()
+            .expect("challenged voucher knows S_V"),
         start_cmd + config.play_offset_vouch_s,
         config.sample_rate,
         rng,
@@ -230,29 +272,16 @@ pub fn run_action_with(
         rng,
     );
 
-    // ── Step IV: detect both signals in both recordings. ─────────────────
-    let sig_a = SignalSignature::of(&sa, config);
-    let sig_v = SignalSignature::of(&sv, config);
-    let scan_auth = detector.detect_many(rec_auth.samples(), &[&sig_a, &sig_v]);
-    // V uses its received copies (identical content, honest devices).
-    let sig_a_rx = SignalSignature::of(&sa_rx, config);
-    let sig_v_rx = SignalSignature::of(&sv_rx, config);
-    let scan_vouch = detector.detect_many(rec_vouch.samples(), &[&sig_a_rx, &sig_v_rx]);
-
-    let loc_aa = scan_auth.detections[0].location();
-    let loc_av = scan_auth.detections[1].location();
-    let loc_va = scan_vouch.detections[0].location();
-    let loc_vv = scan_vouch.detections[1].location();
+    // ── Step IV: both sessions scan their own recordings. ────────────────
+    let _ = session_a.push_audio(rec_auth.samples());
+    let _ = session_a.finish_audio();
+    let _ = session_v.push_audio(rec_vouch.samples());
+    let _ = session_v.finish_audio();
 
     // ── Step V: V reports its local difference (or absence). ─────────────
-    let vouch_diff = match (loc_va, loc_vv) {
-        (Some(va), Some(vv)) => Some(vv as f64 - va as f64),
-        _ => None,
-    };
-    let report = Message::TimeDiffReport {
-        session,
-        vouch_diff_samples: vouch_diff,
-    };
+    let report = session_v
+        .poll_transmit()
+        .expect("finished voucher queues its report");
     let report_frame = chan_vouch.seal(&report.encode());
     link.transmit(
         start_cmd + config.recording_duration_s,
@@ -261,46 +290,26 @@ pub fn run_action_with(
         &report_frame,
     )?;
     let report_opened = chan_auth.open(&report_frame)?;
-    let report_decoded = Message::decode(&report_opened)?;
-    let vouch_diff = match report_decoded {
-        Message::TimeDiffReport {
-            vouch_diff_samples, ..
-        } => vouch_diff_samples,
-        other => {
-            return Err(PianoError::Wire(format!(
-                "expected TimeDiffReport, got {other:?}"
-            )))
-        }
-    };
+    let _ = session_a.handle_message(Message::decode(&report_opened)?)?;
 
-    // ── Step VI: combine (Eq. 3). ─────────────────────────────────────────
-    let estimate = match (loc_aa, loc_av, vouch_diff) {
-        (Some(aa), Some(av), Some(vd)) => {
-            let diffs = LocationDiffs {
-                auth_diff_samples: av as f64 - aa as f64,
-                vouch_diff_samples: vd,
-            };
-            DistanceEstimate::Measured(estimate_distance(
-                &diffs,
-                config.sample_rate,
-                config.sample_rate,
-                config.assumed_speed_of_sound,
-            ))
-        }
-        _ => DistanceEstimate::SignalAbsent,
-    };
+    // ── Step VI: the authenticator session has combined Eq. 3. ───────────
+    let estimate = session_a
+        .estimate()
+        .expect("report + locations decide the session");
+    let (det_aa, det_av) = session_a.locations().expect("scan finished");
+    let (det_va, det_vv) = session_v.locations().expect("scan finished");
 
     Ok(ActionOutcome {
         estimate,
         diagnostics: ActionDiagnostics {
-            locations_auth: loc_aa.zip(loc_av),
-            locations_vouch: loc_va.zip(loc_vv),
-            ffts_auth: scan_auth.ffts_used,
-            ffts_vouch: scan_vouch.ffts_used,
+            locations_auth: det_aa.location().zip(det_av.location()),
+            locations_vouch: det_va.location().zip(det_vv.location()),
+            ffts_auth: session_a.scan_ffts(),
+            ffts_vouch: session_v.scan_ffts(),
             bluetooth_bytes: link.total_bytes() - bytes_before,
             bluetooth_messages: link.message_count() - msgs_before,
             recording_len: rec_auth.len(),
-            tone_counts: (sa.n_tones(), sv.n_tones()),
+            tone_counts: session_a.tone_counts().expect("authenticator knows both"),
         },
     })
 }

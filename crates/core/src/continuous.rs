@@ -6,8 +6,11 @@
 //! unlock time, the authenticating device re-verifies proximity on a
 //! schedule and locks as soon as the vouching device leaves.
 //!
-//! [`ContinuousSession`] implements that policy loop on top of
-//! [`PianoAuthenticator`]: a sliding window of recent decisions with a
+//! [`ContinuousSession`] implements that policy loop on top of the
+//! multi-tenant [`crate::stream::AuthService`] (via
+//! [`ContinuousSession::recheck_via`]; the historical
+//! [`PianoAuthenticator`] entry point remains as a deprecated shim): a
+//! sliding window of recent decisions with a
 //! configurable lock-out rule (`k` consecutive denials lock the session,
 //! absorbing occasional false rejections so the user isn't locked out by
 //! one noisy measurement — the FRR/FAR trade-off of Tables I/II composed
@@ -28,6 +31,7 @@ use piano_acoustics::AcousticField;
 
 use crate::device::Device;
 use crate::piano::{AuthDecision, PianoAuthenticator};
+use crate::stream::AuthService;
 
 /// Session policy: how many consecutive denials lock the session.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -109,11 +113,15 @@ impl ContinuousSession {
     }
 
     /// Runs one scheduled re-verification (regardless of `due`; callers
-    /// normally gate on it). Returns the new state.
+    /// normally gate on it) against a multi-tenant [`AuthService`].
+    /// Returns the new state.
+    ///
+    /// One service re-verifies any number of continuous sessions: the
+    /// detector, pairing registry, and link are shared across all of them.
     #[allow(clippy::too_many_arguments)]
-    pub fn recheck(
+    pub fn recheck_via(
         &mut self,
-        authenticator: &mut PianoAuthenticator,
+        service: &mut AuthService,
         field: &mut AcousticField,
         auth_device: &Device,
         vouch_device: &Device,
@@ -125,7 +133,7 @@ impl ContinuousSession {
         }
         self.checks += 1;
         self.next_check_s = now_s + self.policy.recheck_period_s;
-        match authenticator.authenticate(field, auth_device, vouch_device, now_s, rng) {
+        match service.authenticate_pair(field, auth_device, vouch_device, now_s, rng) {
             AuthDecision::Granted { .. } => {
                 self.consecutive_denials = 0;
             }
@@ -138,6 +146,32 @@ impl ContinuousSession {
         }
         self.state
     }
+
+    /// [`Self::recheck_via`] through the single-pair
+    /// [`PianoAuthenticator`] wrapper.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use recheck_via with a stream::AuthService (this shim delegates to it verbatim)"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn recheck(
+        &mut self,
+        authenticator: &mut PianoAuthenticator,
+        field: &mut AcousticField,
+        auth_device: &Device,
+        vouch_device: &Device,
+        now_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> SessionState {
+        self.recheck_via(
+            authenticator.as_service_mut(),
+            field,
+            auth_device,
+            vouch_device,
+            now_s,
+            rng,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -147,22 +181,23 @@ mod tests {
     use piano_acoustics::{Environment, Position};
     use rand::SeedableRng;
 
-    fn setup(distance_m: f64) -> (PianoAuthenticator, Device, Device, ChaCha8Rng) {
+    fn setup(distance_m: f64) -> (AuthService, Device, Device, ChaCha8Rng) {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let a = Device::phone(1, Position::ORIGIN, 1);
         let v = Device::phone(2, Position::new(distance_m, 0.0, 0.0), 2);
-        let mut authn = PianoAuthenticator::new(PianoConfig::default());
-        authn.register(&a, &v, &mut rng);
-        (authn, a, v, rng)
+        let mut service = AuthService::new(PianoConfig::default());
+        service.register(&a, &v, &mut rng);
+        (service, a, v, rng)
     }
 
     #[test]
     fn session_stays_active_while_user_present() {
-        let (mut authn, a, v, mut rng) = setup(0.5);
+        let (mut service, a, v, mut rng) = setup(0.5);
         let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
         for k in 0..3 {
             let mut field = AcousticField::new(Environment::office(), 100 + k);
-            let state = session.recheck(&mut authn, &mut field, &a, &v, k as f64 * 30.0, &mut rng);
+            let state =
+                session.recheck_via(&mut service, &mut field, &a, &v, k as f64 * 30.0, &mut rng);
             assert_eq!(state, SessionState::Active, "check {k}");
         }
         assert_eq!(session.checks(), 3);
@@ -170,15 +205,15 @@ mod tests {
 
     #[test]
     fn session_locks_when_user_leaves() {
-        let (mut authn, a, v, mut rng) = setup(0.5);
+        let (mut service, a, v, mut rng) = setup(0.5);
         let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
         // User walks away: re-position the vouching device far.
         let v_far = v.clone().at(Position::new(6.0, 0.0, 0.0));
         let mut states = Vec::new();
         for k in 0..2 {
             let mut field = AcousticField::new(Environment::office(), 200 + k);
-            states.push(session.recheck(
-                &mut authn,
+            states.push(session.recheck_via(
+                &mut service,
                 &mut field,
                 &a,
                 &v_far,
@@ -190,34 +225,51 @@ mod tests {
         // Locked sessions stay locked.
         let mut field = AcousticField::new(Environment::office(), 300);
         assert_eq!(
-            session.recheck(&mut authn, &mut field, &a, &v, 90.0, &mut rng),
+            session.recheck_via(&mut service, &mut field, &a, &v, 90.0, &mut rng),
             SessionState::Locked
         );
     }
 
     #[test]
     fn single_denial_does_not_lock_with_default_policy() {
-        let (mut authn, a, v, mut rng) = setup(0.5);
+        let (mut service, a, v, mut rng) = setup(0.5);
         let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
         let v_far = v.clone().at(Position::new(6.0, 0.0, 0.0));
         // One denial…
         let mut field = AcousticField::new(Environment::office(), 400);
         assert_eq!(
-            session.recheck(&mut authn, &mut field, &a, &v_far, 0.0, &mut rng),
+            session.recheck_via(&mut service, &mut field, &a, &v_far, 0.0, &mut rng),
             SessionState::Active
         );
         // …then the user returns: the denial streak resets.
         let mut field = AcousticField::new(Environment::office(), 401);
         assert_eq!(
-            session.recheck(&mut authn, &mut field, &a, &v, 30.0, &mut rng),
+            session.recheck_via(&mut service, &mut field, &a, &v, 30.0, &mut rng),
             SessionState::Active
         );
         let mut field = AcousticField::new(Environment::office(), 402);
         assert_eq!(
-            session.recheck(&mut authn, &mut field, &a, &v_far, 60.0, &mut rng),
+            session.recheck_via(&mut service, &mut field, &a, &v_far, 60.0, &mut rng),
             SessionState::Active,
             "streak must have reset"
         );
+    }
+
+    /// The deprecated wrapper entry point must keep working while callers
+    /// migrate to [`ContinuousSession::recheck_via`].
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_recheck_shim_still_verifies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = Device::phone(1, Position::ORIGIN, 1);
+        let v = Device::phone(2, Position::new(0.5, 0.0, 0.0), 2);
+        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        authn.register(&a, &v, &mut rng);
+        let mut session = ContinuousSession::open(SessionPolicy::default(), 0.0);
+        let mut field = AcousticField::new(Environment::office(), 100);
+        let state = session.recheck(&mut authn, &mut field, &a, &v, 0.0, &mut rng);
+        assert_eq!(state, SessionState::Active);
+        assert_eq!(session.checks(), 1);
     }
 
     #[test]

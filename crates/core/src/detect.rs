@@ -205,11 +205,13 @@ impl SparseClusters {
 /// The frequency-based signal detector.
 ///
 /// Holds only immutable plan data, so it is `Send + Sync`: one detector
-/// can be shared across authentication sessions and scan workers.
+/// can be shared across authentication sessions and scan workers. The
+/// analyzer (FFT plan + window tables) sits behind an `Arc`, so cloning a
+/// detector is O(1) — clones share the plan memory.
 #[derive(Debug, Clone)]
 pub struct Detector {
     config: ActionConfig,
-    analyzer: SpectrumAnalyzer,
+    analyzer: std::sync::Arc<SpectrumAnalyzer>,
 }
 
 impl Detector {
@@ -226,7 +228,10 @@ impl Detector {
             .expect("detector requires a valid configuration");
         Detector {
             config: config.clone(),
-            analyzer: SpectrumAnalyzer::new(config.signal_len, config.analysis_window),
+            analyzer: std::sync::Arc::new(SpectrumAnalyzer::new(
+                config.signal_len,
+                config.analysis_window,
+            )),
         }
     }
 
@@ -334,7 +339,14 @@ impl Detector {
         self.config.analysis_window == WindowKind::Rectangular
     }
 
-    fn resolve_mode(&self, mode: ScanMode) -> ScanMode {
+    /// The spectrum analyzer the scan loops run — shared with
+    /// [`crate::stream::StreamingDetector`] so streaming coarse windows are
+    /// computed by the exact same code as offline ones.
+    pub(crate) fn analyzer(&self) -> &SpectrumAnalyzer {
+        &self.analyzer
+    }
+
+    pub(crate) fn resolve_mode(&self, mode: ScanMode) -> ScanMode {
         match mode {
             ScanMode::Auto => {
                 if self.sparse_applicable() {
@@ -469,7 +481,9 @@ impl Detector {
                     .iter()
                     .zip(sigs)
                     .map(|(&coarse, sig)| {
-                        scope.spawn(move || self.fine_scan(recording, sig, coarse, mode))
+                        scope.spawn(move || {
+                            self.fine_scan_view(recording, 0, last, sig, coarse, mode)
+                        })
                     })
                     .collect();
                 handles
@@ -480,29 +494,39 @@ impl Detector {
         } else {
             best.iter()
                 .zip(sigs)
-                .map(|(&c, sig)| self.fine_scan(recording, sig, c, mode))
+                .map(|(&c, sig)| self.fine_scan_view(recording, 0, last, sig, c, mode))
                 .collect()
         };
 
         let mut detections = Vec::with_capacity(sigs.len());
         for ((best_p, best_loc, fine_evals), sig) in fine.into_iter().zip(sigs) {
             ffts += fine_evals;
-            if best_p.is_infinite() && best_p < 0.0 {
-                // No window ever passed the sanity checks.
-                detections.push(Detection::NotPresent);
-            } else if best_p < self.config.epsilon * sig.rs {
-                // Algorithm 1 line 12 (with the ε·R_S reading, DESIGN.md §4).
-                detections.push(Detection::NotPresent);
-            } else {
-                detections.push(Detection::Found {
-                    location: best_loc,
-                    norm_power: best_p,
-                });
-            }
+            detections.push(self.threshold_detection(best_p, best_loc, sig));
         }
         ScanResult {
             detections,
             ffts_used: ffts,
+        }
+    }
+
+    /// Algorithm 1's final presence decision for one signature's refined
+    /// maximum (line 12 with the ε·R_S reading, DESIGN.md §4).
+    pub(crate) fn threshold_detection(
+        &self,
+        best_p: f64,
+        best_loc: usize,
+        sig: &SignalSignature,
+    ) -> Detection {
+        if best_p.is_infinite() && best_p < 0.0 {
+            // No window ever passed the sanity checks.
+            Detection::NotPresent
+        } else if best_p < self.config.epsilon * sig.rs {
+            Detection::NotPresent
+        } else {
+            Detection::Found {
+                location: best_loc,
+                norm_power: best_p,
+            }
         }
     }
 
@@ -532,11 +556,22 @@ impl Detector {
         (best, offsets.len())
     }
 
-    /// Fine scan around one signature's coarse maximum. Returns
-    /// `(best_power, best_location, window_evaluations)`.
-    fn fine_scan(
+    /// Fine scan around one signature's coarse maximum, over a *view* of
+    /// the recording: `samples` holds the recording's samples from absolute
+    /// offset `base`, and `last` is the recording's final window offset
+    /// (`recording_len − signal_len`). Returns
+    /// `(best_power, best_location, window_evaluations)` with locations in
+    /// absolute recording coordinates.
+    ///
+    /// The offline scan passes the whole recording with `base = 0`; the
+    /// streaming detector passes just the captured neighborhood of the
+    /// coarse maximum. Both run the identical arithmetic on identical
+    /// sample values, so results are bit-identical by construction.
+    pub(crate) fn fine_scan_view(
         &self,
-        recording: &[f64],
+        samples: &[f64],
+        base: usize,
+        last: usize,
         sig: &SignalSignature,
         (coarse_p, coarse_loc): (f64, usize),
         mode: ScanMode,
@@ -546,10 +581,11 @@ impl Detector {
             return (coarse_p, coarse_loc, 0);
         }
         let w = self.config.signal_len;
-        let last = recording.len() - w;
         let lo = coarse_loc.saturating_sub(self.config.fine_radius);
         let hi = (coarse_loc + self.config.fine_radius).min(last);
         let step = self.config.fine_step;
+        debug_assert!(lo >= base, "view must cover the fine radius below");
+        debug_assert!(hi + w <= base + samples.len(), "view must cover above");
 
         let mut best_p = coarse_p;
         let mut best_loc = coarse_loc;
@@ -561,8 +597,11 @@ impl Detector {
                 let mut spectrum: Vec<f64> = Vec::with_capacity(w);
                 let mut j = lo;
                 loop {
-                    self.analyzer
-                        .compute(&recording[j..j + w], &mut scratch, &mut spectrum);
+                    self.analyzer.compute(
+                        &samples[j - base..j - base + w],
+                        &mut scratch,
+                        &mut spectrum,
+                    );
                     evals += 1;
                     let p = self.norm_power(&spectrum, sig);
                     if p > best_p {
@@ -579,7 +618,7 @@ impl Detector {
                 let clusters = SparseClusters::build(sig, self.config.theta, w);
                 let mut sliding = SlidingDft::new(w, step, clusters.bins.clone());
                 let mut powers: Vec<f64> = Vec::with_capacity(clusters.bins.len());
-                sliding.init(&recording[lo..lo + w]);
+                sliding.init(&samples[lo - base..lo - base + w]);
                 let mut j = lo;
                 loop {
                     sliding.powers_into(&mut powers);
@@ -593,7 +632,10 @@ impl Detector {
                         break;
                     }
                     let next = (j + step).min(hi);
-                    sliding.advance(&recording[j..next], &recording[j + w..next + w]);
+                    sliding.advance(
+                        &samples[j - base..next - base],
+                        &samples[j + w - base..next + w - base],
+                    );
                     j = next;
                 }
             }

@@ -21,6 +21,10 @@
 //!   acoustic field and the Bluetooth secure channel.
 //! * [`piano`] — the PIANO authenticator: registration, the Bluetooth
 //!   presence gate, threshold comparison, and the final decision.
+//! * [`stream`] — the streaming session API: the sans-IO
+//!   [`stream::AuthSession`] state machine, the incremental
+//!   [`stream::StreamingDetector`] (detect *while* recording), and the
+//!   multi-tenant [`stream::AuthService`] multiplexer.
 //! * [`metrics`] — the paper's Gaussian FRR/FAR model (Sec. VI-C).
 //!
 //! # Performance architecture
@@ -49,24 +53,25 @@
 //! # Quickstart
 //!
 //! ```
-//! use piano_core::piano::{AuthDecision, PianoAuthenticator, PianoConfig};
+//! use piano_core::piano::{AuthDecision, PianoConfig};
+//! use piano_core::stream::AuthService;
 //! use piano_core::device::Device;
 //! use piano_acoustics::{AcousticField, Environment, Position};
 //! use rand::SeedableRng;
 //! use rand_chacha::ChaCha8Rng;
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(7);
-//! let mut authenticator = PianoAuthenticator::new(PianoConfig::default());
+//! let mut service = AuthService::new(PianoConfig::default());
 //!
 //! // Registration: pair the smartwatch (vouching) with the phone
 //! // (authenticating) once.
 //! let phone = Device::phone(1, Position::ORIGIN, 101);
 //! let watch = Device::phone(2, Position::new(0.6, 0.0, 0.0), 202);
-//! authenticator.register(&phone, &watch, &mut rng);
+//! service.register(&phone, &watch, &mut rng);
 //!
 //! // Authentication: the user (wearing the watch) picks up the phone.
 //! let mut field = AcousticField::new(Environment::office(), 42);
-//! let decision = authenticator.authenticate(&mut field, &phone, &watch, 0.0, &mut rng);
+//! let decision = service.authenticate_pair(&mut field, &phone, &watch, 0.0, &mut rng);
 //! assert!(matches!(decision, AuthDecision::Granted { .. }));
 //! ```
 
@@ -81,9 +86,10 @@ pub mod metrics;
 pub mod piano;
 pub mod ranging;
 pub mod signal;
+pub mod stream;
 pub mod wire;
 
-pub use action::{run_action, ActionOutcome, DistanceEstimate};
+pub use action::{run_action, run_session_pair, ActionOutcome, DistanceEstimate};
 pub use config::ActionConfig;
 pub use detect::{Detection, Detector};
 pub use device::Device;
@@ -91,3 +97,4 @@ pub use error::PianoError;
 pub use freqgrid::FrequencyGrid;
 pub use piano::{AuthDecision, PianoAuthenticator, PianoConfig};
 pub use signal::{ReferenceSignal, SignalSampler};
+pub use stream::{AuthService, AuthSession, SessionEvent, SessionId, StreamingDetector};

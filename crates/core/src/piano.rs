@@ -14,13 +14,13 @@
 use rand_chacha::ChaCha8Rng;
 
 use piano_acoustics::AcousticField;
-use piano_bluetooth::{BluetoothLink, LinkKey, PairingRegistry};
+use piano_bluetooth::{BluetoothLink, LinkKey};
 
-use crate::action::{run_action_with, ActionOutcome, DistanceEstimate};
+use crate::action::ActionOutcome;
 use crate::config::ActionConfig;
 use crate::detect::Detector;
 use crate::device::Device;
-use crate::error::PianoError;
+use crate::stream::AuthService;
 
 /// PIANO's authenticator configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,20 +94,18 @@ impl AuthDecision {
     }
 }
 
-/// The PIANO authenticator: owns the bond registry and the Bluetooth link,
-/// and runs the authentication phase on demand.
+/// The single-pair PIANO authenticator.
 ///
-/// The authenticator builds its ACTION [`Detector`] once at construction
-/// and reuses it for every attempt, so FFT plans and window tables are
-/// amortized across the lifetime of the authenticator — including every
-/// re-verification of a [`crate::continuous::ContinuousSession`].
+/// Since the streaming redesign this is a thin compatibility wrapper over
+/// the multi-tenant [`AuthService`]: it keeps the familiar one-pair
+/// surface (register, authenticate, personalize the threshold) while the
+/// protocol itself runs through the sans-IO [`crate::stream::AuthSession`]
+/// state machines. New code should use [`AuthService`] directly — it
+/// multiplexes many pairs, shares detectors across configurations, and
+/// exposes the streaming entry points.
 #[derive(Debug)]
 pub struct PianoAuthenticator {
-    config: PianoConfig,
-    detector: Detector,
-    registry: PairingRegistry,
-    link: BluetoothLink,
-    last_outcome: Option<ActionOutcome>,
+    service: AuthService,
 }
 
 impl PianoAuthenticator {
@@ -117,50 +115,51 @@ impl PianoAuthenticator {
     ///
     /// Panics if `config.action` fails [`ActionConfig::validate`].
     pub fn new(config: PianoConfig) -> Self {
-        let detector = Detector::new(&config.action);
         PianoAuthenticator {
-            config,
-            detector,
-            registry: PairingRegistry::new(),
-            link: BluetoothLink::new(),
-            last_outcome: None,
+            service: AuthService::new(config),
         }
     }
 
     /// The ACTION detector this authenticator reuses across attempts.
     pub fn detector(&self) -> &Detector {
-        &self.detector
+        self.service.detector()
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &PianoConfig {
-        &self.config
+        self.service.config()
     }
 
     /// Updates the authentication threshold (the *personalizable* knob).
     pub fn set_threshold_m(&mut self, threshold_m: f64) {
-        self.config.threshold_m = threshold_m;
+        self.service.set_threshold_m(threshold_m);
     }
 
     /// Registration phase: pairs the two devices (once) and returns the
     /// minted link key.
     pub fn register(&mut self, a: &Device, b: &Device, rng: &mut ChaCha8Rng) -> LinkKey {
-        self.registry.pair(a.id, b.id, rng)
+        self.service.register(a, b, rng)
     }
 
     /// Whether two devices are bonded.
     pub fn is_registered(&self, a: &Device, b: &Device) -> bool {
-        self.registry.is_paired(a.id, b.id)
+        self.service.is_registered(a, b)
     }
 
     /// The Bluetooth link (for transfer accounting).
     pub fn link(&self) -> &BluetoothLink {
-        &self.link
+        self.service.link()
     }
 
     /// Diagnostics of the most recent ACTION run, if any reached Step III.
     pub fn last_outcome(&self) -> Option<&ActionOutcome> {
-        self.last_outcome.as_ref()
+        self.service.last_outcome()
+    }
+
+    /// The underlying multi-tenant service — the migration hook for code
+    /// moving off this wrapper.
+    pub fn as_service_mut(&mut self) -> &mut AuthService {
+        &mut self.service
     }
 
     /// Authentication phase: decides whether whoever is at the
@@ -168,6 +167,10 @@ impl PianoAuthenticator {
     ///
     /// `now_world_s` is the world time of the attempt; interferers or
     /// attackers must already have registered their emissions on `field`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use stream::AuthService::authenticate_pair (this shim delegates to it verbatim)"
+    )]
     pub fn authenticate(
         &mut self,
         field: &mut AcousticField,
@@ -176,59 +179,8 @@ impl PianoAuthenticator {
         now_world_s: f64,
         rng: &mut ChaCha8Rng,
     ) -> AuthDecision {
-        // Bluetooth presence gate.
-        if !self.registry.is_paired(auth_device.id, vouch_device.id) {
-            return AuthDecision::Denied {
-                reason: DenialReason::NotPaired,
-            };
-        }
-        if !self
-            .link
-            .in_range(&auth_device.position, &vouch_device.position)
-        {
-            return AuthDecision::Denied {
-                reason: DenialReason::BluetoothUnreachable,
-            };
-        }
-
-        // ACTION distance estimation, on the long-lived detector.
-        let outcome = match run_action_with(
-            &self.detector,
-            field,
-            &mut self.link,
-            &self.registry,
-            auth_device,
-            vouch_device,
-            now_world_s,
-            rng,
-        ) {
-            Ok(o) => o,
-            Err(PianoError::Bluetooth(_)) => {
-                return AuthDecision::Denied {
-                    reason: DenialReason::BluetoothUnreachable,
-                }
-            }
-            Err(e) => {
-                return AuthDecision::Denied {
-                    reason: DenialReason::ProtocolFailure(e.to_string()),
-                }
-            }
-        };
-        let estimate = outcome.estimate;
-        self.last_outcome = Some(outcome);
-
-        // Threshold comparison.
-        match estimate {
-            DistanceEstimate::SignalAbsent => AuthDecision::Denied {
-                reason: DenialReason::SignalAbsent,
-            },
-            DistanceEstimate::Measured(d) if d <= self.config.threshold_m => {
-                AuthDecision::Granted { distance_m: d }
-            }
-            DistanceEstimate::Measured(d) => AuthDecision::Denied {
-                reason: DenialReason::TooFar { distance_m: d },
-            },
-        }
+        self.service
+            .authenticate_pair(field, auth_device, vouch_device, now_world_s, rng)
     }
 }
 
@@ -251,12 +203,12 @@ mod tests {
 
     #[test]
     fn close_devices_are_granted() {
-        let mut auth = PianoAuthenticator::new(PianoConfig::default());
+        let mut auth = AuthService::new(PianoConfig::default());
         let (a, v) = devices(0.5);
         let mut r = rng(1);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::office(), 1);
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
         match decision {
             AuthDecision::Granted { distance_m } => {
                 assert!((distance_m - 0.5).abs() < 0.3, "distance {distance_m}")
@@ -268,10 +220,10 @@ mod tests {
 
     #[test]
     fn unregistered_devices_are_denied_without_protocol() {
-        let mut auth = PianoAuthenticator::new(PianoConfig::default());
+        let mut auth = AuthService::new(PianoConfig::default());
         let (a, v) = devices(0.5);
         let mut field = AcousticField::new(Environment::office(), 2);
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut rng(2));
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng(2));
         assert_eq!(
             decision,
             AuthDecision::Denied {
@@ -287,12 +239,12 @@ mod tests {
 
     #[test]
     fn beyond_bluetooth_is_denied_immediately() {
-        let mut auth = PianoAuthenticator::new(PianoConfig::default());
+        let mut auth = AuthService::new(PianoConfig::default());
         let (a, v) = devices(15.0);
         let mut r = rng(3);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::office(), 3);
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
         assert_eq!(
             decision,
             AuthDecision::Denied {
@@ -303,12 +255,12 @@ mod tests {
 
     #[test]
     fn beyond_acoustic_range_is_denied_as_absent() {
-        let mut auth = PianoAuthenticator::new(PianoConfig::default());
+        let mut auth = AuthService::new(PianoConfig::default());
         let (a, v) = devices(7.0);
         let mut r = rng(4);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::office(), 4);
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
         assert_eq!(
             decision,
             AuthDecision::Denied {
@@ -320,12 +272,12 @@ mod tests {
     #[test]
     fn measured_distance_above_threshold_is_too_far() {
         // 2 m apart with a 1 m threshold: measured, then rejected.
-        let mut auth = PianoAuthenticator::new(PianoConfig::with_threshold(1.0));
+        let mut auth = AuthService::new(PianoConfig::with_threshold(1.0));
         let (a, v) = devices(2.0);
         let mut r = rng(5);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::anechoic(), 5);
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
         match decision {
             AuthDecision::Denied {
                 reason: DenialReason::TooFar { distance_m },
@@ -339,35 +291,60 @@ mod tests {
     #[test]
     fn threshold_is_personalizable() {
         // The same 2 m geometry granted once τ is raised.
-        let mut auth = PianoAuthenticator::new(PianoConfig::with_threshold(1.0));
+        let mut auth = AuthService::new(PianoConfig::with_threshold(1.0));
         let (a, v) = devices(2.0);
         let mut r = rng(6);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::anechoic(), 6);
         assert!(!auth
-            .authenticate(&mut field, &a, &v, 0.0, &mut r)
+            .authenticate_pair(&mut field, &a, &v, 0.0, &mut r)
             .is_granted());
         auth.set_threshold_m(2.5);
         let mut field2 = AcousticField::new(Environment::anechoic(), 7);
         assert!(auth
-            .authenticate(&mut field2, &a, &v, 100.0, &mut r)
+            .authenticate_pair(&mut field2, &a, &v, 100.0, &mut r)
             .is_granted());
     }
 
     #[test]
     fn wall_separation_is_denied() {
-        let mut auth = PianoAuthenticator::new(PianoConfig::default());
+        let mut auth = AuthService::new(PianoConfig::default());
         let (a, v) = devices(0.8);
         let mut r = rng(7);
         auth.register(&a, &v, &mut r);
         let mut field = AcousticField::new(Environment::office(), 8);
         field.add_wall(piano_acoustics::Wall::at_x(0.4));
-        let decision = auth.authenticate(&mut field, &a, &v, 0.0, &mut r);
+        let decision = auth.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
         assert_eq!(
             decision,
             AuthDecision::Denied {
                 reason: DenialReason::SignalAbsent
             }
         );
+    }
+
+    /// The deprecated wrapper must keep producing the service's exact
+    /// decisions until every caller migrates.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_authenticate_shim_matches_service() {
+        let (a, v) = devices(0.5);
+
+        let mut shim = PianoAuthenticator::new(PianoConfig::default());
+        let mut r = rng(9);
+        shim.register(&a, &v, &mut r);
+        let mut field = AcousticField::new(Environment::office(), 9);
+        let shim_decision = shim.authenticate(&mut field, &a, &v, 0.0, &mut r);
+
+        let mut service = AuthService::new(PianoConfig::default());
+        let mut r = rng(9);
+        service.register(&a, &v, &mut r);
+        let mut field = AcousticField::new(Environment::office(), 9);
+        let service_decision = service.authenticate_pair(&mut field, &a, &v, 0.0, &mut r);
+
+        assert_eq!(shim_decision, service_decision);
+        assert!(shim_decision.is_granted());
+        assert_eq!(shim.last_outcome(), service.last_outcome());
+        assert!(shim.as_service_mut().last_outcome().is_some());
     }
 }

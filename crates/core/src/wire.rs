@@ -33,6 +33,25 @@ pub enum Message {
         /// present in the vouching device's recording.
         vouch_diff_samples: Option<f64>,
     },
+    /// A chunk of streamed recording audio.
+    ///
+    /// The streaming session API ([`crate::stream`]) consumes audio
+    /// incrementally; this message gives those chunks a wire
+    /// representation, so a device can forward its microphone feed to a
+    /// remote [`crate::stream::AuthService`] instead of shipping one
+    /// whole-recording blob. `seq` is a per-session chunk counter the
+    /// receiver uses to detect gaps; samples are raw PCM at the session's
+    /// nominal rate. Chunks are capped at [`MAX_AUDIO_CHUNK_SAMPLES`]
+    /// samples on both sides of the wire — encoding a larger chunk panics
+    /// rather than producing a frame every conforming receiver rejects.
+    AudioChunk {
+        /// Session identifier the audio belongs to.
+        session: u64,
+        /// Zero-based chunk sequence number within the session.
+        seq: u32,
+        /// PCM samples in stream order.
+        samples: Vec<f64>,
+    },
 }
 
 /// The construction parameters of one reference signal — equivalent
@@ -99,9 +118,21 @@ impl SignalSpec {
 
 const TAG_REFERENCE_SIGNALS: u8 = 1;
 const TAG_TIME_DIFF: u8 = 2;
+const TAG_AUDIO_CHUNK: u8 = 3;
+
+/// Ceiling on samples per [`Message::AudioChunk`]: one second at the
+/// paper's 44.1 kHz rate, rounded up. Chunks are meant to be small (a few
+/// audio-callback buffers); anything larger is a malformed frame.
+pub const MAX_AUDIO_CHUNK_SAMPLES: usize = 65_536;
 
 impl Message {
     /// Encodes the message to bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`Message::AudioChunk`] carries more than
+    /// [`MAX_AUDIO_CHUNK_SAMPLES`] samples — the decoder enforces the same
+    /// cap, so a larger chunk could never be delivered; split it instead.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
@@ -123,6 +154,25 @@ impl Message {
                         out.extend_from_slice(&v.to_le_bytes());
                     }
                     None => out.push(0),
+                }
+            }
+            Message::AudioChunk {
+                session,
+                seq,
+                samples,
+            } => {
+                assert!(
+                    samples.len() <= MAX_AUDIO_CHUNK_SAMPLES,
+                    "audio chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} wire cap; \
+                     split it into smaller chunks",
+                    samples.len()
+                );
+                out.push(TAG_AUDIO_CHUNK);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+                for &s in samples {
+                    out.extend_from_slice(&s.to_le_bytes());
                 }
             }
         }
@@ -156,6 +206,25 @@ impl Message {
                 Message::TimeDiffReport {
                     session,
                     vouch_diff_samples,
+                }
+            }
+            TAG_AUDIO_CHUNK => {
+                let session = r.u64()?;
+                let seq = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > MAX_AUDIO_CHUNK_SAMPLES {
+                    return Err(PianoError::Wire(format!(
+                        "audio chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
+                    )));
+                }
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    samples.push(r.f64()?);
+                }
+                Message::AudioChunk {
+                    session,
+                    seq,
+                    samples,
                 }
             }
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
@@ -222,6 +291,9 @@ impl Reader<'_> {
     fn u16(&mut self) -> Result<u16, PianoError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("size")))
     }
+    fn u32(&mut self) -> Result<u32, PianoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("size")))
+    }
     fn u64(&mut self) -> Result<u64, PianoError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("size")))
     }
@@ -273,6 +345,68 @@ mod tests {
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn audio_chunk_roundtrips() {
+        for samples in [
+            Vec::new(),
+            vec![0.0],
+            (0..1024)
+                .map(|i| (i as f64 * 0.37).sin() * 12_000.0)
+                .collect(),
+        ] {
+            let msg = Message::AudioChunk {
+                session: 0xFEED_F00D,
+                seq: 41,
+                samples,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn audio_chunk_truncation_and_trailing_garbage_error() {
+        let msg = Message::AudioChunk {
+            session: 5,
+            seq: 1,
+            samples: vec![1.0, -2.0, 3.5],
+        };
+        let bytes = msg.encode();
+        for cut in [1, 9, 13, 16, bytes.len() - 1] {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Message::decode(&padded).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire cap")]
+    fn audio_chunk_encode_rejects_oversized_chunks() {
+        // The encoder enforces the same cap as the decoder: an oversized
+        // chunk must fail at the sender, not stall at every receiver.
+        let _ = Message::AudioChunk {
+            session: 1,
+            seq: 0,
+            samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES + 1],
+        }
+        .encode();
+    }
+
+    #[test]
+    fn audio_chunk_rejects_implausible_sample_count() {
+        // Hand-craft a header claiming more samples than the cap; the
+        // decoder must reject it before trying to allocate.
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "unhelpful message: {err}");
     }
 
     #[test]

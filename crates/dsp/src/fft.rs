@@ -19,16 +19,20 @@
 //!   complex buffer. [`fft_real`] uses it; [`fft_real_padded`] retains the
 //!   padded path as the differential-testing / benchmarking reference.
 //! * **Plan cache** — [`cached_plan`] / [`cached_real_plan`] memoize plans
-//!   per size behind a `OnceLock`, so one-shot helpers (and everything in
-//!   [`crate::spectrum`], [`crate::correlate`], [`crate::filter`]) stop
-//!   rebuilding `sin`/`cos` tables on every call.
+//!   per size behind a small mutex-guarded LRU, so one-shot helpers (and
+//!   everything in [`crate::spectrum`], [`crate::correlate`],
+//!   [`crate::filter`]) stop rebuilding `sin`/`cos` tables on every call.
+//!   The cache is *bounded* (default [`DEFAULT_PLAN_CACHE_CAPACITY`] sizes,
+//!   configurable via [`set_plan_cache_capacity`]): a multi-tenant service
+//!   juggling many window sizes evicts the least-recently-used plan
+//!   instead of growing without bound. Evicted plans stay valid for any
+//!   holder of their `Arc`.
 //!
 //! Conventions: [`fft`] computes the unnormalized DFT
 //! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
 //! `ifft(fft(x)) == x` up to floating-point error.
 
 use crate::complex::Complex64;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable FFT plan for a fixed power-of-two size.
@@ -424,41 +428,142 @@ impl RealFftPlan {
     }
 }
 
-/// Process-wide plan cache, keyed by size.
-static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
-/// Process-wide real-input plan cache, keyed by size.
-static REAL_PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<RealFftPlan>>>> = OnceLock::new();
+/// Default number of distinct transform sizes each plan cache retains.
+///
+/// Eight covers a fixed-deployment workload (one signal window plus a few
+/// correlation/filter sizes) with room to spare; multi-tenant services
+/// cycling through more window sizes can raise it with
+/// [`set_plan_cache_capacity`].
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 8;
+
+/// A tiny least-recently-used map from transform size to shared plan.
+///
+/// Linear scans are deliberate: the cache holds at most a handful of
+/// entries, so a `Vec` beats hash-map overhead and keeps eviction exact
+/// (evict the minimum use-stamp).
+struct LruPlans<P> {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<(usize, Arc<P>, u64)>,
+}
+
+impl<P> LruPlans<P> {
+    fn new(capacity: usize) -> Self {
+        LruPlans {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get_or_insert(&mut self, size: usize, build: impl FnOnce() -> P) -> Arc<P> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.iter_mut().find(|(s, _, _)| *s == size) {
+            entry.2 = tick;
+            return Arc::clone(&entry.1);
+        }
+        let plan = Arc::new(build());
+        self.entries.push((size, Arc::clone(&plan), tick));
+        self.evict_to_capacity();
+        plan
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty cache has an oldest entry");
+            self.entries.swap_remove(oldest);
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.evict_to_capacity();
+    }
+}
+
+/// Process-wide bounded plan cache, keyed by size.
+static PLAN_CACHE: OnceLock<Mutex<LruPlans<FftPlan>>> = OnceLock::new();
+/// Process-wide bounded real-input plan cache, keyed by size.
+static REAL_PLAN_CACHE: OnceLock<Mutex<LruPlans<RealFftPlan>>> = OnceLock::new();
+
+fn plan_cache() -> &'static Mutex<LruPlans<FftPlan>> {
+    PLAN_CACHE.get_or_init(|| Mutex::new(LruPlans::new(DEFAULT_PLAN_CACHE_CAPACITY)))
+}
+
+fn real_plan_cache() -> &'static Mutex<LruPlans<RealFftPlan>> {
+    REAL_PLAN_CACHE.get_or_init(|| Mutex::new(LruPlans::new(DEFAULT_PLAN_CACHE_CAPACITY)))
+}
+
+/// Sets how many distinct sizes each plan cache may hold (both the complex
+/// and the real-input cache), evicting least-recently-used plans if the
+/// new capacity is smaller. Capacities below 1 are clamped to 1.
+///
+/// Plans already handed out stay valid — eviction only drops the cache's
+/// own reference.
+pub fn set_plan_cache_capacity(capacity: usize) {
+    plan_cache()
+        .lock()
+        .expect("FFT plan cache poisoned")
+        .set_capacity(capacity);
+    real_plan_cache()
+        .lock()
+        .expect("real FFT plan cache poisoned")
+        .set_capacity(capacity);
+}
+
+/// Number of plans currently resident in the (complex, real-input) caches.
+/// Exposed for memory-bound tests and diagnostics.
+pub fn plan_cache_lens() -> (usize, usize) {
+    (
+        plan_cache()
+            .lock()
+            .expect("FFT plan cache poisoned")
+            .entries
+            .len(),
+        real_plan_cache()
+            .lock()
+            .expect("real FFT plan cache poisoned")
+            .entries
+            .len(),
+    )
+}
 
 /// Returns the shared [`FftPlan`] for `size`, building it on first use.
 ///
 /// One-shot helpers ([`fft`], [`ifft`], convolution, correlation) go
 /// through this cache so repeated calls at the same size never rebuild
-/// twiddle tables.
+/// twiddle tables. The cache is a bounded LRU (see
+/// [`set_plan_cache_capacity`]).
 ///
 /// # Panics
 ///
 /// Panics if `size` is zero or not a power of two.
 pub fn cached_plan(size: usize) -> Arc<FftPlan> {
-    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("FFT plan cache poisoned");
-    Arc::clone(
-        map.entry(size)
-            .or_insert_with(|| Arc::new(FftPlan::new(size))),
-    )
+    plan_cache()
+        .lock()
+        .expect("FFT plan cache poisoned")
+        .get_or_insert(size, || FftPlan::new(size))
 }
 
 /// Returns the shared [`RealFftPlan`] for `size`, building it on first use.
+///
+/// The cache is a bounded LRU (see [`set_plan_cache_capacity`]).
 ///
 /// # Panics
 ///
 /// Panics if `size` is not a power of two or is smaller than 2.
 pub fn cached_real_plan(size: usize) -> Arc<RealFftPlan> {
-    let cache = REAL_PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("real FFT plan cache poisoned");
-    Arc::clone(
-        map.entry(size)
-            .or_insert_with(|| Arc::new(RealFftPlan::new(size))),
-    )
+    real_plan_cache()
+        .lock()
+        .expect("real FFT plan cache poisoned")
+        .get_or_insert(size, || RealFftPlan::new(size))
 }
 
 /// One-shot forward FFT of a complex buffer. Returns a new vector.
@@ -709,6 +814,64 @@ mod tests {
         let rb = cached_real_plan(256);
         assert!(Arc::ptr_eq(&ra, &rb));
         assert_eq!(ra.size(), 256);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_size() {
+        // Unit-test the LRU structure directly: the process-wide caches are
+        // shared with concurrently running tests, so eviction order is only
+        // deterministic on a private instance.
+        let mut lru: LruPlans<FftPlan> = LruPlans::new(3);
+        for size in [2usize, 4, 8] {
+            let _ = lru.get_or_insert(size, || FftPlan::new(size));
+        }
+        // Touch 2 so that 4 becomes the least recently used.
+        let first = lru.get_or_insert(2, || unreachable!("2 is cached"));
+        let _ = lru.get_or_insert(16, || FftPlan::new(16));
+        assert_eq!(lru.entries.len(), 3);
+        let sizes: Vec<usize> = lru.entries.iter().map(|(s, _, _)| *s).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&8) && sizes.contains(&16));
+        assert!(!sizes.contains(&4), "4 was LRU and must be evicted");
+        // The evicted size rebuilds on demand; retained handles stay valid.
+        let rebuilt = lru.get_or_insert(4, || FftPlan::new(4));
+        assert_eq!(rebuilt.size(), 4);
+        assert_eq!(first.size(), 2);
+    }
+
+    #[test]
+    fn lru_shrinking_capacity_evicts_down() {
+        let mut lru: LruPlans<FftPlan> = LruPlans::new(4);
+        for size in [2usize, 4, 8, 16] {
+            let _ = lru.get_or_insert(size, || FftPlan::new(size));
+        }
+        lru.set_capacity(2);
+        assert_eq!(lru.entries.len(), 2);
+        let sizes: Vec<usize> = lru.entries.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes.contains(&8) && sizes.contains(&16), "{sizes:?}");
+    }
+
+    #[test]
+    fn global_plan_caches_stay_bounded_for_many_tenant_sizes() {
+        // The multi-tenant memory bound: hammering the process-wide caches
+        // with more window sizes than the capacity must never grow them
+        // past it — eviction caps resident plan memory.
+        for bits in 1..=12u32 {
+            let size = 1usize << bits;
+            let _ = cached_plan(size);
+            let _ = cached_real_plan(size);
+        }
+        let (complex_len, real_len) = plan_cache_lens();
+        assert!(
+            complex_len <= DEFAULT_PLAN_CACHE_CAPACITY,
+            "complex cache holds {complex_len} plans"
+        );
+        assert!(
+            real_len <= DEFAULT_PLAN_CACHE_CAPACITY,
+            "real cache holds {real_len} plans"
+        );
+        // Evicted sizes still work — they just rebuild.
+        assert_eq!(cached_plan(2).size(), 2);
     }
 
     #[test]

@@ -166,7 +166,8 @@ fn run_attack_trials_no_beta(trials: usize, seed: u64) -> (usize, usize) {
     use piano_acoustics::{AcousticField, Position};
     use piano_attacks::all_freq::AllFrequencyAttacker;
     use piano_core::device::Device;
-    use piano_core::piano::{PianoAuthenticator, PianoConfig};
+    use piano_core::piano::PianoConfig;
+    use piano_core::stream::AuthService;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -178,7 +179,7 @@ fn run_attack_trials_no_beta(trials: usize, seed: u64) -> (usize, usize) {
         let vouch_dev = Device::phone(2, Position::new(6.0, 0.0, 0.0), s + 2);
         let mut config = PianoConfig::default();
         config.action.enforce_beta_check = false;
-        let mut authn = PianoAuthenticator::new(config);
+        let mut authn = AuthService::new(config);
         authn.register(&auth_dev, &vouch_dev, &mut rng);
         let mut field = AcousticField::new(Environment::office(), s ^ 0xAB);
         let mut attacker_rng = ChaCha8Rng::seed_from_u64(s ^ 0xFFFF);
@@ -190,7 +191,7 @@ fn run_attack_trials_no_beta(trials: usize, seed: u64) -> (usize, usize) {
             .with_tone_amplitude(1_500.0)
             .inject(&mut field, &action, 0.0, 3.5, &mut attacker_rng);
         if authn
-            .authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
+            .authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng)
             .is_granted()
         {
             successes += 1;

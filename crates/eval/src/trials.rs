@@ -1,5 +1,14 @@
 //! Trial runner: one authenticated ranging attempt per trial, optionally
 //! with interfering PIANO users, parallelized and deterministic.
+//!
+//! Trials drive the streaming session API
+//! ([`piano_core::run_session_pair`]): each attempt wires a pair of
+//! sans-IO `AuthSession` state machines to the simulated substrates, and a
+//! batch shares one `Arc<Detector>` across all of its worker threads, so
+//! FFT plans and window tables are built once per [`TrialSetup`] rather
+//! than once per trial.
+
+use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -7,8 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use piano_acoustics::field::Emission;
 use piano_acoustics::{AcousticField, Environment, Position};
 use piano_bluetooth::{BluetoothLink, PairingRegistry};
-use piano_core::action::{run_action, ActionOutcome, DistanceEstimate};
+use piano_core::action::{run_session_pair, ActionOutcome, DistanceEstimate};
 use piano_core::config::ActionConfig;
+use piano_core::detect::Detector;
 use piano_core::device::Device;
 use piano_core::signal::ReferenceSignal;
 
@@ -77,6 +87,17 @@ pub fn run_trial(setup: &TrialSetup, index: u64) -> TrialOutcome {
 /// Like [`run_trial`] but also returns the protocol diagnostics (used by
 /// the efficiency experiment).
 pub fn run_trial_detailed(setup: &TrialSetup, index: u64) -> (TrialOutcome, Option<ActionOutcome>) {
+    let detector = Arc::new(Detector::new(&setup.action));
+    run_trial_with_detector(setup, index, &detector)
+}
+
+/// [`run_trial_detailed`] against a caller-shared detector — the batch
+/// runner amortizes one detector across every worker this way.
+fn run_trial_with_detector(
+    setup: &TrialSetup,
+    index: u64,
+    detector: &Arc<Detector>,
+) -> (TrialOutcome, Option<ActionOutcome>) {
     let seed = setup
         .base_seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -100,15 +121,8 @@ pub fn run_trial_detailed(setup: &TrialSetup, index: u64) -> (TrialOutcome, Opti
         inject_interferer_pair(&mut field, &setup.action, p, &mut int_rng);
     }
 
-    let outcome = run_action(
-        &setup.action,
-        &mut field,
-        &mut link,
-        &registry,
-        &auth,
-        &vouch,
-        0.0,
-        &mut rng,
+    let outcome = run_session_pair(
+        detector, &mut field, &mut link, &registry, &auth, &vouch, 0.0, &mut rng,
     );
     match outcome {
         Ok(outcome) => {
@@ -185,11 +199,15 @@ pub fn run_trials(setup: &TrialSetup, n: usize) -> Vec<TrialOutcome> {
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
+    // One detector serves every worker: it is `Sync`, and sharing it means
+    // plan construction happens once per batch, not once per trial.
+    let detector = Arc::new(Detector::new(&setup.action));
     let next = std::sync::atomic::AtomicUsize::new(0);
     // Dynamic work stealing over trial indices; each worker tags outcomes
     // with their index so the merge restores trial order exactly.
     let partials: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
         let next = &next;
+        let detector = &detector;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -199,7 +217,7 @@ pub fn run_trials(setup: &TrialSetup, n: usize) -> Vec<TrialOutcome> {
                         if i >= n {
                             break;
                         }
-                        mine.push((i, run_trial(setup, i as u64)));
+                        mine.push((i, run_trial_with_detector(setup, i as u64, detector).0));
                     }
                     mine
                 })

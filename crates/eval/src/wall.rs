@@ -8,7 +8,8 @@ use serde::Serialize;
 
 use piano_acoustics::{AcousticField, Environment, Position, Wall};
 use piano_core::device::Device;
-use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
+use piano_core::piano::{AuthDecision, DenialReason, PianoConfig};
+use piano_core::stream::AuthService;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -40,12 +41,12 @@ pub fn run(trials: usize, seed: u64) -> WallResult {
         let mut rng = ChaCha8Rng::seed_from_u64(s);
         let auth_dev = Device::phone(1, Position::ORIGIN, s + 1);
         let vouch_dev = Device::phone(2, Position::new(1.0, 0.0, 0.0), s + 2);
-        let mut authn = PianoAuthenticator::new(PianoConfig::default());
+        let mut authn = AuthService::new(PianoConfig::default());
         authn.register(&auth_dev, &vouch_dev, &mut rng);
 
         let mut field = AcousticField::new(Environment::office(), s ^ 0x3A3A);
         field.add_wall(Wall::at_x(0.5));
-        match authn.authenticate(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng) {
+        match authn.authenticate_pair(&mut field, &auth_dev, &vouch_dev, 0.0, &mut rng) {
             AuthDecision::Denied {
                 reason: DenialReason::SignalAbsent,
             } => denied_signal_absent += 1,
@@ -59,7 +60,7 @@ pub fn run(trials: usize, seed: u64) -> WallResult {
         authn.set_threshold_m(1.8);
         let mut field = AcousticField::new(Environment::office(), s ^ 0x3A3B);
         if authn
-            .authenticate(&mut field, &auth_dev, &vouch_dev, 100.0, &mut rng)
+            .authenticate_pair(&mut field, &auth_dev, &vouch_dev, 100.0, &mut rng)
             .is_granted()
         {
             control_granted += 1;

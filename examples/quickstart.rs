@@ -21,7 +21,7 @@ fn main() {
     let watch = Device::phone(2, Position::new(0.5, 0.0, 0.0), 2002);
 
     // Registration phase (once): pair over Bluetooth.
-    let mut authenticator = PianoAuthenticator::new(PianoConfig::with_threshold(1.0));
+    let mut authenticator = AuthService::new(PianoConfig::with_threshold(1.0));
     authenticator.register(&phone, &watch, &mut rng);
     println!(
         "registered: {}",
@@ -30,7 +30,7 @@ fn main() {
 
     // Authentication phase: user at the phone, watch on wrist (0.5 m).
     let mut office = AcousticField::new(Environment::office(), 7);
-    match authenticator.authenticate(&mut office, &phone, &watch, 0.0, &mut rng) {
+    match authenticator.authenticate_pair(&mut office, &phone, &watch, 0.0, &mut rng) {
         AuthDecision::Granted { distance_m } => {
             println!("ACCESS GRANTED — measured distance {distance_m:.2} m (true 0.50 m)");
         }
@@ -40,7 +40,7 @@ fn main() {
     // The user walks away with the watch: same devices, new geometry.
     let watch_far = watch.clone().at(Position::new(6.0, 0.0, 0.0));
     let mut office = AcousticField::new(Environment::office(), 8);
-    match authenticator.authenticate(&mut office, &phone, &watch_far, 10.0, &mut rng) {
+    match authenticator.authenticate_pair(&mut office, &phone, &watch_far, 10.0, &mut rng) {
         AuthDecision::Denied { reason } => {
             println!("ACCESS DENIED — user away ({reason:?})");
         }
@@ -51,7 +51,7 @@ fn main() {
     // separation.
     authenticator.set_threshold_m(0.3);
     let mut office = AcousticField::new(Environment::office(), 9);
-    match authenticator.authenticate(&mut office, &phone, &watch, 20.0, &mut rng) {
+    match authenticator.authenticate_pair(&mut office, &phone, &watch, 20.0, &mut rng) {
         AuthDecision::Denied {
             reason: DenialReason::TooFar { distance_m },
         } => {

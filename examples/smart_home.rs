@@ -26,7 +26,7 @@ fn main() {
     let thermostat = Device::phone(11, Position::new(1.8, -0.5, 0.0), 511); // living room wall
     let health_hub = Device::phone(12, Position::new(3.5, 0.6, 0.0), 512); // kitchen (next room)
 
-    let mut authenticator = PianoAuthenticator::new(PianoConfig::with_threshold(2.0));
+    let mut authenticator = AuthService::new(PianoConfig::with_threshold(2.0));
     for device in [&speaker, &thermostat, &health_hub] {
         authenticator.register(device, &watch, &mut rng);
     }
@@ -46,7 +46,7 @@ fn main() {
         ("health hub      (3.6 m, behind wall)", &health_hub, 20.0),
     ] {
         let mut field = home_with_wall(7 + t as u64);
-        let decision = authenticator.authenticate(&mut field, device, &watch, t, &mut rng);
+        let decision = authenticator.authenticate_pair(&mut field, device, &watch, t, &mut rng);
         match decision {
             AuthDecision::Granted { distance_m } => {
                 println!("  {name}: GRANTED at {distance_m:.2} m");

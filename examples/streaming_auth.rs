@@ -1,0 +1,195 @@
+//! Streaming authentication: one multi-tenant `AuthService`, two
+//! concurrent sessions, chunked audio.
+//!
+//! ```text
+//! cargo run --release --example streaming_auth
+//! ```
+//!
+//! A smart speaker (the hub) authenticates two users at once. Each user's
+//! watch vouches for them; the hub opens one streaming session per user on
+//! a shared [`AuthService`]. Both sessions ride **one** microphone feed:
+//! the service scans the hub's recording once per chunk for all four
+//! reference signals (the single-pass coarse-scan trick generalized across
+//! tenants), and each watch runs its own sans-IO voucher session over its
+//! own recording — reporting *early*, as soon as both signals are located,
+//! instead of waiting for the full 2 s buffer.
+
+use piano::core::stream::{AuthSession, SessionEvent};
+use piano::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let cfg = PianoConfig::with_threshold(2.0);
+    let fs = cfg.action.sample_rate;
+    let mut service = AuthService::new(cfg.clone());
+
+    // The hub and the two users' watches.
+    let hub = Device::phone(1, Position::ORIGIN, 11);
+    let watch1 = Device::phone(2, Position::new(0.6, 0.0, 0.0), 22);
+    let watch2 = Device::phone(3, Position::new(0.0, 1.1, 0.0), 33);
+
+    // Two concurrent sessions on one service: same configuration, so they
+    // share one cached detector and one scan group.
+    let id1 = service.open_session(true, &mut rng);
+    let id2 = service.open_session(true, &mut rng);
+    println!(
+        "opened {:?} (user 1, watch at 0.60 m) and {:?} (user 2, watch at 1.10 m)",
+        id1, id2
+    );
+
+    // Step II: deliver each challenge to its watch's voucher session. The
+    // sessions are sans-IO — in production these messages would be sealed
+    // over the Bluetooth link; here they pass as plain structs.
+    let mut voucher1 = AuthSession::voucher_with(Arc::clone(service.detector()));
+    let mut voucher2 = AuthSession::voucher_with(Arc::clone(service.detector()));
+    voucher1.enable_early_decision();
+    voucher2.enable_early_decision();
+    let challenge1 = service.poll_transmit(id1).expect("challenge 1 queued");
+    let challenge2 = service.poll_transmit(id2).expect("challenge 2 queued");
+    voucher1
+        .handle_message(challenge1)
+        .expect("valid challenge");
+    voucher2
+        .handle_message(challenge2)
+        .expect("valid challenge");
+
+    // Step III: the two sessions run on staggered schedules (0.25 s apart)
+    // so the four 93 ms signals never overlap in the shared air.
+    let mut field = AcousticField::new(Environment::office(), 7);
+    let (t1, t2) = (0.0, 0.25);
+    let sa1 = service
+        .session(id1)
+        .and_then(|s| s.playback_waveform())
+        .expect("hub knows S_A of session 1");
+    let sa2 = service
+        .session(id2)
+        .and_then(|s| s.playback_waveform())
+        .expect("hub knows S_A of session 2");
+    let sv1 = voucher1.playback_waveform().expect("watch 1 knows S_V");
+    let sv2 = voucher2.playback_waveform().expect("watch 2 knows S_V");
+    hub.play(
+        &mut field,
+        &sa1,
+        t1 + cfg.action.play_offset_auth_s,
+        fs,
+        &mut rng,
+    );
+    watch1.play(
+        &mut field,
+        &sv1,
+        t1 + cfg.action.play_offset_vouch_s,
+        fs,
+        &mut rng,
+    );
+    hub.play(
+        &mut field,
+        &sa2,
+        t2 + cfg.action.play_offset_auth_s,
+        fs,
+        &mut rng,
+    );
+    watch2.play(
+        &mut field,
+        &sv2,
+        t2 + cfg.action.play_offset_vouch_s,
+        fs,
+        &mut rng,
+    );
+
+    let (hub_rec, _) = hub.record(&mut field, t1, 2.0 + (t2 - t1), fs, &mut rng);
+    let (w1_rec, _) = watch1.record(
+        &mut field,
+        t1,
+        cfg.action.recording_duration_s,
+        fs,
+        &mut rng,
+    );
+    let (w2_rec, _) = watch2.record(
+        &mut field,
+        t2,
+        cfg.action.recording_duration_s,
+        fs,
+        &mut rng,
+    );
+
+    // Step IV, hub side: ONE chunked stream feeds BOTH sessions. Early
+    // detections surface as events long before the recording ends.
+    for chunk in hub_rec.samples().chunks(1024) {
+        for (id, event) in service.push_audio(chunk) {
+            if let SessionEvent::SignalLocated {
+                role,
+                samples_consumed,
+                provisional: true,
+                ..
+            } = event
+            {
+                println!(
+                    "hub stream: {id:?} located {role:?} after {samples_consumed} samples \
+                     ({:.0} ms of audio)",
+                    samples_consumed as f64 / fs * 1e3
+                );
+            }
+        }
+    }
+    let _ = service.finish_audio();
+
+    // Step IV/V, watch side: each voucher streams its own recording and
+    // reports as soon as both signals are provisionally located.
+    let mut reports = Vec::new();
+    for (name, voucher, rec) in [
+        ("watch 1", &mut voucher1, &w1_rec),
+        ("watch 2", &mut voucher2, &w2_rec),
+    ] {
+        let mut report = None;
+        let mut consumed = 0usize;
+        for chunk in rec.samples().chunks(1024) {
+            let events = voucher.push_audio(chunk);
+            consumed = voucher.samples_consumed();
+            if events.contains(&SessionEvent::ReportReady) {
+                report = voucher.poll_transmit();
+                break;
+            }
+        }
+        let report = report.unwrap_or_else(|| {
+            // Fall back to the exact end-of-stream conclusion.
+            let _ = voucher.finish_audio();
+            voucher.poll_transmit().expect("finished voucher reports")
+        });
+        println!(
+            "{name}: report ready after {consumed} of {} samples",
+            rec.samples().len()
+        );
+        assert!(
+            consumed <= rec.samples().len(),
+            "streaming never needs more than the recording"
+        );
+        reports.push(report);
+    }
+
+    // Step V/VI: the reports reach the hub; both sessions decide.
+    let r2 = reports.pop().expect("two reports");
+    let r1 = reports.pop().expect("two reports");
+    service.handle_message(id1, r1).expect("report 1 accepted");
+    service.handle_message(id2, r2).expect("report 2 accepted");
+
+    for (id, name, truth_m) in [(id1, "user 1", 0.6), (id2, "user 2", 1.1)] {
+        let decision = service
+            .decision(id)
+            .unwrap_or_else(|| panic!("{name} must have decided"))
+            .clone();
+        match decision {
+            AuthDecision::Granted { distance_m } => {
+                println!("{name}: GRANTED at {distance_m:.2} m (true {truth_m:.2} m)");
+                assert!(
+                    (distance_m - truth_m).abs() < 0.35,
+                    "{name}: measured {distance_m} m vs true {truth_m} m"
+                );
+            }
+            other => panic!("{name}: expected grant, got {other:?}"),
+        }
+    }
+    println!("\nboth users authenticated from one shared scan pass per chunk");
+}

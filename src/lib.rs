@@ -9,7 +9,8 @@
 //!
 //! * [`piano_core`] — the protocol itself: reference signals, the
 //!   frequency-based detector (Algorithms 1 & 2), two-way ranging (Eq. 3),
-//!   the [`PianoAuthenticator`] and the FRR/FAR model.
+//!   the streaming session API (the sans-IO `AuthSession` state machine
+//!   and the multi-tenant `AuthService`) and the FRR/FAR model.
 //! * [`piano_acoustics`] — the simulated physical layer: propagation,
 //!   environments, device hardware, clocks, energy/timing cost models.
 //! * [`piano_bluetooth`] — pairing and the range-gated secure channel.
@@ -32,11 +33,11 @@
 //! let phone = Device::phone(1, Position::ORIGIN, 11);
 //! let watch = Device::phone(2, Position::new(0.4, 0.0, 0.0), 22);
 //!
-//! let mut authenticator = PianoAuthenticator::new(PianoConfig::default());
-//! authenticator.register(&phone, &watch, &mut rng); // once, at setup
+//! let mut service = AuthService::new(PianoConfig::default());
+//! service.register(&phone, &watch, &mut rng); // once, at setup
 //!
 //! let mut office = AcousticField::new(Environment::office(), 7);
-//! let decision = authenticator.authenticate(&mut office, &phone, &watch, 0.0, &mut rng);
+//! let decision = service.authenticate_pair(&mut office, &phone, &watch, 0.0, &mut rng);
 //! assert!(decision.is_granted());
 //! ```
 
@@ -55,11 +56,14 @@ pub mod prelude {
         SpeakerModel, Wall,
     };
     pub use piano_bluetooth::{BluetoothLink, DeviceId, PairingRegistry};
-    pub use piano_core::action::{run_action, ActionOutcome, DistanceEstimate};
+    pub use piano_core::action::{run_action, run_session_pair, ActionOutcome, DistanceEstimate};
     pub use piano_core::config::ActionConfig;
     pub use piano_core::device::Device;
     pub use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
     pub use piano_core::signal::{ReferenceSignal, SignalSampler};
+    pub use piano_core::stream::{
+        AuthService, AuthSession, SessionEvent, SessionId, SessionPhase, StreamingDetector,
+    };
 }
 
 #[cfg(test)]

@@ -6,11 +6,11 @@ use piano::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn pairings(distance_m: f64, seed: u64) -> (PianoAuthenticator, Device, Device, ChaCha8Rng) {
+fn pairings(distance_m: f64, seed: u64) -> (AuthService, Device, Device, ChaCha8Rng) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let auth_dev = Device::phone(1, Position::ORIGIN, seed + 1);
     let vouch_dev = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed + 2);
-    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    let mut authn = AuthService::new(PianoConfig::default());
     authn.register(&auth_dev, &vouch_dev, &mut rng);
     (authn, auth_dev, vouch_dev, rng)
 }
@@ -20,7 +20,7 @@ fn grant_when_close_in_every_paper_environment() {
     for (i, env) in Environment::paper_environments().into_iter().enumerate() {
         let (mut authn, a, v, mut rng) = pairings(0.5, 100 + i as u64);
         let mut field = AcousticField::new(env.clone(), 50 + i as u64);
-        let decision = authn.authenticate(&mut field, &a, &v, 0.0, &mut rng);
+        let decision = authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng);
         assert!(
             decision.is_granted(),
             "close-range grant failed in {}: {decision:?}",
@@ -34,7 +34,7 @@ fn deny_when_user_away_in_every_paper_environment() {
     for (i, env) in Environment::paper_environments().into_iter().enumerate() {
         let (mut authn, a, v, mut rng) = pairings(6.0, 200 + i as u64);
         let mut field = AcousticField::new(env.clone(), 60 + i as u64);
-        let decision = authn.authenticate(&mut field, &a, &v, 0.0, &mut rng);
+        let decision = authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng);
         assert!(
             !decision.is_granted(),
             "user-away grant in {}: {decision:?}",
@@ -51,7 +51,7 @@ fn measured_distance_is_accurate_at_one_meter() {
     let (mut authn, a, v, mut rng) = pairings(1.0, 300);
     authn.set_threshold_m(1.6);
     let mut field = AcousticField::new(Environment::office(), 70);
-    match authn.authenticate(&mut field, &a, &v, 0.0, &mut rng) {
+    match authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng) {
         AuthDecision::Granted { distance_m } => {
             assert!((distance_m - 1.0).abs() < 0.35, "estimate {distance_m} m");
         }
@@ -68,11 +68,11 @@ fn registration_is_required_and_durable() {
     let mut rng = ChaCha8Rng::seed_from_u64(400);
     let a = Device::phone(1, Position::ORIGIN, 401);
     let v = Device::phone(2, Position::new(0.5, 0.0, 0.0), 402);
-    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    let mut authn = AuthService::new(PianoConfig::default());
     assert!(!authn.is_registered(&a, &v));
     let mut field = AcousticField::new(Environment::office(), 403);
     assert!(!authn
-        .authenticate(&mut field, &a, &v, 0.0, &mut rng)
+        .authenticate_pair(&mut field, &a, &v, 0.0, &mut rng)
         .is_granted());
 
     authn.register(&a, &v, &mut rng);
@@ -82,7 +82,7 @@ fn registration_is_required_and_durable() {
     for t in 0..2 {
         let mut field = AcousticField::new(Environment::office(), 404 + t);
         assert!(authn
-            .authenticate(&mut field, &a, &v, t as f64 * 10.0, &mut rng)
+            .authenticate_pair(&mut field, &a, &v, t as f64 * 10.0, &mut rng)
             .is_granted());
     }
 }
@@ -92,7 +92,7 @@ fn threshold_separates_grant_from_too_far() {
     let (mut authn, a, v, mut rng) = pairings(1.5, 500);
     authn.set_threshold_m(0.5);
     let mut field = AcousticField::new(Environment::anechoic(), 501);
-    match authn.authenticate(&mut field, &a, &v, 0.0, &mut rng) {
+    match authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng) {
         AuthDecision::Denied {
             reason: DenialReason::TooFar { distance_m },
         } => {
@@ -109,7 +109,7 @@ fn full_protocol_is_deterministic() {
         let mut field = AcousticField::new(Environment::street(), 601);
         format!(
             "{:?}",
-            authn.authenticate(&mut field, &a, &v, 0.0, &mut rng)
+            authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng)
         )
     };
     assert_eq!(run(), run());

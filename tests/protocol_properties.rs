@@ -16,10 +16,10 @@ fn authenticate_once(distance_m: f64, env_idx: usize, seed: u64) -> AuthDecision
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let a = Device::phone(1, Position::ORIGIN, seed ^ 0x1);
     let v = Device::phone(2, Position::new(distance_m, 0.0, 0.0), seed ^ 0x2);
-    let mut authn = PianoAuthenticator::new(PianoConfig::default());
+    let mut authn = AuthService::new(PianoConfig::default());
     authn.register(&a, &v, &mut rng);
     let mut field = AcousticField::new(envs[env_idx % envs.len()].clone(), seed ^ 0x3);
-    authn.authenticate(&mut field, &a, &v, 0.0, &mut rng)
+    authn.authenticate_pair(&mut field, &a, &v, 0.0, &mut rng)
 }
 
 proptest! {

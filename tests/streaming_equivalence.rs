@@ -1,0 +1,109 @@
+//! Property: feeding ANY chunking of a recording through
+//! `StreamingDetector` yields exactly the `Detection` (location, power,
+//! decision) — and the same work accounting — as `Detector::detect` on the
+//! full buffer.
+//!
+//! This is the contract the streaming session API is built on: sans-IO
+//! sessions conclude with offline-equivalent results no matter how the
+//! host's audio callback slices the stream.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::core::config::ActionConfig;
+use piano::core::detect::{Detector, SignalSignature};
+use piano::core::signal::ReferenceSignal;
+use piano::core::stream::StreamingDetector;
+
+/// Builds a deterministic recording: optional embedded signal plus mild
+/// deterministic noise, so cases cover found/absent/below-threshold.
+fn build_recording(
+    cfg: &ActionConfig,
+    signal: &ReferenceSignal,
+    len: usize,
+    offset: usize,
+    gain: f64,
+    noise_amp: f64,
+    noise_seed: u64,
+) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(noise_seed);
+    let mut rec: Vec<f64> = (0..len)
+        .map(|_| rng.gen_range(-1.0..1.0) * noise_amp)
+        .collect();
+    if gain > 0.0 && len >= cfg.signal_len {
+        let offset = offset.min(len - cfg.signal_len);
+        for (i, &v) in signal.waveform().iter().enumerate() {
+            rec[offset + i] += v * gain;
+        }
+    }
+    rec
+}
+
+/// Feeds `rec` through a streaming scan using `chunks` cyclically for the
+/// split sizes (uneven tail included), then finishes.
+fn stream_result(
+    detector: &Arc<Detector>,
+    sig: &SignalSignature,
+    rec: &[f64],
+    chunks: &[usize],
+) -> piano::core::detect::ScanResult {
+    let mut s = StreamingDetector::new(Arc::clone(detector), vec![sig.clone()]);
+    let mut pos = 0usize;
+    let mut k = 0usize;
+    while pos < rec.len() {
+        let take = chunks[k % chunks.len()].clamp(1, rec.len() - pos);
+        let _ = s.push(&rec[pos..pos + take]);
+        pos += take;
+        k += 1;
+    }
+    s.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_chunking_matches_offline_detection(
+        // Chunk sizes 1..4096, arbitrary uneven pattern cycled over the stream.
+        chunks in proptest::collection::vec(1usize..4096, 1..6),
+        len in 3000usize..24_000,
+        offset_frac in 0.0f64..1.0,
+        gain_sel in 0usize..4,
+        sig_seed in 0u64..1_000,
+    ) {
+        let cfg = ActionConfig::default();
+        let detector = Arc::new(Detector::new(&cfg));
+        let signal = ReferenceSignal::random(&cfg, &mut ChaCha8Rng::seed_from_u64(sig_seed));
+        let signature = SignalSignature::of(&signal, &cfg);
+        // 0: absent, 1: below the α floor, 2: borderline, 3: clean.
+        let gain = [0.0, 0.05, 0.12, 0.4][gain_sel];
+        let offset = ((len as f64) * offset_frac) as usize;
+        let rec = build_recording(&cfg, &signal, len, offset, gain, 0.01, sig_seed ^ 0xA5);
+
+        let offline = detector.detect_many(&rec, &[&signature]);
+        let streamed = stream_result(&detector, &signature, &rec, &chunks);
+        prop_assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn single_sample_chunking_matches_offline(
+        len in 4096usize..9000,
+        sig_seed in 0u64..100,
+    ) {
+        // The pathological 1-sample split, on short recordings to keep the
+        // case affordable.
+        let cfg = ActionConfig::default();
+        let detector = Arc::new(Detector::new(&cfg));
+        let signal = ReferenceSignal::random(&cfg, &mut ChaCha8Rng::seed_from_u64(sig_seed));
+        let signature = SignalSignature::of(&signal, &cfg);
+        let rec = build_recording(&cfg, &signal, len, len / 3, 0.3, 0.005, sig_seed);
+
+        let offline = detector.detect_many(&rec, &[&signature]);
+        let streamed = stream_result(&detector, &signature, &rec, &[1]);
+        prop_assert_eq!(streamed, offline);
+    }
+}

@@ -4,7 +4,7 @@ use crate::Strategy;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-/// Inclusive length bounds for [`vec`].
+/// Inclusive length bounds for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
