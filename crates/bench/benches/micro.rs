@@ -120,6 +120,11 @@ fn bench_micro(c: &mut Criterion) {
         at
     };
 
+    // Fleet ingestion throughput (measured once, in the summary): many
+    // sessions on one AuthService sharing a single scan group over one
+    // hub stream, coarse windows sharded by the service's ScanDriver.
+    let fleet = measure_fleet_ingest(16);
+
     // Step I synthesis.
     c.bench_function("reference_signal_synthesis", |b| {
         b.iter(|| signal.waveform())
@@ -154,11 +159,94 @@ fn bench_micro(c: &mut Criterion) {
         )
     });
 
-    export_summary(c, samples_to_decision, recording.len());
+    export_summary(c, samples_to_decision, recording.len(), &fleet);
+}
+
+/// One deterministic fleet-ingest measurement for the summary block.
+struct FleetIngest {
+    sessions: usize,
+    hub_samples: usize,
+    elapsed_s: f64,
+    /// sessions × hub samples scanned per wall-clock second.
+    session_samples_per_s: f64,
+    all_granted: bool,
+}
+
+/// Opens `sessions` streaming sessions in one scan group, lays every
+/// session's signal pair out in one hub recording, streams it through the
+/// service in audio-callback chunks, and times session conclusion
+/// (mirrors `examples/fleet_ingest.rs` at bench scale).
+fn measure_fleet_ingest(sessions: usize) -> FleetIngest {
+    use piano_core::piano::PianoConfig;
+    use piano_core::stream::{AuthService, AuthSession};
+    use piano_core::wire::Message;
+
+    const STRIDE: usize = 12_288;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF1EE7);
+    let mut service = AuthService::new(PianoConfig::with_threshold(1.0));
+    let mut ids = Vec::with_capacity(sessions);
+    let mut hub = vec![0.0f64; sessions * STRIDE + 16_384];
+    let mut reports = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let id = service.open_session(false, &mut rng);
+        let challenge = service.poll_transmit(id).expect("challenge queued");
+        let mut voucher = AuthSession::voucher_with(Arc::clone(service.detector()));
+        voucher.handle_message(challenge).expect("valid challenge");
+        let wave_a = service
+            .session(id)
+            .and_then(|s| s.playback_waveform())
+            .expect("S_A known");
+        let wave_v = voucher.playback_waveform().expect("S_V known");
+        let base = i * STRIDE;
+        for (j, &v) in wave_a.iter().enumerate() {
+            hub[base + 2_000 + j] += 0.4 * v;
+        }
+        for (j, &v) in wave_v.iter().enumerate() {
+            hub[base + 8_000 + j] += 0.3 * v;
+        }
+        // The voucher heard the pair 5 871 samples apart ⇒ d ≈ 0.50 m.
+        reports.push(Message::TimeDiffReport {
+            session: voucher.session_id(),
+            vouch_diff_samples: Some(5_871.0),
+        });
+        ids.push(id);
+    }
+
+    let start = std::time::Instant::now();
+    for (id, report) in ids.iter().zip(reports) {
+        service
+            .handle_message(*id, report)
+            .expect("report accepted");
+    }
+    // ~0.37 s ticks: large enough that the service's ScanDriver shards
+    // each tick's coarse windows instead of taking the inline fallback.
+    for chunk in hub.chunks(16_384) {
+        let _ = service.push_audio(chunk);
+    }
+    let _ = service.finish_audio();
+    let all_granted = ids.iter().all(|id| {
+        matches!(
+            service.decision(*id),
+            Some(piano_core::piano::AuthDecision::Granted { .. })
+        )
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    FleetIngest {
+        sessions,
+        hub_samples: hub.len(),
+        elapsed_s,
+        session_samples_per_s: (sessions * hub.len()) as f64 / elapsed_s,
+        all_granted,
+    }
 }
 
 /// Writes `BENCH_micro.json` with raw measurements and headline speedups.
-fn export_summary(c: &Criterion, samples_to_decision: usize, recording_len: usize) {
+fn export_summary(
+    c: &Criterion,
+    samples_to_decision: usize,
+    recording_len: usize,
+    fleet: &FleetIngest,
+) {
     // Workspace root, two levels up from this crate's manifest.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -191,6 +279,15 @@ fn export_summary(c: &Criterion, samples_to_decision: usize, recording_len: usiz
         "streaming decision after {samples_to_decision}/{recording_len} samples, \
          {decision_speedup:.2}x faster than the full-buffer scan"
     );
+    println!(
+        "fleet ingest: {} sessions × {} hub samples in {:.3} s \
+         ({:.0} session·samples/s, all granted: {})",
+        fleet.sessions,
+        fleet.hub_samples,
+        fleet.elapsed_s,
+        fleet.session_samples_per_s,
+        fleet.all_granted
+    );
     // Splice the headline ratios into the top-level JSON object — strip
     // exactly the final closing brace, never more.
     if let Ok(text) = std::fs::read_to_string(path) {
@@ -202,8 +299,17 @@ fn export_summary(c: &Criterion, samples_to_decision: usize, recording_len: usiz
                  \"stream_to_decision_vs_full_scan\": {decision_speedup:.3}}},\n  \
                  \"streaming\": {{\"samples_to_decision\": {samples_to_decision}, \
                  \"recording_len\": {recording_len}, \
-                 \"decision_before_full_buffer\": {}}}\n}}\n",
-                samples_to_decision < recording_len
+                 \"decision_before_full_buffer\": {}}},\n  \
+                 \"fleet_ingest\": {{\"sessions\": {}, \"hub_samples\": {}, \
+                 \"scan_workers\": {}, \"elapsed_s\": {:.4}, \
+                 \"session_samples_per_s\": {:.0}, \"all_granted\": {}}}\n}}\n",
+                samples_to_decision < recording_len,
+                fleet.sessions,
+                fleet.hub_samples,
+                piano_core::stream::scan_workers_from_env(),
+                fleet.elapsed_s,
+                fleet.session_samples_per_s,
+                fleet.all_granted
             );
             let _ = std::fs::write(path, patched);
         }

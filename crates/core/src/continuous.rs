@@ -25,6 +25,9 @@
 //! against shared detectors (see
 //! [`crate::detect::Detector::detect_many_parallel`]).
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
 use rand_chacha::ChaCha8Rng;
 
 use piano_acoustics::AcousticField;
@@ -80,9 +83,10 @@ impl ContinuousSession {
             "policy needs at least one denial to lock"
         );
         assert!(
-            policy.recheck_period_s > 0.0,
-            "recheck period must be positive"
+            policy.recheck_period_s > 0.0 && policy.recheck_period_s.is_finite(),
+            "recheck period must be positive and finite"
         );
+        assert!(now_s.is_finite(), "open time must be finite");
         ContinuousSession {
             policy,
             state: SessionState::Active,
@@ -171,6 +175,179 @@ impl ContinuousSession {
             now_s,
             rng,
         )
+    }
+}
+
+/// Handle to a session owned by a [`ContinuousScheduler`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScheduleKey(u64);
+
+/// Maps a finite `f64` time to a totally ordered `u64` key (the standard
+/// sign-fold), so the heap can order floating-point check times without a
+/// wrapper type.
+fn time_bits(t: f64) -> u64 {
+    assert!(t.is_finite(), "check times must be finite, got {t}");
+    let bits = t.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Drives many [`ContinuousSession`] recheck loops off one
+/// [`AuthService`]: a min-priority queue on
+/// [`ContinuousSession::next_check_s`].
+///
+/// A fleet deployment re-verifies thousands of sessions on heterogeneous
+/// periods; scanning the whole session table every tick is `O(n)` per
+/// tick, while this queue pops exactly the due sessions in deadline order.
+/// Properties (unit-tested below):
+///
+/// * **Deadline order** — [`pop_due`](Self::pop_due) yields due sessions
+///   earliest-deadline-first; ties break by insertion order.
+/// * **Starvation freedom** — a due session is always served before any
+///   session with a later deadline, so mixed periods cannot starve the
+///   slow ones: every due session is popped before any session rescheduled
+///   *within* this batch can come due again.
+/// * **Mid-queue removal** — [`remove`](Self::remove) is `O(log n)`
+///   amortized via lazy deletion: the heap entry goes stale and is
+///   discarded when popped.
+///
+/// Locked sessions leave the queue automatically (nothing reschedules
+/// them) but stay queryable via [`session`](Self::session) until removed.
+#[derive(Debug, Default)]
+pub struct ContinuousScheduler {
+    sessions: HashMap<u64, ContinuousSession>,
+    /// Min-heap of `(time_bits(next_check_s), key)`. An entry is live iff
+    /// the keyed session exists, is Active, and still has that check time
+    /// (lazy deletion discards the rest on pop).
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    next_key: u64,
+}
+
+impl ContinuousScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        ContinuousScheduler::default()
+    }
+
+    /// Number of sessions owned (queued or locked).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the scheduler owns no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Adds a session, scheduling its next check. Returns its handle.
+    pub fn add(&mut self, session: ContinuousSession) -> ScheduleKey {
+        let key = ScheduleKey(self.next_key);
+        self.next_key += 1;
+        if session.state() == SessionState::Active {
+            self.queue
+                .push(Reverse((time_bits(session.next_check_s()), key.0)));
+        }
+        self.sessions.insert(key.0, session);
+        key
+    }
+
+    /// Read access to a session.
+    pub fn session(&self, key: ScheduleKey) -> Option<&ContinuousSession> {
+        self.sessions.get(&key.0)
+    }
+
+    /// Removes a session mid-queue, returning it if it existed. Any queue
+    /// entry becomes stale and is discarded lazily.
+    pub fn remove(&mut self, key: ScheduleKey) -> Option<ContinuousSession> {
+        self.sessions.remove(&key.0)
+    }
+
+    /// Discards stale heap entries, leaving a live entry (or nothing) on
+    /// top.
+    fn skim_stale(&mut self) {
+        while let Some(Reverse((bits, key))) = self.queue.peek().copied() {
+            let live = self.sessions.get(&key).is_some_and(|s| {
+                s.state() == SessionState::Active && time_bits(s.next_check_s()) == bits
+            });
+            if live {
+                return;
+            }
+            self.queue.pop();
+        }
+    }
+
+    /// The earliest scheduled check time, if any session is queued.
+    pub fn next_due_s(&mut self) -> Option<f64> {
+        self.skim_stale();
+        let Reverse((_, key)) = self.queue.peek()?;
+        Some(self.sessions[key].next_check_s())
+    }
+
+    /// Pops the most overdue session due at `now_s`, unscheduling it. The
+    /// caller runs the recheck and then calls
+    /// [`reschedule`](Self::reschedule) — or uses
+    /// [`run_due`](Self::run_due), which cannot forget to.
+    pub fn pop_due(&mut self, now_s: f64) -> Option<ScheduleKey> {
+        self.skim_stale();
+        let Reverse((_, key)) = self.queue.peek().copied()?;
+        if !self.sessions[&key].due(now_s) {
+            return None;
+        }
+        self.queue.pop();
+        Some(ScheduleKey(key))
+    }
+
+    /// Requeues a popped session at its current
+    /// [`ContinuousSession::next_check_s`]. Locked or removed sessions are
+    /// left unqueued.
+    pub fn reschedule(&mut self, key: ScheduleKey) {
+        if let Some(session) = self.sessions.get(&key.0) {
+            if session.state() == SessionState::Active {
+                self.queue
+                    .push(Reverse((time_bits(session.next_check_s()), key.0)));
+            }
+        }
+    }
+
+    /// Runs every session due at `now_s` through `recheck` in deadline
+    /// order, rescheduling the still-active ones. Returns the outcomes in
+    /// execution order.
+    ///
+    /// The callback receives the session exclusively; it is expected to
+    /// call [`ContinuousSession::recheck_via`] (or
+    /// [`ContinuousSession::recheck`]) against the shared service, which
+    /// advances `next_check_s` — sessions whose new deadline is still
+    /// ≤ `now_s` run again within this call, after everything less
+    /// recently served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callback leaves a still-due session's `next_check_s`
+    /// unchanged — requeueing it verbatim would loop forever.
+    pub fn run_due<F>(&mut self, now_s: f64, mut recheck: F) -> Vec<(ScheduleKey, SessionState)>
+    where
+        F: FnMut(ScheduleKey, &mut ContinuousSession) -> SessionState,
+    {
+        let mut outcomes = Vec::new();
+        let mut last_run: HashMap<u64, u64> = HashMap::new();
+        while let Some(key) = self.pop_due(now_s) {
+            let session = self
+                .sessions
+                .get_mut(&key.0)
+                .expect("pop_due only yields live sessions");
+            let bits = time_bits(session.next_check_s());
+            assert!(
+                last_run.insert(key.0, bits) != Some(bits),
+                "recheck callback must advance next_check_s (run recheck_via)"
+            );
+            let state = recheck(key, session);
+            self.reschedule(key);
+            outcomes.push((key, state));
+        }
+        outcomes
     }
 }
 
@@ -296,5 +473,145 @@ mod tests {
             },
             0.0,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_recheck_period_rejected() {
+        // A "never recheck" encoding would otherwise reach the scheduler
+        // as next_check_s = ∞ and panic on add.
+        let _ = ContinuousSession::open(
+            SessionPolicy {
+                denials_to_lock: 1,
+                recheck_period_s: f64::INFINITY,
+            },
+            0.0,
+        );
+    }
+
+    fn policy(period_s: f64) -> SessionPolicy {
+        SessionPolicy {
+            denials_to_lock: 2,
+            recheck_period_s: period_s,
+        }
+    }
+
+    /// Advances the session as a granted recheck would, without the
+    /// acoustic simulation (scheduler tests only exercise the queue).
+    fn tick(session: &mut ContinuousSession, now_s: f64) -> SessionState {
+        session.checks += 1;
+        session.next_check_s = now_s + session.policy.recheck_period_s;
+        session.state
+    }
+
+    #[test]
+    fn scheduler_pops_in_deadline_order_with_insertion_tiebreak() {
+        let mut sched = ContinuousScheduler::new();
+        // next_check_s = open_time + period.
+        let late = sched.add(ContinuousSession::open(policy(30.0), 0.0)); // due 30
+        let early = sched.add(ContinuousSession::open(policy(10.0), 0.0)); // due 10
+        let tied = sched.add(ContinuousSession::open(policy(10.0), 0.0)); // due 10
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.next_due_s(), Some(10.0));
+        assert_eq!(sched.pop_due(5.0), None, "nothing due yet");
+        let order: Vec<ScheduleKey> = sched
+            .run_due(30.0, |_, s| tick(s, 30.0))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(order, vec![early, tied, late]);
+    }
+
+    #[test]
+    fn scheduler_is_starvation_free_under_mixed_periods() {
+        // One fast session (period 1 s) and one slow (period 10 s): over
+        // 30 s of catch-up the slow session must still get every check.
+        let mut sched = ContinuousScheduler::new();
+        let fast = sched.add(ContinuousSession::open(policy(1.0), 0.0));
+        let slow = sched.add(ContinuousSession::open(policy(10.0), 0.0));
+        let outcomes = sched.run_due(30.0, |_, s| {
+            let now = s.next_check_s(); // catch-up: serve at the deadline
+            tick(s, now)
+        });
+        let fast_runs = outcomes.iter().filter(|(k, _)| *k == fast).count();
+        let slow_runs = outcomes.iter().filter(|(k, _)| *k == slow).count();
+        assert_eq!(fast_runs, 30, "fast session checks every second");
+        assert_eq!(slow_runs, 3, "slow session is never starved");
+        // Deadline order interleaves them: the slow session's 10 s check
+        // runs before the fast session's 11 s check.
+        let slow_first = outcomes.iter().position(|(k, _)| *k == slow).unwrap();
+        assert_eq!(slow_first, 10, "10 fast checks (1..=10 s) precede it");
+    }
+
+    #[test]
+    fn scheduler_removes_sessions_mid_queue() {
+        let mut sched = ContinuousScheduler::new();
+        let a = sched.add(ContinuousSession::open(policy(10.0), 0.0));
+        let b = sched.add(ContinuousSession::open(policy(20.0), 0.0));
+        let removed = sched.remove(a).expect("a existed");
+        assert_eq!(removed.checks(), 0);
+        assert_eq!(sched.len(), 1);
+        assert!(sched.session(a).is_none());
+        // The stale heap entry for `a` is skipped: `b` is served next.
+        assert_eq!(sched.next_due_s(), Some(20.0));
+        let order: Vec<ScheduleKey> = sched
+            .run_due(25.0, |_, s| tick(s, 25.0))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(order, vec![b]);
+        assert!(sched.remove(a).is_none(), "double remove is a no-op");
+    }
+
+    #[test]
+    fn scheduler_retires_locked_sessions_but_keeps_them_queryable() {
+        let mut sched = ContinuousScheduler::new();
+        let key = sched.add(ContinuousSession::open(policy(5.0), 0.0));
+        let outcomes = sched.run_due(5.0, |_, s| {
+            s.checks += 1;
+            s.next_check_s = 10.0;
+            s.state = SessionState::Locked;
+            s.state
+        });
+        assert_eq!(outcomes, vec![(key, SessionState::Locked)]);
+        // Locked: out of the queue, still owned and inspectable.
+        assert_eq!(sched.next_due_s(), None);
+        assert!(sched.run_due(100.0, |_, s| tick(s, 100.0)).is_empty());
+        assert_eq!(sched.session(key).unwrap().state(), SessionState::Locked);
+        assert_eq!(sched.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_drives_rechecks_against_one_service() {
+        // The integration shape: several continuous sessions, one shared
+        // AuthService, rechecks dispatched by deadline.
+        let (mut service, a, v, mut rng) = setup(0.5);
+        let mut sched = ContinuousScheduler::new();
+        let k1 = sched.add(ContinuousSession::open(policy(30.0), 0.0));
+        let k2 = sched.add(ContinuousSession::open(policy(45.0), 0.0));
+        let mut served = Vec::new();
+        for round in 0..2u64 {
+            let now = 45.0 + 45.0 * round as f64;
+            for (key, state) in sched.run_due(now, |key, session| {
+                served.push(key);
+                // One acoustic world per recheck: leftover emissions from
+                // a concurrent session's check would fail the β check.
+                let mut field = AcousticField::new(Environment::office(), 500 + round * 10 + key.0);
+                session.recheck_via(&mut service, &mut field, &a, &v, now, &mut rng)
+            }) {
+                assert_eq!(state, SessionState::Active, "{key:?}");
+            }
+        }
+        assert!(served.contains(&k1) && served.contains(&k2));
+        assert!(sched.session(k1).unwrap().checks() >= 1);
+        assert!(sched.session(k2).unwrap().checks() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance next_check_s")]
+    fn run_due_rejects_callbacks_that_do_not_advance_the_deadline() {
+        let mut sched = ContinuousScheduler::new();
+        let _ = sched.add(ContinuousSession::open(policy(1.0), 0.0));
+        let _ = sched.run_due(10.0, |_, s| s.state());
     }
 }

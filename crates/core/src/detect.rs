@@ -538,16 +538,35 @@ impl Detector {
         sigs: &[&SignalSignature],
         offsets: &[usize],
     ) -> (Vec<(f64, usize)>, usize) {
+        self.coarse_chunk_view(recording, 0, sigs, offsets)
+    }
+
+    /// [`Self::coarse_chunk`] over a *view*: `samples` holds the recording
+    /// from absolute offset `base`, and `offsets` are absolute window
+    /// offsets (each window must be covered by the view). This is the
+    /// kernel the streaming scan driver shards across workers — it runs
+    /// the identical arithmetic in the identical offset order as the
+    /// offline coarse pass, so per-shard maxima merge bit-identically.
+    pub(crate) fn coarse_chunk_view<S: std::borrow::Borrow<SignalSignature>>(
+        &self,
+        samples: &[f64],
+        base: usize,
+        sigs: &[S],
+        offsets: &[usize],
+    ) -> (Vec<(f64, usize)>, usize) {
         let w = self.config.signal_len;
         let mut scratch = SpectrumScratch::default();
         let mut spectrum: Vec<f64> = Vec::with_capacity(w);
         let mut best: Vec<(f64, usize)> =
             vec![(f64::NEG_INFINITY, offsets.first().copied().unwrap_or(0)); sigs.len()];
         for &i in offsets {
-            self.analyzer
-                .compute(&recording[i..i + w], &mut scratch, &mut spectrum);
+            self.analyzer.compute(
+                &samples[i - base..i - base + w],
+                &mut scratch,
+                &mut spectrum,
+            );
             for (b, sig) in best.iter_mut().zip(sigs) {
-                let p = self.norm_power(&spectrum, sig);
+                let p = self.norm_power(&spectrum, sig.borrow());
                 if p > b.0 {
                     *b = (p, i);
                 }
@@ -646,7 +665,9 @@ impl Detector {
 
 /// Folds one shard's per-signature maxima into the running best,
 /// preserving the serial first-maximum (earliest offset) semantics.
-fn merge_coarse(best: &mut [(f64, usize)], chunk: &[(f64, usize)]) {
+/// Shared with the streaming scan driver ([`crate::stream::ScanDriver`]),
+/// so the two parallel paths cannot diverge on the merge rule.
+pub(crate) fn merge_coarse(best: &mut [(f64, usize)], chunk: &[(f64, usize)]) {
     for (b, &(p, i)) in best.iter_mut().zip(chunk) {
         if p > b.0 {
             *b = (p, i);

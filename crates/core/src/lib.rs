@@ -45,6 +45,16 @@
 //! * [`detect::Detector::detect_many_parallel`] shards the coarse scan
 //!   across `std::thread::scope` workers with a deterministic merge —
 //!   results are bit-identical to the serial scan for every worker count.
+//! * [`stream::ScanDriver`] brings the same sharding to *streaming* scans:
+//!   each audio tick's coarse windows fan out across a configurable
+//!   worker pool (sized by `PIANO_SCAN_WORKERS` fleet-wide), with the
+//!   identical bit-for-bit guarantee; [`stream::AuthService`] drives all
+//!   of its scan groups through one.
+//! * [`wire`] scales ingestion: framed [`wire::Message::AudioBatch`]
+//!   decoding ([`wire::FrameReader`]) plus watermark backpressure
+//!   ([`wire::IngestFeed`]) let one service meter thousands of remote
+//!   feeds; [`continuous::ContinuousScheduler`] re-verifies fleets of
+//!   continuous sessions earliest-deadline-first.
 //! * [`piano::PianoAuthenticator`] builds its detector once and reuses it
 //!   for every attempt (and every continuous-session recheck), amortizing
 //!   plan construction; [`action::run_action_with`] exposes the same reuse
@@ -97,4 +107,6 @@ pub use error::PianoError;
 pub use freqgrid::FrequencyGrid;
 pub use piano::{AuthDecision, PianoAuthenticator, PianoConfig};
 pub use signal::{ReferenceSignal, SignalSampler};
-pub use stream::{AuthService, AuthSession, SessionEvent, SessionId, StreamingDetector};
+pub use stream::{
+    AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, StreamingDetector,
+};

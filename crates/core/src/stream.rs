@@ -41,6 +41,27 @@
 //!   hosts the whole-protocol convenience driver
 //!   ([`AuthService::authenticate_pair`]) that `PianoAuthenticator` now
 //!   shims to.
+//! * [`ScanDriver`] — the thread-pool scan driver. Each audio tick's
+//!   newly covered coarse windows are an embarrassingly parallel batch;
+//!   the driver shards them across a configurable pool of
+//!   `std::thread::scope` workers and merges per-signature maxima with
+//!   the deterministic (max power, earliest offset) rule shared with
+//!   [`Detector::detect_many_parallel`]. **Determinism guarantee:** for
+//!   every worker count the events, provisional detections, and
+//!   `finish()` results are bit-identical to the serial path — the pool
+//!   width is a pure throughput knob (`PIANO_SCAN_WORKERS` sizes it
+//!   fleet-wide; `tests/scan_driver_equivalence.rs` pins the contract).
+//!   [`AuthService::push_audio`] drives every scan group through its
+//!   driver, taking group scans off the pushing thread's critical path.
+//!
+//! Wire-level ingestion (framed batches, per-feed backpressure) lives in
+//! [`crate::wire`]: `Message::AudioBatch` + `FrameReader` feed sessions
+//! from a byte stream, and `IngestFeed` meters each feed against a
+//! buffered-sample high-water mark with `Busy`/`Credit` replies —
+//! `examples/fleet_ingest.rs` drives hundreds of interleaved feeds
+//! through the full stack. Continuous re-verification at fleet scale is
+//! scheduled by [`crate::continuous::ContinuousScheduler`], a priority
+//! queue on `next_check_s` over one shared service.
 //!
 //! # Why sans-IO?
 //!
@@ -75,6 +96,14 @@ use crate::wire::{Message, SignalSpec};
 /// Slack (in samples) the ring buffer keeps beyond the retention floor
 /// before compacting, so the `O(len)` front-drain amortizes.
 const COMPACT_SLACK: usize = 16_384;
+
+/// Minimum coarse-offset batch worth sharding across worker threads. A
+/// coarse window evaluation is one spectrum (tens of microseconds) —
+/// comparable to spawning a scoped thread — so small audio-callback ticks
+/// run serially on the pushing thread regardless of the configured pool
+/// width. Has no observable effect besides speed: results are worker-count
+/// invariant by construction.
+const MIN_SHARD_OFFSETS: usize = 8;
 
 /// The PIANO threshold rule: maps ACTION's distance verdict to the final
 /// decision under threshold τ. Shared by [`AuthSession`] and
@@ -173,6 +202,8 @@ pub struct StreamingDetector {
     /// re-running the fine scan on an unchanged maximum.
     early_attempted: Vec<Option<usize>>,
     early_fine_evals: usize,
+    /// Confidence multiplier on the provisional `ε·R_S` gate (≥ 1).
+    early_margin: f64,
     scratch: SpectrumScratch,
     spectrum: Vec<f64>,
     result: Option<ScanResult>,
@@ -200,6 +231,7 @@ impl StreamingDetector {
             early: vec![None; n],
             early_attempted: vec![None; n],
             early_fine_evals: 0,
+            early_margin: 1.0,
             scratch: SpectrumScratch::default(),
             spectrum: Vec::new(),
             result: None,
@@ -233,6 +265,31 @@ impl StreamingDetector {
         self.result.is_some()
     }
 
+    /// Tightens the provisional-detection gate by `margin` (≥ 1): an early
+    /// detection fires only once the running coarse maximum clears
+    /// `margin · ε·R_S` instead of the bare presence threshold (the
+    /// refined power then clears it too — the fine scan only ever raises
+    /// the coarse power, never lowers it). Higher
+    /// margins trade later (or suppressed) provisional events for a lower
+    /// provisional-vs-final disagreement rate; `finish()` is unaffected —
+    /// exact results never depend on the margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin` is finite and ≥ 1.
+    pub fn set_early_margin(&mut self, margin: f64) {
+        assert!(
+            margin.is_finite() && margin >= 1.0,
+            "early margin must be a finite multiplier ≥ 1, got {margin}"
+        );
+        self.early_margin = margin;
+    }
+
+    /// The provisional-detection confidence margin (default 1).
+    pub fn early_margin(&self) -> f64 {
+        self.early_margin
+    }
+
     /// Consumes one chunk of audio, returning any provisional detections
     /// that became available.
     ///
@@ -240,6 +297,27 @@ impl StreamingDetector {
     ///
     /// Panics if called after [`finish`](Self::finish).
     pub fn push(&mut self, samples: &[f64]) -> Vec<StreamEvent> {
+        self.push_with_workers(samples, 1)
+    }
+
+    /// [`push`](Self::push) with this tick's coarse windows sharded across
+    /// `workers` scoped threads ([`ScanDriver`] calls this). Events,
+    /// provisional detections, and [`finish`](Self::finish) results are
+    /// **bit-identical** to the serial path for every worker count: shards
+    /// are contiguous offset ranges evaluated in offline order, and the
+    /// per-signature merge keeps (max power, earliest offset) — the serial
+    /// first-maximum rule (see
+    /// [`Detector::detect_many_parallel`]).
+    ///
+    /// Ticks covering only a few coarse offsets run inline regardless of
+    /// `workers` (the sharding overhead would exceed the work); this is
+    /// invisible in the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or the stream already finished.
+    pub fn push_with_workers(&mut self, samples: &[f64], workers: usize) -> Vec<StreamEvent> {
+        assert!(workers > 0, "at least one worker is required");
         assert!(self.result.is_none(), "stream already finished");
         if samples.is_empty() {
             return Vec::new();
@@ -263,11 +341,12 @@ impl StreamingDetector {
         // Coarse pass over every newly covered offset, in offline order.
         let w = self.detector.config().signal_len;
         let step = self.detector.config().coarse_step.max(1);
+        let mut offsets = Vec::new();
         while self.next_coarse + w <= self.total {
-            let offset = self.next_coarse;
-            self.eval_coarse(offset);
+            offsets.push(self.next_coarse);
             self.next_coarse += step;
         }
+        self.eval_coarse_batch(&offsets, workers);
 
         // Early refinement: a cleared threshold plus a fully buffered
         // neighborhood yields a provisional detection now.
@@ -287,6 +366,75 @@ impl StreamingDetector {
             self.base = floor;
         }
         events
+    }
+
+    /// Evaluates one tick's batch of coarse offsets, optionally sharded
+    /// across scoped worker threads.
+    ///
+    /// Every offset in the batch sees the same ring state (the coarse walk
+    /// runs after the buffer extension, exactly like the serial per-offset
+    /// path), so evaluating shards concurrently and merging per-signature
+    /// maxima in shard order reproduces the serial running maximum — and
+    /// therefore the serial captures — bit for bit.
+    fn eval_coarse_batch(&mut self, offsets: &[usize], workers: usize) {
+        if offsets.is_empty() {
+            return;
+        }
+        // Tiny batches (a typical audio-callback tick covers a handful of
+        // offsets) aren't worth the spawn/join overhead: run them inline.
+        let workers = if offsets.len() < MIN_SHARD_OFFSETS {
+            1
+        } else {
+            workers.min(offsets.len())
+        };
+        if workers == 1 {
+            for &offset in offsets {
+                self.eval_coarse(offset);
+            }
+            return;
+        }
+        let detector = &self.detector;
+        let buf = &self.buf;
+        let base = self.base;
+        let sigs = &self.sigs;
+        let chunk_len = offsets.len().div_ceil(workers);
+        let shard_results: Vec<(Vec<(f64, usize)>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = offsets
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || detector.coarse_chunk_view(buf, base, sigs, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("coarse scan worker panicked"))
+                .collect()
+        });
+        let mut batch_best = vec![(f64::NEG_INFINITY, 0usize); self.sigs.len()];
+        for (shard_best, shard_evals) in shard_results {
+            crate::detect::merge_coarse(&mut batch_best, &shard_best);
+            self.coarse_evals += shard_evals;
+        }
+        // Fold the batch maxima into the running state and refresh the
+        // captures of signatures whose maximum moved — the data matches
+        // what the serial path would have captured at eval time, because
+        // the whole batch shares this tick's ring contents.
+        let w = self.detector.config().signal_len;
+        let radius = self.detector.config().fine_radius;
+        for (i, &(p, offset)) in batch_best.iter().enumerate() {
+            if p > self.best[i].0 {
+                self.best[i] = (p, offset);
+                let start = offset.saturating_sub(radius);
+                let want_end = offset + radius + w;
+                let avail_end = want_end.min(self.total);
+                self.captures[i] = Capture {
+                    valid: true,
+                    start,
+                    want_end,
+                    data: self.buf[start - self.base..avail_end - self.base].to_vec(),
+                };
+            }
+        }
     }
 
     /// Evaluates one coarse window (shared across signatures, exactly like
@@ -325,7 +473,8 @@ impl StreamingDetector {
             return None;
         }
         let (p, loc) = self.best[i];
-        if !p.is_finite() || p < self.detector.config().epsilon * self.sigs[i].rs() {
+        let gate = self.early_margin * self.detector.config().epsilon * self.sigs[i].rs();
+        if !p.is_finite() || p < gate {
             return None;
         }
         if !self.captures[i].complete() || self.early_attempted[i] == Some(loc) {
@@ -414,6 +563,86 @@ impl StreamingDetector {
     }
 }
 
+/// Environment variable overriding the default scan worker count.
+pub const SCAN_WORKERS_ENV: &str = "PIANO_SCAN_WORKERS";
+
+/// The scan worker count in force: `PIANO_SCAN_WORKERS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+///
+/// [`ScanDriver::from_env`], [`AuthService`], and the eval trial runner all
+/// derive their pool width from this, so one environment knob pins the
+/// whole workspace to a worker count (the CI matrix runs the suite at 1
+/// and 4).
+pub fn scan_workers_from_env() -> usize {
+    if let Ok(raw) = std::env::var(SCAN_WORKERS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The thread-pool scan driver: shards each audio tick's coarse windows
+/// across a configurable pool of `std::thread::scope` workers.
+///
+/// Algorithm 1's coarse pass is embarrassingly parallel across window
+/// offsets, and the (max power, earliest offset) merge rule makes the
+/// shard order irrelevant to the result: for **every** worker count the
+/// driver's detections, early-decision events, and `finish()` outputs are
+/// bit-identical to the serial [`StreamingDetector::push`] path
+/// (property-tested in `tests/scan_driver_equivalence.rs`). The driver is
+/// therefore a pure throughput knob — [`AuthService`] uses one to take
+/// group scans off the pushing thread's critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanDriver {
+    workers: usize,
+}
+
+impl ScanDriver {
+    /// A driver with a fixed worker-pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        ScanDriver { workers }
+    }
+
+    /// The single-worker driver: every scan runs on the pushing thread.
+    pub fn serial() -> Self {
+        ScanDriver::new(1)
+    }
+
+    /// A driver sized by [`scan_workers_from_env`].
+    pub fn from_env() -> Self {
+        ScanDriver::new(scan_workers_from_env())
+    }
+
+    /// The pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Feeds one chunk through `scanner` with this driver's pool:
+    /// equivalent to [`StreamingDetector::push`], bit for bit, with the
+    /// coarse windows sharded across the workers.
+    pub fn drive(&self, scanner: &mut StreamingDetector, samples: &[f64]) -> Vec<StreamEvent> {
+        scanner.push_with_workers(samples, self.workers)
+    }
+}
+
+impl Default for ScanDriver {
+    /// [`ScanDriver::from_env`].
+    fn default() -> Self {
+        ScanDriver::from_env()
+    }
+}
+
 /// Which reference signal an event refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SignalRole {
@@ -475,6 +704,7 @@ pub struct AuthSession {
     is_authenticator: bool,
     threshold_m: f64,
     early_decision: bool,
+    early_margin: f64,
     session_id: u64,
     detector: Arc<Detector>,
     sa: Option<ReferenceSignal>,
@@ -539,6 +769,7 @@ impl AuthSession {
             is_authenticator: true,
             threshold_m,
             early_decision: false,
+            early_margin: 1.0,
             session_id,
             detector,
             sa: Some(sa),
@@ -579,6 +810,7 @@ impl AuthSession {
             is_authenticator: false,
             threshold_m: f64::INFINITY,
             early_decision: false,
+            early_margin: 1.0,
             session_id: 0,
             detector,
             sa: None,
@@ -608,8 +840,40 @@ impl AuthSession {
     ///
     /// Early locations are provisional (see [`StreamEvent`]); sessions that
     /// need exact offline-equivalent results leave this off (the default).
+    ///
+    /// Equivalent to
+    /// [`enable_early_decision_with_confidence`](Self::enable_early_decision_with_confidence)
+    /// at confidence 1 (the bare `ε·R_S` presence gate).
     pub fn enable_early_decision(&mut self) {
+        self.enable_early_decision_with_confidence(1.0);
+    }
+
+    /// Opts into early conclusion with a confidence margin: provisional
+    /// locations only fire once the coarse maximum clears
+    /// `confidence · ε·R_S` (see [`StreamingDetector::set_early_margin`]).
+    /// Raising the confidence lowers the provisional-vs-final disagreement
+    /// rate at the cost of later (or, on weak signals, suppressed)
+    /// early decisions; `tests/early_decision_calibration.rs` quantifies
+    /// the trade-off under noise sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence` is finite and ≥ 1.
+    pub fn enable_early_decision_with_confidence(&mut self, confidence: f64) {
+        assert!(
+            confidence.is_finite() && confidence >= 1.0,
+            "early-decision confidence must be a finite multiplier ≥ 1, got {confidence}"
+        );
         self.early_decision = true;
+        self.early_margin = confidence;
+        if let Some(scanner) = &mut self.scanner {
+            scanner.set_early_margin(confidence);
+        }
+    }
+
+    /// The early-decision confidence margin, if early decision is enabled.
+    pub fn early_confidence(&self) -> Option<f64> {
+        self.early_decision.then_some(self.early_margin)
     }
 
     /// Current phase.
@@ -703,14 +967,17 @@ impl AuthSession {
     ///   protocol) and becomes [`SessionPhase::Challenged`].
     /// * Authenticator + [`Message::TimeDiffReport`]: records the report
     ///   and decides if its own locations are ready.
-    /// * Either role + [`Message::AudioChunk`]: verifies session and
-    ///   sequence, then feeds the samples as
-    ///   [`push_audio`](Self::push_audio) would.
+    /// * Either role + [`Message::AudioChunk`] /
+    ///   [`Message::AudioBatch`]: verifies session and sequence (a batch
+    ///   covers `start_seq .. start_seq + chunks.len()`), then feeds the
+    ///   samples as [`push_audio`](Self::push_audio) would.
     ///
     /// # Errors
     ///
     /// Returns [`PianoError::Wire`] for messages that do not fit the
-    /// session's role, phase, id, or audio sequence.
+    /// session's role, phase, id, or audio sequence, and for flow-control
+    /// replies ([`Message::Busy`] / [`Message::Credit`]) — those address
+    /// the audio *sender*, not the session state machine.
     pub fn handle_message(&mut self, msg: Message) -> Result<Vec<SessionEvent>, PianoError> {
         match msg {
             Message::ReferenceSignals { session, sa, sv } => {
@@ -764,25 +1031,47 @@ impl AuthSession {
                 seq,
                 samples,
             } => {
-                if self.phase == SessionPhase::Idle {
-                    return Err(PianoError::Wire("audio before the challenge".into()));
-                }
-                if session != self.session_id {
-                    return Err(PianoError::Wire(format!(
-                        "audio for session {session:#x}, expected {:#x}",
-                        self.session_id
-                    )));
-                }
-                if seq != self.next_audio_seq {
-                    return Err(PianoError::Wire(format!(
-                        "audio gap: got seq {seq}, expected {}",
-                        self.next_audio_seq
-                    )));
-                }
+                self.check_wire_audio(session, seq)?;
                 self.next_audio_seq += 1;
                 Ok(self.push_audio(&samples))
             }
+            Message::AudioBatch {
+                session,
+                start_seq,
+                chunks,
+            } => {
+                self.check_wire_audio(session, start_seq)?;
+                self.next_audio_seq += chunks.len() as u32;
+                let mut events = Vec::new();
+                for chunk in &chunks {
+                    events.extend(self.push_audio(chunk));
+                }
+                Ok(events)
+            }
+            Message::Busy { .. } | Message::Credit { .. } => Err(PianoError::Wire(
+                "flow-control reply addressed to a session state machine".into(),
+            )),
         }
+    }
+
+    /// Validates the phase, session id, and sequence of wire-framed audio.
+    fn check_wire_audio(&self, session: u64, seq: u32) -> Result<(), PianoError> {
+        if self.phase == SessionPhase::Idle {
+            return Err(PianoError::Wire("audio before the challenge".into()));
+        }
+        if session != self.session_id {
+            return Err(PianoError::Wire(format!(
+                "audio for session {session:#x}, expected {:#x}",
+                self.session_id
+            )));
+        }
+        if seq != self.next_audio_seq {
+            return Err(PianoError::Wire(format!(
+                "audio gap: got seq {seq}, expected {}",
+                self.next_audio_seq
+            )));
+        }
+        Ok(())
     }
 
     /// Feeds one chunk of this device's own recording.
@@ -956,13 +1245,15 @@ impl AuthSession {
     }
 
     fn make_scanner(&self) -> StreamingDetector {
-        StreamingDetector::new(
+        let mut scanner = StreamingDetector::new(
             Arc::clone(&self.detector),
             vec![
                 self.sig_a.clone().expect("signals known before listening"),
                 self.sig_v.clone().expect("signals known before listening"),
             ],
-        )
+        );
+        scanner.set_early_margin(self.early_margin);
+        scanner
     }
 
     /// The locations to conclude from: exact results when the scan is
@@ -1066,13 +1357,16 @@ pub struct AuthService {
     link: BluetoothLink,
     sessions: HashMap<SessionId, AuthSession>,
     groups: Vec<ScanGroup>,
+    driver: ScanDriver,
     next_id: u64,
     last_outcome: Option<ActionOutcome>,
 }
 
 impl AuthService {
     /// Creates a service with no bonds and one cached detector for the
-    /// configured action parameters.
+    /// configured action parameters. Group scans run under the
+    /// environment-sized [`ScanDriver::from_env`];
+    /// [`set_scan_driver`](Self::set_scan_driver) overrides it.
     ///
     /// # Panics
     ///
@@ -1087,6 +1381,7 @@ impl AuthService {
             link: BluetoothLink::new(),
             sessions: HashMap::new(),
             groups: Vec::new(),
+            driver: ScanDriver::from_env(),
             next_id: 0,
             last_outcome: None,
         }
@@ -1095,6 +1390,17 @@ impl AuthService {
     /// The configuration in force.
     pub fn config(&self) -> &PianoConfig {
         &self.config
+    }
+
+    /// The scan driver sharding group coarse scans across workers.
+    pub fn scan_driver(&self) -> ScanDriver {
+        self.driver
+    }
+
+    /// Replaces the scan driver. Results never depend on the pool width
+    /// (see [`ScanDriver`]); this is a pure throughput knob.
+    pub fn set_scan_driver(&mut self, driver: ScanDriver) {
+        self.driver = driver;
     }
 
     /// Updates the default authentication threshold.
@@ -1284,7 +1590,7 @@ impl AuthService {
         id: SessionId,
         msg: Message,
     ) -> Result<Vec<SessionEvent>, PianoError> {
-        if matches!(msg, Message::AudioChunk { .. }) {
+        if matches!(msg, Message::AudioChunk { .. } | Message::AudioBatch { .. }) {
             return Err(PianoError::Wire(
                 "service sessions share one audio stream: use AuthService::push_audio".into(),
             ));
@@ -1298,10 +1604,12 @@ impl AuthService {
 
     /// Feeds one chunk of the host's shared recording to every scan group:
     /// one coarse pass per group per tick, regardless of how many sessions
-    /// it carries. Returns per-session events (provisional detections,
-    /// early decisions).
+    /// it carries, with each group's coarse windows sharded across the
+    /// service's [`ScanDriver`] pool. Returns per-session events
+    /// (provisional detections, early decisions).
     pub fn push_audio(&mut self, samples: &[f64]) -> Vec<(SessionId, SessionEvent)> {
         let mut out = Vec::new();
+        let driver = self.driver;
         for group in &mut self.groups {
             if group.scanner.is_none() {
                 let mut sigs = Vec::with_capacity(group.members.len() * 2);
@@ -1313,7 +1621,7 @@ impl AuthService {
                 group.scanner = Some(StreamingDetector::new(Arc::clone(&group.detector), sigs));
             }
             let scanner = group.scanner.as_mut().expect("just ensured");
-            for ev in scanner.push(samples) {
+            for ev in driver.drive(scanner, samples) {
                 let StreamEvent::EarlyDetection {
                     signature,
                     detection,
@@ -1810,6 +2118,215 @@ mod tests {
         let detector = Arc::new(Detector::new(&cfg));
         let mut session_v = AuthSession::voucher_with(detector);
         let _ = session_v.push_audio(&[0.0; 10]);
+    }
+
+    #[test]
+    fn scan_driver_is_bit_identical_to_serial_push_for_all_worker_counts() {
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let sa = ReferenceSignal::from_indices(&cfg, vec![2, 9, 17], &mut rng(60));
+        let sv = ReferenceSignal::from_indices(&cfg, vec![5, 13, 26], &mut rng(61));
+        let sig_a = SignalSignature::of(&sa, &cfg);
+        let sig_v = SignalSignature::of(&sv, &cfg);
+        let mut rec = vec![0.0; 40_000];
+        embed_into(&mut rec, &sa.waveform(), 6_500, 0.35);
+        embed_into(&mut rec, &sv.waveform(), 23_117, 0.3);
+
+        // 12 288-sample ticks cover ≥ 8 coarse offsets, so the sharded
+        // path (not the small-batch inline fallback) is what's compared.
+        let (serial_result, serial_events) =
+            stream_scan(&detector, &[&sig_a, &sig_v], &rec, 12_288);
+        for workers in [1, 2, 4, 7, 16] {
+            let driver = ScanDriver::new(workers);
+            let mut s =
+                StreamingDetector::new(Arc::clone(&detector), vec![sig_a.clone(), sig_v.clone()]);
+            let mut events = Vec::new();
+            for c in rec.chunks(12_288) {
+                events.extend(driver.drive(&mut s, c));
+            }
+            assert_eq!(events, serial_events, "workers = {workers}");
+            assert_eq!(
+                s.early_detection(0),
+                events
+                    .iter()
+                    .find_map(|e| {
+                        let StreamEvent::EarlyDetection {
+                            signature: 0,
+                            detection,
+                            samples_consumed,
+                        } = e
+                        else {
+                            return None;
+                        };
+                        Some(EarlyDetection {
+                            detection: *detection,
+                            samples_consumed: *samples_consumed,
+                        })
+                    })
+                    .as_ref(),
+            );
+            assert_eq!(s.finish(), serial_result, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn scan_driver_rejects_zero_workers() {
+        let _ = ScanDriver::new(0);
+    }
+
+    #[test]
+    fn service_scan_driver_does_not_change_results() {
+        // The same two-session scenario under a serial and a 4-worker
+        // driver must produce identical events and decisions.
+        let run = |driver: ScanDriver| {
+            let cfg = PianoConfig::with_threshold(2.0);
+            let mut service = AuthService::new(cfg);
+            service.set_scan_driver(driver);
+            assert_eq!(service.scan_driver(), driver);
+            let mut r = rng(70);
+            let id1 = service.open_session(false, &mut r);
+            let id2 = service.open_session(false, &mut r);
+            let w1 = service.session(id1).unwrap().playback_waveform().unwrap();
+            let w2 = service.session(id2).unwrap().playback_waveform().unwrap();
+            let mut hub = vec![0.0; 30_000];
+            embed_into(&mut hub, &w1, 4_000, 0.5);
+            embed_into(&mut hub, &w2, 14_000, 0.5);
+            let mut events = Vec::new();
+            // Big ticks so the 4-worker run actually shards its windows.
+            for c in hub.chunks(13_000) {
+                events.extend(service.push_audio(c));
+            }
+            events.extend(service.finish_audio());
+            let ffts = [id1, id2].map(|id| service.session(id).unwrap().scan_ffts());
+            (events, ffts)
+        };
+        assert_eq!(run(ScanDriver::serial()), run(ScanDriver::new(4)));
+    }
+
+    #[test]
+    fn audio_batch_messages_drive_a_session() {
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let mut r = rng(71);
+        let mut session_a = AuthSession::authenticator_with(Arc::clone(&detector), 1.0, &mut r);
+        let challenge = session_a.poll_transmit().unwrap();
+        let mut session_v = AuthSession::voucher_with(Arc::clone(&detector));
+        session_v.handle_message(challenge).unwrap();
+        let session = session_v.session_id();
+
+        let wave_v = session_v.playback_waveform().unwrap();
+        let mut rec = vec![0.0; 16_384];
+        embed_into(&mut rec, &wave_v, 5_000, 0.5);
+        // Deliver the recording as batches of four 1024-sample chunks.
+        let chunks: Vec<Vec<f64>> = rec.chunks(1024).map(<[f64]>::to_vec).collect();
+        for (i, batch) in chunks.chunks(4).enumerate() {
+            session_v
+                .handle_message(Message::AudioBatch {
+                    session,
+                    start_seq: (i * 4) as u32,
+                    chunks: batch.to_vec(),
+                })
+                .unwrap();
+        }
+        assert_eq!(session_v.samples_consumed(), rec.len());
+        // A batch out of sequence is rejected whole.
+        let err = session_v
+            .handle_message(Message::AudioBatch {
+                session,
+                start_seq: 3,
+                chunks: vec![vec![0.0; 8]],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("gap"), "{err}");
+        // Flow-control replies never address a session.
+        assert!(session_v
+            .handle_message(Message::Busy {
+                session,
+                buffered_samples: 1,
+                high_water: 1,
+            })
+            .is_err());
+        assert!(session_v
+            .handle_message(Message::Credit {
+                session,
+                samples: 1,
+            })
+            .is_err());
+        let _ = session_v.finish_audio();
+        assert_eq!(session_v.phase(), SessionPhase::Decided);
+        let report = session_v.poll_transmit().unwrap();
+        assert!(matches!(report, Message::TimeDiffReport { .. }));
+    }
+
+    #[test]
+    fn early_margin_delays_or_suppresses_provisional_detections() {
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let sig_ref = ReferenceSignal::from_indices(&cfg, vec![3, 12, 24], &mut rng(72));
+        let sig = SignalSignature::of(&sig_ref, &cfg);
+        let mut rec = vec![0.0; 50_000];
+        embed_into(&mut rec, &sig_ref.waveform(), 9_000, 0.12); // borderline gain
+        let early_at = |margin: f64| {
+            let mut s = StreamingDetector::new(Arc::clone(&detector), vec![sig.clone()]);
+            s.set_early_margin(margin);
+            assert_eq!(s.early_margin(), margin);
+            let mut at = None;
+            for c in rec.chunks(1000) {
+                for ev in s.push(c) {
+                    let StreamEvent::EarlyDetection {
+                        samples_consumed, ..
+                    } = ev;
+                    at.get_or_insert(samples_consumed);
+                }
+            }
+            (at, s.finish())
+        };
+        let (at_default, final_default) = early_at(1.0);
+        let (at_strict, final_strict) = early_at(1e6);
+        assert_eq!(
+            final_default, final_strict,
+            "finish() never depends on the margin"
+        );
+        assert!(at_default.is_some(), "default margin fires on this signal");
+        match at_strict {
+            None => {} // suppressed entirely: acceptable for a huge margin
+            Some(at) => assert!(
+                at >= at_default.unwrap(),
+                "strict margin cannot fire earlier"
+            ),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite multiplier")]
+    fn early_margin_below_one_is_rejected() {
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let sig = SignalSignature::of(
+            &ReferenceSignal::from_indices(&cfg, vec![1], &mut rng(73)),
+            &cfg,
+        );
+        let mut s = StreamingDetector::new(detector, vec![sig]);
+        s.set_early_margin(0.5);
+    }
+
+    #[test]
+    fn session_confidence_knob_is_exposed_and_applied() {
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let mut r = rng(74);
+        let mut session = AuthSession::authenticator_with(Arc::clone(&detector), 1.0, &mut r);
+        assert_eq!(session.early_confidence(), None);
+        session.enable_early_decision();
+        assert_eq!(session.early_confidence(), Some(1.0));
+        session.enable_early_decision_with_confidence(2.5);
+        assert_eq!(session.early_confidence(), Some(2.5));
+        // The knob reaches the scanner, including one already listening.
+        let _ = session.poll_transmit();
+        let _ = session.push_audio(&[0.0; 64]);
+        session.enable_early_decision_with_confidence(3.5);
+        assert_eq!(session.scanner.as_ref().unwrap().early_margin(), 3.5);
     }
 
     #[test]

@@ -1,10 +1,32 @@
-//! Binary wire format for protocol messages.
+//! Binary wire format for protocol messages, stream framing, and
+//! per-feed flow control.
 //!
 //! Step II sends the two reference signals to the vouching device and Step
 //! V returns the local time difference. Messages are encoded with a small
 //! explicit binary codec (little-endian, length-prefixed) rather than a
 //! serialization framework so the on-the-wire byte count — which feeds the
 //! Bluetooth timing/energy models — is meaningful and stable.
+//!
+//! # Streaming ingestion at scale
+//!
+//! A remote [`crate::stream::AuthService`] ingesting thousands of
+//! concurrent microphone feeds needs three things beyond the basic message
+//! codec, all provided here:
+//!
+//! * **Batched audio** — [`Message::AudioBatch`] carries a run of
+//!   consecutive audio chunks in one frame, amortizing the per-message tag
+//!   and session header across a network read.
+//! * **Framing** — [`Message::encode_framed`] prefixes the encoding with a
+//!   `u32` length, and [`FrameReader`] reassembles messages from an
+//!   arbitrarily segmented byte stream (TCP reads, BLE notifications),
+//!   enforcing [`MAX_FRAME_BYTES`] before buffering.
+//! * **Backpressure** — [`IngestFeed`] accounts buffered-but-unscanned
+//!   samples per feed against a high-water mark, queueing
+//!   [`Message::Busy`] when a sender overruns and [`Message::Credit`]
+//!   once the scan drains the backlog, so a slow scanner throttles its
+//!   senders instead of buffering without bound.
+
+use std::collections::VecDeque;
 
 use crate::config::ActionConfig;
 use crate::error::PianoError;
@@ -51,6 +73,44 @@ pub enum Message {
         seq: u32,
         /// PCM samples in stream order.
         samples: Vec<f64>,
+    },
+    /// A framed batch of consecutive audio chunks.
+    ///
+    /// Semantically identical to delivering
+    /// `chunks.len()` [`Message::AudioChunk`]s with sequence numbers
+    /// `start_seq, start_seq+1, …` — one frame instead of many amortizes
+    /// the header and lets an ingest node pull a whole network read's
+    /// worth of audio through the decoder at once. Caps:
+    /// [`MAX_AUDIO_BATCH_CHUNKS`] chunks, [`MAX_AUDIO_CHUNK_SAMPLES`] per
+    /// chunk, [`MAX_AUDIO_BATCH_SAMPLES`] total; both encoder and decoder
+    /// enforce all three.
+    AudioBatch {
+        /// Session identifier the audio belongs to.
+        session: u64,
+        /// Sequence number of `chunks[0]`; chunk `i` has `start_seq + i`.
+        start_seq: u32,
+        /// Consecutive PCM chunks in stream order.
+        chunks: Vec<Vec<f64>>,
+    },
+    /// Flow control: the receiver's buffered backlog crossed its
+    /// high-water mark. The sender should pause this session's audio until
+    /// a [`Message::Credit`] arrives; audio already in flight is still
+    /// accepted (sequence numbers keep advancing).
+    Busy {
+        /// Session identifier the backlog belongs to.
+        session: u64,
+        /// Samples buffered but not yet scanned when the mark was crossed.
+        buffered_samples: u64,
+        /// The receiver's configured high-water mark, in samples.
+        high_water: u64,
+    },
+    /// Flow control: the receiver drained its backlog; the sender may
+    /// resume and keep roughly `samples` in flight.
+    Credit {
+        /// Session identifier the grant belongs to.
+        session: u64,
+        /// Samples of headroom now available.
+        samples: u64,
     },
 }
 
@@ -119,11 +179,28 @@ impl SignalSpec {
 const TAG_REFERENCE_SIGNALS: u8 = 1;
 const TAG_TIME_DIFF: u8 = 2;
 const TAG_AUDIO_CHUNK: u8 = 3;
+const TAG_AUDIO_BATCH: u8 = 4;
+const TAG_BUSY: u8 = 5;
+const TAG_CREDIT: u8 = 6;
 
 /// Ceiling on samples per [`Message::AudioChunk`]: one second at the
 /// paper's 44.1 kHz rate, rounded up. Chunks are meant to be small (a few
 /// audio-callback buffers); anything larger is a malformed frame.
 pub const MAX_AUDIO_CHUNK_SAMPLES: usize = 65_536;
+
+/// Ceiling on chunks per [`Message::AudioBatch`].
+pub const MAX_AUDIO_BATCH_CHUNKS: usize = 256;
+
+/// Ceiling on *total* samples per [`Message::AudioBatch`]: four seconds at
+/// 44.1 kHz, rounded up — twice the paper's full recording, so one batch
+/// can never buffer more than a couple of scans' worth of audio.
+pub const MAX_AUDIO_BATCH_SAMPLES: usize = 262_144;
+
+/// Ceiling on one framed message's payload length. Sized to admit a
+/// maximal [`Message::AudioBatch`] (the largest legal message) with
+/// header slack; [`FrameReader`] rejects larger length prefixes before
+/// buffering a byte of the payload.
+pub const MAX_FRAME_BYTES: usize = MAX_AUDIO_BATCH_SAMPLES * 8 + 4096;
 
 impl Message {
     /// Encodes the message to bytes.
@@ -175,7 +252,66 @@ impl Message {
                     out.extend_from_slice(&s.to_le_bytes());
                 }
             }
+            Message::AudioBatch {
+                session,
+                start_seq,
+                chunks,
+            } => {
+                assert!(
+                    chunks.len() <= MAX_AUDIO_BATCH_CHUNKS,
+                    "audio batch of {} chunks exceeds the {MAX_AUDIO_BATCH_CHUNKS} wire cap; \
+                     split it into smaller batches",
+                    chunks.len()
+                );
+                let total: usize = chunks.iter().map(Vec::len).sum();
+                assert!(
+                    total <= MAX_AUDIO_BATCH_SAMPLES,
+                    "audio batch of {total} samples exceeds the {MAX_AUDIO_BATCH_SAMPLES} wire \
+                     cap; split it into smaller batches"
+                );
+                out.push(TAG_AUDIO_BATCH);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&start_seq.to_le_bytes());
+                out.extend_from_slice(&(chunks.len() as u16).to_le_bytes());
+                for chunk in chunks {
+                    assert!(
+                        chunk.len() <= MAX_AUDIO_CHUNK_SAMPLES,
+                        "batch chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} wire \
+                         cap; split it into smaller chunks",
+                        chunk.len()
+                    );
+                    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+                    for &s in chunk {
+                        out.extend_from_slice(&s.to_le_bytes());
+                    }
+                }
+            }
+            Message::Busy {
+                session,
+                buffered_samples,
+                high_water,
+            } => {
+                out.push(TAG_BUSY);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&buffered_samples.to_le_bytes());
+                out.extend_from_slice(&high_water.to_le_bytes());
+            }
+            Message::Credit { session, samples } => {
+                out.push(TAG_CREDIT);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&samples.to_le_bytes());
+            }
         }
+        out
+    }
+
+    /// [`encode`](Self::encode) with a little-endian `u32` length prefix —
+    /// the frame format [`FrameReader`] consumes.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
         out
     }
 
@@ -227,6 +363,52 @@ impl Message {
                     samples,
                 }
             }
+            TAG_AUDIO_BATCH => {
+                let session = r.u64()?;
+                let start_seq = r.u32()?;
+                let n_chunks = r.u16()? as usize;
+                if n_chunks > MAX_AUDIO_BATCH_CHUNKS {
+                    return Err(PianoError::Wire(format!(
+                        "audio batch of {n_chunks} chunks exceeds the {MAX_AUDIO_BATCH_CHUNKS} cap"
+                    )));
+                }
+                let mut total = 0usize;
+                let mut chunks = Vec::with_capacity(n_chunks);
+                for _ in 0..n_chunks {
+                    let n = r.u32()? as usize;
+                    if n > MAX_AUDIO_CHUNK_SAMPLES {
+                        return Err(PianoError::Wire(format!(
+                            "batch chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
+                        )));
+                    }
+                    total += n;
+                    if total > MAX_AUDIO_BATCH_SAMPLES {
+                        return Err(PianoError::Wire(format!(
+                            "audio batch of {total}+ samples exceeds the \
+                             {MAX_AUDIO_BATCH_SAMPLES} cap"
+                        )));
+                    }
+                    let mut samples = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        samples.push(r.f64()?);
+                    }
+                    chunks.push(samples);
+                }
+                Message::AudioBatch {
+                    session,
+                    start_seq,
+                    chunks,
+                }
+            }
+            TAG_BUSY => Message::Busy {
+                session: r.u64()?,
+                buffered_samples: r.u64()?,
+                high_water: r.u64()?,
+            },
+            TAG_CREDIT => Message::Credit {
+                session: r.u64()?,
+                samples: r.u64()?,
+            },
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
         };
         if r.pos != bytes.len() {
@@ -299,6 +481,286 @@ impl Reader<'_> {
     }
     fn f64(&mut self) -> Result<f64, PianoError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("size")))
+    }
+}
+
+/// Reassembles length-prefixed [`Message`] frames from an arbitrarily
+/// segmented byte stream.
+///
+/// Push bytes as they arrive (any slicing — TCP reads, BLE notifications,
+/// byte-at-a-time) with [`push`](Self::push), then drain complete messages
+/// with [`next_frame`](Self::next_frame). The reader enforces
+/// [`MAX_FRAME_BYTES`] on the length prefix *before* buffering the
+/// payload, so a malicious 4-byte header cannot make it allocate
+/// unboundedly. A framing error (oversized prefix, malformed payload)
+/// poisons the reader — a byte stream that has lost framing cannot be
+/// trusted to resynchronize.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Contiguous stream buffer; `buf[pos..]` is the unconsumed tail
+    /// (compacted once the consumed prefix amortizes — the same pattern
+    /// as the streaming detector's ring).
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+/// Consumed-prefix slack a [`FrameReader`] tolerates before compacting.
+const FRAME_COMPACT_SLACK: usize = 64 * 1024;
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw stream bytes. Accepts anything byte-slice-like,
+    /// including the vendored `bytes::Bytes`.
+    pub fn push(&mut self, data: impl AsRef<[u8]>) {
+        self.buf.extend_from_slice(data.as_ref());
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a framing error has poisoned the reader.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Decodes the next complete message, or `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PianoError::Wire`] on an oversized length prefix or a
+    /// payload [`Message::decode`] rejects; every later call then fails
+    /// the same way (the reader is poisoned).
+    pub fn next_frame(&mut self) -> Result<Option<Message>, PianoError> {
+        if self.poisoned {
+            return Err(PianoError::Wire(
+                "frame reader poisoned by an earlier framing error".into(),
+            ));
+        }
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes buffered");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME_BYTES {
+            self.poisoned = true;
+            return Err(PianoError::Wire(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap"
+            )));
+        }
+        if self.buffered() < 4 + len {
+            return Ok(None);
+        }
+        let body = &self.buf[self.pos + 4..self.pos + 4 + len];
+        match Message::decode(body) {
+            Ok(msg) => {
+                self.pos += 4 + len;
+                if self.pos > FRAME_COMPACT_SLACK {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                Ok(Some(msg))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Per-feed ingestion accounting: sequence tracking, a bounded pending
+/// buffer, and watermark-based flow control.
+///
+/// One `IngestFeed` fronts one remote audio feed on an ingest node. Wire
+/// audio goes in via [`accept`](Self::accept) (which verifies session id
+/// and sequence contiguity), the scan drains samples out via
+/// [`take_pending`](Self::take_pending), and the feed queues flow-control
+/// replies for the sender:
+///
+/// * crossing the **high-water mark** queues one [`Message::Busy`] — the
+///   sender should pause (in-flight audio is still accepted; dropping
+///   sequenced audio would corrupt the stream);
+/// * draining back under the **low-water mark** (half the high-water
+///   mark) queues one [`Message::Credit`] with the regained headroom;
+/// * the **hard limit** ([`hard_limit`](Self::hard_limit): the
+///   high-water mark plus one maximal batch of post-`Busy` in-flight
+///   slack) is where cooperation ends — a sender that ignores `Busy`
+///   past it gets its audio *rejected* (feed state unchanged), so one
+///   misbehaving feed can never buffer without bound; the caller should
+///   drop the feed.
+///
+/// Drain replies with [`poll_reply`](Self::poll_reply).
+/// [`peak_buffered`](Self::peak_buffered) records the observed
+/// high-water mark for capacity planning.
+#[derive(Debug)]
+pub struct IngestFeed {
+    session: u64,
+    high_water: usize,
+    low_water: usize,
+    next_seq: u32,
+    pending: VecDeque<f64>,
+    peak_buffered: usize,
+    awaiting_credit: bool,
+    replies: VecDeque<Message>,
+}
+
+impl IngestFeed {
+    /// A feed for wire session `session` that tolerates up to
+    /// `high_water` buffered-but-unscanned samples before pushing back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_water` is zero.
+    pub fn new(session: u64, high_water: usize) -> Self {
+        assert!(high_water > 0, "high-water mark must be positive");
+        IngestFeed {
+            session,
+            high_water,
+            low_water: high_water / 2,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            peak_buffered: 0,
+            awaiting_credit: false,
+            replies: VecDeque::new(),
+        }
+    }
+
+    /// The wire session id this feed accepts audio for.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Samples accepted but not yet taken by the scan.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The largest backlog ever observed, in samples.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Whether a [`Message::Busy`] is outstanding (no credit granted yet).
+    pub fn is_busy(&self) -> bool {
+        self.awaiting_credit
+    }
+
+    /// The enforced backlog ceiling: high-water mark plus one maximal
+    /// batch of in-flight slack. [`accept`](Self::accept) rejects audio
+    /// that would exceed it.
+    pub fn hard_limit(&self) -> usize {
+        self.high_water + MAX_AUDIO_BATCH_SAMPLES
+    }
+
+    /// The next expected chunk sequence number.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Accepts one wire audio message ([`Message::AudioChunk`] or
+    /// [`Message::AudioBatch`]) for this feed, buffering its samples.
+    /// Returns the number of samples buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PianoError::Wire`] for non-audio messages, a session-id
+    /// mismatch, a sequence gap, or audio that would push the backlog
+    /// past [`hard_limit`](Self::hard_limit) (a sender ignoring `Busy`);
+    /// the feed state is unchanged on error.
+    pub fn accept(&mut self, msg: &Message) -> Result<usize, PianoError> {
+        let (session, start_seq, seq_span, samples): (u64, u32, u32, usize) = match msg {
+            Message::AudioChunk {
+                session,
+                seq,
+                samples,
+            } => (*session, *seq, 1, samples.len()),
+            Message::AudioBatch {
+                session,
+                start_seq,
+                chunks,
+            } => (
+                *session,
+                *start_seq,
+                chunks.len() as u32,
+                chunks.iter().map(Vec::len).sum(),
+            ),
+            other => {
+                return Err(PianoError::Wire(format!(
+                    "ingest feed expects audio, got {other:?}"
+                )))
+            }
+        };
+        if session != self.session {
+            return Err(PianoError::Wire(format!(
+                "audio for session {session:#x}, expected {:#x}",
+                self.session
+            )));
+        }
+        if start_seq != self.next_seq {
+            return Err(PianoError::Wire(format!(
+                "audio gap: got seq {start_seq}, expected {}",
+                self.next_seq
+            )));
+        }
+        if self.pending.len() + samples > self.hard_limit() {
+            return Err(PianoError::Wire(format!(
+                "feed backlog of {} + {samples} samples exceeds the {} hard limit \
+                 (sender ignored Busy); drop the feed",
+                self.pending.len(),
+                self.hard_limit()
+            )));
+        }
+        self.next_seq += seq_span;
+        match msg {
+            Message::AudioChunk { samples, .. } => self.pending.extend(samples.iter().copied()),
+            Message::AudioBatch { chunks, .. } => {
+                for chunk in chunks {
+                    self.pending.extend(chunk.iter().copied());
+                }
+            }
+            _ => unreachable!("validated above"),
+        }
+        self.peak_buffered = self.peak_buffered.max(self.pending.len());
+        if self.pending.len() > self.high_water && !self.awaiting_credit {
+            self.awaiting_credit = true;
+            self.replies.push_back(Message::Busy {
+                session: self.session,
+                buffered_samples: self.pending.len() as u64,
+                high_water: self.high_water as u64,
+            });
+        }
+        Ok(samples)
+    }
+
+    /// Takes up to `max` pending samples in stream order for scanning.
+    /// Crossing back under the low-water mark after a
+    /// [`Message::Busy`] queues the sender's [`Message::Credit`].
+    pub fn take_pending(&mut self, max: usize) -> Vec<f64> {
+        let n = max.min(self.pending.len());
+        let taken: Vec<f64> = self.pending.drain(..n).collect();
+        if self.awaiting_credit && self.pending.len() <= self.low_water {
+            self.awaiting_credit = false;
+            self.replies.push_back(Message::Credit {
+                session: self.session,
+                samples: (self.high_water - self.pending.len()) as u64,
+            });
+        }
+        taken
+    }
+
+    /// Pops the next queued flow-control reply for the sender.
+    pub fn poll_reply(&mut self) -> Option<Message> {
+        self.replies.pop_front()
     }
 }
 
@@ -407,6 +869,338 @@ mod tests {
         bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
         let err = Message::decode(&bytes).unwrap_err().to_string();
         assert!(err.contains("cap"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn audio_batch_roundtrips() {
+        for chunks in [
+            vec![],
+            vec![vec![1.0, -2.0]],
+            vec![vec![0.5; 7], vec![], vec![-1.25; 3]],
+        ] {
+            let msg = Message::AudioBatch {
+                session: 0xBEEF,
+                start_seq: 17,
+                chunks,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn audio_batch_truncation_and_trailing_garbage_error() {
+        let msg = Message::AudioBatch {
+            session: 9,
+            start_seq: 3,
+            chunks: vec![vec![1.0], vec![2.0, 3.0]],
+        };
+        let bytes = msg.encode();
+        for cut in [1, 8, 12, 14, 18, bytes.len() - 1] {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert!(Message::decode(&padded).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire cap")]
+    fn audio_batch_encode_rejects_too_many_chunks() {
+        let _ = Message::AudioBatch {
+            session: 1,
+            start_seq: 0,
+            chunks: vec![Vec::new(); MAX_AUDIO_BATCH_CHUNKS + 1],
+        }
+        .encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "wire cap")]
+    fn audio_batch_encode_rejects_oversized_totals() {
+        // Each chunk is legal on its own; the batch total is not.
+        let chunk = vec![0.0; MAX_AUDIO_CHUNK_SAMPLES];
+        let n = MAX_AUDIO_BATCH_SAMPLES / MAX_AUDIO_CHUNK_SAMPLES + 1;
+        let _ = Message::AudioBatch {
+            session: 1,
+            start_seq: 0,
+            chunks: vec![chunk; n],
+        }
+        .encode();
+    }
+
+    #[test]
+    fn audio_batch_decode_rejects_implausible_headers() {
+        // Chunk count over the cap.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&((MAX_AUDIO_BATCH_CHUNKS as u16 + 1).to_le_bytes()));
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "unhelpful message: {err}");
+        // Per-chunk sample count over the cap.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "unhelpful message: {err}");
+        // Total over the batch cap, every chunk individually legal. The
+        // decoder must reject at the running total, before allocating.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let n = MAX_AUDIO_BATCH_SAMPLES / MAX_AUDIO_CHUNK_SAMPLES + 1;
+        bytes.extend_from_slice(&(n as u16).to_le_bytes());
+        bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
+        bytes.extend_from_slice(&vec![0u8; MAX_AUDIO_CHUNK_SAMPLES * 8]);
+        bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
+        bytes.extend_from_slice(&vec![0u8; MAX_AUDIO_CHUNK_SAMPLES * 8]);
+        bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
+        bytes.extend_from_slice(&vec![0u8; MAX_AUDIO_CHUNK_SAMPLES * 8]);
+        bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
+        bytes.extend_from_slice(&vec![0u8; MAX_AUDIO_CHUNK_SAMPLES * 8]);
+        bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn flow_control_messages_roundtrip() {
+        for msg in [
+            Message::Busy {
+                session: 3,
+                buffered_samples: 99_000,
+                high_water: 88_200,
+            },
+            Message::Credit {
+                session: 3,
+                samples: 44_100,
+            },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+            for cut in 0..msg.encode().len() {
+                assert!(Message::decode(&msg.encode()[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let msgs = vec![
+            Message::TimeDiffReport {
+                session: 1,
+                vouch_diff_samples: Some(12.5),
+            },
+            Message::AudioChunk {
+                session: 1,
+                seq: 0,
+                samples: vec![1.0, 2.0, 3.0],
+            },
+            Message::Credit {
+                session: 1,
+                samples: 100,
+            },
+        ];
+        let stream: Vec<u8> = msgs.iter().flat_map(|m| m.encode_framed()).collect();
+        // Byte-at-a-time delivery.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            reader.push([b]);
+            while let Some(m) = reader.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(reader.buffered(), 0);
+        // One shot delivery, via the vendored Bytes buffer.
+        let mut reader = FrameReader::new();
+        reader.push(bytes::Bytes::from(stream));
+        let mut got = Vec::new();
+        while let Some(m) = reader.next_frame().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefixes_and_poisons() {
+        let mut reader = FrameReader::new();
+        reader.push(((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        assert!(reader.next_frame().is_err());
+        assert!(reader.is_poisoned());
+        // Poisoned: even a valid frame is refused afterwards.
+        reader.push(
+            Message::Credit {
+                session: 1,
+                samples: 1,
+            }
+            .encode_framed(),
+        );
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn frame_reader_poisons_on_malformed_payload() {
+        let mut reader = FrameReader::new();
+        reader.push(3u32.to_le_bytes());
+        reader.push([99, 0, 0]); // unknown tag
+        assert!(reader.next_frame().is_err());
+        assert!(reader.is_poisoned());
+    }
+
+    #[test]
+    fn ingest_feed_accounts_sequences_and_watermarks() {
+        let mut feed = IngestFeed::new(7, 1000);
+        assert_eq!(feed.session(), 7);
+        // Chunks and batches advance the sequence together.
+        feed.accept(&Message::AudioChunk {
+            session: 7,
+            seq: 0,
+            samples: vec![0.0; 300],
+        })
+        .unwrap();
+        feed.accept(&Message::AudioBatch {
+            session: 7,
+            start_seq: 1,
+            chunks: vec![vec![0.0; 300], vec![0.0; 300]],
+        })
+        .unwrap();
+        assert_eq!(feed.next_seq(), 3);
+        assert_eq!(feed.buffered(), 900);
+        assert!(!feed.is_busy(), "below the high-water mark");
+        assert!(feed.poll_reply().is_none());
+        // Crossing the mark queues exactly one Busy.
+        feed.accept(&Message::AudioChunk {
+            session: 7,
+            seq: 3,
+            samples: vec![0.0; 200],
+        })
+        .unwrap();
+        assert!(feed.is_busy());
+        assert_eq!(
+            feed.poll_reply(),
+            Some(Message::Busy {
+                session: 7,
+                buffered_samples: 1100,
+                high_water: 1000,
+            })
+        );
+        assert!(feed.poll_reply().is_none(), "one Busy per overrun");
+        // In-flight audio is still accepted while busy, without new Busy.
+        feed.accept(&Message::AudioChunk {
+            session: 7,
+            seq: 4,
+            samples: vec![0.0; 100],
+        })
+        .unwrap();
+        assert!(feed.poll_reply().is_none());
+        assert_eq!(feed.peak_buffered(), 1200);
+        // Draining to the low-water mark (half) grants credit once.
+        let taken = feed.take_pending(600);
+        assert_eq!(taken.len(), 600);
+        // 1200 − 600 = 600 remaining > 500: still busy, no credit yet.
+        assert!(feed.is_busy());
+        assert!(feed.poll_reply().is_none());
+        let _ = feed.take_pending(200);
+        assert_eq!(
+            feed.poll_reply(),
+            Some(Message::Credit {
+                session: 7,
+                samples: 600,
+            })
+        );
+        assert!(!feed.is_busy());
+        // Errors leave the feed untouched.
+        assert!(feed
+            .accept(&Message::AudioChunk {
+                session: 8,
+                seq: 5,
+                samples: vec![],
+            })
+            .is_err());
+        assert!(feed
+            .accept(&Message::AudioChunk {
+                session: 7,
+                seq: 99,
+                samples: vec![],
+            })
+            .is_err());
+        assert!(feed
+            .accept(&Message::Credit {
+                session: 7,
+                samples: 0,
+            })
+            .is_err());
+        assert_eq!(feed.next_seq(), 5);
+        assert_eq!(feed.buffered(), 400);
+    }
+
+    #[test]
+    fn ingest_feed_hard_limit_rejects_senders_that_ignore_busy() {
+        let mut feed = IngestFeed::new(1, 100);
+        assert_eq!(feed.hard_limit(), 100 + MAX_AUDIO_BATCH_SAMPLES);
+        // A sender blasting max-size chunks past Busy fills the slack…
+        let mut seq = 0u32;
+        while (feed.buffered() + MAX_AUDIO_CHUNK_SAMPLES) <= feed.hard_limit() {
+            feed.accept(&Message::AudioChunk {
+                session: 1,
+                seq,
+                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES],
+            })
+            .unwrap();
+            seq += 1;
+        }
+        assert!(feed.is_busy());
+        let buffered = feed.buffered();
+        // …and the first chunk past the hard limit is rejected whole,
+        // with the feed state untouched (memory stays bounded).
+        let err = feed
+            .accept(&Message::AudioChunk {
+                session: 1,
+                seq,
+                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("hard limit"), "{err}");
+        assert_eq!(feed.buffered(), buffered);
+        assert_eq!(feed.next_seq(), seq);
+        // Draining restores service for a re-synchronized feed.
+        let _ = feed.take_pending(buffered);
+        assert!(feed
+            .accept(&Message::AudioChunk {
+                session: 1,
+                seq,
+                samples: vec![0.0; 8],
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn frame_reader_compacts_its_consumed_prefix() {
+        let mut reader = FrameReader::new();
+        let frame = Message::AudioChunk {
+            session: 1,
+            seq: 0,
+            samples: vec![0.5; 8_192],
+        }
+        .encode_framed();
+        // Several frames past the compaction slack: the consumed prefix
+        // must be reclaimed rather than grow with the stream.
+        for _ in 0..4 {
+            reader.push(&frame);
+            assert!(matches!(reader.next_frame(), Ok(Some(_))));
+        }
+        assert_eq!(reader.buffered(), 0);
+        assert!(
+            reader.buf.len() <= FRAME_COMPACT_SLACK + frame.len(),
+            "stale prefix kept: {} bytes",
+            reader.buf.len()
+        );
     }
 
     #[test]

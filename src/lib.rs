@@ -58,12 +58,15 @@ pub mod prelude {
     pub use piano_bluetooth::{BluetoothLink, DeviceId, PairingRegistry};
     pub use piano_core::action::{run_action, run_session_pair, ActionOutcome, DistanceEstimate};
     pub use piano_core::config::ActionConfig;
+    pub use piano_core::continuous::{ContinuousScheduler, ContinuousSession, SessionPolicy};
     pub use piano_core::device::Device;
     pub use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
     pub use piano_core::signal::{ReferenceSignal, SignalSampler};
     pub use piano_core::stream::{
-        AuthService, AuthSession, SessionEvent, SessionId, SessionPhase, StreamingDetector,
+        AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, SessionPhase,
+        StreamingDetector,
     };
+    pub use piano_core::wire::{FrameReader, IngestFeed, Message};
 }
 
 #[cfg(test)]

@@ -1,0 +1,169 @@
+//! Early-decision calibration: quantifies how often a *provisional*
+//! mid-stream detection disagrees with the exact end-of-stream result
+//! under environment-style noise, and pins the documented bound.
+//!
+//! The streaming detector's provisional gate is `margin · ε·R_S` (margin
+//! 1 is the bare presence threshold). The contract documented on
+//! [`AuthSession::enable_early_decision_with_confidence`] is:
+//!
+//! * at the default margin, the provisional-vs-final disagreement rate
+//!   stays **≤ 10 %** across the noise sweep below (in practice it is far
+//!   lower — the assert is the regression floor);
+//! * raising the margin never *increases* disagreement and never makes a
+//!   provisional detection fire *earlier* — confidence is traded for
+//!   latency monotonically.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::acoustics::noise::NoiseProfile;
+use piano::core::config::ActionConfig;
+use piano::core::detect::{Detector, SignalSignature};
+use piano::core::signal::ReferenceSignal;
+use piano::core::stream::{AuthSession, SessionEvent, StreamEvent, StreamingDetector};
+
+/// One calibration run: stream `rec` at `margin`, returning the first
+/// provisional detection (with its firing position) and the exact result.
+fn calibrate_run(
+    detector: &Arc<Detector>,
+    sig: &SignalSignature,
+    rec: &[f64],
+    margin: f64,
+) -> (
+    Option<(piano::core::detect::Detection, usize)>,
+    piano::core::detect::Detection,
+) {
+    let mut s = StreamingDetector::new(Arc::clone(detector), vec![sig.clone()]);
+    s.set_early_margin(margin);
+    let mut early = None;
+    for chunk in rec.chunks(1024) {
+        for ev in s.push(chunk) {
+            let StreamEvent::EarlyDetection {
+                detection,
+                samples_consumed,
+                ..
+            } = ev;
+            early.get_or_insert((detection, samples_consumed));
+        }
+    }
+    (early, s.finish().detections[0])
+}
+
+#[test]
+fn provisional_detections_meet_the_documented_disagreement_bound() {
+    let cfg = ActionConfig::default();
+    let detector = Arc::new(Detector::new(&cfg));
+    let fs = cfg.sample_rate;
+    let len = 30_000usize;
+
+    // Environment-style noise: the low band carries the bulk (inaudible
+    // to the detector's 25–35 kHz candidates), the broadband tail is what
+    // actually perturbs Algorithm 2. Swept from silence to a tail far
+    // above the office profile.
+    let noise_levels = [0.0_f64, 120.0, 480.0];
+    let seeds = 0u64..16;
+
+    let mut runs = 0usize;
+    let mut stats = std::collections::HashMap::new(); // margin bits -> (fired, disagreed)
+    let margins = [1.0_f64, 2.0];
+    for &noise_rms in &noise_levels {
+        let profile = NoiseProfile::new("calibration", 4.0 * noise_rms, noise_rms);
+        for seed in seeds.clone() {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xCA11 ^ seed);
+            let signal = ReferenceSignal::random(&cfg, &mut rng);
+            let sig = SignalSignature::of(&signal, &cfg);
+            let mut rec = profile.render(len, fs, &mut rng);
+            // Borderline gain: strong enough to detect, weak enough that
+            // noise genuinely competes with the provisional gate.
+            let offset = 2_000 + (seed as usize * 1_627) % (len - cfg.signal_len - 4_000);
+            for (i, &v) in signal.waveform().iter().enumerate() {
+                rec[offset + i] += 0.14 * v;
+            }
+            runs += 1;
+            let mut prev_fired_at = None;
+            for &margin in &margins {
+                let (early, exact) = calibrate_run(&detector, &sig, &rec, margin);
+                let entry = stats.entry(margin.to_bits()).or_insert((0usize, 0usize));
+                if let Some((det, at)) = early {
+                    entry.0 += 1;
+                    if det != exact {
+                        entry.1 += 1;
+                    }
+                    // Monotone latency: the stricter margin cannot fire
+                    // earlier than the default on the same recording.
+                    if margin == 1.0 {
+                        prev_fired_at = Some(at);
+                    } else if let Some(default_at) = prev_fired_at {
+                        assert!(at >= default_at, "margin {margin} fired earlier");
+                    }
+                }
+            }
+        }
+    }
+
+    let (fired_default, disagreed_default) = stats[&1.0f64.to_bits()];
+    let (fired_strict, disagreed_strict) = stats[&2.0f64.to_bits()];
+    assert!(
+        fired_default >= runs / 2,
+        "the sweep must actually exercise the early path: \
+         {fired_default}/{runs} provisional detections"
+    );
+    // The documented bound: ≤ 10 % provisional-vs-final disagreement at
+    // the default margin across the sweep.
+    assert!(
+        10 * disagreed_default <= fired_default,
+        "disagreement rate {disagreed_default}/{fired_default} exceeds the documented 10 % bound"
+    );
+    // Confidence is monotone: a stricter gate never disagrees more often
+    // and never fires more often.
+    assert!(disagreed_strict <= disagreed_default);
+    assert!(fired_strict <= fired_default);
+}
+
+#[test]
+fn session_confidence_knob_trades_latency_for_certainty() {
+    // The same voucher recording, two confidence settings: the default
+    // reports mid-stream, the (absurdly) strict one must wait for the
+    // exact end-of-stream conclusion.
+    let cfg = ActionConfig::default();
+    let detector = Arc::new(Detector::new(&cfg));
+    let run = |confidence: f64| {
+        let mut r = ChaCha8Rng::seed_from_u64(99);
+        let mut session_a = AuthSession::authenticator_with(Arc::clone(&detector), 1.0, &mut r);
+        let challenge = session_a.poll_transmit().unwrap();
+        let mut session_v = AuthSession::voucher_with(Arc::clone(&detector));
+        session_v.enable_early_decision_with_confidence(confidence);
+        session_v.handle_message(challenge).unwrap();
+        let wave_a = session_a.playback_waveform().unwrap();
+        let wave_v = session_v.playback_waveform().unwrap();
+        let mut rec = vec![0.0; 88_200];
+        for (i, &v) in wave_a.iter().enumerate() {
+            rec[5_000 + i] += 0.4 * v;
+        }
+        for (i, &v) in wave_v.iter().enumerate() {
+            rec[11_000 + i] += 0.4 * v;
+        }
+        let mut report_at = None;
+        for chunk in rec.chunks(1024) {
+            if session_v
+                .push_audio(chunk)
+                .contains(&SessionEvent::ReportReady)
+            {
+                report_at = Some(session_v.samples_consumed());
+                break;
+            }
+        }
+        (report_at, session_v)
+    };
+    let (default_at, _) = run(1.0);
+    let default_at = default_at.expect("default confidence reports mid-stream");
+    assert!(default_at < 88_200);
+
+    let (strict_at, mut strict_session) = run(1e9);
+    assert_eq!(strict_at, None, "strict confidence must not report early");
+    // The exact conclusion still works, and still yields a report.
+    let events = strict_session.finish_audio();
+    assert!(events.contains(&SessionEvent::ReportReady));
+}

@@ -1,0 +1,171 @@
+//! Conformance property: for ANY chunking of a recording and ANY worker
+//! count, the thread-pool [`ScanDriver`] produces exactly the serial
+//! `StreamingDetector` behavior — the same provisional `StreamEvent`s in
+//! the same order, the same per-signature early-detection state, and a
+//! bit-identical `finish()` result (locations, powers, work accounting).
+//!
+//! This is the contract that makes the worker pool a pure throughput
+//! knob: `AuthService` can size its pool per deployment (or per the
+//! `PIANO_SCAN_WORKERS` environment knob the CI matrix pins) without any
+//! observable change in authentication behavior.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::core::config::ActionConfig;
+use piano::core::detect::{Detector, SignalSignature};
+use piano::core::signal::ReferenceSignal;
+use piano::core::stream::{EarlyDetection, ScanDriver, StreamEvent, StreamingDetector};
+
+/// Worker counts the conformance suite pins (serial, even, round, prime).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Builds a deterministic recording with up to two embedded signals plus
+/// mild deterministic noise.
+fn build_recording(
+    cfg: &ActionConfig,
+    signals: &[(&ReferenceSignal, usize, f64)],
+    len: usize,
+    noise_amp: f64,
+    noise_seed: u64,
+) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(noise_seed);
+    let mut rec: Vec<f64> = (0..len)
+        .map(|_| rng.gen_range(-1.0..1.0) * noise_amp)
+        .collect();
+    for &(signal, offset, gain) in signals {
+        if gain > 0.0 && len >= cfg.signal_len {
+            let offset = offset.min(len - cfg.signal_len);
+            for (i, &v) in signal.waveform().iter().enumerate() {
+                rec[offset + i] += v * gain;
+            }
+        }
+    }
+    rec
+}
+
+/// Everything observable about one streaming run.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    events: Vec<(usize, StreamEvent)>,
+    early: Vec<Option<EarlyDetection>>,
+    early_fine_evals: usize,
+    result: piano::core::detect::ScanResult,
+}
+
+/// Streams `rec` through a scan under `driver`, slicing with `chunks`
+/// cyclically, and records the full observable trace.
+fn run_trace(
+    detector: &Arc<Detector>,
+    sigs: &[SignalSignature],
+    rec: &[f64],
+    chunks: &[usize],
+    driver: ScanDriver,
+) -> RunTrace {
+    let mut s = StreamingDetector::new(Arc::clone(detector), sigs.to_vec());
+    let mut events = Vec::new();
+    let mut pos = 0usize;
+    let mut k = 0usize;
+    while pos < rec.len() {
+        let take = chunks[k % chunks.len()].clamp(1, rec.len() - pos);
+        for ev in driver.drive(&mut s, &rec[pos..pos + take]) {
+            events.push((pos + take, ev));
+        }
+        pos += take;
+        k += 1;
+    }
+    let early = (0..sigs.len())
+        .map(|i| s.early_detection(i).copied())
+        .collect();
+    RunTrace {
+        events,
+        early,
+        early_fine_evals: s.early_fine_evals(),
+        result: s.finish(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_worker_count_matches_the_serial_streaming_scan(
+        // Up to ~0.37 s ticks: small ticks take the inline fallback,
+        // large ones genuinely shard — both must match serial exactly.
+        chunks in proptest::collection::vec(1usize..16_384, 1..5),
+        len in 9000usize..30_000,
+        offset_a_frac in 0.0f64..1.0,
+        offset_v_frac in 0.0f64..1.0,
+        gain_sel in 0usize..4,
+        sig_seed in 0u64..1_000,
+    ) {
+        let cfg = ActionConfig::default();
+        let detector = Arc::new(Detector::new(&cfg));
+        let sa = ReferenceSignal::random(&cfg, &mut ChaCha8Rng::seed_from_u64(sig_seed));
+        let sv = ReferenceSignal::random(&cfg, &mut ChaCha8Rng::seed_from_u64(sig_seed ^ 0x5A5A));
+        let sigs = vec![SignalSignature::of(&sa, &cfg), SignalSignature::of(&sv, &cfg)];
+        // 0: both absent, 1: below the α floor, 2: borderline, 3: clean.
+        let gain = [0.0, 0.05, 0.12, 0.4][gain_sel];
+        let rec = build_recording(
+            &cfg,
+            &[
+                (&sa, ((len as f64) * offset_a_frac) as usize, gain),
+                (&sv, ((len as f64) * offset_v_frac) as usize, gain),
+            ],
+            len,
+            0.01,
+            sig_seed ^ 0xC3,
+        );
+
+        let serial = run_trace(&detector, &sigs, &rec, &chunks, ScanDriver::serial());
+        // The serial streaming scan itself is pinned to the offline result
+        // elsewhere (tests/streaming_equivalence.rs); here every pool
+        // width must reproduce the serial trace bit for bit.
+        for workers in WORKER_COUNTS {
+            let sharded = run_trace(&detector, &sigs, &rec, &chunks, ScanDriver::new(workers));
+            prop_assert_eq!(&sharded, &serial, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn sharded_finish_matches_the_offline_scan(
+        chunk in 1usize..16_000,
+        len in 9000usize..24_000,
+        offset_frac in 0.0f64..1.0,
+        sig_seed in 0u64..500,
+    ) {
+        // Transitively: driver ≡ serial streaming ≡ offline. Checked
+        // directly here so a regression in either leg cannot mask the other.
+        let cfg = ActionConfig::default();
+        let detector = Arc::new(Detector::new(&cfg));
+        let signal = ReferenceSignal::random(&cfg, &mut ChaCha8Rng::seed_from_u64(sig_seed));
+        let sigs = vec![SignalSignature::of(&signal, &cfg)];
+        let rec = build_recording(
+            &cfg,
+            &[(&signal, ((len as f64) * offset_frac) as usize, 0.3)],
+            len,
+            0.005,
+            sig_seed,
+        );
+        let offline = detector.detect_many(&rec, &[&sigs[0]]);
+        let sharded = run_trace(&detector, &sigs, &rec, &[chunk], ScanDriver::new(4));
+        prop_assert_eq!(sharded.result, offline);
+    }
+}
+
+#[test]
+fn driver_from_env_respects_the_worker_knob() {
+    // This test owns the env var within this test binary; the proptests
+    // above never read it (they pin worker counts explicitly).
+    std::env::set_var(piano::core::stream::SCAN_WORKERS_ENV, "3");
+    assert_eq!(ScanDriver::from_env().workers(), 3);
+    std::env::set_var(piano::core::stream::SCAN_WORKERS_ENV, "not-a-number");
+    let fallback = ScanDriver::from_env().workers();
+    assert!(fallback >= 1, "malformed values fall back to parallelism");
+    std::env::remove_var(piano::core::stream::SCAN_WORKERS_ENV);
+    assert!(ScanDriver::from_env().workers() >= 1);
+}

@@ -1,0 +1,217 @@
+//! Wire-level properties for the framed ingestion path: arbitrary
+//! `AudioBatch` payloads round-trip bit-exactly, truncation at every
+//! boundary is rejected, caps are enforced on hand-crafted headers, the
+//! frame reader reassembles any segmentation of a frame stream, and the
+//! ingest feed's sequence/backpressure accounting holds for arbitrary
+//! chunk/batch interleavings.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::core::wire::{
+    FrameReader, IngestFeed, Message, MAX_AUDIO_BATCH_SAMPLES, MAX_FRAME_BYTES,
+};
+
+/// Deterministic pseudo-audio for one chunk.
+fn chunk_samples(len: usize, seed: u64) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-32768.0..32768.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn audio_batches_roundtrip(
+        session in proptest::prelude::any::<u64>(),
+        start_seq in proptest::prelude::any::<u32>(),
+        chunk_lens in proptest::collection::vec(0usize..2048, 0..12),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let chunks: Vec<Vec<f64>> = chunk_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| chunk_samples(n, seed ^ i as u64))
+            .collect();
+        let msg = Message::AudioBatch { session, start_seq, chunks };
+        let bytes = msg.encode();
+        prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_audio_batches_always_error(
+        chunk_lens in proptest::collection::vec(0usize..64, 1..5),
+        cut_frac in 0.0f64..1.0,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let chunks: Vec<Vec<f64>> = chunk_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| chunk_samples(n, seed ^ i as u64))
+            .collect();
+        let bytes = Message::AudioBatch { session: 1, start_seq: 0, chunks }.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
+    }
+
+    #[test]
+    fn any_segmentation_reassembles_the_frame_stream(
+        msg_sel in proptest::collection::vec(0usize..4, 1..8),
+        split_sizes in proptest::collection::vec(1usize..512, 1..6),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let msgs: Vec<Message> = msg_sel
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| match sel {
+                0 => Message::AudioChunk {
+                    session: seed,
+                    seq: i as u32,
+                    samples: chunk_samples(i * 37 % 300, seed ^ i as u64),
+                },
+                1 => Message::AudioBatch {
+                    session: seed,
+                    start_seq: i as u32,
+                    chunks: vec![chunk_samples(64, seed ^ i as u64), Vec::new()],
+                },
+                2 => Message::Busy {
+                    session: seed,
+                    buffered_samples: i as u64 * 1000,
+                    high_water: 88_200,
+                },
+                _ => Message::Credit { session: seed, samples: i as u64 },
+            })
+            .collect();
+        let stream: Vec<u8> = msgs.iter().flat_map(|m| m.encode_framed()).collect();
+
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut k = 0usize;
+        while pos < stream.len() {
+            let take = split_sizes[k % split_sizes.len()].min(stream.len() - pos);
+            reader.push(&stream[pos..pos + take]);
+            while let Some(m) = reader.next_frame().unwrap() {
+                got.push(m);
+            }
+            pos += take;
+            k += 1;
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(reader.buffered(), 0);
+        prop_assert!(!reader.is_poisoned());
+    }
+
+    #[test]
+    fn ingest_feed_tracks_any_chunk_batch_interleaving(
+        plan in proptest::collection::vec((0usize..2, 1usize..4, 0usize..600), 1..20),
+        high_water in 256usize..4096,
+    ) {
+        let mut feed = IngestFeed::new(42, high_water);
+        let mut seq = 0u32;
+        let mut expected_buffered = 0usize;
+        let mut expected_peak = 0usize;
+        let mut busy_replies = 0usize;
+        let mut credit_replies = 0usize;
+        for (i, &(kind, n_chunks, chunk_len)) in plan.iter().enumerate() {
+            let msg = if kind == 0 {
+                let m = Message::AudioChunk {
+                    session: 42,
+                    seq,
+                    samples: chunk_samples(chunk_len, i as u64),
+                };
+                seq += 1;
+                m
+            } else {
+                let m = Message::AudioBatch {
+                    session: 42,
+                    start_seq: seq,
+                    chunks: (0..n_chunks)
+                        .map(|j| chunk_samples(chunk_len, (i * 31 + j) as u64))
+                        .collect(),
+                };
+                seq += n_chunks as u32;
+                m
+            };
+            let accepted = feed.accept(&msg).unwrap();
+            expected_buffered += accepted;
+            expected_peak = expected_peak.max(expected_buffered);
+            prop_assert_eq!(feed.buffered(), expected_buffered);
+            prop_assert_eq!(feed.next_seq(), seq);
+            // A gap or wrong session is rejected without advancing state.
+            prop_assert!(feed
+                .accept(&Message::AudioChunk {
+                    session: 42,
+                    seq: seq + 1,
+                    samples: vec![0.0; 4],
+                })
+                .is_err());
+            prop_assert!(feed
+                .accept(&Message::AudioChunk {
+                    session: 43,
+                    seq,
+                    samples: vec![0.0; 4],
+                })
+                .is_err());
+            prop_assert_eq!(feed.next_seq(), seq);
+            // Busy exactly when the mark is crossed while not yet busy.
+            while let Some(reply) = feed.poll_reply() {
+                match reply {
+                    Message::Busy { buffered_samples, high_water: hw, .. } => {
+                        busy_replies += 1;
+                        prop_assert!(buffered_samples as usize > hw as usize);
+                    }
+                    Message::Credit { samples, .. } => {
+                        credit_replies += 1;
+                        prop_assert!(samples as usize >= high_water / 2);
+                    }
+                    other => prop_assert!(false, "unexpected reply {:?}", other),
+                }
+            }
+            // Drain roughly half the backlog each tick, like a scan would.
+            let take = expected_buffered / 2;
+            let taken = feed.take_pending(take);
+            prop_assert_eq!(taken.len(), take);
+            expected_buffered -= take;
+        }
+        prop_assert_eq!(feed.peak_buffered(), expected_peak);
+        // Fully drain: every Busy is eventually answered by a Credit.
+        let _ = feed.take_pending(usize::MAX);
+        while let Some(reply) = feed.poll_reply() {
+            if matches!(reply, Message::Credit { .. }) {
+                credit_replies += 1;
+            }
+        }
+        prop_assert_eq!(busy_replies, credit_replies);
+        prop_assert!(!feed.is_busy());
+    }
+}
+
+#[test]
+fn frame_cap_admits_the_largest_legal_batch_and_nothing_larger() {
+    // The maximal legal batch must fit the frame cap…
+    let max_chunk = piano::core::wire::MAX_AUDIO_CHUNK_SAMPLES;
+    let chunks: Vec<Vec<f64>> = (0..MAX_AUDIO_BATCH_SAMPLES / max_chunk)
+        .map(|_| vec![0.0; max_chunk])
+        .collect();
+    let framed = Message::AudioBatch {
+        session: 1,
+        start_seq: 0,
+        chunks,
+    }
+    .encode_framed();
+    assert!(framed.len() - 4 <= MAX_FRAME_BYTES);
+    let mut reader = FrameReader::new();
+    reader.push(&framed);
+    assert!(matches!(
+        reader.next_frame(),
+        Ok(Some(Message::AudioBatch { .. }))
+    ));
+    // …and a prefix claiming more than the cap is rejected up front.
+    let mut reader = FrameReader::new();
+    reader.push(((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+    assert!(reader.next_frame().is_err());
+}

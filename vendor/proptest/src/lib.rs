@@ -122,6 +122,27 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(core::marker::PhantomData)
 }
 
+// Tuples of strategies are strategies over tuples (upstream semantics:
+// components drawn left to right).
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        let a = self.0.sample(rng);
+        let b = self.1.sample(rng);
+        (a, b)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        let a = self.0.sample(rng);
+        let b = self.1.sample(rng);
+        let c = self.2.sample(rng);
+        (a, b, c)
+    }
+}
+
 /// Deterministic per-case RNG: FNV-1a over the test path, mixed with the
 /// case index.
 #[doc(hidden)]
