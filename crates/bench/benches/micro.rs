@@ -125,6 +125,11 @@ fn bench_micro(c: &mut Criterion) {
     // hub stream, coarse windows sharded by the service's ScanDriver.
     let fleet = measure_fleet_ingest(16);
 
+    // Wire-transport ingestion (measured once, in the summary): the same
+    // fleet shape moved through piano-net's in-memory transport with the
+    // i16-delta codec — bytes/s over the wire plus the compression ratio.
+    let net = measure_net_ingest(16);
+
     // Step I synthesis.
     c.bench_function("reference_signal_synthesis", |b| {
         b.iter(|| signal.waveform())
@@ -159,7 +164,7 @@ fn bench_micro(c: &mut Criterion) {
         )
     });
 
-    export_summary(c, samples_to_decision, recording.len(), &fleet);
+    export_summary(c, samples_to_decision, recording.len(), &fleet, &net);
 }
 
 /// One deterministic fleet-ingest measurement for the summary block.
@@ -240,12 +245,92 @@ fn measure_fleet_ingest(sessions: usize) -> FleetIngest {
     }
 }
 
+/// One deterministic wire-ingest measurement for the summary block.
+struct NetIngest {
+    feeds: usize,
+    wire_audio_bytes: u64,
+    raw_audio_bytes: u64,
+    compression_ratio: f64,
+    elapsed_s: f64,
+    /// Post-codec bytes moved per wall-clock second.
+    wire_bytes_per_s: f64,
+    /// Pre-codec (raw-equivalent) audio bytes ingested per second.
+    raw_bytes_per_s: f64,
+    all_granted: bool,
+}
+
+/// Streams `feeds` voucher recordings through a `piano-net` `ServerLoop`
+/// over the in-memory transport with the i16-delta codec, scans the hub
+/// once for every session, and reports wire throughput + compression
+/// (mirrors `examples/fleet_ingest.rs` at bench scale).
+fn measure_net_ingest(feeds: usize) -> NetIngest {
+    use piano_core::piano::{AuthDecision, PianoConfig};
+    use piano_core::stream::AuthService;
+    use piano_core::wire::WireCodec;
+    use piano_net::fixtures::{feed_recording, hub_recording};
+    use piano_net::transport::{memory_hub, Listener};
+    use piano_net::{FeedHandle, ServerConfig, ServerLoop};
+
+    let server = ServerLoop::new(
+        AuthService::new(PianoConfig::with_threshold(1.0)),
+        ChaCha8Rng::seed_from_u64(0xF1EE7),
+        ServerConfig::default(),
+    );
+    let action = { server.with_service(|s| s.config().action.clone()) };
+    let (connector, mut listener) = memory_hub();
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(feeds);
+    let mut server_threads = Vec::with_capacity(feeds);
+    for _ in 0..feeds {
+        let transport = connector.connect().expect("hub open");
+        let conn = listener.accept_conn().expect("accept");
+        let server_clone = server.clone();
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+        handles.push(FeedHandle::connect(transport, &[WireCodec::I16Delta]).expect("handshake"));
+    }
+    let clients: Vec<_> = handles
+        .into_iter()
+        .map(|mut feed| {
+            let action = action.clone();
+            std::thread::spawn(move || {
+                let rec = feed_recording(feed.challenge(), &action);
+                feed.send_recording(&rec, 1_024, 4).expect("stream");
+                feed.finish().expect("stream end");
+                feed.await_decision().expect("verdict")
+            })
+        })
+        .collect();
+    server.wait_for_reports(feeds);
+    let hub = hub_recording(&server);
+    server.scan_and_decide(&hub, 16_384);
+    let all_granted = clients
+        .into_iter()
+        .all(|t| matches!(t.join().expect("client"), AuthDecision::Granted { .. }));
+    for t in server_threads {
+        let _ = t.join().expect("server thread");
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    NetIngest {
+        feeds,
+        wire_audio_bytes: stats.wire_audio_bytes,
+        raw_audio_bytes: stats.raw_audio_bytes,
+        compression_ratio: stats.compression_ratio(),
+        elapsed_s,
+        wire_bytes_per_s: stats.wire_audio_bytes as f64 / elapsed_s,
+        raw_bytes_per_s: stats.raw_audio_bytes as f64 / elapsed_s,
+        all_granted,
+    }
+}
+
 /// Writes `BENCH_micro.json` with raw measurements and headline speedups.
 fn export_summary(
     c: &Criterion,
     samples_to_decision: usize,
     recording_len: usize,
     fleet: &FleetIngest,
+    net: &NetIngest,
 ) {
     // Workspace root, two levels up from this crate's manifest.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -288,6 +373,15 @@ fn export_summary(
         fleet.session_samples_per_s,
         fleet.all_granted
     );
+    println!(
+        "net ingest: {} feeds over the in-memory transport in {:.3} s \
+         ({:.2} MiB/s on the wire, {:.2}x i16-delta compression, all granted: {})",
+        net.feeds,
+        net.elapsed_s,
+        net.wire_bytes_per_s / (1024.0 * 1024.0),
+        net.compression_ratio,
+        net.all_granted
+    );
     // Splice the headline ratios into the top-level JSON object — strip
     // exactly the final closing brace, never more.
     if let Ok(text) = std::fs::read_to_string(path) {
@@ -302,14 +396,26 @@ fn export_summary(
                  \"decision_before_full_buffer\": {}}},\n  \
                  \"fleet_ingest\": {{\"sessions\": {}, \"hub_samples\": {}, \
                  \"scan_workers\": {}, \"elapsed_s\": {:.4}, \
-                 \"session_samples_per_s\": {:.0}, \"all_granted\": {}}}\n}}\n",
+                 \"session_samples_per_s\": {:.0}, \"all_granted\": {}}},\n  \
+                 \"net_ingest\": {{\"feeds\": {}, \"wire_audio_bytes\": {}, \
+                 \"raw_audio_bytes\": {}, \"compression_ratio\": {:.3}, \
+                 \"elapsed_s\": {:.4}, \"wire_bytes_per_s\": {:.0}, \
+                 \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}}}\n}}\n",
                 samples_to_decision < recording_len,
                 fleet.sessions,
                 fleet.hub_samples,
                 piano_core::stream::scan_workers_from_env(),
                 fleet.elapsed_s,
                 fleet.session_samples_per_s,
-                fleet.all_granted
+                fleet.all_granted,
+                net.feeds,
+                net.wire_audio_bytes,
+                net.raw_audio_bytes,
+                net.compression_ratio,
+                net.elapsed_s,
+                net.wire_bytes_per_s,
+                net.raw_bytes_per_s,
+                net.all_granted
             );
             let _ = std::fs::write(path, patched);
         }

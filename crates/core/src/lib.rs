@@ -53,8 +53,13 @@
 //! * [`wire`] scales ingestion: framed [`wire::Message::AudioBatch`]
 //!   decoding ([`wire::FrameReader`]) plus watermark backpressure
 //!   ([`wire::IngestFeed`]) let one service meter thousands of remote
-//!   feeds; [`continuous::ContinuousScheduler`] re-verifies fleets of
-//!   continuous sessions earliest-deadline-first.
+//!   feeds, and the **i16 delta PCM codec**
+//!   ([`wire::Message::AudioBatchI16`], negotiated per connection via
+//!   [`wire::WireCodec`]) cuts wire bytes ≈4–5× with exact quantized
+//!   round-trip; [`continuous::ContinuousScheduler`] re-verifies fleets
+//!   of continuous sessions earliest-deadline-first. The `piano-net`
+//!   crate binds this wire layer to real byte streams (in-memory
+//!   duplex + loopback TCP server loop).
 //! * [`piano::PianoAuthenticator`] builds its detector once and reuses it
 //!   for every attempt (and every continuous-session recheck), amortizing
 //!   plan construction; [`action::run_action_with`] exposes the same reuse

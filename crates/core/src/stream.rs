@@ -54,14 +54,19 @@
 //!   [`AuthService::push_audio`] drives every scan group through its
 //!   driver, taking group scans off the pushing thread's critical path.
 //!
-//! Wire-level ingestion (framed batches, per-feed backpressure) lives in
-//! [`crate::wire`]: `Message::AudioBatch` + `FrameReader` feed sessions
-//! from a byte stream, and `IngestFeed` meters each feed against a
-//! buffered-sample high-water mark with `Busy`/`Credit` replies —
-//! `examples/fleet_ingest.rs` drives hundreds of interleaved feeds
-//! through the full stack. Continuous re-verification at fleet scale is
-//! scheduled by [`crate::continuous::ContinuousScheduler`], a priority
-//! queue on `next_check_s` over one shared service.
+//! Wire-level ingestion (framed batches, per-feed backpressure, the i16
+//! delta PCM codec) lives in [`crate::wire`]: `Message::AudioBatch` /
+//! `Message::AudioBatchI16` + `FrameReader` feed sessions from a byte
+//! stream, and `IngestFeed` meters each feed against a buffered-sample
+//! high-water mark with `Busy`/`Credit` replies. The `piano-net` crate
+//! binds all of it to real byte streams (in-memory duplex, loopback
+//! TCP): its `ServerLoop` runs one reader/feed/voucher per connection
+//! into one shared [`AuthService`] and fills a [`ServiceStats`] snapshot
+//! — `examples/fleet_ingest.rs` drives hundreds of concurrent feeds
+//! through the full stack as real endpoints. Continuous re-verification
+//! at fleet scale is scheduled by
+//! [`crate::continuous::ContinuousScheduler`], a priority queue on
+//! `next_check_s` over one shared service.
 //!
 //! # Why sans-IO?
 //!
@@ -896,10 +901,22 @@ impl AuthSession {
     /// authenticator, `S_V` for the voucher. `None` until the signals are
     /// known (voucher before the challenge).
     pub fn playback_waveform(&self) -> Option<Vec<f64>> {
-        if self.is_authenticator {
-            self.sa.as_ref().map(|s| s.waveform())
+        let role = if self.is_authenticator {
+            SignalRole::Auth
         } else {
-            self.sv.as_ref().map(|s| s.waveform())
+            SignalRole::Vouch
+        };
+        self.waveform_of(role)
+    }
+
+    /// The waveform of either reference signal, once the signals are
+    /// known. A simulation host embedding *both* signals into a shared
+    /// microphone recording (the fleet examples) reads them here instead
+    /// of re-deriving the signals from the wire challenge.
+    pub fn waveform_of(&self, role: SignalRole) -> Option<Vec<f64>> {
+        match role {
+            SignalRole::Auth => self.sa.as_ref().map(|s| s.waveform()),
+            SignalRole::Vouch => self.sv.as_ref().map(|s| s.waveform()),
         }
     }
 
@@ -1048,8 +1065,28 @@ impl AuthSession {
                 }
                 Ok(events)
             }
+            Message::AudioBatchI16 {
+                session,
+                start_seq,
+                chunks,
+            } => {
+                self.check_wire_audio(session, start_seq)?;
+                self.next_audio_seq += chunks.len() as u32;
+                let mut events = Vec::new();
+                for chunk in &chunks {
+                    let widened: Vec<f64> = chunk.iter().map(|&q| q as f64).collect();
+                    events.extend(self.push_audio(&widened));
+                }
+                Ok(events)
+            }
             Message::Busy { .. } | Message::Credit { .. } => Err(PianoError::Wire(
                 "flow-control reply addressed to a session state machine".into(),
+            )),
+            Message::Hello { .. }
+            | Message::Accept { .. }
+            | Message::StreamEnd { .. }
+            | Message::Decision { .. } => Err(PianoError::Wire(
+                "transport-layer message addressed to a session state machine".into(),
             )),
         }
     }
@@ -1319,6 +1356,93 @@ impl AuthSession {
     }
 }
 
+/// A point-in-time snapshot of ingestion/service counters — what an
+/// operator watches to size a fleet deployment.
+///
+/// The streaming stack is sans-IO, so no single layer sees every number:
+/// the transport loop (the `piano-net` crate's `ServerLoop`) counts
+/// connections, frames, and wire bytes; [`crate::wire::IngestFeed`]s
+/// report backlog peaks and `Busy`/`Credit` traffic; the [`AuthService`]
+/// knows how many sessions decided. Layers fill in what they observe and
+/// combine snapshots with [`absorb`](Self::absorb); `Display` renders the
+/// operator summary the examples print.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted by the transport loop.
+    pub connections: u64,
+    /// Connections dropped for framing/protocol violations (only the
+    /// offending connection is dropped; the service keeps running).
+    pub connections_dropped: u64,
+    /// Wire frames decoded (audio frames only).
+    pub frames_decoded: u64,
+    /// Audio bytes as they crossed the wire (post-codec, frame prefixes
+    /// included).
+    pub wire_audio_bytes: u64,
+    /// What the same audio would have cost as raw `f64` batches
+    /// (pre-codec); `wire_audio_bytes / raw_audio_bytes` is the codec's
+    /// wire saving.
+    pub raw_audio_bytes: u64,
+    /// Largest buffered-but-unscanned backlog any feed reached
+    /// ([`crate::wire::IngestFeed::peak_buffered`]), in samples.
+    pub peak_feed_backlog: u64,
+    /// [`Message::Busy`] replies sent (overruns).
+    pub busy_replies: u64,
+    /// [`Message::Credit`] replies sent (drained backlogs).
+    pub credit_replies: u64,
+    /// Sessions that reached a decision.
+    pub sessions_decided: u64,
+}
+
+impl ServiceStats {
+    /// The codec's wire compression: raw bytes ÷ wire bytes (1.0 when no
+    /// audio flowed yet).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_audio_bytes == 0 {
+            1.0
+        } else {
+            self.raw_audio_bytes as f64 / self.wire_audio_bytes as f64
+        }
+    }
+
+    /// Folds another snapshot into this one: counters add, the backlog
+    /// peak takes the maximum.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.connections += other.connections;
+        self.connections_dropped += other.connections_dropped;
+        self.frames_decoded += other.frames_decoded;
+        self.wire_audio_bytes += other.wire_audio_bytes;
+        self.raw_audio_bytes += other.raw_audio_bytes;
+        self.peak_feed_backlog = self.peak_feed_backlog.max(other.peak_feed_backlog);
+        self.busy_replies += other.busy_replies;
+        self.credit_replies += other.credit_replies;
+        self.sessions_decided += other.sessions_decided;
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "connections: {} accepted, {} dropped",
+            self.connections, self.connections_dropped
+        )?;
+        writeln!(
+            f,
+            "audio frames: {} decoded, {:.2} MiB on the wire ({:.2} MiB raw, {:.2}x codec saving)",
+            self.frames_decoded,
+            self.wire_audio_bytes as f64 / (1024.0 * 1024.0),
+            self.raw_audio_bytes as f64 / (1024.0 * 1024.0),
+            self.compression_ratio()
+        )?;
+        writeln!(
+            f,
+            "backpressure: {} Busy / {} Credit replies, peak feed backlog {} samples",
+            self.busy_replies, self.credit_replies, self.peak_feed_backlog
+        )?;
+        write!(f, "sessions decided: {}", self.sessions_decided)
+    }
+}
+
 /// Handle to a session opened on an [`AuthService`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(u64);
@@ -1568,6 +1692,14 @@ impl AuthService {
         self.sessions.len()
     }
 
+    /// Number of open sessions that have reached a decision.
+    pub fn sessions_decided(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| s.decision().is_some())
+            .count()
+    }
+
     /// Read access to a session (state, decision, diagnostics).
     pub fn session(&self, id: SessionId) -> Option<&AuthSession> {
         self.sessions.get(&id)
@@ -1590,7 +1722,10 @@ impl AuthService {
         id: SessionId,
         msg: Message,
     ) -> Result<Vec<SessionEvent>, PianoError> {
-        if matches!(msg, Message::AudioChunk { .. } | Message::AudioBatch { .. }) {
+        if matches!(
+            msg,
+            Message::AudioChunk { .. } | Message::AudioBatch { .. } | Message::AudioBatchI16 { .. }
+        ) {
             return Err(PianoError::Wire(
                 "service sessions share one audio stream: use AuthService::push_audio".into(),
             ));

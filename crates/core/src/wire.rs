@@ -25,11 +25,34 @@
 //!   [`Message::Busy`] when a sender overruns and [`Message::Credit`]
 //!   once the scan drains the backlog, so a slow scanner throttles its
 //!   senders instead of buffering without bound.
+//!
+//! # The i16 delta PCM codec
+//!
+//! Raw audio frames spend 8 wire bytes per `f64` sample even though every
+//! real microphone produces 16-bit PCM. [`Message::AudioBatchI16`] is the
+//! compressed batch representation: samples quantized to `i16`, each
+//! chunk run through the best of three fixed linear predictors (order 0 =
+//! the sample itself, order 1 = first difference, order 2 = second
+//! difference — the FLAC "fixed predictor" family), and the residuals
+//! zigzag + LEB128 varint packed. Silence costs one byte per sample and
+//! in-band signal typically two, cutting wire bytes ≈4× versus the `f64`
+//! encoding; decode reproduces the quantized samples **exactly** (the
+//! codec is lossless over `i16` — only the initial quantization rounds).
+//!
+//! Which representation a connection uses is negotiated once at
+//! handshake: the client lists the codec ids it can encode in
+//! [`Message::Hello`], the server answers the chosen [`WireCodec`] in
+//! [`Message::Accept`], and `PIANO_WIRE_CODEC` ([`WireCodec::ENV`])
+//! selects what clients offer fleet-wide. The remaining transport
+//! messages ([`Message::StreamEnd`], [`Message::Decision`]) delimit a
+//! feed's recording and carry the verdict back; the socket loops binding
+//! these messages to real byte streams live in the `piano-net` crate.
 
 use std::collections::VecDeque;
 
 use crate::config::ActionConfig;
 use crate::error::PianoError;
+use crate::piano::{AuthDecision, DenialReason};
 use crate::ranging::LocationDiffs;
 use crate::signal::ReferenceSignal;
 
@@ -112,6 +135,122 @@ pub enum Message {
         /// Samples of headroom now available.
         samples: u64,
     },
+    /// A compressed batch of consecutive audio chunks: i16-quantized PCM,
+    /// delta-encoded per chunk under a fixed linear predictor, residuals
+    /// zigzag + varint packed (see the [module docs](self)).
+    ///
+    /// Semantically equivalent to an [`Message::AudioBatch`] whose samples
+    /// happen to lie on the `i16` grid; the same caps apply
+    /// ([`MAX_AUDIO_BATCH_CHUNKS`], [`MAX_AUDIO_CHUNK_SAMPLES`],
+    /// [`MAX_AUDIO_BATCH_SAMPLES`]) and decoding reproduces the quantized
+    /// samples exactly — the delta/varint layer is lossless.
+    AudioBatchI16 {
+        /// Session identifier the audio belongs to.
+        session: u64,
+        /// Sequence number of `chunks[0]`; chunk `i` has `start_seq + i`.
+        start_seq: u32,
+        /// Consecutive quantized PCM chunks in stream order.
+        chunks: Vec<Vec<i16>>,
+    },
+    /// Transport handshake, client → server: the audio codec ids
+    /// ([`WireCodec::id`]) the sender can encode, in preference order.
+    /// Unknown ids pass through undisturbed so newer clients can offer
+    /// codecs an older server simply skips.
+    Hello {
+        /// Offered codec ids, most preferred first.
+        codecs: Vec<u8>,
+    },
+    /// Transport handshake, server → client: the accepted feed. Assigns
+    /// the wire session id every subsequent audio frame must carry and
+    /// fixes the negotiated codec for the connection.
+    Accept {
+        /// Wire session id assigned to this feed.
+        session: u64,
+        /// The codec id ([`WireCodec::id`]) the server selected.
+        codec: u8,
+    },
+    /// End of a feed's recording: no more audio will follow for this
+    /// session. The receiver finishes the session's scan once the
+    /// remaining backlog drains.
+    StreamEnd {
+        /// Session identifier the end-of-stream belongs to.
+        session: u64,
+    },
+    /// The authenticator's final verdict for a session, sent back to the
+    /// feed that streamed the vouching recording.
+    Decision {
+        /// Session identifier the verdict belongs to.
+        session: u64,
+        /// The decision.
+        decision: AuthDecision,
+    },
+}
+
+/// Audio codecs a connection can negotiate for its batch frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireCodec {
+    /// [`Message::AudioBatch`]: 8 bytes per sample, `f64` PCM verbatim.
+    Raw,
+    /// [`Message::AudioBatchI16`]: i16 quantization + per-chunk fixed
+    /// linear prediction + zigzag varint residuals (≈4× smaller).
+    I16Delta,
+}
+
+impl WireCodec {
+    /// Environment variable selecting the codec clients offer fleet-wide:
+    /// `off` (or `raw`) for [`WireCodec::Raw`], `i16-delta` for
+    /// [`WireCodec::I16Delta`].
+    pub const ENV: &'static str = "PIANO_WIRE_CODEC";
+
+    /// The wire id carried in [`Message::Hello`] / [`Message::Accept`].
+    pub fn id(self) -> u8 {
+        match self {
+            WireCodec::Raw => 0,
+            WireCodec::I16Delta => 1,
+        }
+    }
+
+    /// The codec for a wire id, if recognized.
+    pub fn from_id(id: u8) -> Option<WireCodec> {
+        match id {
+            0 => Some(WireCodec::Raw),
+            1 => Some(WireCodec::I16Delta),
+            _ => None,
+        }
+    }
+
+    /// Parses a [`WireCodec::ENV`]-style name (`off`/`raw`, `i16-delta`).
+    pub fn parse(name: &str) -> Option<WireCodec> {
+        match name.trim() {
+            "off" | "raw" => Some(WireCodec::Raw),
+            "i16-delta" | "i16_delta" => Some(WireCodec::I16Delta),
+            _ => None,
+        }
+    }
+
+    /// The codec named by [`WireCodec::ENV`], defaulting to
+    /// [`WireCodec::I16Delta`] (compression on unless opted out with
+    /// `PIANO_WIRE_CODEC=off`). Unrecognized values fall back to the
+    /// default rather than failing: a misspelled knob must not take the
+    /// fleet down.
+    pub fn from_env() -> WireCodec {
+        std::env::var(Self::ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or(WireCodec::I16Delta)
+    }
+
+    /// Server-side negotiation: the first offered id (preference order)
+    /// that appears in `supported`, falling back to [`WireCodec::Raw`] —
+    /// every conforming endpoint can encode raw batches, so a connection
+    /// never fails over codec choice.
+    pub fn negotiate(offered: &[u8], supported: &[WireCodec]) -> WireCodec {
+        offered
+            .iter()
+            .filter_map(|&id| WireCodec::from_id(id))
+            .find(|c| supported.contains(c))
+            .unwrap_or(WireCodec::Raw)
+    }
 }
 
 /// The construction parameters of one reference signal — equivalent
@@ -182,6 +321,118 @@ const TAG_AUDIO_CHUNK: u8 = 3;
 const TAG_AUDIO_BATCH: u8 = 4;
 const TAG_BUSY: u8 = 5;
 const TAG_CREDIT: u8 = 6;
+const TAG_AUDIO_BATCH_I16: u8 = 7;
+const TAG_HELLO: u8 = 8;
+const TAG_ACCEPT: u8 = 9;
+const TAG_STREAM_END: u8 = 10;
+const TAG_DECISION: u8 = 11;
+
+/// Ceiling on codec ids in one [`Message::Hello`].
+const MAX_HELLO_CODECS: usize = 16;
+
+/// Ceiling on the UTF-8 byte length of a
+/// [`DenialReason::ProtocolFailure`] string on the wire; longer reasons
+/// are truncated at a character boundary by the encoder.
+const MAX_REASON_BYTES: usize = 1024;
+
+/// Highest fixed-predictor order the i16 codec uses (the FLAC family:
+/// 0 = verbatim, 1 = first difference, 2 = second difference).
+const MAX_PREDICTOR_ORDER: u8 = 2;
+
+/// ZigZag maps signed residuals to unsigned so small magnitudes of either
+/// sign get short varints.
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+fn unzigzag(u: u32) -> i32 {
+    ((u >> 1) as i32) ^ -((u & 1) as i32)
+}
+
+/// LEB128 length of `u` in bytes (1–5).
+fn varint_len(u: u32) -> usize {
+    match u {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0xFFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut u: u32) {
+    while u >= 0x80 {
+        out.push((u as u8) | 0x80);
+        u >>= 7;
+    }
+    out.push(u as u8);
+}
+
+/// The residual of sample `i` under fixed predictor `order`, given the
+/// already-decoded prefix `q[..i]`. Shared by encoder and decoder so the
+/// two cannot diverge.
+fn predictor(q: &[i16], i: usize, order: u8) -> i32 {
+    match order {
+        0 => 0,
+        1 if i == 0 => 0,
+        1 => q[i - 1] as i32,
+        2 => match i {
+            0 => 0,
+            1 => q[0] as i32,
+            _ => 2 * q[i - 1] as i32 - q[i - 2] as i32,
+        },
+        _ => unreachable!("orders above {MAX_PREDICTOR_ORDER} are rejected at decode"),
+    }
+}
+
+/// Total varint bytes chunk `q` costs under `order`.
+fn chunk_cost(q: &[i16], order: u8) -> usize {
+    (0..q.len())
+        .map(|i| varint_len(zigzag(q[i] as i32 - predictor(q, i, order))))
+        .sum()
+}
+
+/// Encodes one i16 chunk: picks the cheapest fixed predictor (ties to the
+/// lowest order), writes `order | n | residual varints`.
+fn encode_i16_chunk(out: &mut Vec<u8>, q: &[i16]) {
+    let order = (0..=MAX_PREDICTOR_ORDER)
+        .min_by_key(|&o| chunk_cost(q, o))
+        .expect("non-empty order range");
+    out.push(order);
+    out.extend_from_slice(&(q.len() as u32).to_le_bytes());
+    for i in 0..q.len() {
+        push_varint(out, zigzag(q[i] as i32 - predictor(q, i, order)));
+    }
+}
+
+fn decode_i16_chunk(r: &mut Reader<'_>) -> Result<Vec<i16>, PianoError> {
+    let order = r.u8()?;
+    if order > MAX_PREDICTOR_ORDER {
+        return Err(PianoError::Wire(format!(
+            "unknown predictor order {order} (max {MAX_PREDICTOR_ORDER})"
+        )));
+    }
+    let n = r.u32()? as usize;
+    if n > MAX_AUDIO_CHUNK_SAMPLES {
+        return Err(PianoError::Wire(format!(
+            "i16 chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
+        )));
+    }
+    let mut q: Vec<i16> = Vec::with_capacity(n);
+    for i in 0..n {
+        let residual = unzigzag(r.varint32()?);
+        let v = predictor(&q, i, order)
+            .checked_add(residual)
+            .ok_or_else(|| PianoError::Wire("i16 residual overflows".into()))?;
+        if v < i16::MIN as i32 || v > i16::MAX as i32 {
+            return Err(PianoError::Wire(format!(
+                "decoded sample {v} outside the i16 range"
+            )));
+        }
+        q.push(v as i16);
+    }
+    Ok(q)
+}
 
 /// Ceiling on samples per [`Message::AudioChunk`]: one second at the
 /// paper's 44.1 kHz rate, rounded up. Chunks are meant to be small (a few
@@ -301,6 +552,85 @@ impl Message {
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&samples.to_le_bytes());
             }
+            Message::AudioBatchI16 {
+                session,
+                start_seq,
+                chunks,
+            } => {
+                assert!(
+                    chunks.len() <= MAX_AUDIO_BATCH_CHUNKS,
+                    "audio batch of {} chunks exceeds the {MAX_AUDIO_BATCH_CHUNKS} wire cap; \
+                     split it into smaller batches",
+                    chunks.len()
+                );
+                let total: usize = chunks.iter().map(Vec::len).sum();
+                assert!(
+                    total <= MAX_AUDIO_BATCH_SAMPLES,
+                    "audio batch of {total} samples exceeds the {MAX_AUDIO_BATCH_SAMPLES} wire \
+                     cap; split it into smaller batches"
+                );
+                out.push(TAG_AUDIO_BATCH_I16);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&start_seq.to_le_bytes());
+                out.extend_from_slice(&(chunks.len() as u16).to_le_bytes());
+                for chunk in chunks {
+                    assert!(
+                        chunk.len() <= MAX_AUDIO_CHUNK_SAMPLES,
+                        "batch chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} wire \
+                         cap; split it into smaller chunks",
+                        chunk.len()
+                    );
+                    encode_i16_chunk(&mut out, chunk);
+                }
+            }
+            Message::Hello { codecs } => {
+                assert!(
+                    codecs.len() <= MAX_HELLO_CODECS,
+                    "hello offers {} codecs, cap {MAX_HELLO_CODECS}",
+                    codecs.len()
+                );
+                out.push(TAG_HELLO);
+                out.push(codecs.len() as u8);
+                out.extend_from_slice(codecs);
+            }
+            Message::Accept { session, codec } => {
+                out.push(TAG_ACCEPT);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.push(*codec);
+            }
+            Message::StreamEnd { session } => {
+                out.push(TAG_STREAM_END);
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            Message::Decision { session, decision } => {
+                out.push(TAG_DECISION);
+                out.extend_from_slice(&session.to_le_bytes());
+                match decision {
+                    AuthDecision::Granted { distance_m } => {
+                        out.push(0);
+                        out.extend_from_slice(&distance_m.to_le_bytes());
+                    }
+                    AuthDecision::Denied { reason } => match reason {
+                        DenialReason::TooFar { distance_m } => {
+                            out.push(1);
+                            out.extend_from_slice(&distance_m.to_le_bytes());
+                        }
+                        DenialReason::SignalAbsent => out.push(2),
+                        DenialReason::NotPaired => out.push(3),
+                        DenialReason::BluetoothUnreachable => out.push(4),
+                        DenialReason::ProtocolFailure(why) => {
+                            out.push(5);
+                            let mut cut = why.len().min(MAX_REASON_BYTES);
+                            while !why.is_char_boundary(cut) {
+                                cut -= 1;
+                            }
+                            let bytes = &why.as_bytes()[..cut];
+                            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                            out.extend_from_slice(bytes);
+                        }
+                    },
+                }
+            }
         }
         out
     }
@@ -409,6 +739,88 @@ impl Message {
                 session: r.u64()?,
                 samples: r.u64()?,
             },
+            TAG_AUDIO_BATCH_I16 => {
+                let session = r.u64()?;
+                let start_seq = r.u32()?;
+                let n_chunks = r.u16()? as usize;
+                if n_chunks > MAX_AUDIO_BATCH_CHUNKS {
+                    return Err(PianoError::Wire(format!(
+                        "audio batch of {n_chunks} chunks exceeds the {MAX_AUDIO_BATCH_CHUNKS} cap"
+                    )));
+                }
+                let mut total = 0usize;
+                let mut chunks = Vec::with_capacity(n_chunks);
+                for _ in 0..n_chunks {
+                    let chunk = decode_i16_chunk(&mut r)?;
+                    total += chunk.len();
+                    if total > MAX_AUDIO_BATCH_SAMPLES {
+                        return Err(PianoError::Wire(format!(
+                            "audio batch of {total}+ samples exceeds the \
+                             {MAX_AUDIO_BATCH_SAMPLES} cap"
+                        )));
+                    }
+                    chunks.push(chunk);
+                }
+                Message::AudioBatchI16 {
+                    session,
+                    start_seq,
+                    chunks,
+                }
+            }
+            TAG_HELLO => {
+                let n = r.u8()? as usize;
+                if n > MAX_HELLO_CODECS {
+                    return Err(PianoError::Wire(format!(
+                        "hello offers {n} codecs, cap {MAX_HELLO_CODECS}"
+                    )));
+                }
+                Message::Hello {
+                    codecs: r.take(n)?.to_vec(),
+                }
+            }
+            TAG_ACCEPT => Message::Accept {
+                session: r.u64()?,
+                codec: r.u8()?,
+            },
+            TAG_STREAM_END => Message::StreamEnd { session: r.u64()? },
+            TAG_DECISION => {
+                let session = r.u64()?;
+                let decision = match r.u8()? {
+                    0 => AuthDecision::Granted {
+                        distance_m: r.f64()?,
+                    },
+                    1 => AuthDecision::Denied {
+                        reason: DenialReason::TooFar {
+                            distance_m: r.f64()?,
+                        },
+                    },
+                    2 => AuthDecision::Denied {
+                        reason: DenialReason::SignalAbsent,
+                    },
+                    3 => AuthDecision::Denied {
+                        reason: DenialReason::NotPaired,
+                    },
+                    4 => AuthDecision::Denied {
+                        reason: DenialReason::BluetoothUnreachable,
+                    },
+                    5 => {
+                        let n = r.u32()? as usize;
+                        if n > MAX_REASON_BYTES {
+                            return Err(PianoError::Wire(format!(
+                                "failure reason of {n} bytes exceeds the {MAX_REASON_BYTES} cap"
+                            )));
+                        }
+                        let why = std::str::from_utf8(r.take(n)?)
+                            .map_err(|_| PianoError::Wire("failure reason is not UTF-8".into()))?
+                            .to_string();
+                        AuthDecision::Denied {
+                            reason: DenialReason::ProtocolFailure(why),
+                        }
+                    }
+                    x => return Err(PianoError::Wire(format!("bad decision kind {x}"))),
+                };
+                Message::Decision { session, decision }
+            }
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
         };
         if r.pos != bytes.len() {
@@ -482,6 +894,22 @@ impl Reader<'_> {
     fn f64(&mut self) -> Result<f64, PianoError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("size")))
     }
+    /// LEB128 u32: at most five bytes, final byte ≤ 0x0F.
+    fn varint32(&mut self) -> Result<u32, PianoError> {
+        let mut value: u32 = 0;
+        for shift in (0..35).step_by(7) {
+            let byte = self.u8()?;
+            let low = (byte & 0x7F) as u32;
+            if shift == 28 && low > 0x0F {
+                return Err(PianoError::Wire("varint overflows u32".into()));
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(PianoError::Wire("varint longer than five bytes".into()))
+    }
 }
 
 /// Reassembles length-prefixed [`Message`] frames from an arbitrarily
@@ -502,7 +930,11 @@ pub struct FrameReader {
     /// as the streaming detector's ring).
     buf: Vec<u8>,
     pos: usize,
-    poisoned: bool,
+    /// The first framing error, kept so a connection supervisor can log
+    /// *why* a stream lost framing before dropping it.
+    poison: Option<PianoError>,
+    /// Total bytes of completed frames (length prefixes included).
+    consumed: u64,
 }
 
 /// Consumed-prefix slack a [`FrameReader`] tolerates before compacting.
@@ -527,7 +959,21 @@ impl FrameReader {
 
     /// Whether a framing error has poisoned the reader.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poison.is_some()
+    }
+
+    /// The framing error that poisoned the reader, if any — the cause a
+    /// connection supervisor should log before dropping the stream.
+    pub fn poison_cause(&self) -> Option<&PianoError> {
+        self.poison.as_ref()
+    }
+
+    /// Total bytes consumed as completed frames (4-byte length prefixes
+    /// included). The difference across a [`next_frame`](Self::next_frame)
+    /// call is that frame's exact wire size — what byte-accounting layers
+    /// (codec stats, billing) use instead of re-encoding the message.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
     }
 
     /// Decodes the next complete message, or `Ok(None)` if more bytes are
@@ -537,12 +983,12 @@ impl FrameReader {
     ///
     /// Returns [`PianoError::Wire`] on an oversized length prefix or a
     /// payload [`Message::decode`] rejects; every later call then fails
-    /// the same way (the reader is poisoned).
+    /// with the same cause (the reader is poisoned — a byte stream that
+    /// has lost framing cannot be trusted to resynchronize, so the owning
+    /// connection should be dropped, not retried).
     pub fn next_frame(&mut self) -> Result<Option<Message>, PianoError> {
-        if self.poisoned {
-            return Err(PianoError::Wire(
-                "frame reader poisoned by an earlier framing error".into(),
-            ));
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
         }
         if self.buffered() < 4 {
             return Ok(None);
@@ -552,10 +998,11 @@ impl FrameReader {
             .expect("4 bytes buffered");
         let len = u32::from_le_bytes(header) as usize;
         if len > MAX_FRAME_BYTES {
-            self.poisoned = true;
-            return Err(PianoError::Wire(format!(
+            let e = PianoError::Wire(format!(
                 "frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap"
-            )));
+            ));
+            self.poison = Some(e.clone());
+            return Err(e);
         }
         if self.buffered() < 4 + len {
             return Ok(None);
@@ -564,6 +1011,7 @@ impl FrameReader {
         match Message::decode(body) {
             Ok(msg) => {
                 self.pos += 4 + len;
+                self.consumed += 4 + len as u64;
                 if self.pos > FRAME_COMPACT_SLACK {
                     self.buf.drain(..self.pos);
                     self.pos = 0;
@@ -571,7 +1019,7 @@ impl FrameReader {
                 Ok(Some(msg))
             }
             Err(e) => {
-                self.poisoned = true;
+                self.poison = Some(e.clone());
                 Err(e)
             }
         }
@@ -667,8 +1115,10 @@ impl IngestFeed {
         self.next_seq
     }
 
-    /// Accepts one wire audio message ([`Message::AudioChunk`] or
-    /// [`Message::AudioBatch`]) for this feed, buffering its samples.
+    /// Accepts one wire audio message ([`Message::AudioChunk`],
+    /// [`Message::AudioBatch`], or the compressed
+    /// [`Message::AudioBatchI16`], whose quantized samples are widened
+    /// back to `f64`) for this feed, buffering its samples.
     /// Returns the number of samples buffered.
     ///
     /// # Errors
@@ -685,6 +1135,16 @@ impl IngestFeed {
                 samples,
             } => (*session, *seq, 1, samples.len()),
             Message::AudioBatch {
+                session,
+                start_seq,
+                chunks,
+            } => (
+                *session,
+                *start_seq,
+                chunks.len() as u32,
+                chunks.iter().map(Vec::len).sum(),
+            ),
+            Message::AudioBatchI16 {
                 session,
                 start_seq,
                 chunks,
@@ -726,6 +1186,11 @@ impl IngestFeed {
             Message::AudioBatch { chunks, .. } => {
                 for chunk in chunks {
                     self.pending.extend(chunk.iter().copied());
+                }
+            }
+            Message::AudioBatchI16 { chunks, .. } => {
+                for chunk in chunks {
+                    self.pending.extend(chunk.iter().map(|&q| q as f64));
                 }
             }
             _ => unreachable!("validated above"),
@@ -966,6 +1431,288 @@ mod tests {
         bytes.extend_from_slice(&(MAX_AUDIO_CHUNK_SAMPLES as u32).to_le_bytes());
         let err = Message::decode(&bytes).unwrap_err().to_string();
         assert!(err.contains("cap"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn audio_batch_i16_roundtrips_exactly() {
+        for chunks in [
+            vec![],
+            vec![vec![0i16]],
+            vec![vec![i16::MIN, i16::MAX, 0, -1, 1]],
+            // Alternating extremes: worst-case deltas for every predictor.
+            vec![(0..512)
+                .map(|i| if i % 2 == 0 { i16::MIN } else { i16::MAX })
+                .collect::<Vec<i16>>()],
+            // A smooth ramp (order 2 wins) next to noise (order 0 wins).
+            vec![
+                (0..1000).map(|i| (i * 13 % 29_000) as i16).collect(),
+                vec![],
+                (0..64).map(|i| (i as i16).wrapping_mul(-9177)).collect(),
+            ],
+        ] {
+            let msg = Message::AudioBatchI16 {
+                session: 0xC0DEC,
+                start_seq: 3,
+                chunks,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn audio_batch_i16_truncation_and_garbage_error() {
+        let msg = Message::AudioBatchI16 {
+            session: 9,
+            start_seq: 0,
+            chunks: vec![vec![100, -200, 30_000], vec![-30_000]],
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Message::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn audio_batch_i16_rejects_malformed_codec_streams() {
+        // Unknown predictor order.
+        let mut bytes = vec![7u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(3); // order 3 does not exist
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("predictor order"), "{err}");
+        // A residual that reconstructs outside the i16 range.
+        let mut bytes = vec![7u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(0); // order 0
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        push_varint(&mut bytes, zigzag(40_000)); // > i16::MAX
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("i16 range"), "{err}");
+        // Sample count over the cap, rejected before allocation.
+        let mut bytes = vec![7u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn varints_and_zigzag_cover_the_residual_range() {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            -64,
+            i16::MAX as i32,
+            i16::MIN as i32,
+            4 * 32_768,
+            -4 * 32_768,
+            i32::MAX,
+            i32::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag({v})");
+            let mut buf = Vec::new();
+            push_varint(&mut buf, zigzag(v));
+            assert_eq!(buf.len(), varint_len(zigzag(v)), "varint_len({v})");
+            let mut r = Reader {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(r.varint32().unwrap(), zigzag(v));
+        }
+        // Over-long and overflowing varints are rejected.
+        let mut r = Reader {
+            bytes: &[0x80, 0x80, 0x80, 0x80, 0x80, 0x01],
+            pos: 0,
+        };
+        assert!(r.varint32().is_err());
+        let mut r = Reader {
+            bytes: &[0xFF, 0xFF, 0xFF, 0xFF, 0x1F],
+            pos: 0,
+        };
+        assert!(r.varint32().is_err());
+    }
+
+    #[test]
+    fn i16_codec_compresses_silence_and_tones() {
+        // Silence: one byte per sample regardless of predictor.
+        let silence = Message::AudioBatchI16 {
+            session: 1,
+            start_seq: 0,
+            chunks: vec![vec![0i16; 4096]],
+        };
+        assert!(silence.encode().len() < 4096 + 64);
+        // A band-limited tone mixture (what recordings actually carry)
+        // beats the 8-byte raw encoding by well over 3.5×.
+        let tone: Vec<i16> = (0..4096)
+            .map(|i| {
+                let t = i as f64;
+                ((t * 0.9).sin() * 3_000.0 + (t * 1.4).sin() * 2_000.0) as i16
+            })
+            .collect();
+        let n = tone.len();
+        let msg = Message::AudioBatchI16 {
+            session: 1,
+            start_seq: 0,
+            chunks: vec![tone],
+        };
+        let compressed = msg.encode().len();
+        let raw = 8 * n;
+        assert!(
+            (raw as f64) / (compressed as f64) > 3.5,
+            "tone ratio {:.2}",
+            raw as f64 / compressed as f64
+        );
+    }
+
+    #[test]
+    fn transport_handshake_messages_roundtrip() {
+        for msg in [
+            Message::Hello {
+                codecs: vec![WireCodec::I16Delta.id(), WireCodec::Raw.id(), 77],
+            },
+            Message::Hello { codecs: vec![] },
+            Message::Accept {
+                session: 0xAB,
+                codec: WireCodec::I16Delta.id(),
+            },
+            Message::StreamEnd { session: 19 },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+            for cut in 0..msg.encode().len() {
+                assert!(Message::decode(&msg.encode()[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn decision_messages_roundtrip_every_variant() {
+        use crate::piano::{AuthDecision, DenialReason};
+        for decision in [
+            AuthDecision::Granted { distance_m: 0.52 },
+            AuthDecision::Denied {
+                reason: DenialReason::TooFar { distance_m: 3.7 },
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::NotPaired,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::BluetoothUnreachable,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::ProtocolFailure("bad frame µ".into()),
+            },
+        ] {
+            let msg = Message::Decision {
+                session: 5,
+                decision,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+        // Over-long failure reasons are truncated at a char boundary.
+        let long = Message::Decision {
+            session: 5,
+            decision: AuthDecision::Denied {
+                reason: DenialReason::ProtocolFailure("é".repeat(2 * MAX_REASON_BYTES)),
+            },
+        };
+        let decoded = Message::decode(&long.encode()).unwrap();
+        let Message::Decision {
+            decision:
+                AuthDecision::Denied {
+                    reason: DenialReason::ProtocolFailure(why),
+                },
+            ..
+        } = decoded
+        else {
+            panic!("wrong variant");
+        };
+        assert!(why.len() <= MAX_REASON_BYTES);
+        assert!(why.chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn codec_negotiation_prefers_the_client_order() {
+        let both = [WireCodec::Raw, WireCodec::I16Delta];
+        assert_eq!(
+            WireCodec::negotiate(&[WireCodec::I16Delta.id(), WireCodec::Raw.id()], &both),
+            WireCodec::I16Delta
+        );
+        assert_eq!(
+            WireCodec::negotiate(&[WireCodec::Raw.id(), WireCodec::I16Delta.id()], &both),
+            WireCodec::Raw
+        );
+        // Unknown ids are skipped, not fatal.
+        assert_eq!(
+            WireCodec::negotiate(&[200, WireCodec::I16Delta.id()], &both),
+            WireCodec::I16Delta
+        );
+        // No overlap (or nothing offered) falls back to Raw.
+        assert_eq!(
+            WireCodec::negotiate(&[WireCodec::I16Delta.id()], &[WireCodec::Raw]),
+            WireCodec::Raw
+        );
+        assert_eq!(WireCodec::negotiate(&[], &both), WireCodec::Raw);
+        // Env-style names parse; junk does not.
+        assert_eq!(WireCodec::parse("off"), Some(WireCodec::Raw));
+        assert_eq!(WireCodec::parse("raw"), Some(WireCodec::Raw));
+        assert_eq!(WireCodec::parse(" i16-delta "), Some(WireCodec::I16Delta));
+        assert_eq!(WireCodec::parse("zstd"), None);
+        assert_eq!(WireCodec::from_id(0), Some(WireCodec::Raw));
+        assert_eq!(WireCodec::from_id(1), Some(WireCodec::I16Delta));
+        assert_eq!(WireCodec::from_id(9), None);
+    }
+
+    #[test]
+    fn ingest_feed_accepts_compressed_batches() {
+        let mut feed = IngestFeed::new(3, 10_000);
+        feed.accept(&Message::AudioBatchI16 {
+            session: 3,
+            start_seq: 0,
+            chunks: vec![vec![5, -6, 7], vec![-32_768]],
+        })
+        .unwrap();
+        assert_eq!(feed.next_seq(), 2);
+        assert_eq!(feed.buffered(), 4);
+        assert_eq!(feed.take_pending(4), vec![5.0, -6.0, 7.0, -32_768.0]);
+    }
+
+    #[test]
+    fn frame_reader_reports_poison_cause_and_consumed_bytes() {
+        let mut reader = FrameReader::new();
+        let frame = Message::StreamEnd { session: 1 }.encode_framed();
+        reader.push(&frame);
+        assert!(matches!(reader.next_frame(), Ok(Some(_))));
+        assert_eq!(reader.consumed(), frame.len() as u64);
+        assert!(reader.poison_cause().is_none());
+        // A malformed payload records its cause; later calls repeat it.
+        reader.push(3u32.to_le_bytes());
+        reader.push([99, 0, 0]);
+        let first = reader.next_frame().unwrap_err();
+        assert!(first.to_string().contains("unknown message tag"), "{first}");
+        let cause = reader.poison_cause().expect("cause recorded");
+        assert_eq!(cause, &first);
+        assert_eq!(reader.next_frame().unwrap_err(), first);
+        // Consumed counts only completed frames.
+        assert_eq!(reader.consumed(), frame.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The shared 0.50 m fleet-simulation geometry.
+//!
+//! The transport conformance tests, `examples/fleet_ingest.rs`, and the
+//! micro bench's `net_ingest` measurement all drive the same scenario:
+//! every feed's voucher "hears" the session's two reference signals
+//! 5 871 samples apart, the gateway's hub microphone hears them 6 000
+//! apart, and Eq. 3 yields `d = ½·(6000−5871)/44100·343 ≈ 0.50 m`.
+//! Keeping the recording builders here means a change to the geometry
+//! (or the quantization step) reaches all three surfaces at once —
+//! otherwise the test, the example, and the bench would silently start
+//! measuring different scenarios.
+
+use piano_core::config::ActionConfig;
+use piano_core::stream::{AuthService, SessionId, SignalRole};
+use piano_core::wire::Message;
+
+use crate::codec::quantize_samples;
+use crate::server::ServerLoop;
+
+/// Samples between consecutive sessions' signals in the hub recording.
+pub const STRIDE: usize = 12_288;
+
+/// Per-feed voucher recording length, in samples.
+pub const FEED_REC_LEN: usize = 16_384;
+
+/// Offset of `S_A` in a feed recording (and, per session base, the hub).
+pub const FEED_SA_OFFSET: usize = 2_000;
+
+/// Offset of `S_V` in a feed recording: 5 871 samples after `S_A`.
+pub const FEED_SV_OFFSET: usize = 7_871;
+
+/// Offset of `S_V` past a session's base in the hub recording: 6 000
+/// samples after `S_A`.
+pub const HUB_SV_OFFSET: usize = 8_000;
+
+/// Adds a scaled copy of `wave` into `rec` at `offset`.
+pub fn embed(rec: &mut [f64], wave: &[f64], offset: usize, gain: f64) {
+    for (i, &v) in wave.iter().enumerate() {
+        rec[offset + i] += v * gain;
+    }
+}
+
+/// The voucher-side recording for one session, synthesized from its
+/// Step II challenge: `S_A` at [`FEED_SA_OFFSET`], `S_V` at
+/// [`FEED_SV_OFFSET`] — quantized to the i16 grid, as a real 16-bit mic
+/// would deliver it (which is also what makes transport-vs-direct
+/// decision comparisons exact under either codec).
+///
+/// # Panics
+///
+/// Panics if `challenge` is not a valid [`Message::ReferenceSignals`]
+/// under `config` — fixtures are for simulation hosts that just built
+/// the challenge themselves.
+pub fn feed_recording(challenge: &Message, config: &ActionConfig) -> Vec<f64> {
+    let Message::ReferenceSignals { sa, sv, .. } = challenge else {
+        panic!("expected the Step II challenge, got {challenge:?}");
+    };
+    let wave_a = sa.reconstruct(config).expect("valid spec").waveform();
+    let wave_v = sv.reconstruct(config).expect("valid spec").waveform();
+    let mut rec = vec![0.0f64; FEED_REC_LEN];
+    embed(&mut rec, &wave_a, FEED_SA_OFFSET, 0.3);
+    embed(&mut rec, &wave_v, FEED_SV_OFFSET, 0.4);
+    quantize_samples(&rec)
+}
+
+/// The gateway's hub recording over `ids`' open sessions (in the given
+/// order, one [`STRIDE`] apart): each session's `S_A` at
+/// `base + `[`FEED_SA_OFFSET`], `S_V` at `base + `[`HUB_SV_OFFSET`].
+/// Ids whose session no longer exists (dropped connections) are skipped.
+pub fn hub_recording_for(service: &AuthService, ids: &[SessionId]) -> Vec<f64> {
+    let live: Vec<_> = ids.iter().filter_map(|id| service.session(*id)).collect();
+    let mut hub = vec![0.0f64; live.len() * STRIDE + FEED_REC_LEN];
+    for (i, session) in live.iter().enumerate() {
+        let wave_a = session.waveform_of(SignalRole::Auth).expect("S_A known");
+        let wave_v = session.waveform_of(SignalRole::Vouch).expect("S_V known");
+        let base = i * STRIDE;
+        embed(&mut hub, &wave_a, base + FEED_SA_OFFSET, 0.4);
+        embed(&mut hub, &wave_v, base + HUB_SV_OFFSET, 0.3);
+    }
+    hub
+}
+
+/// [`hub_recording_for`] over every session a [`ServerLoop`]'s
+/// connections opened, in opening order.
+pub fn hub_recording(server: &ServerLoop) -> Vec<f64> {
+    let ids = server.session_ids();
+    server.with_service(|service| hub_recording_for(service, &ids))
+}

@@ -1,0 +1,55 @@
+//! # piano-net
+//!
+//! The transport subsystem: everything that moves PIANO's wire protocol
+//! over real byte streams. The protocol logic itself is sans-IO
+//! ([`piano_core::stream`] state machines, [`piano_core::wire`] framing
+//! and backpressure); this crate binds those pieces to transports and
+//! runs the fleet-scale ingest loop on top:
+//!
+//! ```text
+//!  client (thin voucher device)                 server (gateway)
+//!  ───────────────────────────                  ────────────────
+//!  FeedHandle                                   ServerLoop
+//!    Hello(codecs) ───────────────────────────▶   negotiate codec
+//!    ◀─────────────────── Accept(session,codec)   open AuthService session
+//!    ◀────────────── ReferenceSignals challenge   build voucher AuthSession
+//!    AudioBatch/I16 frames ───────────────────▶   FrameReader → IngestFeed
+//!    ◀──────────────────────────── Busy/Credit    (watermark backpressure)
+//!    StreamEnd ───────────────────────────────▶   finish voucher, route
+//!                                                 Step V report to service
+//!                 (host scans the hub microphone: scan_and_decide)
+//!    ◀─────────────────────────────── Decision    per-session verdict
+//! ```
+//!
+//! * [`transport`] — the [`transport::Transport`]/[`transport::Listener`]
+//!   abstraction with two bindings: a deterministic in-memory duplex
+//!   (always available; what tests and benches use) and a loopback
+//!   `std::net::TcpListener` (auto-skipped where sockets are
+//!   unavailable).
+//! * [`server`] — [`server::ServerLoop`], thread-per-connection ingestion
+//!   into one shared [`piano_core::stream::AuthService`], plus the
+//!   client-side [`server::FeedHandle`] that paces sends on credit.
+//! * [`codec`] — the `f64` ⇄ i16 quantization layer over the wire codec
+//!   ([`piano_core::wire::Message::AudioBatchI16`]) and the byte
+//!   accounting used by [`piano_core::stream::ServiceStats`].
+//!
+//! # Determinism guarantee
+//!
+//! The transport moves bytes; it never changes results. A recording
+//! ingested through any [`transport::Transport`], under any segmentation
+//! of the byte stream, any interleaving of connections, and either codec,
+//! produces decisions identical to feeding the same (quantized) samples
+//! to the [`piano_core::stream::AuthService`] directly: framing is
+//! exact, the i16 codec is lossless past quantization, and the scan
+//! layers underneath are chunking- and worker-count-invariant
+//! (`tests/net_transport.rs` pins the end-to-end conformance for 100
+//! concurrent feeds, codec on and off).
+
+pub mod codec;
+pub mod fixtures;
+pub mod server;
+pub mod transport;
+
+pub use codec::{quantize, quantize_samples};
+pub use server::{FeedHandle, ServerConfig, ServerLoop};
+pub use transport::{memory_hub, memory_pair, Listener, MemoryStream, Transport};

@@ -1,0 +1,732 @@
+//! The ingest server loop and the client-side feed handle.
+//!
+//! [`ServerLoop`] is the gateway half of the fleet-ingestion picture
+//! (see the [crate docs](crate)): it accepts connections, runs one
+//! [`FrameReader`] + [`IngestFeed`] + voucher
+//! [`piano_core::stream::AuthSession`] per connection, drains decoded
+//! audio into the scan, routes each feed's Step V report into one shared
+//! [`AuthService`], and writes `Busy`/`Credit`/`Decision` replies back on
+//! the connection. [`FeedHandle`] is the matching client: it negotiates a
+//! codec, streams a recording as framed batches, pauses on `Busy`,
+//! resumes on `Credit`, and waits for the verdict.
+//!
+//! # Fault isolation
+//!
+//! A connection that violates the protocol — loses framing (the
+//! [`FrameReader`] poisons, with [`FrameReader::poison_cause`] saying
+//! why), skips sequence numbers, or ignores `Busy` past the
+//! [`IngestFeed::hard_limit`] — is **dropped alone**:
+//! [`ServerLoop::serve`] logs the cause, counts it in
+//! [`ServiceStats::connections_dropped`], closes that connection's
+//! session, and every other feed proceeds untouched. The legacy failure
+//! mode (a poisoned reader silently wedging its loop) cannot occur: the
+//! loop propagates the poison cause as an error by construction.
+//!
+//! # One scan epoch
+//!
+//! An [`AuthService`] scan group's signature set is fixed once hub audio
+//! flows, so a `ServerLoop` serves one *epoch*: connections arrive and
+//! stream, the host calls [`ServerLoop::scan_and_decide`] with the hub
+//! microphone's recording once every feed reported (see
+//! [`ServerLoop::wait_for_reports`]), and the per-connection threads then
+//! deliver the verdicts. Re-verification afterwards goes through
+//! [`piano_core::continuous::ContinuousScheduler`] on the same service.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use rand_chacha::ChaCha8Rng;
+
+use piano_core::error::PianoError;
+use piano_core::piano::{AuthDecision, DenialReason};
+use piano_core::stream::{AuthService, AuthSession, ServiceStats, SessionId};
+use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
+
+use crate::codec;
+use crate::transport::{Listener, Transport};
+
+/// Read-buffer size for connection loops: large enough that one read
+/// turn can outpace the per-turn drain even for raw `f64` frames, so
+/// watermark backpressure is observable under either codec.
+const READ_BUF_BYTES: usize = 64 * 1024;
+
+/// Maps a transport I/O failure into the wire error domain.
+fn io_wire(e: io::Error) -> PianoError {
+    PianoError::Wire(format!("transport I/O failure: {e}"))
+}
+
+/// Blocks until one complete frame arrives on `t`.
+fn read_frame<T: Transport>(
+    t: &mut T,
+    reader: &mut FrameReader,
+    buf: &mut [u8],
+) -> Result<Message, PianoError> {
+    loop {
+        if let Some(msg) = reader.next_frame()? {
+            return Ok(msg);
+        }
+        match t.read_some(buf) {
+            Ok(0) => return Err(PianoError::Wire("connection closed mid-frame".into())),
+            Ok(n) => reader.push(&buf[..n]),
+            Err(e) => return Err(io_wire(e)),
+        }
+    }
+}
+
+/// Tuning knobs of a [`ServerLoop`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-feed buffered-sample high-water mark ([`IngestFeed::new`]).
+    pub high_water: usize,
+    /// Samples drained from a feed into its voucher scan per loop turn —
+    /// the server's simulated scan rate, which is what makes
+    /// backpressure observable at all.
+    pub drain_chunk: usize,
+    /// Codecs this server accepts, in no particular order (the *client's*
+    /// preference order wins among these).
+    pub supported_codecs: Vec<WireCodec>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            high_water: 6_000,
+            drain_chunk: 2_048,
+            supported_codecs: vec![WireCodec::Raw, WireCodec::I16Delta],
+        }
+    }
+}
+
+/// Atomic ingestion counters, aggregated across connection threads.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    connections_dropped: AtomicU64,
+    frames_decoded: AtomicU64,
+    wire_audio_bytes: AtomicU64,
+    raw_audio_bytes: AtomicU64,
+    peak_feed_backlog: AtomicU64,
+    busy_replies: AtomicU64,
+    credit_replies: AtomicU64,
+}
+
+impl Counters {
+    fn max_peak(&self, candidate: u64) {
+        self.peak_feed_backlog
+            .fetch_max(candidate, Ordering::Relaxed);
+    }
+}
+
+/// Cross-thread progress state guarded by one mutex (+ condvar).
+#[derive(Debug, Default)]
+struct Progress {
+    /// Step V reports routed into the service so far.
+    reports: usize,
+    /// Connections dropped for protocol violations — counted here (not
+    /// just in the stats) so [`ServerLoop::wait_for_reports`] can stop
+    /// waiting for feeds that will never report.
+    dropped: usize,
+    /// The hub scan has started: sessions can no longer be closed.
+    scan_started: bool,
+    /// The hub scan finished: decisions are available.
+    scan_done: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    service: Mutex<AuthService>,
+    rng: Mutex<ChaCha8Rng>,
+    cfg: ServerConfig,
+    counters: Counters,
+    progress: Mutex<Progress>,
+    progress_cv: Condvar,
+    ids: Mutex<Vec<SessionId>>,
+}
+
+/// The thread-per-connection ingest server over one shared
+/// [`AuthService`]. Cheap to clone (an `Arc` handle) — pass clones into
+/// accept/connection threads.
+#[derive(Clone, Debug)]
+pub struct ServerLoop {
+    shared: Arc<Shared>,
+}
+
+impl ServerLoop {
+    /// A server loop over `service`, drawing session randomness from
+    /// `rng` (connection handshakes draw in accept order, so a seeded rng
+    /// makes a whole fleet run reproducible).
+    pub fn new(service: AuthService, rng: ChaCha8Rng, cfg: ServerConfig) -> Self {
+        ServerLoop {
+            shared: Arc::new(Shared {
+                service: Mutex::new(service),
+                rng: Mutex::new(rng),
+                cfg,
+                counters: Counters::default(),
+                progress: Mutex::new(Progress::default()),
+                progress_cv: Condvar::new(),
+                ids: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Runs `f` against the shared service (registration, waveform
+    /// lookups, scheduler epilogues). Keep the closure short — every
+    /// connection thread contends on this lock.
+    pub fn with_service<R>(&self, f: impl FnOnce(&mut AuthService) -> R) -> R {
+        f(&mut self.shared.service.lock().expect("service lock"))
+    }
+
+    /// Session ids opened by connections so far, in opening order
+    /// (ascending — the service assigns ids sequentially, so sorting
+    /// restores opening order even when handshakes raced).
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids = self.shared.ids.lock().expect("ids lock").clone();
+        ids.sort();
+        ids
+    }
+
+    /// Accepts `n` connections from `listener`, serving each on its own
+    /// thread via [`serve`](Self::serve). Returns the connection thread
+    /// handles; join them after [`scan_and_decide`](Self::scan_and_decide)
+    /// to collect per-connection outcomes (`None` = dropped).
+    pub fn accept_clients<L: Listener>(
+        &self,
+        listener: &mut L,
+        n: usize,
+    ) -> Vec<JoinHandle<Option<(SessionId, AuthDecision)>>> {
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            match listener.accept_conn() {
+                Ok(conn) => {
+                    let server = self.clone();
+                    handles.push(std::thread::spawn(move || server.serve(conn)));
+                }
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        handles
+    }
+
+    /// Serves one connection, logging and absorbing any protocol failure:
+    /// the documented drop-only-this-connection path. Returns `None` when
+    /// the connection was dropped (its cause goes to stderr and
+    /// [`ServiceStats::connections_dropped`]); the service and every
+    /// other connection keep running.
+    pub fn serve<T: Transport>(&self, transport: T) -> Option<(SessionId, AuthDecision)> {
+        match self.handle_connection(transport) {
+            Ok(out) => Some(out),
+            Err((id, e)) => {
+                self.shared
+                    .counters
+                    .connections_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "dropping connection{}: {e}",
+                    match id {
+                        Some(id) => format!(" (session {id:?})"),
+                        None => String::new(),
+                    }
+                );
+                if let Some(id) = id {
+                    self.close_if_not_scanning(id);
+                }
+                // Count the drop where wait_for_reports can see it, so a
+                // host waiting on this feed's report unblocks instead of
+                // hanging forever.
+                let mut progress = self.shared.progress.lock().expect("progress lock");
+                progress.dropped += 1;
+                self.shared.progress_cv.notify_all();
+                None
+            }
+        }
+    }
+
+    /// Closes a dropped connection's service session, unless the hub scan
+    /// already fixed the group's signature set (then the undecided
+    /// session is simply left behind; it never reports, so it never
+    /// decides). Lock order is progress → service, matching
+    /// [`scan_and_decide`](Self::scan_and_decide), so the check cannot
+    /// race the scan start.
+    fn close_if_not_scanning(&self, id: SessionId) {
+        let progress = self.shared.progress.lock().expect("progress lock");
+        if !progress.scan_started {
+            let mut service = self.shared.service.lock().expect("service lock");
+            let _ = service.close_session(id);
+        }
+    }
+
+    /// The full per-connection protocol. On error, returns the session id
+    /// (if one was opened) so [`serve`](Self::serve) can clean it up.
+    #[allow(clippy::type_complexity)]
+    fn handle_connection<T: Transport>(
+        &self,
+        mut t: T,
+    ) -> Result<(SessionId, AuthDecision), (Option<SessionId>, PianoError)> {
+        let sh = &*self.shared;
+        sh.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let mut reader = FrameReader::new();
+        let mut buf = vec![0u8; READ_BUF_BYTES];
+
+        // -- Handshake: Hello → negotiate → open session → Accept + challenge.
+        let hello = read_frame(&mut t, &mut reader, &mut buf).map_err(|e| (None, e))?;
+        let Message::Hello { codecs } = hello else {
+            return Err((
+                None,
+                PianoError::Wire(format!("expected Hello, got {hello:?}")),
+            ));
+        };
+        let codec = WireCodec::negotiate(&codecs, &sh.cfg.supported_codecs);
+        let (id, challenge, detector) = {
+            let mut service = sh.service.lock().expect("service lock");
+            let mut rng = sh.rng.lock().expect("rng lock");
+            let id = service.open_session(false, &mut rng);
+            let challenge = service.poll_transmit(id).expect("challenge queued");
+            (id, challenge, Arc::clone(service.detector()))
+        };
+        sh.ids.lock().expect("ids lock").push(id);
+        let fail = |e: PianoError| (Some(id), e);
+        let mut voucher = AuthSession::voucher_with(detector);
+        voucher.handle_message(challenge.clone()).map_err(fail)?;
+        let session = voucher.session_id();
+        t.write_all(
+            &Message::Accept {
+                session,
+                codec: codec.id(),
+            }
+            .encode_framed(),
+        )
+        .map_err(|e| fail(io_wire(e)))?;
+        // The thin client must *play* S_V (Step III) even though the
+        // gateway scans on its behalf, so it gets the Step II challenge.
+        t.write_all(&challenge.encode_framed())
+            .map_err(|e| fail(io_wire(e)))?;
+
+        // -- Ingest: frames → feed accounting → voucher scan → replies.
+        let mut feed = IngestFeed::new(session, sh.cfg.high_water);
+        let mut ended = false;
+        loop {
+            // Block for bytes only when there is no scan work pending;
+            // otherwise poll, so a paused sender cannot stall the drain
+            // that will eventually grant its credit.
+            let n = if feed.buffered() == 0 && !ended {
+                match t.read_some(&mut buf) {
+                    Ok(0) => {
+                        return Err(fail(PianoError::Wire(
+                            "connection closed before StreamEnd".into(),
+                        )))
+                    }
+                    Ok(n) => n,
+                    Err(e) => return Err(fail(io_wire(e))),
+                }
+            } else {
+                match t.try_read(&mut buf) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => 0,
+                    Err(e) => return Err(fail(io_wire(e))),
+                }
+            };
+            if n > 0 {
+                reader.push(&buf[..n]);
+            }
+            loop {
+                let before = reader.consumed();
+                // A framing error propagates the reader's poison cause:
+                // this connection is dropped, nothing else is.
+                let msg = match reader.next_frame().map_err(fail)? {
+                    Some(m) => m,
+                    None => break,
+                };
+                match msg {
+                    m @ (Message::AudioChunk { .. }
+                    | Message::AudioBatch { .. }
+                    | Message::AudioBatchI16 { .. }) => {
+                        // `accept` enforces sequence contiguity and the
+                        // backlog hard limit; violating either drops the
+                        // connection here.
+                        feed.accept(&m).map_err(fail)?;
+                        sh.counters.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                        sh.counters
+                            .wire_audio_bytes
+                            .fetch_add(reader.consumed() - before, Ordering::Relaxed);
+                        sh.counters
+                            .raw_audio_bytes
+                            .fetch_add(codec::raw_framed_audio_bytes(&m), Ordering::Relaxed);
+                    }
+                    Message::StreamEnd { session: s } if s == session => ended = true,
+                    other => {
+                        return Err(fail(PianoError::Wire(format!(
+                            "unexpected mid-stream message {other:?}"
+                        ))))
+                    }
+                }
+            }
+            let samples = feed.take_pending(sh.cfg.drain_chunk);
+            if !samples.is_empty() {
+                let _ = voucher.push_audio(&samples);
+            }
+            while let Some(reply) = feed.poll_reply() {
+                match &reply {
+                    Message::Busy { .. } => {
+                        sh.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Message::Credit { .. } => {
+                        sh.counters.credit_replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                t.write_all(&reply.encode_framed())
+                    .map_err(|e| fail(io_wire(e)))?;
+            }
+            if ended && feed.buffered() == 0 {
+                break;
+            }
+        }
+        sh.counters.max_peak(feed.peak_buffered() as u64);
+
+        // -- Conclude the voucher scan and route its Step V report.
+        let _ = voucher.finish_audio();
+        let report = voucher
+            .poll_transmit()
+            .ok_or_else(|| fail(PianoError::Wire("voucher produced no report".into())))?;
+        sh.service
+            .lock()
+            .expect("service lock")
+            .handle_message(id, report)
+            .map_err(fail)?;
+        {
+            let mut progress = sh.progress.lock().expect("progress lock");
+            progress.reports += 1;
+            sh.progress_cv.notify_all();
+        }
+
+        // -- Wait for the hub scan, then deliver the verdict.
+        {
+            let mut progress = sh.progress.lock().expect("progress lock");
+            while !progress.scan_done {
+                progress = sh.progress_cv.wait(progress).expect("progress lock");
+            }
+        }
+        let decision = sh
+            .service
+            .lock()
+            .expect("service lock")
+            .decision(id)
+            .cloned()
+            .unwrap_or(AuthDecision::Denied {
+                reason: DenialReason::ProtocolFailure(
+                    "session undecided after the hub scan".into(),
+                ),
+            });
+        t.write_all(
+            &Message::Decision {
+                session,
+                decision: decision.clone(),
+            }
+            .encode_framed(),
+        )
+        .map_err(|e| fail(io_wire(e)))?;
+        Ok((id, decision))
+    }
+
+    /// Blocks until each of `n` accepted connections has either routed
+    /// its Step V report or been dropped — the signal that every healthy
+    /// connection finished streaming and the host may scan the hub
+    /// recording. Returns the number that actually reported, so partial
+    /// failure is observable instead of hanging the host forever.
+    pub fn wait_for_reports(&self, n: usize) -> usize {
+        let mut progress = self.shared.progress.lock().expect("progress lock");
+        while progress.reports + progress.dropped < n {
+            progress = self
+                .shared
+                .progress_cv
+                .wait(progress)
+                .expect("progress lock");
+        }
+        progress.reports
+    }
+
+    /// Streams the hub microphone's recording through the service in
+    /// `tick`-sample chunks, concludes every scan group, releases the
+    /// waiting connection threads to deliver their verdicts, and returns
+    /// the number of sessions that decided.
+    pub fn scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        let decided;
+        {
+            // progress → service, the crate-wide lock order.
+            let mut progress = self.shared.progress.lock().expect("progress lock");
+            let mut service = self.shared.service.lock().expect("service lock");
+            progress.scan_started = true;
+            drop(progress);
+            for chunk in hub_audio.chunks(tick.max(1)) {
+                let _ = service.push_audio(chunk);
+            }
+            let _ = service.finish_audio();
+            decided = service.sessions_decided();
+        }
+        let mut progress = self.shared.progress.lock().expect("progress lock");
+        progress.scan_done = true;
+        self.shared.progress_cv.notify_all();
+        drop(progress);
+        decided
+    }
+
+    /// A point-in-time [`ServiceStats`] snapshot across every connection
+    /// served so far.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
+            frames_decoded: c.frames_decoded.load(Ordering::Relaxed),
+            wire_audio_bytes: c.wire_audio_bytes.load(Ordering::Relaxed),
+            raw_audio_bytes: c.raw_audio_bytes.load(Ordering::Relaxed),
+            peak_feed_backlog: c.peak_feed_backlog.load(Ordering::Relaxed),
+            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            credit_replies: c.credit_replies.load(Ordering::Relaxed),
+            sessions_decided: self.with_service(|s| s.sessions_decided()) as u64,
+        }
+    }
+}
+
+/// The client half of one feed: codec negotiation, credit-paced batch
+/// streaming, and verdict delivery over any [`Transport`].
+#[derive(Debug)]
+pub struct FeedHandle<T: Transport> {
+    t: T,
+    reader: FrameReader,
+    buf: Vec<u8>,
+    session: u64,
+    codec: WireCodec,
+    challenge: Message,
+    next_seq: u32,
+    paused: bool,
+    wire_audio_bytes: u64,
+    raw_audio_bytes: u64,
+    busy_seen: u64,
+    credit_seen: u64,
+}
+
+impl<T: Transport> FeedHandle<T> {
+    /// Performs the client handshake: offers `offered` (preference
+    /// order), reads the server's [`Message::Accept`] and the Step II
+    /// challenge.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Wire`] if the transport fails or the server answers
+    /// out of protocol.
+    pub fn connect(mut t: T, offered: &[WireCodec]) -> Result<Self, PianoError> {
+        let hello = Message::Hello {
+            codecs: offered.iter().map(|c| c.id()).collect(),
+        };
+        t.write_all(&hello.encode_framed()).map_err(io_wire)?;
+        let mut reader = FrameReader::new();
+        let mut buf = vec![0u8; READ_BUF_BYTES];
+        let accept = read_frame(&mut t, &mut reader, &mut buf)?;
+        let Message::Accept { session, codec } = accept else {
+            return Err(PianoError::Wire(format!("expected Accept, got {accept:?}")));
+        };
+        let codec = WireCodec::from_id(codec)
+            .ok_or_else(|| PianoError::Wire(format!("server accepted unknown codec {codec}")))?;
+        let challenge = read_frame(&mut t, &mut reader, &mut buf)?;
+        match &challenge {
+            Message::ReferenceSignals { session: s, .. } if *s == session => {}
+            other => {
+                return Err(PianoError::Wire(format!(
+                    "expected the session {session:#x} challenge, got {other:?}"
+                )))
+            }
+        }
+        Ok(FeedHandle {
+            t,
+            reader,
+            buf,
+            session,
+            codec,
+            challenge,
+            next_seq: 0,
+            paused: false,
+            wire_audio_bytes: 0,
+            raw_audio_bytes: 0,
+            busy_seen: 0,
+            credit_seen: 0,
+        })
+    }
+
+    /// The wire session id the server assigned.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The negotiated audio codec.
+    pub fn codec(&self) -> WireCodec {
+        self.codec
+    }
+
+    /// The Step II challenge ([`Message::ReferenceSignals`]) — the thin
+    /// device reconstructs its playback signal `S_V` from this.
+    pub fn challenge(&self) -> &Message {
+        &self.challenge
+    }
+
+    /// Unwraps the underlying transport, abandoning the handle's pacing
+    /// state. Misbehaving-sender tests use this to write raw bytes the
+    /// handle would never produce.
+    pub fn into_transport(self) -> T {
+        self.t
+    }
+
+    /// Audio bytes this handle has put on the wire (framed, post-codec).
+    pub fn wire_audio_bytes(&self) -> u64 {
+        self.wire_audio_bytes
+    }
+
+    /// What the same audio would have cost raw (framed `f64` batches).
+    pub fn raw_audio_bytes(&self) -> u64 {
+        self.raw_audio_bytes
+    }
+
+    /// `Busy` replies received so far.
+    pub fn busy_seen(&self) -> u64 {
+        self.busy_seen
+    }
+
+    /// `Credit` replies received so far.
+    pub fn credit_seen(&self) -> u64 {
+        self.credit_seen
+    }
+
+    /// Consumes pending flow-control replies. With `block_for_credit`,
+    /// blocks until the outstanding `Busy` is answered — the pacing that
+    /// keeps a cooperating sender under the receiver's hard limit.
+    fn drain_replies(&mut self, block_for_credit: bool) -> Result<(), PianoError> {
+        loop {
+            while let Some(msg) = self.reader.next_frame()? {
+                match msg {
+                    Message::Busy { .. } => {
+                        self.busy_seen += 1;
+                        self.paused = true;
+                    }
+                    Message::Credit { .. } => {
+                        self.credit_seen += 1;
+                        self.paused = false;
+                    }
+                    other => {
+                        return Err(PianoError::Wire(format!(
+                            "unexpected reply while streaming: {other:?}"
+                        )))
+                    }
+                }
+            }
+            if block_for_credit && self.paused {
+                match self.t.read_some(&mut self.buf) {
+                    Ok(0) => {
+                        return Err(PianoError::Wire(
+                            "server closed while the feed awaited credit".into(),
+                        ))
+                    }
+                    Ok(n) => {
+                        let chunk = &self.buf[..n];
+                        self.reader.push(chunk);
+                    }
+                    Err(e) => return Err(io_wire(e)),
+                }
+                continue;
+            }
+            match self.t.try_read(&mut self.buf) {
+                Ok(0) => return Ok(()), // EOF: surfaced by the next blocking read
+                Ok(n) => {
+                    let chunk = &self.buf[..n];
+                    self.reader.push(chunk);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(io_wire(e)),
+            }
+        }
+    }
+
+    /// Sends one batch of consecutive chunks under the negotiated codec,
+    /// first honoring any outstanding `Busy` (blocking until `Credit`).
+    pub fn send_batch(&mut self, chunks: &[Vec<f64>]) -> Result<(), PianoError> {
+        self.drain_replies(false)?;
+        if self.paused {
+            self.drain_replies(true)?;
+        }
+        let msg = codec::encode_audio_batch(self.codec, self.session, self.next_seq, chunks);
+        self.next_seq += chunks.len() as u32;
+        let framed = msg.encode_framed();
+        self.wire_audio_bytes += framed.len() as u64;
+        self.raw_audio_bytes += codec::raw_framed_audio_bytes(&msg);
+        self.t.write_all(&framed).map_err(io_wire)
+    }
+
+    /// Streams a whole recording: `chunk_len`-sample chunks,
+    /// `chunks_per_batch` chunks per frame, credit-paced.
+    pub fn send_recording(
+        &mut self,
+        recording: &[f64],
+        chunk_len: usize,
+        chunks_per_batch: usize,
+    ) -> Result<(), PianoError> {
+        let chunks: Vec<Vec<f64>> = recording
+            .chunks(chunk_len.max(1))
+            .map(<[f64]>::to_vec)
+            .collect();
+        for batch in chunks.chunks(chunks_per_batch.max(1)) {
+            self.send_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Signals end-of-recording for this feed.
+    pub fn finish(&mut self) -> Result<(), PianoError> {
+        self.t
+            .write_all(
+                &Message::StreamEnd {
+                    session: self.session,
+                }
+                .encode_framed(),
+            )
+            .map_err(io_wire)
+    }
+
+    /// Blocks until the server delivers this session's verdict (late
+    /// flow-control replies in between are absorbed).
+    pub fn await_decision(&mut self) -> Result<AuthDecision, PianoError> {
+        loop {
+            let msg = match self.reader.next_frame()? {
+                Some(m) => m,
+                None => match self.t.read_some(&mut self.buf) {
+                    Ok(0) => {
+                        return Err(PianoError::Wire(
+                            "server closed before delivering a decision".into(),
+                        ))
+                    }
+                    Ok(n) => {
+                        let chunk = &self.buf[..n];
+                        self.reader.push(chunk);
+                        continue;
+                    }
+                    Err(e) => return Err(io_wire(e)),
+                },
+            };
+            match msg {
+                Message::Decision { session, decision } if session == self.session => {
+                    return Ok(decision)
+                }
+                Message::Busy { .. } => self.busy_seen += 1,
+                Message::Credit { .. } => self.credit_seen += 1,
+                other => {
+                    return Err(PianoError::Wire(format!(
+                        "expected Decision, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Byte-stream transports: the blocking duplex abstraction, a
+//! deterministic in-memory implementation, and the loopback TCP binding.
+//!
+//! The wire layer ([`piano_core::wire::FrameReader`]) reassembles frames
+//! from *any* segmentation of a byte stream, so a transport only needs
+//! three operations: write bytes, read bytes (blocking), and read bytes
+//! without blocking (for opportunistic reply draining). Everything above
+//! — framing, codecs, backpressure, sessions — is transport-agnostic.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A blocking, bidirectional byte stream between two endpoints.
+///
+/// Implementations must deliver bytes reliably and in order (the framing
+/// layer detects corruption but cannot recover from it). `Ok(0)` from
+/// [`read_some`](Self::read_some) means the peer closed the stream.
+pub trait Transport: Send {
+    /// Writes the whole buffer.
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads at least one byte, blocking until data arrives; `Ok(0)`
+    /// means end-of-stream (peer closed).
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Reads whatever is available *now*: `Err(WouldBlock)` when nothing
+    /// is pending, `Ok(0)` at end-of-stream. Used to drain flow-control
+    /// replies opportunistically between sends.
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// An acceptor of inbound [`Transport`] connections.
+pub trait Listener: Send {
+    /// The connection type this listener produces.
+    type Conn: Transport + 'static;
+
+    /// Blocks until the next connection arrives.
+    fn accept_conn(&mut self) -> io::Result<Self::Conn>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex
+// ---------------------------------------------------------------------------
+
+/// One direction of an in-memory duplex: a byte queue with a close flag.
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock().expect("pipe lock");
+        if s.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed the in-memory stream",
+            ));
+        }
+        s.buf.extend(bytes.iter().copied());
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn read(&self, buf: &mut [u8], block: bool) -> io::Result<usize> {
+        let mut s = self.state.lock().expect("pipe lock");
+        while s.buf.is_empty() {
+            if s.closed {
+                return Ok(0);
+            }
+            if !block {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "no bytes pending",
+                ));
+            }
+            s = self.readable.wait(s).expect("pipe lock");
+        }
+        let n = buf.len().min(s.buf.len());
+        for b in buf.iter_mut().take(n) {
+            *b = s.buf.pop_front().expect("n bytes buffered");
+        }
+        Ok(n)
+    }
+
+    fn close(&self) {
+        let mut s = self.state.lock().expect("pipe lock");
+        s.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of a deterministic in-memory duplex connection.
+///
+/// Always available (no sockets, no OS permissions), reliable, ordered,
+/// and unbounded — the reference transport the conformance tests and
+/// benches run on. Dropping an endpoint closes both directions: the
+/// peer's reads return end-of-stream and its writes fail with
+/// `BrokenPipe`.
+#[derive(Debug)]
+pub struct MemoryStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl Drop for MemoryStream {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl Transport for MemoryStream {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.tx.write(bytes)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf, true)
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf, false)
+    }
+}
+
+/// A connected pair of [`MemoryStream`] endpoints (client, server).
+pub fn memory_pair() -> (MemoryStream, MemoryStream) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        MemoryStream {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+        },
+        MemoryStream { rx: b, tx: a },
+    )
+}
+
+/// The dial side of an in-memory hub: [`connect`](Self::connect) creates
+/// a fresh duplex and hands the server end to the hub's
+/// [`MemoryListener`]. Clone one per client thread.
+#[derive(Clone, Debug)]
+pub struct MemoryConnector {
+    tx: Sender<MemoryStream>,
+}
+
+impl MemoryConnector {
+    /// Establishes a new connection, returning the client endpoint.
+    pub fn connect(&self) -> io::Result<MemoryStream> {
+        let (client, server) = memory_pair();
+        self.tx.send(server).map_err(|_| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "memory listener closed")
+        })?;
+        Ok(client)
+    }
+}
+
+/// The accept side of an in-memory hub.
+#[derive(Debug)]
+pub struct MemoryListener {
+    rx: Receiver<MemoryStream>,
+}
+
+impl Listener for MemoryListener {
+    type Conn = MemoryStream;
+
+    fn accept_conn(&mut self) -> io::Result<MemoryStream> {
+        self.rx.recv().map_err(|_| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "every memory connector dropped")
+        })
+    }
+}
+
+/// An in-memory connect/accept hub: many clients dial the connector, the
+/// listener accepts them in dial order.
+pub fn memory_hub() -> (MemoryConnector, MemoryListener) {
+    let (tx, rx) = channel();
+    (MemoryConnector { tx }, MemoryListener { rx })
+}
+
+// ---------------------------------------------------------------------------
+// Loopback TCP
+// ---------------------------------------------------------------------------
+
+impl Transport for TcpStream {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, bytes)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.set_nonblocking(true)?;
+        let r = io::Read::read(self, buf);
+        self.set_nonblocking(false)?;
+        r
+    }
+}
+
+impl Listener for TcpListener {
+    type Conn = TcpStream;
+
+    fn accept_conn(&mut self) -> io::Result<TcpStream> {
+        let (stream, _) = self.accept()?;
+        // Frames are small relative to socket buffers; latency matters
+        // more than coalescing for Busy/Credit round-trips.
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+}
+
+/// Environment variable that force-disables the TCP binding (`1`/`true`)
+/// even where loopback sockets work — for sandboxes that allow binding
+/// but not traffic.
+pub const TCP_DISABLE_ENV: &str = "PIANO_NET_DISABLE_TCP";
+
+/// Binds a loopback TCP listener on an ephemeral port, or `None` where
+/// sockets are unavailable (sandboxed environments) or disabled via
+/// [`TCP_DISABLE_ENV`]. Callers degrade to the in-memory transport — the
+/// suite must pass with no network stack at all.
+pub fn tcp_loopback() -> Option<(TcpListener, SocketAddr)> {
+    if let Ok(v) = std::env::var(TCP_DISABLE_ENV) {
+        let v = v.trim();
+        if v == "1" || v.eq_ignore_ascii_case("true") {
+            return None;
+        }
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0)).ok()?;
+    let addr = listener.local_addr().ok()?;
+    Some((listener, addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pair_moves_bytes_both_ways() {
+        let (mut client, mut server) = memory_pair();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read_some(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        server.write_all(b"pong!").unwrap();
+        assert_eq!(client.read_some(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"pong!");
+    }
+
+    #[test]
+    fn try_read_would_block_then_delivers() {
+        let (mut client, mut server) = memory_pair();
+        let mut buf = [0u8; 8];
+        let err = server.try_read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        client.write_all(&[7, 8]).unwrap();
+        assert_eq!(server.try_read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], &[7, 8]);
+    }
+
+    #[test]
+    fn drop_closes_the_stream() {
+        let (mut client, server) = memory_pair();
+        drop(server);
+        let mut buf = [0u8; 8];
+        assert_eq!(client.read_some(&mut buf).unwrap(), 0, "EOF after drop");
+        assert_eq!(
+            client.write_all(b"x").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn blocking_read_waits_for_a_writer_thread() {
+        let (mut client, mut server) = memory_pair();
+        let writer = std::thread::spawn(move || {
+            client.write_all(b"later").unwrap();
+            client // keep alive until the write lands
+        });
+        let mut buf = [0u8; 8];
+        let n = server.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &b"later"[..n]);
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn memory_hub_accepts_in_dial_order() {
+        let (connector, mut listener) = memory_hub();
+        let mut c1 = connector.connect().unwrap();
+        let mut c2 = connector.connect().unwrap();
+        c1.write_all(b"one").unwrap();
+        c2.write_all(b"two").unwrap();
+        let mut buf = [0u8; 8];
+        let mut s1 = listener.accept_conn().unwrap();
+        let n = s1.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"one");
+        let mut s2 = listener.accept_conn().unwrap();
+        let n = s2.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"two");
+    }
+
+    #[test]
+    fn tcp_loopback_roundtrip_or_skip() {
+        let Some((mut listener, addr)) = tcp_loopback() else {
+            eprintln!("skipping: loopback TCP unavailable here");
+            return;
+        };
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect loopback");
+            s.write_all(b"tcp ping").unwrap();
+            let mut buf = [0u8; 16];
+            let n = s.read_some(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ack");
+        });
+        let mut conn = listener.accept_conn().unwrap();
+        let mut buf = [0u8; 16];
+        let n = conn.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"tcp ping");
+        conn.write_all(b"ack").unwrap();
+        client.join().unwrap();
+    }
+}

@@ -1,226 +1,141 @@
-//! Fleet-scale wire ingestion: hundreds of interleaved remote feeds, one
-//! `AuthService`, a thread-pool scan driver, and watermark backpressure.
+//! Fleet-scale wire ingestion over **real endpoints**: hundreds of
+//! client feeds and one gateway server moving framed, codec-compressed
+//! audio through actual byte streams.
 //!
 //! ```text
-//! cargo run --release --example fleet_ingest          # 200 feeds
+//! cargo run --release --example fleet_ingest            # 200 feeds, in-memory
 //! PIANO_FLEET_FEEDS=500 cargo run --release --example fleet_ingest
+//! PIANO_WIRE_CODEC=off  cargo run --release --example fleet_ingest
+//! PIANO_NET_TCP=1       cargo run --release --example fleet_ingest   # loopback sockets
 //! PIANO_SCAN_WORKERS=4  cargo run --release --example fleet_ingest
 //! ```
 //!
 //! The scenario: a gateway authenticates every user in a building at
 //! once. Each user's *thin* vouching wearable cannot run Algorithm 1
-//! itself, so it streams its microphone over the network as
-//! length-prefixed `AudioBatch` frames; the gateway reassembles each
-//! feed with a `FrameReader`, accounts it against a per-feed
-//! `IngestFeed` high-water mark (answering overruns with `Busy` and
-//! drained backlogs with `Credit`), and drives one sans-IO voucher
-//! session per feed. The gateway's own microphone carries every
-//! session's reference signals; ONE scan group spans all of them, and
-//! the service's `ScanDriver` shards each tick's coarse windows across
-//! its worker pool — bit-identical to the serial scan by construction.
+//! itself, so it connects to the gateway (`FeedHandle`), negotiates the
+//! audio codec (`PIANO_WIRE_CODEC`, default i16-delta — ≈5× fewer wire
+//! bytes), receives the Step II challenge, and streams its quantized
+//! microphone recording as length-prefixed batches, pausing on `Busy`
+//! and resuming on `Credit`. The gateway (`ServerLoop`) runs one
+//! connection thread per feed — `FrameReader` → `IngestFeed` → voucher
+//! session — and routes every Step V report into one shared
+//! `AuthService`. The gateway's own microphone carries every session's
+//! reference signals; ONE scan pass over it serves all sessions, sharded
+//! across the service's `ScanDriver` pool, after which each connection
+//! delivers its verdict back over its own stream.
+//!
+//! Transport: a deterministic in-memory duplex by default; set
+//! `PIANO_NET_TCP=1` to run the same stack over loopback TCP sockets
+//! (falls back to in-memory where binding 127.0.0.1 fails).
 //!
 //! A `ContinuousScheduler` epilogue re-verifies a handful of the
 //! authenticated sessions by deadline off the same service.
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use bytes::Bytes;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use piano::core::continuous::{ContinuousScheduler, ContinuousSession, SessionPolicy};
-use piano::core::stream::AuthSession;
-use piano::core::wire::{FrameReader, IngestFeed, Message};
+use piano::core::wire::WireCodec;
+use piano::net::fixtures::{feed_recording, hub_recording, FEED_REC_LEN};
+use piano::net::transport::{memory_hub, tcp_loopback, Listener};
+use piano::net::{FeedHandle, ServerConfig, ServerLoop};
 use piano::prelude::*;
-
-/// Samples between consecutive sessions' signals in the hub recording.
-const STRIDE: usize = 12_288;
-/// Per-feed voucher recording length.
-const FEED_REC_LEN: usize = 16_384;
-/// Per-feed buffered-sample high-water mark at the gateway.
-const HIGH_WATER: usize = 6_000;
-/// Samples the gateway scan drains from each feed per tick.
-const DRAIN_PER_TICK: usize = 2_048;
 
 fn main() {
     let feeds: usize = std::env::var("PIANO_FLEET_FEEDS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
-    let mut rng = ChaCha8Rng::seed_from_u64(0xF1EE7);
-    let cfg = PianoConfig::with_threshold(1.0);
-    let mut service = AuthService::new(cfg);
+    let codec = WireCodec::from_env();
+    let server = ServerLoop::new(
+        AuthService::new(PianoConfig::with_threshold(1.0)),
+        ChaCha8Rng::seed_from_u64(0xF1EE7),
+        ServerConfig::default(),
+    );
+    let action = server.with_service(|s| s.config().action.clone());
     println!(
-        "fleet gateway: {feeds} feeds, scan driver with {} worker(s)",
-        service.scan_driver().workers()
+        "fleet gateway: {feeds} feeds, codec {codec:?}, scan driver with {} worker(s)",
+        server.with_service(|s| s.scan_driver().workers())
     );
 
-    // Open every session up front (a scan group's signature set is fixed
-    // once audio flows), wire each challenge to its voucher session, and
-    // lay the fleet's signals out in the shared hub recording.
+    // Pick the transport: loopback TCP when asked for (and available),
+    // the in-memory duplex otherwise.
+    let use_tcp = std::env::var("PIANO_NET_TCP")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let t_start = Instant::now();
-    let mut ids = Vec::with_capacity(feeds);
-    let mut vouchers = Vec::with_capacity(feeds);
-    let mut hub = vec![0.0f64; feeds * STRIDE + FEED_REC_LEN];
-    let mut feed_recs = Vec::with_capacity(feeds);
-    for i in 0..feeds {
-        let id = service.open_session(false, &mut rng);
-        let challenge = service.poll_transmit(id).expect("challenge queued");
-        let mut voucher = AuthSession::voucher_with(Arc::clone(service.detector()));
-        voucher.handle_message(challenge).expect("valid challenge");
-
-        let wave_a = service
-            .session(id)
-            .and_then(|s| s.playback_waveform())
-            .expect("authenticator knows S_A");
-        let wave_v = voucher.playback_waveform().expect("voucher knows S_V");
-        // Hub hears S_A then S_V 6 000 samples apart; the voucher hears
-        // them 5 871 apart ⇒ d = ½·(6000−5871)/44100·343 ≈ 0.50 m.
-        let base = i * STRIDE;
-        embed(&mut hub, &wave_a, base + 2_000, 0.4);
-        embed(&mut hub, &wave_v, base + 8_000, 0.3);
-        let mut rec = vec![0.0f64; FEED_REC_LEN];
-        embed(&mut rec, &wave_a, 2_000, 0.3);
-        embed(&mut rec, &wave_v, 7_871, 0.4);
-
-        ids.push(id);
-        vouchers.push(voucher);
-        feed_recs.push(rec);
-    }
+    let (client_threads, server_threads) = if use_tcp {
+        match tcp_loopback() {
+            Some((listener, addr)) => {
+                println!("transport: loopback TCP on {addr}");
+                spawn_fleet(&server, &action, codec, feeds, listener, move || {
+                    std::net::TcpStream::connect(addr).expect("connect loopback")
+                })
+            }
+            None => {
+                println!("transport: loopback TCP unavailable, using in-memory duplex");
+                let (connector, listener) = memory_hub();
+                spawn_fleet(&server, &action, codec, feeds, listener, move || {
+                    connector.connect().expect("memory hub open")
+                })
+            }
+        }
+    } else {
+        println!("transport: in-memory duplex");
+        let (connector, listener) = memory_hub();
+        spawn_fleet(&server, &action, codec, feeds, listener, move || {
+            connector.connect().expect("memory hub open")
+        })
+    };
     println!(
         "opened {} sessions in one scan group ({} signatures, one coarse pass per tick)",
-        ids.len(),
-        ids.len() * 2
+        feeds,
+        feeds * 2
     );
 
-    // Each wearable pre-frames its recording: batches of four 1 024-sample
-    // chunks, length-prefixed. `Bytes` keeps the queued frames cheap to
-    // hold per sender.
-    let mut senders: Vec<Vec<Bytes>> = feed_recs
-        .iter()
-        .enumerate()
-        .map(|(i, rec)| {
-            let session = vouchers[i].session_id();
-            let chunks: Vec<Vec<f64>> = rec.chunks(1_024).map(<[f64]>::to_vec).collect();
-            chunks
-                .chunks(4)
-                .enumerate()
-                .map(|(b, batch)| {
-                    Bytes::from(
-                        Message::AudioBatch {
-                            session,
-                            start_seq: (b * 4) as u32,
-                            chunks: batch.to_vec(),
-                        }
-                        .encode_framed(),
-                    )
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    for s in &mut senders {
-        s.reverse(); // pop() sends in order
-    }
+    // Wait until every feed streamed its recording and reported (a
+    // dropped feed counts toward the wait, so this cannot hang), then
+    // scan the gateway's own microphone once for the whole fleet.
+    let reported = server.wait_for_reports(feeds);
+    assert_eq!(reported, feeds, "every feed reports");
+    let hub = hub_recording(&server);
+    let decided = server.scan_and_decide(&hub, 16_384);
+    assert_eq!(decided, feeds, "every session decides");
 
-    // The gateway's ingest loop: every tick, each non-paused sender ships
-    // one frame; the gateway reassembles, accounts, and drains a bounded
-    // slice of each feed's backlog into its voucher session. Backpressure
-    // does the pacing: senders outrun the drain rate, hit the high-water
-    // mark, pause on Busy, resume on Credit.
-    let mut readers: Vec<FrameReader> = (0..feeds).map(|_| FrameReader::new()).collect();
-    let mut gates: Vec<IngestFeed> = vouchers
-        .iter()
-        .map(|v| IngestFeed::new(v.session_id(), HIGH_WATER))
-        .collect();
-    let mut paused = vec![false; feeds];
-    let (mut busy_replies, mut credit_replies, mut ticks) = (0usize, 0usize, 0usize);
-    let mut wire_bytes = 0usize;
-    loop {
-        let mut idle = true;
-        for i in 0..feeds {
-            if !paused[i] {
-                if let Some(frame) = senders[i].pop() {
-                    wire_bytes += frame.len();
-                    readers[i].push(&frame);
-                    idle = false;
-                }
-            }
-            while let Some(msg) = readers[i].next_frame().expect("well-formed feed") {
-                gates[i].accept(&msg).expect("contiguous feed");
-            }
-            let samples = gates[i].take_pending(DRAIN_PER_TICK);
-            if !samples.is_empty() {
-                let _ = vouchers[i].push_audio(&samples);
-                idle = false;
-            }
-            while let Some(reply) = gates[i].poll_reply() {
-                match reply {
-                    Message::Busy { .. } => {
-                        busy_replies += 1;
-                        paused[i] = true;
-                    }
-                    Message::Credit { .. } => {
-                        credit_replies += 1;
-                        paused[i] = false;
-                    }
-                    other => panic!("unexpected reply {other:?}"),
-                }
-            }
-        }
-        ticks += 1;
-        if idle {
-            break;
-        }
-    }
-    let peak = gates.iter().map(IngestFeed::peak_buffered).max().unwrap();
-    println!(
-        "ingested {feeds} interleaved feeds in {ticks} ticks \
-         ({:.1} MiB framed wire audio)",
-        wire_bytes as f64 / (1024.0 * 1024.0)
-    );
-    println!(
-        "backpressure: {busy_replies} Busy / {credit_replies} Credit replies, \
-         peak backlog {peak} samples (high water {HIGH_WATER})"
-    );
-    assert!(busy_replies > 0, "the sweep must exercise the Busy path");
-    assert_eq!(busy_replies, credit_replies);
-
-    // Every voucher concludes exactly and reports; reports route to the
-    // service sessions.
-    for (i, voucher) in vouchers.iter_mut().enumerate() {
-        let _ = voucher.finish_audio();
-        let report = voucher.poll_transmit().expect("report queued");
-        service
-            .handle_message(ids[i], report)
-            .expect("report accepted");
-    }
-
-    // The gateway's own recording drives all sessions' scans: one shared
-    // stream in ~0.37 s ticks, each tick's coarse windows sharded across
-    // the driver's workers.
-    for chunk in hub.chunks(16_384) {
-        let _ = service.push_audio(chunk);
-    }
-    let _ = service.finish_audio();
-
+    // Every client received the verdict the service recorded.
     let mut granted = 0usize;
-    for &id in &ids {
-        match service.decision(id).expect("every session decides") {
+    for t in client_threads {
+        match t.join().expect("client thread") {
             AuthDecision::Granted { distance_m } => {
-                assert!(
-                    (distance_m - 0.5).abs() < 0.1,
-                    "session {id:?}: {distance_m} m"
-                );
+                assert!((distance_m - 0.5).abs() < 0.1, "distance {distance_m} m");
                 granted += 1;
             }
-            other => panic!("session {id:?}: expected grant, got {other:?}"),
+            other => panic!("expected grant, got {other:?}"),
         }
     }
+    for t in server_threads {
+        assert!(t.join().expect("server thread").is_some(), "no drops");
+    }
     let elapsed = t_start.elapsed().as_secs_f64();
-    let total_samples = hub.len() + feeds * FEED_REC_LEN;
+
+    let stats = server.stats();
+    println!("\n--- service stats ---\n{stats}");
+    assert!(
+        stats.busy_replies > 0,
+        "the sweep must exercise the Busy path"
+    );
+    assert_eq!(stats.busy_replies, stats.credit_replies);
+    assert_eq!(stats.connections_dropped, 0);
+    if codec == WireCodec::I16Delta {
+        assert!(
+            stats.compression_ratio() >= 3.5,
+            "codec ratio {:.2}",
+            stats.compression_ratio()
+        );
+    }
     println!(
-        "{granted}/{feeds} sessions granted at ≈0.50 m in {elapsed:.2} s \
+        "\n{granted}/{feeds} sessions granted at ≈0.50 m in {elapsed:.2} s \
          ({:.0} session·samples/s)",
         (feeds * hub.len()) as f64 / elapsed
     );
@@ -228,50 +143,90 @@ fn main() {
         "audio scanned: {:.1} s hub + {:.1} s per feed = {:.1} M samples total",
         hub.len() as f64 / 44_100.0,
         FEED_REC_LEN as f64 / 44_100.0,
-        total_samples as f64 / 1e6
+        (hub.len() + feeds * FEED_REC_LEN) as f64 / 1e6
     );
 
     // Epilogue: continuous re-verification by deadline. A few of the
     // authenticated users stay in the building; the scheduler pops due
     // sessions earliest-deadline-first against the same service.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0117);
     let mut sched = ContinuousScheduler::new();
     let mut pairs = Vec::new();
-    for k in 0..4u64 {
-        let a = Device::phone(100 + k, Position::ORIGIN, 900 + k);
-        let v = Device::phone(200 + k, Position::new(0.5, 0.0, 0.0), 950 + k);
-        service.register(&a, &v, &mut rng);
-        let key = sched.add(ContinuousSession::open(
-            SessionPolicy {
-                denials_to_lock: 2,
-                recheck_period_s: 20.0 + 10.0 * k as f64,
-            },
-            0.0,
-        ));
-        pairs.push((key, a, v));
-    }
+    server.with_service(|service| {
+        for k in 0..4u64 {
+            let a = Device::phone(100 + k, Position::ORIGIN, 900 + k);
+            let v = Device::phone(200 + k, Position::new(0.5, 0.0, 0.0), 950 + k);
+            service.register(&a, &v, &mut rng);
+            let key = sched.add(ContinuousSession::open(
+                SessionPolicy {
+                    denials_to_lock: 2,
+                    recheck_period_s: 20.0 + 10.0 * k as f64,
+                },
+                0.0,
+            ));
+            pairs.push((key, a, v));
+        }
+    });
     for round in 0..2u64 {
         let now = 50.0 * (round + 1) as f64;
-        let outcomes = sched.run_due(now, |key, session| {
-            let (idx, (_, a, v)) = pairs
-                .iter()
-                .enumerate()
-                .find(|(_, (k, _, _))| *k == key)
-                .expect("known key");
-            let mut field =
-                AcousticField::new(Environment::office(), 7_000 + idx as u64 * 10 + round);
-            session.recheck_via(&mut service, &mut field, a, v, now, &mut rng)
+        let outcomes = server.with_service(|service| {
+            sched.run_due(now, |key, session| {
+                let (idx, (_, a, v)) = pairs
+                    .iter()
+                    .enumerate()
+                    .find(|(_, (k, _, _))| *k == key)
+                    .expect("known key");
+                let mut field =
+                    AcousticField::new(Environment::office(), 7_000 + idx as u64 * 10 + round);
+                session.recheck_via(service, &mut field, a, v, now, &mut rng)
+            })
         });
         println!(
             "recheck round {round} at t={now}s: {} due sessions re-verified",
             outcomes.len()
         );
     }
-    println!("\nfleet ingested, authenticated, and re-verified off one service");
+    println!("\nfleet ingested over the wire, authenticated, and re-verified off one service");
 }
 
-/// Adds a scaled copy of `wave` into `rec` at `offset`.
-fn embed(rec: &mut [f64], wave: &[f64], offset: usize, gain: f64) {
-    for (i, &v) in wave.iter().enumerate() {
-        rec[offset + i] += v * gain;
+/// Connects `feeds` clients (handshakes in order, so the run is
+/// reproducible), spawns one server thread per accepted connection and
+/// one client thread per feed, and returns both handle sets.
+#[allow(clippy::type_complexity)]
+fn spawn_fleet<L: Listener + 'static>(
+    server: &ServerLoop,
+    action: &ActionConfig,
+    codec: WireCodec,
+    feeds: usize,
+    mut listener: L,
+    connect: impl Fn() -> L::Conn,
+) -> (
+    Vec<std::thread::JoinHandle<AuthDecision>>,
+    Vec<std::thread::JoinHandle<Option<(SessionId, AuthDecision)>>>,
+) {
+    let mut handles = Vec::with_capacity(feeds);
+    let mut server_threads = Vec::with_capacity(feeds);
+    for _ in 0..feeds {
+        let transport = connect();
+        let conn = listener.accept_conn().expect("accept");
+        let server_clone = server.clone();
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+        handles.push(FeedHandle::connect(transport, &[codec]).expect("handshake"));
     }
+    let client_threads = handles
+        .into_iter()
+        .map(|mut feed| {
+            let action = action.clone();
+            std::thread::spawn(move || {
+                // The wearable reconstructs both signals from the Step II
+                // challenge, "hears" them 5 871 samples apart (0.50 m),
+                // and streams what its 16-bit mic captured.
+                let rec = feed_recording(feed.challenge(), &action);
+                feed.send_recording(&rec, 1_024, 4).expect("stream");
+                feed.finish().expect("stream end");
+                feed.await_decision().expect("verdict")
+            })
+        })
+        .collect();
+    (client_threads, server_threads)
 }

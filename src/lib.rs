@@ -19,6 +19,10 @@
 //! * [`piano_baselines`] — ACTION-CC and Echo-Secure (Fig. 2b), plus an
 //!   ambience comparator.
 //! * [`piano_eval`] — experiment harness regenerating every table/figure.
+//! * [`piano_net`] — the transport subsystem: byte-stream transports
+//!   (in-memory duplex + loopback TCP), the thread-per-connection ingest
+//!   `ServerLoop`, the credit-paced client `FeedHandle`, and the i16
+//!   delta PCM codec layer.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ pub use piano_bluetooth as bluetooth;
 pub use piano_core as core;
 pub use piano_dsp as dsp;
 pub use piano_eval as eval;
+pub use piano_net as net;
 
 /// The names most programs need, in one import.
 pub mod prelude {
@@ -62,11 +67,13 @@ pub mod prelude {
     pub use piano_core::device::Device;
     pub use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
     pub use piano_core::signal::{ReferenceSignal, SignalSampler};
+    pub use piano_core::stream::ServiceStats;
     pub use piano_core::stream::{
         AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, SessionPhase,
         StreamingDetector,
     };
-    pub use piano_core::wire::{FrameReader, IngestFeed, Message};
+    pub use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
+    pub use piano_net::{FeedHandle, ServerConfig, ServerLoop};
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! Properties of the i16 delta PCM codec: exact round-trip for arbitrary
+//! i16 sequences (including worst-case deltas and cap-sized batches),
+//! compression never worse than half the raw encoding, and the ≥3.5×
+//! saving on a bench-style recording that the ROADMAP promised.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::core::config::ActionConfig;
+use piano::core::signal::ReferenceSignal;
+use piano::core::wire::{
+    Message, MAX_AUDIO_BATCH_CHUNKS, MAX_AUDIO_BATCH_SAMPLES, MAX_AUDIO_CHUNK_SAMPLES,
+};
+use piano::net::codec::{encode_audio_batch, quantize, raw_framed_audio_bytes, widen_chunks};
+use piano::prelude::WireCodec;
+
+fn roundtrip(chunks: Vec<Vec<i16>>) {
+    let msg = Message::AudioBatchI16 {
+        session: 0x51,
+        start_seq: 7,
+        chunks,
+    };
+    let decoded = Message::decode(&msg.encode()).expect("well-formed batch");
+    assert_eq!(decoded, msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_i16_batches_roundtrip_exactly(
+        chunk_lens in proptest::collection::vec(0usize..1500, 0..10),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let chunks: Vec<Vec<i16>> = chunk_lens
+            .iter()
+            .map(|&n| (0..n).map(|_| rng.gen_range(i32::from(i16::MIN)..=i32::from(i16::MAX)) as i16).collect())
+            .collect();
+        let msg = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks };
+        let bytes = msg.encode();
+        prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_i16_batches_always_error(
+        len in 1usize..600,
+        cut_frac in 0.0f64..1.0,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let chunk: Vec<i16> = (0..len).map(|_| rng.gen_range(-32768i32..=32767) as i16).collect();
+        let bytes = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks: vec![chunk] }.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
+    }
+
+    #[test]
+    fn quantized_encoding_roundtrips_through_f64(
+        len in 0usize..800,
+        scale in 1.0f64..60_000.0,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        // f64 in → quantize → wire → widen: the result is exactly the
+        // quantized input, for any amplitude (clipping included).
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..len).map(|_| (rng.gen::<f64>() - 0.5) * scale).collect();
+        let msg = encode_audio_batch(WireCodec::I16Delta, 2, 0, std::slice::from_ref(&samples));
+        let Message::AudioBatchI16 { chunks, .. } = Message::decode(&msg.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        let widened = widen_chunks(&chunks);
+        let expected: Vec<f64> = samples.iter().map(|&s| quantize(s) as f64).collect();
+        prop_assert_eq!(&widened[0], &expected);
+    }
+}
+
+#[test]
+fn worst_case_delta_sequences_roundtrip_and_stay_compressed() {
+    let extremes: Vec<i16> = (0..4096)
+        .map(|i| if i % 2 == 0 { i16::MIN } else { i16::MAX })
+        .collect();
+    let ramp: Vec<i16> = (-2048..2048).map(|i| (i * 16) as i16).collect();
+    let steps: Vec<i16> = (0..4096)
+        .map(|i| if (i / 7) % 2 == 0 { i16::MIN } else { i16::MAX })
+        .collect();
+    for chunk in [extremes, ramp, steps] {
+        let n = chunk.len();
+        let msg = Message::AudioBatchI16 {
+            session: 3,
+            start_seq: 0,
+            chunks: vec![chunk],
+        };
+        let encoded = msg.encode();
+        assert_eq!(Message::decode(&encoded).unwrap(), msg);
+        // Even pathological inputs stay under half the raw f64 bytes.
+        assert!(
+            encoded.len() < 4 * n,
+            "worst case blew up: {} bytes for {n} samples",
+            encoded.len()
+        );
+    }
+}
+
+#[test]
+fn empty_and_cap_sized_batches_roundtrip() {
+    roundtrip(vec![]);
+    roundtrip(vec![vec![]]);
+    roundtrip(vec![vec![]; MAX_AUDIO_BATCH_CHUNKS]);
+    // A full-cap batch: 256 chunks × 1024 samples = MAX_AUDIO_BATCH_SAMPLES.
+    let per_chunk = MAX_AUDIO_BATCH_SAMPLES / MAX_AUDIO_BATCH_CHUNKS;
+    let chunk: Vec<i16> = (0..per_chunk)
+        .map(|i| (i as i16).wrapping_mul(517))
+        .collect();
+    roundtrip(vec![chunk; MAX_AUDIO_BATCH_CHUNKS]);
+    // A single maximal chunk.
+    let big: Vec<i16> = (0..MAX_AUDIO_CHUNK_SAMPLES)
+        .map(|i| ((i * i) % 30_011) as i16)
+        .collect();
+    roundtrip(vec![big]);
+}
+
+/// Builds the fleet feed recording the bench and example stream: two
+/// reference signals embedded in a 16 384-sample window.
+fn bench_style_recording() -> Vec<f64> {
+    let cfg = ActionConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF1EE7);
+    let sa = ReferenceSignal::random(&cfg, &mut rng);
+    let sv = ReferenceSignal::random(&cfg, &mut rng);
+    let mut rec = vec![0.0f64; 16_384];
+    for (i, &v) in sa.waveform().iter().enumerate() {
+        rec[2_000 + i] += 0.3 * v;
+    }
+    for (i, &v) in sv.waveform().iter().enumerate() {
+        rec[7_871 + i] += 0.4 * v;
+    }
+    rec
+}
+
+#[test]
+fn codec_shrinks_the_bench_recording_at_least_3_5x() {
+    let rec = bench_style_recording();
+    let chunks: Vec<Vec<f64>> = rec.chunks(1_024).map(<[f64]>::to_vec).collect();
+    let mut wire = 0u64;
+    let mut raw = 0u64;
+    for (b, batch) in chunks.chunks(4).enumerate() {
+        let msg = encode_audio_batch(WireCodec::I16Delta, 1, (b * 4) as u32, batch);
+        wire += msg.encode_framed().len() as u64;
+        raw += raw_framed_audio_bytes(&msg);
+    }
+    let ratio = raw as f64 / wire as f64;
+    assert!(
+        ratio >= 3.5,
+        "codec saves only {ratio:.2}x on the bench recording ({wire} of {raw} bytes)"
+    );
+}

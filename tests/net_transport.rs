@@ -1,0 +1,375 @@
+//! End-to-end transport conformance: the byte-stream layer must move
+//! audio without changing results.
+//!
+//! * Framed messages survive any segmentation of a real transport's byte
+//!   stream (threads, partial reads — not just the sans-IO reader).
+//! * **Server-loop conformance:** decisions for 100 concurrent feeds
+//!   ingested over the in-memory transport — with the codec off *and*
+//!   with i16-delta — are identical to feeding the same quantized
+//!   recordings into an `AuthService` directly.
+//! * A connection that loses framing, or ignores `Busy` past the hard
+//!   limit, is dropped alone: its poison cause is surfaced and every
+//!   other feed still decides.
+//! * A loopback-TCP smoke runs the same stack over real sockets,
+//!   auto-skipping where binding 127.0.0.1 fails.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use piano::core::wire::{FrameReader, Message, WireCodec};
+use piano::net::fixtures::{feed_recording, hub_recording, hub_recording_for};
+use piano::net::transport::{memory_hub, memory_pair, tcp_loopback, Listener, Transport};
+use piano::net::{FeedHandle, ServerConfig, ServerLoop};
+use piano::prelude::*;
+
+const SEED: u64 = 0xF1EE7;
+
+fn fresh_server(high_water: usize, drain_chunk: usize) -> ServerLoop {
+    ServerLoop::new(
+        AuthService::new(PianoConfig::with_threshold(1.0)),
+        ChaCha8Rng::seed_from_u64(SEED),
+        ServerConfig {
+            high_water,
+            drain_chunk,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// Runs `feeds` concurrent clients through a fresh in-memory server with
+/// `codec`, returning decisions in handshake order.
+fn transport_decisions(feeds: usize, codec: WireCodec) -> Vec<AuthDecision> {
+    let server = fresh_server(6_000, 2_048);
+    let (connector, mut listener) = memory_hub();
+    let config = server.with_service(|s| s.config().action.clone());
+
+    // Handshakes run sequentially so session randomness binds to feed
+    // index deterministically; the streaming itself is fully concurrent.
+    let mut handles = Vec::with_capacity(feeds);
+    let mut server_threads = Vec::with_capacity(feeds);
+    for _ in 0..feeds {
+        let transport = connector.connect().expect("hub open");
+        let server_clone = server.clone();
+        let conn = listener.accept_conn().expect("accept");
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+        handles.push(FeedHandle::connect(transport, &[codec]).expect("handshake"));
+    }
+    let client_threads: Vec<_> = handles
+        .into_iter()
+        .map(|mut feed| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                assert_eq!(feed.codec(), codec, "server honors the offer");
+                let rec = feed_recording(feed.challenge(), &config);
+                feed.send_recording(&rec, 1_024, 4).expect("stream");
+                feed.finish().expect("stream end");
+                feed.await_decision().expect("verdict")
+            })
+        })
+        .collect();
+
+    assert_eq!(server.wait_for_reports(feeds), feeds, "every feed reports");
+    let hub = hub_recording(&server);
+    let decided = server.scan_and_decide(&hub, 16_384);
+    assert_eq!(decided, feeds, "every session decides");
+
+    let decisions: Vec<AuthDecision> = client_threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let server_outcomes: Vec<_> = server_threads
+        .into_iter()
+        .map(|t| t.join().expect("server thread").expect("not dropped"))
+        .collect();
+    // The verdict the client received is the one the service recorded.
+    for ((_, server_decision), client_decision) in server_outcomes.iter().zip(&decisions) {
+        assert_eq!(server_decision, client_decision);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections, feeds as u64);
+    assert_eq!(stats.connections_dropped, 0);
+    assert_eq!(stats.sessions_decided, feeds as u64);
+    assert_eq!(stats.busy_replies, stats.credit_replies);
+    match codec {
+        WireCodec::Raw => assert_eq!(stats.wire_audio_bytes, stats.raw_audio_bytes),
+        WireCodec::I16Delta => assert!(
+            stats.compression_ratio() >= 3.5,
+            "fleet compression only {:.2}x",
+            stats.compression_ratio()
+        ),
+    }
+    decisions
+}
+
+/// The same fleet without any transport: voucher sessions fed directly,
+/// reports routed by hand, hub scanned on the service.
+fn direct_decisions(feeds: usize) -> Vec<AuthDecision> {
+    let mut service = AuthService::new(PianoConfig::with_threshold(1.0));
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let config = service.config().action.clone();
+    let mut ids = Vec::with_capacity(feeds);
+    let mut vouchers = Vec::with_capacity(feeds);
+    for _ in 0..feeds {
+        let id = service.open_session(false, &mut rng);
+        let challenge = service.poll_transmit(id).expect("challenge");
+        let mut voucher = AuthSession::voucher_with(Arc::clone(service.detector()));
+        let rec = feed_recording(&challenge, &config);
+        voucher.handle_message(challenge).expect("challenge ok");
+        for chunk in rec.chunks(1_024) {
+            let _ = voucher.push_audio(chunk);
+        }
+        let _ = voucher.finish_audio();
+        let report = voucher.poll_transmit().expect("report");
+        service.handle_message(id, report).expect("routed");
+        ids.push(id);
+        vouchers.push(voucher);
+    }
+    let hub = hub_recording_for(&service, &ids);
+    for chunk in hub.chunks(16_384) {
+        let _ = service.push_audio(chunk);
+    }
+    let _ = service.finish_audio();
+    ids.iter()
+        .map(|id| service.decision(*id).expect("decided").clone())
+        .collect()
+}
+
+#[test]
+fn framed_stream_survives_any_transport_segmentation() {
+    // One thread writes a frame stream in awkward slices; the peer
+    // reassembles. Every message must arrive intact and in order.
+    let msgs: Vec<Message> = (0..40)
+        .map(|i| match i % 4 {
+            0 => Message::AudioChunk {
+                session: 9,
+                seq: i as u32,
+                samples: vec![i as f64; 100 + i],
+            },
+            1 => Message::AudioBatchI16 {
+                session: 9,
+                start_seq: i as u32,
+                chunks: vec![(0..50 + i).map(|j| (j * 31) as i16).collect()],
+            },
+            2 => Message::Busy {
+                session: 9,
+                buffered_samples: i as u64,
+                high_water: 1,
+            },
+            _ => Message::StreamEnd { session: i as u64 },
+        })
+        .collect();
+    let stream: Vec<u8> = msgs.iter().flat_map(|m| m.encode_framed()).collect();
+    let (mut client, mut server) = memory_pair();
+    let writer = {
+        let stream = stream.clone();
+        std::thread::spawn(move || {
+            // Deterministically awkward slice lengths: 1, 2, …, 17, 1, …
+            let mut pos = 0;
+            let mut step = 1;
+            while pos < stream.len() {
+                let end = (pos + step).min(stream.len());
+                client.write_all(&stream[pos..end]).unwrap();
+                pos = end;
+                step = step % 17 + 1;
+            }
+            client
+        })
+    };
+    let mut reader = FrameReader::new();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 97];
+    while got.len() < msgs.len() {
+        let n = server.read_some(&mut buf).unwrap();
+        assert!(n > 0, "stream ended early");
+        reader.push(&buf[..n]);
+        while let Some(m) = reader.next_frame().unwrap() {
+            got.push(m);
+        }
+    }
+    assert_eq!(got, msgs);
+    drop(writer.join().unwrap());
+}
+
+#[test]
+fn fleet_runs_under_the_env_selected_codec() {
+    // The CI matrix sets PIANO_WIRE_CODEC ∈ {off, i16-delta}; this fleet
+    // negotiates whatever the environment selected, so the suite's wire
+    // traffic genuinely differs between matrix entries.
+    let codec = WireCodec::from_env();
+    let decisions = transport_decisions(3, codec);
+    assert!(decisions.iter().all(AuthDecision::is_granted));
+}
+
+#[test]
+fn server_loop_decisions_match_direct_ingestion_for_100_feeds() {
+    const FEEDS: usize = 100;
+    let direct = direct_decisions(FEEDS);
+    for d in &direct {
+        match d {
+            AuthDecision::Granted { distance_m } => {
+                assert!(
+                    (distance_m - 0.5).abs() < 0.1,
+                    "direct distance {distance_m}"
+                )
+            }
+            other => panic!("direct path denied: {other:?}"),
+        }
+    }
+    let raw = transport_decisions(FEEDS, WireCodec::Raw);
+    let compressed = transport_decisions(FEEDS, WireCodec::I16Delta);
+    assert_eq!(raw, direct, "codec-off transport diverged from direct");
+    assert_eq!(
+        compressed, direct,
+        "i16-delta transport diverged from direct"
+    );
+}
+
+#[test]
+fn poisoned_connection_is_dropped_alone() {
+    const GOOD: usize = 3;
+    let server = fresh_server(6_000, 2_048);
+    let (connector, mut listener) = memory_hub();
+    let config = server.with_service(|s| s.config().action.clone());
+
+    // One malicious client: a valid handshake, then garbage bytes.
+    let mut server_threads = Vec::new();
+    let bad_transport = connector.connect().unwrap();
+    {
+        let conn = listener.accept_conn().unwrap();
+        let server_clone = server.clone();
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+    }
+    let mut bad = FeedHandle::connect(bad_transport, &[WireCodec::I16Delta]).unwrap();
+    let bad_thread = std::thread::spawn(move || {
+        // One honest batch, then an oversized length prefix — the
+        // receiver's reader poisons and the connection is dropped.
+        bad.send_batch(&[vec![1.0; 512]]).unwrap();
+        bad.into_transport()
+            .write_all(&u32::MAX.to_le_bytes())
+            .unwrap();
+    });
+
+    let mut good_handles = Vec::new();
+    for _ in 0..GOOD {
+        let transport = connector.connect().unwrap();
+        let conn = listener.accept_conn().unwrap();
+        let server_clone = server.clone();
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+        good_handles.push(FeedHandle::connect(transport, &[WireCodec::I16Delta]).unwrap());
+    }
+    let good_threads: Vec<_> = good_handles
+        .into_iter()
+        .map(|mut feed| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let rec = feed_recording(feed.challenge(), &config);
+                feed.send_recording(&rec, 1_024, 4).unwrap();
+                feed.finish().unwrap();
+                feed.await_decision().unwrap()
+            })
+        })
+        .collect();
+
+    bad_thread.join().unwrap();
+    // The dropped connection counts toward the wait, so waiting on the
+    // full connection count cannot hang; only the healthy feeds report.
+    assert_eq!(server.wait_for_reports(GOOD + 1), GOOD);
+    let hub = hub_recording(&server);
+    let decided = server.scan_and_decide(&hub, 16_384);
+    assert_eq!(decided, GOOD, "the healthy feeds all decide");
+    for t in good_threads {
+        assert!(t.join().unwrap().is_granted(), "healthy feed granted");
+    }
+    let outcomes: Vec<_> = server_threads
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    assert_eq!(outcomes.iter().filter(|o| o.is_none()).count(), 1);
+    let stats = server.stats();
+    assert_eq!(stats.connections, (GOOD + 1) as u64);
+    assert_eq!(stats.connections_dropped, 1);
+    assert_eq!(stats.sessions_decided, GOOD as u64);
+}
+
+#[test]
+fn sender_ignoring_busy_past_the_hard_limit_is_dropped() {
+    // A tiny high-water mark and a drain rate of one sample per turn: the
+    // rogue sender outruns the scan and blows through the hard limit.
+    let server = fresh_server(500, 1);
+    let (connector, mut listener) = memory_hub();
+    let transport = connector.connect().unwrap();
+    let conn = listener.accept_conn().unwrap();
+    let server_clone = server.clone();
+    let server_thread = std::thread::spawn(move || server_clone.serve(conn));
+    let feed = FeedHandle::connect(transport, &[WireCodec::Raw]).unwrap();
+    let session = feed.session();
+    // Bypass the handle's pacing: write max-size batches directly,
+    // never reading Busy.
+    let mut t = feed.into_transport();
+    let chunk = vec![1.0f64; piano::core::wire::MAX_AUDIO_CHUNK_SAMPLES];
+    let mut seq = 0u32;
+    let sent = loop {
+        let msg = Message::AudioBatch {
+            session,
+            start_seq: seq,
+            chunks: vec![chunk.clone(); 4],
+        };
+        seq += 4;
+        if t.write_all(&msg.encode_framed()).is_err() {
+            // The server dropped us: the pipe is closed.
+            break seq;
+        }
+        if seq > 64 {
+            break seq; // plenty past the hard limit either way
+        }
+    };
+    assert!(sent > 4, "more than one batch went out");
+    assert!(
+        server_thread.join().unwrap().is_none(),
+        "connection dropped"
+    );
+    assert_eq!(server.stats().connections_dropped, 1);
+}
+
+#[test]
+fn tcp_loopback_smoke_or_skip() {
+    let Some((mut listener, addr)) = tcp_loopback() else {
+        eprintln!("skipping: loopback TCP unavailable in this environment");
+        return;
+    };
+    const FEEDS: usize = 2;
+    let server = fresh_server(6_000, 2_048);
+    let config = server.with_service(|s| s.config().action.clone());
+    let mut server_threads = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..FEEDS {
+        let transport = std::net::TcpStream::connect(addr).expect("connect loopback");
+        let conn = listener.accept_conn().expect("accept loopback");
+        let server_clone = server.clone();
+        server_threads.push(std::thread::spawn(move || server_clone.serve(conn)));
+        handles.push(FeedHandle::connect(transport, &[WireCodec::I16Delta]).expect("handshake"));
+    }
+    let clients: Vec<_> = handles
+        .into_iter()
+        .map(|mut feed| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let rec = feed_recording(feed.challenge(), &config);
+                feed.send_recording(&rec, 1_024, 4).unwrap();
+                feed.finish().unwrap();
+                feed.await_decision().unwrap()
+            })
+        })
+        .collect();
+    assert_eq!(server.wait_for_reports(FEEDS), FEEDS);
+    let hub = hub_recording(&server);
+    assert_eq!(server.scan_and_decide(&hub, 16_384), FEEDS);
+    for c in clients {
+        assert!(c.join().unwrap().is_granted());
+    }
+    for s in server_threads {
+        assert!(s.join().unwrap().is_some());
+    }
+}
