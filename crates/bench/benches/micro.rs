@@ -18,6 +18,8 @@ use piano_core::detect::{Detector, ScanMode, SignalSignature};
 use piano_core::signal::ReferenceSignal;
 use piano_core::stream::StreamingDetector;
 use piano_dsp::fft::{fft_real_padded, FftPlan, RealFftPlan};
+use piano_dsp::simd::{self, DspBackend};
+use piano_dsp::sparse::{GoertzelBank, SlidingDft};
 use piano_dsp::Complex64;
 
 fn bench_micro(c: &mut Criterion) {
@@ -52,6 +54,44 @@ fn bench_micro(c: &mut Criterion) {
         let mut out = Vec::new();
         b.iter(|| real_plan.power_into(&wave, &mut scratch, &mut out))
     });
+
+    // SIMD naive-vs-optimized pairs: the same three kernels pinned to the
+    // scalar reference and to the active (best) backend. On hardware with
+    // no SIMD backend the pairs coincide — the ratio reads 1.0 and the
+    // scalar path is what ships.
+    let active = simd::active_backend();
+    c.bench_function("fft_4096_scalar", |b| {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| real_plan.power_into_with(&wave, &mut scratch, &mut out, DspBackend::Scalar))
+    });
+    c.bench_function("fft_4096_simd", |b| {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| real_plan.power_into_with(&wave, &mut scratch, &mut out, active))
+    });
+    let sliding_rec = &recording_for_sliding(&wave);
+    for (id, backend) in [
+        ("sliding_dft_scalar", DspBackend::Scalar),
+        ("sliding_dft_simd", active),
+    ] {
+        c.bench_function(id, |b| {
+            let mut sliding = SlidingDft::new(4096, 10, sliding_bench_bins());
+            sliding.init_with(&sliding_rec[..4096], backend);
+            let mut j = 0usize;
+            b.iter(|| slide_once(&mut sliding, sliding_rec, &mut j, backend))
+        });
+    }
+    let goertzel_bank = goertzel_bench_bank();
+    for (id, backend) in [
+        ("goertzel_bank_scalar", DspBackend::Scalar),
+        ("goertzel_bank_simd", active),
+    ] {
+        c.bench_function(id, |b| {
+            let mut powers = Vec::new();
+            b.iter(|| goertzel_bank.powers_into_with(&wave, &mut powers, backend))
+        });
+    }
 
     // Algorithm 2 on a precomputed spectrum, dense and sparse.
     let spectrum = detector.window_spectrum(&wave);
@@ -130,6 +170,10 @@ fn bench_micro(c: &mut Criterion) {
     // i16-delta codec — bytes/s over the wire plus the compression ratio.
     let net = measure_net_ingest(16);
 
+    // Per-backend kernel speedups (measured once, in the summary): every
+    // available DSP backend against the scalar reference.
+    let simd_speedups = measure_simd(&wave);
+
     // Step I synthesis.
     c.bench_function("reference_signal_synthesis", |b| {
         b.iter(|| signal.waveform())
@@ -164,7 +208,14 @@ fn bench_micro(c: &mut Criterion) {
         )
     });
 
-    export_summary(c, samples_to_decision, recording.len(), &fleet, &net);
+    export_summary(
+        c,
+        samples_to_decision,
+        recording.len(),
+        &fleet,
+        &net,
+        &simd_speedups,
+    );
 }
 
 /// One deterministic fleet-ingest measurement for the summary block.
@@ -324,6 +375,104 @@ fn measure_net_ingest(feeds: usize) -> NetIngest {
     }
 }
 
+/// A deterministic recording long enough for thousands of 10-sample
+/// fine-scan slides: the reference waveform tiled with varying gain.
+fn recording_for_sliding(wave: &[f64]) -> Vec<f64> {
+    let len = 4096 + 10 * 4096;
+    (0..len)
+        .map(|i| wave[i % wave.len()] * (0.2 + 0.8 * ((i / wave.len()) % 7) as f64 / 7.0))
+        .collect()
+}
+
+/// The detector's fine-scan shape: ~30 candidate clusters × (2θ+1)
+/// tracked bins. Shared by the criterion pairs and `measure_simd` so the
+/// `criterion` and `per_backend` ratios in the JSON `simd` block measure
+/// the same workload.
+fn sliding_bench_bins() -> Vec<usize> {
+    (0..330).map(|i| (37 * i + 13) % 4096).collect()
+}
+
+/// The sparse one-shot shape: a 64-bin bank over one 4096 window.
+/// Shared by the criterion pairs and `measure_simd` (see
+/// [`sliding_bench_bins`]).
+fn goertzel_bench_bank() -> GoertzelBank {
+    GoertzelBank::new(4096, (0..64).map(|i| (61 * i + 7) % 4096).collect())
+}
+
+/// One nominal 10-sample fine-scan slide over `rec`, wrapping at the end.
+fn slide_once(sliding: &mut SlidingDft, rec: &[f64], j: &mut usize, backend: DspBackend) {
+    if *j + 10 + 4096 > rec.len() {
+        *j = 0;
+    }
+    sliding.advance_with(&rec[*j..*j + 10], &rec[*j + 4096..*j + 4096 + 10], backend);
+    *j += 10;
+}
+
+/// One backend's deterministically measured speedups over scalar.
+struct SimdBackendSpeedups {
+    backend: DspBackend,
+    fft_4096: f64,
+    sliding_dft: f64,
+    goertzel_bank: f64,
+}
+
+/// Times the three dispatched kernels under every available backend
+/// against the scalar reference (same run, same inputs, `Instant`-timed
+/// like the fleet measurements). Scalar itself is included as the 1.0×
+/// floor so the JSON block always exists, even on SIMD-less hardware.
+fn measure_simd(wave: &[f64]) -> Vec<SimdBackendSpeedups> {
+    let real_plan = RealFftPlan::new(4096);
+    let sliding_rec = recording_for_sliding(wave);
+    let bank = goertzel_bench_bank();
+
+    let time_backend = |backend: DspBackend| -> (f64, f64, f64) {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        // Warm up plans/caches, then time each kernel.
+        real_plan.power_into_with(wave, &mut scratch, &mut out, backend);
+        let t = std::time::Instant::now();
+        for _ in 0..300 {
+            real_plan.power_into_with(wave, &mut scratch, &mut out, backend);
+        }
+        let fft_s = t.elapsed().as_secs_f64();
+
+        let mut sliding = SlidingDft::new(4096, 10, sliding_bench_bins());
+        sliding.init_with(&sliding_rec[..4096], backend);
+        let t = std::time::Instant::now();
+        let mut j = 0usize;
+        for _ in 0..4000 {
+            slide_once(&mut sliding, &sliding_rec, &mut j, backend);
+        }
+        let sliding_s = t.elapsed().as_secs_f64();
+
+        let mut powers = Vec::new();
+        let t = std::time::Instant::now();
+        for _ in 0..100 {
+            bank.powers_into_with(wave, &mut powers, backend);
+        }
+        let goertzel_s = t.elapsed().as_secs_f64();
+        (fft_s, sliding_s, goertzel_s)
+    };
+
+    let (fft_ref, sliding_ref, goertzel_ref) = time_backend(DspBackend::Scalar);
+    simd::available_backends()
+        .into_iter()
+        .map(|backend| {
+            let (fft_s, sliding_s, goertzel_s) = if backend == DspBackend::Scalar {
+                (fft_ref, sliding_ref, goertzel_ref)
+            } else {
+                time_backend(backend)
+            };
+            SimdBackendSpeedups {
+                backend,
+                fft_4096: fft_ref / fft_s,
+                sliding_dft: sliding_ref / sliding_s,
+                goertzel_bank: goertzel_ref / goertzel_s,
+            }
+        })
+        .collect()
+}
+
 /// Writes `BENCH_micro.json` with raw measurements and headline speedups.
 fn export_summary(
     c: &Criterion,
@@ -331,6 +480,7 @@ fn export_summary(
     recording_len: usize,
     fleet: &FleetIngest,
     net: &NetIngest,
+    simd_speedups: &[SimdBackendSpeedups],
 ) {
     // Workspace root, two levels up from this crate's manifest.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -351,6 +501,9 @@ fn export_summary(
             .unwrap_or(f64::NAN)
     };
     let fft_speedup = median("fft_4096_naive") / median("fft_4096");
+    let simd_fft = median("fft_4096_scalar") / median("fft_4096_simd");
+    let simd_sliding = median("sliding_dft_scalar") / median("sliding_dft_simd");
+    let simd_goertzel = median("goertzel_bank_scalar") / median("goertzel_bank_simd");
     let scan_speedup =
         median("detection/algorithm1_scan_2s_naive") / median("detection/algorithm1_scan_2s");
     let parallel_speedup = median("detection/algorithm1_scan_2s_naive")
@@ -358,6 +511,11 @@ fn export_summary(
     let decision_speedup =
         median("detection/algorithm1_scan_2s") / median("detection/stream_to_decision");
     println!("fft_4096 speedup over naive: {fft_speedup:.2}x");
+    println!(
+        "simd backend {}: fft_4096 {simd_fft:.2}x, sliding_dft {simd_sliding:.2}x, \
+         goertzel_bank {simd_goertzel:.2}x over scalar",
+        piano_dsp::simd::active_backend()
+    );
     println!("algorithm1_scan_2s speedup over naive: {scan_speedup:.2}x");
     println!("algorithm1_scan_2s parallel speedup over naive: {parallel_speedup:.2}x");
     println!(
@@ -382,6 +540,34 @@ fn export_summary(
         net.compression_ratio,
         net.all_granted
     );
+    // Per-backend block: deterministic speedups vs scalar, one entry per
+    // available backend (scalar reads 1.0 by construction).
+    let simd_json = {
+        let active = piano_dsp::simd::active_backend();
+        let available: Vec<String> = simd_speedups
+            .iter()
+            .map(|s| format!("\"{}\"", s.backend))
+            .collect();
+        let per_backend: Vec<String> = simd_speedups
+            .iter()
+            .map(|s| {
+                format!(
+                    "\"{}\": {{\"fft_4096\": {:.3}, \"sliding_dft\": {:.3}, \
+                     \"goertzel_bank\": {:.3}}}",
+                    s.backend, s.fft_4096, s.sliding_dft, s.goertzel_bank
+                )
+            })
+            .collect();
+        format!(
+            "{{\"active\": \"{active}\", \"available\": [{}], \
+             \"criterion\": {{\"fft_4096\": {simd_fft:.3}, \
+             \"sliding_dft\": {simd_sliding:.3}, \
+             \"goertzel_bank\": {simd_goertzel:.3}}}, \
+             \"per_backend\": {{{}}}}}",
+            available.join(", "),
+            per_backend.join(", ")
+        )
+    };
     // Splice the headline ratios into the top-level JSON object — strip
     // exactly the final closing brace, never more.
     if let Ok(text) = std::fs::read_to_string(path) {
@@ -400,7 +586,8 @@ fn export_summary(
                  \"net_ingest\": {{\"feeds\": {}, \"wire_audio_bytes\": {}, \
                  \"raw_audio_bytes\": {}, \"compression_ratio\": {:.3}, \
                  \"elapsed_s\": {:.4}, \"wire_bytes_per_s\": {:.0}, \
-                 \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}}}\n}}\n",
+                 \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}}},\n  \
+                 \"simd\": {simd_json}\n}}\n",
                 samples_to_decision < recording_len,
                 fleet.sessions,
                 fleet.hub_samples,

@@ -37,6 +37,11 @@
 //!   per-signature maxima with a deterministic (max power, earliest
 //!   offset) rule, so results are bit-identical to the serial scan for
 //!   every worker count.
+//! * **SIMD kernels** — every FFT, sliding-DFT, and Goertzel evaluation
+//!   above dispatches through `piano_dsp::simd` (SSE2/AVX2/NEON,
+//!   runtime-selected, `PIANO_DSP_SIMD` overridable). The detector needs
+//!   no backend awareness: all backends are bit-identical to the scalar
+//!   reference, so detections and decisions cannot depend on the CPU.
 
 use piano_dsp::sparse::{GoertzelBank, SlidingDft};
 use piano_dsp::spectrum::{band_power, SpectrumAnalyzer, SpectrumScratch};

@@ -298,6 +298,12 @@ impl StreamingDetector {
     /// Consumes one chunk of audio, returning any provisional detections
     /// that became available.
     ///
+    /// Non-finite samples (NaN/±∞) are **contained at this boundary**:
+    /// they enter the ring as silence (`0.0`), because one poisoned
+    /// sample would otherwise corrupt the sliding-DFT state of every
+    /// subsequent fine window. For finite input, [`finish`](Self::finish)
+    /// remains bit-identical to the offline scan of the same samples.
+    ///
     /// # Panics
     ///
     /// Panics if called after [`finish`](Self::finish).
@@ -327,6 +333,24 @@ impl StreamingDetector {
         if samples.is_empty() {
             return Vec::new();
         }
+        // Non-finite samples are contained here, at the ingest boundary:
+        // a NaN or ∞ entering the ring would poison the sliding-DFT
+        // state of every later fine window in its scan (the incremental
+        // correction subtracts the sample back out, and NaN − NaN ≠ 0)
+        // and survive ring compaction inside captured neighborhoods. A
+        // dead ADC sample therefore contributes silence instead;
+        // `finish()` matches the offline scan of the sanitized stream.
+        // Remote feeds are rejected earlier, at wire decode.
+        let sanitized: Vec<f64>;
+        let samples: &[f64] = if samples.iter().all(|s| s.is_finite()) {
+            samples
+        } else {
+            sanitized = samples
+                .iter()
+                .map(|&s| if s.is_finite() { s } else { 0.0 })
+                .collect();
+            &sanitized
+        };
         self.buf.extend_from_slice(samples);
         let prev_total = self.total;
         self.total += samples.len();
@@ -1881,6 +1905,35 @@ mod tests {
         for chunk in [37, 512, 1000, 4096, 5000, rec.len()] {
             let (streamed, _) = stream_scan(&detector, &[&sig_a, &sig_v], &rec, chunk);
             assert_eq!(streamed, offline, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_are_contained_at_the_ingest_boundary() {
+        // A NaN/∞ chunk early in the stream must not poison later
+        // windows: the signal arrives long after the bad chunk (and
+        // after ring compaction has run), and it must still be found,
+        // with exactly the result the offline scan of the sanitized
+        // stream produces.
+        let cfg = config();
+        let detector = Arc::new(Detector::new(&cfg));
+        let signal = ReferenceSignal::from_indices(&cfg, vec![3, 12, 21], &mut rng(7));
+        let sig = SignalSignature::of(&signal, &cfg);
+        let mut rec = vec![0.0; 60_000];
+        embed_into(&mut rec, &signal.waveform(), 41_000, 0.4);
+        let mut poisoned = rec.clone();
+        poisoned[100] = f64::NAN;
+        poisoned[2_000] = f64::INFINITY;
+        poisoned[17_999] = f64::NEG_INFINITY;
+
+        let offline_clean = detector.detect_many(&rec, &[&sig]);
+        assert!(offline_clean.detections[0].is_found());
+        for chunk in [333, 1024, 16_384] {
+            let (streamed, _) = stream_scan(&detector, &[&sig], &poisoned, chunk);
+            assert_eq!(
+                streamed, offline_clean,
+                "poisoned stream (chunk {chunk}) must scan like the clean one"
+            );
         }
     }
 

@@ -405,6 +405,28 @@ fn encode_i16_chunk(out: &mut Vec<u8>, q: &[i16]) {
     }
 }
 
+/// Decodes `n` raw f64 audio samples, rejecting non-finite values.
+///
+/// Audio is the one payload that flows straight into the DSP kernels: a
+/// NaN or ∞ accepted here would poison a session's sliding-DFT scan
+/// state (see `piano_dsp::sparse`), so a frame carrying one is malformed
+/// by definition and the whole message is refused. The i16 codec path
+/// cannot encode non-finite values, so this check lives only on the raw
+/// f64 path.
+fn decode_f64_samples(r: &mut Reader<'_>, n: usize) -> Result<Vec<f64>, PianoError> {
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.f64()?;
+        if !v.is_finite() {
+            return Err(PianoError::Wire(format!(
+                "non-finite audio sample {v} rejected at the ingest boundary"
+            )));
+        }
+        samples.push(v);
+    }
+    Ok(samples)
+}
+
 fn decode_i16_chunk(r: &mut Reader<'_>) -> Result<Vec<i16>, PianoError> {
     let order = r.u8()?;
     if order > MAX_PREDICTOR_ORDER {
@@ -683,10 +705,7 @@ impl Message {
                         "audio chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
                     )));
                 }
-                let mut samples = Vec::with_capacity(n);
-                for _ in 0..n {
-                    samples.push(r.f64()?);
-                }
+                let samples = decode_f64_samples(&mut r, n)?;
                 Message::AudioChunk {
                     session,
                     seq,
@@ -718,11 +737,7 @@ impl Message {
                              {MAX_AUDIO_BATCH_SAMPLES} cap"
                         )));
                     }
-                    let mut samples = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        samples.push(r.f64()?);
-                    }
-                    chunks.push(samples);
+                    chunks.push(decode_f64_samples(&mut r, n)?);
                 }
                 Message::AudioBatch {
                     session,
@@ -1290,6 +1305,36 @@ mod tests {
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn non_finite_audio_samples_are_rejected_at_decode() {
+        // A NaN or ∞ accepted off the wire would flow straight into a
+        // session's sliding-DFT scan and poison every later fine window;
+        // the decoder is the remote ingest boundary, so it refuses them.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let chunk = Message::AudioChunk {
+                session: 9,
+                seq: 3,
+                samples: vec![0.25, bad, -0.5],
+            };
+            let err = Message::decode(&chunk.encode()).unwrap_err().to_string();
+            assert!(err.contains("non-finite"), "unhelpful message: {err}");
+            let batch = Message::AudioBatch {
+                session: 9,
+                start_seq: 3,
+                chunks: vec![vec![1.0; 4], vec![0.0, bad]],
+            };
+            let err = Message::decode(&batch.encode()).unwrap_err().to_string();
+            assert!(err.contains("non-finite"), "unhelpful message: {err}");
+        }
+        // Finite extremes still pass: only NaN/∞ are malformed.
+        let msg = Message::AudioChunk {
+            session: 9,
+            seq: 3,
+            samples: vec![f64::MAX, f64::MIN, 0.0],
+        };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 
     #[test]

@@ -18,6 +18,11 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// let i = Complex64::I;
 /// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
 /// ```
+///
+/// The layout is `#[repr(C)]` (`re` then `im`), so a `&[Complex64]` is
+/// interleaved `[re, im, re, im, …]` memory — the [`crate::simd`] kernels
+/// rely on this to load complexes directly into vector registers.
+#[repr(C)]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Complex64 {
     /// Real component.

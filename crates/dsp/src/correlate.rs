@@ -9,6 +9,9 @@
 //!
 //! Both a direct `O(N·M)` implementation and an FFT-based `O(N log N)` one
 //! are provided; they produce identical results and the tests enforce that.
+//! The FFT path rides the [`crate::simd`] backend dispatch transparently
+//! (its transforms go through [`FftPlan::forward`]), and stays
+//! bit-identical across backends.
 
 use crate::complex::Complex64;
 use crate::fft::{next_pow2, FftPlan};

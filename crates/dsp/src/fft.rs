@@ -13,6 +13,11 @@
 //! * **Branch-free butterflies** — [`FftPlan`] holds separate forward and
 //!   inverse twiddle tables, so the butterfly kernel never tests an
 //!   `inverse` flag or conjugates on the fly.
+//! * **SIMD butterfly stages** — the table-driven stages run through the
+//!   [`crate::simd`] dispatch layer (SSE2/AVX2 on x86_64, NEON on
+//!   aarch64, scalar elsewhere), bit-identical to the scalar reference
+//!   on every backend. `forward`/`inverse` use the process-wide active
+//!   backend; the `*_with` variants pin one explicitly.
 //! * **Real-input transform** — [`RealFftPlan`] computes an N-point real
 //!   spectrum via one N/2-point complex transform plus an O(N)
 //!   recombination: half the butterflies of padding the signal into a
@@ -33,6 +38,7 @@
 //! `ifft(fft(x)) == x` up to floating-point error.
 
 use crate::complex::Complex64;
+use crate::simd::{self, DspBackend};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable FFT plan for a fixed power-of-two size.
@@ -132,18 +138,31 @@ impl FftPlan {
         self.size
     }
 
-    /// In-place forward DFT.
+    /// In-place forward DFT on the active DSP backend
+    /// ([`simd::active_backend`]).
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.size()`.
     pub fn forward(&self, buf: &mut [Complex64]) {
+        self.forward_with(buf, simd::active_backend());
+    }
+
+    /// [`Self::forward`] pinned to an explicit backend. Every backend is
+    /// bit-identical (see [`crate::simd`]); this entry point exists so
+    /// the differential conformance suite and benches can compare
+    /// backends without mutating process-wide state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.size()`.
+    pub fn forward_with(&self, buf: &mut [Complex64], backend: DspBackend) {
         assert_eq!(buf.len(), self.size, "buffer length must match plan size");
         if self.size <= 1 {
             return;
         }
         self.permute(buf);
-        self.butterflies(buf, &self.fwd_stages, true);
+        self.butterflies(buf, &self.fwd_stages, true, backend);
     }
 
     /// In-place forward DFT via the seed's original butterfly kernel
@@ -183,18 +202,29 @@ impl FftPlan {
         }
     }
 
-    /// In-place inverse DFT (normalized by `1/N`).
+    /// In-place inverse DFT (normalized by `1/N`) on the active DSP
+    /// backend.
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.size()`.
     pub fn inverse(&self, buf: &mut [Complex64]) {
+        self.inverse_with(buf, simd::active_backend());
+    }
+
+    /// [`Self::inverse`] pinned to an explicit backend (bit-identical
+    /// across backends; see [`Self::forward_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.size()`.
+    pub fn inverse_with(&self, buf: &mut [Complex64], backend: DspBackend) {
         assert_eq!(buf.len(), self.size, "buffer length must match plan size");
         if self.size <= 1 {
             return;
         }
         self.permute(buf);
-        self.butterflies(buf, &self.inv_stages, false);
+        self.butterflies(buf, &self.inv_stages, false, backend);
         let scale = 1.0 / self.size as f64;
         for z in buf.iter_mut() {
             *z = z.scale(scale);
@@ -214,9 +244,17 @@ impl FftPlan {
     ///
     /// The first two stages are specialized: their twiddles are `1` and
     /// `∓i` (`forward` picks the sign), so they need no complex multiplies
-    /// at all. Later stages iterate slice pairs, which elides bounds
-    /// checks, and read their twiddles contiguously.
-    fn butterflies(&self, buf: &mut [Complex64], stages: &[Vec<Complex64>], forward: bool) {
+    /// at all and run the same multiply-free scalar code on every
+    /// backend. The remaining table-driven stages dispatch through
+    /// [`simd::radix2_stage`], which vectorizes the butterfly loop while
+    /// preserving the scalar operation order bit-for-bit.
+    fn butterflies(
+        &self,
+        buf: &mut [Complex64],
+        stages: &[Vec<Complex64>],
+        forward: bool,
+        backend: DspBackend,
+    ) {
         let n = self.size;
 
         // Stage len = 2: twiddle is 1.
@@ -247,19 +285,10 @@ impl FftPlan {
             }
         }
 
-        // Remaining stages: table-driven, contiguous twiddles, no bounds
-        // checks in the inner loop.
+        // Remaining stages: table-driven, contiguous twiddles, kernel
+        // selected by the backend (bit-identical across backends).
         for stage_tw in stages {
-            let len = stage_tw.len() * 2;
-            for chunk in buf.chunks_exact_mut(len) {
-                let (evens, odds) = chunk.split_at_mut(len / 2);
-                for ((e, o), &tw) in evens.iter_mut().zip(odds.iter_mut()).zip(stage_tw) {
-                    let a = *e;
-                    let b = *o * tw;
-                    *e = a + b;
-                    *o = a - b;
-                }
-            }
+            simd::radix2_stage(backend, buf, stage_tw);
         }
     }
 }
@@ -324,12 +353,12 @@ impl RealFftPlan {
 
     /// Packs the input and runs the half-size complex transform into
     /// `scratch`, leaving `Z[k] = E[k] + i·O[k]` (even/odd interleave).
-    fn half_transform(&self, input: &[f64], scratch: &mut Vec<Complex64>) {
+    fn half_transform(&self, input: &[f64], scratch: &mut Vec<Complex64>, backend: DspBackend) {
         assert_eq!(input.len(), self.size, "input length must match plan size");
         let h = self.size / 2;
         scratch.clear();
         scratch.extend((0..h).map(|m| Complex64::new(input[2 * m], input[2 * m + 1])));
-        self.half.forward(scratch);
+        self.half.forward_with(scratch, backend);
     }
 
     /// Computes the full N-length complex spectrum of a real signal.
@@ -348,7 +377,23 @@ impl RealFftPlan {
         scratch: &mut Vec<Complex64>,
         out: &mut Vec<Complex64>,
     ) {
-        self.half_transform(input, scratch);
+        self.forward_full_with(input, scratch, out, simd::active_backend());
+    }
+
+    /// [`Self::forward_full`] pinned to an explicit DSP backend
+    /// (bit-identical across backends; see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn forward_full_with(
+        &self,
+        input: &[f64],
+        scratch: &mut Vec<Complex64>,
+        out: &mut Vec<Complex64>,
+        backend: DspBackend,
+    ) {
+        self.half_transform(input, scratch, backend);
         let n = self.size;
         let h = n / 2;
         out.clear();
@@ -401,7 +446,23 @@ impl RealFftPlan {
     ///
     /// Panics if `input.len() != self.size()`.
     pub fn power_into(&self, input: &[f64], scratch: &mut Vec<Complex64>, out: &mut Vec<f64>) {
-        self.half_transform(input, scratch);
+        self.power_into_with(input, scratch, out, simd::active_backend());
+    }
+
+    /// [`Self::power_into`] pinned to an explicit DSP backend
+    /// (bit-identical across backends; see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn power_into_with(
+        &self,
+        input: &[f64],
+        scratch: &mut Vec<Complex64>,
+        out: &mut Vec<f64>,
+        backend: DspBackend,
+    ) {
+        self.half_transform(input, scratch, backend);
         let n = self.size;
         let h = n / 2;
         out.clear();

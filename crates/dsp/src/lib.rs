@@ -16,6 +16,10 @@
 //!   helpers.
 //! * [`sparse`] — sparse spectral evaluation: Goertzel bank and the
 //!   sliding DFT behind the detector's fine scan.
+//! * [`simd`] — the runtime-dispatched SIMD kernel layer (SSE2/AVX2 on
+//!   x86_64, NEON on aarch64) behind the FFT butterflies, the sliding
+//!   DFT, and the Goertzel bank, with the scalar kernels as the
+//!   universal fallback and bit-exact reference.
 //! * [`spectrum`] — power spectra normalized so a sine of amplitude `B`
 //!   measures `B²` at its bin, matching the paper's `R_f = (32000/n)²`
 //!   convention.
@@ -51,6 +55,12 @@
 //!    bins in `O(step)` per window shift, which is what makes the
 //!    detector's 10-sample fine scan effectively free compared to dense
 //!    re-transformation.
+//! 5. **SIMD dispatch** — the butterfly stages, the sliding-DFT
+//!    correction loop, and the Goertzel bank run vectorized
+//!    ([`simd`]: SSE2/AVX2/NEON, runtime-selected, `PIANO_DSP_SIMD`
+//!    overridable) with a **bit-exact** contract against the scalar
+//!    reference, so backend choice can never move a detection
+//!    threshold.
 //!
 //! Everything is allocation-free on the hot path: callers own scratch
 //! buffers ([`spectrum::SpectrumScratch`]) and analyzers are immutable and
@@ -75,6 +85,7 @@ pub mod db;
 pub mod fft;
 pub mod filter;
 pub mod resample;
+pub mod simd;
 pub mod sparse;
 pub mod spectrum;
 pub mod stats;

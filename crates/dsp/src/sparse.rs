@@ -25,6 +25,7 @@
 
 use crate::complex::Complex64;
 use crate::fft::cached_real_plan;
+use crate::simd::{self, DspBackend};
 
 /// Exact power `|X[k]|²` of one DFT bin of a real signal, via the
 /// second-order Goertzel recurrence (no FFT, no table).
@@ -81,24 +82,28 @@ impl GoertzelBank {
     }
 
     /// Evaluates `|X[k]|²` for every bank bin into `out` (resized to the
-    /// bank size, aligned with [`Self::bins`]).
+    /// bank size, aligned with [`Self::bins`]), on the active DSP
+    /// backend ([`simd::active_backend`]).
     ///
     /// # Panics
     ///
     /// Panics if `signal.len() != n`.
     pub fn powers_into(&self, signal: &[f64], out: &mut Vec<f64>) {
+        self.powers_into_with(signal, out, simd::active_backend());
+    }
+
+    /// [`Self::powers_into`] pinned to an explicit backend. The SIMD
+    /// backends evaluate several bins per register, each lane running the
+    /// scalar recurrence in the exact scalar operation order, so every
+    /// backend is bit-identical (see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() != n`.
+    pub fn powers_into_with(&self, signal: &[f64], out: &mut Vec<f64>, backend: DspBackend) {
         assert_eq!(signal.len(), self.n, "signal length must match bank length");
         out.clear();
-        out.reserve(self.bins.len());
-        for &coeff in &self.coeffs {
-            let (mut s1, mut s2) = (0.0f64, 0.0f64);
-            for &x in signal {
-                let s0 = x + coeff * s1 - s2;
-                s2 = s1;
-                s1 = s0;
-            }
-            out.push(s1 * s1 + s2 * s2 - coeff * s1 * s2);
-        }
+        simd::goertzel_powers(backend, &self.coeffs, signal, out);
     }
 }
 
@@ -171,15 +176,25 @@ impl SlidingDft {
     }
 
     /// Initializes the tracked bins from a full window via the cached
-    /// real-input FFT.
+    /// real-input FFT, on the active DSP backend.
     ///
     /// # Panics
     ///
     /// Panics if `window.len() != self.window_len()`.
     pub fn init(&mut self, window: &[f64]) {
+        self.init_with(window, simd::active_backend());
+    }
+
+    /// [`Self::init`] pinned to an explicit backend (bit-identical
+    /// across backends; see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != self.window_len()`.
+    pub fn init_with(&mut self, window: &[f64], backend: DspBackend) {
         assert_eq!(window.len(), self.n, "window length must match plan");
         let plan = cached_real_plan(self.n);
-        plan.forward_full(window, &mut self.scratch, &mut self.spectrum);
+        plan.forward_full_with(window, &mut self.scratch, &mut self.spectrum, backend);
         self.state.clear();
         self.state
             .extend(self.bins.iter().map(|&b| self.spectrum[b % self.n]));
@@ -190,28 +205,39 @@ impl SlidingDft {
     /// that entered at the back (`recording[j..j+s]` and
     /// `recording[j+N..j+N+s]` for a window moving from `j` to `j+s`).
     ///
-    /// Slides of exactly the nominal step use the precomputed twiddles;
-    /// other lengths (the clamped final step of a scan) fall back to
-    /// on-the-fly twiddles.
+    /// Slides of exactly the nominal step use the precomputed twiddles
+    /// and dispatch through [`simd::sliding_advance`] (bit-identical on
+    /// every backend); other lengths (the clamped final step of a scan)
+    /// fall back to on-the-fly twiddles on the scalar path.
     ///
     /// # Panics
     ///
     /// Panics if the slice lengths differ, are zero, or exceed the window.
     pub fn advance(&mut self, dropped: &[f64], added: &[f64]) {
+        self.advance_with(dropped, added, simd::active_backend());
+    }
+
+    /// [`Self::advance`] pinned to an explicit backend (bit-identical
+    /// across backends; see [`crate::simd`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ, are zero, or exceed the window.
+    pub fn advance_with(&mut self, dropped: &[f64], added: &[f64], backend: DspBackend) {
         let s = dropped.len();
         assert_eq!(s, added.len(), "dropped/added length mismatch");
         assert!(s > 0 && s <= self.n, "slide length must be in 1..=window");
         assert!(!self.state.is_empty(), "init must run before advance");
         let tau = 2.0 * std::f64::consts::PI;
         if s == self.step {
-            for (i, x) in self.state.iter_mut().enumerate() {
-                let tw = &self.corr[i * self.step..(i + 1) * self.step];
-                let mut acc = Complex64::ZERO;
-                for m in 0..s {
-                    acc += tw[m].scale(added[m] - dropped[m]);
-                }
-                *x = (*x + acc) * self.rot[i];
-            }
+            simd::sliding_advance(
+                backend,
+                &mut self.state,
+                &self.rot,
+                &self.corr,
+                dropped,
+                added,
+            );
         } else {
             for (i, &b) in self.bins.iter().enumerate() {
                 let b = b % self.n;
@@ -319,6 +345,56 @@ mod tests {
         let spec = fft_real(&rec[13..13 + n]);
         for (i, &b) in bins.iter().enumerate() {
             assert!((sliding.state()[i] - spec[b]).abs() < 1e-8 * (1.0 + spec[b].abs()));
+        }
+    }
+
+    #[test]
+    fn sliding_dft_nan_poisons_until_reinit() {
+        // The audit behind the ingest-boundary containment
+        // (`piano-core`'s stream/wire layers): once a NaN passes through
+        // a sliding window, the incremental correction can never cancel
+        // it (NaN − NaN ≠ 0), so the state stays poisoned even after the
+        // NaN sample has left the window — and a fresh `init` is the
+        // only recovery.
+        let n = 64;
+        let step = 4;
+        let mut rec: Vec<f64> = (0..200).map(|t| (t as f64 * 0.3).sin()).collect();
+        rec[70] = f64::NAN;
+        let mut sliding = SlidingDft::new(n, step, vec![3, 17]);
+        sliding.init(&rec[..n]);
+        let mut j = 0;
+        while j + step + n <= 140 {
+            sliding.advance(&rec[j..j + step], &rec[j + n..j + n + step]);
+            j += step;
+        }
+        // The window [j, j+n) no longer contains index 70, yet the state
+        // is still NaN: the poison outlived the sample.
+        assert!(j > 70, "window must have slid past the NaN");
+        assert!(sliding.state().iter().any(|z| z.is_nan()));
+        // Re-initializing from a clean window recovers exactly.
+        sliding.init(&rec[j..j + n]);
+        let spec = fft_real(&rec[j..j + n]);
+        for (i, &b) in [3usize, 17].iter().enumerate() {
+            assert!((sliding.state()[i] - spec[b]).abs() < 1e-9 * (1.0 + spec[b].abs()));
+        }
+    }
+
+    #[test]
+    fn goertzel_nan_is_contained_to_its_window() {
+        // Goertzel accumulators are per-call: a NaN window yields NaN
+        // powers, but the next (clean) window is evaluated from fresh
+        // state — no cross-window poisoning to contain here.
+        let clean: Vec<f64> = (0..128).map(|t| (t as f64 * 0.9).cos()).collect();
+        let mut dirty = clean.clone();
+        dirty[64] = f64::INFINITY;
+        let bank = GoertzelBank::new(128, vec![5, 40]);
+        let mut powers = Vec::new();
+        bank.powers_into(&dirty, &mut powers);
+        assert!(powers.iter().all(|p| !p.is_finite()));
+        bank.powers_into(&clean, &mut powers);
+        for (&p, &b) in powers.iter().zip(bank.bins()) {
+            let reference = goertzel_power(&clean, b);
+            assert!((p - reference).abs() < 1e-9 * (1.0 + reference));
         }
     }
 

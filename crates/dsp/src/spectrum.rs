@@ -8,6 +8,10 @@
 //! bin. Off-bin tones leak into neighbours; the detector recovers the power
 //! by aggregating `2θ+1` bins (Algorithm 2, line 5), which is also how it
 //! tolerates the *frequency smoothing* the paper describes.
+//!
+//! Every spectrum here is computed through plans that dispatch into the
+//! [`crate::simd`] kernel layer — callers pick up the active backend
+//! transparently, and the result is bit-identical whichever backend runs.
 
 use crate::complex::Complex64;
 use crate::fft::{cached_real_plan, FftPlan, RealFftPlan};

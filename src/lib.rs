@@ -73,6 +73,7 @@ pub mod prelude {
         StreamingDetector,
     };
     pub use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
+    pub use piano_dsp::simd::DspBackend;
     pub use piano_net::{FeedHandle, ServerConfig, ServerLoop};
 }
 
