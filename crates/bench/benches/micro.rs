@@ -170,6 +170,11 @@ fn bench_micro(c: &mut Criterion) {
     // i16-delta codec — bytes/s over the wire plus the compression ratio.
     let net = measure_net_ingest(16);
 
+    // Fault recovery (measured once, in the summary): the same wire
+    // fleet with half the links cut mid-stream; clients redial and
+    // resume, and the block records the recovery cost.
+    let fault = measure_fault_recovery(8);
+
     // Per-backend kernel speedups (measured once, in the summary): every
     // available DSP backend against the scalar reference.
     let simd_speedups = measure_simd(&wave);
@@ -214,6 +219,7 @@ fn bench_micro(c: &mut Criterion) {
         recording.len(),
         &fleet,
         &net,
+        &fault,
         &simd_speedups,
     );
 }
@@ -375,6 +381,134 @@ fn measure_net_ingest(feeds: usize) -> NetIngest {
     }
 }
 
+/// One deterministic fault-recovery measurement for the summary block.
+struct FaultRecovery {
+    feeds: usize,
+    /// Feeds whose link is deliberately cut mid-stream.
+    cut_feeds: usize,
+    /// Server-acked `Resume` handshakes across the run.
+    resumes: u64,
+    /// Client redial attempts that themselves failed before succeeding.
+    client_retries: u64,
+    /// Mean client backoff spent per successful resume.
+    resume_latency_ms: f64,
+    elapsed_s: f64,
+    all_granted: bool,
+}
+
+/// Runs the `measure_net_ingest` fleet shape with half the links cut
+/// mid-stream by a seeded `FaultyTransport` (the rest run under
+/// segmentation/latency chaos). Clients redial through `ResilientFeed`
+/// against a server with a resume window; the block records what the
+/// recovery cost and that decisions still all landed.
+fn measure_fault_recovery(feeds: usize) -> FaultRecovery {
+    use piano_core::piano::{AuthDecision, PianoConfig};
+    use piano_core::stream::AuthService;
+    use piano_core::wire::WireCodec;
+    use piano_net::fixtures::{feed_recording, hub_recording};
+    use piano_net::transport::{memory_hub, Listener, MemoryStream};
+    use piano_net::{
+        FaultPlan, FaultyTransport, FeedHandle, ResilientFeed, RetryPolicy, ServerConfig,
+        ServerLoop,
+    };
+    use std::time::Duration;
+
+    const SEED: u64 = 0xFA17;
+    let server = ServerLoop::new(
+        AuthService::new(PianoConfig::with_threshold(1.0)),
+        ChaCha8Rng::seed_from_u64(0xF1EE7),
+        ServerConfig {
+            resume_window: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    );
+    let action = server.with_service(|s| s.config().action.clone());
+    let (connector, mut listener) = memory_hub();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            while let Ok(conn) = listener.accept_conn() {
+                let s = server.clone();
+                std::thread::spawn(move || {
+                    let _ = s.serve(conn);
+                });
+            }
+        });
+    }
+
+    let start = std::time::Instant::now();
+    let mut fleet = Vec::with_capacity(feeds);
+    for i in 0..feeds {
+        let fseed = SEED ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let plan = if i % 2 == 0 {
+            FaultPlan::clean(fseed).with_write_disconnect(4_000 + 512 * (i as u64 % 7))
+        } else {
+            FaultPlan::chaos(fseed)
+        };
+        let t = FaultyTransport::new(connector.connect().expect("hub open"), plan);
+        let handle = FeedHandle::connect(t, &[WireCodec::I16Delta]).expect("handshake");
+        let connector = connector.clone();
+        let mut redials = 0u64;
+        let dial = move || -> std::io::Result<FaultyTransport<MemoryStream>> {
+            redials += 1;
+            Ok(FaultyTransport::new(
+                connector.connect()?,
+                FaultPlan::clean(fseed ^ redials),
+            ))
+        };
+        fleet.push(ResilientFeed::adopt(
+            handle,
+            dial,
+            RetryPolicy {
+                jitter_seed: fseed,
+                ..RetryPolicy::default()
+            },
+        ));
+    }
+    let clients: Vec<_> = fleet
+        .into_iter()
+        .map(|mut feed| {
+            let action = action.clone();
+            std::thread::spawn(move || {
+                let rec = feed_recording(feed.handle().challenge(), &action);
+                feed.send_recording(&rec, 1_024, 4).expect("stream");
+                let decision = feed
+                    .finish_and_await(Duration::from_secs(60))
+                    .expect("verdict");
+                (decision, feed.stats())
+            })
+        })
+        .collect();
+    server
+        .wait_for_reports_timeout(feeds, Duration::from_secs(60))
+        .expect("reports despite faults");
+    let hub = hub_recording(&server);
+    server.scan_and_decide(&hub, 16_384);
+    let mut all_granted = true;
+    let (mut retries, mut resumes, mut backoff) = (0u64, 0u64, Duration::ZERO);
+    for t in clients {
+        let (decision, s) = t.join().expect("client");
+        all_granted &= matches!(decision, AuthDecision::Granted { .. });
+        retries += s.retries;
+        resumes += s.resumes;
+        backoff += s.backoff_total;
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    FaultRecovery {
+        feeds,
+        cut_feeds: feeds.div_ceil(2),
+        resumes,
+        client_retries: retries,
+        resume_latency_ms: if resumes > 0 {
+            backoff.as_secs_f64() * 1e3 / resumes as f64
+        } else {
+            0.0
+        },
+        elapsed_s,
+        all_granted,
+    }
+}
+
 /// A deterministic recording long enough for thousands of 10-sample
 /// fine-scan slides: the reference waveform tiled with varying gain.
 fn recording_for_sliding(wave: &[f64]) -> Vec<f64> {
@@ -480,6 +614,7 @@ fn export_summary(
     recording_len: usize,
     fleet: &FleetIngest,
     net: &NetIngest,
+    fault: &FaultRecovery,
     simd_speedups: &[SimdBackendSpeedups],
 ) {
     // Workspace root, two levels up from this crate's manifest.
@@ -540,6 +675,16 @@ fn export_summary(
         net.compression_ratio,
         net.all_granted
     );
+    println!(
+        "fault recovery: {} feeds, {} cut mid-stream, {} resumes \
+         ({:.1} ms mean backoff) in {:.3} s, all granted: {}",
+        fault.feeds,
+        fault.cut_feeds,
+        fault.resumes,
+        fault.resume_latency_ms,
+        fault.elapsed_s,
+        fault.all_granted
+    );
     // Per-backend block: deterministic speedups vs scalar, one entry per
     // available backend (scalar reads 1.0 by construction).
     let simd_json = {
@@ -587,6 +732,10 @@ fn export_summary(
                  \"raw_audio_bytes\": {}, \"compression_ratio\": {:.3}, \
                  \"elapsed_s\": {:.4}, \"wire_bytes_per_s\": {:.0}, \
                  \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}}},\n  \
+                 \"fault_recovery\": {{\"feeds\": {}, \"cut_feeds\": {}, \
+                 \"resumes\": {}, \"client_retries\": {}, \
+                 \"resume_latency_ms\": {:.3}, \"elapsed_s\": {:.4}, \
+                 \"all_granted\": {}}},\n  \
                  \"simd\": {simd_json}\n}}\n",
                 samples_to_decision < recording_len,
                 fleet.sessions,
@@ -602,7 +751,14 @@ fn export_summary(
                 net.elapsed_s,
                 net.wire_bytes_per_s,
                 net.raw_bytes_per_s,
-                net.all_granted
+                net.all_granted,
+                fault.feeds,
+                fault.cut_feeds,
+                fault.resumes,
+                fault.client_retries,
+                fault.resume_latency_ms,
+                fault.elapsed_s,
+                fault.all_granted
             );
             let _ = std::fs::write(path, patched);
         }

@@ -19,6 +19,22 @@ pub enum PianoError {
     InvalidConfig(String),
     /// A wire message could not be decoded; the string says why.
     Wire(String),
+    /// A byte-stream transport failed underneath the protocol (peer
+    /// closed, connection reset, write refused). Distinct from
+    /// [`PianoError::Wire`]: the protocol state was fine, the pipe died —
+    /// which is exactly the class of failure a reconnect-and-resume layer
+    /// may retry.
+    Transport(String),
+    /// A deadline elapsed before the awaited event (bytes, a decision, a
+    /// quorum of reports) arrived; the string names what timed out.
+    Timeout(String),
+    /// The server shed this connection at admission because its active
+    /// backlog exceeded the configured limit; retry after roughly
+    /// `retry_after_ms` milliseconds.
+    Overloaded {
+        /// Server-suggested wait before re-dialing, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for PianoError {
@@ -27,6 +43,11 @@ impl fmt::Display for PianoError {
             PianoError::Bluetooth(e) => write!(f, "bluetooth layer failure: {e}"),
             PianoError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             PianoError::Wire(what) => write!(f, "malformed wire message: {what}"),
+            PianoError::Transport(what) => write!(f, "transport failure: {what}"),
+            PianoError::Timeout(what) => write!(f, "deadline elapsed: {what}"),
+            PianoError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -67,6 +88,15 @@ mod tests {
         assert!(PianoError::Wire("truncated".into())
             .to_string()
             .contains("truncated"));
+        assert!(PianoError::Transport("reset".into())
+            .to_string()
+            .contains("reset"));
+        assert!(PianoError::Timeout("decision".into())
+            .to_string()
+            .contains("decision"));
+        assert!(PianoError::Overloaded { retry_after_ms: 40 }
+            .to_string()
+            .contains("40"));
     }
 
     #[test]

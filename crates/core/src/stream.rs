@@ -1109,7 +1109,10 @@ impl AuthSession {
             Message::Hello { .. }
             | Message::Accept { .. }
             | Message::StreamEnd { .. }
-            | Message::Decision { .. } => Err(PianoError::Wire(
+            | Message::Decision { .. }
+            | Message::Resume { .. }
+            | Message::ResumeAck { .. }
+            | Message::Retry { .. } => Err(PianoError::Wire(
                 "transport-layer message addressed to a session state machine".into(),
             )),
         }
@@ -1380,6 +1383,125 @@ impl AuthSession {
     }
 }
 
+/// Why a transport loop dropped a connection — the structured form of
+/// the failure causes a connection supervisor logs and counts.
+///
+/// Shedding is *not* a drop cause: a shed `Hello` is refused at
+/// admission (the client is told to retry), whereas a drop terminates a
+/// feed that was already accepted. Shed connections are counted in
+/// [`ServiceStats::connections_shed`] instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// The byte stream lost framing
+    /// ([`crate::wire::FrameReader::poison_cause`]): oversized length
+    /// prefix or a payload the decoder rejects.
+    Framing,
+    /// A well-framed message violated the protocol: wrong message kind
+    /// for the phase, session-id mismatch, or a sequence gap.
+    Protocol,
+    /// The sender ignored `Busy` past the feed's
+    /// [`crate::wire::IngestFeed::hard_limit`].
+    Overrun,
+    /// A per-connection deadline (handshake, idle, or whole-stream
+    /// budget) elapsed — the slow-feed watchdog fired.
+    Timeout,
+    /// The transport died (EOF before `StreamEnd`, reset, broken pipe)
+    /// and resume was not enabled, so the feed could not be suspended.
+    Disconnect,
+    /// A suspended feed's resume window elapsed before the client
+    /// reconnected.
+    ResumeExpired,
+}
+
+impl std::fmt::Display for DropCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DropCause::Framing => "framing",
+            DropCause::Protocol => "protocol",
+            DropCause::Overrun => "overrun",
+            DropCause::Timeout => "timeout",
+            DropCause::Disconnect => "disconnect",
+            DropCause::ResumeExpired => "resume-expired",
+        })
+    }
+}
+
+/// Dropped-connection counts broken down by [`DropCause`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Drops for [`DropCause::Framing`].
+    pub framing: u64,
+    /// Drops for [`DropCause::Protocol`].
+    pub protocol: u64,
+    /// Drops for [`DropCause::Overrun`].
+    pub overrun: u64,
+    /// Drops for [`DropCause::Timeout`].
+    pub timeout: u64,
+    /// Drops for [`DropCause::Disconnect`].
+    pub disconnect: u64,
+    /// Drops for [`DropCause::ResumeExpired`].
+    pub resume_expired: u64,
+}
+
+impl DropCounts {
+    /// Records one drop.
+    pub fn count(&mut self, cause: DropCause) {
+        *self.slot(cause) += 1;
+    }
+
+    /// The counter for one cause.
+    pub fn get(&self, cause: DropCause) -> u64 {
+        let mut copy = *self;
+        *copy.slot(cause)
+    }
+
+    /// Total drops across every cause.
+    pub fn total(&self) -> u64 {
+        self.framing
+            + self.protocol
+            + self.overrun
+            + self.timeout
+            + self.disconnect
+            + self.resume_expired
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn absorb(&mut self, other: &DropCounts) {
+        self.framing += other.framing;
+        self.protocol += other.protocol;
+        self.overrun += other.overrun;
+        self.timeout += other.timeout;
+        self.disconnect += other.disconnect;
+        self.resume_expired += other.resume_expired;
+    }
+
+    fn slot(&mut self, cause: DropCause) -> &mut u64 {
+        match cause {
+            DropCause::Framing => &mut self.framing,
+            DropCause::Protocol => &mut self.protocol,
+            DropCause::Overrun => &mut self.overrun,
+            DropCause::Timeout => &mut self.timeout,
+            DropCause::Disconnect => &mut self.disconnect,
+            DropCause::ResumeExpired => &mut self.resume_expired,
+        }
+    }
+}
+
+impl std::fmt::Display for DropCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "framing {}, protocol {}, overrun {}, timeout {}, disconnect {}, resume-expired {}",
+            self.framing,
+            self.protocol,
+            self.overrun,
+            self.timeout,
+            self.disconnect,
+            self.resume_expired
+        )
+    }
+}
+
 /// A point-in-time snapshot of ingestion/service counters — what an
 /// operator watches to size a fleet deployment.
 ///
@@ -1415,6 +1537,18 @@ pub struct ServiceStats {
     pub credit_replies: u64,
     /// Sessions that reached a decision.
     pub sessions_decided: u64,
+    /// [`connections_dropped`](Self::connections_dropped) broken down by
+    /// [`DropCause`]; `drops.total() == connections_dropped` when the
+    /// transport loop classifies every drop.
+    pub drops: DropCounts,
+    /// `Hello`s refused with a retry-after at admission (overload
+    /// shedding). Not drops: the client was told to come back.
+    pub connections_shed: u64,
+    /// Disconnected feeds parked for reconnect-and-resume (each later
+    /// resolves into a resume, a report, or a resume-expired drop).
+    pub connections_suspended: u64,
+    /// Successful reconnect-and-resume reattaches.
+    pub resumes: u64,
 }
 
 impl ServiceStats {
@@ -1440,6 +1574,10 @@ impl ServiceStats {
         self.busy_replies += other.busy_replies;
         self.credit_replies += other.credit_replies;
         self.sessions_decided += other.sessions_decided;
+        self.drops.absorb(&other.drops);
+        self.connections_shed += other.connections_shed;
+        self.connections_suspended += other.connections_suspended;
+        self.resumes += other.resumes;
     }
 }
 
@@ -1463,6 +1601,16 @@ impl std::fmt::Display for ServiceStats {
             "backpressure: {} Busy / {} Credit replies, peak feed backlog {} samples",
             self.busy_replies, self.credit_replies, self.peak_feed_backlog
         )?;
+        if self.connections_dropped > 0 {
+            writeln!(f, "drop causes: {}", self.drops)?;
+        }
+        if self.connections_shed + self.connections_suspended + self.resumes > 0 {
+            writeln!(
+                f,
+                "resilience: {} shed at admission, {} suspended, {} resumed",
+                self.connections_shed, self.connections_suspended, self.resumes
+            )?;
+        }
         write!(f, "sessions decided: {}", self.sessions_decided)
     }
 }

@@ -184,6 +184,39 @@ pub enum Message {
         /// The decision.
         decision: AuthDecision,
     },
+    /// Reconnect handshake, client → server: reattach to wire session
+    /// `session` after a transport loss, sent as the *first* frame of the
+    /// new connection (where a fresh feed would send [`Message::Hello`]).
+    /// `next_seq` is the first chunk the client has not had acknowledged;
+    /// the server answers with [`Message::ResumeAck`] naming the sequence
+    /// it actually wants, and the client replays from there — the
+    /// reconstructed stream is byte-identical to an unbroken one.
+    Resume {
+        /// The wire session id from the original [`Message::Accept`].
+        session: u64,
+        /// The client's replay cursor: first unacknowledged chunk seq.
+        next_seq: u32,
+    },
+    /// Reconnect handshake, server → client: the feed is reattached.
+    /// The client must (re)send chunks from `ack_seq` — everything below
+    /// it reached the [`IngestFeed`] intact before the disconnect.
+    ResumeAck {
+        /// Session identifier echoed back.
+        session: u64,
+        /// First chunk sequence number the server still needs.
+        ack_seq: u32,
+        /// The server already holds this feed's [`Message::StreamEnd`]:
+        /// skip straight to awaiting the decision.
+        ended: bool,
+    },
+    /// Admission control, server → client, in place of
+    /// [`Message::Accept`]: the server is shedding new feeds because its
+    /// active backlog exceeds the configured limit. Re-dial after roughly
+    /// `retry_after_ms` milliseconds.
+    Retry {
+        /// Suggested wait before re-dialing, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 /// Audio codecs a connection can negotiate for its batch frames.
@@ -326,6 +359,9 @@ const TAG_HELLO: u8 = 8;
 const TAG_ACCEPT: u8 = 9;
 const TAG_STREAM_END: u8 = 10;
 const TAG_DECISION: u8 = 11;
+const TAG_RESUME: u8 = 12;
+const TAG_RESUME_ACK: u8 = 13;
+const TAG_RETRY: u8 = 14;
 
 /// Ceiling on codec ids in one [`Message::Hello`].
 const MAX_HELLO_CODECS: usize = 16;
@@ -653,6 +689,25 @@ impl Message {
                     },
                 }
             }
+            Message::Resume { session, next_seq } => {
+                out.push(TAG_RESUME);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&next_seq.to_le_bytes());
+            }
+            Message::ResumeAck {
+                session,
+                ack_seq,
+                ended,
+            } => {
+                out.push(TAG_RESUME_ACK);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&ack_seq.to_le_bytes());
+                out.push(u8::from(*ended));
+            }
+            Message::Retry { retry_after_ms } => {
+                out.push(TAG_RETRY);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
         }
         out
     }
@@ -836,6 +891,27 @@ impl Message {
                 };
                 Message::Decision { session, decision }
             }
+            TAG_RESUME => Message::Resume {
+                session: r.u64()?,
+                next_seq: r.u32()?,
+            },
+            TAG_RESUME_ACK => {
+                let session = r.u64()?;
+                let ack_seq = r.u32()?;
+                let ended = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    x => return Err(PianoError::Wire(format!("bad ended byte {x}"))),
+                };
+                Message::ResumeAck {
+                    session,
+                    ack_seq,
+                    ended,
+                }
+            }
+            TAG_RETRY => Message::Retry {
+                retry_after_ms: r.u64()?,
+            },
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
         };
         if r.pos != bytes.len() {
@@ -1242,6 +1318,18 @@ impl IngestFeed {
     pub fn poll_reply(&mut self) -> Option<Message> {
         self.replies.pop_front()
     }
+
+    /// Resynchronizes flow control after the feed's connection was
+    /// replaced (reconnect-and-resume): drops replies queued for the dead
+    /// connection and clears the outstanding `Busy` — if the backlog is
+    /// still over the mark when the resumed stream lands, a fresh `Busy`
+    /// is queued for the *new* connection. [`next_seq`](Self::next_seq) is
+    /// untouched: it is the resume cursor the server acknowledges, and
+    /// replaying from it reconstructs a byte-identical sample stream.
+    pub fn resync_flow(&mut self) {
+        self.replies.clear();
+        self.awaiting_credit = false;
+    }
 }
 
 /// Convenience: encodes the Step V report from detection output.
@@ -1637,12 +1725,62 @@ mod tests {
                 codec: WireCodec::I16Delta.id(),
             },
             Message::StreamEnd { session: 19 },
+            Message::Resume {
+                session: 0xFACE,
+                next_seq: 4_000_000_001,
+            },
+            Message::ResumeAck {
+                session: 0xFACE,
+                ack_seq: 17,
+                ended: false,
+            },
+            Message::ResumeAck {
+                session: 1,
+                ack_seq: 0,
+                ended: true,
+            },
+            Message::Retry { retry_after_ms: 75 },
         ] {
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
             for cut in 0..msg.encode().len() {
                 assert!(Message::decode(&msg.encode()[..cut]).is_err());
             }
         }
+        // The ended flag is a strict boolean on the wire.
+        let mut bytes = Message::ResumeAck {
+            session: 2,
+            ack_seq: 3,
+            ended: true,
+        }
+        .encode();
+        *bytes.last_mut().unwrap() = 2;
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn resync_flow_clears_stale_backpressure_but_keeps_the_cursor() {
+        let mut feed = IngestFeed::new(5, 100);
+        feed.accept(&Message::AudioChunk {
+            session: 5,
+            seq: 0,
+            samples: vec![1.0; 150],
+        })
+        .unwrap();
+        assert!(feed.is_busy(), "over the mark");
+        feed.resync_flow();
+        assert!(!feed.is_busy());
+        assert!(feed.poll_reply().is_none(), "stale Busy discarded");
+        assert_eq!(feed.next_seq(), 1, "resume cursor untouched");
+        assert_eq!(feed.buffered(), 150, "accepted audio untouched");
+        // Still over the mark: the next accepted audio re-raises Busy on
+        // the new connection.
+        feed.accept(&Message::AudioChunk {
+            session: 5,
+            seq: 1,
+            samples: vec![1.0; 10],
+        })
+        .unwrap();
+        assert!(matches!(feed.poll_reply(), Some(Message::Busy { .. })));
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Deterministic fault injection for [`Transport`] byte streams.
+//!
+//! [`FaultyTransport`] wraps any transport and perturbs it the way flaky
+//! links do — short reads and writes at arbitrary split points,
+//! per-operation latency, one-shot stalls, and mid-stream disconnects
+//! that truncate a frame at an arbitrary byte — while never corrupting,
+//! reordering, or duplicating the bytes that *do* get through. That
+//! invariant is what makes chaos testing against the conformance suite
+//! meaningful: any divergence a fault run produces is a real
+//! fault-handling bug, not an artifact of the injector.
+//!
+//! Faults are configured per direction by a [`FaultPlan`] and drawn from
+//! a ChaCha stream seeded by [`FaultPlan::seed`], so an entire chaos
+//! schedule replays from one `u64`. Disconnects cut at fixed *byte
+//! offsets* (not random draws), so the set of delivered bytes — and
+//! therefore every protocol-visible outcome — is independent of how the
+//! race between reader and writer threads interleaves the RNG.
+
+use std::io;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::transport::Transport;
+
+/// A one-shot stall: once `after_bytes` have moved in the direction the
+/// spec is attached to, the next operation sleeps `duration` before
+/// touching the inner transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Direction byte count that arms the stall.
+    pub after_bytes: u64,
+    /// How long the stalled operation sleeps.
+    pub duration: Duration,
+}
+
+/// Fault knobs for one direction of a [`FaultyTransport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1]` that an operation is split short: a read
+    /// is capped to a random prefix of the requested buffer, a write is
+    /// delivered in random segments. Exercises every reassembly path
+    /// without changing the byte stream.
+    pub short_op_prob: f64,
+    /// Ceiling on uniform random per-operation latency (zero = none).
+    /// Applied to blocking operations only; `try_read` stays prompt.
+    pub max_latency: Duration,
+    /// Optional one-shot stall.
+    pub stall: Option<StallSpec>,
+    /// Kill this direction's transport after exactly this many bytes:
+    /// a write delivers the prefix up to the cut (truncating the frame
+    /// mid-flight) and then fails `BrokenPipe`; a read returns the bytes
+    /// below the cut and then end-of-stream. The first cut in either
+    /// direction drops the inner transport, so the peer sees the loss
+    /// too.
+    pub disconnect_after: Option<u64>,
+}
+
+/// A seeded, replayable fault schedule for one connection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the ChaCha stream all random choices draw from.
+    pub seed: u64,
+    /// Faults on the read (inbound) direction.
+    pub read: LinkFaults,
+    /// Faults on the write (outbound) direction.
+    pub write: LinkFaults,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the wrapped transport behaves
+    /// exactly like the bare one.
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read: LinkFaults::default(),
+            write: LinkFaults::default(),
+        }
+    }
+
+    /// A survivable chaos mix derived entirely from `seed`: short
+    /// reads/writes with seed-chosen probabilities and up to ~2 ms of
+    /// per-op latency, no stalls, no disconnects. Safe under any sane
+    /// deadline configuration; compose disconnects and stalls on top
+    /// with the `with_*` builders.
+    pub fn chaos(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA07_F1A7);
+        let dir = |rng: &mut ChaCha8Rng| LinkFaults {
+            short_op_prob: if rng.gen::<f64>() < 0.5 {
+                rng.gen_range(0.05..0.5)
+            } else {
+                0.0
+            },
+            max_latency: if rng.gen::<f64>() < 0.3 {
+                Duration::from_micros(rng.gen_range(50..2_000))
+            } else {
+                Duration::ZERO
+            },
+            stall: None,
+            disconnect_after: None,
+        };
+        let read = dir(&mut rng);
+        let write = dir(&mut rng);
+        FaultPlan { seed, read, write }
+    }
+
+    /// Adds a one-shot read-direction stall.
+    pub fn with_read_stall(mut self, after_bytes: u64, duration: Duration) -> Self {
+        self.read.stall = Some(StallSpec {
+            after_bytes,
+            duration,
+        });
+        self
+    }
+
+    /// Adds a read-direction disconnect at a byte offset.
+    pub fn with_read_disconnect(mut self, after_bytes: u64) -> Self {
+        self.read.disconnect_after = Some(after_bytes);
+        self
+    }
+
+    /// Adds a write-direction disconnect at a byte offset.
+    pub fn with_write_disconnect(mut self, after_bytes: u64) -> Self {
+        self.write.disconnect_after = Some(after_bytes);
+        self
+    }
+}
+
+/// Counts of faults actually injected — what a chaos harness asserts on
+/// to make sure a schedule exercised what it meant to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Reads capped short of the available buffer.
+    pub short_reads: u64,
+    /// Writes split into more than one segment.
+    pub short_writes: u64,
+    /// Operations that slept a one-shot stall (in part or whole).
+    pub stalled_ops: u64,
+    /// Operations that slept injected latency.
+    pub delayed_ops: u64,
+    /// Whether the plan's disconnect fired (either direction).
+    pub disconnects: u64,
+}
+
+/// A [`Transport`] wrapper injecting the faults of a [`FaultPlan`].
+///
+/// Dropping the inner transport on disconnect is what propagates the
+/// failure to the peer: for [`crate::transport::MemoryStream`] both pipe
+/// directions close (the server sees end-of-stream / `BrokenPipe`),
+/// matching what a dead TCP connection does.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: Option<T>,
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    read_bytes: u64,
+    write_bytes: u64,
+    /// Remaining sleep of the read-direction stall (consumed possibly
+    /// across several deadline-bounded reads); `None` once spent.
+    read_stall_left: Option<Duration>,
+    write_stall_pending: bool,
+    log: FaultLog,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            rng: ChaCha8Rng::seed_from_u64(plan.seed),
+            read_stall_left: plan.read.stall.map(|s| s.duration),
+            write_stall_pending: plan.write.stall.is_some(),
+            inner: Some(inner),
+            plan,
+            read_bytes: 0,
+            write_bytes: 0,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Bytes delivered to the caller so far (read direction).
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Bytes pushed into the inner transport so far (write direction).
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// What the injector has actually done so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Whether an injected disconnect has severed the transport.
+    pub fn is_disconnected(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// (Re)arms the read-direction disconnect at an absolute byte
+    /// offset. Chaos harnesses use this to place a cut *relative to
+    /// observed traffic* — e.g. "just past the handshake" — which a
+    /// static plan cannot know in advance.
+    pub fn set_read_disconnect(&mut self, after_bytes: u64) {
+        self.plan.read.disconnect_after = Some(after_bytes);
+    }
+
+    /// (Re)arms the write-direction disconnect at an absolute byte
+    /// offset.
+    pub fn set_write_disconnect(&mut self, after_bytes: u64) {
+        self.plan.write.disconnect_after = Some(after_bytes);
+    }
+
+    fn sever(&mut self) -> io::Error {
+        if self.inner.take().is_some() {
+            self.log.disconnects += 1;
+        }
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "injected disconnect severed the transport",
+        )
+    }
+
+    fn maybe_write_latency(&mut self) {
+        let cap = self.plan.write.max_latency;
+        if cap > Duration::ZERO {
+            let ns = self.rng.gen_range(0..=cap.as_nanos() as u64);
+            self.log.delayed_ops += 1;
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+
+    fn maybe_read_latency(&mut self) {
+        let cap = self.plan.read.max_latency;
+        if cap > Duration::ZERO {
+            let ns = self.rng.gen_range(0..=cap.as_nanos() as u64);
+            self.log.delayed_ops += 1;
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+
+    /// Sleeps the armed read stall, bounded by `budget` when given.
+    /// Returns the time actually slept.
+    fn serve_read_stall(&mut self, budget: Option<Duration>) -> Duration {
+        let armed = matches!(self.plan.read.stall, Some(s) if self.read_bytes >= s.after_bytes);
+        if !armed {
+            return Duration::ZERO;
+        }
+        let Some(left) = self.read_stall_left else {
+            return Duration::ZERO;
+        };
+        let sleep = budget.map_or(left, |b| left.min(b));
+        let remaining = left - sleep;
+        self.read_stall_left = (remaining > Duration::ZERO).then_some(remaining);
+        self.log.stalled_ops += 1;
+        std::thread::sleep(sleep);
+        sleep
+    }
+
+    fn serve_write_stall(&mut self) {
+        if let Some(s) = self.plan.write.stall {
+            if self.write_stall_pending && self.write_bytes >= s.after_bytes {
+                self.write_stall_pending = false;
+                self.log.stalled_ops += 1;
+                std::thread::sleep(s.duration);
+            }
+        }
+    }
+
+    /// Caps a read length by the short-read draw and the disconnect cut.
+    /// `Err` means the cut is already behind us: sever and report EOF.
+    fn read_len(&mut self, want: usize) -> Result<usize, ()> {
+        let mut len = want;
+        if let Some(cut) = self.plan.read.disconnect_after {
+            let left = cut.saturating_sub(self.read_bytes);
+            if left == 0 {
+                return Err(());
+            }
+            len = len.min(left as usize);
+        }
+        if len > 1 && self.rng.gen::<f64>() < self.plan.read.short_op_prob {
+            len = self.rng.gen_range(1..len);
+            self.log.short_reads += 1;
+        }
+        Ok(len.max(1))
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if self.inner.is_none() {
+                return Err(self.sever());
+            }
+            self.maybe_write_latency();
+            self.serve_write_stall();
+            let mut n = rest.len();
+            if n > 1 && self.rng.gen::<f64>() < self.plan.write.short_op_prob {
+                n = self.rng.gen_range(1..n);
+                self.log.short_writes += 1;
+            }
+            if let Some(cut) = self.plan.write.disconnect_after {
+                let left = cut.saturating_sub(self.write_bytes) as usize;
+                if left == 0 {
+                    return Err(self.sever());
+                }
+                if n >= left {
+                    // Deliver the prefix up to the cut — truncating
+                    // whatever frame it lands inside — then die.
+                    let inner = self.inner.as_mut().expect("checked above");
+                    let _ = inner.write_all(&rest[..left]);
+                    self.write_bytes += left as u64;
+                    return Err(self.sever());
+                }
+            }
+            let inner = self.inner.as_mut().expect("checked above");
+            inner.write_all(&rest[..n])?;
+            self.write_bytes += n as u64;
+            rest = &rest[n..];
+        }
+        Ok(())
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.inner.is_none() {
+            return Ok(0); // severed = peer gone = end-of-stream
+        }
+        self.maybe_read_latency();
+        self.serve_read_stall(None);
+        let len = match self.read_len(buf.len()) {
+            Ok(len) => len,
+            Err(()) => {
+                let _ = self.sever();
+                return Ok(0);
+            }
+        };
+        let inner = self.inner.as_mut().expect("checked above");
+        let n = inner.read_some(&mut buf[..len])?;
+        self.read_bytes += n as u64;
+        Ok(n)
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() || self.inner.is_none() {
+            return Ok(0);
+        }
+        let len = match self.read_len(buf.len()) {
+            Ok(len) => len,
+            Err(()) => {
+                let _ = self.sever();
+                return Ok(0);
+            }
+        };
+        let inner = self.inner.as_mut().expect("checked above");
+        let n = inner.try_read(&mut buf[..len])?;
+        self.read_bytes += n as u64;
+        Ok(n)
+    }
+
+    fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.inner.is_none() {
+            return Ok(0);
+        }
+        self.maybe_read_latency();
+        // A stall longer than the deadline must surface as a timeout —
+        // that is exactly the watchdog scenario — while a shorter stall
+        // just eats into the budget.
+        let slept = self.serve_read_stall(Some(timeout));
+        let budget = timeout.saturating_sub(slept);
+        if budget.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "injected stall outlasted the read deadline",
+            ));
+        }
+        let len = match self.read_len(buf.len()) {
+            Ok(len) => len,
+            Err(()) => {
+                let _ = self.sever();
+                return Ok(0);
+            }
+        };
+        let inner = self.inner.as_mut().expect("checked above");
+        let n = inner.read_timeout(&mut buf[..len], budget)?;
+        self.read_bytes += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::memory_pair;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (client, mut server) = memory_pair();
+        let mut client = FaultyTransport::new(client, FaultPlan::clean(1));
+        client.write_all(b"hello there").unwrap();
+        let mut buf = [0u8; 32];
+        let n = server.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello there");
+        server.write_all(b"ack").unwrap();
+        let n = client.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ack");
+        assert_eq!(*client.log(), FaultLog::default());
+    }
+
+    #[test]
+    fn short_ops_preserve_the_byte_stream() {
+        let plan = FaultPlan {
+            seed: 7,
+            read: LinkFaults {
+                short_op_prob: 1.0,
+                ..LinkFaults::default()
+            },
+            write: LinkFaults {
+                short_op_prob: 1.0,
+                ..LinkFaults::default()
+            },
+        };
+        let (client, mut server) = memory_pair();
+        let mut client = FaultyTransport::new(client, plan);
+        let payload: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+        client.write_all(&payload).unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 256];
+        while got.len() < payload.len() {
+            let n = server.read_some(&mut buf).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, payload, "segmentation must not corrupt bytes");
+        assert!(client.log().short_writes > 0, "splits actually happened");
+        // And the same on the read side.
+        server.write_all(&payload).unwrap();
+        let mut got = Vec::new();
+        while got.len() < payload.len() {
+            let n = client.read_some(&mut buf).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, payload);
+        assert!(client.log().short_reads > 0);
+    }
+
+    #[test]
+    fn write_disconnect_truncates_at_the_exact_byte() {
+        let (client, mut server) = memory_pair();
+        let mut client =
+            FaultyTransport::new(client, FaultPlan::clean(3).with_write_disconnect(10));
+        let err = client.write_all(&[9u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(client.is_disconnected());
+        let mut buf = [0u8; 64];
+        let n = server.read_some(&mut buf).unwrap();
+        assert_eq!(n, 10, "exactly the prefix below the cut arrived");
+        // The drop of the inner stream closed the peer's side too.
+        assert_eq!(server.read_some(&mut buf).unwrap(), 0);
+        // Every later write fails; every later read is EOF.
+        assert!(client.write_all(&[1]).is_err());
+        assert_eq!(client.read_some(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_disconnect_delivers_the_prefix_then_eof() {
+        let (client, server) = memory_pair();
+        let mut client = FaultyTransport::new(client, FaultPlan::clean(4).with_read_disconnect(6));
+        let mut server = server;
+        server.write_all(b"0123456789").unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 32];
+        loop {
+            let n = client.read_some(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"012345", "bytes below the cut, then EOF");
+        assert!(client.is_disconnected());
+        assert_eq!(client.log().disconnects, 1);
+    }
+
+    #[test]
+    fn stall_consumes_the_deadline_then_times_out() {
+        let (client, _server) = memory_pair();
+        let mut client = FaultyTransport::new(
+            client,
+            FaultPlan::clean(5).with_read_stall(0, Duration::from_millis(40)),
+        );
+        let mut buf = [0u8; 8];
+        let t0 = std::time::Instant::now();
+        let err = client
+            .read_timeout(&mut buf, Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "the deadline bounds the stall"
+        );
+        assert_eq!(client.log().stalled_ops, 1);
+    }
+
+    #[test]
+    fn chaos_plans_replay_from_one_seed() {
+        assert_eq!(FaultPlan::chaos(42), FaultPlan::chaos(42));
+        assert_ne!(FaultPlan::chaos(42), FaultPlan::chaos(43));
+    }
+}

@@ -27,11 +27,19 @@
 //!   `std::net::TcpListener` (auto-skipped where sockets are
 //!   unavailable).
 //! * [`server`] — [`server::ServerLoop`], thread-per-connection ingestion
-//!   into one shared [`piano_core::stream::AuthService`], plus the
-//!   client-side [`server::FeedHandle`] that paces sends on credit.
+//!   into one shared [`piano_core::stream::AuthService`], with per-phase
+//!   deadlines, a suspend/resume registry, and admission-control
+//!   shedding.
+//! * [`client`] — the client-side [`client::FeedHandle`] that paces sends
+//!   on credit, and [`client::ResilientFeed`], which redials and resumes
+//!   the wire session when the transport dies.
 //! * [`codec`] — the `f64` ⇄ i16 quantization layer over the wire codec
 //!   ([`piano_core::wire::Message::AudioBatchI16`]) and the byte
 //!   accounting used by [`piano_core::stream::ServiceStats`].
+//! * [`fault`] — [`fault::FaultyTransport`], a seeded fault-injection
+//!   wrapper over any transport (short reads/writes, latency, stalls,
+//!   mid-stream disconnects), replayable from one `u64` via
+//!   [`fault::FaultPlan`].
 //!
 //! # Determinism guarantee
 //!
@@ -43,13 +51,21 @@
 //! exact, the i16 codec is lossless past quantization, and the scan
 //! layers underneath are chunking- and worker-count-invariant
 //! (`tests/net_transport.rs` pins the end-to-end conformance for 100
-//! concurrent feeds, codec on and off).
+//! concurrent feeds, codec on and off). The guarantee extends across
+//! faults: a stream broken by a survivable disconnect and resumed via
+//! `Resume`/`ResumeAck` delivers a sample stream byte-identical to the
+//! unbroken run (`tests/fault_injection.rs`).
 
+pub mod client;
 pub mod codec;
+pub mod fault;
 pub mod fixtures;
+mod framing;
 pub mod server;
 pub mod transport;
 
+pub use client::{FeedHandle, FeedStats, ResilientFeed, RetryPolicy};
 pub use codec::{quantize, quantize_samples};
-pub use server::{FeedHandle, ServerConfig, ServerLoop};
+pub use fault::{FaultLog, FaultPlan, FaultyTransport, LinkFaults, StallSpec};
+pub use server::{ServerConfig, ServerLoop};
 pub use transport::{memory_hub, memory_pair, Listener, MemoryStream, Transport};

@@ -1,4 +1,5 @@
-//! The ingest server loop and the client-side feed handle.
+//! The ingest server loop: deadline-supervised thread-per-connection
+//! ingestion over one shared [`AuthService`].
 //!
 //! [`ServerLoop`] is the gateway half of the fleet-ingestion picture
 //! (see the [crate docs](crate)): it accepts connections, runs one
@@ -6,9 +7,8 @@
 //! [`piano_core::stream::AuthSession`] per connection, drains decoded
 //! audio into the scan, routes each feed's Step V report into one shared
 //! [`AuthService`], and writes `Busy`/`Credit`/`Decision` replies back on
-//! the connection. [`FeedHandle`] is the matching client: it negotiates a
-//! codec, streams a recording as framed batches, pauses on `Busy`,
-//! resumes on `Credit`, and waits for the verdict.
+//! the connection. The matching client half is
+//! [`FeedHandle`](crate::client::FeedHandle).
 //!
 //! # Fault isolation
 //!
@@ -16,11 +16,44 @@
 //! [`FrameReader`] poisons, with [`FrameReader::poison_cause`] saying
 //! why), skips sequence numbers, or ignores `Busy` past the
 //! [`IngestFeed::hard_limit`] — is **dropped alone**:
-//! [`ServerLoop::serve`] logs the cause, counts it in
-//! [`ServiceStats::connections_dropped`], closes that connection's
+//! [`ServerLoop::serve`] logs the cause, counts it under its
+//! [`DropCause`] in [`ServiceStats::drops`], closes that connection's
 //! session, and every other feed proceeds untouched. The legacy failure
 //! mode (a poisoned reader silently wedging its loop) cannot occur: the
 //! loop propagates the poison cause as an error by construction.
+//!
+//! # Deadlines
+//!
+//! Every blocking point in the connection loop is bounded: the handshake
+//! must complete within [`ServerConfig::handshake_timeout`], a mid-stream
+//! silence longer than [`ServerConfig::idle_timeout`] times the feed out,
+//! a whole stream may not outlive [`ServerConfig::stream_timeout`], and a
+//! connection waiting on the hub verdict gives up after
+//! [`ServerConfig::decision_timeout`]. A timed-out connection is dropped
+//! alone under [`DropCause::Timeout`] — one stalled feed can never wedge
+//! [`ServerLoop::wait_for_reports`] or hold the service lock.
+//!
+//! # Reconnect and resume
+//!
+//! With [`ServerConfig::resume_window`] non-zero, a feed whose transport
+//! dies mid-stream is *suspended* instead of dropped: its
+//! [`IngestFeed`] + voucher state parks in a registry keyed by the wire
+//! session id. A client that reconnects within the window and opens with
+//! [`Message::Resume`] is answered by [`Message::ResumeAck`] carrying the
+//! first sequence number the server never accepted, and the stream
+//! continues exactly where it broke — the delivered sample stream is
+//! byte-identical to an unbroken run. Suspensions that outlive the window
+//! are dropped under [`DropCause::ResumeExpired`].
+//!
+//! # Overload shedding
+//!
+//! With [`ServerConfig::max_active_feeds`] set, a [`Message::Hello`]
+//! arriving while that many feeds are already streaming is answered with
+//! [`Message::Retry`] (carrying [`ServerConfig::retry_after_ms`]) and the
+//! connection closes before any session state is allocated — admission
+//! control degrades service gracefully instead of letting the backlog
+//! grow without bound. Shed connections count in
+//! [`ServiceStats::connections_shed`], not as drops.
 //!
 //! # One scan epoch
 //!
@@ -32,48 +65,29 @@
 //! deliver the verdicts. Re-verification afterwards goes through
 //! [`piano_core::continuous::ContinuousScheduler`] on the same service.
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use rand_chacha::ChaCha8Rng;
 
 use piano_core::error::PianoError;
 use piano_core::piano::{AuthDecision, DenialReason};
-use piano_core::stream::{AuthService, AuthSession, ServiceStats, SessionId};
+use piano_core::stream::{
+    AuthService, AuthSession, DropCause, DropCounts, ServiceStats, SessionId,
+};
 use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
 
 use crate::codec;
+use crate::framing::{io_transport, read_frame_deadline, READ_BUF_BYTES};
 use crate::transport::{Listener, Transport};
 
-/// Read-buffer size for connection loops: large enough that one read
-/// turn can outpace the per-turn drain even for raw `f64` frames, so
-/// watermark backpressure is observable under either codec.
-const READ_BUF_BYTES: usize = 64 * 1024;
-
-/// Maps a transport I/O failure into the wire error domain.
-fn io_wire(e: io::Error) -> PianoError {
-    PianoError::Wire(format!("transport I/O failure: {e}"))
-}
-
-/// Blocks until one complete frame arrives on `t`.
-fn read_frame<T: Transport>(
-    t: &mut T,
-    reader: &mut FrameReader,
-    buf: &mut [u8],
-) -> Result<Message, PianoError> {
-    loop {
-        if let Some(msg) = reader.next_frame()? {
-            return Ok(msg);
-        }
-        match t.read_some(buf) {
-            Ok(0) => return Err(PianoError::Wire("connection closed mid-frame".into())),
-            Ok(n) => reader.push(&buf[..n]),
-            Err(e) => return Err(io_wire(e)),
-        }
-    }
-}
+/// How often the report-waiting host re-checks the suspension registry
+/// for expired resume windows while suspensions exist.
+const SUSPEND_TICK: Duration = Duration::from_millis(25);
 
 /// Tuning knobs of a [`ServerLoop`].
 #[derive(Clone, Debug)]
@@ -87,6 +101,29 @@ pub struct ServerConfig {
     /// Codecs this server accepts, in no particular order (the *client's*
     /// preference order wins among these).
     pub supported_codecs: Vec<WireCodec>,
+    /// A connection must complete its opening exchange (`Hello` or
+    /// `Resume`, through the challenge write) within this long.
+    pub handshake_timeout: Duration,
+    /// Longest mid-stream silence tolerated while the feed's backlog is
+    /// empty; a feed quiet longer is dropped under [`DropCause::Timeout`].
+    pub idle_timeout: Duration,
+    /// Budget for a feed's whole stream, handshake to `StreamEnd`
+    /// (spanning suspensions and resumes) — the slow-feed watchdog.
+    pub stream_timeout: Duration,
+    /// How long a reported connection waits for the hub scan's verdict
+    /// before giving up.
+    pub decision_timeout: Duration,
+    /// How long a feed whose transport died may remain suspended awaiting
+    /// a [`Message::Resume`]. `Duration::ZERO` (the default) disables
+    /// resume: a lost transport drops the feed immediately.
+    pub resume_window: Duration,
+    /// Admission limit: a `Hello` arriving while this many feeds are
+    /// actively streaming is shed with [`Message::Retry`].
+    /// `usize::MAX` (the default) disables shedding.
+    pub max_active_feeds: usize,
+    /// The back-off hint written in the [`Message::Retry`] a shed
+    /// connection receives.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +132,13 @@ impl Default for ServerConfig {
             high_water: 6_000,
             drain_chunk: 2_048,
             supported_codecs: vec![WireCodec::Raw, WireCodec::I16Delta],
+            handshake_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            stream_timeout: Duration::from_secs(300),
+            decision_timeout: Duration::from_secs(300),
+            resume_window: Duration::ZERO,
+            max_active_feeds: usize::MAX,
+            retry_after_ms: 50,
         }
     }
 }
@@ -104,18 +148,40 @@ impl Default for ServerConfig {
 struct Counters {
     connections: AtomicU64,
     connections_dropped: AtomicU64,
+    connections_shed: AtomicU64,
+    connections_suspended: AtomicU64,
+    resumes: AtomicU64,
     frames_decoded: AtomicU64,
     wire_audio_bytes: AtomicU64,
     raw_audio_bytes: AtomicU64,
     peak_feed_backlog: AtomicU64,
     busy_replies: AtomicU64,
     credit_replies: AtomicU64,
+    /// Per-[`DropCause`] drop counts, indexed by [`cause_slot`].
+    drops: [AtomicU64; 6],
+}
+
+/// Fixed index of a cause in [`Counters::drops`] / [`DropCounts`].
+fn cause_slot(cause: DropCause) -> usize {
+    match cause {
+        DropCause::Framing => 0,
+        DropCause::Protocol => 1,
+        DropCause::Overrun => 2,
+        DropCause::Timeout => 3,
+        DropCause::Disconnect => 4,
+        DropCause::ResumeExpired => 5,
+    }
 }
 
 impl Counters {
     fn max_peak(&self, candidate: u64) {
         self.peak_feed_backlog
             .fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    fn count_drop(&self, cause: DropCause) {
+        self.connections_dropped.fetch_add(1, Ordering::Relaxed);
+        self.drops[cause_slot(cause)].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -124,14 +190,98 @@ impl Counters {
 struct Progress {
     /// Step V reports routed into the service so far.
     reports: usize,
-    /// Connections dropped for protocol violations — counted here (not
-    /// just in the stats) so [`ServerLoop::wait_for_reports`] can stop
-    /// waiting for feeds that will never report.
+    /// Connections dropped for protocol violations or deadline misses —
+    /// counted here (not just in the stats) so
+    /// [`ServerLoop::wait_for_reports`] can stop waiting for feeds that
+    /// will never report.
     dropped: usize,
+    /// Feeds attached and streaming right now — the admission-control
+    /// population [`ServerConfig::max_active_feeds`] bounds.
+    active: usize,
     /// The hub scan has started: sessions can no longer be closed.
     scan_started: bool,
     /// The hub scan finished: decisions are available.
     scan_done: bool,
+}
+
+/// Everything one attached feed carries: the parked form of a connection,
+/// moved between the connection thread and the suspension registry.
+#[derive(Debug)]
+struct FeedState {
+    /// The service session (scan-side identity).
+    id: SessionId,
+    /// The wire session id (what frames and `Resume` carry).
+    wire_session: u64,
+    /// The gateway-side voucher scanning on the device's behalf.
+    voucher: AuthSession,
+    /// Sequence/backlog/flow-control accounting for the stream.
+    feed: IngestFeed,
+    /// `StreamEnd` has been accepted; only backlog drain remains.
+    ended: bool,
+    /// When the stream began — anchors the whole-stream watchdog across
+    /// suspensions and resumes.
+    started: Instant,
+}
+
+/// What a suspended wire session is waiting to resume *into*.
+#[derive(Debug)]
+enum SuspendedState {
+    /// Mid-stream: the feed continues from `state.feed.next_seq()`.
+    Streaming(Box<FeedState>),
+    /// The verdict is (or will be) available; a resume just re-delivers
+    /// the `Decision` frame the client never received.
+    Decided { id: SessionId },
+}
+
+/// One entry in the resume registry.
+#[derive(Debug)]
+struct Suspended {
+    state: SuspendedState,
+    expires: Instant,
+}
+
+/// How a connection concluded without being dropped.
+enum ConnOutcome {
+    /// Streamed, reported, and received its verdict.
+    Done(SessionId, AuthDecision),
+    /// Transport died; the feed parked in the resume registry.
+    Suspended,
+    /// Refused at admission with [`Message::Retry`].
+    Shed,
+}
+
+/// A connection failure, classified for the drop counters.
+struct ConnError {
+    /// The service session to close, if one was opened.
+    id: Option<SessionId>,
+    cause: DropCause,
+    err: PianoError,
+    /// Do **not** count this failure in [`Progress::dropped`]: the feed it
+    /// belongs to is already accounted for there (it reported, or it is
+    /// still live elsewhere — e.g. a rejected `Resume` probe for a feed
+    /// whose original thread has not parked it yet).
+    waived: bool,
+}
+
+/// How the ingest loop failed, which decides the feed's fate.
+enum StreamFailure {
+    /// Protocol/deadline violation: drop the feed under `DropCause`.
+    Fatal(DropCause, PianoError),
+    /// The transport died but the protocol state is intact: suspend the
+    /// feed if a resume window is configured, else drop it.
+    Lost(PianoError),
+}
+
+/// Samples an audio message would add to a feed's backlog (0 for
+/// non-audio) — used to tell an [`DropCause::Overrun`] from other
+/// [`IngestFeed::accept`] rejections.
+fn audio_samples(msg: &Message) -> usize {
+    match msg {
+        Message::AudioChunk { samples, .. } => samples.len(),
+        Message::AudioBatch { chunks, .. } => chunks.iter().map(Vec::len).sum(),
+        Message::AudioBatchI16 { chunks, .. } => chunks.iter().map(Vec::len).sum(),
+        _ => 0,
+    }
 }
 
 #[derive(Debug)]
@@ -143,6 +293,9 @@ struct Shared {
     progress: Mutex<Progress>,
     progress_cv: Condvar,
     ids: Mutex<Vec<SessionId>>,
+    /// Resume registry: wire session id → parked feed, while
+    /// [`ServerConfig::resume_window`] lasts.
+    suspended: Mutex<HashMap<u64, Suspended>>,
 }
 
 /// The thread-per-connection ingest server over one shared
@@ -167,6 +320,7 @@ impl ServerLoop {
                 progress: Mutex::new(Progress::default()),
                 progress_cv: Condvar::new(),
                 ids: Mutex::new(Vec::new()),
+                suspended: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -190,7 +344,8 @@ impl ServerLoop {
     /// Accepts `n` connections from `listener`, serving each on its own
     /// thread via [`serve`](Self::serve). Returns the connection thread
     /// handles; join them after [`scan_and_decide`](Self::scan_and_decide)
-    /// to collect per-connection outcomes (`None` = dropped).
+    /// to collect per-connection outcomes (`None` = dropped, shed, or
+    /// suspended without a resume).
     pub fn accept_clients<L: Listener>(
         &self,
         listener: &mut L,
@@ -212,35 +367,39 @@ impl ServerLoop {
         handles
     }
 
-    /// Serves one connection, logging and absorbing any protocol failure:
-    /// the documented drop-only-this-connection path. Returns `None` when
-    /// the connection was dropped (its cause goes to stderr and
-    /// [`ServiceStats::connections_dropped`]); the service and every
-    /// other connection keep running.
+    /// Serves one connection, logging and absorbing any failure: the
+    /// documented drop-only-this-connection path. Returns `None` when the
+    /// connection did not carry a feed to its verdict — dropped (cause to
+    /// stderr and [`ServiceStats::drops`]), shed at admission, or
+    /// suspended into the resume registry (a later resumed connection
+    /// delivers the verdict instead); the service and every other
+    /// connection keep running.
     pub fn serve<T: Transport>(&self, transport: T) -> Option<(SessionId, AuthDecision)> {
         match self.handle_connection(transport) {
-            Ok(out) => Some(out),
-            Err((id, e)) => {
-                self.shared
-                    .counters
-                    .connections_dropped
-                    .fetch_add(1, Ordering::Relaxed);
+            Ok(ConnOutcome::Done(id, decision)) => Some((id, decision)),
+            Ok(ConnOutcome::Suspended) | Ok(ConnOutcome::Shed) => None,
+            Err(e) => {
+                self.shared.counters.count_drop(e.cause);
                 eprintln!(
-                    "dropping connection{}: {e}",
-                    match id {
+                    "dropping connection{}: {} [{}]",
+                    match e.id {
                         Some(id) => format!(" (session {id:?})"),
                         None => String::new(),
-                    }
+                    },
+                    e.err,
+                    e.cause,
                 );
-                if let Some(id) = id {
+                if let Some(id) = e.id {
                     self.close_if_not_scanning(id);
                 }
-                // Count the drop where wait_for_reports can see it, so a
-                // host waiting on this feed's report unblocks instead of
-                // hanging forever.
-                let mut progress = self.shared.progress.lock().expect("progress lock");
-                progress.dropped += 1;
-                self.shared.progress_cv.notify_all();
+                if !e.waived {
+                    // Count the drop where wait_for_reports can see it, so
+                    // a host waiting on this feed's report unblocks instead
+                    // of hanging forever.
+                    let mut progress = self.shared.progress.lock().expect("progress lock");
+                    progress.dropped += 1;
+                    self.shared.progress_cv.notify_all();
+                }
                 None
             }
         }
@@ -260,74 +419,392 @@ impl ServerLoop {
         }
     }
 
-    /// The full per-connection protocol. On error, returns the session id
-    /// (if one was opened) so [`serve`](Self::serve) can clean it up.
-    #[allow(clippy::type_complexity)]
-    fn handle_connection<T: Transport>(
-        &self,
-        mut t: T,
-    ) -> Result<(SessionId, AuthDecision), (Option<SessionId>, PianoError)> {
+    /// Decrements the active-feed population (attach's inverse).
+    fn dec_active(&self) {
+        let mut progress = self.shared.progress.lock().expect("progress lock");
+        progress.active = progress.active.saturating_sub(1);
+    }
+
+    /// The full per-connection protocol: opening exchange, then the feed
+    /// lifecycle via [`run_feed`](Self::run_feed).
+    fn handle_connection<T: Transport>(&self, mut t: T) -> Result<ConnOutcome, ConnError> {
         let sh = &*self.shared;
         sh.counters.connections.fetch_add(1, Ordering::Relaxed);
         let mut reader = FrameReader::new();
         let mut buf = vec![0u8; READ_BUF_BYTES];
 
-        // -- Handshake: Hello → negotiate → open session → Accept + challenge.
-        let hello = read_frame(&mut t, &mut reader, &mut buf).map_err(|e| (None, e))?;
-        let Message::Hello { codecs } = hello else {
-            return Err((
-                None,
-                PianoError::Wire(format!("expected Hello, got {hello:?}")),
-            ));
-        };
-        let codec = WireCodec::negotiate(&codecs, &sh.cfg.supported_codecs);
-        let (id, challenge, detector) = {
-            let mut service = sh.service.lock().expect("service lock");
-            let mut rng = sh.rng.lock().expect("rng lock");
-            let id = service.open_session(false, &mut rng);
-            let challenge = service.poll_transmit(id).expect("challenge queued");
-            (id, challenge, Arc::clone(service.detector()))
-        };
-        sh.ids.lock().expect("ids lock").push(id);
-        let fail = |e: PianoError| (Some(id), e);
-        let mut voucher = AuthSession::voucher_with(detector);
-        voucher.handle_message(challenge.clone()).map_err(fail)?;
-        let session = voucher.session_id();
-        t.write_all(
-            &Message::Accept {
-                session,
-                codec: codec.id(),
-            }
-            .encode_framed(),
-        )
-        .map_err(|e| fail(io_wire(e)))?;
-        // The thin client must *play* S_V (Step III) even though the
-        // gateway scans on its behalf, so it gets the Step II challenge.
-        t.write_all(&challenge.encode_framed())
-            .map_err(|e| fail(io_wire(e)))?;
+        let hs_deadline = Instant::now() + sh.cfg.handshake_timeout;
+        let first = read_frame_deadline(&mut t, &mut reader, &mut buf, hs_deadline, "handshake")
+            .map_err(|(cause, err)| ConnError {
+                id: None,
+                cause,
+                err,
+                waived: false,
+            })?;
 
-        // -- Ingest: frames → feed accounting → voucher scan → replies.
-        let mut feed = IngestFeed::new(session, sh.cfg.high_water);
-        let mut ended = false;
+        let state = match first {
+            Message::Hello { codecs } => {
+                // Admission control before any session state exists: shed
+                // with a retry hint while the streaming population is at
+                // the limit.
+                {
+                    let progress = sh.progress.lock().expect("progress lock");
+                    if progress.active >= sh.cfg.max_active_feeds {
+                        drop(progress);
+                        sh.counters.connections_shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = t.write_all(
+                            &Message::Retry {
+                                retry_after_ms: sh.cfg.retry_after_ms,
+                            }
+                            .encode_framed(),
+                        );
+                        return Ok(ConnOutcome::Shed);
+                    }
+                }
+                let codec = WireCodec::negotiate(&codecs, &sh.cfg.supported_codecs);
+                let (id, challenge, detector) = {
+                    let mut service = sh.service.lock().expect("service lock");
+                    let mut rng = sh.rng.lock().expect("rng lock");
+                    let id = service.open_session(false, &mut rng);
+                    let challenge = service.poll_transmit(id).expect("challenge queued");
+                    (id, challenge, Arc::clone(service.detector()))
+                };
+                sh.ids.lock().expect("ids lock").push(id);
+                {
+                    let mut progress = sh.progress.lock().expect("progress lock");
+                    progress.active += 1;
+                }
+                // From the attach point on, every pre-report exit must
+                // decrement `active` exactly once.
+                let fail = |cause: DropCause, err: PianoError| {
+                    self.dec_active();
+                    ConnError {
+                        id: Some(id),
+                        cause,
+                        err,
+                        waived: false,
+                    }
+                };
+                let mut voucher = AuthSession::voucher_with(detector);
+                voucher
+                    .handle_message(challenge.clone())
+                    .map_err(|e| fail(DropCause::Protocol, e))?;
+                let wire_session = voucher.session_id();
+                t.write_all(
+                    &Message::Accept {
+                        session: wire_session,
+                        codec: codec.id(),
+                    }
+                    .encode_framed(),
+                )
+                .map_err(|e| fail(DropCause::Disconnect, io_transport(e)))?;
+                // The thin client must *play* S_V (Step III) even though
+                // the gateway scans on its behalf, so it gets the Step II
+                // challenge.
+                t.write_all(&challenge.encode_framed())
+                    .map_err(|e| fail(DropCause::Disconnect, io_transport(e)))?;
+                Box::new(FeedState {
+                    id,
+                    wire_session,
+                    voucher,
+                    feed: IngestFeed::new(wire_session, sh.cfg.high_water),
+                    ended: false,
+                    started: Instant::now(),
+                })
+            }
+            Message::Resume { session, next_seq } => {
+                return self.resume_connection(t, reader, buf, session, next_seq, hs_deadline);
+            }
+            other => {
+                return Err(ConnError {
+                    id: None,
+                    cause: DropCause::Protocol,
+                    err: PianoError::Wire(format!("expected Hello or Resume, got {other:?}")),
+                    waived: false,
+                })
+            }
+        };
+        self.run_feed(t, reader, buf, state)
+    }
+
+    /// Re-attaches a reconnecting client to its suspended feed.
+    ///
+    /// The registry entry may not exist *yet*: the dead connection's
+    /// thread discovers the loss asynchronously (often only at its next
+    /// write), so a prompt reconnect can beat the suspension. The lookup
+    /// therefore polls until the handshake deadline before rejecting.
+    fn resume_connection<T: Transport>(
+        &self,
+        mut t: T,
+        reader: FrameReader,
+        buf: Vec<u8>,
+        wire_session: u64,
+        client_next_seq: u32,
+        hs_deadline: Instant,
+    ) -> Result<ConnOutcome, ConnError> {
+        let sh = &*self.shared;
+        let entry = loop {
+            self.expire_suspended(Instant::now());
+            if let Some(e) = sh
+                .suspended
+                .lock()
+                .expect("suspended lock")
+                .remove(&wire_session)
+            {
+                break e;
+            }
+            if Instant::now() >= hs_deadline {
+                return Err(ConnError {
+                    id: None,
+                    cause: DropCause::Protocol,
+                    err: PianoError::Wire(format!(
+                        "resume for unknown or expired session {wire_session:#x}"
+                    )),
+                    // The feed this probe hoped to resume is accounted
+                    // for elsewhere (still live, already dropped, or
+                    // never existed): never double-count it in the wait.
+                    waived: true,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        sh.counters.resumes.fetch_add(1, Ordering::Relaxed);
+        match entry.state {
+            SuspendedState::Streaming(mut state) => {
+                {
+                    let mut progress = sh.progress.lock().expect("progress lock");
+                    progress.active += 1;
+                }
+                // Flow-control replies queued for the dead transport are
+                // stale; the ack below re-synchronizes both sides at the
+                // feed's contiguity cursor.
+                state.feed.resync_flow();
+                // `client_next_seq` may trail the feed's cursor (the
+                // client lost Credit bytes, not audio) or lead it (the
+                // server lost audio in flight); either way the ack's
+                // cursor wins and the client replays from there.
+                let _ = client_next_seq;
+                let ack = Message::ResumeAck {
+                    session: wire_session,
+                    ack_seq: state.feed.next_seq(),
+                    ended: state.ended,
+                };
+                match t.write_all(&ack.encode_framed()) {
+                    Ok(()) => {}
+                    Err(e) => return self.suspend_streaming(state, io_transport(e)),
+                }
+                self.run_feed(t, reader, buf, state)
+            }
+            SuspendedState::Decided { id } => {
+                let ack = Message::ResumeAck {
+                    session: wire_session,
+                    ack_seq: client_next_seq,
+                    ended: true,
+                };
+                if let Err(e) = t.write_all(&ack.encode_framed()) {
+                    // Park the verdict again for the next attempt.
+                    self.park(
+                        wire_session,
+                        SuspendedState::Decided { id },
+                        Instant::now() + sh.cfg.resume_window,
+                    );
+                    return Err(ConnError {
+                        id: None,
+                        cause: DropCause::Disconnect,
+                        err: io_transport(e),
+                        waived: true,
+                    });
+                }
+                self.await_scan_and_deliver(&mut t, id, wire_session)
+            }
+        }
+    }
+
+    /// Inserts a registry entry and nudges the report waiter so its tick
+    /// loop starts watching this suspension's expiry.
+    fn park(&self, wire_session: u64, state: SuspendedState, expires: Instant) {
+        self.shared
+            .suspended
+            .lock()
+            .expect("suspended lock")
+            .insert(wire_session, Suspended { state, expires });
+        self.shared.progress_cv.notify_all();
+    }
+
+    /// Parks a mid-stream feed whose transport died — or drops it when no
+    /// resume window is configured.
+    fn suspend_streaming(
+        &self,
+        state: Box<FeedState>,
+        err: PianoError,
+    ) -> Result<ConnOutcome, ConnError> {
+        let sh = &*self.shared;
+        self.dec_active();
+        if sh.cfg.resume_window.is_zero() {
+            return Err(ConnError {
+                id: Some(state.id),
+                cause: DropCause::Disconnect,
+                err,
+                waived: false,
+            });
+        }
+        sh.counters
+            .connections_suspended
+            .fetch_add(1, Ordering::Relaxed);
+        let wire_session = state.wire_session;
+        let expires = Instant::now() + sh.cfg.resume_window;
+        self.park(wire_session, SuspendedState::Streaming(state), expires);
+        Ok(ConnOutcome::Suspended)
+    }
+
+    /// Drops registry entries whose resume window has lapsed. Expired
+    /// mid-stream feeds are dropped under [`DropCause::ResumeExpired`]
+    /// (counted toward the report wait); expired verdict entries are
+    /// forgotten silently — their feed already reported and decided.
+    fn expire_suspended(&self, now: Instant) {
+        let expired: Vec<Suspended> = {
+            let mut map = self.shared.suspended.lock().expect("suspended lock");
+            if map.is_empty() {
+                return;
+            }
+            let lapsed: Vec<u64> = map
+                .iter()
+                .filter(|(_, s)| s.expires <= now)
+                .map(|(&k, _)| k)
+                .collect();
+            lapsed
+                .into_iter()
+                .map(|k| map.remove(&k).expect("lapsed key present"))
+                .collect()
+        };
+        for s in expired {
+            match s.state {
+                SuspendedState::Streaming(state) => {
+                    self.shared.counters.count_drop(DropCause::ResumeExpired);
+                    eprintln!(
+                        "dropping connection (session {:?}): resume window expired [{}]",
+                        state.id,
+                        DropCause::ResumeExpired,
+                    );
+                    self.close_if_not_scanning(state.id);
+                    let mut progress = self.shared.progress.lock().expect("progress lock");
+                    progress.dropped += 1;
+                    self.shared.progress_cv.notify_all();
+                }
+                SuspendedState::Decided { .. } => {}
+            }
+        }
+    }
+
+    /// The attached-feed lifecycle: ingest until `StreamEnd` + drained,
+    /// route the Step V report, then wait out the hub scan and deliver
+    /// the verdict.
+    fn run_feed<T: Transport>(
+        &self,
+        mut t: T,
+        mut reader: FrameReader,
+        mut buf: Vec<u8>,
+        mut state: Box<FeedState>,
+    ) -> Result<ConnOutcome, ConnError> {
+        let sh = &*self.shared;
+        match self.ingest_loop(&mut t, &mut reader, &mut buf, &mut state) {
+            Ok(()) => {}
+            Err(StreamFailure::Fatal(cause, err)) => {
+                self.dec_active();
+                return Err(ConnError {
+                    id: Some(state.id),
+                    cause,
+                    err,
+                    waived: false,
+                });
+            }
+            Err(StreamFailure::Lost(err)) => return self.suspend_streaming(state, err),
+        }
+        sh.counters.max_peak(state.feed.peak_buffered() as u64);
+
+        // -- Conclude the voucher scan and route its Step V report.
+        let _ = state.voucher.finish_audio();
+        let report = match state.voucher.poll_transmit() {
+            Some(r) => r,
+            None => {
+                self.dec_active();
+                return Err(ConnError {
+                    id: Some(state.id),
+                    cause: DropCause::Protocol,
+                    err: PianoError::Wire("voucher produced no report".into()),
+                    waived: false,
+                });
+            }
+        };
+        if let Err(e) = sh
+            .service
+            .lock()
+            .expect("service lock")
+            .handle_message(state.id, report)
+        {
+            self.dec_active();
+            return Err(ConnError {
+                id: Some(state.id),
+                cause: DropCause::Protocol,
+                err: e,
+                waived: false,
+            });
+        }
+        {
+            let mut progress = sh.progress.lock().expect("progress lock");
+            progress.reports += 1;
+            progress.active = progress.active.saturating_sub(1);
+            sh.progress_cv.notify_all();
+        }
+        self.await_scan_and_deliver(&mut t, state.id, state.wire_session)
+    }
+
+    /// Ingest: frames → feed accounting → voucher scan → replies, every
+    /// blocking read bounded by the idle and whole-stream deadlines.
+    fn ingest_loop<T: Transport>(
+        &self,
+        t: &mut T,
+        reader: &mut FrameReader,
+        buf: &mut [u8],
+        state: &mut FeedState,
+    ) -> Result<(), StreamFailure> {
+        let sh = &*self.shared;
+        let stream_deadline = state.started + sh.cfg.stream_timeout;
         loop {
             // Block for bytes only when there is no scan work pending;
             // otherwise poll, so a paused sender cannot stall the drain
-            // that will eventually grant its credit.
-            let n = if feed.buffered() == 0 && !ended {
-                match t.read_some(&mut buf) {
+            // that will eventually grant its credit. The blocking wait is
+            // where both watchdogs bite: idle (nothing arrived lately) and
+            // whole-stream (the budget since the handshake ran out).
+            let n = if state.feed.buffered() == 0 && !state.ended {
+                let now = Instant::now();
+                if now >= stream_deadline {
+                    return Err(StreamFailure::Fatal(
+                        DropCause::Timeout,
+                        PianoError::Timeout("stream budget exhausted mid-stream".into()),
+                    ));
+                }
+                let wait = sh.cfg.idle_timeout.min(stream_deadline - now);
+                match t.read_timeout(buf, wait) {
                     Ok(0) => {
-                        return Err(fail(PianoError::Wire(
+                        return Err(StreamFailure::Lost(PianoError::Transport(
                             "connection closed before StreamEnd".into(),
                         )))
                     }
                     Ok(n) => n,
-                    Err(e) => return Err(fail(io_wire(e))),
+                    Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                        return Err(StreamFailure::Fatal(
+                            DropCause::Timeout,
+                            PianoError::Timeout(format!("feed idle for {wait:?} mid-stream")),
+                        ))
+                    }
+                    Err(e) => return Err(StreamFailure::Lost(io_transport(e))),
                 }
             } else {
-                match t.try_read(&mut buf) {
+                match t.try_read(buf) {
                     Ok(n) => n,
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => 0,
-                    Err(e) => return Err(fail(io_wire(e))),
+                    Err(e) => return Err(StreamFailure::Lost(io_transport(e))),
                 }
             };
             if n > 0 {
@@ -337,9 +814,10 @@ impl ServerLoop {
                 let before = reader.consumed();
                 // A framing error propagates the reader's poison cause:
                 // this connection is dropped, nothing else is.
-                let msg = match reader.next_frame().map_err(fail)? {
-                    Some(m) => m,
-                    None => break,
+                let msg = match reader.next_frame() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    Err(e) => return Err(StreamFailure::Fatal(DropCause::Framing, e)),
                 };
                 match msg {
                     m @ (Message::AudioChunk { .. }
@@ -347,8 +825,18 @@ impl ServerLoop {
                     | Message::AudioBatchI16 { .. }) => {
                         // `accept` enforces sequence contiguity and the
                         // backlog hard limit; violating either drops the
-                        // connection here.
-                        feed.accept(&m).map_err(fail)?;
+                        // connection here. Classify the hard-limit breach
+                        // (a sender ignoring Busy) apart from the rest.
+                        let overrun =
+                            state.feed.buffered() + audio_samples(&m) > state.feed.hard_limit();
+                        if let Err(e) = state.feed.accept(&m) {
+                            let cause = if overrun {
+                                DropCause::Overrun
+                            } else {
+                                DropCause::Protocol
+                            };
+                            return Err(StreamFailure::Fatal(cause, e));
+                        }
                         sh.counters.frames_decoded.fetch_add(1, Ordering::Relaxed);
                         sh.counters
                             .wire_audio_bytes
@@ -357,19 +845,22 @@ impl ServerLoop {
                             .raw_audio_bytes
                             .fetch_add(codec::raw_framed_audio_bytes(&m), Ordering::Relaxed);
                     }
-                    Message::StreamEnd { session: s } if s == session => ended = true,
+                    Message::StreamEnd { session: s } if s == state.wire_session => {
+                        state.ended = true;
+                    }
                     other => {
-                        return Err(fail(PianoError::Wire(format!(
-                            "unexpected mid-stream message {other:?}"
-                        ))))
+                        return Err(StreamFailure::Fatal(
+                            DropCause::Protocol,
+                            PianoError::Wire(format!("unexpected mid-stream message {other:?}")),
+                        ))
                     }
                 }
             }
-            let samples = feed.take_pending(sh.cfg.drain_chunk);
+            let samples = state.feed.take_pending(sh.cfg.drain_chunk);
             if !samples.is_empty() {
-                let _ = voucher.push_audio(&samples);
+                let _ = state.voucher.push_audio(&samples);
             }
-            while let Some(reply) = feed.poll_reply() {
+            while let Some(reply) = state.feed.poll_reply() {
                 match &reply {
                     Message::Busy { .. } => {
                         sh.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
@@ -380,35 +871,49 @@ impl ServerLoop {
                     _ => {}
                 }
                 t.write_all(&reply.encode_framed())
-                    .map_err(|e| fail(io_wire(e)))?;
+                    .map_err(|e| StreamFailure::Lost(io_transport(e)))?;
             }
-            if ended && feed.buffered() == 0 {
-                break;
+            if state.ended && state.feed.buffered() == 0 {
+                return Ok(());
             }
         }
-        sh.counters.max_peak(feed.peak_buffered() as u64);
+    }
 
-        // -- Conclude the voucher scan and route its Step V report.
-        let _ = voucher.finish_audio();
-        let report = voucher
-            .poll_transmit()
-            .ok_or_else(|| fail(PianoError::Wire("voucher produced no report".into())))?;
-        sh.service
-            .lock()
-            .expect("service lock")
-            .handle_message(id, report)
-            .map_err(fail)?;
-        {
-            let mut progress = sh.progress.lock().expect("progress lock");
-            progress.reports += 1;
-            sh.progress_cv.notify_all();
-        }
-
-        // -- Wait for the hub scan, then deliver the verdict.
+    /// Waits (bounded by [`ServerConfig::decision_timeout`]) for the hub
+    /// scan, then delivers the verdict. With a resume window configured,
+    /// the verdict is parked in the registry *before* the write, so a
+    /// client that loses the connection with the `Decision` frame in
+    /// flight can reconnect and have it re-sent.
+    fn await_scan_and_deliver<T: Transport>(
+        &self,
+        t: &mut T,
+        id: SessionId,
+        wire_session: u64,
+    ) -> Result<ConnOutcome, ConnError> {
+        let sh = &*self.shared;
+        let deadline = Instant::now() + sh.cfg.decision_timeout;
+        // Post-report failures are waived: this feed already counted in
+        // Progress::reports, so adding it to Progress::dropped would make
+        // the wait see one feed twice.
         {
             let mut progress = sh.progress.lock().expect("progress lock");
             while !progress.scan_done {
-                progress = sh.progress_cv.wait(progress).expect("progress lock");
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ConnError {
+                        id: Some(id),
+                        cause: DropCause::Timeout,
+                        err: PianoError::Timeout(
+                            "hub scan did not conclude within the decision deadline".into(),
+                        ),
+                        waived: true,
+                    });
+                }
+                let (guard, _) = sh
+                    .progress_cv
+                    .wait_timeout(progress, deadline - now)
+                    .expect("progress lock");
+                progress = guard;
             }
         }
         let decision = sh
@@ -422,15 +927,34 @@ impl ServerLoop {
                     "session undecided after the hub scan".into(),
                 ),
             });
-        t.write_all(
+        if !sh.cfg.resume_window.is_zero() {
+            self.park(
+                wire_session,
+                SuspendedState::Decided { id },
+                Instant::now() + sh.cfg.resume_window,
+            );
+        }
+        match t.write_all(
             &Message::Decision {
-                session,
+                session: wire_session,
                 decision: decision.clone(),
             }
             .encode_framed(),
-        )
-        .map_err(|e| fail(io_wire(e)))?;
-        Ok((id, decision))
+        ) {
+            Ok(()) => Ok(ConnOutcome::Done(id, decision)),
+            Err(e) if !sh.cfg.resume_window.is_zero() => {
+                // The Decided entry parked above lets the client resume
+                // and re-read the verdict; this thread's work is done.
+                let _ = e;
+                Ok(ConnOutcome::Suspended)
+            }
+            Err(e) => Err(ConnError {
+                id: Some(id),
+                cause: DropCause::Disconnect,
+                err: io_transport(e),
+                waived: true,
+            }),
+        }
     }
 
     /// Blocks until each of `n` accepted connections has either routed
@@ -438,16 +962,71 @@ impl ServerLoop {
     /// connection finished streaming and the host may scan the hub
     /// recording. Returns the number that actually reported, so partial
     /// failure is observable instead of hanging the host forever.
+    ///
+    /// Feeds sitting in the resume registry count as neither until they
+    /// resume (and report) or their window expires (and they drop): the
+    /// wait ticks while suspensions exist, so an abandoned feed holds the
+    /// scan up for at most its resume window.
+    ///
+    /// Unbounded — a test-only convenience. Production hosts should call
+    /// [`wait_for_reports_timeout`](Self::wait_for_reports_timeout).
     pub fn wait_for_reports(&self, n: usize) -> usize {
-        let mut progress = self.shared.progress.lock().expect("progress lock");
-        while progress.reports + progress.dropped < n {
-            progress = self
-                .shared
-                .progress_cv
-                .wait(progress)
-                .expect("progress lock");
+        self.wait_reports_deadline(n, None)
+            .expect("unbounded wait cannot time out")
+    }
+
+    /// [`wait_for_reports`](Self::wait_for_reports) bounded by `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds have reported or
+    /// dropped within `timeout`.
+    pub fn wait_for_reports_timeout(
+        &self,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<usize, PianoError> {
+        self.wait_reports_deadline(n, Some(Instant::now() + timeout))
+    }
+
+    fn wait_reports_deadline(
+        &self,
+        n: usize,
+        deadline: Option<Instant>,
+    ) -> Result<usize, PianoError> {
+        let sh = &*self.shared;
+        loop {
+            self.expire_suspended(Instant::now());
+            let suspensions = !sh.suspended.lock().expect("suspended lock").is_empty();
+            let progress = sh.progress.lock().expect("progress lock");
+            if progress.reports + progress.dropped >= n {
+                return Ok(progress.reports);
+            }
+            let now = Instant::now();
+            if let Some(d) = deadline {
+                if now >= d {
+                    return Err(PianoError::Timeout(format!(
+                        "{} of {n} feeds concluded before the report deadline",
+                        progress.reports + progress.dropped
+                    )));
+                }
+            }
+            let tick = match (suspensions, deadline) {
+                (false, None) => None,
+                (true, None) => Some(SUSPEND_TICK),
+                (false, Some(d)) => Some(d - now),
+                (true, Some(d)) => Some(SUSPEND_TICK.min(d - now)),
+            };
+            match tick {
+                None => drop(sh.progress_cv.wait(progress).expect("progress lock")),
+                Some(wait) => drop(
+                    sh.progress_cv
+                        .wait_timeout(progress, wait)
+                        .expect("progress lock")
+                        .0,
+                ),
+            }
         }
-        progress.reports
     }
 
     /// Streams the hub microphone's recording through the service in
@@ -479,9 +1058,21 @@ impl ServerLoop {
     /// served so far.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
+        let get = |cause: DropCause| c.drops[cause_slot(cause)].load(Ordering::Relaxed);
         ServiceStats {
             connections: c.connections.load(Ordering::Relaxed),
             connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
+            connections_shed: c.connections_shed.load(Ordering::Relaxed),
+            connections_suspended: c.connections_suspended.load(Ordering::Relaxed),
+            resumes: c.resumes.load(Ordering::Relaxed),
+            drops: DropCounts {
+                framing: get(DropCause::Framing),
+                protocol: get(DropCause::Protocol),
+                overrun: get(DropCause::Overrun),
+                timeout: get(DropCause::Timeout),
+                disconnect: get(DropCause::Disconnect),
+                resume_expired: get(DropCause::ResumeExpired),
+            },
             frames_decoded: c.frames_decoded.load(Ordering::Relaxed),
             wire_audio_bytes: c.wire_audio_bytes.load(Ordering::Relaxed),
             raw_audio_bytes: c.raw_audio_bytes.load(Ordering::Relaxed),
@@ -489,244 +1080,6 @@ impl ServerLoop {
             busy_replies: c.busy_replies.load(Ordering::Relaxed),
             credit_replies: c.credit_replies.load(Ordering::Relaxed),
             sessions_decided: self.with_service(|s| s.sessions_decided()) as u64,
-        }
-    }
-}
-
-/// The client half of one feed: codec negotiation, credit-paced batch
-/// streaming, and verdict delivery over any [`Transport`].
-#[derive(Debug)]
-pub struct FeedHandle<T: Transport> {
-    t: T,
-    reader: FrameReader,
-    buf: Vec<u8>,
-    session: u64,
-    codec: WireCodec,
-    challenge: Message,
-    next_seq: u32,
-    paused: bool,
-    wire_audio_bytes: u64,
-    raw_audio_bytes: u64,
-    busy_seen: u64,
-    credit_seen: u64,
-}
-
-impl<T: Transport> FeedHandle<T> {
-    /// Performs the client handshake: offers `offered` (preference
-    /// order), reads the server's [`Message::Accept`] and the Step II
-    /// challenge.
-    ///
-    /// # Errors
-    ///
-    /// [`PianoError::Wire`] if the transport fails or the server answers
-    /// out of protocol.
-    pub fn connect(mut t: T, offered: &[WireCodec]) -> Result<Self, PianoError> {
-        let hello = Message::Hello {
-            codecs: offered.iter().map(|c| c.id()).collect(),
-        };
-        t.write_all(&hello.encode_framed()).map_err(io_wire)?;
-        let mut reader = FrameReader::new();
-        let mut buf = vec![0u8; READ_BUF_BYTES];
-        let accept = read_frame(&mut t, &mut reader, &mut buf)?;
-        let Message::Accept { session, codec } = accept else {
-            return Err(PianoError::Wire(format!("expected Accept, got {accept:?}")));
-        };
-        let codec = WireCodec::from_id(codec)
-            .ok_or_else(|| PianoError::Wire(format!("server accepted unknown codec {codec}")))?;
-        let challenge = read_frame(&mut t, &mut reader, &mut buf)?;
-        match &challenge {
-            Message::ReferenceSignals { session: s, .. } if *s == session => {}
-            other => {
-                return Err(PianoError::Wire(format!(
-                    "expected the session {session:#x} challenge, got {other:?}"
-                )))
-            }
-        }
-        Ok(FeedHandle {
-            t,
-            reader,
-            buf,
-            session,
-            codec,
-            challenge,
-            next_seq: 0,
-            paused: false,
-            wire_audio_bytes: 0,
-            raw_audio_bytes: 0,
-            busy_seen: 0,
-            credit_seen: 0,
-        })
-    }
-
-    /// The wire session id the server assigned.
-    pub fn session(&self) -> u64 {
-        self.session
-    }
-
-    /// The negotiated audio codec.
-    pub fn codec(&self) -> WireCodec {
-        self.codec
-    }
-
-    /// The Step II challenge ([`Message::ReferenceSignals`]) — the thin
-    /// device reconstructs its playback signal `S_V` from this.
-    pub fn challenge(&self) -> &Message {
-        &self.challenge
-    }
-
-    /// Unwraps the underlying transport, abandoning the handle's pacing
-    /// state. Misbehaving-sender tests use this to write raw bytes the
-    /// handle would never produce.
-    pub fn into_transport(self) -> T {
-        self.t
-    }
-
-    /// Audio bytes this handle has put on the wire (framed, post-codec).
-    pub fn wire_audio_bytes(&self) -> u64 {
-        self.wire_audio_bytes
-    }
-
-    /// What the same audio would have cost raw (framed `f64` batches).
-    pub fn raw_audio_bytes(&self) -> u64 {
-        self.raw_audio_bytes
-    }
-
-    /// `Busy` replies received so far.
-    pub fn busy_seen(&self) -> u64 {
-        self.busy_seen
-    }
-
-    /// `Credit` replies received so far.
-    pub fn credit_seen(&self) -> u64 {
-        self.credit_seen
-    }
-
-    /// Consumes pending flow-control replies. With `block_for_credit`,
-    /// blocks until the outstanding `Busy` is answered — the pacing that
-    /// keeps a cooperating sender under the receiver's hard limit.
-    fn drain_replies(&mut self, block_for_credit: bool) -> Result<(), PianoError> {
-        loop {
-            while let Some(msg) = self.reader.next_frame()? {
-                match msg {
-                    Message::Busy { .. } => {
-                        self.busy_seen += 1;
-                        self.paused = true;
-                    }
-                    Message::Credit { .. } => {
-                        self.credit_seen += 1;
-                        self.paused = false;
-                    }
-                    other => {
-                        return Err(PianoError::Wire(format!(
-                            "unexpected reply while streaming: {other:?}"
-                        )))
-                    }
-                }
-            }
-            if block_for_credit && self.paused {
-                match self.t.read_some(&mut self.buf) {
-                    Ok(0) => {
-                        return Err(PianoError::Wire(
-                            "server closed while the feed awaited credit".into(),
-                        ))
-                    }
-                    Ok(n) => {
-                        let chunk = &self.buf[..n];
-                        self.reader.push(chunk);
-                    }
-                    Err(e) => return Err(io_wire(e)),
-                }
-                continue;
-            }
-            match self.t.try_read(&mut self.buf) {
-                Ok(0) => return Ok(()), // EOF: surfaced by the next blocking read
-                Ok(n) => {
-                    let chunk = &self.buf[..n];
-                    self.reader.push(chunk);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
-                Err(e) => return Err(io_wire(e)),
-            }
-        }
-    }
-
-    /// Sends one batch of consecutive chunks under the negotiated codec,
-    /// first honoring any outstanding `Busy` (blocking until `Credit`).
-    pub fn send_batch(&mut self, chunks: &[Vec<f64>]) -> Result<(), PianoError> {
-        self.drain_replies(false)?;
-        if self.paused {
-            self.drain_replies(true)?;
-        }
-        let msg = codec::encode_audio_batch(self.codec, self.session, self.next_seq, chunks);
-        self.next_seq += chunks.len() as u32;
-        let framed = msg.encode_framed();
-        self.wire_audio_bytes += framed.len() as u64;
-        self.raw_audio_bytes += codec::raw_framed_audio_bytes(&msg);
-        self.t.write_all(&framed).map_err(io_wire)
-    }
-
-    /// Streams a whole recording: `chunk_len`-sample chunks,
-    /// `chunks_per_batch` chunks per frame, credit-paced.
-    pub fn send_recording(
-        &mut self,
-        recording: &[f64],
-        chunk_len: usize,
-        chunks_per_batch: usize,
-    ) -> Result<(), PianoError> {
-        let chunks: Vec<Vec<f64>> = recording
-            .chunks(chunk_len.max(1))
-            .map(<[f64]>::to_vec)
-            .collect();
-        for batch in chunks.chunks(chunks_per_batch.max(1)) {
-            self.send_batch(batch)?;
-        }
-        Ok(())
-    }
-
-    /// Signals end-of-recording for this feed.
-    pub fn finish(&mut self) -> Result<(), PianoError> {
-        self.t
-            .write_all(
-                &Message::StreamEnd {
-                    session: self.session,
-                }
-                .encode_framed(),
-            )
-            .map_err(io_wire)
-    }
-
-    /// Blocks until the server delivers this session's verdict (late
-    /// flow-control replies in between are absorbed).
-    pub fn await_decision(&mut self) -> Result<AuthDecision, PianoError> {
-        loop {
-            let msg = match self.reader.next_frame()? {
-                Some(m) => m,
-                None => match self.t.read_some(&mut self.buf) {
-                    Ok(0) => {
-                        return Err(PianoError::Wire(
-                            "server closed before delivering a decision".into(),
-                        ))
-                    }
-                    Ok(n) => {
-                        let chunk = &self.buf[..n];
-                        self.reader.push(chunk);
-                        continue;
-                    }
-                    Err(e) => return Err(io_wire(e)),
-                },
-            };
-            match msg {
-                Message::Decision { session, decision } if session == self.session => {
-                    return Ok(decision)
-                }
-                Message::Busy { .. } => self.busy_seen += 1,
-                Message::Credit { .. } => self.credit_seen += 1,
-                other => {
-                    return Err(PianoError::Wire(format!(
-                        "expected Decision, got {other:?}"
-                    )))
-                }
-            }
         }
     }
 }

@@ -12,6 +12,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A blocking, bidirectional byte stream between two endpoints.
 ///
@@ -30,6 +31,13 @@ pub trait Transport: Send {
     /// is pending, `Ok(0)` at end-of-stream. Used to drain flow-control
     /// replies opportunistically between sends.
     fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// [`read_some`](Self::read_some) with a deadline: blocks at most
+    /// `timeout` for the first byte, then returns
+    /// `Err(io::ErrorKind::TimedOut)` if nothing arrived. `Ok(0)` still
+    /// means end-of-stream. This is what deadline-aware server loops use
+    /// so a silent peer cannot pin a connection thread forever.
+    fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize>;
 }
 
 /// An acceptor of inbound [`Transport`] connections.
@@ -93,6 +101,33 @@ impl Pipe {
         Ok(n)
     }
 
+    fn read_deadline(&self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().expect("pipe lock");
+        while s.buf.is_empty() {
+            if s.closed {
+                return Ok(0);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no bytes within the read deadline",
+                ));
+            }
+            let (guard, _) = self
+                .readable
+                .wait_timeout(s, deadline - now)
+                .expect("pipe lock");
+            s = guard;
+        }
+        let n = buf.len().min(s.buf.len());
+        for b in buf.iter_mut().take(n) {
+            *b = s.buf.pop_front().expect("n bytes buffered");
+        }
+        Ok(n)
+    }
+
     fn close(&self) {
         let mut s = self.state.lock().expect("pipe lock");
         s.closed = true;
@@ -131,6 +166,10 @@ impl Transport for MemoryStream {
 
     fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         self.rx.read(buf, false)
+    }
+
+    fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
+        self.rx.read_deadline(buf, timeout)
     }
 }
 
@@ -207,6 +246,22 @@ impl Transport for TcpStream {
         let r = io::Read::read(self, buf);
         self.set_nonblocking(false)?;
         r
+    }
+
+    fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
+        // A zero socket timeout means "block forever" to the OS — clamp
+        // up so a zero/expired deadline still returns promptly.
+        self.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let r = io::Read::read(self, buf);
+        self.set_read_timeout(None)?;
+        r.map_err(|e| {
+            // Platforms disagree on the expiry kind; normalize to TimedOut.
+            if e.kind() == io::ErrorKind::WouldBlock {
+                io::Error::new(io::ErrorKind::TimedOut, e)
+            } else {
+                e
+            }
+        })
     }
 }
 
@@ -293,6 +348,29 @@ mod tests {
         let n = server.read_some(&mut buf).unwrap();
         assert_eq!(&buf[..n], &b"later"[..n]);
         drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn read_timeout_expires_then_delivers() {
+        let (mut client, mut server) = memory_pair();
+        let mut buf = [0u8; 8];
+        let err = server
+            .read_timeout(&mut buf, Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        client.write_all(&[1, 2, 3]).unwrap();
+        let n = server
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&buf[..n], &[1, 2, 3]);
+        drop(client);
+        assert_eq!(
+            server
+                .read_timeout(&mut buf, Duration::from_secs(5))
+                .unwrap(),
+            0,
+            "EOF beats the deadline"
+        );
     }
 
     #[test]

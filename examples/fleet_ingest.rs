@@ -8,6 +8,8 @@
 //! PIANO_WIRE_CODEC=off  cargo run --release --example fleet_ingest
 //! PIANO_NET_TCP=1       cargo run --release --example fleet_ingest   # loopback sockets
 //! PIANO_SCAN_WORKERS=4  cargo run --release --example fleet_ingest
+//! PIANO_NET_FAULT_SEED=0xFA17 cargo run --release --example fleet_ingest  # chaos mode
+//! cargo run --release --example fleet_ingest -- --faults             # chaos, default seed
 //! ```
 //!
 //! The scenario: a gateway authenticates every user in a building at
@@ -28,18 +30,29 @@
 //! `PIANO_NET_TCP=1` to run the same stack over loopback TCP sockets
 //! (falls back to in-memory where binding 127.0.0.1 fails).
 //!
+//! **Chaos mode** (`PIANO_NET_FAULT_SEED=<seed>` or `--faults`): every
+//! client link is wrapped in a seeded [`FaultyTransport`] — arbitrary
+//! read/write segmentation and latency on all feeds, plus mid-stream
+//! disconnect cuts (write-side and read-side) on half of them. Clients
+//! run behind [`ResilientFeed`], so cut links redial with jittered
+//! backoff and resume their wire session; the run asserts the fleet
+//! still reaches 100% granted verdicts and prints the per-cause drop
+//! and resilience counters.
+//!
 //! A `ContinuousScheduler` epilogue re-verifies a handful of the
 //! authenticated sessions by deadline off the same service.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use piano::core::wire::WireCodec;
 use piano::net::fixtures::{feed_recording, hub_recording, FEED_REC_LEN};
-use piano::net::transport::{memory_hub, tcp_loopback, Listener};
-use piano::net::{FeedHandle, ServerConfig, ServerLoop};
+use piano::net::transport::{memory_hub, tcp_loopback, Listener, MemoryStream};
+use piano::net::{
+    FaultPlan, FaultyTransport, FeedHandle, ResilientFeed, RetryPolicy, ServerConfig, ServerLoop,
+};
 use piano::prelude::*;
 
 fn main() {
@@ -48,6 +61,19 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let codec = WireCodec::from_env();
+    let fault_seed = std::env::var("PIANO_NET_FAULT_SEED")
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok())
+        })
+        .or_else(|| std::env::args().any(|a| a == "--faults").then_some(0xFA17));
+    if let Some(seed) = fault_seed {
+        run_faulted_fleet(seed, feeds, codec);
+        return;
+    }
     let server = ServerLoop::new(
         AuthService::new(PianoConfig::with_threshold(1.0)),
         ChaCha8Rng::seed_from_u64(0xF1EE7),
@@ -187,6 +213,142 @@ fn main() {
         );
     }
     println!("\nfleet ingested over the wire, authenticated, and re-verified off one service");
+}
+
+/// Chaos mode: the same fleet over seeded faulty links. Half the feeds
+/// suffer a mid-stream disconnect (alternating write-side and read-side
+/// cuts); the rest run under segmentation/latency chaos. The server
+/// keeps a 10 s resume window, clients redial through `ResilientFeed`,
+/// and the run must still end with every verdict granted.
+fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec) {
+    let server = ServerLoop::new(
+        AuthService::new(PianoConfig::with_threshold(1.0)),
+        ChaCha8Rng::seed_from_u64(0xF1EE7),
+        ServerConfig {
+            resume_window: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    );
+    let action = server.with_service(|s| s.config().action.clone());
+    println!(
+        "fleet gateway (CHAOS): {feeds} feeds, codec {codec:?}, fault seed {seed:#x}, \
+         {} feed(s) scheduled for mid-stream cuts",
+        feeds - feeds / 2
+    );
+    println!("transport: in-memory duplex wrapped in seeded FaultyTransport");
+
+    // Resumed connections dial back at unpredictable times, so the
+    // gateway accepts in a loop instead of a fixed count.
+    let (connector, mut listener) = memory_hub();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            while let Ok(conn) = listener.accept_conn() {
+                let s = server.clone();
+                std::thread::spawn(move || {
+                    let _ = s.serve(conn);
+                });
+            }
+        });
+    }
+
+    let t_start = Instant::now();
+    // Sequential handshakes keep session randomness bound to feed order;
+    // cuts are scripted to land only in the streaming/verdict phase.
+    let mut fleet = Vec::with_capacity(feeds);
+    for i in 0..feeds {
+        let fseed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let plan = match i % 4 {
+            0 => FaultPlan::clean(fseed).with_write_disconnect(4_000 + 512 * (i as u64 % 7)),
+            1 => FaultPlan::clean(fseed), // read-side cut scripted below
+            _ => FaultPlan::chaos(fseed), // segmentation + latency, no cuts
+        };
+        let t = FaultyTransport::new(connector.connect().expect("hub open"), plan);
+        let mut handle = FeedHandle::connect(t, &[codec]).expect("faulty handshake");
+        if i % 4 == 1 {
+            let seen = handle.transport_mut().read_bytes();
+            handle
+                .transport_mut()
+                .set_read_disconnect(seen + 10 + (i as u64 % 40));
+        }
+        let connector = connector.clone();
+        let mut redials = 0u64;
+        let dial = move || -> std::io::Result<FaultyTransport<MemoryStream>> {
+            redials += 1;
+            Ok(FaultyTransport::new(
+                connector.connect()?,
+                FaultPlan::clean(fseed ^ redials),
+            ))
+        };
+        fleet.push(ResilientFeed::adopt(
+            handle,
+            dial,
+            RetryPolicy {
+                jitter_seed: fseed,
+                ..RetryPolicy::default()
+            },
+        ));
+    }
+
+    let clients: Vec<_> = fleet
+        .into_iter()
+        .map(|mut feed| {
+            let action = action.clone();
+            std::thread::spawn(move || {
+                let rec = feed_recording(feed.handle().challenge(), &action);
+                feed.send_recording(&rec, 1_024, 4)
+                    .expect("stream survives faults");
+                let decision = feed
+                    .finish_and_await(Duration::from_secs(120))
+                    .expect("verdict survives faults");
+                (decision, feed.stats())
+            })
+        })
+        .collect();
+
+    let reported = server
+        .wait_for_reports_timeout(feeds, Duration::from_secs(120))
+        .expect("fleet reports despite faults");
+    assert_eq!(reported, feeds, "every feed reports");
+    let hub = hub_recording(&server);
+    assert_eq!(server.scan_and_decide(&hub, 16_384), feeds);
+
+    let mut granted = 0usize;
+    let (mut retries, mut resumes, mut backoff) = (0u64, 0u64, Duration::ZERO);
+    for t in clients {
+        let (decision, s) = t.join().expect("client thread");
+        assert!(decision.is_granted(), "chaos-run verdict {decision:?}");
+        granted += 1;
+        retries += s.retries;
+        resumes += s.resumes;
+        backoff += s.backoff_total;
+    }
+    let elapsed = t_start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    println!("\n--- service stats ---\n{stats}");
+    println!(
+        "client resilience: {retries} failed redials, {resumes} resumes, \
+         {:.1} ms total backoff",
+        backoff.as_secs_f64() * 1e3
+    );
+    let cut_feeds = feeds.div_ceil(4) + (feeds + 2) / 4; // i%4 == 0 and == 1
+    assert!(
+        stats.resumes as usize >= cut_feeds,
+        "every cut feed resumed: {} < {cut_feeds}",
+        stats.resumes
+    );
+    assert!(stats.connections_suspended >= 1, "cuts suspended streams");
+    assert_eq!(
+        stats.drops.total(),
+        stats.connections_dropped,
+        "per-cause drops account for every drop"
+    );
+    println!(
+        "\n{granted}/{feeds} sessions granted at ≈0.50 m in {elapsed:.2} s \
+         despite {} mid-stream cuts ({} server-acked resumes)",
+        cut_feeds, stats.resumes
+    );
 }
 
 /// Connects `feeds` clients (handshakes in order, so the run is

@@ -20,9 +20,12 @@
 //!   ambience comparator.
 //! * [`piano_eval`] — experiment harness regenerating every table/figure.
 //! * [`piano_net`] — the transport subsystem: byte-stream transports
-//!   (in-memory duplex + loopback TCP), the thread-per-connection ingest
-//!   `ServerLoop`, the credit-paced client `FeedHandle`, and the i16
-//!   delta PCM codec layer.
+//!   (in-memory duplex + loopback TCP), the deadline-supervised
+//!   thread-per-connection ingest `ServerLoop` (suspend/resume,
+//!   overload shedding), the credit-paced client `FeedHandle` with its
+//!   reconnect-and-resume `ResilientFeed` wrapper, the seeded
+//!   fault-injection `FaultyTransport`, and the i16 delta PCM codec
+//!   layer.
 //!
 //! # Quickstart
 //!
@@ -67,14 +70,17 @@ pub mod prelude {
     pub use piano_core::device::Device;
     pub use piano_core::piano::{AuthDecision, DenialReason, PianoAuthenticator, PianoConfig};
     pub use piano_core::signal::{ReferenceSignal, SignalSampler};
-    pub use piano_core::stream::ServiceStats;
     pub use piano_core::stream::{
         AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, SessionPhase,
         StreamingDetector,
     };
+    pub use piano_core::stream::{DropCause, DropCounts, ServiceStats};
     pub use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
     pub use piano_dsp::simd::DspBackend;
-    pub use piano_net::{FeedHandle, ServerConfig, ServerLoop};
+    pub use piano_net::{
+        FaultPlan, FaultyTransport, FeedHandle, ResilientFeed, RetryPolicy, ServerConfig,
+        ServerLoop,
+    };
 }
 
 #[cfg(test)]
