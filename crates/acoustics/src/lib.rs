@@ -32,6 +32,8 @@
 //! Everything stochastic flows from explicit `rand_chacha` seeds, so every
 //! experiment in the reproduction is replayable bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod absorption;
 pub mod buffer;
 pub mod clock;

@@ -22,6 +22,8 @@
 //! * [`harness`] — batch attack trials with outcome accounting, used by the
 //!   security experiment (E9: 100 + 100 trials, 0 successes).
 
+#![forbid(unsafe_code)]
+
 pub mod all_freq;
 pub mod analysis;
 pub mod harness;

@@ -18,6 +18,8 @@
 //!   demonstrate why ambience methods cannot offer absolute thresholds and
 //!   are spoofable by playing the same sound at both devices.
 
+#![forbid(unsafe_code)]
+
 pub mod action_cc;
 pub mod ambience;
 pub mod echo;

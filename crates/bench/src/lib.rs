@@ -13,6 +13,8 @@
 //! them at reduced trial counts and print their tables, so `cargo bench`
 //! regenerates every paper artifact in one command.
 
+#![forbid(unsafe_code)]
+
 /// Trials per point used inside benchmark loops (kept small: Criterion
 /// repeats the closure many times).
 pub const BENCH_TRIALS: usize = 2;

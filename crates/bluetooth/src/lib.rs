@@ -24,6 +24,8 @@
 //! plaintext), while keeping the workspace free of real crypto libraries.
 //! Every relevant type documents this explicitly.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod error;
 pub mod identity;

@@ -90,6 +90,8 @@
 //! assert!(matches!(decision, AuthDecision::Granted { .. }));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod config;
 pub mod continuous;
@@ -102,6 +104,7 @@ pub mod piano;
 pub mod ranging;
 pub mod signal;
 pub mod stream;
+pub mod sync;
 pub mod wire;
 
 pub use action::{run_action, run_session_pair, ActionOutcome, DistanceEstimate};
@@ -115,3 +118,4 @@ pub use signal::{ReferenceSignal, SignalSampler};
 pub use stream::{
     AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, StreamingDetector,
 };
+pub use sync::{OrderedGuard, OrderedMutex};

@@ -79,7 +79,7 @@
 //! real audio callback, or a network socket — and it is trivially
 //! deterministic and testable.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use rand_chacha::ChaCha8Rng;
@@ -436,6 +436,7 @@ impl StreamingDetector {
                 .collect();
             handles
                 .into_iter()
+                // piano-lint: allow(wire-no-panic, reason = "deliberate panic propagation: a poisoned scan worker must fail the scan, not silently drop a shard of the coarse walk")
                 .map(|h| h.join().expect("coarse scan worker panicked"))
                 .collect()
         });
@@ -953,7 +954,7 @@ impl AuthSession {
     /// recording, once [`finish_audio`](Self::finish_audio) has run.
     pub fn locations(&self) -> Option<(Detection, Detection)> {
         if self.scan_done {
-            Some((self.final_a.unwrap(), self.final_v.unwrap()))
+            Some((self.final_a?, self.final_v?))
         } else {
             None
         }
@@ -1160,11 +1161,16 @@ impl AuthSession {
             return Vec::new();
         }
         if self.phase == SessionPhase::Challenged {
-            self.scanner = Some(self.make_scanner());
+            self.scanner = self.make_scanner();
             self.phase = SessionPhase::Listening;
         }
         self.samples_consumed += samples.len();
-        let scanner = self.scanner.as_mut().expect("listening implies a scanner");
+        // Listening implies a scanner; without one (signals never fixed —
+        // a protocol-order bug) the audio is ignored rather than panicking
+        // a wire-reachable path.
+        let Some(scanner) = self.scanner.as_mut() else {
+            return Vec::new();
+        };
         let stream_events = scanner.push(samples);
         let mut events = Vec::new();
         for ev in stream_events {
@@ -1212,10 +1218,12 @@ impl AuthSession {
         }
         if self.phase == SessionPhase::Challenged {
             // No audio at all: an empty scan declares both signals absent.
-            self.scanner = Some(self.make_scanner());
+            self.scanner = self.make_scanner();
             self.phase = SessionPhase::Listening;
         }
-        let scanner = self.scanner.as_mut().expect("listening implies a scanner");
+        let Some(scanner) = self.scanner.as_mut() else {
+            return Vec::new();
+        };
         let result = scanner.finish();
         self.final_a = Some(result.detections[0]);
         self.final_v = Some(result.detections[1]);
@@ -1308,23 +1316,25 @@ impl AuthSession {
         events
     }
 
-    fn make_scanner(&self) -> StreamingDetector {
+    /// Builds the session's two-signature scanner, or `None` when the
+    /// signals are not yet known (the challenge never crossed the wire).
+    fn make_scanner(&self) -> Option<StreamingDetector> {
+        let (Some(sig_a), Some(sig_v)) = (&self.sig_a, &self.sig_v) else {
+            return None;
+        };
         let mut scanner = StreamingDetector::new(
             Arc::clone(&self.detector),
-            vec![
-                self.sig_a.clone().expect("signals known before listening"),
-                self.sig_v.clone().expect("signals known before listening"),
-            ],
+            vec![sig_a.clone(), sig_v.clone()],
         );
         scanner.set_early_margin(self.early_margin);
-        scanner
+        Some(scanner)
     }
 
     /// The locations to conclude from: exact results when the scan is
     /// done, provisional ones when early decision is enabled.
     fn conclusion_locations(&self) -> Option<(Detection, Detection)> {
         if self.scan_done {
-            Some((self.final_a.unwrap(), self.final_v.unwrap()))
+            Some((self.final_a?, self.final_v?))
         } else if self.early_decision {
             Some((self.early_a?, self.early_v?))
         } else {
@@ -1651,7 +1661,9 @@ pub struct AuthService {
     detectors: Vec<Arc<Detector>>,
     registry: PairingRegistry,
     link: BluetoothLink,
-    sessions: HashMap<SessionId, AuthSession>,
+    /// Keyed by a `BTreeMap` so any iteration over live sessions is in
+    /// id order — decision-path code must never see map-randomized order.
+    sessions: BTreeMap<SessionId, AuthSession>,
     groups: Vec<ScanGroup>,
     driver: ScanDriver,
     next_id: u64,
@@ -1675,7 +1687,7 @@ impl AuthService {
             detectors: vec![detector],
             registry: PairingRegistry::new(),
             link: BluetoothLink::new(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             groups: Vec::new(),
             driver: ScanDriver::from_env(),
             next_id: 0,
@@ -1921,26 +1933,45 @@ impl AuthService {
             if group.scanner.is_none() {
                 let mut sigs = Vec::with_capacity(group.members.len() * 2);
                 for id in &group.members {
-                    let s = &self.sessions[id];
-                    sigs.push(s.sig_a.clone().expect("authenticator knows its signals"));
-                    sigs.push(s.sig_v.clone().expect("authenticator knows its signals"));
+                    // Members are open sessions whose signals were fixed
+                    // at open. A group with any incomplete member cannot
+                    // scan coherently (signature index i maps to member
+                    // i/2), so rather than scan misaligned, skip it.
+                    let Some((a, v)) = self
+                        .sessions
+                        .get(id)
+                        .and_then(|s| Some((s.sig_a.clone()?, s.sig_v.clone()?)))
+                    else {
+                        sigs.clear();
+                        break;
+                    };
+                    sigs.push(a);
+                    sigs.push(v);
                 }
-                group.scanner = Some(StreamingDetector::new(Arc::clone(&group.detector), sigs));
+                if sigs.len() == group.members.len() * 2 {
+                    group.scanner = Some(StreamingDetector::new(Arc::clone(&group.detector), sigs));
+                }
             }
-            let scanner = group.scanner.as_mut().expect("just ensured");
+            let Some(scanner) = group.scanner.as_mut() else {
+                continue;
+            };
             for ev in driver.drive(scanner, samples) {
                 let StreamEvent::EarlyDetection {
                     signature,
                     detection,
                     samples_consumed,
                 } = ev;
-                let id = group.members[signature / 2];
+                let Some(&id) = group.members.get(signature / 2) else {
+                    continue;
+                };
                 let role = if signature % 2 == 0 {
                     SignalRole::Auth
                 } else {
                     SignalRole::Vouch
                 };
-                let session = self.sessions.get_mut(&id).expect("member session exists");
+                let Some(session) = self.sessions.get_mut(&id) else {
+                    continue;
+                };
                 for sev in session.accept_early(role, detection, samples_consumed) {
                     out.push((id, sev));
                 }
@@ -1960,12 +1991,16 @@ impl AuthService {
             };
             let result = scanner.finish();
             for (j, id) in group.members.iter().enumerate() {
-                let session = self.sessions.get_mut(id).expect("member session exists");
-                for sev in session.accept_scan(
-                    result.detections[2 * j],
-                    result.detections[2 * j + 1],
-                    result.ffts_used,
-                ) {
+                let Some(session) = self.sessions.get_mut(id) else {
+                    continue;
+                };
+                let (Some(&det_a), Some(&det_v)) = (
+                    result.detections.get(2 * j),
+                    result.detections.get(2 * j + 1),
+                ) else {
+                    continue;
+                };
+                for sev in session.accept_scan(det_a, det_v, result.ffts_used) {
                     out.push((*id, sev));
                 }
             }

@@ -411,12 +411,15 @@ fn predictor(q: &[i16], i: usize, order: u8) -> i32 {
     match order {
         0 => 0,
         1 if i == 0 => 0,
+        // piano-lint: allow(wire-no-panic, reason = "callers pass i <= q.len() with the i == 0 case handled above, so the prefix q[..i] is non-empty here")
         1 => q[i - 1] as i32,
         2 => match i {
             0 => 0,
             1 => q[0] as i32,
+            // piano-lint: allow(wire-no-panic, reason = "i >= 2 in this arm and callers pass i <= q.len(), so both prefix taps are in bounds")
             _ => 2 * q[i - 1] as i32 - q[i - 2] as i32,
         },
+        // piano-lint: allow(wire-no-panic, reason = "orders above MAX_PREDICTOR_ORDER are rejected by decode_i16_chunk before this is called, and the encoder only iterates 0..=MAX_PREDICTOR_ORDER")
         _ => unreachable!("orders above {MAX_PREDICTOR_ORDER} are rejected at decode"),
     }
 }
@@ -433,7 +436,7 @@ fn chunk_cost(q: &[i16], order: u8) -> usize {
 fn encode_i16_chunk(out: &mut Vec<u8>, q: &[i16]) {
     let order = (0..=MAX_PREDICTOR_ORDER)
         .min_by_key(|&o| chunk_cost(q, o))
-        .expect("non-empty order range");
+        .unwrap_or(0);
     out.push(order);
     out.extend_from_slice(&(q.len() as u32).to_le_bytes());
     for i in 0..q.len() {
@@ -970,20 +973,28 @@ impl Reader<'_> {
         self.pos += n;
         Ok(s)
     }
+    /// Takes exactly `N` bytes as a fixed array — the panic-free bridge
+    /// between [`take`](Self::take) and the `from_le_bytes` family.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PianoError> {
+        match <[u8; N]>::try_from(self.take(N)?) {
+            Ok(a) => Ok(a),
+            Err(_) => Err(PianoError::Wire("truncated message".into())),
+        }
+    }
     fn u8(&mut self) -> Result<u8, PianoError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, PianoError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("size")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, PianoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("size")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, PianoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("size")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn f64(&mut self) -> Result<f64, PianoError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("size")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
     /// LEB128 u32: at most five bytes, final byte ≤ 0x0F.
     fn varint32(&mut self) -> Result<u32, PianoError> {
@@ -1081,12 +1092,13 @@ impl FrameReader {
         if let Some(cause) = &self.poison {
             return Err(cause.clone());
         }
-        if self.buffered() < 4 {
-            return Ok(None);
-        }
-        let header: [u8; 4] = self.buf[self.pos..self.pos + 4]
-            .try_into()
-            .expect("4 bytes buffered");
+        let Some(header) = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        else {
+            return Ok(None); // length prefix not fully buffered yet
+        };
         let len = u32::from_le_bytes(header) as usize;
         if len > MAX_FRAME_BYTES {
             let e = PianoError::Wire(format!(
@@ -1095,10 +1107,9 @@ impl FrameReader {
             self.poison = Some(e.clone());
             return Err(e);
         }
-        if self.buffered() < 4 + len {
-            return Ok(None);
-        }
-        let body = &self.buf[self.pos + 4..self.pos + 4 + len];
+        let Some(body) = self.buf.get(self.pos + 4..self.pos + 4 + len) else {
+            return Ok(None); // body not fully buffered yet
+        };
         match Message::decode(body) {
             Ok(msg) => {
                 self.pos += 4 + len;
@@ -1284,7 +1295,8 @@ impl IngestFeed {
                     self.pending.extend(chunk.iter().map(|&q| q as f64));
                 }
             }
-            _ => unreachable!("validated above"),
+            // Non-audio messages were rejected by the first match above.
+            _ => {}
         }
         self.peak_buffered = self.peak_buffered.max(self.pending.len());
         if self.pending.len() > self.high_water && !self.awaiting_credit {

@@ -297,10 +297,15 @@ pub fn radix2_stage(backend: DspBackend, buf: &mut [Complex64], twiddles: &[Comp
         "buffer length must be a multiple of the stage length"
     );
     match effective(backend) {
+        // SAFETY: `effective` yields Sse2 only on x86_64, where SSE2 is
+        // baseline; slice preconditions were asserted above.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Sse2 => unsafe { x86::radix2_stage_sse2(buf, twiddles) },
+        // SAFETY: `effective` yields Avx2 only after `best_backend`
+        // runtime-detected AVX2 on this CPU; preconditions asserted above.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Avx2 => unsafe { x86::radix2_stage_avx2(buf, twiddles) },
+        // SAFETY: NEON is baseline on aarch64; preconditions asserted above.
         #[cfg(target_arch = "aarch64")]
         DspBackend::Neon => unsafe { neon::radix2_stage_neon(buf, twiddles) },
         // Scalar, plus any backend this target cannot compile (already
@@ -361,10 +366,15 @@ pub fn sliding_advance(
         "one correction twiddle row per tracked bin"
     );
     match effective(backend) {
+        // SAFETY: `effective` yields Sse2 only on x86_64, where SSE2 is
+        // baseline; slice preconditions were asserted above.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Sse2 => unsafe { x86::sliding_advance_sse2(state, rot, corr, dropped, added) },
+        // SAFETY: `effective` yields Avx2 only after `best_backend`
+        // runtime-detected AVX2 on this CPU; preconditions asserted above.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Avx2 => unsafe { x86::sliding_advance_avx2(state, rot, corr, dropped, added) },
+        // SAFETY: NEON is baseline on aarch64; preconditions asserted above.
         #[cfg(target_arch = "aarch64")]
         DspBackend::Neon => unsafe { neon::sliding_advance_neon(state, rot, corr, dropped, added) },
         _ => sliding_advance_scalar(state, rot, corr, dropped, added),
@@ -406,10 +416,15 @@ fn sliding_advance_scalar(
 pub fn goertzel_powers(backend: DspBackend, coeffs: &[f64], signal: &[f64], out: &mut Vec<f64>) {
     out.reserve(coeffs.len());
     match effective(backend) {
+        // SAFETY: `effective` yields Sse2 only on x86_64, where SSE2 is
+        // baseline; the kernel takes any slice lengths.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Sse2 => unsafe { x86::goertzel_powers_sse2(coeffs, signal, out) },
+        // SAFETY: `effective` yields Avx2 only after `best_backend`
+        // runtime-detected AVX2 on this CPU.
         #[cfg(target_arch = "x86_64")]
         DspBackend::Avx2 => unsafe { x86::goertzel_powers_avx2(coeffs, signal, out) },
+        // SAFETY: NEON is baseline on aarch64.
         #[cfg(target_arch = "aarch64")]
         DspBackend::Neon => unsafe { neon::goertzel_powers_neon(coeffs, signal, out) },
         _ => goertzel_powers_scalar(coeffs, signal, out),
@@ -459,6 +474,10 @@ mod x86 {
     /// SSE2 has no `addsub`; adding a sign-flipped operand is the IEEE
     /// 754-identical substitute (`a − b ≡ a + (−b)`). Lane 0 (the real
     /// part) carries the flip.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE2 (baseline on x86_64); callers are SSE2-gated.
     #[inline(always)]
     unsafe fn sse2_addsub(p1: __m128d, p2: __m128d) -> __m128d {
         let flip = _mm_set_pd(0.0, -0.0);
@@ -466,6 +485,10 @@ mod x86 {
     }
 
     /// `a · b` for one packed complex per register, scalar-identical.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE2 (baseline on x86_64); callers are SSE2-gated.
     #[inline(always)]
     unsafe fn cmul_sse2(a: __m128d, b: __m128d) -> __m128d {
         let b_re = _mm_shuffle_pd(b, b, 0b00);
@@ -475,6 +498,10 @@ mod x86 {
     }
 
     /// `a · b` for two packed complexes per register, scalar-identical.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX (implied by the callers' AVX2 gate).
     #[inline(always)]
     unsafe fn cmul_avx(a: __m256d, b: __m256d) -> __m256d {
         let b_re = _mm256_movedup_pd(b);
@@ -694,6 +721,10 @@ mod neon {
     use core::arch::aarch64::*;
 
     /// `[p1.0 − p2.0, p1.1 + p2.1]` — the addsub lane pair.
+    ///
+    /// # Safety
+    ///
+    /// NEON is baseline on aarch64.
     #[inline(always)]
     unsafe fn addsub(p1: float64x2_t, p2: float64x2_t) -> float64x2_t {
         let sub = vsubq_f64(p1, p2);
@@ -702,6 +733,10 @@ mod neon {
     }
 
     /// `a · b` for one packed complex per register, scalar-identical.
+    ///
+    /// # Safety
+    ///
+    /// NEON is baseline on aarch64.
     #[inline(always)]
     unsafe fn cmul(a: float64x2_t, b: float64x2_t) -> float64x2_t {
         let b_re = vdupq_laneq_f64(b, 0);

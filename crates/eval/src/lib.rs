@@ -25,6 +25,8 @@
 //! All experiments are deterministic given their seeds and parallelized
 //! over trials with scoped worker threads.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod efficiency;
 pub mod fig1;

@@ -1,0 +1,378 @@
+//! A minimal line-aware Rust lexer.
+//!
+//! The linter does not need a real parser: every rule it enforces is
+//! expressible over a token stream with line numbers, plus a side map of
+//! comments (for `SAFETY:` justifications and `piano-lint: allow(...)`
+//! annotations). The lexer therefore handles exactly the lexical subtleties
+//! that would otherwise corrupt a naive scan — strings, raw strings, char
+//! literals vs. lifetimes, nested block comments — and nothing more.
+
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    /// Number, string, char, or byte literal.
+    Literal,
+    Lifetime,
+    /// Single- or multi-character operator / delimiter.
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+
+    /// A number literal containing a decimal point (`1.0`, `2.5e3` lexes as
+    /// `2.5` + `e3` but keeps the dot in the first token).
+    pub fn is_float_literal(&self) -> bool {
+        self.kind == TokenKind::Literal
+            && self.text.contains('.')
+            && self.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Raw text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// One lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Lines that contain any part of a comment.
+    pub comment_lines: BTreeSet<usize>,
+    /// Lines that contain at least one token (code).
+    pub token_lines: BTreeSet<usize>,
+}
+
+impl Lexed {
+    /// True when the line holds comment text and no code.
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.comment_lines.contains(&line) && !self.token_lines.contains(&line)
+    }
+
+    /// All comment text that starts on `line`, concatenated.
+    pub fn comment_text_on(&self, line: usize) -> String {
+        self.comments
+            .iter()
+            .filter(|c| c.line == line)
+            .map(|c| c.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Operators lexed as a single multi-character token, longest first.
+const COMPOUND: &[&str] = &[
+    "..=", "::", "..", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=",
+];
+
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {{
+            out.token_lines.insert($line);
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (including doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            out.comment_lines.insert(line);
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    out.comment_lines.insert(line);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(chars.len())].iter().collect(),
+            });
+            for l in start_line..=line {
+                out.comment_lines.insert(l);
+            }
+            continue;
+        }
+        // Raw string, possibly with a b prefix: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')))
+            && is_raw_string_start(&chars, i)
+        {
+            let start_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // Skip the opening quote.
+            j += 1;
+            loop {
+                match chars.get(j) {
+                    None => break,
+                    Some('\n') => {
+                        line += 1;
+                        j += 1;
+                    }
+                    Some('"') => {
+                        let mut k = 0usize;
+                        while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            push_tok!(TokenKind::Literal, "\"raw\"".to_string(), start_line);
+            i = j;
+            continue;
+        }
+        // Ordinary (possibly byte) string.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let start_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            push_tok!(TokenKind::Literal, "\"str\"".to_string(), start_line);
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            if next == Some('\\') {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                push_tok!(TokenKind::Literal, "'c'".to_string(), line);
+                i = j + 1;
+                continue;
+            }
+            if next.is_some_and(|n| n.is_alphanumeric() || n == '_') {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    // 'a'
+                    push_tok!(TokenKind::Literal, "'c'".to_string(), line);
+                    i = j + 1;
+                } else {
+                    // 'a lifetime (or 'static)
+                    let text: String = chars[i..j].iter().collect();
+                    push_tok!(TokenKind::Lifetime, text, line);
+                    i = j;
+                }
+                continue;
+            }
+            // Bare quote (macro edge case): treat as punct.
+            push_tok!(TokenKind::Punct, "'".to_string(), line);
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword (including r# raw identifiers).
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            push_tok!(TokenKind::Ident, text, line);
+            i = j;
+            continue;
+        }
+        // Number literal: 0x1F, 1_000, 1.5, 1.5e3 (exponent sign splits; fine).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                j += 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            let text: String = chars[i..j].iter().collect();
+            push_tok!(TokenKind::Literal, text, line);
+            i = j;
+            continue;
+        }
+        // Compound operator, longest match first.
+        let mut matched = false;
+        for op in COMPOUND {
+            let len = op.chars().count();
+            if chars[i..].starts_with(&op.chars().collect::<Vec<_>>()[..])
+                && chars[i..].len() >= len
+            {
+                push_tok!(TokenKind::Punct, (*op).to_string(), line);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        push_tok!(TokenKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+/// `r` / `br` followed by zero or more `#` then `"` starts a raw string;
+/// anything else (e.g. the identifier `rank`) does not.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i + if chars[i] == 'b' { 2 } else { 1 };
+    if chars[i] == 'b' && chars.get(i + 1) != Some(&'r') {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text == "'c'")
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("// unwrap() in a comment\nlet x = 1; /* expect( */\n");
+        assert!(!l.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(l.is_comment_only(1));
+        assert!(!l.is_comment_only(2));
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = texts(r#"let s = "call unwrap() now";"#);
+        assert!(!toks.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let l = lex("let s = r#\"has \"quotes\" inside\"#; /* a /* nested */ ok */ let y = 2;");
+        assert!(l.tokens.iter().any(|t| t.text == "y"));
+        assert!(!l.tokens.iter().any(|t| t.text == "nested"));
+    }
+
+    #[test]
+    fn compound_operators_lex_as_one_token() {
+        let toks = texts("if a != b { c[..n] } else { Foo::bar() }");
+        assert!(toks.contains(&"!=".to_string()));
+        assert!(toks.contains(&"..".to_string()));
+        assert!(toks.contains(&"::".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<usize> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,46 @@
+//! CI gate: run the invariant pass over the workspace and fail on any
+//! unsuppressed finding.
+//!
+//! ```text
+//! cargo run -p piano-lint --release [--root <path>]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: piano-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("piano-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = piano_lint::run(&root);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,461 @@
+//! Item extraction and the over-approximating call graph.
+//!
+//! A single brace-depth walk over the token stream recovers what the rules
+//! need: every `fn` (with its impl-type qualifier, body token range, and
+//! whether it is test-only code), the attribute lines, and per-function call
+//! lists. Calls are resolved by *name*: a qualified call `Type::name(..)`
+//! matches exactly; an unqualified or method call `name(..)` matches every
+//! function with that name in the scanned set. That over-approximation is
+//! deliberate — reachability errs toward scanning more, never less.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Keywords that look like call targets but never are.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "mut", "ref",
+    "move", "unsafe", "impl", "where", "pub", "use", "mod", "struct", "enum", "trait", "type",
+    "const", "static", "crate", "super", "dyn", "break", "continue", "async", "await", "true",
+    "false",
+];
+
+pub fn is_keyword(text: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&text)
+}
+
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// `Some("Type")` for `Type::name(..)`; `None` for `name(..)` / `.name(..)`.
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+#[derive(Debug)]
+pub struct Function {
+    /// `Type::name` when defined in an `impl Type` block, else `name`.
+    pub key: String,
+    pub name: String,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    pub start_line: usize,
+    pub end_line: usize,
+    /// Token index range of the body, `[start, end)`, braces included.
+    pub body: (usize, usize),
+    /// `#[test]`, `#[cfg(test)]`, or inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+    pub calls: Vec<Call>,
+}
+
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with `/` separators.
+    pub rel_path: String,
+    pub lexed: Lexed,
+    /// Lines occupied by `#[...]` / `#![...]` attributes.
+    pub attr_lines: BTreeSet<usize>,
+    /// Token index ranges `[start, end)` of whole `#[cfg(test)]` modules.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub functions: Vec<Function>,
+}
+
+impl Workspace {
+    pub fn add_file(&mut self, rel_path: String, lexed: Lexed) {
+        let file_idx = self.files.len();
+        let mut attr_lines = BTreeSet::new();
+        let mut test_ranges = Vec::new();
+        extract_items(
+            &lexed,
+            file_idx,
+            &mut self.functions,
+            &mut attr_lines,
+            &mut test_ranges,
+        );
+        self.files.push(SourceFile {
+            rel_path,
+            lexed,
+            attr_lines,
+            test_ranges,
+        });
+    }
+
+    pub fn file_of(&self, f: &Function) -> &SourceFile {
+        &self.files[f.file]
+    }
+
+    /// Indices of functions reachable from `roots` (given as
+    /// `(TypeQualifier, name)` pairs), following calls by name.
+    pub fn reachable_from(&self, roots: &[(&str, &str)]) -> BTreeSet<usize> {
+        let mut by_plain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_key: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in self.functions.iter().enumerate() {
+            by_plain.entry(f.name.as_str()).or_default().push(i);
+            by_key.entry(f.key.as_str()).or_default().push(i);
+        }
+
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (ty, name) in roots {
+            let key = format!("{ty}::{name}");
+            let hits = by_key
+                .get(key.as_str())
+                .cloned()
+                .unwrap_or_else(|| by_plain.get(*name).cloned().unwrap_or_default());
+            for i in hits {
+                if seen.insert(i) {
+                    queue.push_back(i);
+                }
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            // Snapshot the call list; self.functions is not mutated here.
+            for c in &self.functions[i].calls {
+                let plain = || by_plain.get(c.name.as_str()).cloned().unwrap_or_default();
+                let targets: Vec<usize> = match &c.qualifier {
+                    // `Self::x(..)` cannot be resolved without type context;
+                    // fall back to matching every `x`.
+                    Some(q) if q != "Self" => {
+                        let key = format!("{q}::{}", c.name);
+                        match by_key.get(key.as_str()) {
+                            Some(v) => v.clone(),
+                            // Unknown CamelCase qualifier: an external type
+                            // (VecDeque, Duration, ...) — a trusted boundary,
+                            // not a scanned function. Lowercase qualifiers
+                            // are module paths; resolve those by name.
+                            None if q.starts_with(|ch: char| ch.is_uppercase()) => Vec::new(),
+                            None => plain(),
+                        }
+                    }
+                    _ => plain(),
+                };
+                for t in targets {
+                    if seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// One pass over the tokens: track brace depth, impl blocks, `#[cfg(test)]`
+/// modules, and attributes pending for the next item; record every `fn`.
+fn extract_items(
+    lexed: &Lexed,
+    file_idx: usize,
+    out: &mut Vec<Function>,
+    attr_lines: &mut BTreeSet<usize>,
+    test_ranges: &mut Vec<(usize, usize)>,
+) {
+    let t = &lexed.tokens;
+    let mut depth: i32 = 0;
+    // (items_depth, type_name): an impl block whose items live at `items_depth`.
+    let mut impl_stack: Vec<(i32, String)> = Vec::new();
+    // Depths at which a #[cfg(test)] module's body opened.
+    let mut test_mod_stack: Vec<i32> = Vec::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+
+    while i < t.len() {
+        let tok = &t[i];
+        // Attribute: #[...] or #![...]. Record its lines, stash its text.
+        if tok.is("#") {
+            let bracket = if t.get(i + 1).is_some_and(|n| n.is("[")) {
+                Some(i + 1)
+            } else if t.get(i + 1).is_some_and(|n| n.is("!"))
+                && t.get(i + 2).is_some_and(|n| n.is("["))
+            {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = bracket {
+                let mut j = open;
+                let mut bdepth = 0i32;
+                let mut text = String::new();
+                while j < t.len() {
+                    if t[j].is("[") {
+                        bdepth += 1;
+                    } else if t[j].is("]") {
+                        bdepth -= 1;
+                        if bdepth == 0 {
+                            break;
+                        }
+                    }
+                    attr_lines.insert(t[j].line);
+                    text.push_str(&t[j].text);
+                    text.push(' ');
+                    j += 1;
+                }
+                if j < t.len() {
+                    attr_lines.insert(t[j].line);
+                }
+                attr_lines.insert(tok.line);
+                pending_attrs.push(text);
+                i = j + 1;
+                continue;
+            }
+        }
+        match tok.text.as_str() {
+            "{" => {
+                depth += 1;
+                pending_attrs.clear();
+            }
+            "}" => {
+                depth -= 1;
+                impl_stack.retain(|(d, _)| *d <= depth);
+                test_mod_stack.retain(|d| *d <= depth);
+                pending_attrs.clear();
+            }
+            ";" => pending_attrs.clear(),
+            "impl" if tok.kind == TokenKind::Ident => {
+                if let Some((ty, body_open)) = parse_impl_header(t, i) {
+                    impl_stack.push((depth + 1, ty));
+                    i = body_open; // lands on '{'; loop handles depth.
+                    continue;
+                }
+            }
+            "mod" if tok.kind == TokenKind::Ident => {
+                let is_test_mod = pending_attrs.iter().any(|a| a.contains("test"));
+                // `mod name {` — find whether a body opens.
+                if t.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident)
+                    && t.get(i + 2).is_some_and(|n| n.is("{"))
+                    && is_test_mod
+                {
+                    test_mod_stack.push(depth + 1);
+                    // Record the whole module's token span so rules can skip
+                    // even non-function test items (use statements, consts).
+                    let open = i + 2;
+                    let mut bdepth = 0i32;
+                    for (k, btok) in t.iter().enumerate().skip(open) {
+                        if btok.is("{") {
+                            bdepth += 1;
+                        } else if btok.is("}") {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                test_ranges.push((open, k + 1));
+                                break;
+                            }
+                        }
+                    }
+                }
+                pending_attrs.clear();
+            }
+            "fn" if tok.kind == TokenKind::Ident => {
+                if let Some(f) = parse_fn(
+                    t,
+                    i,
+                    file_idx,
+                    depth,
+                    &impl_stack,
+                    !test_mod_stack.is_empty() || pending_attrs.iter().any(|a| a.contains("test")),
+                ) {
+                    out.push(f);
+                }
+                pending_attrs.clear();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// From the `impl` token, recover the implemented type name and the index of
+/// the `{` that opens the block. The type is the first identifier after
+/// `for` (trait impls) — or after `impl` (inherent impls) — at angle-bracket
+/// depth zero.
+fn parse_impl_header(t: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut ty: Option<String> = None;
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is("{") && angle <= 0 {
+            return ty.map(|ty| (ty, j));
+        }
+        if tok.is(";") {
+            return None;
+        }
+        if tok.is("<") {
+            angle += 1;
+        } else if tok.is(">") || tok.is(">>") {
+            angle -= 1;
+        } else if tok.is("for") && angle == 0 {
+            after_for = true;
+            ty = None; // the trait name was captured; the type follows.
+        } else if tok.kind == TokenKind::Ident && angle == 0 && !is_keyword(&tok.text) {
+            // Keep the *last* path segment before `<`/`{`: `wire::Message`.
+            let keep = ty.is_none() || t.get(j - 1).is_some_and(|p| p.is("::")) || after_for;
+            if keep {
+                ty = Some(tok.text.clone());
+                after_for = false;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From the `fn` token, record the function: name, qualifier from the
+/// innermost impl whose items live at this depth, body token range (functions
+/// without bodies — trait methods, extern decls — are skipped).
+fn parse_fn(
+    t: &[Token],
+    fn_idx: usize,
+    file_idx: usize,
+    depth: i32,
+    impl_stack: &[(i32, String)],
+    is_test: bool,
+) -> Option<Function> {
+    let name_tok = t.get(fn_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Find the body `{`, skipping the signature (parens, generics, where
+    // clauses). Parens/brackets nest; the first `{` outside them is the body.
+    let mut j = fn_idx + 2;
+    let mut paren = 0i32;
+    let mut body_open = None;
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is("(") || tok.is("[") {
+            paren += 1;
+        } else if tok.is(")") || tok.is("]") {
+            paren -= 1;
+        } else if tok.is("{") && paren == 0 {
+            body_open = Some(j);
+            break;
+        } else if tok.is(";") && paren == 0 {
+            return None; // declaration without a body
+        }
+        j += 1;
+    }
+    let open = body_open?;
+    // Match braces to find the body end.
+    let mut bdepth = 0i32;
+    let mut close = open;
+    for (k, tok) in t.iter().enumerate().skip(open) {
+        if tok.is("{") {
+            bdepth += 1;
+        } else if tok.is("}") {
+            bdepth -= 1;
+            if bdepth == 0 {
+                close = k;
+                break;
+            }
+        }
+    }
+    let qualifier = impl_stack
+        .iter()
+        .rev()
+        .find(|(d, _)| *d == depth)
+        .map(|(_, ty)| ty.clone());
+    let key = match &qualifier {
+        Some(ty) => format!("{ty}::{name}"),
+        None => name.clone(),
+    };
+    let calls = extract_calls(t, open, close + 1);
+    Some(Function {
+        key,
+        name,
+        file: file_idx,
+        start_line: t[fn_idx].line,
+        end_line: t[close].line,
+        body: (open, close + 1),
+        is_test,
+        calls,
+    })
+}
+
+/// Collect call targets inside a body token range.
+fn extract_calls(t: &[Token], start: usize, end: usize) -> Vec<Call> {
+    let mut calls = Vec::new();
+    for j in start..end.min(t.len()) {
+        let tok = &t[j];
+        if tok.kind != TokenKind::Ident || is_keyword(&tok.text) {
+            continue;
+        }
+        // Skip nested `fn name` definitions — the name is not a call.
+        if j > 0 && t[j - 1].is("fn") {
+            continue;
+        }
+        let next = match t.get(j + 1) {
+            Some(n) => n,
+            None => continue,
+        };
+        if next.is("(") {
+            let qualifier = if j >= 1 && t[j - 1].is(".") {
+                None // method call — matched by plain name
+            } else if j >= 2 && t[j - 1].is("::") && t[j - 2].kind == TokenKind::Ident {
+                Some(t[j - 2].text.clone())
+            } else {
+                None
+            };
+            calls.push(Call {
+                qualifier,
+                name: tok.text.clone(),
+            });
+        }
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ws(src: &str) -> Workspace {
+        let mut w = Workspace::default();
+        w.add_file("test.rs".into(), lex(src));
+        w
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_keys() {
+        let w = ws("impl Message { fn decode(&self) { helper(); } }\nfn helper() {}");
+        let keys: Vec<&str> = w.functions.iter().map(|f| f.key.as_str()).collect();
+        assert_eq!(keys, vec!["Message::decode", "helper"]);
+    }
+
+    #[test]
+    fn trait_impls_qualify_by_the_implemented_type() {
+        let w = ws("impl Display for Frame { fn fmt(&self) {} }");
+        assert_eq!(w.functions[0].key, "Frame::fmt");
+    }
+
+    #[test]
+    fn cfg_test_modules_mark_their_functions() {
+        let w =
+            ws("fn real() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn t() {}\n}");
+        let flags: Vec<bool> = w.functions.iter().map(|f| f.is_test).collect();
+        assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn reachability_follows_qualified_and_plain_calls() {
+        let w = ws("impl Message { fn decode(&self) { self.read_u16(); } }\n\
+             impl Message { fn read_u16(&self) { leaf(); } }\n\
+             fn leaf() {}\n\
+             fn unrelated() {}");
+        let reach = w.reachable_from(&[("Message", "decode")]);
+        let names: Vec<&str> = reach
+            .iter()
+            .map(|&i| w.functions[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["decode", "read_u16", "leaf"]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_base_type() {
+        let w = ws("impl<T: Clone> Holder<T> { fn get(&self) {} }");
+        assert_eq!(w.functions[0].key, "Holder::get");
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixture corpus: one positive and one negative case per rule, with exact
+//! finding counts, plus the allow escape hatch (suppression + inventory)
+//! and a self-test that the real workspace is clean.
+
+use piano_lint::{rules, run, Report, ALLOW_SYNTAX};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    run(&root)
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn dsp_positive_flags_f32_fma_float_eq_and_bare_unsafe() {
+    let report = fixture("dsp_bad");
+    assert_eq!(
+        rules_of(&report),
+        vec![rules::DSP_BIT_EXACT; 5],
+        "{}",
+        report.render()
+    );
+    let messages: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("f32"));
+    assert!(messages.contains("mul_add"));
+    assert!(messages.contains("to_bits"));
+    assert!(messages.contains("SAFETY"));
+}
+
+#[test]
+fn dsp_negative_is_clean_including_justified_unsafe() {
+    let report = fixture("dsp_ok");
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.allows.is_empty());
+}
+
+#[test]
+fn wire_positive_flags_only_the_reachable_function() {
+    let report = fixture("wire_bad");
+    assert_eq!(
+        rules_of(&report),
+        vec![rules::WIRE_NO_PANIC; 3],
+        "{}",
+        report.render()
+    );
+    // All three findings are in handle_feed; the unwrap in the unreachable
+    // maintenance_sweep is out of the taint scope.
+    for f in &report.findings {
+        assert!(f.message.contains("handle_feed"), "{}", f.message);
+    }
+}
+
+#[test]
+fn wire_negative_is_clean_with_guarded_indexing() {
+    let report = fixture("wire_ok");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn lock_positive_flags_inversion_and_io_under_guard() {
+    let report = fixture("lock_bad");
+    assert_eq!(
+        rules_of(&report),
+        vec![rules::LOCK_DISCIPLINE; 2],
+        "{}",
+        report.render()
+    );
+    assert!(report.findings[0].message.contains("rank"));
+    assert!(report.findings[1].message.contains("write_all"));
+}
+
+#[test]
+fn lock_negative_accepts_ascending_order_and_temporaries() {
+    let report = fixture("lock_ok");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn determinism_positive_flags_clock_and_hash_idents() {
+    let report = fixture("det_bad");
+    assert_eq!(
+        rules_of(&report),
+        vec![rules::DECISION_DETERMINISM; 4],
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn determinism_negative_accepts_btree_decision_code() {
+    let report = fixture("det_ok");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn allows_suppress_inventory_and_reject_missing_reasons() {
+    let report = fixture("allow_case");
+    // One malformed annotation (no reason) plus two bare unwraps fail the
+    // gate; the valid annotation suppresses its unwrap and is inventoried.
+    let mut found = rules_of(&report);
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        vec![ALLOW_SYNTAX, rules::WIRE_NO_PANIC, rules::WIRE_NO_PANIC],
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 1);
+    assert_eq!(report.allows[0].rule, rules::WIRE_NO_PANIC);
+    let rendered = report.render();
+    assert!(rendered.contains("allow inventory"));
+    assert!(rendered.contains("fixture: invariant documented elsewhere"));
+}
+
+#[test]
+fn the_real_workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .expect("workspace root");
+    let report = run(&root);
+    assert!(report.is_clean(), "{}", report.render());
+    // Every allow in the tree must pull its weight: an unused annotation is
+    // stale documentation and should be deleted, not inventoried forever.
+    for a in &report.allows {
+        assert!(
+            a.used > 0,
+            "unused allow at {}:{} ({})",
+            a.file,
+            a.line,
+            a.rule
+        );
+    }
+}

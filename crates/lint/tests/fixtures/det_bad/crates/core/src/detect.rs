@@ -1,0 +1,9 @@
+//! Fixture: nondeterminism in decision code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn decide(scores: &HashMap<u64, f64>) -> u64 {
+    let _started = Instant::now();
+    scores.keys().copied().next().unwrap_or(0)
+}

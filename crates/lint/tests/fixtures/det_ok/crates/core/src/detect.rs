@@ -1,0 +1,7 @@
+//! Fixture: the same decision written deterministically.
+
+use std::collections::BTreeMap;
+
+pub fn decide(scores: &BTreeMap<u64, f64>) -> u64 {
+    scores.keys().copied().next().unwrap_or(0)
+}

@@ -1,0 +1,23 @@
+//! Fixture: every way a kernel can break the bit-exactness contract.
+
+pub fn kernel(a: &mut [f64], best: f64) {
+    let narrowed: f32 = 0.5;
+    let fused = a[0].mul_add(2.0, narrowed as f64);
+    if best == 1.5 {
+        a[0] = fused;
+    }
+    unsafe {
+        raw_kernel(a);
+    }
+}
+
+unsafe fn raw_kernel(_a: &mut [f64]) {}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is exempt: this f32 must not be flagged.
+    #[test]
+    fn test_helper() {
+        let _x: f32 = 1.0;
+    }
+}

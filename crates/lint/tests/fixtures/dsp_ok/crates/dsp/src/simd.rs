@@ -1,0 +1,19 @@
+//! Fixture: the same kernel written within the contract.
+
+pub fn kernel(a: &mut [f64], best: f64) {
+    let scale: f64 = 0.5;
+    let expanded = a[0] * 2.0 + scale;
+    if best.to_bits() == 1.5f64.to_bits() {
+        a[0] = expanded;
+    }
+    // SAFETY: the backend was runtime-detected and `a` is non-empty by the
+    // dispatch precondition asserted by the caller.
+    unsafe {
+        raw_kernel(a);
+    }
+}
+
+/// # Safety
+///
+/// Caller must have verified the required target features at runtime.
+unsafe fn raw_kernel(_a: &mut [f64]) {}

@@ -1,0 +1,13 @@
+//! Fixture: lock-order inversion plus blocking I/O under a guard.
+
+pub struct ServerLoop;
+
+impl ServerLoop {
+    fn scan_and_reply(&self, sh: &Shared, t: &mut Conn) {
+        let service = sh.service.lock();
+        let progress = sh.progress.lock();
+        t.write_all(b"decision");
+        drop(progress);
+        drop(service);
+    }
+}

@@ -309,13 +309,16 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 if n >= left {
                     // Deliver the prefix up to the cut — truncating
                     // whatever frame it lands inside — then die.
-                    let inner = self.inner.as_mut().expect("checked above");
-                    let _ = inner.write_all(&rest[..left]);
-                    self.write_bytes += left as u64;
+                    if let Some(inner) = self.inner.as_mut() {
+                        let _ = inner.write_all(&rest[..left]);
+                        self.write_bytes += left as u64;
+                    }
                     return Err(self.sever());
                 }
             }
-            let inner = self.inner.as_mut().expect("checked above");
+            let Some(inner) = self.inner.as_mut() else {
+                return Err(self.sever());
+            };
             inner.write_all(&rest[..n])?;
             self.write_bytes += n as u64;
             rest = &rest[n..];
@@ -339,7 +342,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 return Ok(0);
             }
         };
-        let inner = self.inner.as_mut().expect("checked above");
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(0);
+        };
         let n = inner.read_some(&mut buf[..len])?;
         self.read_bytes += n as u64;
         Ok(n)
@@ -356,7 +361,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 return Ok(0);
             }
         };
-        let inner = self.inner.as_mut().expect("checked above");
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(0);
+        };
         let n = inner.try_read(&mut buf[..len])?;
         self.read_bytes += n as u64;
         Ok(n)
@@ -388,7 +395,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 return Ok(0);
             }
         };
-        let inner = self.inner.as_mut().expect("checked above");
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(0);
+        };
         let n = inner.read_timeout(&mut buf[..len], budget)?;
         self.read_bytes += n as u64;
         Ok(n)

@@ -69,6 +69,7 @@ pub(crate) fn read_frame_deadline<T: Transport>(
                     PianoError::Transport(format!("connection closed during {what}")),
                 ))
             }
+            // piano-lint: allow(wire-no-panic, reason = "Transport::read_timeout returns n <= buf.len() by contract, so the prefix slice is in bounds")
             Ok(n) => reader.push(&buf[..n]),
             Err(e) if e.kind() == io::ErrorKind::TimedOut => {
                 return Err((

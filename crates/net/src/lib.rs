@@ -56,6 +56,8 @@
 //! `Resume`/`ResumeAck` delivers a sample stream byte-identical to the
 //! unbroken run (`tests/fault_injection.rs`).
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod codec;
 pub mod fault;

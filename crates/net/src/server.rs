@@ -68,7 +68,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,6 +79,7 @@ use piano_core::piano::{AuthDecision, DenialReason};
 use piano_core::stream::{
     AuthService, AuthSession, DropCause, DropCounts, ServiceStats, SessionId,
 };
+use piano_core::sync::OrderedMutex;
 use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
 
 use crate::codec;
@@ -284,18 +285,31 @@ fn audio_samples(msg: &Message) -> usize {
     }
 }
 
+/// The server's shared state, all locks ranked for
+/// [`OrderedMutex`]'s debug-build order checker. The documented order is
+/// `progress → service → rng` (ascending rank); `suspended` and `ids` are
+/// leaf locks — nothing is acquired under them.
 #[derive(Debug)]
 struct Shared {
-    service: Mutex<AuthService>,
-    rng: Mutex<ChaCha8Rng>,
+    service: OrderedMutex<AuthService>,
+    rng: OrderedMutex<ChaCha8Rng>,
     cfg: ServerConfig,
     counters: Counters,
-    progress: Mutex<Progress>,
+    progress: OrderedMutex<Progress>,
     progress_cv: Condvar,
-    ids: Mutex<Vec<SessionId>>,
+    ids: OrderedMutex<Vec<SessionId>>,
     /// Resume registry: wire session id → parked feed, while
     /// [`ServerConfig::resume_window`] lasts.
-    suspended: Mutex<HashMap<u64, Suspended>>,
+    suspended: OrderedMutex<HashMap<u64, Suspended>>,
+}
+
+/// Lock ranks of the [`Shared`] mutexes: acquisition must ascend.
+mod rank {
+    pub(super) const PROGRESS: u32 = 10;
+    pub(super) const SERVICE: u32 = 20;
+    pub(super) const RNG: u32 = 30;
+    pub(super) const SUSPENDED: u32 = 40;
+    pub(super) const IDS: u32 = 50;
 }
 
 /// The thread-per-connection ingest server over one shared
@@ -313,14 +327,14 @@ impl ServerLoop {
     pub fn new(service: AuthService, rng: ChaCha8Rng, cfg: ServerConfig) -> Self {
         ServerLoop {
             shared: Arc::new(Shared {
-                service: Mutex::new(service),
-                rng: Mutex::new(rng),
+                service: OrderedMutex::new(rank::SERVICE, "server.service", service),
+                rng: OrderedMutex::new(rank::RNG, "server.rng", rng),
                 cfg,
                 counters: Counters::default(),
-                progress: Mutex::new(Progress::default()),
+                progress: OrderedMutex::new(rank::PROGRESS, "server.progress", Progress::default()),
                 progress_cv: Condvar::new(),
-                ids: Mutex::new(Vec::new()),
-                suspended: Mutex::new(HashMap::new()),
+                ids: OrderedMutex::new(rank::IDS, "server.ids", Vec::new()),
+                suspended: OrderedMutex::new(rank::SUSPENDED, "server.suspended", HashMap::new()),
             }),
         }
     }
@@ -329,14 +343,14 @@ impl ServerLoop {
     /// lookups, scheduler epilogues). Keep the closure short — every
     /// connection thread contends on this lock.
     pub fn with_service<R>(&self, f: impl FnOnce(&mut AuthService) -> R) -> R {
-        f(&mut self.shared.service.lock().expect("service lock"))
+        f(&mut self.shared.service.lock())
     }
 
     /// Session ids opened by connections so far, in opening order
     /// (ascending — the service assigns ids sequentially, so sorting
     /// restores opening order even when handshakes raced).
     pub fn session_ids(&self) -> Vec<SessionId> {
-        let mut ids = self.shared.ids.lock().expect("ids lock").clone();
+        let mut ids = self.shared.ids.lock().clone();
         ids.sort();
         ids
     }
@@ -396,7 +410,7 @@ impl ServerLoop {
                     // Count the drop where wait_for_reports can see it, so
                     // a host waiting on this feed's report unblocks instead
                     // of hanging forever.
-                    let mut progress = self.shared.progress.lock().expect("progress lock");
+                    let mut progress = self.shared.progress.lock();
                     progress.dropped += 1;
                     self.shared.progress_cv.notify_all();
                 }
@@ -412,16 +426,16 @@ impl ServerLoop {
     /// [`scan_and_decide`](Self::scan_and_decide), so the check cannot
     /// race the scan start.
     fn close_if_not_scanning(&self, id: SessionId) {
-        let progress = self.shared.progress.lock().expect("progress lock");
+        let progress = self.shared.progress.lock();
         if !progress.scan_started {
-            let mut service = self.shared.service.lock().expect("service lock");
+            let mut service = self.shared.service.lock();
             let _ = service.close_session(id);
         }
     }
 
     /// Decrements the active-feed population (attach's inverse).
     fn dec_active(&self) {
-        let mut progress = self.shared.progress.lock().expect("progress lock");
+        let mut progress = self.shared.progress.lock();
         progress.active = progress.active.saturating_sub(1);
     }
 
@@ -448,7 +462,7 @@ impl ServerLoop {
                 // with a retry hint while the streaming population is at
                 // the limit.
                 {
-                    let progress = sh.progress.lock().expect("progress lock");
+                    let progress = sh.progress.lock();
                     if progress.active >= sh.cfg.max_active_feeds {
                         drop(progress);
                         sh.counters.connections_shed.fetch_add(1, Ordering::Relaxed);
@@ -463,15 +477,28 @@ impl ServerLoop {
                 }
                 let codec = WireCodec::negotiate(&codecs, &sh.cfg.supported_codecs);
                 let (id, challenge, detector) = {
-                    let mut service = sh.service.lock().expect("service lock");
-                    let mut rng = sh.rng.lock().expect("rng lock");
+                    let mut service = sh.service.lock();
+                    let mut rng = sh.rng.lock();
                     let id = service.open_session(false, &mut rng);
-                    let challenge = service.poll_transmit(id).expect("challenge queued");
-                    (id, challenge, Arc::clone(service.detector()))
+                    // A freshly opened session always queues its Step II
+                    // challenge; treat a missing one as a protocol-layer
+                    // failure rather than a server panic.
+                    match service.poll_transmit(id) {
+                        Some(challenge) => (id, challenge, Arc::clone(service.detector())),
+                        None => {
+                            let _ = service.close_session(id);
+                            return Err(ConnError {
+                                id: None,
+                                cause: DropCause::Protocol,
+                                err: PianoError::Wire("opened session queued no challenge".into()),
+                                waived: false,
+                            });
+                        }
+                    }
                 };
-                sh.ids.lock().expect("ids lock").push(id);
+                sh.ids.lock().push(id);
                 {
-                    let mut progress = sh.progress.lock().expect("progress lock");
+                    let mut progress = sh.progress.lock();
                     progress.active += 1;
                 }
                 // From the attach point on, every pre-report exit must
@@ -545,12 +572,7 @@ impl ServerLoop {
         let sh = &*self.shared;
         let entry = loop {
             self.expire_suspended(Instant::now());
-            if let Some(e) = sh
-                .suspended
-                .lock()
-                .expect("suspended lock")
-                .remove(&wire_session)
-            {
+            if let Some(e) = sh.suspended.lock().remove(&wire_session) {
                 break e;
             }
             if Instant::now() >= hs_deadline {
@@ -572,7 +594,7 @@ impl ServerLoop {
         match entry.state {
             SuspendedState::Streaming(mut state) => {
                 {
-                    let mut progress = sh.progress.lock().expect("progress lock");
+                    let mut progress = sh.progress.lock();
                     progress.active += 1;
                 }
                 // Flow-control replies queued for the dead transport are
@@ -626,7 +648,6 @@ impl ServerLoop {
         self.shared
             .suspended
             .lock()
-            .expect("suspended lock")
             .insert(wire_session, Suspended { state, expires });
         self.shared.progress_cv.notify_all();
     }
@@ -663,7 +684,7 @@ impl ServerLoop {
     /// forgotten silently — their feed already reported and decided.
     fn expire_suspended(&self, now: Instant) {
         let expired: Vec<Suspended> = {
-            let mut map = self.shared.suspended.lock().expect("suspended lock");
+            let mut map = self.shared.suspended.lock();
             if map.is_empty() {
                 return;
             }
@@ -672,10 +693,7 @@ impl ServerLoop {
                 .filter(|(_, s)| s.expires <= now)
                 .map(|(&k, _)| k)
                 .collect();
-            lapsed
-                .into_iter()
-                .map(|k| map.remove(&k).expect("lapsed key present"))
-                .collect()
+            lapsed.into_iter().filter_map(|k| map.remove(&k)).collect()
         };
         for s in expired {
             match s.state {
@@ -687,7 +705,7 @@ impl ServerLoop {
                         DropCause::ResumeExpired,
                     );
                     self.close_if_not_scanning(state.id);
-                    let mut progress = self.shared.progress.lock().expect("progress lock");
+                    let mut progress = self.shared.progress.lock();
                     progress.dropped += 1;
                     self.shared.progress_cv.notify_all();
                 }
@@ -736,12 +754,7 @@ impl ServerLoop {
                 });
             }
         };
-        if let Err(e) = sh
-            .service
-            .lock()
-            .expect("service lock")
-            .handle_message(state.id, report)
-        {
+        if let Err(e) = sh.service.lock().handle_message(state.id, report) {
             self.dec_active();
             return Err(ConnError {
                 id: Some(state.id),
@@ -751,7 +764,7 @@ impl ServerLoop {
             });
         }
         {
-            let mut progress = sh.progress.lock().expect("progress lock");
+            let mut progress = sh.progress.lock();
             progress.reports += 1;
             progress.active = progress.active.saturating_sub(1);
             sh.progress_cv.notify_all();
@@ -896,7 +909,7 @@ impl ServerLoop {
         // Progress::reports, so adding it to Progress::dropped would make
         // the wait see one feed twice.
         {
-            let mut progress = sh.progress.lock().expect("progress lock");
+            let mut progress = sh.progress.lock();
             while !progress.scan_done {
                 let now = Instant::now();
                 if now >= deadline {
@@ -909,17 +922,13 @@ impl ServerLoop {
                         waived: true,
                     });
                 }
-                let (guard, _) = sh
-                    .progress_cv
-                    .wait_timeout(progress, deadline - now)
-                    .expect("progress lock");
+                let (guard, _) = progress.wait_timeout(&sh.progress_cv, deadline - now);
                 progress = guard;
             }
         }
         let decision = sh
             .service
             .lock()
-            .expect("service lock")
             .decision(id)
             .cloned()
             .unwrap_or(AuthDecision::Denied {
@@ -997,8 +1006,8 @@ impl ServerLoop {
         let sh = &*self.shared;
         loop {
             self.expire_suspended(Instant::now());
-            let suspensions = !sh.suspended.lock().expect("suspended lock").is_empty();
-            let progress = sh.progress.lock().expect("progress lock");
+            let suspensions = !sh.suspended.lock().is_empty();
+            let progress = sh.progress.lock();
             if progress.reports + progress.dropped >= n {
                 return Ok(progress.reports);
             }
@@ -1018,13 +1027,8 @@ impl ServerLoop {
                 (true, Some(d)) => Some(SUSPEND_TICK.min(d - now)),
             };
             match tick {
-                None => drop(sh.progress_cv.wait(progress).expect("progress lock")),
-                Some(wait) => drop(
-                    sh.progress_cv
-                        .wait_timeout(progress, wait)
-                        .expect("progress lock")
-                        .0,
-                ),
+                None => drop(progress.wait(&sh.progress_cv)),
+                Some(wait) => drop(progress.wait_timeout(&sh.progress_cv, wait).0),
             }
         }
     }
@@ -1037,8 +1041,8 @@ impl ServerLoop {
         let decided;
         {
             // progress → service, the crate-wide lock order.
-            let mut progress = self.shared.progress.lock().expect("progress lock");
-            let mut service = self.shared.service.lock().expect("service lock");
+            let mut progress = self.shared.progress.lock();
+            let mut service = self.shared.service.lock();
             progress.scan_started = true;
             drop(progress);
             for chunk in hub_audio.chunks(tick.max(1)) {
@@ -1047,7 +1051,7 @@ impl ServerLoop {
             let _ = service.finish_audio();
             decided = service.sessions_decided();
         }
-        let mut progress = self.shared.progress.lock().expect("progress lock");
+        let mut progress = self.shared.progress.lock();
         progress.scan_done = true;
         self.shared.progress_cv.notify_all();
         drop(progress);

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A blocking, bidirectional byte stream between two endpoints.
@@ -67,8 +67,24 @@ struct Pipe {
 }
 
 impl Pipe {
+    /// Locks the queue state, recovering a poisoned lock: the byte queue
+    /// and close flag are consistent after every mutation, so a panic on
+    /// one endpoint's thread must not also break its peer's stream.
+    fn lock_state(&self) -> MutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Copies up to `buf.len()` queued bytes out of `s` into `buf`.
+    fn drain_into(s: &mut PipeState, buf: &mut [u8]) -> usize {
+        let n = buf.len().min(s.buf.len());
+        for (dst, src) in buf.iter_mut().zip(s.buf.drain(..n)) {
+            *dst = src;
+        }
+        n
+    }
+
     fn write(&self, bytes: &[u8]) -> io::Result<()> {
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.lock_state();
         if s.closed {
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
@@ -81,7 +97,7 @@ impl Pipe {
     }
 
     fn read(&self, buf: &mut [u8], block: bool) -> io::Result<usize> {
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.lock_state();
         while s.buf.is_empty() {
             if s.closed {
                 return Ok(0);
@@ -92,18 +108,17 @@ impl Pipe {
                     "no bytes pending",
                 ));
             }
-            s = self.readable.wait(s).expect("pipe lock");
+            s = self
+                .readable
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        let n = buf.len().min(s.buf.len());
-        for b in buf.iter_mut().take(n) {
-            *b = s.buf.pop_front().expect("n bytes buffered");
-        }
-        Ok(n)
+        Ok(Self::drain_into(&mut s, buf))
     }
 
     fn read_deadline(&self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
         let deadline = Instant::now() + timeout;
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.lock_state();
         while s.buf.is_empty() {
             if s.closed {
                 return Ok(0);
@@ -118,18 +133,14 @@ impl Pipe {
             let (guard, _) = self
                 .readable
                 .wait_timeout(s, deadline - now)
-                .expect("pipe lock");
+                .unwrap_or_else(PoisonError::into_inner);
             s = guard;
         }
-        let n = buf.len().min(s.buf.len());
-        for b in buf.iter_mut().take(n) {
-            *b = s.buf.pop_front().expect("n bytes buffered");
-        }
-        Ok(n)
+        Ok(Self::drain_into(&mut s, buf))
     }
 
     fn close(&self) {
-        let mut s = self.state.lock().expect("pipe lock");
+        let mut s = self.lock_state();
         s.closed = true;
         self.readable.notify_all();
     }

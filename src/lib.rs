@@ -48,6 +48,8 @@
 //! assert!(decision.is_granted());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use piano_acoustics as acoustics;
 pub use piano_attacks as attacks;
 pub use piano_baselines as baselines;
