@@ -314,6 +314,20 @@ struct NetIngest {
     /// Pre-codec (raw-equivalent) audio bytes ingested per second.
     raw_bytes_per_s: f64,
     all_granted: bool,
+    /// Wall-clock of the same fleet through the readiness reactor.
+    reactor_elapsed_s: f64,
+    /// Measured peak resident bytes per reactor connection (state +
+    /// frame-reader buffer + peak sample backlog).
+    per_conn_bytes_reactor: u64,
+    /// The thread-per-connection model's cost for the same connection:
+    /// identical state plus what each serving thread adds privately.
+    per_conn_bytes_threaded: u64,
+    /// Connections fitting in 1 GiB under each model, and the ratio —
+    /// the headline the reactor exists for.
+    conn_ceiling_reactor: u64,
+    conn_ceiling_threaded: u64,
+    conn_ceiling_ratio: f64,
+    reactor_all_granted: bool,
 }
 
 /// Streams `feeds` voucher recordings through a `piano-net` `ServerLoop`
@@ -369,6 +383,66 @@ fn measure_net_ingest(feeds: usize) -> NetIngest {
     }
     let elapsed_s = start.elapsed().as_secs_f64();
     let stats = server.stats();
+
+    // The same fleet through the readiness reactor: one event-loop
+    // thread, connection cost measured in bytes of state instead of an
+    // OS thread.
+    let (reactor_elapsed_s, per_conn_bytes_reactor, reactor_all_granted) = {
+        use piano_core::stream::ShardedAuthService;
+        use piano_net::fixtures::hub_recording_reactor;
+        use piano_net::ReactorServer;
+
+        let reactor = ReactorServer::new(
+            ShardedAuthService::new(PianoConfig::with_threshold(1.0), 1),
+            ChaCha8Rng::seed_from_u64(0xF1EE7),
+            ServerConfig::default(),
+        );
+        let loop_thread = reactor.start();
+        let (connector, mut listener) = memory_hub();
+        let start = std::time::Instant::now();
+        let mut handles = Vec::with_capacity(feeds);
+        for _ in 0..feeds {
+            let transport = connector.connect().expect("hub open");
+            let conn = listener.accept_conn().expect("accept");
+            reactor.register(conn);
+            handles
+                .push(FeedHandle::connect(transport, &[WireCodec::I16Delta]).expect("handshake"));
+        }
+        let clients: Vec<_> = handles
+            .into_iter()
+            .map(|mut feed| {
+                let action = action.clone();
+                std::thread::spawn(move || {
+                    let rec = feed_recording(feed.challenge(), &action);
+                    feed.send_recording(&rec, 1_024, 4).expect("stream");
+                    feed.finish().expect("stream end");
+                    feed.await_decision().expect("verdict")
+                })
+            })
+            .collect();
+        reactor.wait_for_reports(feeds);
+        let hub = hub_recording_reactor(&reactor);
+        reactor.scan_and_decide(&hub, 16_384);
+        let granted = clients
+            .into_iter()
+            .all(|t| matches!(t.join().expect("client"), AuthDecision::Granted { .. }));
+        let elapsed = start.elapsed().as_secs_f64();
+        reactor.shutdown();
+        loop_thread.join().expect("reactor thread");
+        (elapsed, reactor.peak_conn_bytes().max(1), granted)
+    };
+
+    // What the thread model spends on the same connection: the identical
+    // protocol state, plus a private 64 KiB read buffer and the 2 MiB
+    // default thread stack each `serve` thread brings.
+    const THREAD_STACK_BYTES: u64 = 2 * 1024 * 1024;
+    const PRIVATE_READ_BUF_BYTES: u64 = 64 * 1024;
+    let per_conn_bytes_threaded =
+        per_conn_bytes_reactor + PRIVATE_READ_BUF_BYTES + THREAD_STACK_BYTES;
+    const GIB: u64 = 1 << 30;
+    let conn_ceiling_reactor = GIB / per_conn_bytes_reactor;
+    let conn_ceiling_threaded = (GIB / per_conn_bytes_threaded).max(1);
+
     NetIngest {
         feeds,
         wire_audio_bytes: stats.wire_audio_bytes,
@@ -378,6 +452,13 @@ fn measure_net_ingest(feeds: usize) -> NetIngest {
         wire_bytes_per_s: stats.wire_audio_bytes as f64 / elapsed_s,
         raw_bytes_per_s: stats.raw_audio_bytes as f64 / elapsed_s,
         all_granted,
+        reactor_elapsed_s,
+        per_conn_bytes_reactor,
+        per_conn_bytes_threaded,
+        conn_ceiling_reactor,
+        conn_ceiling_threaded,
+        conn_ceiling_ratio: conn_ceiling_reactor as f64 / conn_ceiling_threaded as f64,
+        reactor_all_granted,
     }
 }
 
@@ -731,7 +812,14 @@ fn export_summary(
                  \"net_ingest\": {{\"feeds\": {}, \"wire_audio_bytes\": {}, \
                  \"raw_audio_bytes\": {}, \"compression_ratio\": {:.3}, \
                  \"elapsed_s\": {:.4}, \"wire_bytes_per_s\": {:.0}, \
-                 \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}}},\n  \
+                 \"raw_bytes_per_s\": {:.0}, \"all_granted\": {}, \
+                 \"reactor_elapsed_s\": {:.4}, \
+                 \"per_conn_bytes_reactor\": {}, \
+                 \"per_conn_bytes_threaded\": {}, \
+                 \"conn_ceiling_reactor\": {}, \
+                 \"conn_ceiling_threaded\": {}, \
+                 \"conn_ceiling_ratio\": {:.2}, \
+                 \"reactor_all_granted\": {}}},\n  \
                  \"fault_recovery\": {{\"feeds\": {}, \"cut_feeds\": {}, \
                  \"resumes\": {}, \"client_retries\": {}, \
                  \"resume_latency_ms\": {:.3}, \"elapsed_s\": {:.4}, \
@@ -752,6 +840,13 @@ fn export_summary(
                 net.wire_bytes_per_s,
                 net.raw_bytes_per_s,
                 net.all_granted,
+                net.reactor_elapsed_s,
+                net.per_conn_bytes_reactor,
+                net.per_conn_bytes_threaded,
+                net.conn_ceiling_reactor,
+                net.conn_ceiling_threaded,
+                net.conn_ceiling_ratio,
+                net.reactor_all_granted,
                 fault.feeds,
                 fault.cut_feeds,
                 fault.resumes,

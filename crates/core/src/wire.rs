@@ -1078,6 +1078,13 @@ impl FrameReader {
         self.consumed
     }
 
+    /// Capacity (in bytes) of the internal stream buffer — the reader's
+    /// actual heap footprint, which per-connection memory accounting
+    /// (e.g. the reactor bench) sums across live connections.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     /// Decodes the next complete message, or `Ok(None)` if more bytes are
     /// needed.
     ///

@@ -21,6 +21,7 @@ pub const WIRE_ROOTS: &[(&str, &str)] = &[
     ("AuthSession", "handle_message"),
     ("FrameReader", "next_frame"),
     ("ServerLoop", "serve"),
+    ("ReactorServer", "run"),
 ];
 
 /// The documented server lock order (see `crates/net/src/server.rs`):
@@ -63,7 +64,7 @@ fn determinism_scope(path: &str) -> bool {
 }
 
 fn lock_scope(path: &str) -> bool {
-    path == "crates/net/src/server.rs"
+    path == "crates/net/src/server.rs" || path == "crates/net/src/reactor.rs"
 }
 
 pub fn run_all(ws: &Workspace) -> Vec<Finding> {
@@ -241,7 +242,8 @@ fn wire_no_panic(ws: &Workspace, out: &mut Vec<Finding>) {
                         &format!(
                             "`.{}(..)` in `{}`, which is reachable from the wire \
                              (roots: Message::decode, AuthSession::handle_message, \
-                             FrameReader::next_frame, ServerLoop::serve)",
+                             FrameReader::next_frame, ServerLoop::serve, \
+                             ReactorServer::run)",
                             tok.text, f.key
                         ),
                     ));

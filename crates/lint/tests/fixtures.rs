@@ -61,6 +61,30 @@ fn wire_positive_flags_only_the_reachable_function() {
 }
 
 #[test]
+fn reactor_root_taints_helpers_and_lock_scope_covers_reactor() {
+    let report = fixture("reactor_bad");
+    let mut found = rules_of(&report);
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        vec![rules::LOCK_DISCIPLINE, rules::WIRE_NO_PANIC],
+        "{}",
+        report.render()
+    );
+    let messages: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        messages.contains("ReactorServer::drive") && messages.contains("ReactorServer::run"),
+        "{messages}"
+    );
+    assert!(messages.contains("write_all"), "{messages}");
+}
+
+#[test]
 fn wire_negative_is_clean_with_guarded_indexing() {
     let report = fixture("wire_ok");
     assert!(report.is_clean(), "{}", report.render());

@@ -1,0 +1,24 @@
+//! Fixture: the reactor entry point taints its helpers (wire-no-panic)
+//! and `reactor.rs` is inside the lock-discipline scope.
+
+pub struct ReactorServer;
+
+impl ReactorServer {
+    pub fn run(&self) {
+        self.drive(3);
+        self.publish();
+    }
+
+    fn drive(&self, n: usize) {
+        let v: Vec<u8> = Vec::new();
+        let first = v.first().unwrap();
+        let _ = n + *first as usize;
+    }
+
+    /// Transport I/O while a reactor lock guard is live.
+    fn publish(&self) {
+        let guard = self.progress.lock();
+        self.t.write_all(&[0]);
+        drop(guard);
+    }
+}

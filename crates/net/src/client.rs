@@ -447,8 +447,11 @@ pub struct ResilientFeed<T: Transport, D: FnMut() -> io::Result<T>> {
 impl<T: Transport, D: FnMut() -> io::Result<T>> ResilientFeed<T, D> {
     /// Dials and performs the [`FeedHandle::connect`] handshake,
     /// absorbing shed responses ([`PianoError::Overloaded`] — wait out
-    /// the server's hint plus backoff, then re-dial) and transport
-    /// failures up to [`RetryPolicy::max_attempts`].
+    /// the server's hint, clamped to [`RetryPolicy::max_delay`], then
+    /// re-dial) and transport failures (jittered exponential backoff) up
+    /// to [`RetryPolicy::max_attempts`]. Every failed attempt sleeps
+    /// exactly once, and every slept interval is visible in
+    /// [`FeedStats::backoff_total`].
     pub fn connect(
         mut dial: D,
         offered: &[WireCodec],
@@ -473,22 +476,24 @@ impl<T: Transport, D: FnMut() -> io::Result<T>> ResilientFeed<T, D> {
                 },
                 Err(e) => e,
             };
-            let retryable = match &fail {
+            // Exactly one sleep per failed attempt: a shed response waits
+            // out the server's hint (clamped to the policy ceiling, so a
+            // hostile or misconfigured hint cannot stall the client past
+            // its own worst-case delay), any other retryable failure
+            // waits the jittered exponential backoff.
+            let shed_hint = match &fail {
                 PianoError::Overloaded { retry_after_ms } => {
                     stats.sheds_seen += 1;
-                    let hint = Duration::from_millis(*retry_after_ms);
-                    stats.backoff_total += hint;
-                    std::thread::sleep(hint);
-                    true
+                    Some(Duration::from_millis(*retry_after_ms).min(policy.max_delay))
                 }
-                PianoError::Transport(_) => true,
-                _ => false,
+                PianoError::Transport(_) => None,
+                _ => return Err(fail),
             };
-            if !retryable || attempt >= policy.max_attempts {
+            if attempt >= policy.max_attempts {
                 return Err(fail);
             }
+            let delay = shed_hint.unwrap_or_else(|| policy.backoff(&mut rng, attempt));
             stats.retries += 1;
-            let delay = policy.backoff(&mut rng, attempt);
             stats.backoff_total += delay;
             std::thread::sleep(delay);
             attempt += 1;

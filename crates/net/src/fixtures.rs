@@ -11,10 +11,11 @@
 //! measuring different scenarios.
 
 use piano_core::config::ActionConfig;
-use piano_core::stream::{AuthService, SessionId, SignalRole};
+use piano_core::stream::{AuthService, SessionId, ShardedAuthService, SignalRole};
 use piano_core::wire::Message;
 
 use crate::codec::quantize_samples;
+use crate::reactor::ReactorServer;
 use crate::server::ServerLoop;
 
 /// Samples between consecutive sessions' signals in the hub recording.
@@ -85,4 +86,34 @@ pub fn hub_recording_for(service: &AuthService, ids: &[SessionId]) -> Vec<f64> {
 pub fn hub_recording(server: &ServerLoop) -> Vec<f64> {
     let ids = server.session_ids();
     server.with_service(|service| hub_recording_for(service, &ids))
+}
+
+/// [`hub_recording_for`] over a sharded service: identical geometry,
+/// with each session's waveforms fetched from its owning shard. `ids`
+/// must be in opening order — shard-strided ids interleave, so sorting
+/// would scramble the geometry.
+pub fn hub_recording_sharded(service: &ShardedAuthService, ids: &[SessionId]) -> Vec<f64> {
+    let live: Vec<(Vec<f64>, Vec<f64>)> = ids
+        .iter()
+        .filter_map(|&id| {
+            service.with_session(id, |session| {
+                let wave_a = session.waveform_of(SignalRole::Auth).expect("S_A known");
+                let wave_v = session.waveform_of(SignalRole::Vouch).expect("S_V known");
+                (wave_a, wave_v)
+            })
+        })
+        .collect();
+    let mut hub = vec![0.0f64; live.len() * STRIDE + FEED_REC_LEN];
+    for (i, (wave_a, wave_v)) in live.iter().enumerate() {
+        let base = i * STRIDE;
+        embed(&mut hub, wave_a, base + FEED_SA_OFFSET, 0.4);
+        embed(&mut hub, wave_v, base + HUB_SV_OFFSET, 0.3);
+    }
+    hub
+}
+
+/// [`hub_recording_sharded`] over every session a [`ReactorServer`]'s
+/// connections opened, in opening order.
+pub fn hub_recording_reactor(server: &ReactorServer) -> Vec<f64> {
+    hub_recording_sharded(server.service(), &server.session_ids())
 }

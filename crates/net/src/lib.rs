@@ -26,10 +26,16 @@
 //!   (always available; what tests and benches use) and a loopback
 //!   `std::net::TcpListener` (auto-skipped where sockets are
 //!   unavailable).
-//! * [`server`] — [`server::ServerLoop`], thread-per-connection ingestion
-//!   into one shared [`piano_core::stream::AuthService`], with per-phase
-//!   deadlines, a suspend/resume registry, and admission-control
-//!   shedding.
+//! * [`server`] — [`server::ServerLoop`], the thread-per-connection
+//!   model: blocking ingestion into one shared
+//!   [`piano_core::stream::AuthService`], with per-phase deadlines, a
+//!   suspend/resume registry, and admission-control shedding.
+//! * [`reactor`] — [`reactor::ReactorServer`], the readiness-reactor
+//!   model: the same wire protocol and drop accounting served by one
+//!   event-loop thread over nonblocking reads, with phase deadlines on a
+//!   timer wheel and service state sharded per scan group
+//!   ([`piano_core::stream::ShardedAuthService`]). Connection cost is
+//!   bytes of state instead of an OS thread.
 //! * [`client`] — the client-side [`client::FeedHandle`] that paces sends
 //!   on credit, and [`client::ResilientFeed`], which redials and resumes
 //!   the wire session when the transport dies.
@@ -63,11 +69,17 @@ pub mod codec;
 pub mod fault;
 pub mod fixtures;
 mod framing;
+mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod transport;
+mod wheel;
 
 pub use client::{FeedHandle, FeedStats, ResilientFeed, RetryPolicy};
 pub use codec::{quantize, quantize_samples};
 pub use fault::{FaultLog, FaultPlan, FaultyTransport, LinkFaults, StallSpec};
+pub use reactor::ReactorServer;
 pub use server::{ServerConfig, ServerLoop};
-pub use transport::{memory_hub, memory_pair, Listener, MemoryStream, Transport};
+pub use transport::{
+    memory_hub, memory_pair, Listener, MemoryStream, ReadySet, ReadySignal, Transport,
+};

@@ -1,0 +1,1469 @@
+//! The readiness-reactor ingest server: every connection a state
+//! machine, every deadline a timer-wheel entry, one thread for the whole
+//! fleet.
+//!
+//! [`ReactorServer`] serves the same wire protocol as
+//! [`ServerLoop`](crate::server::ServerLoop) — the conformance suite
+//! pins the two models to byte-identical decisions and identical
+//! [`DropCause`] accounting — but replaces thread-per-connection
+//! blocking reads with a poll-style event loop:
+//!
+//! ```text
+//!            host threads                      reactor thread
+//!            ────────────                      ──────────────
+//!  register(t) ──▶ inbox ─┐              ┌─▶ admit: token + FrameReader
+//!  scan_and_decide ───────┤   drain ─────┤       + handshake timer
+//!  shutdown ──────────────┘              ├─▶ TimerWheel::advance
+//!                                        │     (idle / stream / decision
+//!  ReadySignal::notify ──▶ ReadySet ─────┤      / resume-window expiry)
+//!   (event-driven transports)            └─▶ turns: try_read → frames →
+//!  probe tick (~1 ms) ───────────────────▶     IngestFeed → voucher scan
+//!   (transports without readiness)             → Busy/Credit/Decision
+//! ```
+//!
+//! # Why a reactor
+//!
+//! The threaded model pays one OS thread (default 2 MiB of stack) plus a
+//! dedicated 64 KiB read buffer per connection, and parks each thread in
+//! a blocking `read_timeout`. The reactor owns all connection state
+//! itself — a few hundred bytes per connection state plus the frame
+//! reader's
+//! buffer — shares one read scratch buffer across the fleet, and sleeps
+//! on a single [`ReadySet`] condition variable bounded by the earliest
+//! timer. The connection ceiling becomes a question of per-connection
+//! *bytes*, not schedulable *threads* (`net_ingest` in the bench suite
+//! reports both models' ceilings).
+//!
+//! # What is preserved verbatim
+//!
+//! * **Decision determinism** — handshakes are processed in arrival
+//!   order on one thread, so session RNG draws bind exactly as the
+//!   threaded server's accept order does; framing, codecs, and the scan
+//!   layers underneath are unchanged. N feeds through the reactor decide
+//!   byte-identically to direct [`AuthService`] ingestion.
+//! * **Fault isolation** — a connection that loses framing, skips
+//!   sequence numbers, overruns its backlog, or misses a deadline is
+//!   dropped alone, counted under the same [`DropCause`] the threaded
+//!   server uses.
+//! * **Deadline semantics** — handshake, mid-stream idle (only while
+//!   the backlog is empty), whole-stream budget (anchored at handshake,
+//!   spanning suspensions), and decision-wait timeouts all fire with the
+//!   threaded server's classification; they are wheel entries instead of
+//!   blocking-read bounds, so they can never fire early and never pin a
+//!   thread.
+//! * **Suspend/resume accounting** — a lost transport suspends into the
+//!   same registry semantics ([`ServiceStats::connections_suspended`],
+//!   `resumes`, [`DropCause::ResumeExpired`]); a `Resume` probe that
+//!   arrives *before* the loss is discovered parks as a connection state
+//!   (`Phase::PendingResume`) and is adopted the moment the loss
+//!   lands — the reactor-event form of the registry wait, with no
+//!   busy-polling anywhere.
+//! * **Admission shedding** — a `Hello` over the
+//!   [`ServerConfig::max_active_feeds`] limit is answered with `Retry`
+//!   before any session state exists.
+//!
+//! What changes: the service is a [`ShardedAuthService`], so feeds on
+//! different [`ActionConfig`](piano_core::config::ActionConfig)s tick
+//! their scans under different locks (shard routing is by strided
+//! session id — see the type's docs), and the host-facing wait/scan
+//! calls are mailbox messages to the reactor instead of lock-and-block
+//! rendezvous.
+//!
+//! [`AuthService`]: piano_core::stream::AuthService
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand_chacha::ChaCha8Rng;
+
+use piano_core::error::PianoError;
+use piano_core::piano::{AuthDecision, DenialReason};
+use piano_core::stream::{AuthSession, DropCause, ServiceStats, SessionId, ShardedAuthService};
+use piano_core::sync::OrderedMutex;
+use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
+
+use crate::codec;
+use crate::framing::{io_transport, READ_BUF_BYTES};
+use crate::metrics::{audio_samples, Counters, FeedState};
+use crate::server::ServerConfig;
+use crate::transport::{Listener, ReadySet, Transport};
+use crate::wheel::{TimerKey, TimerWheel};
+
+/// Timer-wheel resolution. Deadlines round up to this, so a timeout can
+/// fire up to one tick late, never early.
+const WHEEL_TICK: Duration = Duration::from_millis(1);
+
+/// Sleep bound while any probe-mode connection (a transport without
+/// readiness notification, e.g. TCP) is attached: the reactor polls
+/// those at this cadence instead of blocking indefinitely.
+const PROBE_TICK: Duration = Duration::from_millis(1);
+
+/// Most `try_read` calls one turn spends on one connection before
+/// yielding, so one firehose feed cannot starve the rest of the fleet.
+const READS_PER_TURN: usize = 8;
+
+/// Lock ranks of the [`Shared`] mutexes: acquisition must ascend. `rng`
+/// sits *below* the [`ShardedAuthService`] shard rank (20) because a
+/// handshake holds the RNG while the service routes into a shard.
+mod rank {
+    pub(super) const PROGRESS: u32 = 10;
+    pub(super) const RNG: u32 = 12;
+    pub(super) const INBOX: u32 = 40;
+    pub(super) const IDS: u32 = 50;
+    pub(super) const CORE: u32 = 60;
+}
+
+/// Cross-thread progress state guarded by one mutex (+ condvar).
+#[derive(Debug, Default)]
+struct Progress {
+    /// Step V reports routed into the service so far.
+    reports: usize,
+    /// Feeds dropped for protocol violations or deadline misses —
+    /// counted here so [`ReactorServer::wait_for_reports`] can stop
+    /// waiting for feeds that will never report.
+    dropped: usize,
+    /// Feeds attached and streaming right now — the admission-control
+    /// population [`ServerConfig::max_active_feeds`] bounds.
+    active: usize,
+    /// The hub scan finished: decisions are available.
+    scan_done: bool,
+    /// Sessions the hub scan decided (valid once `scan_done`).
+    decided: usize,
+    /// Verdicts actually delivered to their connections, in delivery
+    /// order.
+    outcomes: Vec<(SessionId, AuthDecision)>,
+}
+
+/// Host-to-reactor mailbox: drained at the top of every loop turn.
+#[derive(Default)]
+struct Inbox {
+    /// Transports handed over by [`ReactorServer::register`].
+    injected: Vec<Box<dyn Transport>>,
+    /// A pending [`ReactorServer::scan_and_decide`] request.
+    scan: Option<ScanRequest>,
+    /// [`ReactorServer::shutdown`] was called.
+    shutdown: bool,
+}
+
+/// One queued hub scan.
+struct ScanRequest {
+    hub: Vec<f64>,
+    tick: usize,
+}
+
+/// What a suspended wire session is waiting to resume *into*.
+enum Parked {
+    /// Mid-stream: the feed continues from `feed.next_seq()`.
+    Streaming(Box<FeedState>),
+    /// The verdict is (or will be) available; a resume just re-delivers
+    /// the `Decision` frame the client never received.
+    Decided { id: SessionId },
+}
+
+/// One entry in the resume registry. `gen` pairs the entry with its
+/// expiry timer (lazy cancellation — see [`TimerWheel`]).
+struct Suspension {
+    state: Parked,
+    gen: u64,
+}
+
+/// Where one connection is in the protocol.
+enum Phase {
+    /// Waiting for the opening `Hello` or `Resume` frame.
+    Handshake,
+    /// Attached and streaming audio.
+    Streaming(Box<FeedState>),
+    /// Reported; waiting for the hub scan's verdict.
+    AwaitDecision { id: SessionId, wire_session: u64 },
+    /// A `Resume` probe that arrived before its feed's loss was
+    /// discovered: parked until the suspension lands (adopted directly
+    /// by the losing connection's teardown) or the handshake deadline
+    /// fires. This replaces the threaded server's registry busy-poll.
+    PendingResume {
+        wire_session: u64,
+        client_next_seq: u32,
+    },
+}
+
+/// One connection owned by the reactor.
+struct Conn {
+    t: Box<dyn Transport>,
+    reader: FrameReader,
+    /// Generation of this connection's current wheel entry; a firing
+    /// with a stale generation is ignored.
+    armed_gen: u64,
+    /// The phase deadline the wheel entry stands for. Data arrival
+    /// pushes it later without touching the wheel: the old entry re-arms
+    /// itself when it fires and finds `now < next_deadline`.
+    next_deadline: Instant,
+    /// The transport reported end-of-stream (or a read error); the
+    /// backlog may still be draining.
+    eof: bool,
+    phase: Phase,
+}
+
+/// Reactor-thread-private state: connections, timers, the suspension
+/// registry, and the shared read scratch buffer. Owned (taken out of
+/// [`Shared::core`]) by whichever thread enters [`ReactorServer::run`].
+struct Core {
+    /// Token-indexed connection slots; `None` = free or mid-turn.
+    conns: Vec<Option<Conn>>,
+    /// Free tokens for reuse.
+    free: Vec<usize>,
+    /// Resume registry: wire session id → parked feed, while
+    /// [`ServerConfig::resume_window`] lasts.
+    suspended: BTreeMap<u64, Suspension>,
+    wheel: TimerWheel,
+    /// One read buffer shared by every connection — the per-connection
+    /// memory the threaded model pays per thread.
+    scratch: Vec<u8>,
+    /// Tokens of probe-mode connections (no readiness notification).
+    probe: BTreeSet<usize>,
+    /// Tokens with work queued for the next turn (backlog to drain,
+    /// readiness observed, freshly admitted).
+    runnable: BTreeSet<usize>,
+    /// The hub scan has started: sessions can no longer be closed.
+    scan_started: bool,
+    /// The hub scan finished (reactor-local mirror of
+    /// [`Progress::scan_done`]).
+    scan_done: bool,
+    /// Global generation counter for timer entries and suspensions.
+    gen_counter: u64,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            conns: Vec::new(),
+            free: Vec::new(),
+            suspended: BTreeMap::new(),
+            wheel: TimerWheel::new(WHEEL_TICK),
+            scratch: vec![0u8; READ_BUF_BYTES],
+            probe: BTreeSet::new(),
+            runnable: BTreeSet::new(),
+            scan_started: false,
+            scan_done: false,
+            gen_counter: 0,
+        }
+    }
+}
+
+/// State shared between the reactor thread and host threads.
+struct Shared {
+    /// The sharded service: per-session calls lock only the owning
+    /// shard, so ticks on different configurations never contend.
+    service: ShardedAuthService,
+    rng: OrderedMutex<ChaCha8Rng>,
+    cfg: ServerConfig,
+    counters: Counters,
+    progress: OrderedMutex<Progress>,
+    progress_cv: Condvar,
+    ids: OrderedMutex<Vec<SessionId>>,
+    /// The readiness queue the reactor sleeps on.
+    ready: Arc<ReadySet>,
+    inbox: OrderedMutex<Inbox>,
+    /// The reactor-private state, parked here until [`ReactorServer::run`]
+    /// claims it (exactly once).
+    core: OrderedMutex<Option<Core>>,
+    /// Largest per-connection resident footprint observed, in bytes —
+    /// what the `net_ingest` bench divides the memory budget by.
+    conn_bytes_peak: AtomicU64,
+}
+
+/// The readiness-reactor ingest server over a [`ShardedAuthService`].
+/// Cheap to clone (an `Arc` handle): clone one into the thread that
+/// calls [`run`](Self::run), keep another for registration and the
+/// scan/wait calls.
+#[derive(Clone)]
+pub struct ReactorServer {
+    shared: Arc<Shared>,
+}
+
+impl ReactorServer {
+    /// A reactor over `service`, drawing session randomness from `rng`
+    /// (handshakes draw in arrival order on the single reactor thread,
+    /// so a seeded rng makes a whole fleet run reproducible).
+    pub fn new(service: ShardedAuthService, rng: ChaCha8Rng, cfg: ServerConfig) -> Self {
+        ReactorServer {
+            shared: Arc::new(Shared {
+                service,
+                rng: OrderedMutex::new(rank::RNG, "reactor.rng", rng),
+                cfg,
+                counters: Counters::default(),
+                progress: OrderedMutex::new(
+                    rank::PROGRESS,
+                    "reactor.progress",
+                    Progress::default(),
+                ),
+                progress_cv: Condvar::new(),
+                ids: OrderedMutex::new(rank::IDS, "reactor.ids", Vec::new()),
+                ready: Arc::new(ReadySet::new()),
+                inbox: OrderedMutex::new(rank::INBOX, "reactor.inbox", Inbox::default()),
+                core: OrderedMutex::new(rank::CORE, "reactor.core", Some(Core::new())),
+                conn_bytes_peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The underlying sharded service (shard locks are taken per call —
+    /// safe from any thread).
+    pub fn service(&self) -> &ShardedAuthService {
+        &self.shared.service
+    }
+
+    /// Session ids opened so far, in opening order. **Not** sorted:
+    /// shard-strided ids interleave, so opening order is the only
+    /// meaningful order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.shared.ids.lock().clone()
+    }
+
+    /// Verdicts delivered to their connections so far, in delivery
+    /// order.
+    pub fn outcomes(&self) -> Vec<(SessionId, AuthDecision)> {
+        self.shared.progress.lock().outcomes.clone()
+    }
+
+    /// Hands a connection to the reactor. Returns immediately; the
+    /// reactor thread admits it on its next loop turn.
+    pub fn register<T: Transport + 'static>(&self, transport: T) {
+        self.shared.inbox.lock().injected.push(Box::new(transport));
+        self.shared.ready.kick();
+    }
+
+    /// Accepts `n` connections from `listener`, registering each with
+    /// the reactor. Unlike the threaded server there are no
+    /// per-connection threads to join: collect verdicts from
+    /// [`outcomes`](Self::outcomes) after the scan.
+    pub fn accept_clients<L: Listener>(&self, listener: &mut L, n: usize) {
+        for _ in 0..n {
+            match listener.accept_conn() {
+                Ok(conn) => self.register(conn),
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread accepting `n` connections into the reactor.
+    pub fn spawn_acceptor<L: Listener + 'static>(
+        &self,
+        mut listener: L,
+        n: usize,
+    ) -> JoinHandle<()> {
+        let server = self.clone();
+        std::thread::spawn(move || server.accept_clients(&mut listener, n))
+    }
+
+    /// Spawns the reactor thread (see [`run`](Self::run)).
+    pub fn start(&self) -> JoinHandle<()> {
+        let server = self.clone();
+        std::thread::spawn(move || server.run())
+    }
+
+    /// Asks the reactor thread to exit. Connections still attached are
+    /// dropped silently (no drop accounting) when the loop unwinds.
+    pub fn shutdown(&self) {
+        self.shared.inbox.lock().shutdown = true;
+        self.shared.ready.kick();
+    }
+
+    /// Largest per-connection resident footprint observed so far, in
+    /// bytes: connection state + frame-reader buffer + peak backlog.
+    /// The threaded model adds a thread stack and a private read buffer
+    /// on top of the same state — the bench compares the two.
+    pub fn peak_conn_bytes(&self) -> u64 {
+        self.shared.conn_bytes_peak.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`ServiceStats`] snapshot across every connection
+    /// served so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared
+            .counters
+            .snapshot(self.shared.service.sessions_decided() as u64)
+    }
+
+    // -- host-side waits ---------------------------------------------------
+
+    /// Blocks until each of `n` registered connections has either routed
+    /// its Step V report or been dropped, then returns how many actually
+    /// reported. Suspended feeds count as neither until they resume or
+    /// their window expires — the reactor's timer wheel owns that expiry,
+    /// so this wait is a plain condvar wait with no polling tick.
+    ///
+    /// Unbounded — a test-only convenience. Production hosts should call
+    /// [`wait_for_reports_timeout`](Self::wait_for_reports_timeout).
+    pub fn wait_for_reports(&self, n: usize) -> usize {
+        // With no deadline the wait cannot return Err.
+        self.wait_reports_deadline(n, None).unwrap_or_default()
+    }
+
+    /// [`wait_for_reports`](Self::wait_for_reports) bounded by `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds have reported or
+    /// dropped within `timeout`.
+    pub fn wait_for_reports_timeout(
+        &self,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<usize, PianoError> {
+        self.wait_reports_deadline(n, Some(Instant::now() + timeout))
+    }
+
+    fn wait_reports_deadline(
+        &self,
+        n: usize,
+        deadline: Option<Instant>,
+    ) -> Result<usize, PianoError> {
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        loop {
+            if progress.reports + progress.dropped >= n {
+                return Ok(progress.reports);
+            }
+            let now = Instant::now();
+            match deadline {
+                Some(d) if now >= d => {
+                    return Err(PianoError::Timeout(format!(
+                        "{} of {n} feeds concluded before the report deadline",
+                        progress.reports + progress.dropped
+                    )));
+                }
+                Some(d) => {
+                    let (guard, _) = progress.wait_timeout(&sh.progress_cv, d - now);
+                    progress = guard;
+                }
+                None => {
+                    progress = progress.wait(&sh.progress_cv);
+                }
+            }
+        }
+    }
+
+    /// Posts the hub microphone's recording to the reactor, which
+    /// streams it through every service shard in `tick`-sample chunks,
+    /// concludes the scan groups, delivers pending verdicts, and
+    /// reports back. Returns the number of sessions that decided.
+    /// Blocks until the reactor has run the scan — call
+    /// [`start`](Self::start) first.
+    pub fn scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        {
+            let mut inbox = self.shared.inbox.lock();
+            inbox.scan = Some(ScanRequest {
+                hub: hub_audio.to_vec(),
+                tick,
+            });
+        }
+        self.shared.ready.kick();
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        while !progress.scan_done {
+            progress = progress.wait(&sh.progress_cv);
+        }
+        progress.decided
+    }
+
+    // -- the reactor loop --------------------------------------------------
+
+    /// The reactor loop: drains the host mailbox, advances the timer
+    /// wheel, gives every runnable or probe-mode connection a turn, and
+    /// sleeps on the [`ReadySet`] bounded by the earliest timer. Runs
+    /// until [`shutdown`](Self::shutdown). The loop state can be claimed
+    /// only once — a second concurrent `run` returns immediately.
+    pub fn run(&self) {
+        let taken = self.shared.core.lock().take();
+        let mut core = match taken {
+            Some(c) => c,
+            None => return,
+        };
+        loop {
+            // Host mailbox first: admissions and the scan request.
+            let (injected, scan, shutdown) = {
+                let mut inbox = self.shared.inbox.lock();
+                (
+                    mem::take(&mut inbox.injected),
+                    inbox.scan.take(),
+                    inbox.shutdown,
+                )
+            };
+            if shutdown {
+                break;
+            }
+            for t in injected {
+                self.admit(&mut core, t);
+            }
+            if let Some(req) = scan {
+                self.run_scan(&mut core, &req.hub, req.tick);
+            }
+
+            // Expired timers, in deadline order.
+            for key in core.wheel.advance(Instant::now()) {
+                self.on_timer(&mut core, key, Instant::now());
+            }
+
+            // Turns: everything marked runnable plus every probe-mode
+            // connection (their readiness is only discoverable by
+            // trying).
+            let mut work = mem::take(&mut core.runnable);
+            work.extend(core.probe.iter().copied());
+            for token in work {
+                self.turn(&mut core, token);
+            }
+
+            // Sleep: not at all while work is queued; else until the
+            // earliest timer, the probe tick, or a readiness event.
+            let wait = if !core.runnable.is_empty() {
+                Some(Duration::ZERO)
+            } else {
+                let now = Instant::now();
+                let timer = core
+                    .wheel
+                    .next_deadline()
+                    .map(|d| d.saturating_duration_since(now));
+                match (timer, core.probe.is_empty()) {
+                    (Some(t), false) => Some(t.min(PROBE_TICK)),
+                    (Some(t), true) => Some(t),
+                    (None, false) => Some(PROBE_TICK),
+                    (None, true) => None,
+                }
+            };
+            let (ready, _kicked) = self.shared.ready.drain_wait(wait);
+            for token in ready {
+                core.runnable.insert(token);
+            }
+        }
+    }
+
+    /// Admits a registered transport: allocates a token, wires its
+    /// readiness signal (or marks it probe-mode), arms the handshake
+    /// deadline, and queues its first turn.
+    fn admit(&self, core: &mut Core, mut t: Box<dyn Transport>) {
+        let sh = &*self.shared;
+        sh.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let token = match core.free.pop() {
+            Some(tok) => tok,
+            None => {
+                core.conns.push(None);
+                core.conns.len() - 1
+            }
+        };
+        let event_driven = t.register_ready(sh.ready.signal(token));
+        if !event_driven {
+            core.probe.insert(token);
+        }
+        let mut conn = Conn {
+            t,
+            reader: FrameReader::new(),
+            armed_gen: 0,
+            next_deadline: Instant::now() + sh.cfg.handshake_timeout,
+            eof: false,
+            phase: Phase::Handshake,
+        };
+        self.rearm(core, token, &mut conn);
+        self.put_back(core, token, conn);
+        core.runnable.insert(token);
+    }
+
+    /// Arms a fresh wheel entry for the connection's current
+    /// `next_deadline`, invalidating any previous entry via the
+    /// generation bump.
+    fn rearm(&self, core: &mut Core, token: usize, conn: &mut Conn) {
+        core.gen_counter += 1;
+        conn.armed_gen = core.gen_counter;
+        core.wheel.insert(
+            conn.next_deadline,
+            TimerKey::Conn {
+                token,
+                gen: conn.armed_gen,
+            },
+        );
+    }
+
+    /// Returns a connection to its slot after a turn.
+    fn put_back(&self, core: &mut Core, token: usize, conn: Conn) {
+        if let Some(slot) = core.conns.get_mut(token) {
+            *slot = Some(conn);
+        }
+    }
+
+    /// Finishes a turn: puts the connection back, or frees its token if
+    /// the turn consumed it.
+    fn finish_turn(&self, core: &mut Core, token: usize, out: Option<Conn>) {
+        match out {
+            Some(conn) => self.put_back(core, token, conn),
+            None => {
+                if core.conns.get(token).is_some_and(|slot| slot.is_none()) {
+                    core.free.push(token);
+                    core.probe.remove(&token);
+                    core.runnable.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// One turn for one connection: read what is available, then drive
+    /// its phase machine.
+    fn turn(&self, core: &mut Core, token: usize) {
+        core.runnable.remove(&token);
+        let conn = match core.conns.get_mut(token).and_then(Option::take) {
+            Some(c) => c,
+            None => return, // stale token (freed or mid-scan delivery)
+        };
+        let out = self.drive(core, token, conn);
+        self.finish_turn(core, token, out);
+    }
+
+    /// Reads pending bytes into the frame reader (bounded per turn),
+    /// then dispatches on phase. `Some` = keep the connection; `None` =
+    /// consumed (dropped, shed, suspended, or delivered).
+    fn drive(&self, core: &mut Core, token: usize, mut conn: Conn) -> Option<Conn> {
+        let mut got_bytes = false;
+        for _ in 0..READS_PER_TURN {
+            match conn.t.try_read(&mut core.scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    got_bytes = true;
+                    if let Some(bytes) = core.scratch.get(..n) {
+                        conn.reader.push(bytes);
+                    }
+                    // Keep reading even after a short read: a peer that
+                    // writes a final partial frame and immediately hangs
+                    // up signals both edges in ONE readiness token, so
+                    // stopping here would miss the EOF until the idle
+                    // timer. The next iteration returns `WouldBlock`
+                    // (nothing pending) or `Ok(0)` (the missed close).
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // A read error is end-of-transport; the phase logic
+                    // decides whether that suspends or drops the feed.
+                    let _ = e;
+                    conn.eof = true;
+                    break;
+                }
+            }
+        }
+        // The placeholder phase is never observed: every arm either
+        // consumes the connection or stores a real phase back.
+        match mem::replace(&mut conn.phase, Phase::Handshake) {
+            Phase::Handshake => self.drive_handshake(core, token, conn),
+            Phase::Streaming(state) => self.drive_streaming(core, token, conn, state, got_bytes),
+            Phase::AwaitDecision { id, wire_session } => {
+                // Nothing to read here: like the threaded server, a dead
+                // or chatty peer is only discovered at the Decision
+                // write. The decision timer bounds the wait.
+                conn.phase = Phase::AwaitDecision { id, wire_session };
+                Some(conn)
+            }
+            Phase::PendingResume {
+                wire_session,
+                client_next_seq,
+            } => {
+                // Normally the losing connection's teardown adopts this
+                // probe directly; the registry check covers a suspension
+                // re-parked after a failed resume write.
+                if let Some(susp) = core.suspended.remove(&wire_session) {
+                    self.shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                    return self.attach(
+                        core,
+                        token,
+                        conn,
+                        wire_session,
+                        client_next_seq,
+                        susp.state,
+                    );
+                }
+                conn.phase = Phase::PendingResume {
+                    wire_session,
+                    client_next_seq,
+                };
+                Some(conn)
+            }
+        }
+    }
+
+    /// Handshake phase: wait for the complete opening frame, then admit
+    /// (`Hello`), adopt (`Resume` with a registry hit), park the probe
+    /// (`Resume` without one), or drop.
+    fn drive_handshake(&self, core: &mut Core, token: usize, mut conn: Conn) -> Option<Conn> {
+        let first = match conn.reader.next_frame() {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                if conn.eof {
+                    drop(conn);
+                    self.drop_conn_state(
+                        core,
+                        None,
+                        DropCause::Disconnect,
+                        &PianoError::Transport("connection closed during handshake".into()),
+                        false,
+                    );
+                    return None;
+                }
+                return Some(conn); // keep waiting; the handshake timer is armed
+            }
+            Err(e) => {
+                drop(conn);
+                self.drop_conn_state(core, None, DropCause::Framing, &e, false);
+                return None;
+            }
+        };
+        match first {
+            Message::Hello { codecs } => self.handshake_hello(core, token, conn, &codecs),
+            Message::Resume { session, next_seq } => {
+                if let Some(susp) = core.suspended.remove(&session) {
+                    self.shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                    return self.attach(core, token, conn, session, next_seq, susp.state);
+                }
+                conn.phase = Phase::PendingResume {
+                    wire_session: session,
+                    client_next_seq: next_seq,
+                };
+                Some(conn)
+            }
+            other => {
+                drop(conn);
+                self.drop_conn_state(
+                    core,
+                    None,
+                    DropCause::Protocol,
+                    &PianoError::Wire(format!("expected Hello or Resume, got {other:?}")),
+                    false,
+                );
+                None
+            }
+        }
+    }
+
+    /// `Hello`: admission check, codec negotiation, session open, and
+    /// the `Accept` + challenge writes, mirroring the threaded server's
+    /// opening exchange exactly (including its shed-before-any-state and
+    /// RNG-draw ordering).
+    fn handshake_hello(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        codecs: &[u8],
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        // Admission control before any session state exists.
+        let shed = {
+            let progress = sh.progress.lock();
+            progress.active >= sh.cfg.max_active_feeds
+        };
+        if shed {
+            sh.counters.connections_shed.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.t.write_all(
+                &Message::Retry {
+                    retry_after_ms: sh.cfg.retry_after_ms,
+                }
+                .encode_framed(),
+            );
+            return None; // shed is not a drop
+        }
+        let codec = WireCodec::negotiate(codecs, &sh.cfg.supported_codecs);
+        let opened = {
+            let mut rng = sh.rng.lock();
+            sh.service.with_default(|svc| {
+                let id = svc.open_session(false, &mut rng);
+                // A freshly opened session always queues its Step II
+                // challenge; treat a missing one as a protocol-layer
+                // failure rather than a server panic.
+                match svc.poll_transmit(id) {
+                    Some(challenge) => Some((id, challenge, Arc::clone(svc.detector()))),
+                    None => {
+                        let _ = svc.close_session(id);
+                        None
+                    }
+                }
+            })
+        };
+        let (id, challenge, detector) = match opened.flatten() {
+            Some(v) => v,
+            None => {
+                drop(conn);
+                self.drop_conn_state(
+                    core,
+                    None,
+                    DropCause::Protocol,
+                    &PianoError::Wire("opened session queued no challenge".into()),
+                    false,
+                );
+                return None;
+            }
+        };
+        sh.ids.lock().push(id);
+        {
+            let mut progress = sh.progress.lock();
+            progress.active += 1;
+        }
+        // From here on, every pre-report exit must decrement `active`
+        // exactly once.
+        let mut voucher = AuthSession::voucher_with(detector);
+        if let Err(e) = voucher.handle_message(challenge.clone()) {
+            drop(conn);
+            self.dec_active();
+            self.drop_conn_state(core, Some(id), DropCause::Protocol, &e, false);
+            return None;
+        }
+        let wire_session = voucher.session_id();
+        let accept = Message::Accept {
+            session: wire_session,
+            codec: codec.id(),
+        };
+        // The thin client must *play* S_V (Step III) even though the
+        // gateway scans on its behalf, so it gets the Step II challenge.
+        let wrote = conn
+            .t
+            .write_all(&accept.encode_framed())
+            .and_then(|()| conn.t.write_all(&challenge.encode_framed()));
+        if let Err(e) = wrote {
+            drop(conn);
+            self.dec_active();
+            self.drop_conn_state(
+                core,
+                Some(id),
+                DropCause::Disconnect,
+                &io_transport(e),
+                false,
+            );
+            return None;
+        }
+        let state = Box::new(FeedState {
+            id,
+            wire_session,
+            voucher,
+            feed: IngestFeed::new(wire_session, sh.cfg.high_water),
+            ended: false,
+            started: Instant::now(),
+        });
+        let now = Instant::now();
+        conn.next_deadline = (now + sh.cfg.idle_timeout).min(state.started + sh.cfg.stream_timeout);
+        conn.phase = Phase::Streaming(state);
+        self.rearm(core, token, &mut conn);
+        // Frames may already be buffered behind the handshake.
+        core.runnable.insert(token);
+        Some(conn)
+    }
+
+    /// Streaming phase: frames → feed accounting → voucher scan →
+    /// flow-control replies, then conclude, reschedule, or suspend.
+    fn drive_streaming(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        mut state: Box<FeedState>,
+        got_bytes: bool,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        let stream_deadline = state.started + sh.cfg.stream_timeout;
+        if got_bytes {
+            // Data arrival resets the idle watchdog (bounded by the
+            // whole-stream budget). Deadlines only ever move later, so
+            // the armed wheel entry stays valid and re-arms on fire.
+            let fresh = (Instant::now() + sh.cfg.idle_timeout).min(stream_deadline);
+            if fresh > conn.next_deadline {
+                conn.next_deadline = fresh;
+            }
+        }
+        loop {
+            let before = conn.reader.consumed();
+            // A framing error propagates the reader's poison cause:
+            // this connection is dropped, nothing else is.
+            let msg = match conn.reader.next_frame() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(e) => {
+                    drop(conn);
+                    self.drop_feed(core, state, DropCause::Framing, &e);
+                    return None;
+                }
+            };
+            match msg {
+                m @ (Message::AudioChunk { .. }
+                | Message::AudioBatch { .. }
+                | Message::AudioBatchI16 { .. }) => {
+                    // `accept` enforces sequence contiguity and the
+                    // backlog hard limit; violating either drops the
+                    // connection here. Classify the hard-limit breach (a
+                    // sender ignoring Busy) apart from the rest.
+                    let overrun =
+                        state.feed.buffered() + audio_samples(&m) > state.feed.hard_limit();
+                    if let Err(e) = state.feed.accept(&m) {
+                        let cause = if overrun {
+                            DropCause::Overrun
+                        } else {
+                            DropCause::Protocol
+                        };
+                        drop(conn);
+                        self.drop_feed(core, state, cause, &e);
+                        return None;
+                    }
+                    sh.counters.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                    sh.counters
+                        .wire_audio_bytes
+                        .fetch_add(conn.reader.consumed() - before, Ordering::Relaxed);
+                    sh.counters
+                        .raw_audio_bytes
+                        .fetch_add(codec::raw_framed_audio_bytes(&m), Ordering::Relaxed);
+                }
+                Message::StreamEnd { session } if session == state.wire_session => {
+                    state.ended = true;
+                }
+                other => {
+                    drop(conn);
+                    self.drop_feed(
+                        core,
+                        state,
+                        DropCause::Protocol,
+                        &PianoError::Wire(format!("unexpected mid-stream message {other:?}")),
+                    );
+                    return None;
+                }
+            }
+        }
+        // Drain one scan chunk per turn — the simulated scan rate that
+        // makes watermark backpressure observable, same as the threaded
+        // server's loop cadence.
+        let samples = state.feed.take_pending(sh.cfg.drain_chunk);
+        if !samples.is_empty() {
+            let _ = state.voucher.push_audio(&samples);
+        }
+        while let Some(reply) = state.feed.poll_reply() {
+            match &reply {
+                Message::Busy { .. } => {
+                    sh.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                }
+                Message::Credit { .. } => {
+                    sh.counters.credit_replies.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            if let Err(e) = conn.t.write_all(&reply.encode_framed()) {
+                drop(conn);
+                return self.lose_feed(core, state, io_transport(e));
+            }
+        }
+        if state.ended && state.feed.buffered() == 0 {
+            return self.conclude_report(core, token, conn, state);
+        }
+        if state.feed.buffered() > 0 {
+            // Backlog pending: keep draining next turn (even past EOF —
+            // audio already accepted is audio the scan gets).
+            core.runnable.insert(token);
+        } else if conn.eof {
+            drop(conn);
+            return self.lose_feed(
+                core,
+                state,
+                PianoError::Transport("connection closed before StreamEnd".into()),
+            );
+        }
+        conn.phase = Phase::Streaming(state);
+        Some(conn)
+    }
+
+    /// The stream is complete: conclude the voucher scan, route its
+    /// Step V report into the service, and either deliver the verdict
+    /// (scan already done) or wait for it under the decision deadline.
+    fn conclude_report(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        mut state: Box<FeedState>,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        sh.counters.max_peak(state.feed.peak_buffered() as u64);
+        self.record_conn_footprint(&conn, &state);
+        let _ = state.voucher.finish_audio();
+        let report = match state.voucher.poll_transmit() {
+            Some(r) => r,
+            None => {
+                drop(conn);
+                self.drop_feed(
+                    core,
+                    state,
+                    DropCause::Protocol,
+                    &PianoError::Wire("voucher produced no report".into()),
+                );
+                return None;
+            }
+        };
+        if let Err(e) = sh.service.handle_message(state.id, report) {
+            drop(conn);
+            self.drop_feed(core, state, DropCause::Protocol, &e);
+            return None;
+        }
+        {
+            let mut progress = sh.progress.lock();
+            progress.reports += 1;
+            progress.active = progress.active.saturating_sub(1);
+            sh.progress_cv.notify_all();
+        }
+        let id = state.id;
+        let wire_session = state.wire_session;
+        drop(state);
+        if core.scan_done {
+            self.deliver(core, conn, id, wire_session)
+        } else {
+            conn.phase = Phase::AwaitDecision { id, wire_session };
+            conn.next_deadline = Instant::now() + sh.cfg.decision_timeout;
+            self.rearm(core, token, &mut conn);
+            Some(conn)
+        }
+    }
+
+    /// Writes the session's verdict. With a resume window configured the
+    /// verdict parks in the registry *before* the write, so a client
+    /// that loses the connection with the `Decision` frame in flight can
+    /// reconnect and have it re-sent. Always consumes the connection.
+    fn deliver(
+        &self,
+        core: &mut Core,
+        mut conn: Conn,
+        id: SessionId,
+        wire_session: u64,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        let decision = sh.service.decision(id).unwrap_or(AuthDecision::Denied {
+            reason: DenialReason::ProtocolFailure("session undecided after the hub scan".into()),
+        });
+        if !sh.cfg.resume_window.is_zero() {
+            self.park(core, wire_session, Parked::Decided { id });
+        }
+        let frame = Message::Decision {
+            session: wire_session,
+            decision: decision.clone(),
+        }
+        .encode_framed();
+        match conn.t.write_all(&frame) {
+            Ok(()) => {
+                let mut progress = sh.progress.lock();
+                progress.outcomes.push((id, decision));
+            }
+            Err(e) if !sh.cfg.resume_window.is_zero() => {
+                // The Decided entry parked above lets the client resume
+                // and re-read the verdict.
+                let _ = e;
+            }
+            Err(e) => {
+                // Post-report failures are waived: this feed already
+                // counted in Progress::reports, so adding it to
+                // Progress::dropped would make the wait see it twice.
+                self.drop_conn_state(
+                    core,
+                    Some(id),
+                    DropCause::Disconnect,
+                    &io_transport(e),
+                    true,
+                );
+            }
+        }
+        None
+    }
+
+    // -- suspension and resume ---------------------------------------------
+
+    /// Inserts a registry entry with a fresh generation and arms its
+    /// resume-window expiry on the wheel.
+    fn park(&self, core: &mut Core, wire_session: u64, state: Parked) {
+        core.gen_counter += 1;
+        let gen = core.gen_counter;
+        core.suspended
+            .insert(wire_session, Suspension { state, gen });
+        core.wheel.insert(
+            Instant::now() + self.shared.cfg.resume_window,
+            TimerKey::Suspended { wire_session, gen },
+        );
+    }
+
+    /// The transport died mid-stream: suspend the feed (adopting a
+    /// waiting `Resume` probe directly if one is parked) — or drop it
+    /// when no resume window is configured. Always returns `None`.
+    fn lose_feed(&self, core: &mut Core, state: Box<FeedState>, err: PianoError) -> Option<Conn> {
+        let sh = &*self.shared;
+        self.dec_active();
+        if sh.cfg.resume_window.is_zero() {
+            self.drop_conn_state(core, Some(state.id), DropCause::Disconnect, &err, false);
+            return None;
+        }
+        sh.counters
+            .connections_suspended
+            .fetch_add(1, Ordering::Relaxed);
+        let wire_session = state.wire_session;
+        // A reconnect can beat the loss discovery (the threaded server
+        // busy-polled the registry for this case): adopt the parked
+        // probe in the same loop turn, with no registry round-trip.
+        if let Some(probe_token) = find_pending_resume(core, wire_session) {
+            if let Some(mut probe) = core.conns.get_mut(probe_token).and_then(Option::take) {
+                sh.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                let client_next_seq = match mem::replace(&mut probe.phase, Phase::Handshake) {
+                    Phase::PendingResume {
+                        client_next_seq, ..
+                    } => client_next_seq,
+                    other => {
+                        probe.phase = other;
+                        0
+                    }
+                };
+                let out = self.attach(
+                    core,
+                    probe_token,
+                    probe,
+                    wire_session,
+                    client_next_seq,
+                    Parked::Streaming(state),
+                );
+                self.finish_turn(core, probe_token, out);
+                return None;
+            }
+        }
+        self.park(core, wire_session, Parked::Streaming(state));
+        None
+    }
+
+    /// Re-attaches a reconnecting client to its suspended feed (or
+    /// re-delivers a parked verdict), answering with `ResumeAck`.
+    fn attach(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        wire_session: u64,
+        client_next_seq: u32,
+        parked: Parked,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        match parked {
+            Parked::Streaming(mut state) => {
+                {
+                    let mut progress = sh.progress.lock();
+                    progress.active += 1;
+                }
+                // Flow-control replies queued for the dead transport are
+                // stale; the ack below re-synchronizes both sides at the
+                // feed's contiguity cursor (`client_next_seq` may trail
+                // or lead it — the ack's cursor wins either way).
+                state.feed.resync_flow();
+                let _ = client_next_seq;
+                let ack = Message::ResumeAck {
+                    session: wire_session,
+                    ack_seq: state.feed.next_seq(),
+                    ended: state.ended,
+                };
+                if let Err(e) = conn.t.write_all(&ack.encode_framed()) {
+                    drop(conn);
+                    return self.lose_feed(core, state, io_transport(e));
+                }
+                let now = Instant::now();
+                conn.next_deadline =
+                    (now + sh.cfg.idle_timeout).min(state.started + sh.cfg.stream_timeout);
+                conn.phase = Phase::Streaming(state);
+                self.rearm(core, token, &mut conn);
+                core.runnable.insert(token);
+                Some(conn)
+            }
+            Parked::Decided { id } => {
+                let ack = Message::ResumeAck {
+                    session: wire_session,
+                    ack_seq: client_next_seq,
+                    ended: true,
+                };
+                if let Err(e) = conn.t.write_all(&ack.encode_framed()) {
+                    drop(conn);
+                    // Park the verdict again for the next attempt.
+                    self.park(core, wire_session, Parked::Decided { id });
+                    self.drop_conn_state(core, None, DropCause::Disconnect, &io_transport(e), true);
+                    return None;
+                }
+                if core.scan_done {
+                    self.deliver(core, conn, id, wire_session)
+                } else {
+                    conn.phase = Phase::AwaitDecision { id, wire_session };
+                    conn.next_deadline = Instant::now() + sh.cfg.decision_timeout;
+                    self.rearm(core, token, &mut conn);
+                    Some(conn)
+                }
+            }
+        }
+    }
+
+    // -- timers ------------------------------------------------------------
+
+    /// Handles one expired wheel entry: re-arms if the deadline moved or
+    /// the generation is stale, else enforces the phase timeout.
+    fn on_timer(&self, core: &mut Core, key: TimerKey, now: Instant) {
+        match key {
+            TimerKey::Conn { token, gen } => {
+                let conn = match core.conns.get_mut(token).and_then(Option::take) {
+                    Some(c) => c,
+                    None => return,
+                };
+                if conn.armed_gen != gen {
+                    self.put_back(core, token, conn); // superseded entry
+                    return;
+                }
+                if now < conn.next_deadline {
+                    // The deadline moved later (data arrived): re-arm
+                    // the same generation at the new deadline.
+                    core.wheel
+                        .insert(conn.next_deadline, TimerKey::Conn { token, gen });
+                    self.put_back(core, token, conn);
+                    return;
+                }
+                self.expire_conn(core, token, conn, now);
+            }
+            TimerKey::Suspended { wire_session, gen } => {
+                let lapsed = core
+                    .suspended
+                    .get(&wire_session)
+                    .is_some_and(|s| s.gen == gen);
+                if !lapsed {
+                    return; // resumed, or re-parked under a newer window
+                }
+                let susp = match core.suspended.remove(&wire_session) {
+                    Some(s) => s,
+                    None => return,
+                };
+                match susp.state {
+                    Parked::Streaming(state) => {
+                        // Expired mid-stream feeds drop (counted toward
+                        // the report wait); expired verdict entries are
+                        // forgotten silently — their feed already
+                        // reported and decided.
+                        self.drop_conn_state(
+                            core,
+                            Some(state.id),
+                            DropCause::ResumeExpired,
+                            &PianoError::Timeout("resume window expired".into()),
+                            false,
+                        );
+                    }
+                    Parked::Decided { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// A connection's phase deadline genuinely fired: classify and drop
+    /// — except a draining stream, whose watchdogs only bite while the
+    /// backlog is empty (matching the threaded server, whose deadlines
+    /// only bound its *blocking* reads).
+    fn expire_conn(&self, core: &mut Core, token: usize, mut conn: Conn, now: Instant) {
+        let sh = &*self.shared;
+        match mem::replace(&mut conn.phase, Phase::Handshake) {
+            Phase::Handshake => {
+                drop(conn);
+                self.drop_conn_state(
+                    core,
+                    None,
+                    DropCause::Timeout,
+                    &PianoError::Timeout("handshake deadline missed".into()),
+                    false,
+                );
+            }
+            Phase::Streaming(state) => {
+                if state.feed.buffered() > 0 || state.ended {
+                    // Draining: not idle, so no timeout applies. Keep a
+                    // watchdog armed for when the backlog empties again.
+                    conn.next_deadline =
+                        (now + sh.cfg.idle_timeout).min(state.started + sh.cfg.stream_timeout);
+                    conn.phase = Phase::Streaming(state);
+                    self.rearm(core, token, &mut conn);
+                    self.put_back(core, token, conn);
+                    return;
+                }
+                let err = if now >= state.started + sh.cfg.stream_timeout {
+                    PianoError::Timeout("stream budget exhausted mid-stream".into())
+                } else {
+                    PianoError::Timeout(format!(
+                        "feed idle for {:?} mid-stream",
+                        sh.cfg.idle_timeout
+                    ))
+                };
+                drop(conn);
+                self.drop_feed(core, state, DropCause::Timeout, &err);
+            }
+            Phase::AwaitDecision { id, .. } => {
+                drop(conn);
+                // Waived: the feed already counted in Progress::reports.
+                self.drop_conn_state(
+                    core,
+                    Some(id),
+                    DropCause::Timeout,
+                    &PianoError::Timeout(
+                        "hub scan did not conclude within the decision deadline".into(),
+                    ),
+                    true,
+                );
+            }
+            Phase::PendingResume { wire_session, .. } => {
+                drop(conn);
+                // The feed this probe hoped to resume is accounted for
+                // elsewhere (still live, already dropped, or never
+                // existed): never double-count it in the wait.
+                self.drop_conn_state(
+                    core,
+                    None,
+                    DropCause::Protocol,
+                    &PianoError::Wire(format!(
+                        "resume for unknown or expired session {wire_session:#x}"
+                    )),
+                    true,
+                );
+            }
+        }
+    }
+
+    // -- scan --------------------------------------------------------------
+
+    /// Streams the hub recording through every service shard in
+    /// `tick`-sample chunks, concludes the scan groups, publishes
+    /// `scan_done`, and delivers verdicts to every waiting connection in
+    /// token order.
+    fn run_scan(&self, core: &mut Core, hub: &[f64], tick: usize) {
+        let sh = &*self.shared;
+        core.scan_started = true;
+        for chunk in hub.chunks(tick.max(1)) {
+            let _ = sh.service.push_audio(chunk);
+        }
+        let _ = sh.service.finish_audio();
+        let decided = sh.service.sessions_decided();
+        core.scan_done = true;
+        let waiting: Vec<usize> = core
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(c) if matches!(c.phase, Phase::AwaitDecision { .. }) => Some(i),
+                _ => None,
+            })
+            .collect();
+        for token in waiting {
+            let mut conn = match core.conns.get_mut(token).and_then(Option::take) {
+                Some(c) => c,
+                None => continue,
+            };
+            let out = match mem::replace(&mut conn.phase, Phase::Handshake) {
+                Phase::AwaitDecision { id, wire_session } => {
+                    self.deliver(core, conn, id, wire_session)
+                }
+                other => {
+                    conn.phase = other;
+                    Some(conn)
+                }
+            };
+            self.finish_turn(core, token, out);
+        }
+        // Publish *after* the verdict deliveries above: a host returning
+        // from `scan_and_decide` must observe every outcome the scan
+        // produced.
+        {
+            let mut progress = sh.progress.lock();
+            progress.scan_done = true;
+            progress.decided = decided;
+            sh.progress_cv.notify_all();
+        }
+    }
+
+    // -- drop accounting ---------------------------------------------------
+
+    /// Decrements the active-feed population (attach's inverse).
+    fn dec_active(&self) {
+        let mut progress = self.shared.progress.lock();
+        progress.active = progress.active.saturating_sub(1);
+    }
+
+    /// Drops an *attached* feed: active-population and drop accounting
+    /// in one step.
+    fn drop_feed(
+        &self,
+        core: &mut Core,
+        state: Box<FeedState>,
+        cause: DropCause,
+        err: &PianoError,
+    ) {
+        self.dec_active();
+        self.drop_conn_state(core, Some(state.id), cause, err, false);
+    }
+
+    /// The drop-only-this-connection path: count the cause, log it,
+    /// close the service session (unless the scan already fixed the
+    /// group's signature set), and — unless waived — count it where
+    /// [`wait_for_reports`](Self::wait_for_reports) can see it.
+    fn drop_conn_state(
+        &self,
+        core: &mut Core,
+        id: Option<SessionId>,
+        cause: DropCause,
+        err: &PianoError,
+        waived: bool,
+    ) {
+        self.shared.counters.count_drop(cause);
+        eprintln!(
+            "dropping connection{}: {} [{}]",
+            match id {
+                Some(id) => format!(" (session {id:?})"),
+                None => String::new(),
+            },
+            err,
+            cause,
+        );
+        if let Some(id) = id {
+            if !core.scan_started {
+                let _ = self.shared.service.close_session(id);
+            }
+        }
+        if !waived {
+            let mut progress = self.shared.progress.lock();
+            progress.dropped += 1;
+            self.shared.progress_cv.notify_all();
+        }
+    }
+
+    /// Records this connection's resident footprint for the bench's
+    /// connection-ceiling accounting: state machine + frame-reader
+    /// buffer + peak backlog samples.
+    fn record_conn_footprint(&self, conn: &Conn, state: &FeedState) {
+        let bytes = mem::size_of::<Conn>()
+            + mem::size_of::<FeedState>()
+            + conn.reader.buffer_capacity()
+            + state.feed.peak_buffered() * mem::size_of::<f64>();
+        self.shared
+            .conn_bytes_peak
+            .fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// The token of a parked `Resume` probe waiting for `wire_session`, if
+/// any.
+fn find_pending_resume(core: &Core, wire_session: u64) -> Option<usize> {
+    core.conns
+        .iter()
+        .enumerate()
+        .find_map(|(i, slot)| match slot {
+            Some(c) => match c.phase {
+                Phase::PendingResume {
+                    wire_session: w, ..
+                } if w == wire_session => Some(i),
+                _ => None,
+            },
+            None => None,
+        })
+}

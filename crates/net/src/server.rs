@@ -67,7 +67,7 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,14 +76,13 @@ use rand_chacha::ChaCha8Rng;
 
 use piano_core::error::PianoError;
 use piano_core::piano::{AuthDecision, DenialReason};
-use piano_core::stream::{
-    AuthService, AuthSession, DropCause, DropCounts, ServiceStats, SessionId,
-};
+use piano_core::stream::{AuthService, AuthSession, DropCause, ServiceStats, SessionId};
 use piano_core::sync::OrderedMutex;
 use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
 
 use crate::codec;
 use crate::framing::{io_transport, read_frame_deadline, READ_BUF_BYTES};
+use crate::metrics::{audio_samples, Counters, FeedState};
 use crate::transport::{Listener, Transport};
 
 /// How often the report-waiting host re-checks the suspension registry
@@ -144,48 +143,6 @@ impl Default for ServerConfig {
     }
 }
 
-/// Atomic ingestion counters, aggregated across connection threads.
-#[derive(Debug, Default)]
-struct Counters {
-    connections: AtomicU64,
-    connections_dropped: AtomicU64,
-    connections_shed: AtomicU64,
-    connections_suspended: AtomicU64,
-    resumes: AtomicU64,
-    frames_decoded: AtomicU64,
-    wire_audio_bytes: AtomicU64,
-    raw_audio_bytes: AtomicU64,
-    peak_feed_backlog: AtomicU64,
-    busy_replies: AtomicU64,
-    credit_replies: AtomicU64,
-    /// Per-[`DropCause`] drop counts, indexed by [`cause_slot`].
-    drops: [AtomicU64; 6],
-}
-
-/// Fixed index of a cause in [`Counters::drops`] / [`DropCounts`].
-fn cause_slot(cause: DropCause) -> usize {
-    match cause {
-        DropCause::Framing => 0,
-        DropCause::Protocol => 1,
-        DropCause::Overrun => 2,
-        DropCause::Timeout => 3,
-        DropCause::Disconnect => 4,
-        DropCause::ResumeExpired => 5,
-    }
-}
-
-impl Counters {
-    fn max_peak(&self, candidate: u64) {
-        self.peak_feed_backlog
-            .fetch_max(candidate, Ordering::Relaxed);
-    }
-
-    fn count_drop(&self, cause: DropCause) {
-        self.connections_dropped.fetch_add(1, Ordering::Relaxed);
-        self.drops[cause_slot(cause)].fetch_add(1, Ordering::Relaxed);
-    }
-}
-
 /// Cross-thread progress state guarded by one mutex (+ condvar).
 #[derive(Debug, Default)]
 struct Progress {
@@ -203,25 +160,6 @@ struct Progress {
     scan_started: bool,
     /// The hub scan finished: decisions are available.
     scan_done: bool,
-}
-
-/// Everything one attached feed carries: the parked form of a connection,
-/// moved between the connection thread and the suspension registry.
-#[derive(Debug)]
-struct FeedState {
-    /// The service session (scan-side identity).
-    id: SessionId,
-    /// The wire session id (what frames and `Resume` carry).
-    wire_session: u64,
-    /// The gateway-side voucher scanning on the device's behalf.
-    voucher: AuthSession,
-    /// Sequence/backlog/flow-control accounting for the stream.
-    feed: IngestFeed,
-    /// `StreamEnd` has been accepted; only backlog drain remains.
-    ended: bool,
-    /// When the stream began — anchors the whole-stream watchdog across
-    /// suspensions and resumes.
-    started: Instant,
 }
 
 /// What a suspended wire session is waiting to resume *into*.
@@ -273,18 +211,6 @@ enum StreamFailure {
     Lost(PianoError),
 }
 
-/// Samples an audio message would add to a feed's backlog (0 for
-/// non-audio) — used to tell an [`DropCause::Overrun`] from other
-/// [`IngestFeed::accept`] rejections.
-fn audio_samples(msg: &Message) -> usize {
-    match msg {
-        Message::AudioChunk { samples, .. } => samples.len(),
-        Message::AudioBatch { chunks, .. } => chunks.iter().map(Vec::len).sum(),
-        Message::AudioBatchI16 { chunks, .. } => chunks.iter().map(Vec::len).sum(),
-        _ => 0,
-    }
-}
-
 /// The server's shared state, all locks ranked for
 /// [`OrderedMutex`]'s debug-build order checker. The documented order is
 /// `progress → service → rng` (ascending rank); `suspended` and `ids` are
@@ -301,6 +227,10 @@ struct Shared {
     /// Resume registry: wire session id → parked feed, while
     /// [`ServerConfig::resume_window`] lasts.
     suspended: OrderedMutex<HashMap<u64, Suspended>>,
+    /// Signaled by [`ServerLoop::park`] whenever a registry entry lands,
+    /// so a `Resume` probe that raced ahead of the suspension wakes
+    /// immediately instead of polling.
+    suspended_cv: Condvar,
 }
 
 /// Lock ranks of the [`Shared`] mutexes: acquisition must ascend.
@@ -335,6 +265,7 @@ impl ServerLoop {
                 progress_cv: Condvar::new(),
                 ids: OrderedMutex::new(rank::IDS, "server.ids", Vec::new()),
                 suspended: OrderedMutex::new(rank::SUSPENDED, "server.suspended", HashMap::new()),
+                suspended_cv: Condvar::new(),
             }),
         }
     }
@@ -559,7 +490,9 @@ impl ServerLoop {
     /// The registry entry may not exist *yet*: the dead connection's
     /// thread discovers the loss asynchronously (often only at its next
     /// write), so a prompt reconnect can beat the suspension. The lookup
-    /// therefore polls until the handshake deadline before rejecting.
+    /// therefore waits on the registry condvar — woken the moment
+    /// [`park`](Self::park) lands the entry — until the handshake
+    /// deadline before rejecting.
     fn resume_connection<T: Transport>(
         &self,
         mut t: T,
@@ -571,11 +504,20 @@ impl ServerLoop {
     ) -> Result<ConnOutcome, ConnError> {
         let sh = &*self.shared;
         let entry = loop {
+            // Expiry first, so a lapsed entry for this session is dropped
+            // under ResumeExpired rather than resurrected here. The
+            // expiry pass takes the registry lock itself, so it must run
+            // before this iteration's guard is taken.
             self.expire_suspended(Instant::now());
-            if let Some(e) = sh.suspended.lock().remove(&wire_session) {
+            // Check under the guard: park() inserts under this same
+            // lock, so between here and the wait below no entry can slip
+            // in unobserved.
+            let mut registry = sh.suspended.lock();
+            if let Some(e) = registry.remove(&wire_session) {
                 break e;
             }
-            if Instant::now() >= hs_deadline {
+            let now = Instant::now();
+            if now >= hs_deadline {
                 return Err(ConnError {
                     id: None,
                     cause: DropCause::Protocol,
@@ -588,7 +530,7 @@ impl ServerLoop {
                     waived: true,
                 });
             }
-            std::thread::sleep(Duration::from_millis(2));
+            drop(registry.wait_timeout(&sh.suspended_cv, hs_deadline - now).0);
         };
         sh.counters.resumes.fetch_add(1, Ordering::Relaxed);
         match entry.state {
@@ -642,13 +584,15 @@ impl ServerLoop {
         }
     }
 
-    /// Inserts a registry entry and nudges the report waiter so its tick
-    /// loop starts watching this suspension's expiry.
+    /// Inserts a registry entry, wakes any `Resume` probe blocked on the
+    /// registry condvar, and nudges the report waiter so its tick loop
+    /// starts watching this suspension's expiry.
     fn park(&self, wire_session: u64, state: SuspendedState, expires: Instant) {
         self.shared
             .suspended
             .lock()
             .insert(wire_session, Suspended { state, expires });
+        self.shared.suspended_cv.notify_all();
         self.shared.progress_cv.notify_all();
     }
 
@@ -1061,29 +1005,8 @@ impl ServerLoop {
     /// A point-in-time [`ServiceStats`] snapshot across every connection
     /// served so far.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
-        let get = |cause: DropCause| c.drops[cause_slot(cause)].load(Ordering::Relaxed);
-        ServiceStats {
-            connections: c.connections.load(Ordering::Relaxed),
-            connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
-            connections_shed: c.connections_shed.load(Ordering::Relaxed),
-            connections_suspended: c.connections_suspended.load(Ordering::Relaxed),
-            resumes: c.resumes.load(Ordering::Relaxed),
-            drops: DropCounts {
-                framing: get(DropCause::Framing),
-                protocol: get(DropCause::Protocol),
-                overrun: get(DropCause::Overrun),
-                timeout: get(DropCause::Timeout),
-                disconnect: get(DropCause::Disconnect),
-                resume_expired: get(DropCause::ResumeExpired),
-            },
-            frames_decoded: c.frames_decoded.load(Ordering::Relaxed),
-            wire_audio_bytes: c.wire_audio_bytes.load(Ordering::Relaxed),
-            raw_audio_bytes: c.raw_audio_bytes.load(Ordering::Relaxed),
-            peak_feed_backlog: c.peak_feed_backlog.load(Ordering::Relaxed),
-            busy_replies: c.busy_replies.load(Ordering::Relaxed),
-            credit_replies: c.credit_replies.load(Ordering::Relaxed),
-            sessions_decided: self.with_service(|s| s.sessions_decided()) as u64,
-        }
+        self.shared
+            .counters
+            .snapshot(self.with_service(|s| s.sessions_decided()) as u64)
     }
 }

@@ -7,12 +7,123 @@
 //! without blocking (for opportunistic reply draining). Everything above
 //! — framing, codecs, backpressure, sessions — is transport-agnostic.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Readiness
+// ---------------------------------------------------------------------------
+
+/// Shared state of a [`ReadySet`].
+#[derive(Debug, Default)]
+struct ReadyState {
+    /// Tokens whose transports reported readable bytes (or EOF).
+    ready: BTreeSet<usize>,
+    /// A tokenless wakeup was requested (new connection injected, scan
+    /// concluded, shutdown) — the waiter should re-check its mailboxes.
+    kicked: bool,
+}
+
+/// A wait-drain readiness queue: the reactor side of the
+/// [`Transport::register_ready`] surface. Transports (via their
+/// [`ReadySignal`]s) push tokens; one event loop drains them, sleeping on
+/// the internal condvar when nothing is pending.
+#[derive(Debug, Default)]
+pub struct ReadySet {
+    state: Mutex<ReadyState>,
+    cv: Condvar,
+}
+
+impl ReadySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ReadySet::default()
+    }
+
+    /// A signal that marks `token` ready when notified. Hand one to each
+    /// connection's [`Transport::register_ready`].
+    pub fn signal(self: &Arc<Self>, token: usize) -> ReadySignal {
+        ReadySignal {
+            set: Arc::clone(self),
+            token,
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ReadyState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks `token` ready and wakes the waiter.
+    pub fn push(&self, token: usize) {
+        let mut s = self.lock_state();
+        s.ready.insert(token);
+        self.cv.notify_all();
+    }
+
+    /// Requests a tokenless wakeup (the waiter should re-check whatever
+    /// out-of-band mailboxes it watches).
+    pub fn kick(&self) {
+        let mut s = self.lock_state();
+        s.kicked = true;
+        self.cv.notify_all();
+    }
+
+    /// Drains the ready tokens, waiting up to `timeout` (`None` = forever)
+    /// for the first event. Returns the ready tokens (ascending) and
+    /// whether a [`kick`](Self::kick) was absorbed. A `Some(ZERO)` timeout
+    /// polls without sleeping.
+    pub fn drain_wait(&self, timeout: Option<Duration>) -> (Vec<usize>, bool) {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut s = self.lock_state();
+        while s.ready.is_empty() && !s.kicked {
+            match deadline {
+                None => {
+                    s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(s, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    s = guard;
+                }
+            }
+        }
+        let kicked = std::mem::take(&mut s.kicked);
+        (std::mem::take(&mut s.ready).into_iter().collect(), kicked)
+    }
+}
+
+/// One connection's readiness callback: cloneable, send-safe, and cheap.
+/// A transport that accepted one via [`Transport::register_ready`] calls
+/// [`notify`](Self::notify) whenever bytes (or end-of-stream) become
+/// readable — edge delivery into a level-consumed set, so duplicate
+/// notifies coalesce.
+#[derive(Clone, Debug)]
+pub struct ReadySignal {
+    set: Arc<ReadySet>,
+    token: usize,
+}
+
+impl ReadySignal {
+    /// Marks this connection ready in its owning [`ReadySet`].
+    pub fn notify(&self) {
+        self.set.push(self.token);
+    }
+
+    /// The token this signal marks ready.
+    pub fn token(&self) -> usize {
+        self.token
+    }
+}
 
 /// A blocking, bidirectional byte stream between two endpoints.
 ///
@@ -38,6 +149,21 @@ pub trait Transport: Send {
     /// means end-of-stream. This is what deadline-aware server loops use
     /// so a silent peer cannot pin a connection thread forever.
     fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize>;
+
+    /// Registers a readiness signal: the transport arranges for
+    /// `signal.notify()` to fire whenever readable bytes (or end-of-
+    /// stream) become available, and returns `true`. The default — and
+    /// any transport that cannot deliver edge notifications — returns
+    /// `false`, telling the caller to fall back to *probing*: periodic
+    /// [`try_read`](Self::try_read) polls (level-triggered emulation).
+    ///
+    /// A `true` implementation must also notify immediately when data is
+    /// already pending at registration time, so no edge is lost to the
+    /// registration race.
+    fn register_ready(&mut self, signal: ReadySignal) -> bool {
+        let _ = signal;
+        false
+    }
 }
 
 /// An acceptor of inbound [`Transport`] connections.
@@ -58,6 +184,9 @@ pub trait Listener: Send {
 struct PipeState {
     buf: VecDeque<u8>,
     closed: bool,
+    /// Readiness signal of the reading endpoint's reactor, if registered:
+    /// notified on every write and on close.
+    waker: Option<ReadySignal>,
 }
 
 #[derive(Debug, Default)]
@@ -93,6 +222,9 @@ impl Pipe {
         }
         s.buf.extend(bytes.iter().copied());
         self.readable.notify_all();
+        if let Some(w) = &s.waker {
+            w.notify();
+        }
         Ok(())
     }
 
@@ -143,6 +275,21 @@ impl Pipe {
         let mut s = self.lock_state();
         s.closed = true;
         self.readable.notify_all();
+        if let Some(w) = &s.waker {
+            w.notify();
+        }
+    }
+
+    /// Installs (or clears) the reading side's readiness signal,
+    /// notifying immediately if bytes or EOF are already pending so the
+    /// registration race loses no edge.
+    fn set_waker(&self, waker: Option<ReadySignal>) {
+        let mut s = self.lock_state();
+        let pending = !s.buf.is_empty() || s.closed;
+        if let (Some(w), true) = (&waker, pending) {
+            w.notify();
+        }
+        s.waker = waker;
     }
 }
 
@@ -181,6 +328,11 @@ impl Transport for MemoryStream {
 
     fn read_timeout(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<usize> {
         self.rx.read_deadline(buf, timeout)
+    }
+
+    fn register_ready(&mut self, signal: ReadySignal) -> bool {
+        self.rx.set_waker(Some(signal));
+        true
     }
 }
 
@@ -273,6 +425,16 @@ impl Transport for TcpStream {
                 e
             }
         })
+    }
+
+    /// Loopback TCP has no edge-notification path in std (no epoll/kqueue
+    /// without platform code, and this crate forbids `unsafe`), so TCP
+    /// connections run in probe mode: the reactor level-polls them with
+    /// [`Transport::try_read`] on its probe tick. Honest `false` beats a
+    /// fake `true` that would strand the connection.
+    fn register_ready(&mut self, signal: ReadySignal) -> bool {
+        let _ = signal;
+        false
     }
 }
 

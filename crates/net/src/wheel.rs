@@ -1,0 +1,234 @@
+//! A hashed timer wheel for the reactor's phase deadlines.
+//!
+//! Every connection phase (handshake, mid-stream idle, whole-stream
+//! budget, decision wait) and every suspension's resume window is one
+//! entry here instead of a blocking `read_timeout` on a dedicated
+//! thread. Entries hash into `SLOTS` buckets by expiry tick; an entry
+//! whose expiry lies beyond one rotation simply stays in its bucket
+//! until the wheel has swept past it enough times (round counting via
+//! the absolute expiry tick — no per-entry round field needed).
+//!
+//! Cancellation is *lazy*: callers never remove an entry. Instead every
+//! timer-bearing owner keeps a generation counter, bumps it whenever the
+//! deadline it cares about changes (e.g. the idle deadline resets on
+//! every received byte), and ignores expirations that surface a stale
+//! generation. Insertion and expiry are O(1) amortized; stale entries
+//! cost one compare when their slot comes around.
+
+use std::time::{Duration, Instant};
+
+/// Bucket count. With the default tick this spans ~1 s per rotation;
+/// longer deadlines just survive extra sweeps.
+const SLOTS: usize = 256;
+
+/// What a timer entry identifies when it fires. The `gen` fields make
+/// lazy cancellation work: the owner compares against its current
+/// generation and drops stale firings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TimerKey {
+    /// A connection's current phase deadline.
+    Conn { token: usize, gen: u64 },
+    /// A suspension's resume-window expiry.
+    Suspended { wire_session: u64, gen: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Absolute expiry, in ticks since the wheel's origin.
+    at_tick: u64,
+    key: TimerKey,
+}
+
+/// The wheel itself. One per reactor, owned by the reactor thread — no
+/// locking anywhere.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    origin: Instant,
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// The next tick `advance` will sweep (everything before it has been
+    /// swept already).
+    cursor: u64,
+    /// Live entry count (stale entries included — they are still stored).
+    armed: usize,
+    /// Lower bound on the earliest `at_tick` of any stored entry, for
+    /// cheap sleep computation; refreshed lazily by `advance`.
+    soonest: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with `tick` resolution starting now. Deadlines round *up*
+    /// to the next tick boundary, so a timer never fires early.
+    pub(crate) fn new(tick: Duration) -> Self {
+        TimerWheel {
+            origin: Instant::now(),
+            tick: tick.max(Duration::from_micros(100)),
+            slots: vec![Vec::new(); SLOTS],
+            cursor: 0,
+            armed: 0,
+            soonest: u64::MAX,
+        }
+    }
+
+    /// The absolute tick containing `t`, rounded up.
+    fn tick_of(&self, t: Instant) -> u64 {
+        let since = t.saturating_duration_since(self.origin);
+        let ticks = since.as_nanos() / self.tick.as_nanos().max(1);
+        // +1: round up so expiry checks run after the deadline, never at
+        // or before it.
+        (ticks as u64).saturating_add(1)
+    }
+
+    /// Arms a timer for `key` at `deadline`.
+    pub(crate) fn insert(&mut self, deadline: Instant, key: TimerKey) {
+        let at_tick = self.tick_of(deadline).max(self.cursor);
+        if let Some(slot) = self.slots.get_mut((at_tick % SLOTS as u64) as usize) {
+            slot.push(Entry { at_tick, key });
+            self.armed += 1;
+            self.soonest = self.soonest.min(at_tick);
+        }
+    }
+
+    /// The earliest instant any stored entry could fire, for sleep
+    /// bounding; `None` when the wheel is empty.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        if self.armed == 0 {
+            return None;
+        }
+        let at = self.soonest.max(self.cursor);
+        Some(self.origin + self.tick.saturating_mul(at.min(u32::MAX as u64) as u32))
+    }
+
+    /// Sweeps every slot whose tick has passed, collecting expired keys
+    /// in deterministic (tick, insertion) order. Callers filter stale
+    /// generations themselves.
+    pub(crate) fn advance(&mut self, now: Instant) -> Vec<TimerKey> {
+        let now_tick = self.tick_of(now).saturating_sub(1); // ticks fully elapsed
+        let mut fired: Vec<(u64, TimerKey)> = Vec::new();
+        if self.armed == 0 || now_tick < self.cursor || now_tick < self.soonest {
+            return Vec::new();
+        }
+        // Sweep at most one full rotation: beyond that every slot has
+        // been visited once and entries keyed further out are retained
+        // by the `at_tick` comparison anyway.
+        let sweep_to = now_tick.min(self.cursor + SLOTS as u64);
+        let mut soonest = u64::MAX;
+        for t in self.cursor..=sweep_to {
+            if let Some(slot) = self.slots.get_mut((t % SLOTS as u64) as usize) {
+                let mut kept = Vec::new();
+                for e in slot.drain(..) {
+                    if e.at_tick <= now_tick {
+                        fired.push((e.at_tick, e.key));
+                    } else {
+                        soonest = soonest.min(e.at_tick);
+                        kept.push(e);
+                    }
+                }
+                *slot = kept;
+            }
+        }
+        self.cursor = sweep_to + 1;
+        // Entries in unswept slots may still precede `soonest`; scan the
+        // remainder only when the cheap bound was consumed.
+        if soonest == u64::MAX {
+            for slot in &self.slots {
+                for e in slot {
+                    soonest = soonest.min(e.at_tick);
+                }
+            }
+        }
+        self.soonest = soonest;
+        self.armed = self.armed.saturating_sub(fired.len());
+        fired.sort_by_key(|&(at, _)| at);
+        fired.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_the_deadline_not_before() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let now = Instant::now();
+        w.insert(
+            now + Duration::from_millis(5),
+            TimerKey::Conn { token: 1, gen: 0 },
+        );
+        assert!(w.advance(now).is_empty(), "must not fire early");
+        let fired = w.advance(now + Duration::from_millis(10));
+        assert_eq!(fired, vec![TimerKey::Conn { token: 1, gen: 0 }]);
+        assert!(
+            w.next_deadline().is_none(),
+            "wheel must disarm after firing"
+        );
+    }
+
+    #[test]
+    fn long_deadlines_survive_many_rotations() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let now = Instant::now();
+        // ~2 s with 256 × 1 ms slots: ~8 rotations.
+        w.insert(
+            now + Duration::from_millis(2_000),
+            TimerKey::Suspended {
+                wire_session: 7,
+                gen: 3,
+            },
+        );
+        for step in 1..8 {
+            assert!(
+                w.advance(now + Duration::from_millis(step * 250))
+                    .is_empty(),
+                "fired {} ms early",
+                2_000 - step * 250
+            );
+        }
+        let fired = w.advance(now + Duration::from_millis(2_010));
+        assert_eq!(
+            fired,
+            vec![TimerKey::Suspended {
+                wire_session: 7,
+                gen: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_generations_are_the_callers_problem_but_order_is_stable() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let now = Instant::now();
+        w.insert(
+            now + Duration::from_millis(9),
+            TimerKey::Conn { token: 2, gen: 0 },
+        );
+        w.insert(
+            now + Duration::from_millis(3),
+            TimerKey::Conn { token: 1, gen: 0 },
+        );
+        let fired = w.advance(now + Duration::from_millis(20));
+        assert_eq!(
+            fired,
+            vec![
+                TimerKey::Conn { token: 1, gen: 0 },
+                TimerKey::Conn { token: 2, gen: 0 }
+            ],
+            "expiry order follows deadlines, not insertion"
+        );
+    }
+
+    #[test]
+    fn next_deadline_bounds_the_sleep() {
+        let mut w = TimerWheel::new(Duration::from_millis(2));
+        assert!(w.next_deadline().is_none());
+        let now = Instant::now();
+        w.insert(
+            now + Duration::from_millis(50),
+            TimerKey::Conn { token: 1, gen: 0 },
+        );
+        let nd = w.next_deadline().expect("armed");
+        assert!(nd >= now + Duration::from_millis(50) - Duration::from_millis(4));
+        assert!(nd <= now + Duration::from_millis(60));
+    }
+}

@@ -10,6 +10,9 @@
 //! PIANO_SCAN_WORKERS=4  cargo run --release --example fleet_ingest
 //! PIANO_NET_FAULT_SEED=0xFA17 cargo run --release --example fleet_ingest  # chaos mode
 //! cargo run --release --example fleet_ingest -- --faults             # chaos, default seed
+//! PIANO_NET_REACTOR=1   cargo run --release --example fleet_ingest   # readiness reactor
+//! PIANO_NET_REACTOR=1 PIANO_NET_FAULT_SEED=0xFA17 \
+//!                       cargo run --release --example fleet_ingest   # reactor + chaos
 //! ```
 //!
 //! The scenario: a gateway authenticates every user in a building at
@@ -30,6 +33,14 @@
 //! `PIANO_NET_TCP=1` to run the same stack over loopback TCP sockets
 //! (falls back to in-memory where binding 127.0.0.1 fails).
 //!
+//! **Reactor mode** (`PIANO_NET_REACTOR=1`): the gateway runs the
+//! readiness-reactor [`ReactorServer`] instead of thread-per-connection
+//! — ONE event-loop thread drives every connection's state machine off
+//! `try_read`, with service state sharded per scan group
+//! (`PIANO_NET_SHARDS`, default 4). Composes with chaos mode: the same
+//! seeded faults, redials, and resumes run against the reactor, and the
+//! run prints the measured per-connection resident footprint.
+//!
 //! **Chaos mode** (`PIANO_NET_FAULT_SEED=<seed>` or `--faults`): every
 //! client link is wrapped in a seeded [`FaultyTransport`] — arbitrary
 //! read/write segmentation and latency on all feeds, plus mid-stream
@@ -48,10 +59,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use piano::core::wire::WireCodec;
-use piano::net::fixtures::{feed_recording, hub_recording, FEED_REC_LEN};
+use piano::net::fixtures::{feed_recording, hub_recording, hub_recording_reactor, FEED_REC_LEN};
 use piano::net::transport::{memory_hub, tcp_loopback, Listener, MemoryStream};
 use piano::net::{
-    FaultPlan, FaultyTransport, FeedHandle, ResilientFeed, RetryPolicy, ServerConfig, ServerLoop,
+    FaultPlan, FaultyTransport, FeedHandle, FeedStats, ReactorServer, ResilientFeed, RetryPolicy,
+    ServerConfig, ServerLoop,
 };
 use piano::prelude::*;
 
@@ -70,6 +82,13 @@ fn main() {
                 .unwrap_or_else(|| v.parse().ok())
         })
         .or_else(|| std::env::args().any(|a| a == "--faults").then_some(0xFA17));
+    let use_reactor = std::env::var("PIANO_NET_REACTOR")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if use_reactor {
+        run_reactor_fleet(fault_seed, feeds, codec);
+        return;
+    }
     if let Some(seed) = fault_seed {
         run_faulted_fleet(seed, feeds, codec);
         return;
@@ -213,6 +232,199 @@ fn main() {
         );
     }
     println!("\nfleet ingested over the wire, authenticated, and re-verified off one service");
+}
+
+/// Reactor mode: the same fleet against the readiness-reactor gateway.
+/// ONE event-loop thread owns every connection's state machine; the
+/// service is sharded per scan group (`PIANO_NET_SHARDS`, default 4).
+/// With a fault seed the chaos schedule from [`run_faulted_fleet`] runs
+/// unchanged — cuts, redials, and resumes all land on the reactor — and
+/// the run must still end with every verdict granted.
+fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
+    let shards: usize = std::env::var("PIANO_NET_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let server = ReactorServer::new(
+        ShardedAuthService::new(PianoConfig::with_threshold(1.0), shards),
+        ChaCha8Rng::seed_from_u64(0xF1EE7),
+        ServerConfig {
+            resume_window: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    );
+    let action = server
+        .service()
+        .with_default(|s| s.config().action.clone())
+        .expect("shard 0 exists");
+    println!(
+        "fleet gateway (REACTOR{}): {feeds} feeds, codec {codec:?}, {shards} service shard(s), \
+         {} scan worker(s) per shard",
+        if fault_seed.is_some() { " + CHAOS" } else { "" },
+        server
+            .service()
+            .with_default(|s| s.scan_driver().workers())
+            .expect("shard 0 exists"),
+    );
+    println!("transport: in-memory duplex into one readiness-reactor thread");
+
+    let loop_thread = server.start();
+    let (connector, mut listener) = memory_hub();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            while let Ok(conn) = listener.accept_conn() {
+                server.register(conn);
+            }
+        });
+    }
+
+    let t_start = Instant::now();
+    // Sequential handshakes keep session randomness bound to feed order.
+    let clients: Vec<std::thread::JoinHandle<(AuthDecision, Option<FeedStats>)>> =
+        match fault_seed {
+            None => {
+                let mut handles = Vec::with_capacity(feeds);
+                for _ in 0..feeds {
+                    let t = connector.connect().expect("memory hub open");
+                    handles.push(FeedHandle::connect(t, &[codec]).expect("handshake"));
+                }
+                handles
+                    .into_iter()
+                    .map(|mut feed| {
+                        let action = action.clone();
+                        std::thread::spawn(move || {
+                            let rec = feed_recording(feed.challenge(), &action);
+                            feed.send_recording(&rec, 1_024, 4).expect("stream");
+                            feed.finish().expect("stream end");
+                            (feed.await_decision().expect("verdict"), None)
+                        })
+                    })
+                    .collect()
+            }
+            Some(seed) => {
+                println!(
+                "chaos schedule: fault seed {seed:#x}, {} feed(s) scheduled for mid-stream cuts",
+                feeds - feeds / 2
+            );
+                let mut fleet = Vec::with_capacity(feeds);
+                for i in 0..feeds {
+                    let fseed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let plan = match i % 4 {
+                        0 => FaultPlan::clean(fseed)
+                            .with_write_disconnect(4_000 + 512 * (i as u64 % 7)),
+                        1 => FaultPlan::clean(fseed), // read-side cut scripted below
+                        _ => FaultPlan::chaos(fseed), // segmentation + latency, no cuts
+                    };
+                    let t = FaultyTransport::new(connector.connect().expect("hub open"), plan);
+                    let mut handle = FeedHandle::connect(t, &[codec]).expect("faulty handshake");
+                    if i % 4 == 1 {
+                        let seen = handle.transport_mut().read_bytes();
+                        handle
+                            .transport_mut()
+                            .set_read_disconnect(seen + 10 + (i as u64 % 40));
+                    }
+                    let connector = connector.clone();
+                    let mut redials = 0u64;
+                    let dial = move || -> std::io::Result<FaultyTransport<MemoryStream>> {
+                        redials += 1;
+                        Ok(FaultyTransport::new(
+                            connector.connect()?,
+                            FaultPlan::clean(fseed ^ redials),
+                        ))
+                    };
+                    fleet.push(ResilientFeed::adopt(
+                        handle,
+                        dial,
+                        RetryPolicy {
+                            jitter_seed: fseed,
+                            ..RetryPolicy::default()
+                        },
+                    ));
+                }
+                fleet
+                    .into_iter()
+                    .map(|mut feed| {
+                        let action = action.clone();
+                        std::thread::spawn(move || {
+                            let rec = feed_recording(feed.handle().challenge(), &action);
+                            feed.send_recording(&rec, 1_024, 4)
+                                .expect("stream survives faults");
+                            let decision = feed
+                                .finish_and_await(Duration::from_secs(120))
+                                .expect("verdict survives faults");
+                            (decision, Some(feed.stats()))
+                        })
+                    })
+                    .collect()
+            }
+        };
+
+    let reported = server
+        .wait_for_reports_timeout(feeds, Duration::from_secs(120))
+        .expect("fleet reports");
+    assert_eq!(reported, feeds, "every feed reports");
+    let hub = hub_recording_reactor(&server);
+    let decided = server.scan_and_decide(&hub, 16_384);
+    assert_eq!(decided, feeds, "every session decides");
+
+    let mut granted = 0usize;
+    let (mut retries, mut resumes, mut backoff) = (0u64, 0u64, Duration::ZERO);
+    for t in clients {
+        let (decision, s) = t.join().expect("client thread");
+        match decision {
+            AuthDecision::Granted { distance_m } => {
+                assert!((distance_m - 0.5).abs() < 0.1, "distance {distance_m} m");
+                granted += 1;
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        if let Some(s) = s {
+            retries += s.retries;
+            resumes += s.resumes;
+            backoff += s.backoff_total;
+        }
+    }
+    let elapsed = t_start.elapsed().as_secs_f64();
+    server.shutdown();
+    loop_thread.join().expect("reactor thread");
+
+    let stats = server.stats();
+    println!("\n--- service stats ---\n{stats}");
+    assert_eq!(stats.busy_replies, stats.credit_replies);
+    if codec == WireCodec::I16Delta {
+        assert!(
+            stats.compression_ratio() >= 3.5,
+            "codec ratio {:.2}",
+            stats.compression_ratio()
+        );
+    }
+    if fault_seed.is_some() {
+        println!(
+            "client resilience: {retries} failed redials, {resumes} resumes, \
+             {:.1} ms total backoff",
+            backoff.as_secs_f64() * 1e3
+        );
+        let cut_feeds = feeds.div_ceil(4) + (feeds + 2) / 4; // i%4 == 0 and == 1
+        assert!(
+            stats.resumes as usize >= cut_feeds,
+            "every cut feed resumed: {} < {cut_feeds}",
+            stats.resumes
+        );
+        assert!(stats.connections_suspended >= 1, "cuts suspended streams");
+        assert_eq!(
+            stats.drops.total(),
+            stats.connections_dropped,
+            "per-cause drops account for every drop"
+        );
+    } else {
+        assert_eq!(stats.connections_dropped, 0);
+    }
+    println!(
+        "\n{granted}/{feeds} sessions granted at ≈0.50 m in {elapsed:.2} s on ONE reactor \
+         thread (peak {} B resident per connection)",
+        server.peak_conn_bytes()
+    );
 }
 
 /// Chaos mode: the same fleet over seeded faulty links. Half the feeds

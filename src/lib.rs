@@ -74,14 +74,14 @@ pub mod prelude {
     pub use piano_core::signal::{ReferenceSignal, SignalSampler};
     pub use piano_core::stream::{
         AuthService, AuthSession, ScanDriver, SessionEvent, SessionId, SessionPhase,
-        StreamingDetector,
+        ShardedAuthService, StreamingDetector,
     };
     pub use piano_core::stream::{DropCause, DropCounts, ServiceStats};
     pub use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
     pub use piano_dsp::simd::DspBackend;
     pub use piano_net::{
-        FaultPlan, FaultyTransport, FeedHandle, ResilientFeed, RetryPolicy, ServerConfig,
-        ServerLoop,
+        FaultPlan, FaultyTransport, FeedHandle, ReactorServer, ResilientFeed, RetryPolicy,
+        ServerConfig, ServerLoop,
     };
 }
 
