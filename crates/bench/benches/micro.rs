@@ -175,6 +175,12 @@ fn bench_micro(c: &mut Criterion) {
     // resume, and the block records the recovery cost.
     let fault = measure_fault_recovery(8);
 
+    // Continuous re-verification (measured once, in the summary): one
+    // timer-wheel arm per standing session at fleet scale, swept to
+    // exhaustion, with the per-op cost pinned at two populations so the
+    // O(1) claim is measured rather than asserted.
+    let continuous = measure_continuous(1 << 20);
+
     // Per-backend kernel speedups (measured once, in the summary): every
     // available DSP backend against the scalar reference.
     let simd_speedups = measure_simd(&wave);
@@ -220,6 +226,7 @@ fn bench_micro(c: &mut Criterion) {
         &fleet,
         &net,
         &fault,
+        &continuous,
         &simd_speedups,
     );
 }
@@ -590,6 +597,73 @@ fn measure_fault_recovery(feeds: usize) -> FaultRecovery {
     }
 }
 
+/// One deterministic standing-fleet measurement for the summary block.
+struct ContinuousStanding {
+    /// Standing sessions armed on one wheel (the headline population).
+    sessions: usize,
+    /// Mean cost of arming one session's next re-check deadline.
+    insert_ns: f64,
+    /// Mean cost per fired deadline across the full sweep (cascades
+    /// included — this is the amortized figure the wheel advertises).
+    advance_ns: f64,
+    /// Deadlines that fired during the sweep (must equal `sessions`).
+    fired: usize,
+    /// Per-op cost at `sessions` over the same cost at `sessions / 8`.
+    /// ≈1.0 is the measured O(1) claim; a comparison-based scheduler's
+    /// log-factor would push this ratio visibly above 1.
+    o1_insert_ratio: f64,
+    o1_advance_ratio: f64,
+    all_fired: bool,
+}
+
+/// Arms one `piano_core::continuum::TickWheel` entry per standing
+/// session — phases spread uniformly over one base re-check period and
+/// jittered by the risk policy's own seeded stream, the shape a settled
+/// fleet presents — then sweeps the whole horizon in one-second
+/// advances. Runs at `sessions / 8` first so the summary can report the
+/// per-op cost *ratio* between the two populations: constant-time ops
+/// hold it near 1.0 regardless of fleet size.
+fn measure_continuous(sessions: usize) -> ContinuousStanding {
+    use piano_core::continuum::{RiskPolicy, TickWheel};
+
+    // 100 ms wheel resolution, the reactor's deadline granularity.
+    const TICKS_PER_S: u64 = 10;
+    let policy = RiskPolicy::default();
+    let time_population = |n: usize| -> (f64, f64, usize) {
+        let mut wheel: TickWheel<u64> = TickWheel::new();
+        let t = std::time::Instant::now();
+        for k in 0..n as u64 {
+            let phase = policy.base_period_s * (k as f64 / n as f64);
+            let deadline_s = phase + policy.base_period_s * policy.jitter(k, 0);
+            wheel.insert((deadline_s * TICKS_PER_S as f64) as u64, k);
+        }
+        let insert_ns = t.elapsed().as_secs_f64() * 1e9 / n as f64;
+        // Deadlines top out under 2.05 × base period; 2.2 × covers them.
+        let horizon = (2.2 * policy.base_period_s) as u64 * TICKS_PER_S;
+        let t = std::time::Instant::now();
+        let mut fired = 0usize;
+        let mut now = 0u64;
+        while now <= horizon && fired < n {
+            now += TICKS_PER_S;
+            fired += wheel.advance(now).len();
+        }
+        let advance_ns = t.elapsed().as_secs_f64() * 1e9 / fired.max(1) as f64;
+        (insert_ns, advance_ns, fired)
+    };
+
+    let (small_insert, small_advance, _) = time_population(sessions / 8);
+    let (insert_ns, advance_ns, fired) = time_population(sessions);
+    ContinuousStanding {
+        sessions,
+        insert_ns,
+        advance_ns,
+        fired,
+        o1_insert_ratio: insert_ns / small_insert,
+        o1_advance_ratio: advance_ns / small_advance,
+        all_fired: fired == sessions,
+    }
+}
+
 /// A deterministic recording long enough for thousands of 10-sample
 /// fine-scan slides: the reference waveform tiled with varying gain.
 fn recording_for_sliding(wave: &[f64]) -> Vec<f64> {
@@ -689,6 +763,7 @@ fn measure_simd(wave: &[f64]) -> Vec<SimdBackendSpeedups> {
 }
 
 /// Writes `BENCH_micro.json` with raw measurements and headline speedups.
+#[allow(clippy::too_many_arguments)]
 fn export_summary(
     c: &Criterion,
     samples_to_decision: usize,
@@ -696,6 +771,7 @@ fn export_summary(
     fleet: &FleetIngest,
     net: &NetIngest,
     fault: &FaultRecovery,
+    continuous: &ContinuousStanding,
     simd_speedups: &[SimdBackendSpeedups],
 ) {
     // Workspace root, two levels up from this crate's manifest.
@@ -766,6 +842,17 @@ fn export_summary(
         fault.elapsed_s,
         fault.all_granted
     );
+    println!(
+        "continuous standing: {} sessions armed at {:.0} ns/insert, swept at \
+         {:.0} ns/fire (per-op vs ⅛ population: insert {:.2}x, advance {:.2}x, \
+         all fired: {})",
+        continuous.sessions,
+        continuous.insert_ns,
+        continuous.advance_ns,
+        continuous.o1_insert_ratio,
+        continuous.o1_advance_ratio,
+        continuous.all_fired
+    );
     // Per-backend block: deterministic speedups vs scalar, one entry per
     // available backend (scalar reads 1.0 by construction).
     let simd_json = {
@@ -824,6 +911,10 @@ fn export_summary(
                  \"resumes\": {}, \"client_retries\": {}, \
                  \"resume_latency_ms\": {:.3}, \"elapsed_s\": {:.4}, \
                  \"all_granted\": {}}},\n  \
+                 \"continuous\": {{\"sessions\": {}, \"insert_ns\": {:.1}, \
+                 \"advance_ns\": {:.1}, \"fired\": {}, \
+                 \"o1_insert_ratio\": {:.3}, \"o1_advance_ratio\": {:.3}, \
+                 \"all_fired\": {}}},\n  \
                  \"simd\": {simd_json}\n}}\n",
                 samples_to_decision < recording_len,
                 fleet.sessions,
@@ -853,7 +944,14 @@ fn export_summary(
                 fault.client_retries,
                 fault.resume_latency_ms,
                 fault.elapsed_s,
-                fault.all_granted
+                fault.all_granted,
+                continuous.sessions,
+                continuous.insert_ns,
+                continuous.advance_ns,
+                continuous.fired,
+                continuous.o1_insert_ratio,
+                continuous.o1_advance_ratio,
+                continuous.all_fired
             );
             let _ = std::fs::write(path, patched);
         }

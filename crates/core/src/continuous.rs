@@ -33,6 +33,7 @@ use rand_chacha::ChaCha8Rng;
 use piano_acoustics::AcousticField;
 
 use crate::device::Device;
+use crate::error::PianoError;
 use crate::piano::{AuthDecision, PianoAuthenticator};
 use crate::stream::AuthService;
 
@@ -301,15 +302,26 @@ impl ContinuousScheduler {
     }
 
     /// Requeues a popped session at its current
-    /// [`ContinuousSession::next_check_s`]. Locked or removed sessions are
-    /// left unqueued.
-    pub fn reschedule(&mut self, key: ScheduleKey) {
-        if let Some(session) = self.sessions.get(&key.0) {
-            if session.state() == SessionState::Active {
-                self.queue
-                    .push(Reverse((time_bits(session.next_check_s()), key.0)));
-            }
+    /// [`ContinuousSession::next_check_s`]. Locked sessions are left
+    /// unqueued (retiring them is the scheduler working as designed, so
+    /// that is `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Schedule`] if `key` was never issued or its session
+    /// was removed — historically a silent no-op, which let a caller
+    /// drop a live session out of the schedule without noticing.
+    pub fn reschedule(&mut self, key: ScheduleKey) -> Result<(), PianoError> {
+        let session = self.sessions.get(&key.0).ok_or_else(|| {
+            PianoError::Schedule(format!(
+                "reschedule of unknown or removed session key {key:?}"
+            ))
+        })?;
+        if session.state() == SessionState::Active {
+            self.queue
+                .push(Reverse((time_bits(session.next_check_s()), key.0)));
         }
+        Ok(())
     }
 
     /// Runs every session due at `now_s` through `recheck` in deadline
@@ -323,11 +335,18 @@ impl ContinuousScheduler {
     /// ≤ `now_s` run again within this call, after everything less
     /// recently served.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the callback leaves a still-due session's `next_check_s`
-    /// unchanged — requeueing it verbatim would loop forever.
-    pub fn run_due<F>(&mut self, now_s: f64, mut recheck: F) -> Vec<(ScheduleKey, SessionState)>
+    /// [`PianoError::Schedule`] if the callback leaves a still-due
+    /// session's `next_check_s` unchanged — requeueing it verbatim would
+    /// loop forever. The offending session is left popped (unqueued) so
+    /// the error cannot recur on retry; outcomes already produced are
+    /// carried in the error message's count, not returned.
+    pub fn run_due<F>(
+        &mut self,
+        now_s: f64,
+        mut recheck: F,
+    ) -> Result<Vec<(ScheduleKey, SessionState)>, PianoError>
     where
         F: FnMut(ScheduleKey, &mut ContinuousSession) -> SessionState,
     {
@@ -339,15 +358,18 @@ impl ContinuousScheduler {
                 .get_mut(&key.0)
                 .expect("pop_due only yields live sessions");
             let bits = time_bits(session.next_check_s());
-            assert!(
-                last_run.insert(key.0, bits) != Some(bits),
-                "recheck callback must advance next_check_s (run recheck_via)"
-            );
+            if last_run.insert(key.0, bits) == Some(bits) {
+                return Err(PianoError::Schedule(format!(
+                    "recheck callback must advance next_check_s (run recheck_via); \
+                     session {key:?} is still due at {now_s} after {} outcomes",
+                    outcomes.len()
+                )));
+            }
             let state = recheck(key, session);
-            self.reschedule(key);
+            self.reschedule(key)?;
             outcomes.push((key, state));
         }
-        outcomes
+        Ok(outcomes)
     }
 }
 
@@ -516,6 +538,7 @@ mod tests {
         assert_eq!(sched.pop_due(5.0), None, "nothing due yet");
         let order: Vec<ScheduleKey> = sched
             .run_due(30.0, |_, s| tick(s, 30.0))
+            .expect("callbacks advance the deadline")
             .into_iter()
             .map(|(k, _)| k)
             .collect();
@@ -529,10 +552,12 @@ mod tests {
         let mut sched = ContinuousScheduler::new();
         let fast = sched.add(ContinuousSession::open(policy(1.0), 0.0));
         let slow = sched.add(ContinuousSession::open(policy(10.0), 0.0));
-        let outcomes = sched.run_due(30.0, |_, s| {
-            let now = s.next_check_s(); // catch-up: serve at the deadline
-            tick(s, now)
-        });
+        let outcomes = sched
+            .run_due(30.0, |_, s| {
+                let now = s.next_check_s(); // catch-up: serve at the deadline
+                tick(s, now)
+            })
+            .expect("callbacks advance the deadline");
         let fast_runs = outcomes.iter().filter(|(k, _)| *k == fast).count();
         let slow_runs = outcomes.iter().filter(|(k, _)| *k == slow).count();
         assert_eq!(fast_runs, 30, "fast session checks every second");
@@ -556,27 +581,40 @@ mod tests {
         assert_eq!(sched.next_due_s(), Some(20.0));
         let order: Vec<ScheduleKey> = sched
             .run_due(25.0, |_, s| tick(s, 25.0))
+            .expect("callbacks advance the deadline")
             .into_iter()
             .map(|(k, _)| k)
             .collect();
         assert_eq!(order, vec![b]);
         assert!(sched.remove(a).is_none(), "double remove is a no-op");
+        assert!(
+            matches!(sched.reschedule(a), Err(PianoError::Schedule(_))),
+            "rescheduling a removed key must surface a typed error"
+        );
     }
 
     #[test]
     fn scheduler_retires_locked_sessions_but_keeps_them_queryable() {
         let mut sched = ContinuousScheduler::new();
         let key = sched.add(ContinuousSession::open(policy(5.0), 0.0));
-        let outcomes = sched.run_due(5.0, |_, s| {
-            s.checks += 1;
-            s.next_check_s = 10.0;
-            s.state = SessionState::Locked;
-            s.state
-        });
+        let outcomes = sched
+            .run_due(5.0, |_, s| {
+                s.checks += 1;
+                s.next_check_s = 10.0;
+                s.state = SessionState::Locked;
+                s.state
+            })
+            .expect("callbacks advance the deadline");
         assert_eq!(outcomes, vec![(key, SessionState::Locked)]);
-        // Locked: out of the queue, still owned and inspectable.
+        // Locked: out of the queue, still owned and inspectable — and
+        // rescheduling it is Ok (retirement is by design, not an error).
         assert_eq!(sched.next_due_s(), None);
-        assert!(sched.run_due(100.0, |_, s| tick(s, 100.0)).is_empty());
+        assert!(sched.reschedule(key).is_ok());
+        assert_eq!(sched.next_due_s(), None, "locked sessions stay unqueued");
+        assert!(sched
+            .run_due(100.0, |_, s| tick(s, 100.0))
+            .expect("callbacks advance the deadline")
+            .is_empty());
         assert_eq!(sched.session(key).unwrap().state(), SessionState::Locked);
         assert_eq!(sched.len(), 1);
     }
@@ -592,13 +630,18 @@ mod tests {
         let mut served = Vec::new();
         for round in 0..2u64 {
             let now = 45.0 + 45.0 * round as f64;
-            for (key, state) in sched.run_due(now, |key, session| {
-                served.push(key);
-                // One acoustic world per recheck: leftover emissions from
-                // a concurrent session's check would fail the β check.
-                let mut field = AcousticField::new(Environment::office(), 500 + round * 10 + key.0);
-                session.recheck_via(&mut service, &mut field, &a, &v, now, &mut rng)
-            }) {
+            let outcomes = sched
+                .run_due(now, |key, session| {
+                    served.push(key);
+                    // One acoustic world per recheck: leftover emissions
+                    // from a concurrent session's check would fail the β
+                    // check.
+                    let mut field =
+                        AcousticField::new(Environment::office(), 500 + round * 10 + key.0);
+                    session.recheck_via(&mut service, &mut field, &a, &v, now, &mut rng)
+                })
+                .expect("recheck_via advances the deadline");
+            for (key, state) in outcomes {
                 assert_eq!(state, SessionState::Active, "{key:?}");
             }
         }
@@ -608,10 +651,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "advance next_check_s")]
     fn run_due_rejects_callbacks_that_do_not_advance_the_deadline() {
         let mut sched = ContinuousScheduler::new();
         let _ = sched.add(ContinuousSession::open(policy(1.0), 0.0));
-        let _ = sched.run_due(10.0, |_, s| s.state());
+        let err = sched
+            .run_due(10.0, |_, s| s.state())
+            .expect_err("a deadline-freezing callback must be a typed error");
+        match err {
+            PianoError::Schedule(what) => {
+                assert!(what.contains("advance next_check_s"), "{what}")
+            }
+            other => panic!("expected a schedule error, got {other:?}"),
+        }
     }
 }

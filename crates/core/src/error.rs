@@ -35,6 +35,12 @@ pub enum PianoError {
         /// Server-suggested wait before re-dialing, in milliseconds.
         retry_after_ms: u64,
     },
+    /// A re-verification scheduler operation failed: a stale or removed
+    /// key, a callback that did not advance its deadline, or a recheck
+    /// batch that could not conclude. Distinct from
+    /// [`PianoError::InvalidConfig`]: the configuration was fine, the
+    /// *schedule* state and the request disagreed.
+    Schedule(String),
 }
 
 impl fmt::Display for PianoError {
@@ -48,6 +54,7 @@ impl fmt::Display for PianoError {
             PianoError::Overloaded { retry_after_ms } => {
                 write!(f, "server overloaded; retry after {retry_after_ms} ms")
             }
+            PianoError::Schedule(what) => write!(f, "re-verification schedule error: {what}"),
         }
     }
 }
@@ -97,6 +104,9 @@ mod tests {
         assert!(PianoError::Overloaded { retry_after_ms: 40 }
             .to_string()
             .contains("40"));
+        assert!(PianoError::Schedule("stale key".into())
+            .to_string()
+            .contains("stale key"));
     }
 
     #[test]

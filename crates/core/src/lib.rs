@@ -57,9 +57,13 @@
 //!   ([`wire::Message::AudioBatchI16`], negotiated per connection via
 //!   [`wire::WireCodec`]) cuts wire bytes ≈4–5× with exact quantized
 //!   round-trip; [`continuous::ContinuousScheduler`] re-verifies fleets
-//!   of continuous sessions earliest-deadline-first. The `piano-net`
-//!   crate binds this wire layer to real byte streams (in-memory
-//!   duplex + loopback TCP server loop).
+//!   of continuous sessions earliest-deadline-first, and [`continuum`]
+//!   scales that to millions of standing sessions: a hierarchical timer
+//!   wheel with O(1) arm/cancel/advance, batched group re-checks through
+//!   one shared coarse pass, and deterministic risk-adaptive periods.
+//!   The `piano-net` crate binds this wire layer to real byte streams
+//!   (in-memory duplex + loopback TCP server loop) and re-challenges
+//!   standing feeds over their live connections.
 //! * [`piano::PianoAuthenticator`] builds its detector once and reuses it
 //!   for every attempt (and every continuous-session recheck), amortizing
 //!   plan construction; [`action::run_action_with`] exposes the same reuse
@@ -95,6 +99,7 @@
 pub mod action;
 pub mod config;
 pub mod continuous;
+pub mod continuum;
 pub mod detect;
 pub mod device;
 pub mod error;
@@ -109,6 +114,7 @@ pub mod wire;
 
 pub use action::{run_action, run_session_pair, ActionOutcome, DistanceEstimate};
 pub use config::ActionConfig;
+pub use continuum::{Continuum, RiskPolicy, StandingKey, StandingState, TickWheel};
 pub use detect::{Detection, Detector};
 pub use device::Device;
 pub use error::PianoError;

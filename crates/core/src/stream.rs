@@ -1117,6 +1117,13 @@ impl AuthSession {
             | Message::Retry { .. } => Err(PianoError::Wire(
                 "transport-layer message addressed to a session state machine".into(),
             )),
+            Message::Recheck { .. }
+            | Message::RecheckAudio { .. }
+            | Message::RecheckVerdict { .. } => Err(PianoError::Wire(
+                "re-challenge message addressed to a session state machine; \
+                 standing-session hosts route re-checks through fresh sessions"
+                    .into(),
+            )),
         }
     }
 

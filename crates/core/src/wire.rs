@@ -217,6 +217,55 @@ pub enum Message {
         /// Suggested wait before re-dialing, in milliseconds.
         retry_after_ms: u64,
     },
+    /// Continuous re-verification, server → client: re-challenge a
+    /// *standing* feed over its live connection. After a granted
+    /// [`Message::Decision`], a feed that stays connected may receive
+    /// any number of these; each carries a fresh pair of reference
+    /// signals for re-check round `round`. The feed records the acoustic
+    /// exchange and streams it back as [`Message::RecheckAudio`] frames,
+    /// then awaits the round's [`Message::RecheckVerdict`] — no
+    /// reconnect, no new handshake, no new wire session.
+    Recheck {
+        /// The feed's wire session id (from the original
+        /// [`Message::Accept`]).
+        session: u64,
+        /// One-based re-check round number; strictly increasing per
+        /// session.
+        round: u32,
+        /// The fresh authenticating-device signal `S_A` for this round.
+        sa: SignalSpec,
+        /// The fresh vouching-device signal `S_V` for this round.
+        sv: SignalSpec,
+    },
+    /// Continuous re-verification, client → server: a chunk of the
+    /// feed's re-challenge recording for round `round`. Chunks are
+    /// capped at [`MAX_AUDIO_CHUNK_SAMPLES`] samples like every audio
+    /// frame; `done` marks the round's final chunk (which may carry zero
+    /// samples).
+    RecheckAudio {
+        /// The feed's wire session id.
+        session: u64,
+        /// The round this audio answers.
+        round: u32,
+        /// Zero-based chunk sequence number within the round.
+        seq: u32,
+        /// Whether this is the round's final chunk.
+        done: bool,
+        /// PCM samples in stream order.
+        samples: Vec<f64>,
+    },
+    /// Continuous re-verification, server → client: the verdict for one
+    /// re-check round. A denied verdict does not tear the connection
+    /// down by itself — lock-out policy (how many denials end the
+    /// standing session) lives with the host.
+    RecheckVerdict {
+        /// The feed's wire session id.
+        session: u64,
+        /// The round the verdict concludes.
+        round: u32,
+        /// The round's decision.
+        decision: AuthDecision,
+    },
 }
 
 /// Audio codecs a connection can negotiate for its batch frames.
@@ -362,6 +411,9 @@ const TAG_DECISION: u8 = 11;
 const TAG_RESUME: u8 = 12;
 const TAG_RESUME_ACK: u8 = 13;
 const TAG_RETRY: u8 = 14;
+const TAG_RECHECK: u8 = 15;
+const TAG_RECHECK_AUDIO: u8 = 16;
+const TAG_RECHECK_VERDICT: u8 = 17;
 
 /// Ceiling on codec ids in one [`Message::Hello`].
 const MAX_HELLO_CODECS: usize = 16;
@@ -666,31 +718,7 @@ impl Message {
             Message::Decision { session, decision } => {
                 out.push(TAG_DECISION);
                 out.extend_from_slice(&session.to_le_bytes());
-                match decision {
-                    AuthDecision::Granted { distance_m } => {
-                        out.push(0);
-                        out.extend_from_slice(&distance_m.to_le_bytes());
-                    }
-                    AuthDecision::Denied { reason } => match reason {
-                        DenialReason::TooFar { distance_m } => {
-                            out.push(1);
-                            out.extend_from_slice(&distance_m.to_le_bytes());
-                        }
-                        DenialReason::SignalAbsent => out.push(2),
-                        DenialReason::NotPaired => out.push(3),
-                        DenialReason::BluetoothUnreachable => out.push(4),
-                        DenialReason::ProtocolFailure(why) => {
-                            out.push(5);
-                            let mut cut = why.len().min(MAX_REASON_BYTES);
-                            while !why.is_char_boundary(cut) {
-                                cut -= 1;
-                            }
-                            let bytes = &why.as_bytes()[..cut];
-                            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                            out.extend_from_slice(bytes);
-                        }
-                    },
-                }
+                encode_decision(&mut out, decision);
             }
             Message::Resume { session, next_seq } => {
                 out.push(TAG_RESUME);
@@ -710,6 +738,51 @@ impl Message {
             Message::Retry { retry_after_ms } => {
                 out.push(TAG_RETRY);
                 out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Message::Recheck {
+                session,
+                round,
+                sa,
+                sv,
+            } => {
+                out.push(TAG_RECHECK);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                encode_spec(&mut out, sa);
+                encode_spec(&mut out, sv);
+            }
+            Message::RecheckAudio {
+                session,
+                round,
+                seq,
+                done,
+                samples,
+            } => {
+                assert!(
+                    samples.len() <= MAX_AUDIO_CHUNK_SAMPLES,
+                    "recheck audio chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} \
+                     wire cap; split it into smaller chunks",
+                    samples.len()
+                );
+                out.push(TAG_RECHECK_AUDIO);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.push(u8::from(*done));
+                out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+                for &s in samples {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Message::RecheckVerdict {
+                session,
+                round,
+                decision,
+            } => {
+                out.push(TAG_RECHECK_VERDICT);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                encode_decision(&mut out, decision);
             }
         }
         out
@@ -858,40 +931,7 @@ impl Message {
             TAG_STREAM_END => Message::StreamEnd { session: r.u64()? },
             TAG_DECISION => {
                 let session = r.u64()?;
-                let decision = match r.u8()? {
-                    0 => AuthDecision::Granted {
-                        distance_m: r.f64()?,
-                    },
-                    1 => AuthDecision::Denied {
-                        reason: DenialReason::TooFar {
-                            distance_m: r.f64()?,
-                        },
-                    },
-                    2 => AuthDecision::Denied {
-                        reason: DenialReason::SignalAbsent,
-                    },
-                    3 => AuthDecision::Denied {
-                        reason: DenialReason::NotPaired,
-                    },
-                    4 => AuthDecision::Denied {
-                        reason: DenialReason::BluetoothUnreachable,
-                    },
-                    5 => {
-                        let n = r.u32()? as usize;
-                        if n > MAX_REASON_BYTES {
-                            return Err(PianoError::Wire(format!(
-                                "failure reason of {n} bytes exceeds the {MAX_REASON_BYTES} cap"
-                            )));
-                        }
-                        let why = std::str::from_utf8(r.take(n)?)
-                            .map_err(|_| PianoError::Wire("failure reason is not UTF-8".into()))?
-                            .to_string();
-                        AuthDecision::Denied {
-                            reason: DenialReason::ProtocolFailure(why),
-                        }
-                    }
-                    x => return Err(PianoError::Wire(format!("bad decision kind {x}"))),
-                };
+                let decision = decode_decision(&mut r)?;
                 Message::Decision { session, decision }
             }
             TAG_RESUME => Message::Resume {
@@ -915,6 +955,53 @@ impl Message {
             TAG_RETRY => Message::Retry {
                 retry_after_ms: r.u64()?,
             },
+            TAG_RECHECK => {
+                let session = r.u64()?;
+                let round = r.u32()?;
+                let sa = decode_spec(&mut r)?;
+                let sv = decode_spec(&mut r)?;
+                Message::Recheck {
+                    session,
+                    round,
+                    sa,
+                    sv,
+                }
+            }
+            TAG_RECHECK_AUDIO => {
+                let session = r.u64()?;
+                let round = r.u32()?;
+                let seq = r.u32()?;
+                let done = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    x => return Err(PianoError::Wire(format!("bad done byte {x}"))),
+                };
+                let n = r.u32()? as usize;
+                if n > MAX_AUDIO_CHUNK_SAMPLES {
+                    return Err(PianoError::Wire(format!(
+                        "recheck audio chunk of {n} samples exceeds the \
+                         {MAX_AUDIO_CHUNK_SAMPLES} cap"
+                    )));
+                }
+                let samples = decode_f64_samples(&mut r, n)?;
+                Message::RecheckAudio {
+                    session,
+                    round,
+                    seq,
+                    done,
+                    samples,
+                }
+            }
+            TAG_RECHECK_VERDICT => {
+                let session = r.u64()?;
+                let round = r.u32()?;
+                let decision = decode_decision(&mut r)?;
+                Message::RecheckVerdict {
+                    session,
+                    round,
+                    decision,
+                }
+            }
             x => return Err(PianoError::Wire(format!("unknown message tag {x}"))),
         };
         if r.pos != bytes.len() {
@@ -925,6 +1012,76 @@ impl Message {
         }
         Ok(msg)
     }
+}
+
+/// Encodes a decision's kind byte + payload — shared by
+/// [`Message::Decision`] and [`Message::RecheckVerdict`] so one-shot and
+/// re-check verdicts carry byte-identical decision payloads.
+fn encode_decision(out: &mut Vec<u8>, decision: &AuthDecision) {
+    match decision {
+        AuthDecision::Granted { distance_m } => {
+            out.push(0);
+            out.extend_from_slice(&distance_m.to_le_bytes());
+        }
+        AuthDecision::Denied { reason } => match reason {
+            DenialReason::TooFar { distance_m } => {
+                out.push(1);
+                out.extend_from_slice(&distance_m.to_le_bytes());
+            }
+            DenialReason::SignalAbsent => out.push(2),
+            DenialReason::NotPaired => out.push(3),
+            DenialReason::BluetoothUnreachable => out.push(4),
+            DenialReason::ProtocolFailure(why) => {
+                out.push(5);
+                let mut cut = why.len().min(MAX_REASON_BYTES);
+                while !why.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let bytes = &why.as_bytes()[..cut];
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        },
+    }
+}
+
+/// Decodes a decision's kind byte + payload (inverse of
+/// [`encode_decision`]).
+fn decode_decision(r: &mut Reader<'_>) -> Result<AuthDecision, PianoError> {
+    Ok(match r.u8()? {
+        0 => AuthDecision::Granted {
+            distance_m: r.f64()?,
+        },
+        1 => AuthDecision::Denied {
+            reason: DenialReason::TooFar {
+                distance_m: r.f64()?,
+            },
+        },
+        2 => AuthDecision::Denied {
+            reason: DenialReason::SignalAbsent,
+        },
+        3 => AuthDecision::Denied {
+            reason: DenialReason::NotPaired,
+        },
+        4 => AuthDecision::Denied {
+            reason: DenialReason::BluetoothUnreachable,
+        },
+        5 => {
+            let n = r.u32()? as usize;
+            if n > MAX_REASON_BYTES {
+                return Err(PianoError::Wire(format!(
+                    "failure reason of {n} bytes exceeds the {MAX_REASON_BYTES} cap"
+                )));
+            }
+            let why = std::str::from_utf8(r.take(n)?)
+                .map_err(|_| PianoError::Wire("failure reason is not UTF-8".into()))?
+                .to_string();
+            AuthDecision::Denied {
+                reason: DenialReason::ProtocolFailure(why),
+            }
+        }
+        x => return Err(PianoError::Wire(format!("bad decision kind {x}"))),
+    })
 }
 
 fn encode_spec(out: &mut Vec<u8>, spec: &SignalSpec) {
@@ -1486,6 +1643,133 @@ mod tests {
         bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
         let err = Message::decode(&bytes).unwrap_err().to_string();
         assert!(err.contains("cap"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn recheck_roundtrips() {
+        let msg = Message::Recheck {
+            session: 0x0FAC_E0FF,
+            round: 3,
+            sa: spec(vec![2, 7, 11]),
+            sv: spec(vec![1, 3, 5, 9]),
+        };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn recheck_audio_roundtrips_including_empty_final_chunk() {
+        for (done, samples) in [
+            (
+                false,
+                (0..512)
+                    .map(|i| (i as f64 * 0.11).cos() * 9_000.0)
+                    .collect(),
+            ),
+            (true, vec![1.0, -2.0, 3.5]),
+            (true, Vec::new()),
+        ] {
+            let msg = Message::RecheckAudio {
+                session: 21,
+                round: 2,
+                seq: 17,
+                done,
+                samples,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn recheck_verdict_roundtrips_every_decision_kind() {
+        // The verdict shares the decision codec with Message::Decision;
+        // every kind byte must survive the round trip.
+        let decisions = [
+            AuthDecision::Granted { distance_m: 0.51 },
+            AuthDecision::Denied {
+                reason: DenialReason::TooFar { distance_m: 2.75 },
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::SignalAbsent,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::NotPaired,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::BluetoothUnreachable,
+            },
+            AuthDecision::Denied {
+                reason: DenialReason::ProtocolFailure("scan stalled".into()),
+            },
+        ];
+        for decision in decisions {
+            let msg = Message::RecheckVerdict {
+                session: 8,
+                round: 5,
+                decision,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn recheck_verdict_and_decision_share_one_decision_encoding() {
+        let decision = AuthDecision::Granted { distance_m: 0.777 };
+        let d = Message::Decision {
+            session: 4,
+            decision: decision.clone(),
+        }
+        .encode();
+        let v = Message::RecheckVerdict {
+            session: 4,
+            round: 1,
+            decision,
+        }
+        .encode();
+        // Skip tag + session (+ round for the verdict): the decision
+        // payloads must be byte-identical.
+        assert_eq!(d[9..], v[13..]);
+    }
+
+    #[test]
+    fn recheck_audio_enforces_caps_and_done_byte() {
+        // Oversized claimed count is rejected before allocation.
+        let mut bytes = vec![16u8];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&((MAX_AUDIO_CHUNK_SAMPLES as u32 + 1).to_le_bytes()));
+        let err = Message::decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("cap"), "unhelpful message: {err}");
+        // A done byte outside {0, 1} is malformed.
+        let good = Message::RecheckAudio {
+            session: 7,
+            round: 1,
+            seq: 0,
+            done: true,
+            samples: vec![1.0],
+        }
+        .encode();
+        let mut bad = good.clone();
+        bad[17] = 2;
+        assert!(Message::decode(&bad).is_err(), "done byte 2 must fail");
+        // Truncations fail cleanly.
+        for cut in [1, 9, 13, 17, good.len() - 1] {
+            assert!(Message::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wire cap")]
+    fn recheck_audio_encode_rejects_oversized_chunks() {
+        let _ = Message::RecheckAudio {
+            session: 1,
+            round: 1,
+            seq: 0,
+            done: false,
+            samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES + 1],
+        }
+        .encode();
     }
 
     #[test]

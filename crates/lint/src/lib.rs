@@ -149,6 +149,7 @@ const SCAN_FILES: &[&str] = &[
     "crates/core/src/stream.rs",
     "crates/core/src/sync.rs",
     "crates/core/src/detect.rs",
+    "crates/core/src/continuum.rs",
 ];
 
 /// Run the full pass over a workspace root.

@@ -22,6 +22,12 @@ pub const WIRE_ROOTS: &[(&str, &str)] = &[
     ("FrameReader", "next_frame"),
     ("ServerLoop", "serve"),
     ("ReactorServer", "run"),
+    // Re-challenge surface: the client parses `Recheck`/`RecheckVerdict`
+    // frames a (possibly hostile) gateway sends; the server halves are
+    // already reachable from `serve`/`run`.
+    ("FeedHandle", "await_recheck"),
+    ("FeedHandle", "answer_recheck"),
+    ("FeedHandle", "await_recheck_verdict"),
 ];
 
 /// The documented server lock order (see `crates/net/src/server.rs`):
@@ -60,7 +66,9 @@ fn wire_scope(path: &str) -> bool {
 }
 
 fn determinism_scope(path: &str) -> bool {
-    path == "crates/core/src/detect.rs" || path == "crates/core/src/stream.rs"
+    path == "crates/core/src/detect.rs"
+        || path == "crates/core/src/stream.rs"
+        || path == "crates/core/src/continuum.rs"
 }
 
 fn lock_scope(path: &str) -> bool {

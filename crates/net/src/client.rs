@@ -375,6 +375,161 @@ impl<T: Transport> FeedHandle<T> {
             }
         }
     }
+
+    /// Blocks until the server opens a re-challenge round for this
+    /// standing feed and returns the [`Message::Recheck`] (round number
+    /// plus the round's fresh reference signals — feed it to
+    /// `fixtures::recheck_recording` in simulation hosts). Late
+    /// flow-control replies in between are absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when no re-challenge arrived within
+    /// `timeout`; [`PianoError::Transport`] when the server closed the
+    /// connection instead (how a standing feed learns the server ended
+    /// standing service).
+    pub fn await_recheck(&mut self, timeout: Duration) -> Result<Message, PianoError> {
+        let deadline = Some(Instant::now() + timeout);
+        loop {
+            let msg = match self.reader.next_frame()? {
+                Some(m) => m,
+                None => match read_more(&mut self.t, &mut self.buf, deadline, "recheck wait") {
+                    Ok(0) => {
+                        return Err(PianoError::Transport(
+                            "server closed the standing connection".into(),
+                        ))
+                    }
+                    Ok(n) => {
+                        let (buf, reader) = (&self.buf, &mut self.reader);
+                        if let Some(bytes) = buf.get(..n) {
+                            reader.push(bytes);
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            match msg {
+                Message::Recheck {
+                    session,
+                    round,
+                    sa,
+                    sv,
+                } => {
+                    if session != self.session {
+                        return Err(PianoError::Wire(format!(
+                            "recheck for session {session:#x}, expected {:#x}",
+                            self.session
+                        )));
+                    }
+                    return Ok(Message::Recheck {
+                        session,
+                        round,
+                        sa,
+                        sv,
+                    });
+                }
+                Message::Busy { .. } => self.busy_seen += 1,
+                Message::Credit { .. } => self.credit_seen += 1,
+                other => return Err(PianoError::Wire(format!("expected Recheck, got {other:?}"))),
+            }
+        }
+    }
+
+    /// Streams one re-challenge round's recording back as
+    /// [`Message::RecheckAudio`] frames — `chunk_len`-sample chunks,
+    /// closed by an empty `done` frame. Re-check audio rides the raw
+    /// `f64` framing regardless of the negotiated stream codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` exceeds the per-frame wire cap
+    /// ([`piano_core::wire::MAX_AUDIO_CHUNK_SAMPLES`]).
+    pub fn answer_recheck(
+        &mut self,
+        round: u32,
+        recording: &[f64],
+        chunk_len: usize,
+    ) -> Result<(), PianoError> {
+        let mut seq = 0u32;
+        for chunk in recording.chunks(chunk_len.max(1)) {
+            let msg = Message::RecheckAudio {
+                session: self.session,
+                round,
+                seq,
+                done: false,
+                samples: chunk.to_vec(),
+            };
+            self.t
+                .write_all(&msg.encode_framed())
+                .map_err(io_transport)?;
+            seq = seq.wrapping_add(1);
+        }
+        let fin = Message::RecheckAudio {
+            session: self.session,
+            round,
+            seq,
+            done: true,
+            samples: Vec::new(),
+        };
+        self.t.write_all(&fin.encode_framed()).map_err(io_transport)
+    }
+
+    /// Blocks until round `round`'s [`Message::RecheckVerdict`] arrives
+    /// and returns its decision.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when no verdict arrived within `timeout`;
+    /// [`PianoError::Wire`] for a verdict addressing a different round.
+    pub fn await_recheck_verdict(
+        &mut self,
+        round: u32,
+        timeout: Duration,
+    ) -> Result<AuthDecision, PianoError> {
+        let deadline = Some(Instant::now() + timeout);
+        loop {
+            let msg = match self.reader.next_frame()? {
+                Some(m) => m,
+                None => match read_more(&mut self.t, &mut self.buf, deadline, "recheck verdict") {
+                    Ok(0) => {
+                        return Err(PianoError::Transport(
+                            "server closed before delivering the recheck verdict".into(),
+                        ))
+                    }
+                    Ok(n) => {
+                        let (buf, reader) = (&self.buf, &mut self.reader);
+                        if let Some(bytes) = buf.get(..n) {
+                            reader.push(bytes);
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            match msg {
+                Message::RecheckVerdict {
+                    session,
+                    round: r,
+                    decision,
+                } if session == self.session => {
+                    if r != round {
+                        return Err(PianoError::Wire(format!(
+                            "recheck verdict for round {r}, expected {round}"
+                        )));
+                    }
+                    return Ok(decision);
+                }
+                Message::Busy { .. } => self.busy_seen += 1,
+                Message::Credit { .. } => self.credit_seen += 1,
+                other => {
+                    return Err(PianoError::Wire(format!(
+                        "expected RecheckVerdict, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
 }
 
 /// Reconnect pacing for a [`ResilientFeed`]: capped exponential backoff
@@ -519,6 +674,14 @@ impl<T: Transport, D: FnMut() -> io::Result<T>> ResilientFeed<T, D> {
     /// never — a `ResilientFeed` always holds a handle.
     pub fn handle(&self) -> &FeedHandle<T> {
         &self.handle
+    }
+
+    /// Mutable access to the live protocol handle. Standing-session
+    /// clients answer re-challenge rounds on it after the verdict; the
+    /// redial machinery does not cover those rounds (a cut there is a
+    /// server-side round drop, not a resumable stream).
+    pub fn handle_mut(&mut self) -> &mut FeedHandle<T> {
+        &mut self.handle
     }
 
     /// This feed's resilience counters so far.

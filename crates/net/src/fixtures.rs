@@ -64,6 +64,29 @@ pub fn feed_recording(challenge: &Message, config: &ActionConfig) -> Vec<f64> {
     quantize_samples(&rec)
 }
 
+/// The voucher-side recording answering one wire re-challenge round,
+/// synthesized from its [`Message::Recheck`]: identical geometry to
+/// [`feed_recording`] (`S_A` at [`FEED_SA_OFFSET`], `S_V` at
+/// [`FEED_SV_OFFSET`], i16-quantized), so every re-check round re-ranges
+/// the same 0.50 m scenario the original epoch granted.
+///
+/// # Panics
+///
+/// Panics if `recheck` is not a valid [`Message::Recheck`] under
+/// `config` — fixtures are for simulation hosts whose server just built
+/// the challenge.
+pub fn recheck_recording(recheck: &Message, config: &ActionConfig) -> Vec<f64> {
+    let Message::Recheck { sa, sv, .. } = recheck else {
+        panic!("expected a re-challenge, got {recheck:?}");
+    };
+    let wave_a = sa.reconstruct(config).expect("valid spec").waveform();
+    let wave_v = sv.reconstruct(config).expect("valid spec").waveform();
+    let mut rec = vec![0.0f64; FEED_REC_LEN];
+    embed(&mut rec, &wave_a, FEED_SA_OFFSET, 0.3);
+    embed(&mut rec, &wave_v, FEED_SV_OFFSET, 0.4);
+    quantize_samples(&rec)
+}
+
 /// The gateway's hub recording over `ids`' open sessions (in the given
 /// order, one [`STRIDE`] apart): each session's `S_A` at
 /// `base + `[`FEED_SA_OFFSET`], `S_V` at `base + `[`HUB_SV_OFFSET`].

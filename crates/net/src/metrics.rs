@@ -111,6 +111,7 @@ pub(crate) fn audio_samples(msg: &Message) -> usize {
         Message::AudioChunk { samples, .. } => samples.len(),
         Message::AudioBatch { chunks, .. } => chunks.iter().map(Vec::len).sum(),
         Message::AudioBatchI16 { chunks, .. } => chunks.iter().map(Vec::len).sum(),
+        Message::RecheckAudio { samples, .. } => samples.len(),
         _ => 0,
     }
 }

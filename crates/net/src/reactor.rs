@@ -137,6 +137,25 @@ struct Progress {
     /// Verdicts actually delivered to their connections, in delivery
     /// order.
     outcomes: Vec<(SessionId, AuthDecision)>,
+    /// Granted feeds parked in [`Phase::Standing`], awaiting re-challenge
+    /// rounds.
+    standing: usize,
+    /// The re-check round the host last commanded (0 = none yet).
+    recheck_round: u64,
+    /// Standing feeds that routed their report for the current round.
+    recheck_ready: usize,
+    /// Standing feeds that failed out of the current round (their report
+    /// will never arrive — the recheck wait counts them so it cannot
+    /// hang).
+    recheck_dropped: usize,
+    /// The last round whose hub scan concluded (verdicts delivered).
+    recheck_scanned: u64,
+    /// Sessions the last recheck scan decided (valid once
+    /// `recheck_scanned` catches `recheck_round`).
+    recheck_decided: usize,
+    /// Per-round service sessions opened by standing feeds, in opening
+    /// order (the hub-geometry order), cleared by each round's scan.
+    recheck_ids: Vec<SessionId>,
 }
 
 /// Host-to-reactor mailbox: drained at the top of every loop turn.
@@ -146,6 +165,13 @@ struct Inbox {
     injected: Vec<Box<dyn Transport>>,
     /// A pending [`ReactorServer::scan_and_decide`] request.
     scan: Option<ScanRequest>,
+    /// A re-challenge round to open on every standing connection
+    /// ([`ReactorServer::begin_recheck_round`]).
+    recheck: Option<u64>,
+    /// A pending [`ReactorServer::recheck_scan_and_decide`] request.
+    recheck_scan: Option<ScanRequest>,
+    /// [`ReactorServer::end_standing`] was called.
+    end_standing: bool,
     /// [`ReactorServer::shutdown`] was called.
     shutdown: bool,
 }
@@ -172,6 +198,21 @@ struct Suspension {
     gen: u64,
 }
 
+/// One standing connection's in-flight re-challenge round.
+struct RecheckState {
+    /// The fresh per-round service session.
+    id: SessionId,
+    /// The feed's *original* wire session — what every re-challenge
+    /// frame carries.
+    wire_session: u64,
+    /// The round being answered.
+    round: u64,
+    /// The gateway-side voucher re-ranging on the device's behalf.
+    voucher: AuthSession,
+    /// Next expected [`Message::RecheckAudio`] sequence number.
+    next_seq: u32,
+}
+
 /// Where one connection is in the protocol.
 enum Phase {
     /// Waiting for the opening `Hello` or `Resume` frame.
@@ -180,6 +221,23 @@ enum Phase {
     Streaming(Box<FeedState>),
     /// Reported; waiting for the hub scan's verdict.
     AwaitDecision { id: SessionId, wire_session: u64 },
+    /// Granted and parked for continuous re-verification
+    /// ([`ServerConfig::standing`]): the connection stays open, idle
+    /// between re-challenge rounds. Like the threaded server's standing
+    /// loop, nothing is read here — a silently dead transport is
+    /// discovered (and accounted) at its next round's `Recheck` write.
+    Standing { wire_session: u64 },
+    /// A re-challenge round is in flight: [`Message::Recheck`] was
+    /// written, the round's [`Message::RecheckAudio`] stream is being
+    /// ingested under a [`ServerConfig::recheck_timeout`] wheel entry.
+    Rechecking(Box<RecheckState>),
+    /// The round's report is routed; waiting for the host's recheck scan
+    /// to conclude under a decision-timeout wheel entry.
+    AwaitRecheckVerdict {
+        id: SessionId,
+        wire_session: u64,
+        round: u64,
+    },
     /// A `Resume` probe that arrived before its feed's loss was
     /// discovered: parked until the suspension lands (adopted directly
     /// by the losing connection's teardown) or the handshake deadline
@@ -232,6 +290,12 @@ struct Core {
     /// The hub scan finished (reactor-local mirror of
     /// [`Progress::scan_done`]).
     scan_done: bool,
+    /// The last re-check round whose scan concluded (reactor-local
+    /// mirror of [`Progress::recheck_scanned`]).
+    recheck_scanned: u64,
+    /// Standing service has ended: standing connections close instead of
+    /// re-parking.
+    standing_over: bool,
     /// Global generation counter for timer entries and suspensions.
     gen_counter: u64,
 }
@@ -248,6 +312,8 @@ impl Core {
             runnable: BTreeSet::new(),
             scan_started: false,
             scan_done: false,
+            recheck_scanned: 0,
+            standing_over: false,
             gen_counter: 0,
         }
     }
@@ -473,6 +539,127 @@ impl ReactorServer {
         progress.decided
     }
 
+    // -- continuous re-verification (host side) ----------------------------
+
+    /// Blocks until at least `n` granted feeds are parked standing,
+    /// returning the standing population. Only meaningful with
+    /// [`ServerConfig::standing`] set.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds are standing
+    /// within `timeout`.
+    pub fn wait_for_standing(&self, n: usize, timeout: Duration) -> Result<usize, PianoError> {
+        let deadline = Instant::now() + timeout;
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        loop {
+            if progress.standing >= n {
+                return Ok(progress.standing);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PianoError::Timeout(format!(
+                    "{} of {n} feeds standing before the deadline",
+                    progress.standing
+                )));
+            }
+            let (guard, _) = progress.wait_timeout(&sh.progress_cv, deadline - now);
+            progress = guard;
+        }
+    }
+
+    /// Opens the next re-challenge round on every standing connection
+    /// and returns its number. The reactor writes each feed's
+    /// [`Message::Recheck`] (fresh per-round session, fresh signals,
+    /// original wire session) on its next loop iteration; follow with
+    /// [`wait_for_recheck_reports`](Self::wait_for_recheck_reports) and
+    /// [`recheck_scan_and_decide`](Self::recheck_scan_and_decide).
+    pub fn begin_recheck_round(&self) -> u64 {
+        let round = {
+            let mut progress = self.shared.progress.lock();
+            progress.recheck_round += 1;
+            progress.recheck_ready = 0;
+            progress.recheck_dropped = 0;
+            progress.recheck_ids.clear();
+            progress.recheck_round
+        };
+        self.shared.inbox.lock().recheck = Some(round);
+        self.shared.ready.kick();
+        round
+    }
+
+    /// Blocks until `n` standing feeds have answered the current round
+    /// (or failed out of it), then returns how many actually routed
+    /// their per-round report.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds conclude the
+    /// round within `timeout`.
+    pub fn wait_for_recheck_reports(
+        &self,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<usize, PianoError> {
+        let deadline = Instant::now() + timeout;
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        loop {
+            if progress.recheck_ready + progress.recheck_dropped >= n {
+                return Ok(progress.recheck_ready);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PianoError::Timeout(format!(
+                    "{} of {n} feeds answered the re-check round before the deadline",
+                    progress.recheck_ready + progress.recheck_dropped
+                )));
+            }
+            let (guard, _) = progress.wait_timeout(&sh.progress_cv, deadline - now);
+            progress = guard;
+        }
+    }
+
+    /// The current round's per-round session ids in *opening* order —
+    /// exactly the order `hub_recording_sharded` needs. Call after
+    /// [`wait_for_recheck_reports`](Self::wait_for_recheck_reports) and
+    /// before the scan (which consumes the round's ids).
+    pub fn recheck_session_ids(&self) -> Vec<SessionId> {
+        self.shared.progress.lock().recheck_ids.clone()
+    }
+
+    /// Posts the round's hub recording to the reactor, which scans it,
+    /// delivers every waiting feed's [`Message::RecheckVerdict`], closes
+    /// the round's per-round sessions, and reports back. Returns the
+    /// number of per-round sessions that decided. Blocks until the
+    /// reactor has served the round — call [`start`](Self::start) first.
+    pub fn recheck_scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        let round = self.shared.progress.lock().recheck_round;
+        {
+            let mut inbox = self.shared.inbox.lock();
+            inbox.recheck_scan = Some(ScanRequest {
+                hub: hub_audio.to_vec(),
+                tick,
+            });
+        }
+        self.shared.ready.kick();
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        while progress.recheck_scanned < round {
+            progress = progress.wait(&sh.progress_cv);
+        }
+        progress.recheck_decided
+    }
+
+    /// Ends standing service: parked connections close on the reactor's
+    /// next iteration (their clients observe a transport close), and
+    /// newly granted feeds stop parking. Permanent.
+    pub fn end_standing(&self) {
+        self.shared.inbox.lock().end_standing = true;
+        self.shared.ready.kick();
+    }
+
     // -- the reactor loop --------------------------------------------------
 
     /// The reactor loop: drains the host mailbox, advances the timer
@@ -487,12 +674,16 @@ impl ReactorServer {
             None => return,
         };
         loop {
-            // Host mailbox first: admissions and the scan request.
-            let (injected, scan, shutdown) = {
+            // Host mailbox first: admissions, scans, and the standing
+            // commands.
+            let (injected, scan, recheck, recheck_scan, end_standing, shutdown) = {
                 let mut inbox = self.shared.inbox.lock();
                 (
                     mem::take(&mut inbox.injected),
                     inbox.scan.take(),
+                    inbox.recheck.take(),
+                    inbox.recheck_scan.take(),
+                    mem::take(&mut inbox.end_standing),
                     inbox.shutdown,
                 )
             };
@@ -504,6 +695,15 @@ impl ReactorServer {
             }
             if let Some(req) = scan {
                 self.run_scan(&mut core, &req.hub, req.tick);
+            }
+            if let Some(round) = recheck {
+                self.start_recheck_round(&mut core, round);
+            }
+            if let Some(req) = recheck_scan {
+                self.run_recheck_scan(&mut core, &req.hub, req.tick);
+            }
+            if end_standing {
+                self.end_standing_sweep(&mut core);
             }
 
             // Expired timers, in deadline order.
@@ -666,6 +866,29 @@ impl ReactorServer {
                 // or chatty peer is only discovered at the Decision
                 // write. The decision timer bounds the wait.
                 conn.phase = Phase::AwaitDecision { id, wire_session };
+                Some(conn)
+            }
+            Phase::Standing { wire_session } => {
+                // Parked between rounds: like the threaded server's
+                // standing loop, nothing is read here — junk frames or a
+                // silently dead transport are discovered (and accounted)
+                // at the next round's re-challenge.
+                conn.phase = Phase::Standing { wire_session };
+                Some(conn)
+            }
+            Phase::Rechecking(state) => self.drive_rechecking(core, token, conn, state),
+            Phase::AwaitRecheckVerdict {
+                id,
+                wire_session,
+                round,
+            } => {
+                // Nothing to read: the recheck scan delivers the verdict,
+                // bounded by the decision timer.
+                conn.phase = Phase::AwaitRecheckVerdict {
+                    id,
+                    wire_session,
+                    round,
+                };
                 Some(conn)
             }
             Phase::PendingResume {
@@ -1032,7 +1255,10 @@ impl ReactorServer {
     /// Writes the session's verdict. With a resume window configured the
     /// verdict parks in the registry *before* the write, so a client
     /// that loses the connection with the `Decision` frame in flight can
-    /// reconnect and have it re-sent. Always consumes the connection.
+    /// reconnect and have it re-sent. Consumes the connection — unless
+    /// [`ServerConfig::standing`] is set and the verdict granted, in
+    /// which case the connection parks in [`Phase::Standing`] for
+    /// continuous re-verification.
     fn deliver(
         &self,
         core: &mut Core,
@@ -1054,8 +1280,19 @@ impl ReactorServer {
         .encode_framed();
         match conn.t.write_all(&frame) {
             Ok(()) => {
-                let mut progress = sh.progress.lock();
-                progress.outcomes.push((id, decision));
+                let standing = sh.cfg.standing && !core.standing_over && decision.is_granted();
+                {
+                    let mut progress = sh.progress.lock();
+                    progress.outcomes.push((id, decision));
+                    if standing {
+                        progress.standing += 1;
+                        sh.progress_cv.notify_all();
+                    }
+                }
+                if standing {
+                    conn.phase = Phase::Standing { wire_session };
+                    return Some(conn);
+                }
             }
             Err(e) if !sh.cfg.resume_window.is_zero() => {
                 // The Decided entry parked above lets the client resume
@@ -1076,6 +1313,427 @@ impl ReactorServer {
             }
         }
         None
+    }
+
+    // -- continuous re-verification ----------------------------------------
+
+    /// Opens re-challenge round `round` on every standing connection, in
+    /// token order (which fixes the round's hub-geometry order): fresh
+    /// per-round service session, fresh signals, [`Message::Recheck`]
+    /// written over the live connection, and the answer bounded by a
+    /// [`ServerConfig::recheck_timeout`] entry on the timer wheel.
+    fn start_recheck_round(&self, core: &mut Core, round: u64) {
+        let standing: Vec<usize> = core
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(c) if matches!(c.phase, Phase::Standing { .. }) => Some(i),
+                _ => None,
+            })
+            .collect();
+        for token in standing {
+            let conn = match core.conns.get_mut(token).and_then(Option::take) {
+                Some(c) => c,
+                None => continue,
+            };
+            let out = self.open_recheck(core, token, conn, round);
+            self.finish_turn(core, token, out);
+        }
+    }
+
+    /// One standing connection's round opening. Any failure here — the
+    /// service refusing a session, or the `Recheck` write discovering a
+    /// dead transport — removes the connection from the standing
+    /// population and counts toward the round's wait.
+    fn open_recheck(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        round: u64,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        let wire_session = match mem::replace(&mut conn.phase, Phase::Handshake) {
+            Phase::Standing { wire_session } => wire_session,
+            other => {
+                conn.phase = other;
+                return Some(conn);
+            }
+        };
+        let opened = {
+            let mut rng = sh.rng.lock();
+            sh.service.with_default(|svc| {
+                let id = svc.open_session(false, &mut rng);
+                match svc.poll_transmit(id) {
+                    Some(challenge) => Some((id, challenge, Arc::clone(svc.detector()))),
+                    None => {
+                        let _ = svc.close_session(id);
+                        None
+                    }
+                }
+            })
+        };
+        let (id, challenge, detector) = match opened.flatten() {
+            Some(v) => v,
+            None => {
+                drop(conn);
+                self.drop_standing_conn(
+                    None,
+                    true,
+                    DropCause::Protocol,
+                    &PianoError::Wire("re-check session queued no challenge".into()),
+                );
+                return None;
+            }
+        };
+        sh.progress.lock().recheck_ids.push(id);
+        let mut voucher = AuthSession::voucher_with(detector);
+        if let Err(e) = voucher.handle_message(challenge.clone()) {
+            drop(conn);
+            self.drop_standing_conn(Some(id), true, DropCause::Protocol, &e);
+            return None;
+        }
+        let (sa, sv) = match challenge {
+            Message::ReferenceSignals { sa, sv, .. } => (sa, sv),
+            other => {
+                drop(conn);
+                self.drop_standing_conn(
+                    Some(id),
+                    true,
+                    DropCause::Protocol,
+                    &PianoError::Wire(format!("re-check challenge was {other:?}")),
+                );
+                return None;
+            }
+        };
+        // Four billion host-driven sequential rounds before this
+        // truncates.
+        let wire_round = round as u32;
+        let frame = Message::Recheck {
+            session: wire_session,
+            round: wire_round,
+            sa,
+            sv,
+        }
+        .encode_framed();
+        if let Err(e) = conn.t.write_all(&frame) {
+            drop(conn);
+            self.drop_standing_conn(Some(id), true, DropCause::Disconnect, &io_transport(e));
+            return None;
+        }
+        conn.phase = Phase::Rechecking(Box::new(RecheckState {
+            id,
+            wire_session,
+            round,
+            voucher,
+            next_seq: 0,
+        }));
+        conn.next_deadline = Instant::now() + sh.cfg.recheck_timeout;
+        self.rearm(core, token, &mut conn);
+        // The client may have answered before this turn.
+        core.runnable.insert(token);
+        Some(conn)
+    }
+
+    /// Re-challenge ingest: [`Message::RecheckAudio`] frames stream into
+    /// the per-round voucher (sequence-contiguous, no flow control — a
+    /// round's answer is one short bounded burst) until `done`.
+    fn drive_rechecking(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        mut state: Box<RecheckState>,
+    ) -> Option<Conn> {
+        let wire_round = state.round as u32;
+        loop {
+            let msg = match conn.reader.next_frame() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(e) => {
+                    drop(conn);
+                    self.drop_standing_conn(Some(state.id), true, DropCause::Framing, &e);
+                    return None;
+                }
+            };
+            match msg {
+                Message::RecheckAudio {
+                    session,
+                    round,
+                    seq,
+                    done,
+                    samples,
+                } if session == state.wire_session && round == wire_round => {
+                    if seq != state.next_seq {
+                        drop(conn);
+                        self.drop_standing_conn(
+                            Some(state.id),
+                            true,
+                            DropCause::Protocol,
+                            &PianoError::Wire(format!(
+                                "re-check chunk seq {seq}, expected {}",
+                                state.next_seq
+                            )),
+                        );
+                        return None;
+                    }
+                    state.next_seq = state.next_seq.wrapping_add(1);
+                    if !samples.is_empty() {
+                        let _ = state.voucher.push_audio(&samples);
+                    }
+                    if done {
+                        return self.conclude_recheck(core, token, conn, state);
+                    }
+                }
+                other => {
+                    drop(conn);
+                    self.drop_standing_conn(
+                        Some(state.id),
+                        true,
+                        DropCause::Protocol,
+                        &PianoError::Wire(format!("unexpected mid-recheck message {other:?}")),
+                    );
+                    return None;
+                }
+            }
+        }
+        if conn.eof {
+            drop(conn);
+            self.drop_standing_conn(
+                Some(state.id),
+                true,
+                DropCause::Disconnect,
+                &PianoError::Transport("connection closed mid-recheck".into()),
+            );
+            return None;
+        }
+        conn.phase = Phase::Rechecking(state);
+        Some(conn)
+    }
+
+    /// The round's answer is complete: conclude the per-round voucher,
+    /// route its report into the service, count toward the host's round
+    /// wait, and park until the recheck scan delivers the verdict.
+    fn conclude_recheck(
+        &self,
+        core: &mut Core,
+        token: usize,
+        mut conn: Conn,
+        mut state: Box<RecheckState>,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        let _ = state.voucher.finish_audio();
+        let report = match state.voucher.poll_transmit() {
+            Some(r) => r,
+            None => {
+                drop(conn);
+                self.drop_standing_conn(
+                    Some(state.id),
+                    true,
+                    DropCause::Protocol,
+                    &PianoError::Wire("re-check voucher produced no report".into()),
+                );
+                return None;
+            }
+        };
+        if let Err(e) = sh.service.handle_message(state.id, report) {
+            drop(conn);
+            self.drop_standing_conn(Some(state.id), true, DropCause::Protocol, &e);
+            return None;
+        }
+        {
+            let mut progress = sh.progress.lock();
+            progress.recheck_ready += 1;
+            sh.progress_cv.notify_all();
+        }
+        let RecheckState {
+            id,
+            wire_session,
+            round,
+            ..
+        } = *state;
+        if core.recheck_scanned >= round {
+            // The host scanned this round already (it waited on fewer
+            // reports than there are standing feeds).
+            self.deliver_recheck_verdict(core, conn, id, wire_session, round)
+        } else {
+            conn.phase = Phase::AwaitRecheckVerdict {
+                id,
+                wire_session,
+                round,
+            };
+            conn.next_deadline = Instant::now() + sh.cfg.decision_timeout;
+            self.rearm(core, token, &mut conn);
+            Some(conn)
+        }
+    }
+
+    /// Writes one round's verdict back over the standing connection,
+    /// then re-parks it — or closes it when standing service has ended.
+    /// The per-round session is closed by the recheck scan, not here.
+    fn deliver_recheck_verdict(
+        &self,
+        core: &mut Core,
+        mut conn: Conn,
+        id: SessionId,
+        wire_session: u64,
+        round: u64,
+    ) -> Option<Conn> {
+        let sh = &*self.shared;
+        let decision = sh.service.decision(id).unwrap_or(AuthDecision::Denied {
+            reason: DenialReason::ProtocolFailure(
+                "re-check session undecided after the recheck scan".into(),
+            ),
+        });
+        let frame = Message::RecheckVerdict {
+            session: wire_session,
+            round: round as u32,
+            decision,
+        }
+        .encode_framed();
+        if let Err(e) = conn.t.write_all(&frame) {
+            drop(conn);
+            // Post-ready: the round already counted this feed, so only
+            // the standing population shrinks.
+            self.drop_standing_conn(None, false, DropCause::Disconnect, &io_transport(e));
+            return None;
+        }
+        if core.standing_over {
+            drop(conn);
+            let mut progress = sh.progress.lock();
+            progress.standing = progress.standing.saturating_sub(1);
+            sh.progress_cv.notify_all();
+            return None;
+        }
+        conn.phase = Phase::Standing { wire_session };
+        Some(conn)
+    }
+
+    /// Streams the round's hub recording through every shard, snapshots
+    /// the round's per-round sessions, delivers `RecheckVerdict`s to
+    /// every waiting standing connection in token order, closes the
+    /// round's sessions, and publishes the round's conclusion.
+    fn run_recheck_scan(&self, core: &mut Core, hub: &[f64], tick: usize) {
+        let sh = &*self.shared;
+        for chunk in hub.chunks(tick.max(1)) {
+            let _ = sh.service.push_audio(chunk);
+        }
+        let _ = sh.service.finish_audio();
+        let (round, ids) = {
+            let mut progress = sh.progress.lock();
+            (progress.recheck_round, mem::take(&mut progress.recheck_ids))
+        };
+        let decided = ids
+            .iter()
+            .filter(|&&id| sh.service.decision(id).is_some())
+            .count();
+        core.recheck_scanned = round;
+        let waiting: Vec<usize> = core
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(c) if matches!(c.phase, Phase::AwaitRecheckVerdict { .. }) => Some(i),
+                _ => None,
+            })
+            .collect();
+        for token in waiting {
+            let mut conn = match core.conns.get_mut(token).and_then(Option::take) {
+                Some(c) => c,
+                None => continue,
+            };
+            let out = match mem::replace(&mut conn.phase, Phase::Handshake) {
+                Phase::AwaitRecheckVerdict {
+                    id,
+                    wire_session,
+                    round,
+                } => self.deliver_recheck_verdict(core, conn, id, wire_session, round),
+                other => {
+                    conn.phase = other;
+                    Some(conn)
+                }
+            };
+            self.finish_turn(core, token, out);
+        }
+        // Per-round sessions close only after the verdict deliveries
+        // above read their decisions — both happen on this thread, so
+        // there is no fetch/close race.
+        for id in ids {
+            let _ = sh.service.close_session(id);
+        }
+        // Publish *after* the deliveries: a host returning from
+        // `recheck_scan_and_decide` must observe the round fully served.
+        {
+            let mut progress = sh.progress.lock();
+            progress.recheck_scanned = round;
+            progress.recheck_decided = decided;
+            sh.progress_cv.notify_all();
+        }
+    }
+
+    /// Ends standing service: every parked connection closes now;
+    /// connections mid-round close right after their verdict delivers.
+    fn end_standing_sweep(&self, core: &mut Core) {
+        core.standing_over = true;
+        let parked: Vec<usize> = core
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(c) if matches!(c.phase, Phase::Standing { .. }) => Some(i),
+                _ => None,
+            })
+            .collect();
+        let mut ended = 0usize;
+        for token in parked {
+            if core.conns.get_mut(token).and_then(Option::take).is_some() {
+                ended += 1;
+                self.finish_turn(core, token, None);
+            }
+        }
+        if ended > 0 {
+            let mut progress = self.shared.progress.lock();
+            progress.standing = progress.standing.saturating_sub(ended);
+            self.shared.progress_cv.notify_all();
+        }
+    }
+
+    /// A standing connection left (fault or round failure): standing
+    /// population, round accounting, and drop counters in one step.
+    /// `mid_round` failures count toward the round's wait (the feed's
+    /// report will never arrive) and withdraw the in-flight per-round
+    /// session — but only while the recheck scan has not yet snapshotted
+    /// the round's ids, which the `recheck_ids` membership check decides
+    /// atomically. Post-ready failures only shrink the population.
+    fn drop_standing_conn(
+        &self,
+        round_id: Option<SessionId>,
+        mid_round: bool,
+        cause: DropCause,
+        err: &PianoError,
+    ) {
+        let close = {
+            let mut progress = self.shared.progress.lock();
+            progress.standing = progress.standing.saturating_sub(1);
+            let mut close = None;
+            if mid_round {
+                progress.recheck_dropped += 1;
+                if let Some(id) = round_id {
+                    if let Some(pos) = progress.recheck_ids.iter().position(|&x| x == id) {
+                        progress.recheck_ids.swap_remove(pos);
+                        close = Some(id);
+                    }
+                }
+            }
+            self.shared.progress_cv.notify_all();
+            close
+        };
+        if let Some(id) = close {
+            let _ = self.shared.service.close_session(id);
+        }
+        self.shared.counters.count_drop(cause);
+        eprintln!("dropping standing connection: {err} [{cause}]");
     }
 
     // -- suspension and resume ---------------------------------------------
@@ -1311,6 +1969,36 @@ impl ReactorServer {
                         "hub scan did not conclude within the decision deadline".into(),
                     ),
                     true,
+                );
+            }
+            Phase::Standing { wire_session } => {
+                // A stale pre-standing deadline (the decision timer armed
+                // before the feed parked): standing connections carry no
+                // deadline of their own between rounds.
+                conn.phase = Phase::Standing { wire_session };
+                self.put_back(core, token, conn);
+            }
+            Phase::Rechecking(state) => {
+                drop(conn);
+                self.drop_standing_conn(
+                    Some(state.id),
+                    true,
+                    DropCause::Timeout,
+                    &PianoError::Timeout("re-check answer deadline missed".into()),
+                );
+            }
+            Phase::AwaitRecheckVerdict { .. } => {
+                drop(conn);
+                // Post-ready: the round counted this feed; its per-round
+                // session is closed by the scan that never came (or the
+                // shutdown teardown).
+                self.drop_standing_conn(
+                    None,
+                    false,
+                    DropCause::Timeout,
+                    &PianoError::Timeout(
+                        "recheck scan did not conclude within the decision deadline".into(),
+                    ),
                 );
             }
             Phase::PendingResume { wire_session, .. } => {

@@ -64,6 +64,26 @@
 //! [`ServerLoop::wait_for_reports`]), and the per-connection threads then
 //! deliver the verdicts. Re-verification afterwards goes through
 //! [`piano_core::continuous::ContinuousScheduler`] on the same service.
+//!
+//! # Standing sessions and wire re-challenge
+//!
+//! With [`ServerConfig::standing`] set, a granted feed does **not** close
+//! after its `Decision` frame: the connection parks in a *standing loop*,
+//! and the host re-verifies the whole fleet over the live connections —
+//! no reconnects — in batched *re-challenge rounds* driven by
+//! [`ServerLoop::begin_recheck_round`]. Each round replays the PIANO
+//! protocol end to end on a **fresh** per-round service session: the
+//! server writes [`Message::Recheck`] (fresh Step II reference signals
+//! under the feed's original wire session id), the client plays and
+//! records, streams the recording back as [`Message::RecheckAudio`]
+//! frames, the gateway voucher re-ranges and routes a fresh Step V
+//! report, the host scans one hub recording for the whole round
+//! ([`ServerLoop::recheck_scan_and_decide`] — one coarse pass for every
+//! standing feed, the batching the hierarchical scan group makes cheap),
+//! and the connection delivers [`Message::RecheckVerdict`]. Rounds repeat
+//! until [`ServerLoop::end_standing`]. Risk-adaptive round *timing* is
+//! the host's job — drive it from
+//! [`piano_core::continuum::Continuum`]'s timer wheel.
 
 use std::collections::HashMap;
 use std::io;
@@ -124,6 +144,17 @@ pub struct ServerConfig {
     /// The back-off hint written in the [`Message::Retry`] a shed
     /// connection receives.
     pub retry_after_ms: u64,
+    /// Keep granted feeds connected as *standing* sessions after their
+    /// verdict, serving wire re-challenge rounds
+    /// ([`Message::Recheck`] → [`Message::RecheckAudio`] →
+    /// [`Message::RecheckVerdict`]) until [`ServerLoop::end_standing`].
+    /// Off by default: the classic one-epoch flow delivers the verdict
+    /// and closes.
+    pub standing: bool,
+    /// Budget for one re-challenge round's client half: from the
+    /// [`Message::Recheck`] write until the round's final
+    /// [`Message::RecheckAudio`] arrives.
+    pub recheck_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +170,8 @@ impl Default for ServerConfig {
             resume_window: Duration::ZERO,
             max_active_feeds: usize::MAX,
             retry_after_ms: 50,
+            standing: false,
+            recheck_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -160,6 +193,24 @@ struct Progress {
     scan_started: bool,
     /// The hub scan finished: decisions are available.
     scan_done: bool,
+    /// Granted feeds parked in the standing loop, awaiting re-challenge
+    /// rounds.
+    standing: usize,
+    /// The re-check round the host last commanded (0 = none yet).
+    recheck_round: u64,
+    /// Standing feeds that routed their report for the current round.
+    recheck_ready: usize,
+    /// Standing feeds that failed out of the current round (their report
+    /// will never arrive — the recheck wait counts them so it cannot
+    /// hang).
+    recheck_dropped: usize,
+    /// The last round whose hub scan concluded (verdicts available).
+    recheck_scanned: u64,
+    /// Per-round service sessions opened by standing feeds, cleared by
+    /// each round's scan.
+    recheck_ids: Vec<SessionId>,
+    /// The host ended standing service: parked feeds exit and close.
+    standing_over: bool,
 }
 
 /// What a suspended wire session is waiting to resume *into*.
@@ -496,8 +547,8 @@ impl ServerLoop {
     fn resume_connection<T: Transport>(
         &self,
         mut t: T,
-        reader: FrameReader,
-        buf: Vec<u8>,
+        mut reader: FrameReader,
+        mut buf: Vec<u8>,
         wire_session: u64,
         client_next_seq: u32,
         hs_deadline: Instant,
@@ -579,7 +630,7 @@ impl ServerLoop {
                         waived: true,
                     });
                 }
-                self.await_scan_and_deliver(&mut t, id, wire_session)
+                self.await_scan_and_deliver(&mut t, &mut reader, &mut buf, id, wire_session)
             }
         }
     }
@@ -713,7 +764,7 @@ impl ServerLoop {
             progress.active = progress.active.saturating_sub(1);
             sh.progress_cv.notify_all();
         }
-        self.await_scan_and_deliver(&mut t, state.id, state.wire_session)
+        self.await_scan_and_deliver(&mut t, &mut reader, &mut buf, state.id, state.wire_session)
     }
 
     /// Ingest: frames → feed accounting → voucher scan → replies, every
@@ -840,10 +891,14 @@ impl ServerLoop {
     /// scan, then delivers the verdict. With a resume window configured,
     /// the verdict is parked in the registry *before* the write, so a
     /// client that loses the connection with the `Decision` frame in
-    /// flight can reconnect and have it re-sent.
+    /// flight can reconnect and have it re-sent. With
+    /// [`ServerConfig::standing`] set, a granted feed then parks in
+    /// [`standing_loop`](Self::standing_loop) instead of closing.
     fn await_scan_and_deliver<T: Transport>(
         &self,
         t: &mut T,
+        reader: &mut FrameReader,
+        buf: &mut [u8],
         id: SessionId,
         wire_session: u64,
     ) -> Result<ConnOutcome, ConnError> {
@@ -894,7 +949,12 @@ impl ServerLoop {
             }
             .encode_framed(),
         ) {
-            Ok(()) => Ok(ConnOutcome::Done(id, decision)),
+            Ok(()) => {
+                if sh.cfg.standing && decision.is_granted() {
+                    self.standing_loop(t, reader, buf, wire_session)?;
+                }
+                Ok(ConnOutcome::Done(id, decision))
+            }
             Err(e) if !sh.cfg.resume_window.is_zero() => {
                 // The Decided entry parked above lets the client resume
                 // and re-read the verdict; this thread's work is done.
@@ -907,6 +967,278 @@ impl ServerLoop {
                 err: io_transport(e),
                 waived: true,
             }),
+        }
+    }
+
+    /// Parks a granted feed between re-challenge rounds: waits on the
+    /// progress condvar for the host to command a round
+    /// ([`begin_recheck_round`](Self::begin_recheck_round)) or end
+    /// standing service ([`end_standing`](Self::end_standing)), running
+    /// [`recheck_round`](Self::recheck_round) for each. While parked the
+    /// thread holds no locks and reads nothing — a standing feed whose
+    /// transport silently dies is discovered (and accounted under
+    /// [`Progress::recheck_dropped`]) at its next round.
+    fn standing_loop<T: Transport>(
+        &self,
+        t: &mut T,
+        reader: &mut FrameReader,
+        buf: &mut [u8],
+        wire_session: u64,
+    ) -> Result<(), ConnError> {
+        let sh = &*self.shared;
+        {
+            let mut progress = sh.progress.lock();
+            progress.standing += 1;
+            sh.progress_cv.notify_all();
+        }
+        let mut last_round = 0u64;
+        let result = loop {
+            let round = {
+                let mut progress = sh.progress.lock();
+                loop {
+                    if progress.standing_over {
+                        break None;
+                    }
+                    if progress.recheck_round > last_round {
+                        break Some(progress.recheck_round);
+                    }
+                    progress = progress.wait(&sh.progress_cv);
+                }
+            };
+            let Some(round) = round else { break Ok(()) };
+            last_round = round;
+            if let Err(e) = self.recheck_round(t, reader, buf, wire_session, round) {
+                break Err(e);
+            }
+        };
+        let mut progress = sh.progress.lock();
+        progress.standing = progress.standing.saturating_sub(1);
+        sh.progress_cv.notify_all();
+        drop(progress);
+        result
+    }
+
+    /// One wire re-challenge round for one standing feed: open a fresh
+    /// per-round service session, send its Step II signals to the client
+    /// as [`Message::Recheck`] (under the feed's *original* wire session
+    /// id), ingest the round's [`Message::RecheckAudio`] stream into a
+    /// fresh voucher (bounded by [`ServerConfig::recheck_timeout`]),
+    /// route the Step V report, wait out the round's hub scan, and
+    /// deliver [`Message::RecheckVerdict`]. The per-round session is
+    /// closed once scanned, so standing service never accumulates
+    /// service-side state across rounds.
+    fn recheck_round<T: Transport>(
+        &self,
+        t: &mut T,
+        reader: &mut FrameReader,
+        buf: &mut [u8],
+        wire_session: u64,
+        round: u64,
+    ) -> Result<(), ConnError> {
+        let sh = &*self.shared;
+        let (id, challenge, detector) = {
+            let mut service = sh.service.lock();
+            let mut rng = sh.rng.lock();
+            let id = service.open_session(false, &mut rng);
+            match service.poll_transmit(id) {
+                Some(challenge) => (id, challenge, Arc::clone(service.detector())),
+                None => {
+                    let _ = service.close_session(id);
+                    return Err(self.recheck_fail(
+                        None,
+                        DropCause::Protocol,
+                        PianoError::Wire("recheck session queued no challenge".into()),
+                    ));
+                }
+            }
+        };
+        sh.progress.lock().recheck_ids.push(id);
+        let mut voucher = AuthSession::voucher_with(detector);
+        if let Err(e) = voucher.handle_message(challenge.clone()) {
+            return Err(self.recheck_fail(Some(id), DropCause::Protocol, e));
+        }
+        let (sa, sv) = match challenge {
+            Message::ReferenceSignals { sa, sv, .. } => (sa, sv),
+            other => {
+                return Err(self.recheck_fail(
+                    Some(id),
+                    DropCause::Protocol,
+                    PianoError::Wire(format!("recheck session queued {other:?}, not a challenge")),
+                ));
+            }
+        };
+        // The frame addresses the feed's standing identity; the signals
+        // are this round's fresh challenge. Wire rounds are u32: the
+        // round counter is host-driven and sequential, so truncation
+        // would need four billion rounds on one connection.
+        let wire_round = round as u32;
+        let frame = Message::Recheck {
+            session: wire_session,
+            round: wire_round,
+            sa,
+            sv,
+        }
+        .encode_framed();
+        if let Err(e) = t.write_all(&frame) {
+            return Err(self.recheck_fail(Some(id), DropCause::Disconnect, io_transport(e)));
+        }
+        let deadline = Instant::now() + sh.cfg.recheck_timeout;
+        let mut next_seq = 0u32;
+        loop {
+            let msg = match read_frame_deadline(t, reader, buf, deadline, "recheck audio") {
+                Ok(m) => m,
+                Err((cause, err)) => return Err(self.recheck_fail(Some(id), cause, err)),
+            };
+            match msg {
+                Message::RecheckAudio {
+                    session,
+                    round: r,
+                    seq,
+                    done,
+                    samples,
+                } if session == wire_session && r == wire_round => {
+                    if seq != next_seq {
+                        return Err(self.recheck_fail(
+                            Some(id),
+                            DropCause::Protocol,
+                            PianoError::Wire(format!(
+                                "recheck audio arrived with seq {seq}, expected {next_seq}"
+                            )),
+                        ));
+                    }
+                    next_seq = next_seq.wrapping_add(1);
+                    if !samples.is_empty() {
+                        let _ = voucher.push_audio(&samples);
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                other => {
+                    return Err(self.recheck_fail(
+                        Some(id),
+                        DropCause::Protocol,
+                        PianoError::Wire(format!(
+                            "expected RecheckAudio for round {round}, got {other:?}"
+                        )),
+                    ));
+                }
+            }
+        }
+        let _ = voucher.finish_audio();
+        let report = match voucher.poll_transmit() {
+            Some(r) => r,
+            None => {
+                return Err(self.recheck_fail(
+                    Some(id),
+                    DropCause::Protocol,
+                    PianoError::Wire("recheck voucher produced no report".into()),
+                ));
+            }
+        };
+        if let Err(e) = sh.service.lock().handle_message(id, report) {
+            return Err(self.recheck_fail(Some(id), DropCause::Protocol, e));
+        }
+        {
+            let mut progress = sh.progress.lock();
+            progress.recheck_ready += 1;
+            sh.progress_cv.notify_all();
+        }
+        // Wait out this round's hub scan. Post-ready failures are waived
+        // and not counted dropped: the host's round accounting already saw
+        // this feed.
+        let scan_deadline = Instant::now() + sh.cfg.decision_timeout;
+        {
+            let mut progress = sh.progress.lock();
+            while progress.recheck_scanned < round {
+                if progress.standing_over {
+                    // Standing ended mid-round; the outer loop exits and
+                    // the client learns from the connection close.
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= scan_deadline {
+                    return Err(ConnError {
+                        id: None,
+                        cause: DropCause::Timeout,
+                        err: PianoError::Timeout(
+                            "recheck scan did not conclude within the decision deadline".into(),
+                        ),
+                        waived: true,
+                    });
+                }
+                let (guard, _) = progress.wait_timeout(&sh.progress_cv, scan_deadline - now);
+                progress = guard;
+            }
+        }
+        let decision = {
+            let mut service = sh.service.lock();
+            let d = service
+                .decision(id)
+                .cloned()
+                .unwrap_or(AuthDecision::Denied {
+                    reason: DenialReason::ProtocolFailure(
+                        "recheck session undecided after the hub scan".into(),
+                    ),
+                });
+            let _ = service.close_session(id);
+            d
+        };
+        t.write_all(
+            &Message::RecheckVerdict {
+                session: wire_session,
+                round: wire_round,
+                decision,
+            }
+            .encode_framed(),
+        )
+        .map_err(|e| ConnError {
+            id: None,
+            cause: DropCause::Disconnect,
+            err: io_transport(e),
+            waived: true,
+        })?;
+        Ok(())
+    }
+
+    /// Accounts a standing feed's pre-report round failure: counts it
+    /// under [`Progress::recheck_dropped`] (so
+    /// [`wait_for_recheck_reports`](Self::wait_for_recheck_reports)
+    /// cannot hang on a report that will never arrive) and withdraws its
+    /// per-round session — removed from the pending round and closed,
+    /// but only while the host has not yet snapshotted the round's ids
+    /// for its scan (afterwards the scan owns the session; unreported, it
+    /// never decides and is left behind like any dropped feed's). The
+    /// returned error is waived: the feed's original connection already
+    /// reported in the main epoch.
+    fn recheck_fail(&self, id: Option<SessionId>, cause: DropCause, err: PianoError) -> ConnError {
+        let sh = &*self.shared;
+        let close = {
+            let mut progress = sh.progress.lock();
+            progress.recheck_dropped += 1;
+            sh.progress_cv.notify_all();
+            match id {
+                Some(id) => {
+                    if let Some(pos) = progress.recheck_ids.iter().position(|&x| x == id) {
+                        progress.recheck_ids.swap_remove(pos);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        };
+        if close {
+            if let Some(id) = id {
+                let _ = sh.service.lock().close_session(id);
+            }
+        }
+        ConnError {
+            id: None,
+            cause,
+            err,
+            waived: true,
         }
     }
 
@@ -1000,6 +1332,136 @@ impl ServerLoop {
         self.shared.progress_cv.notify_all();
         drop(progress);
         decided
+    }
+
+    /// Blocks until `n` granted feeds are parked in the standing loop
+    /// (requires [`ServerConfig::standing`]). Returns the standing
+    /// population.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds are standing
+    /// within `timeout`.
+    pub fn wait_for_standing(&self, n: usize, timeout: Duration) -> Result<usize, PianoError> {
+        let sh = &*self.shared;
+        let deadline = Instant::now() + timeout;
+        let mut progress = sh.progress.lock();
+        loop {
+            if progress.standing >= n {
+                return Ok(progress.standing);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PianoError::Timeout(format!(
+                    "{} of {n} feeds standing before the deadline",
+                    progress.standing
+                )));
+            }
+            let (guard, _) = progress.wait_timeout(&sh.progress_cv, deadline - now);
+            progress = guard;
+        }
+    }
+
+    /// Commands the next re-challenge round: every standing feed opens a
+    /// fresh per-round session and sends its client a
+    /// [`Message::Recheck`]. Returns the round number. Drive one round to
+    /// completion ([`wait_for_recheck_reports`](Self::wait_for_recheck_reports)
+    /// → [`recheck_session_ids`](Self::recheck_session_ids) →
+    /// [`recheck_scan_and_decide`](Self::recheck_scan_and_decide)) before
+    /// commanding the next.
+    pub fn begin_recheck_round(&self) -> u64 {
+        let sh = &*self.shared;
+        let mut progress = sh.progress.lock();
+        progress.recheck_round += 1;
+        progress.recheck_ready = 0;
+        progress.recheck_dropped = 0;
+        progress.recheck_ids.clear();
+        let round = progress.recheck_round;
+        sh.progress_cv.notify_all();
+        round
+    }
+
+    /// Blocks until each of `n` standing feeds has either routed its
+    /// re-check report for the current round or failed out of the round.
+    /// Returns the number that actually reported.
+    ///
+    /// # Errors
+    ///
+    /// [`PianoError::Timeout`] when fewer than `n` feeds have concluded
+    /// the round within `timeout`.
+    pub fn wait_for_recheck_reports(
+        &self,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<usize, PianoError> {
+        let sh = &*self.shared;
+        let deadline = Instant::now() + timeout;
+        let mut progress = sh.progress.lock();
+        loop {
+            if progress.recheck_ready + progress.recheck_dropped >= n {
+                return Ok(progress.recheck_ready);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PianoError::Timeout(format!(
+                    "{} of {n} standing feeds concluded the recheck round before the deadline",
+                    progress.recheck_ready + progress.recheck_dropped
+                )));
+            }
+            let (guard, _) = progress.wait_timeout(&sh.progress_cv, deadline - now);
+            progress = guard;
+        }
+    }
+
+    /// The current round's per-round service session ids, ascending —
+    /// what the host builds the round's hub recording over. Call after
+    /// [`wait_for_recheck_reports`](Self::wait_for_recheck_reports) and
+    /// *before* [`recheck_scan_and_decide`](Self::recheck_scan_and_decide)
+    /// (the scan consumes the round's id list).
+    pub fn recheck_session_ids(&self) -> Vec<SessionId> {
+        let mut ids = self.shared.progress.lock().recheck_ids.clone();
+        ids.sort();
+        ids
+    }
+
+    /// Streams the round's hub recording through the service — one coarse
+    /// pass re-verifies every standing feed's per-round session — then
+    /// releases the standing threads to deliver their
+    /// [`Message::RecheckVerdict`]s. Returns how many of the round's
+    /// sessions decided.
+    pub fn recheck_scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        let decided;
+        let round;
+        {
+            // progress → service, the crate-wide lock order.
+            let mut progress = self.shared.progress.lock();
+            round = progress.recheck_round;
+            let ids = std::mem::take(&mut progress.recheck_ids);
+            let mut service = self.shared.service.lock();
+            drop(progress);
+            for chunk in hub_audio.chunks(tick.max(1)) {
+                let _ = service.push_audio(chunk);
+            }
+            let _ = service.finish_audio();
+            decided = ids
+                .iter()
+                .filter(|&&id| service.decision(id).is_some())
+                .count();
+        }
+        let mut progress = self.shared.progress.lock();
+        progress.recheck_scanned = round;
+        self.shared.progress_cv.notify_all();
+        drop(progress);
+        decided
+    }
+
+    /// Ends standing service: parked feeds exit their loops, their
+    /// connection threads return, and the transports close. Permanent —
+    /// a `ServerLoop` serves one standing era.
+    pub fn end_standing(&self) {
+        let mut progress = self.shared.progress.lock();
+        progress.standing_over = true;
+        self.shared.progress_cv.notify_all();
     }
 
     /// A point-in-time [`ServiceStats`] snapshot across every connection

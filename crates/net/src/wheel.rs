@@ -1,12 +1,16 @@
-//! A hashed timer wheel for the reactor's phase deadlines.
+//! The reactor's deadline timer: a thin clock-bearing adapter over the
+//! shared hierarchical [`TickWheel`] in `piano-core::continuum`.
 //!
 //! Every connection phase (handshake, mid-stream idle, whole-stream
-//! budget, decision wait) and every suspension's resume window is one
-//! entry here instead of a blocking `read_timeout` on a dedicated
-//! thread. Entries hash into `SLOTS` buckets by expiry tick; an entry
-//! whose expiry lies beyond one rotation simply stays in its bucket
-//! until the wheel has swept past it enough times (round counting via
-//! the absolute expiry tick — no per-entry round field needed).
+//! budget, decision wait, standing re-challenge) and every suspension's
+//! resume window is one wheel entry instead of a blocking `read_timeout`
+//! on a dedicated thread. This module owns the only clock-facing part:
+//! mapping `Instant`s onto the wheel's abstract ticks (rounding
+//! deadlines *up* so a timer never fires early). Hashing, cascading
+//! across levels, round counting for far-future deadlines, and
+//! deterministic expiry order all live in the shared implementation —
+//! the same one `Continuum` uses to schedule millions of standing
+//! sessions.
 //!
 //! Cancellation is *lazy*: callers never remove an entry. Instead every
 //! timer-bearing owner keeps a generation counter, bumps it whenever the
@@ -17,9 +21,7 @@
 
 use std::time::{Duration, Instant};
 
-/// Bucket count. With the default tick this spans ~1 s per rotation;
-/// longer deadlines just survive extra sweeps.
-const SLOTS: usize = 256;
+use piano_core::continuum::TickWheel;
 
 /// What a timer entry identifies when it fires. The `gen` fields make
 /// lazy cancellation work: the owner compares against its current
@@ -32,28 +34,13 @@ pub(crate) enum TimerKey {
     Suspended { wire_session: u64, gen: u64 },
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    /// Absolute expiry, in ticks since the wheel's origin.
-    at_tick: u64,
-    key: TimerKey,
-}
-
-/// The wheel itself. One per reactor, owned by the reactor thread — no
-/// locking anywhere.
+/// The adapter: an origin instant + tick duration over the shared wheel.
+/// One per reactor, owned by the reactor thread — no locking anywhere.
 #[derive(Debug)]
 pub(crate) struct TimerWheel {
     origin: Instant,
     tick: Duration,
-    slots: Vec<Vec<Entry>>,
-    /// The next tick `advance` will sweep (everything before it has been
-    /// swept already).
-    cursor: u64,
-    /// Live entry count (stale entries included — they are still stored).
-    armed: usize,
-    /// Lower bound on the earliest `at_tick` of any stored entry, for
-    /// cheap sleep computation; refreshed lazily by `advance`.
-    soonest: u64,
+    wheel: TickWheel<TimerKey>,
 }
 
 impl TimerWheel {
@@ -63,10 +50,7 @@ impl TimerWheel {
         TimerWheel {
             origin: Instant::now(),
             tick: tick.max(Duration::from_micros(100)),
-            slots: vec![Vec::new(); SLOTS],
-            cursor: 0,
-            armed: 0,
-            soonest: u64::MAX,
+            wheel: TickWheel::new(),
         }
     }
 
@@ -81,21 +65,14 @@ impl TimerWheel {
 
     /// Arms a timer for `key` at `deadline`.
     pub(crate) fn insert(&mut self, deadline: Instant, key: TimerKey) {
-        let at_tick = self.tick_of(deadline).max(self.cursor);
-        if let Some(slot) = self.slots.get_mut((at_tick % SLOTS as u64) as usize) {
-            slot.push(Entry { at_tick, key });
-            self.armed += 1;
-            self.soonest = self.soonest.min(at_tick);
-        }
+        let at_tick = self.tick_of(deadline);
+        self.wheel.insert(at_tick, key);
     }
 
     /// The earliest instant any stored entry could fire, for sleep
     /// bounding; `None` when the wheel is empty.
     pub(crate) fn next_deadline(&self) -> Option<Instant> {
-        if self.armed == 0 {
-            return None;
-        }
-        let at = self.soonest.max(self.cursor);
+        let at = self.wheel.next_tick()?;
         Some(self.origin + self.tick.saturating_mul(at.min(u32::MAX as u64) as u32))
     }
 
@@ -104,43 +81,7 @@ impl TimerWheel {
     /// generations themselves.
     pub(crate) fn advance(&mut self, now: Instant) -> Vec<TimerKey> {
         let now_tick = self.tick_of(now).saturating_sub(1); // ticks fully elapsed
-        let mut fired: Vec<(u64, TimerKey)> = Vec::new();
-        if self.armed == 0 || now_tick < self.cursor || now_tick < self.soonest {
-            return Vec::new();
-        }
-        // Sweep at most one full rotation: beyond that every slot has
-        // been visited once and entries keyed further out are retained
-        // by the `at_tick` comparison anyway.
-        let sweep_to = now_tick.min(self.cursor + SLOTS as u64);
-        let mut soonest = u64::MAX;
-        for t in self.cursor..=sweep_to {
-            if let Some(slot) = self.slots.get_mut((t % SLOTS as u64) as usize) {
-                let mut kept = Vec::new();
-                for e in slot.drain(..) {
-                    if e.at_tick <= now_tick {
-                        fired.push((e.at_tick, e.key));
-                    } else {
-                        soonest = soonest.min(e.at_tick);
-                        kept.push(e);
-                    }
-                }
-                *slot = kept;
-            }
-        }
-        self.cursor = sweep_to + 1;
-        // Entries in unswept slots may still precede `soonest`; scan the
-        // remainder only when the cheap bound was consumed.
-        if soonest == u64::MAX {
-            for slot in &self.slots {
-                for e in slot {
-                    soonest = soonest.min(e.at_tick);
-                }
-            }
-        }
-        self.soonest = soonest;
-        self.armed = self.armed.saturating_sub(fired.len());
-        fired.sort_by_key(|&(at, _)| at);
-        fired.into_iter().map(|(_, k)| k).collect()
+        self.wheel.advance(now_tick)
     }
 }
 
@@ -169,7 +110,8 @@ mod tests {
     fn long_deadlines_survive_many_rotations() {
         let mut w = TimerWheel::new(Duration::from_millis(1));
         let now = Instant::now();
-        // ~2 s with 256 × 1 ms slots: ~8 rotations.
+        // ~2 s with 1 ms ticks: beyond one level-0 rotation of the
+        // hierarchical wheel, so the entry parks coarse and cascades.
         w.insert(
             now + Duration::from_millis(2_000),
             TimerKey::Suspended {
@@ -230,5 +172,32 @@ mod tests {
         let nd = w.next_deadline().expect("armed");
         assert!(nd >= now + Duration::from_millis(50) - Duration::from_millis(4));
         assert!(nd <= now + Duration::from_millis(60));
+    }
+
+    #[test]
+    fn unswept_earlier_entries_still_bound_next_deadline() {
+        // Regression for the single-level wheel's lazy `soonest` bug: an
+        // entry armed *behind* another entry's slot (but earlier in
+        // time) must still be reflected by next_deadline and fire on
+        // time.
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let now = Instant::now();
+        w.insert(
+            now + Duration::from_millis(400),
+            TimerKey::Conn { token: 1, gen: 0 },
+        );
+        // Sweep partway; then arm an earlier deadline.
+        assert!(w.advance(now + Duration::from_millis(100)).is_empty());
+        w.insert(
+            now + Duration::from_millis(150),
+            TimerKey::Conn { token: 2, gen: 0 },
+        );
+        let nd = w.next_deadline().expect("armed");
+        assert!(
+            nd <= now + Duration::from_millis(160),
+            "sleep bound must see the earlier entry"
+        );
+        let fired = w.advance(now + Duration::from_millis(160));
+        assert_eq!(fired, vec![TimerKey::Conn { token: 2, gen: 0 }]);
     }
 }

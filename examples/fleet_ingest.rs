@@ -13,6 +13,8 @@
 //! PIANO_NET_REACTOR=1   cargo run --release --example fleet_ingest   # readiness reactor
 //! PIANO_NET_REACTOR=1 PIANO_NET_FAULT_SEED=0xFA17 \
 //!                       cargo run --release --example fleet_ingest   # reactor + chaos
+//! PIANO_NET_RECHALLENGE=1 \
+//!                       cargo run --release --example fleet_ingest   # standing rounds
 //! ```
 //!
 //! The scenario: a gateway authenticates every user in a building at
@@ -50,6 +52,14 @@
 //! still reaches 100% granted verdicts and prints the per-cause drop
 //! and resilience counters.
 //!
+//! **Re-challenge mode** (`PIANO_NET_RECHALLENGE=1`): granted feeds
+//! stay connected after their verdict and the gateway re-verifies the
+//! whole standing fleet over those live connections — two wire
+//! re-challenge rounds (`Recheck` → `RecheckAudio` → `RecheckVerdict`),
+//! each with fresh signals and a fresh hub scan, before `end_standing`
+//! closes the fleet. Composes with both gateways and with chaos mode
+//! (cut feeds answer their rounds on the resumed link).
+//!
 //! A `ContinuousScheduler` epilogue re-verifies a handful of the
 //! authenticated sessions by deadline off the same service.
 
@@ -59,13 +69,23 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use piano::core::wire::WireCodec;
-use piano::net::fixtures::{feed_recording, hub_recording, hub_recording_reactor, FEED_REC_LEN};
-use piano::net::transport::{memory_hub, tcp_loopback, Listener, MemoryStream};
+use piano::net::fixtures::{
+    feed_recording, hub_recording, hub_recording_for, hub_recording_reactor, hub_recording_sharded,
+    recheck_recording, FEED_REC_LEN,
+};
+use piano::net::transport::{memory_hub, tcp_loopback, Listener, MemoryStream, Transport};
 use piano::net::{
     FaultPlan, FaultyTransport, FeedHandle, FeedStats, ReactorServer, ResilientFeed, RetryPolicy,
     ServerConfig, ServerLoop,
 };
 use piano::prelude::*;
+
+/// Wire re-challenge rounds the standing epilogue runs
+/// (`PIANO_NET_RECHALLENGE=1`).
+const RECHECK_ROUNDS: u32 = 2;
+
+/// Generous bound for fleet-scale waits (chaos latency included).
+const FLEET_WAIT: Duration = Duration::from_secs(120);
 
 fn main() {
     let feeds: usize = std::env::var("PIANO_FLEET_FEEDS")
@@ -73,6 +93,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let codec = WireCodec::from_env();
+    let rechallenge = std::env::var("PIANO_NET_RECHALLENGE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let fault_seed = std::env::var("PIANO_NET_FAULT_SEED")
         .ok()
         .and_then(|v| {
@@ -86,17 +109,20 @@ fn main() {
         .map(|v| v == "1")
         .unwrap_or(false);
     if use_reactor {
-        run_reactor_fleet(fault_seed, feeds, codec);
+        run_reactor_fleet(fault_seed, feeds, codec, rechallenge);
         return;
     }
     if let Some(seed) = fault_seed {
-        run_faulted_fleet(seed, feeds, codec);
+        run_faulted_fleet(seed, feeds, codec, rechallenge);
         return;
     }
     let server = ServerLoop::new(
         AuthService::new(PianoConfig::with_threshold(1.0)),
         ChaCha8Rng::seed_from_u64(0xF1EE7),
-        ServerConfig::default(),
+        ServerConfig {
+            standing: rechallenge,
+            ..ServerConfig::default()
+        },
     );
     let action = server.with_service(|s| s.config().action.clone());
     println!(
@@ -114,24 +140,42 @@ fn main() {
         match tcp_loopback() {
             Some((listener, addr)) => {
                 println!("transport: loopback TCP on {addr}");
-                spawn_fleet(&server, &action, codec, feeds, listener, move || {
-                    std::net::TcpStream::connect(addr).expect("connect loopback")
-                })
+                spawn_fleet(
+                    &server,
+                    &action,
+                    codec,
+                    feeds,
+                    rechallenge,
+                    listener,
+                    move || std::net::TcpStream::connect(addr).expect("connect loopback"),
+                )
             }
             None => {
                 println!("transport: loopback TCP unavailable, using in-memory duplex");
                 let (connector, listener) = memory_hub();
-                spawn_fleet(&server, &action, codec, feeds, listener, move || {
-                    connector.connect().expect("memory hub open")
-                })
+                spawn_fleet(
+                    &server,
+                    &action,
+                    codec,
+                    feeds,
+                    rechallenge,
+                    listener,
+                    move || connector.connect().expect("memory hub open"),
+                )
             }
         }
     } else {
         println!("transport: in-memory duplex");
         let (connector, listener) = memory_hub();
-        spawn_fleet(&server, &action, codec, feeds, listener, move || {
-            connector.connect().expect("memory hub open")
-        })
+        spawn_fleet(
+            &server,
+            &action,
+            codec,
+            feeds,
+            rechallenge,
+            listener,
+            move || connector.connect().expect("memory hub open"),
+        )
     };
     println!(
         "opened {} sessions in one scan group ({} signatures, one coarse pass per tick)",
@@ -147,6 +191,9 @@ fn main() {
     let hub = hub_recording(&server);
     let decided = server.scan_and_decide(&hub, 16_384);
     assert_eq!(decided, feeds, "every session decides");
+    if rechallenge {
+        drive_recheck_rounds(&server, feeds);
+    }
 
     // Every client received the verdict the service recorded.
     let mut granted = 0usize;
@@ -214,18 +261,20 @@ fn main() {
     });
     for round in 0..2u64 {
         let now = 50.0 * (round + 1) as f64;
-        let outcomes = server.with_service(|service| {
-            sched.run_due(now, |key, session| {
-                let (idx, (_, a, v)) = pairs
-                    .iter()
-                    .enumerate()
-                    .find(|(_, (k, _, _))| *k == key)
-                    .expect("known key");
-                let mut field =
-                    AcousticField::new(Environment::office(), 7_000 + idx as u64 * 10 + round);
-                session.recheck_via(service, &mut field, a, v, now, &mut rng)
+        let outcomes = server
+            .with_service(|service| {
+                sched.run_due(now, |key, session| {
+                    let (idx, (_, a, v)) = pairs
+                        .iter()
+                        .enumerate()
+                        .find(|(_, (k, _, _))| *k == key)
+                        .expect("known key");
+                    let mut field =
+                        AcousticField::new(Environment::office(), 7_000 + idx as u64 * 10 + round);
+                    session.recheck_via(service, &mut field, a, v, now, &mut rng)
+                })
             })
-        });
+            .expect("scheduled sessions stay known to the scheduler");
         println!(
             "recheck round {round} at t={now}s: {} due sessions re-verified",
             outcomes.len()
@@ -240,7 +289,7 @@ fn main() {
 /// With a fault seed the chaos schedule from [`run_faulted_fleet`] runs
 /// unchanged — cuts, redials, and resumes all land on the reactor — and
 /// the run must still end with every verdict granted.
-fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
+fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec, rechallenge: bool) {
     let shards: usize = std::env::var("PIANO_NET_SHARDS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -250,6 +299,7 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
         ChaCha8Rng::seed_from_u64(0xF1EE7),
         ServerConfig {
             resume_window: Duration::from_secs(10),
+            standing: rechallenge,
             ..ServerConfig::default()
         },
     );
@@ -297,7 +347,11 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
                             let rec = feed_recording(feed.challenge(), &action);
                             feed.send_recording(&rec, 1_024, 4).expect("stream");
                             feed.finish().expect("stream end");
-                            (feed.await_decision().expect("verdict"), None)
+                            let decision = feed.await_decision().expect("verdict");
+                            if rechallenge && decision.is_granted() {
+                                answer_recheck_rounds(&mut feed, &action);
+                            }
+                            (decision, None)
                         })
                     })
                     .collect()
@@ -353,6 +407,11 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
                             let decision = feed
                                 .finish_and_await(Duration::from_secs(120))
                                 .expect("verdict survives faults");
+                            if rechallenge && decision.is_granted() {
+                                // Rounds run on the live (possibly
+                                // resumed) link, past the scripted cuts.
+                                answer_recheck_rounds(feed.handle_mut(), &action);
+                            }
                             (decision, Some(feed.stats()))
                         })
                     })
@@ -367,6 +426,9 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
     let hub = hub_recording_reactor(&server);
     let decided = server.scan_and_decide(&hub, 16_384);
     assert_eq!(decided, feeds, "every session decides");
+    if rechallenge {
+        drive_recheck_rounds_reactor(&server, feeds);
+    }
 
     let mut granted = 0usize;
     let (mut retries, mut resumes, mut backoff) = (0u64, 0u64, Duration::ZERO);
@@ -432,12 +494,13 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec) {
 /// cuts); the rest run under segmentation/latency chaos. The server
 /// keeps a 10 s resume window, clients redial through `ResilientFeed`,
 /// and the run must still end with every verdict granted.
-fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec) {
+fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec, rechallenge: bool) {
     let server = ServerLoop::new(
         AuthService::new(PianoConfig::with_threshold(1.0)),
         ChaCha8Rng::seed_from_u64(0xF1EE7),
         ServerConfig {
             resume_window: Duration::from_secs(10),
+            standing: rechallenge,
             ..ServerConfig::default()
         },
     );
@@ -513,6 +576,11 @@ fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec) {
                 let decision = feed
                     .finish_and_await(Duration::from_secs(120))
                     .expect("verdict survives faults");
+                if rechallenge && decision.is_granted() {
+                    // Rounds run on the live (possibly resumed) link,
+                    // past the scripted cuts.
+                    answer_recheck_rounds(feed.handle_mut(), &action);
+                }
                 (decision, feed.stats())
             })
         })
@@ -524,6 +592,9 @@ fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec) {
     assert_eq!(reported, feeds, "every feed reports");
     let hub = hub_recording(&server);
     assert_eq!(server.scan_and_decide(&hub, 16_384), feeds);
+    if rechallenge {
+        drive_recheck_rounds(&server, feeds);
+    }
 
     let mut granted = 0usize;
     let (mut retries, mut resumes, mut backoff) = (0u64, 0u64, Duration::ZERO);
@@ -563,6 +634,75 @@ fn run_faulted_fleet(seed: u64, feeds: usize, codec: WireCodec) {
     );
 }
 
+/// Client half of the re-challenge epilogue: answers [`RECHECK_ROUNDS`]
+/// wire re-check rounds with the granted 0.50 m geometry, then expects
+/// `end_standing` to close the connection.
+fn answer_recheck_rounds<T: Transport>(feed: &mut FeedHandle<T>, action: &ActionConfig) {
+    for round in 1..=RECHECK_ROUNDS {
+        let recheck = feed.await_recheck(FLEET_WAIT).expect("re-challenge");
+        let rec = recheck_recording(&recheck, action);
+        feed.answer_recheck(round, &rec, 1_024)
+            .expect("round answer");
+        let verdict = feed
+            .await_recheck_verdict(round, FLEET_WAIT)
+            .expect("round verdict");
+        assert!(
+            verdict.is_granted(),
+            "standing round {round} verdict {verdict:?}"
+        );
+    }
+    assert!(
+        feed.await_recheck(FLEET_WAIT).is_err(),
+        "standing service ends with a close"
+    );
+}
+
+/// Host half for the threaded gateway: every round re-challenges the
+/// whole standing fleet over its live connections (fresh per-round
+/// sessions, fresh signals) and scans one fresh hub take.
+fn drive_recheck_rounds(server: &ServerLoop, feeds: usize) {
+    let standing = server
+        .wait_for_standing(feeds, FLEET_WAIT)
+        .expect("granted feeds park standing");
+    assert_eq!(standing, feeds, "every granted feed parks standing");
+    println!("\nre-challenge epilogue: {feeds} standing feeds, {RECHECK_ROUNDS} wire rounds");
+    for round in 1..=u64::from(RECHECK_ROUNDS) {
+        server.begin_recheck_round();
+        let ready = server
+            .wait_for_recheck_reports(feeds, FLEET_WAIT)
+            .expect("round reports");
+        assert_eq!(ready, feeds, "round {round}: every standing feed answers");
+        let ids = server.recheck_session_ids();
+        let hub = server.with_service(|s| hub_recording_for(s, &ids));
+        let decided = server.recheck_scan_and_decide(&hub, 16_384);
+        assert_eq!(decided, feeds, "round {round}: every re-check decides");
+        println!("  round {round}: {decided}/{feeds} standing sessions re-verified");
+    }
+    server.end_standing();
+}
+
+/// [`drive_recheck_rounds`] against the reactor gateway.
+fn drive_recheck_rounds_reactor(server: &ReactorServer, feeds: usize) {
+    let standing = server
+        .wait_for_standing(feeds, FLEET_WAIT)
+        .expect("granted feeds park standing");
+    assert_eq!(standing, feeds, "every granted feed parks standing");
+    println!("\nre-challenge epilogue: {feeds} standing feeds, {RECHECK_ROUNDS} wire rounds");
+    for round in 1..=u64::from(RECHECK_ROUNDS) {
+        server.begin_recheck_round();
+        let ready = server
+            .wait_for_recheck_reports(feeds, FLEET_WAIT)
+            .expect("round reports");
+        assert_eq!(ready, feeds, "round {round}: every standing feed answers");
+        let ids = server.recheck_session_ids();
+        let hub = hub_recording_sharded(server.service(), &ids);
+        let decided = server.recheck_scan_and_decide(&hub, 16_384);
+        assert_eq!(decided, feeds, "round {round}: every re-check decides");
+        println!("  round {round}: {decided}/{feeds} standing sessions re-verified");
+    }
+    server.end_standing();
+}
+
 /// Connects `feeds` clients (handshakes in order, so the run is
 /// reproducible), spawns one server thread per accepted connection and
 /// one client thread per feed, and returns both handle sets.
@@ -572,6 +712,7 @@ fn spawn_fleet<L: Listener + 'static>(
     action: &ActionConfig,
     codec: WireCodec,
     feeds: usize,
+    rechallenge: bool,
     mut listener: L,
     connect: impl Fn() -> L::Conn,
 ) -> (
@@ -598,7 +739,11 @@ fn spawn_fleet<L: Listener + 'static>(
                 let rec = feed_recording(feed.challenge(), &action);
                 feed.send_recording(&rec, 1_024, 4).expect("stream");
                 feed.finish().expect("stream end");
-                feed.await_decision().expect("verdict")
+                let decision = feed.await_decision().expect("verdict");
+                if rechallenge && decision.is_granted() {
+                    answer_recheck_rounds(&mut feed, &action);
+                }
+                decision
             })
         })
         .collect();
