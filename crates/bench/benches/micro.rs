@@ -7,6 +7,8 @@
 //! plus the headline speedup ratios, so the perf trajectory is archived
 //! per commit.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -21,6 +23,36 @@ use piano_dsp::fft::{fft_real_padded, FftPlan, RealFftPlan};
 use piano_dsp::simd::{self, DspBackend};
 use piano_dsp::sparse::{GoertzelBank, SlidingDft};
 use piano_dsp::Complex64;
+
+/// Counts allocator calls and requested bytes so `measure_alloc` can
+/// report the ingest path's heap traffic (the `alloc` summary block).
+/// Pass-through otherwise; criterion timings are unaffected beyond two
+/// relaxed atomic increments per allocation.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 fn bench_micro(c: &mut Criterion) {
     let config = ActionConfig::default();
@@ -181,6 +213,11 @@ fn bench_micro(c: &mut Criterion) {
     // O(1) claim is measured rather than asserted.
     let continuous = measure_continuous(1 << 20);
 
+    // Heap traffic of a standing feed (measured once, in the summary):
+    // the pooled zero-copy ingest chain against the same frames decoded
+    // without a pool — bytes per session and allocations per frame.
+    let alloc = measure_alloc();
+
     // Per-backend kernel speedups (measured once, in the summary): every
     // available DSP backend against the scalar reference.
     let simd_speedups = measure_simd(&wave);
@@ -227,8 +264,112 @@ fn bench_micro(c: &mut Criterion) {
         &net,
         &fault,
         &continuous,
+        &alloc,
         &simd_speedups,
     );
+}
+
+/// One deterministic heap-traffic measurement for the summary block.
+struct AllocIngest {
+    /// Frames in the measured steady-state window (warmup excluded).
+    frames_per_session: usize,
+    /// Heap bytes requested across the window, pooled vs unpooled chain.
+    bytes_per_session_pooled: u64,
+    bytes_per_session_unpooled: u64,
+    /// Mean allocator calls per ingested frame.
+    allocs_per_frame_pooled: f64,
+    allocs_per_frame_unpooled: f64,
+    /// `unpooled / pooled` bytes — the headline the pool exists for.
+    /// A zero-alloc pooled window divides by 1 and reads as the full
+    /// unpooled byte count.
+    reduction_ratio: f64,
+}
+
+/// Drives identical pre-encoded frames (raw chunks and i16 batches,
+/// silence — the standing-feed regime between challenges) through
+/// `FrameReader → IngestFeed → StreamingDetector` twice: once on the
+/// pooled zero-copy path, once decoding into fresh `Vec`s. Counts
+/// allocator traffic over a steady-state window after a warmup that
+/// fills the pool, the scan scratch, and the ring's first compaction.
+fn measure_alloc() -> AllocIngest {
+    use piano_core::pool::FramePool;
+    use piano_core::wire::{FrameReader, IngestFeed, Message};
+
+    const SESSION: u64 = 0xA110C;
+    const CHUNK: usize = 1_024;
+    const WARMUP_FRAMES: usize = 96;
+    const MEASURED_FRAMES: usize = 64;
+
+    let cfg = ActionConfig::default();
+    let detector = Arc::new(Detector::new(&cfg));
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA110C);
+    let sig = SignalSignature::of(&ReferenceSignal::random(&cfg, &mut rng), &cfg);
+
+    let mut frames = Vec::with_capacity(WARMUP_FRAMES + MEASURED_FRAMES);
+    let mut seq = 0u32;
+    for i in 0..WARMUP_FRAMES + MEASURED_FRAMES {
+        let msg = if i % 2 == 0 {
+            let m = Message::AudioChunk {
+                session: SESSION,
+                seq,
+                samples: vec![0.0; CHUNK].into(),
+            };
+            seq += 1;
+            m
+        } else {
+            let m = Message::AudioBatchI16 {
+                session: SESSION,
+                start_seq: seq,
+                chunks: vec![vec![0i16; CHUNK / 2]; 2].into(),
+            };
+            seq += 2;
+            m
+        };
+        frames.push(msg.encode_framed());
+    }
+
+    // (calls, bytes) over the measured window for one ingest chain.
+    let run = |pool: Option<FramePool>| -> (u64, u64) {
+        let mut det = StreamingDetector::new(Arc::clone(&detector), vec![sig.clone()]);
+        let mut reader = FrameReader::new();
+        let mut feed = IngestFeed::new(SESSION, 1 << 16);
+        if let Some(pool) = pool {
+            reader.set_pool(pool.clone());
+            feed.set_pool(pool);
+        }
+        let mut ingest = |frame: &[u8], reader: &mut FrameReader, feed: &mut IngestFeed| {
+            reader.push(frame);
+            while let Some(msg) = reader.next_frame().expect("clean stream") {
+                feed.accept(&msg).expect("in-order audio");
+            }
+            feed.drain_pending(usize::MAX, |chunk| {
+                let _ = det.push(chunk);
+            });
+        };
+        for frame in &frames[..WARMUP_FRAMES] {
+            ingest(frame, &mut reader, &mut feed);
+        }
+        let calls = ALLOC_CALLS.load(Ordering::Relaxed);
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+        for frame in &frames[WARMUP_FRAMES..] {
+            ingest(frame, &mut reader, &mut feed);
+        }
+        (
+            ALLOC_CALLS.load(Ordering::Relaxed) - calls,
+            ALLOC_BYTES.load(Ordering::Relaxed) - bytes,
+        )
+    };
+
+    let (unpooled_calls, unpooled_bytes) = run(None);
+    let (pooled_calls, pooled_bytes) = run(Some(FramePool::new()));
+    AllocIngest {
+        frames_per_session: MEASURED_FRAMES,
+        bytes_per_session_pooled: pooled_bytes,
+        bytes_per_session_unpooled: unpooled_bytes,
+        allocs_per_frame_pooled: pooled_calls as f64 / MEASURED_FRAMES as f64,
+        allocs_per_frame_unpooled: unpooled_calls as f64 / MEASURED_FRAMES as f64,
+        reduction_ratio: unpooled_bytes as f64 / (pooled_bytes.max(1)) as f64,
+    }
 }
 
 /// One deterministic fleet-ingest measurement for the summary block.
@@ -429,7 +570,7 @@ fn measure_net_ingest(feeds: usize) -> NetIngest {
             .collect();
         reactor.wait_for_reports(feeds);
         let hub = hub_recording_reactor(&reactor);
-        reactor.scan_and_decide(&hub, 16_384);
+        reactor.scan_and_decide_arc(hub.into(), 16_384);
         let granted = clients
             .into_iter()
             .all(|t| matches!(t.join().expect("client"), AuthDecision::Granted { .. }));
@@ -772,6 +913,7 @@ fn export_summary(
     net: &NetIngest,
     fault: &FaultRecovery,
     continuous: &ContinuousStanding,
+    alloc: &AllocIngest,
     simd_speedups: &[SimdBackendSpeedups],
 ) {
     // Workspace root, two levels up from this crate's manifest.
@@ -853,6 +995,16 @@ fn export_summary(
         continuous.o1_advance_ratio,
         continuous.all_fired
     );
+    println!(
+        "alloc discipline: pooled ingest {} B/session ({:.2} allocs/frame) vs \
+         unpooled {} B/session ({:.2} allocs/frame) over {} frames — {:.1}x fewer bytes",
+        alloc.bytes_per_session_pooled,
+        alloc.allocs_per_frame_pooled,
+        alloc.bytes_per_session_unpooled,
+        alloc.allocs_per_frame_unpooled,
+        alloc.frames_per_session,
+        alloc.reduction_ratio
+    );
     // Per-backend block: deterministic speedups vs scalar, one entry per
     // available backend (scalar reads 1.0 by construction).
     let simd_json = {
@@ -915,6 +1067,12 @@ fn export_summary(
                  \"advance_ns\": {:.1}, \"fired\": {}, \
                  \"o1_insert_ratio\": {:.3}, \"o1_advance_ratio\": {:.3}, \
                  \"all_fired\": {}}},\n  \
+                 \"alloc\": {{\"frames_per_session\": {}, \
+                 \"bytes_per_session_pooled\": {}, \
+                 \"bytes_per_session_unpooled\": {}, \
+                 \"allocs_per_frame_pooled\": {:.3}, \
+                 \"allocs_per_frame_unpooled\": {:.3}, \
+                 \"reduction_ratio\": {:.2}}},\n  \
                  \"simd\": {simd_json}\n}}\n",
                 samples_to_decision < recording_len,
                 fleet.sessions,
@@ -951,7 +1109,13 @@ fn export_summary(
                 continuous.fired,
                 continuous.o1_insert_ratio,
                 continuous.o1_advance_ratio,
-                continuous.all_fired
+                continuous.all_fired,
+                alloc.frames_per_session,
+                alloc.bytes_per_session_pooled,
+                alloc.bytes_per_session_unpooled,
+                alloc.allocs_per_frame_pooled,
+                alloc.allocs_per_frame_unpooled,
+                alloc.reduction_ratio
             );
             let _ = std::fs::write(path, patched);
         }

@@ -106,6 +106,7 @@ pub mod error;
 pub mod freqgrid;
 pub mod metrics;
 pub mod piano;
+pub mod pool;
 pub mod ranging;
 pub mod signal;
 pub mod stream;

@@ -1,0 +1,402 @@
+//! Slab-pooled, refcounted sample buffers for zero-copy ingest.
+//!
+//! PIANO's standing sessions make ingestion a *continuous* workload: a
+//! gateway decodes audio frames for as long as its feeds stay attached,
+//! so per-frame cost — not per-authentication cost — bounds fleet
+//! capacity. Before this module, every decoded batch allocated a fresh
+//! `Vec<f64>`, was copied into [`IngestFeed`]'s pending queue, drained
+//! into another fresh `Vec`, and copied once more into the
+//! [`StreamingDetector`] ring: four owners per sample before the first
+//! FFT, and four heap round-trips per frame, forever.
+//!
+//! [`FramePool`] replaces that chain with a per-server slab pool. A frame
+//! is decoded **once** into a [`PooledBufMut`] drawn from the pool,
+//! frozen into an immutable, refcounted [`PooledBuf`], and handed *by
+//! reference* through [`Message::decode`](crate::wire::Message) →
+//! [`IngestFeed`] → the detector ring. When the last handle drops, the
+//! slab's backing `Vec` (capacity intact) returns to the pool's free
+//! list, so a warmed steady-state feed ingests frames with **zero** heap
+//! allocations — pinned by the `tests/alloc_discipline.rs` counting-
+//! allocator harness and reported by the bench's `alloc` block.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!             acquire()                freeze()                 drop (last ref)
+//!  free list ──────────► PooledBufMut ─────────► PooledBuf ──┬───────────► free list
+//!  (Vec capacity kept)    (unique, writable)     (shared,    │  clone()      ▲
+//!                                                 refcounted)└──► PooledBuf ─┘
+//! ```
+//!
+//! # Refcount rules
+//!
+//! * A [`PooledBufMut`] is unique by construction; freezing it never
+//!   copies.
+//! * [`PooledBuf::clone`] is an `Arc` refcount bump — no allocation, no
+//!   copy. Clones may live on other threads (`Send + Sync`).
+//! * Recycling is opportunistic: the handle that observes itself to be
+//!   the last owner returns the slab. If two clones race on the final
+//!   drops, the slab may simply be freed instead of recycled — never
+//!   double-recycled — because observing a strong count of 1 requires
+//!   still holding the only reference.
+//! * The free list is bounded ([`MAX_FREE_SLABS`] slabs per element
+//!   type) and refuses slabs above [`MAX_RETAIN_ELEMS`] elements, so a
+//!   burst of oversized frames cannot pin memory for the lifetime of the
+//!   server.
+//!
+//! # Panic freedom
+//!
+//! This module sits on the wire ingest path (it is a taint root of
+//! piano-lint's `wire-no-panic` rule, and `crates/core/src/pool.rs` is
+//! in the rule's scope): nothing here unwraps, expects, or indexes
+//! unchecked. Mutex poisoning is absorbed with
+//! [`into_inner`](std::sync::PoisonError::into_inner) — a free list is
+//! always in a valid state, even if a holder panicked elsewhere.
+//!
+//! [`IngestFeed`]: crate::wire::IngestFeed
+//! [`StreamingDetector`]: crate::stream::StreamingDetector
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::wire::Samples;
+
+/// Most idle slabs a single element-type pool retains.
+pub const MAX_FREE_SLABS: usize = 64;
+
+/// Largest slab capacity (in elements) the free list retains; larger
+/// slabs are freed on release instead of cached. Matches the wire
+/// layer's per-batch sample ceiling, so every conforming frame's buffer
+/// is retainable.
+pub const MAX_RETAIN_ELEMS: usize = 262_144;
+
+/// Locks a free list, absorbing poison: the list itself cannot be left
+/// mid-mutation (all mutations are single `Vec` push/pop calls).
+fn lock_free<T>(free: &Mutex<Vec<Arc<Vec<T>>>>) -> MutexGuard<'_, Vec<Arc<Vec<T>>>> {
+    match free.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A free list of reusable slabs for one element type, plus counters.
+#[derive(Debug, Default)]
+struct Pool<T> {
+    free: Mutex<Vec<Arc<Vec<T>>>>,
+    created: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl<T> Pool<T> {
+    /// Pops a recycled slab or creates a fresh one. The returned handle
+    /// is unique (strong count 1).
+    fn acquire(self: &Arc<Self>) -> PooledBufMut<T> {
+        let slab = lock_free(&self.free).pop();
+        let slab = match slab {
+            Some(slab) => slab,
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Vec::new())
+            }
+        };
+        PooledBufMut {
+            slab: Some(slab),
+            home: Arc::clone(self),
+        }
+    }
+
+    /// Returns a slab to the free list if it is worth keeping; counts it
+    /// either way. `slab` must be uniquely held (the callers guarantee
+    /// it by observing a strong count of 1 on a handle they still own).
+    fn release(&self, mut slab: Arc<Vec<T>>) {
+        // Clear drops the elements (releasing any nested pooled handles)
+        // but keeps the capacity — that retained capacity is the pool's
+        // whole value.
+        match Arc::get_mut(&mut slab) {
+            Some(v) if v.capacity() <= MAX_RETAIN_ELEMS => v.clear(),
+            _ => {
+                self.discarded.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut free = lock_free(&self.free);
+        if free.len() < MAX_FREE_SLABS {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            free.push(slab);
+        } else {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn stat_into(&self, stats: &mut PoolStats) {
+        stats.slabs_created += self.created.load(Ordering::Relaxed);
+        stats.slabs_recycled += self.recycled.load(Ordering::Relaxed);
+        stats.slabs_discarded += self.discarded.load(Ordering::Relaxed);
+        stats.slabs_free += lock_free(&self.free).len();
+    }
+}
+
+/// A unique, writable pooled buffer — the decode target. Freeze it into
+/// a shareable [`PooledBuf`] once filled; dropping it unfrozen returns
+/// the slab to the pool.
+pub struct PooledBufMut<T> {
+    slab: Option<Arc<Vec<T>>>,
+    home: Arc<Pool<T>>,
+}
+
+impl<T: Clone> PooledBufMut<T> {
+    /// The backing vector. Uniqueness is a construction invariant, so
+    /// [`Arc::make_mut`] never clones on this path; the fallback exists
+    /// only to keep the function total without a panic edge.
+    pub fn as_mut_vec(&mut self) -> &mut Vec<T> {
+        let slab = self.slab.get_or_insert_with(|| Arc::new(Vec::new()));
+        Arc::make_mut(slab)
+    }
+
+    /// The filled prefix, immutably.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.slab {
+            Some(slab) => slab.as_slice(),
+            None => &[],
+        }
+    }
+
+    /// Appends a copy of `values`.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.as_mut_vec().extend_from_slice(values);
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, value: T) {
+        self.as_mut_vec().push(value);
+    }
+
+    /// Number of elements written so far.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Seals the buffer into an immutable, refcounted [`PooledBuf`].
+    /// Moves the slab — no copy, no allocation.
+    pub fn freeze(mut self) -> PooledBuf<T> {
+        PooledBuf {
+            slab: self.slab.take(),
+            home: Arc::clone(&self.home),
+        }
+    }
+}
+
+impl<T> Drop for PooledBufMut<T> {
+    fn drop(&mut self) {
+        if let Some(slab) = self.slab.take() {
+            if Arc::strong_count(&slab) == 1 {
+                self.home.release(slab);
+            }
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for PooledBufMut<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// An immutable, refcounted pooled buffer. Cloning bumps a refcount;
+/// dropping the last handle returns the slab (capacity intact) to its
+/// pool.
+pub struct PooledBuf<T> {
+    slab: Option<Arc<Vec<T>>>,
+    home: Arc<Pool<T>>,
+}
+
+impl<T> PooledBuf<T> {
+    fn slice(&self) -> &[T] {
+        match &self.slab {
+            Some(slab) => slab.as_slice(),
+            None => &[],
+        }
+    }
+}
+
+impl<T> Deref for PooledBuf<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.slice()
+    }
+}
+
+impl<T> Clone for PooledBuf<T> {
+    fn clone(&self) -> Self {
+        PooledBuf {
+            slab: self.slab.clone(),
+            home: Arc::clone(&self.home),
+        }
+    }
+}
+
+impl<T> Drop for PooledBuf<T> {
+    fn drop(&mut self) {
+        if let Some(slab) = self.slab.take() {
+            if Arc::strong_count(&slab) == 1 {
+                self.home.release(slab);
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PooledBuf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.slice()).finish()
+    }
+}
+
+/// Counters over every free list in a [`FramePool`] — what the
+/// boundedness tests and the bench's `alloc` block report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Slabs ever allocated fresh (a warmed pool stops growing this).
+    pub slabs_created: u64,
+    /// Releases that returned a slab to a free list.
+    pub slabs_recycled: u64,
+    /// Releases that freed a slab (list full or slab oversized).
+    pub slabs_discarded: u64,
+    /// Slabs currently idle on the free lists.
+    pub slabs_free: usize,
+}
+
+/// The per-server slab pool: one free list per pooled element type
+/// (`f64` samples, `i16` quantized samples, and the per-batch chunk
+/// lists that hold the frozen handles). Clone handles freely — all
+/// clones share the same free lists.
+#[derive(Clone, Debug, Default)]
+pub struct FramePool {
+    f64s: Arc<Pool<f64>>,
+    i16s: Arc<Pool<i16>>,
+    f64_lists: Arc<Pool<Samples<f64>>>,
+    i16_lists: Arc<Pool<Samples<i16>>>,
+}
+
+impl FramePool {
+    /// A fresh pool with empty free lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writable `f64` sample buffer (decode target for raw audio).
+    pub fn acquire_f64(&self) -> PooledBufMut<f64> {
+        self.f64s.acquire()
+    }
+
+    /// A writable `i16` sample buffer (decode target for codec audio).
+    pub fn acquire_i16(&self) -> PooledBufMut<i16> {
+        self.i16s.acquire()
+    }
+
+    /// A writable list of frozen `f64` chunks (one per decoded batch).
+    pub fn acquire_f64_list(&self) -> PooledBufMut<Samples<f64>> {
+        self.f64_lists.acquire()
+    }
+
+    /// A writable list of frozen `i16` chunks (one per decoded batch).
+    pub fn acquire_i16_list(&self) -> PooledBufMut<Samples<i16>> {
+        self.i16_lists.acquire()
+    }
+
+    /// Aggregate counters across all four free lists.
+    pub fn stats(&self) -> PoolStats {
+        let mut stats = PoolStats::default();
+        self.f64s.stat_into(&mut stats);
+        self.i16s.stat_into(&mut stats);
+        self.f64_lists.stat_into(&mut stats);
+        self.i16_lists.stat_into(&mut stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_release_recycles_the_slab() {
+        let pool = FramePool::new();
+        let mut b = pool.acquire_f64();
+        b.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let frozen = b.freeze();
+        assert_eq!(&*frozen, &[1.0, 2.0, 3.0]);
+        let clone = frozen.clone();
+        drop(frozen);
+        assert_eq!(pool.stats().slabs_free, 0, "a live clone pins the slab");
+        drop(clone);
+        let stats = pool.stats();
+        assert_eq!(stats.slabs_free, 1);
+        assert_eq!(stats.slabs_created, 1);
+        assert_eq!(stats.slabs_recycled, 1);
+
+        // Reacquire: same capacity comes back, nothing new is created.
+        let b = pool.acquire_f64();
+        assert!(b.is_empty());
+        assert_eq!(pool.stats().slabs_created, 1);
+    }
+
+    #[test]
+    fn unfrozen_buffers_return_on_drop() {
+        let pool = FramePool::new();
+        let mut b = pool.acquire_i16();
+        b.push(7);
+        drop(b);
+        let stats = pool.stats();
+        assert_eq!((stats.slabs_created, stats.slabs_free), (1, 1));
+        let b = pool.acquire_i16();
+        assert!(b.is_empty(), "recycled slabs come back cleared");
+    }
+
+    #[test]
+    fn oversized_slabs_are_not_retained() {
+        let pool = FramePool::new();
+        let mut b = pool.acquire_f64();
+        b.as_mut_vec().reserve(MAX_RETAIN_ELEMS + 1);
+        drop(b.freeze());
+        let stats = pool.stats();
+        assert_eq!(stats.slabs_free, 0);
+        assert_eq!(stats.slabs_discarded, 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = FramePool::new();
+        let bufs: Vec<_> = (0..MAX_FREE_SLABS + 9)
+            .map(|_| pool.acquire_f64().freeze())
+            .collect();
+        drop(bufs);
+        let stats = pool.stats();
+        assert_eq!(stats.slabs_free, MAX_FREE_SLABS);
+        assert_eq!(stats.slabs_discarded, 9);
+    }
+
+    #[test]
+    fn chunk_list_release_cascades_to_sample_slabs() {
+        let pool = FramePool::new();
+        let mut list = pool.acquire_f64_list();
+        for _ in 0..3 {
+            let mut chunk = pool.acquire_f64();
+            chunk.push(0.5);
+            list.push(Samples::Pooled(chunk.freeze()));
+        }
+        let frozen = list.freeze();
+        assert_eq!(frozen.len(), 3);
+        drop(frozen);
+        // One list slab plus its three sample slabs all came home.
+        assert_eq!(pool.stats().slabs_free, 4);
+    }
+}

@@ -180,6 +180,80 @@ impl Capture {
     }
 }
 
+/// The shared sample ring under the streaming scan: a flat buffer whose
+/// element `buf[i]` holds absolute stream sample `base + i`, with
+/// `total − base` samples resident. Compaction drops samples no future
+/// window can touch, keeping memory `O(signal_len + fine_radius)` for
+/// unbounded streams.
+///
+/// Coarse windows are read in place via [`window`](Self::window); fine
+/// neighborhoods are copied out via [`capture_into`](Self::capture_into)
+/// before compaction can reclaim them. The compaction floor is rounded
+/// down to a multiple of [`RING_ALIGN`] samples so every retained coarse
+/// window keeps its phase relative to the buffer start — the layout
+/// invariant a vectorized two-windows-per-pass coarse kernel needs to
+/// process co-phased window pairs from one contiguous ring.
+#[derive(Debug, Default)]
+struct SampleRing {
+    /// Ring storage: `buf[i]` is absolute sample `base + i`.
+    buf: Vec<f64>,
+    /// Absolute index of `buf[0]`.
+    base: usize,
+    /// Total samples consumed (the stream frontier).
+    total: usize,
+}
+
+/// Compaction alignment (samples): the ring base always stays a multiple
+/// of this, so window phase modulo the SIMD lane count is preserved
+/// across compactions.
+const RING_ALIGN: usize = 8;
+
+impl SampleRing {
+    /// Appends one chunk, containing non-finite samples at this boundary:
+    /// NaN/±∞ enter the ring as silence (`0.0`), sanitized inline during
+    /// the copy — no staging allocation even when a chunk is poisoned.
+    fn append(&mut self, samples: &[f64]) {
+        self.buf.reserve(samples.len());
+        self.buf
+            .extend(samples.iter().map(|&s| if s.is_finite() { s } else { 0.0 }));
+        self.total += samples.len();
+    }
+
+    /// The resident view of absolute range `[start, end)`, or `None` if
+    /// any part has been compacted away or not yet arrived.
+    fn window(&self, start: usize, end: usize) -> Option<&[f64]> {
+        if start < self.base || end > self.total {
+            return None;
+        }
+        self.buf.get(start - self.base..end - self.base)
+    }
+
+    /// Appends the resident part of absolute range `[start, end)` onto
+    /// `out` and returns the (possibly clamped) absolute index of the
+    /// first copied sample. `start` is clamped up to the ring base and
+    /// `end` down to the stream frontier, so a requested neighborhood
+    /// whose left edge fell behind a compaction yields the samples that
+    /// still exist instead of sliding out of range.
+    fn capture_into(&self, start: usize, end: usize, out: &mut Vec<f64>) -> usize {
+        let lo = start.max(self.base);
+        let hi = end.min(self.total).max(lo);
+        if let Some(run) = self.buf.get(lo - self.base..hi - self.base) {
+            out.extend_from_slice(run);
+        }
+        lo
+    }
+
+    /// Drops samples below `floor` (rounded down to [`RING_ALIGN`]) once
+    /// enough have accumulated for the `O(len)` front-drain to amortize.
+    fn compact_to(&mut self, floor: usize) {
+        let floor = floor & !(RING_ALIGN - 1);
+        if floor > self.base + COMPACT_SLACK {
+            self.buf.drain(..floor - self.base);
+            self.base = floor;
+        }
+    }
+}
+
 /// Algorithm 1 as an incremental, bounded-memory computation.
 ///
 /// Feed samples with [`push`](Self::push) in chunks of any size; read
@@ -192,17 +266,21 @@ pub struct StreamingDetector {
     detector: Arc<Detector>,
     sigs: Vec<SignalSignature>,
     mode: ScanMode,
-    /// Ring buffer: `buf[i]` is absolute sample `base + i`.
-    buf: Vec<f64>,
-    base: usize,
-    /// Total samples consumed (the stream frontier).
-    total: usize,
+    /// The shared sample ring all coarse windows and captures read from.
+    ring: SampleRing,
     /// Next coarse offset (multiple of `coarse_step`) to evaluate.
     next_coarse: usize,
     coarse_evals: usize,
-    /// Running coarse maximum per signature: (power, earliest offset).
-    best: Vec<(f64, usize)>,
+    /// Running coarse maximum power per signature (structure-of-arrays
+    /// with [`best_at`](Self::best_at): the coarse fold updates powers
+    /// densely while offsets change only on a new maximum).
+    best_power: Vec<f64>,
+    /// Earliest offset achieving [`best_power`](Self::best_power), per
+    /// signature.
+    best_at: Vec<usize>,
     captures: Vec<Capture>,
+    /// Reused scratch for each tick's batch of coarse offsets.
+    coarse_offsets: Vec<usize>,
     early: Vec<Option<EarlyDetection>>,
     /// Coarse location already early-attempted per signature, to avoid
     /// re-running the fine scan on an unchanged maximum.
@@ -227,13 +305,13 @@ impl StreamingDetector {
             detector,
             sigs,
             mode,
-            buf: Vec::new(),
-            base: 0,
-            total: 0,
+            ring: SampleRing::default(),
             next_coarse: 0,
             coarse_evals: 0,
-            best: vec![(f64::NEG_INFINITY, 0); n],
+            best_power: vec![f64::NEG_INFINITY; n],
+            best_at: vec![0; n],
             captures: vec![Capture::default(); n],
+            coarse_offsets: Vec::new(),
             early: vec![None; n],
             early_attempted: vec![None; n],
             early_fine_evals: 0,
@@ -251,7 +329,7 @@ impl StreamingDetector {
 
     /// Total samples consumed so far.
     pub fn samples_consumed(&self) -> usize {
-        self.total
+        self.ring.total
     }
 
     /// The provisional detection for signature `i`, if one has fired.
@@ -334,36 +412,31 @@ impl StreamingDetector {
         if samples.is_empty() {
             return Vec::new();
         }
-        // Non-finite samples are contained here, at the ingest boundary:
-        // a NaN or ∞ entering the ring would poison the sliding-DFT
-        // state of every later fine window in its scan (the incremental
-        // correction subtracts the sample back out, and NaN − NaN ≠ 0)
-        // and survive ring compaction inside captured neighborhoods. A
-        // dead ADC sample therefore contributes silence instead;
-        // `finish()` matches the offline scan of the sanitized stream.
-        // Remote feeds are rejected earlier, at wire decode.
-        let sanitized: Vec<f64>;
-        let samples: &[f64] = if samples.iter().all(|s| s.is_finite()) {
-            samples
-        } else {
-            sanitized = samples
-                .iter()
-                .map(|&s| if s.is_finite() { s } else { 0.0 })
-                .collect();
-            &sanitized
-        };
-        self.buf.extend_from_slice(samples);
-        let prev_total = self.total;
-        self.total += samples.len();
+        // Non-finite samples are contained at the ingest boundary, inside
+        // `SampleRing::append`: a NaN or ∞ entering the ring would poison
+        // the sliding-DFT state of every later fine window in its scan
+        // (the incremental correction subtracts the sample back out, and
+        // NaN − NaN ≠ 0) and survive ring compaction inside captured
+        // neighborhoods. A dead ADC sample therefore contributes silence
+        // instead; `finish()` matches the offline scan of the sanitized
+        // stream. Remote feeds are rejected earlier, at wire decode.
+        let prev_total = self.ring.total;
+        self.ring.append(samples);
 
         // Extend incomplete captures with the newly arrived samples.
         for cap in &mut self.captures {
             if cap.valid && !cap.complete() {
                 let from = cap.covered_end().max(prev_total);
-                let to = cap.want_end.min(self.total);
+                let to = cap.want_end.min(self.ring.total);
                 if to > from {
-                    cap.data
-                        .extend_from_slice(&self.buf[from - self.base..to - self.base]);
+                    match self.ring.window(from, to) {
+                        Some(run) => cap.data.extend_from_slice(run),
+                        // The tail fell behind a compaction before the
+                        // capture could cover it — the neighborhood can
+                        // no longer be completed; drop it rather than
+                        // splice discontiguous samples.
+                        None => cap.valid = false,
+                    }
                 }
             }
         }
@@ -371,12 +444,14 @@ impl StreamingDetector {
         // Coarse pass over every newly covered offset, in offline order.
         let w = self.detector.config().signal_len;
         let step = self.detector.config().coarse_step.max(1);
-        let mut offsets = Vec::new();
-        while self.next_coarse + w <= self.total {
+        let mut offsets = std::mem::take(&mut self.coarse_offsets);
+        offsets.clear();
+        while self.next_coarse + w <= self.ring.total {
             offsets.push(self.next_coarse);
             self.next_coarse += step;
         }
         self.eval_coarse_batch(&offsets, workers);
+        self.coarse_offsets = offsets;
 
         // Early refinement: a cleared threshold plus a fully buffered
         // neighborhood yields a provisional detection now.
@@ -390,11 +465,8 @@ impl StreamingDetector {
         // Drop ring samples no future coarse window, capture, or
         // finish-time fine scan can need.
         let radius = self.detector.config().fine_radius;
-        let floor = self.total.saturating_sub(w + radius);
-        if floor > self.base + COMPACT_SLACK {
-            self.buf.drain(..floor - self.base);
-            self.base = floor;
-        }
+        self.ring
+            .compact_to(self.ring.total.saturating_sub(w + radius));
         events
     }
 
@@ -424,8 +496,8 @@ impl StreamingDetector {
             return;
         }
         let detector = &self.detector;
-        let buf = &self.buf;
-        let base = self.base;
+        let buf = &self.ring.buf;
+        let base = self.ring.base;
         let sigs = &self.sigs;
         let chunk_len = offsets.len().div_ceil(workers);
         let shard_results: Vec<(Vec<(f64, usize)>, usize)> = std::thread::scope(|scope| {
@@ -453,19 +525,25 @@ impl StreamingDetector {
         let w = self.detector.config().signal_len;
         let radius = self.detector.config().fine_radius;
         for (i, &(p, offset)) in batch_best.iter().enumerate() {
-            if p > self.best[i].0 {
-                self.best[i] = (p, offset);
-                let start = offset.saturating_sub(radius);
-                let want_end = offset + radius + w;
-                let avail_end = want_end.min(self.total);
-                self.captures[i] = Capture {
-                    valid: true,
-                    start,
-                    want_end,
-                    data: self.buf[start - self.base..avail_end - self.base].to_vec(),
-                };
+            if p > self.best_power[i] {
+                self.best_power[i] = p;
+                self.best_at[i] = offset;
+                Self::recapture(&self.ring, &mut self.captures[i], offset, w, radius);
             }
         }
+    }
+
+    /// Refreshes one signature's capture around a new running maximum at
+    /// `offset`, reusing the capture's existing allocation. The requested
+    /// left edge is `offset − radius`; if that has already been compacted
+    /// away the capture starts at the ring base instead (the clamp lives
+    /// in [`SampleRing::capture_into`]), never indexing out of range.
+    fn recapture(ring: &SampleRing, cap: &mut Capture, offset: usize, w: usize, radius: usize) {
+        let want_end = offset + radius + w;
+        cap.data.clear();
+        cap.start = ring.capture_into(offset.saturating_sub(radius), want_end, &mut cap.data);
+        cap.want_end = want_end;
+        cap.valid = true;
     }
 
     /// Evaluates one coarse window (shared across signatures, exactly like
@@ -473,26 +551,23 @@ impl StreamingDetector {
     fn eval_coarse(&mut self, offset: usize) {
         let w = self.detector.config().signal_len;
         let radius = self.detector.config().fine_radius;
-        let lo = offset - self.base;
-        self.detector.analyzer().compute(
-            &self.buf[lo..lo + w],
-            &mut self.scratch,
-            &mut self.spectrum,
-        );
+        let Some(win) = self.ring.window(offset, offset + w) else {
+            // A coarse offset is only ever evaluated while its window is
+            // resident (compaction retains `signal_len + fine_radius`
+            // past the frontier); a miss means the caller's arithmetic is
+            // off, and skipping is strictly safer than slicing blind.
+            return;
+        };
+        self.detector
+            .analyzer()
+            .compute(win, &mut self.scratch, &mut self.spectrum);
         self.coarse_evals += 1;
         for (i, sig) in self.sigs.iter().enumerate() {
             let p = self.detector.norm_power(&self.spectrum, sig);
-            if p > self.best[i].0 {
-                self.best[i] = (p, offset);
-                let start = offset.saturating_sub(radius);
-                let want_end = offset + radius + w;
-                let avail_end = want_end.min(self.total);
-                self.captures[i] = Capture {
-                    valid: true,
-                    start,
-                    want_end,
-                    data: self.buf[start - self.base..avail_end - self.base].to_vec(),
-                };
+            if p > self.best_power[i] {
+                self.best_power[i] = p;
+                self.best_at[i] = offset;
+                Self::recapture(&self.ring, &mut self.captures[i], offset, w, radius);
             }
         }
     }
@@ -503,7 +578,7 @@ impl StreamingDetector {
         if self.early[i].is_some() {
             return None;
         }
-        let (p, loc) = self.best[i];
+        let (p, loc) = (self.best_power[i], self.best_at[i]);
         let gate = self.early_margin * self.detector.config().epsilon * self.sigs[i].rs();
         if !p.is_finite() || p < gate {
             return None;
@@ -532,13 +607,13 @@ impl StreamingDetector {
             d @ Detection::Found { .. } => {
                 let early = EarlyDetection {
                     detection: d,
-                    samples_consumed: self.total,
+                    samples_consumed: self.ring.total,
                 };
                 self.early[i] = Some(early);
                 Some(StreamEvent::EarlyDetection {
                     signature: i,
                     detection: d,
-                    samples_consumed: self.total,
+                    samples_consumed: self.ring.total,
                 })
             }
             Detection::NotPresent => None,
@@ -555,7 +630,7 @@ impl StreamingDetector {
         }
         let w = self.detector.config().signal_len;
         let step = self.detector.config().coarse_step.max(1);
-        if self.total < w || self.sigs.is_empty() {
+        if self.ring.total < w || self.sigs.is_empty() {
             let result = ScanResult {
                 detections: vec![Detection::NotPresent; self.sigs.len()],
                 ffts_used: 0,
@@ -563,7 +638,7 @@ impl StreamingDetector {
             self.result = Some(result.clone());
             return result;
         }
-        let last = self.total - w;
+        let last = self.ring.total - w;
         // The offline scan ends its coarse walk exactly at `last`; every
         // multiple of `step` up to `last` has already been evaluated.
         if !last.is_multiple_of(step) {
@@ -572,7 +647,7 @@ impl StreamingDetector {
         let mut ffts = self.coarse_evals;
         let mut detections = Vec::with_capacity(self.sigs.len());
         for i in 0..self.sigs.len() {
-            let coarse = self.best[i];
+            let coarse = (self.best_power[i], self.best_at[i]);
             let cap = &self.captures[i];
             let (samples, base): (&[f64], usize) = if cap.valid {
                 (&cap.data, cap.start)
@@ -1086,7 +1161,7 @@ impl AuthSession {
                 self.check_wire_audio(session, start_seq)?;
                 self.next_audio_seq += chunks.len() as u32;
                 let mut events = Vec::new();
-                for chunk in &chunks {
+                for chunk in chunks.iter() {
                     events.extend(self.push_audio(chunk));
                 }
                 Ok(events)
@@ -1099,7 +1174,7 @@ impl AuthSession {
                 self.check_wire_audio(session, start_seq)?;
                 self.next_audio_seq += chunks.len() as u32;
                 let mut events = Vec::new();
-                for chunk in &chunks {
+                for chunk in chunks.iter() {
                     let widened: Vec<f64> = chunk.iter().map(|&q| q as f64).collect();
                     events.extend(self.push_audio(&widened));
                 }
@@ -2431,12 +2506,65 @@ mod tests {
             let _ = s.push(&chunk);
         }
         assert_eq!(s.samples_consumed(), 200 * 2048);
-        let bound = cfg.signal_len + cfg.fine_radius + COMPACT_SLACK + 2048;
+        let bound = cfg.signal_len + cfg.fine_radius + COMPACT_SLACK + RING_ALIGN + 2048;
         assert!(
-            s.buf.len() <= bound,
+            s.ring.buf.len() <= bound,
             "ring holds {} samples, bound {bound}",
-            s.buf.len()
+            s.ring.buf.len()
         );
+    }
+
+    #[test]
+    fn capture_start_clamps_to_the_ring_base() {
+        // A capture whose requested left edge (`offset − fine_radius`)
+        // falls behind the compaction floor must clamp to the ring base
+        // instead of sliding the window (`start − base` underflowed and
+        // panicked before the clamp existed).
+        let mut ring = SampleRing::default();
+        let rec: Vec<f64> = (0..40_000).map(|i| i as f64).collect();
+        ring.append(&rec);
+        ring.compact_to(20_000);
+        assert_eq!(ring.base, 20_000 & !(RING_ALIGN - 1));
+        assert!(ring.window(ring.base - 1, ring.base + 10).is_none());
+
+        let mut out = Vec::new();
+        let start = ring.capture_into(5_000, ring.base + 3, &mut out);
+        assert_eq!(start, ring.base, "start clamps up to the ring base");
+        assert_eq!(out, vec![ring.base as f64, ring.base as f64 + 1.0, ring.base as f64 + 2.0]);
+
+        // The right edge clamps down to the stream frontier.
+        out.clear();
+        let start = ring.capture_into(39_998, 50_000, &mut out);
+        assert_eq!(start, 39_998);
+        assert_eq!(out, vec![39_998.0, 39_999.0]);
+
+        // A fully compacted-away range copies nothing.
+        out.clear();
+        assert_eq!(ring.capture_into(0, 8, &mut out), ring.base);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn compaction_with_large_fine_radius_matches_offline() {
+        // A fine radius comparable to the signal length stresses the
+        // capture left-edge clamp: maxima found right after a compaction
+        // ask for neighborhoods reaching behind the ring base. The
+        // streamed result must still match the offline scan bit for bit.
+        let mut cfg = config();
+        cfg.fine_radius = cfg.signal_len + 1_500;
+        let detector = Arc::new(Detector::new(&cfg));
+        let signal = ReferenceSignal::from_indices(&cfg, vec![4, 11, 23], &mut rng(11));
+        let sig = SignalSignature::of(&signal, &cfg);
+        // Long enough that compaction runs several times before the
+        // signal arrives, and again after.
+        let mut rec = vec![0.0; 150_000];
+        embed_into(&mut rec, &signal.waveform(), 120_000, 0.4);
+        let offline = detector.detect_many(&rec, &[&sig]);
+        assert!(offline.detections[0].is_found());
+        for chunk in [701, 2048, 16_384] {
+            let (streamed, _) = stream_scan(&detector, &[&sig], &rec, chunk);
+            assert_eq!(streamed, offline, "chunk size {chunk}");
+        }
     }
 
     /// Builds a decided authenticator/voucher pair from hand-placed
@@ -2627,7 +2755,7 @@ mod tests {
                 .handle_message(Message::AudioChunk {
                     session,
                     seq: seq as u32,
-                    samples: c.to_vec(),
+                    samples: c.to_vec().into(),
                 })
                 .unwrap();
         }
@@ -2636,7 +2764,7 @@ mod tests {
             .handle_message(Message::AudioChunk {
                 session,
                 seq: 99,
-                samples: vec![0.0; 10],
+                samples: vec![0.0; 10].into(),
             })
             .unwrap_err();
         assert!(err.to_string().contains("gap"), "{err}");
@@ -2645,7 +2773,7 @@ mod tests {
             .handle_message(Message::AudioChunk {
                 session: session ^ 1,
                 seq: 3,
-                samples: vec![0.0; 10],
+                samples: vec![0.0; 10].into(),
             })
             .unwrap_err();
         assert!(err.to_string().contains("session"), "{err}");
@@ -2707,7 +2835,7 @@ mod tests {
             .handle_message(Message::AudioChunk {
                 session,
                 seq: 0,
-                samples: vec![0.0; 256],
+                samples: vec![0.0; 256].into(),
             })
             .unwrap()
             .is_empty());
@@ -2836,7 +2964,7 @@ mod tests {
                 .handle_message(Message::AudioBatch {
                     session,
                     start_seq: (i * 4) as u32,
-                    chunks: batch.to_vec(),
+                    chunks: batch.to_vec().into(),
                 })
                 .unwrap();
         }
@@ -2846,7 +2974,7 @@ mod tests {
             .handle_message(Message::AudioBatch {
                 session,
                 start_seq: 3,
-                chunks: vec![vec![0.0; 8]],
+                chunks: vec![vec![0.0; 8]].into(),
             })
             .unwrap_err();
         assert!(err.to_string().contains("gap"), "{err}");
@@ -3023,7 +3151,7 @@ mod tests {
                 Message::AudioChunk {
                     session: 0,
                     seq: 0,
-                    samples: vec![],
+                    samples: vec![].into(),
                 },
             )
             .is_err());

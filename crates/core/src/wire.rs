@@ -49,12 +49,180 @@
 //! these messages to real byte streams live in the `piano-net` crate.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::ops::Deref;
 
 use crate::config::ActionConfig;
 use crate::error::PianoError;
 use crate::piano::{AuthDecision, DenialReason};
+use crate::pool::{FramePool, PooledBuf};
 use crate::ranging::LocationDiffs;
 use crate::signal::ReferenceSignal;
+
+/// One run of PCM samples on the wire — either plainly heap-owned or a
+/// refcounted slab from a [`FramePool`].
+///
+/// Every audio payload in [`Message`] is a `Samples` (or a [`ChunkList`]
+/// of them), so the *same* message type serves both decode paths:
+/// [`Message::decode`] without a pool produces [`Samples::Owned`] vectors
+/// exactly as before, while a pooled [`FrameReader`] decodes straight
+/// into recycled slabs and hands them on **by reference** — cloning a
+/// [`Samples::Pooled`] is a refcount bump, not a copy, which is what
+/// lets [`IngestFeed`] buffer a frame's audio without re-owning it.
+///
+/// Both variants dereference to `&[T]` and compare by sample content, so
+/// a pooled message is `==` to its owned equivalent.
+#[derive(Clone)]
+pub enum Samples<T = f64> {
+    /// Plain heap-owned samples (construction by hosts/tests, and the
+    /// pool-less decode path).
+    Owned(Vec<T>),
+    /// A refcounted slab drawn from a [`FramePool`]; dropping the last
+    /// handle returns the slab to the pool.
+    Pooled(PooledBuf<T>),
+}
+
+impl<T> Samples<T> {
+    /// An empty, allocation-free sample run.
+    pub fn empty() -> Self {
+        Samples::Owned(Vec::new())
+    }
+
+    /// The samples as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Samples::Owned(v) => v.as_slice(),
+            Samples::Pooled(b) => b,
+        }
+    }
+
+    /// Whether this run is backed by a pool slab (clones are refcount
+    /// bumps) rather than a plain vector (clones copy).
+    pub fn is_pooled(&self) -> bool {
+        matches!(self, Samples::Pooled(_))
+    }
+}
+
+impl<T> Deref for Samples<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> AsRef<[T]> for Samples<T> {
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> Default for Samples<T> {
+    fn default() -> Self {
+        Samples::empty()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Samples<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for Samples<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Samples<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T> From<Vec<T>> for Samples<T> {
+    fn from(v: Vec<T>) -> Self {
+        Samples::Owned(v)
+    }
+}
+
+impl<T: Clone> From<&[T]> for Samples<T> {
+    fn from(s: &[T]) -> Self {
+        Samples::Owned(s.to_vec())
+    }
+}
+
+/// The chunk list of a batched audio message — like [`Samples`], either
+/// heap-owned or a pooled slab, so a pooled decode allocates nothing for
+/// the list that carries the frozen per-chunk handles either.
+#[derive(Clone)]
+pub enum ChunkList<T = f64> {
+    /// Plain heap-owned list of chunks.
+    Owned(Vec<Samples<T>>),
+    /// A refcounted list slab from a [`FramePool`]; releasing it drops
+    /// the chunk handles, cascading their slabs back to the pool.
+    Pooled(PooledBuf<Samples<T>>),
+}
+
+impl<T> ChunkList<T> {
+    /// The chunks as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[Samples<T>] {
+        match self {
+            ChunkList::Owned(v) => v.as_slice(),
+            ChunkList::Pooled(b) => b,
+        }
+    }
+
+    /// Total samples across all chunks.
+    pub fn total_samples(&self) -> usize {
+        self.as_slice().iter().map(|c| c.len()).sum()
+    }
+}
+
+impl<T> Deref for ChunkList<T> {
+    type Target = [Samples<T>];
+
+    fn deref(&self) -> &[Samples<T>] {
+        self.as_slice()
+    }
+}
+
+impl<T> Default for ChunkList<T> {
+    fn default() -> Self {
+        ChunkList::Owned(Vec::new())
+    }
+}
+
+impl<T: PartialEq> PartialEq for ChunkList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<Vec<T>>> for ChunkList<T> {
+    fn eq(&self, other: &Vec<Vec<T>>) -> bool {
+        self.len() == other.len() && self.iter().zip(other).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ChunkList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T> From<Vec<Samples<T>>> for ChunkList<T> {
+    fn from(v: Vec<Samples<T>>) -> Self {
+        ChunkList::Owned(v)
+    }
+}
+
+impl<T> From<Vec<Vec<T>>> for ChunkList<T> {
+    fn from(v: Vec<Vec<T>>) -> Self {
+        ChunkList::Owned(v.into_iter().map(Samples::Owned).collect())
+    }
+}
 
 /// Protocol messages exchanged over the Bluetooth secure channel.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,7 +263,7 @@ pub enum Message {
         /// Zero-based chunk sequence number within the session.
         seq: u32,
         /// PCM samples in stream order.
-        samples: Vec<f64>,
+        samples: Samples,
     },
     /// A framed batch of consecutive audio chunks.
     ///
@@ -113,7 +281,7 @@ pub enum Message {
         /// Sequence number of `chunks[0]`; chunk `i` has `start_seq + i`.
         start_seq: u32,
         /// Consecutive PCM chunks in stream order.
-        chunks: Vec<Vec<f64>>,
+        chunks: ChunkList,
     },
     /// Flow control: the receiver's buffered backlog crossed its
     /// high-water mark. The sender should pause this session's audio until
@@ -150,7 +318,7 @@ pub enum Message {
         /// Sequence number of `chunks[0]`; chunk `i` has `start_seq + i`.
         start_seq: u32,
         /// Consecutive quantized PCM chunks in stream order.
-        chunks: Vec<Vec<i16>>,
+        chunks: ChunkList<i16>,
     },
     /// Transport handshake, client → server: the audio codec ids
     /// ([`WireCodec::id`]) the sender can encode, in preference order.
@@ -504,8 +672,12 @@ fn encode_i16_chunk(out: &mut Vec<u8>, q: &[i16]) {
 /// by definition and the whole message is refused. The i16 codec path
 /// cannot encode non-finite values, so this check lives only on the raw
 /// f64 path.
-fn decode_f64_samples(r: &mut Reader<'_>, n: usize) -> Result<Vec<f64>, PianoError> {
-    let mut samples = Vec::with_capacity(n);
+fn decode_f64_samples_into(
+    r: &mut Reader<'_>,
+    n: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), PianoError> {
+    out.reserve(n);
     for _ in 0..n {
         let v = r.f64()?;
         if !v.is_finite() {
@@ -513,12 +685,35 @@ fn decode_f64_samples(r: &mut Reader<'_>, n: usize) -> Result<Vec<f64>, PianoErr
                 "non-finite audio sample {v} rejected at the ingest boundary"
             )));
         }
-        samples.push(v);
+        out.push(v);
     }
-    Ok(samples)
+    Ok(())
 }
 
-fn decode_i16_chunk(r: &mut Reader<'_>) -> Result<Vec<i16>, PianoError> {
+/// Decodes `n` raw f64 samples as one [`Samples`] run: into a recycled
+/// slab when a pool is at hand, a fresh `Vec` otherwise.
+fn decode_f64_chunk(
+    r: &mut Reader<'_>,
+    n: usize,
+    pool: Option<&FramePool>,
+) -> Result<Samples, PianoError> {
+    match pool {
+        Some(pool) => {
+            let mut buf = pool.acquire_f64();
+            decode_f64_samples_into(r, n, buf.as_mut_vec())?;
+            Ok(Samples::Pooled(buf.freeze()))
+        }
+        None => {
+            let mut samples = Vec::new();
+            decode_f64_samples_into(r, n, &mut samples)?;
+            Ok(Samples::Owned(samples))
+        }
+    }
+}
+
+/// Decodes one predictor-coded i16 chunk into `out`, which must start
+/// empty — the predictor taps index the decoded prefix of *this* chunk.
+fn decode_i16_chunk_into(r: &mut Reader<'_>, out: &mut Vec<i16>) -> Result<(), PianoError> {
     let order = r.u8()?;
     if order > MAX_PREDICTOR_ORDER {
         return Err(PianoError::Wire(format!(
@@ -531,10 +726,10 @@ fn decode_i16_chunk(r: &mut Reader<'_>) -> Result<Vec<i16>, PianoError> {
             "i16 chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
         )));
     }
-    let mut q: Vec<i16> = Vec::with_capacity(n);
+    out.reserve(n);
     for i in 0..n {
         let residual = unzigzag(r.varint32()?);
-        let v = predictor(&q, i, order)
+        let v = predictor(out, i, order)
             .checked_add(residual)
             .ok_or_else(|| PianoError::Wire("i16 residual overflows".into()))?;
         if v < i16::MIN as i32 || v > i16::MAX as i32 {
@@ -542,9 +737,60 @@ fn decode_i16_chunk(r: &mut Reader<'_>) -> Result<Vec<i16>, PianoError> {
                 "decoded sample {v} outside the i16 range"
             )));
         }
-        q.push(v as i16);
+        out.push(v as i16);
     }
-    Ok(q)
+    Ok(())
+}
+
+/// Decodes one i16 chunk as a [`Samples<i16>`] run: into a recycled slab
+/// when a pool is at hand, a fresh `Vec` otherwise.
+fn decode_i16_chunk(
+    r: &mut Reader<'_>,
+    pool: Option<&FramePool>,
+) -> Result<Samples<i16>, PianoError> {
+    match pool {
+        Some(pool) => {
+            let mut buf = pool.acquire_i16();
+            decode_i16_chunk_into(r, buf.as_mut_vec())?;
+            Ok(Samples::Pooled(buf.freeze()))
+        }
+        None => {
+            let mut q = Vec::new();
+            decode_i16_chunk_into(r, &mut q)?;
+            Ok(Samples::Owned(q))
+        }
+    }
+}
+
+/// Accumulates decoded chunks on either representation — what lets the
+/// batch arms of [`Message::decode`] and [`Message::decode_pooled`]
+/// share one validation loop.
+enum ListBuilder<'p, T> {
+    Owned(Vec<Samples<T>>),
+    Pooled(crate::pool::PooledBufMut<Samples<T>>, &'p FramePool),
+}
+
+impl<T: Clone> ListBuilder<'_, T> {
+    fn push(&mut self, chunk: Samples<T>) {
+        match self {
+            ListBuilder::Owned(v) => v.push(chunk),
+            ListBuilder::Pooled(b, _) => b.push(chunk),
+        }
+    }
+
+    fn finish(self) -> ChunkList<T> {
+        match self {
+            ListBuilder::Owned(v) => ChunkList::Owned(v),
+            ListBuilder::Pooled(b, _) => ChunkList::Pooled(b.freeze()),
+        }
+    }
+
+    fn pool(&self) -> Option<&FramePool> {
+        match self {
+            ListBuilder::Owned(_) => None,
+            ListBuilder::Pooled(_, p) => Some(p),
+        }
+    }
 }
 
 /// Ceiling on samples per [`Message::AudioChunk`]: one second at the
@@ -612,7 +858,7 @@ impl Message {
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
-                for &s in samples {
+                for &s in samples.iter() {
                     out.extend_from_slice(&s.to_le_bytes());
                 }
             }
@@ -627,7 +873,7 @@ impl Message {
                      split it into smaller batches",
                     chunks.len()
                 );
-                let total: usize = chunks.iter().map(Vec::len).sum();
+                let total: usize = chunks.total_samples();
                 assert!(
                     total <= MAX_AUDIO_BATCH_SAMPLES,
                     "audio batch of {total} samples exceeds the {MAX_AUDIO_BATCH_SAMPLES} wire \
@@ -637,7 +883,7 @@ impl Message {
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&start_seq.to_le_bytes());
                 out.extend_from_slice(&(chunks.len() as u16).to_le_bytes());
-                for chunk in chunks {
+                for chunk in chunks.iter() {
                     assert!(
                         chunk.len() <= MAX_AUDIO_CHUNK_SAMPLES,
                         "batch chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} wire \
@@ -645,7 +891,7 @@ impl Message {
                         chunk.len()
                     );
                     out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
-                    for &s in chunk {
+                    for &s in chunk.iter() {
                         out.extend_from_slice(&s.to_le_bytes());
                     }
                 }
@@ -676,7 +922,7 @@ impl Message {
                      split it into smaller batches",
                     chunks.len()
                 );
-                let total: usize = chunks.iter().map(Vec::len).sum();
+                let total: usize = chunks.total_samples();
                 assert!(
                     total <= MAX_AUDIO_BATCH_SAMPLES,
                     "audio batch of {total} samples exceeds the {MAX_AUDIO_BATCH_SAMPLES} wire \
@@ -686,7 +932,7 @@ impl Message {
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&start_seq.to_le_bytes());
                 out.extend_from_slice(&(chunks.len() as u16).to_le_bytes());
-                for chunk in chunks {
+                for chunk in chunks.iter() {
                     assert!(
                         chunk.len() <= MAX_AUDIO_CHUNK_SAMPLES,
                         "batch chunk of {} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} wire \
@@ -798,13 +1044,30 @@ impl Message {
         out
     }
 
-    /// Decodes a message from bytes.
+    /// Decodes a message from bytes into plain heap-owned payloads.
     ///
     /// # Errors
     ///
     /// Returns [`PianoError::Wire`] on truncation, unknown tags, or
     /// trailing garbage.
     pub fn decode(bytes: &[u8]) -> Result<Message, PianoError> {
+        Self::decode_with(bytes, None)
+    }
+
+    /// [`decode`](Self::decode), but audio payloads land in recycled
+    /// slabs from `pool` ([`Samples::Pooled`] / [`ChunkList::Pooled`])
+    /// instead of fresh heap vectors — the zero-copy ingest path a
+    /// pooled [`FrameReader`] uses. Validation and the decoded sample
+    /// values are bit-identical to the pool-less path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`decode`](Self::decode).
+    pub fn decode_pooled(bytes: &[u8], pool: &FramePool) -> Result<Message, PianoError> {
+        Self::decode_with(bytes, Some(pool))
+    }
+
+    fn decode_with(bytes: &[u8], pool: Option<&FramePool>) -> Result<Message, PianoError> {
         let mut r = Reader { bytes, pos: 0 };
         let tag = r.u8()?;
         let msg = match tag {
@@ -836,7 +1099,7 @@ impl Message {
                         "audio chunk of {n} samples exceeds the {MAX_AUDIO_CHUNK_SAMPLES} cap"
                     )));
                 }
-                let samples = decode_f64_samples(&mut r, n)?;
+                let samples = decode_f64_chunk(&mut r, n, pool)?;
                 Message::AudioChunk {
                     session,
                     seq,
@@ -853,7 +1116,10 @@ impl Message {
                     )));
                 }
                 let mut total = 0usize;
-                let mut chunks = Vec::with_capacity(n_chunks);
+                let mut chunks = match pool {
+                    Some(p) => ListBuilder::Pooled(p.acquire_f64_list(), p),
+                    None => ListBuilder::Owned(Vec::with_capacity(n_chunks)),
+                };
                 for _ in 0..n_chunks {
                     let n = r.u32()? as usize;
                     if n > MAX_AUDIO_CHUNK_SAMPLES {
@@ -868,12 +1134,13 @@ impl Message {
                              {MAX_AUDIO_BATCH_SAMPLES} cap"
                         )));
                     }
-                    chunks.push(decode_f64_samples(&mut r, n)?);
+                    let chunk = decode_f64_chunk(&mut r, n, chunks.pool())?;
+                    chunks.push(chunk);
                 }
                 Message::AudioBatch {
                     session,
                     start_seq,
-                    chunks,
+                    chunks: chunks.finish(),
                 }
             }
             TAG_BUSY => Message::Busy {
@@ -895,9 +1162,12 @@ impl Message {
                     )));
                 }
                 let mut total = 0usize;
-                let mut chunks = Vec::with_capacity(n_chunks);
+                let mut chunks = match pool {
+                    Some(p) => ListBuilder::Pooled(p.acquire_i16_list(), p),
+                    None => ListBuilder::Owned(Vec::with_capacity(n_chunks)),
+                };
                 for _ in 0..n_chunks {
-                    let chunk = decode_i16_chunk(&mut r)?;
+                    let chunk = decode_i16_chunk(&mut r, chunks.pool())?;
                     total += chunk.len();
                     if total > MAX_AUDIO_BATCH_SAMPLES {
                         return Err(PianoError::Wire(format!(
@@ -910,7 +1180,7 @@ impl Message {
                 Message::AudioBatchI16 {
                     session,
                     start_seq,
-                    chunks,
+                    chunks: chunks.finish(),
                 }
             }
             TAG_HELLO => {
@@ -983,7 +1253,8 @@ impl Message {
                          {MAX_AUDIO_CHUNK_SAMPLES} cap"
                     )));
                 }
-                let samples = decode_f64_samples(&mut r, n)?;
+                let mut samples = Vec::new();
+                decode_f64_samples_into(&mut r, n, &mut samples)?;
                 Message::RecheckAudio {
                     session,
                     round,
@@ -1194,6 +1465,9 @@ pub struct FrameReader {
     poison: Option<PianoError>,
     /// Total bytes of completed frames (length prefixes included).
     consumed: u64,
+    /// When set, audio payloads decode into recycled slabs
+    /// ([`Message::decode_pooled`]) instead of fresh heap vectors.
+    pool: Option<FramePool>,
 }
 
 /// Consumed-prefix slack a [`FrameReader`] tolerates before compacting.
@@ -1203,6 +1477,22 @@ impl FrameReader {
     /// An empty reader.
     pub fn new() -> Self {
         FrameReader::default()
+    }
+
+    /// An empty reader whose audio payloads decode into `pool`'s
+    /// recycled slabs — the zero-copy ingest configuration servers use
+    /// (one shared pool, one reader per connection).
+    pub fn with_pool(pool: FramePool) -> Self {
+        FrameReader {
+            pool: Some(pool),
+            ..FrameReader::default()
+        }
+    }
+
+    /// Routes subsequent audio decodes through `pool` (see
+    /// [`with_pool`](Self::with_pool)).
+    pub fn set_pool(&mut self, pool: FramePool) {
+        self.pool = Some(pool);
     }
 
     /// Appends raw stream bytes. Accepts anything byte-slice-like,
@@ -1274,7 +1564,7 @@ impl FrameReader {
         let Some(body) = self.buf.get(self.pos + 4..self.pos + 4 + len) else {
             return Ok(None); // body not fully buffered yet
         };
-        match Message::decode(body) {
+        match Message::decode_with(body, self.pool.as_ref()) {
             Ok(msg) => {
                 self.pos += 4 + len;
                 self.consumed += 4 + len as u64;
@@ -1322,10 +1612,28 @@ pub struct IngestFeed {
     high_water: usize,
     low_water: usize,
     next_seq: u32,
-    pending: VecDeque<f64>,
+    /// Accepted-but-unscanned audio as a list of sample-run segments.
+    /// Pooled runs are held *by reference* (a clone of the decoder's
+    /// refcounted handle — no copy); the front segment drains through
+    /// its `lo` cursor. Steady state touches no heap: segments are
+    /// recycled slabs and the deque's capacity is bounded by the
+    /// high-water mark.
+    pending: VecDeque<PendingSeg>,
+    /// Total samples across `pending` (each segment past its cursor).
+    buffered: usize,
     peak_buffered: usize,
     awaiting_credit: bool,
     replies: VecDeque<Message>,
+    /// When set, i16 batches widen into recycled slabs instead of fresh
+    /// vectors (the f64 representations are pooled by the decoder).
+    pool: Option<FramePool>,
+}
+
+/// One buffered run of samples: `buf[lo..]` is still pending.
+#[derive(Debug)]
+struct PendingSeg {
+    buf: Samples,
+    lo: usize,
 }
 
 impl IngestFeed {
@@ -1343,10 +1651,19 @@ impl IngestFeed {
             low_water: high_water / 2,
             next_seq: 0,
             pending: VecDeque::new(),
+            buffered: 0,
             peak_buffered: 0,
             awaiting_credit: false,
             replies: VecDeque::new(),
+            pool: None,
         }
+    }
+
+    /// Widens i16 batches into recycled slabs from `pool` instead of
+    /// fresh vectors. Pooled *f64* runs need no pool here — they arrive
+    /// already pooled from the decoder and are buffered by reference.
+    pub fn set_pool(&mut self, pool: FramePool) {
+        self.pool = Some(pool);
     }
 
     /// The wire session id this feed accepts audio for.
@@ -1356,7 +1673,7 @@ impl IngestFeed {
 
     /// Samples accepted but not yet taken by the scan.
     pub fn buffered(&self) -> usize {
-        self.pending.len()
+        self.buffered
     }
 
     /// The largest backlog ever observed, in samples.
@@ -1408,7 +1725,7 @@ impl IngestFeed {
                 *session,
                 *start_seq,
                 chunks.len() as u32,
-                chunks.iter().map(Vec::len).sum(),
+                chunks.total_samples(),
             ),
             Message::AudioBatchI16 {
                 session,
@@ -1418,7 +1735,7 @@ impl IngestFeed {
                 *session,
                 *start_seq,
                 chunks.len() as u32,
-                chunks.iter().map(Vec::len).sum(),
+                chunks.total_samples(),
             ),
             other => {
                 return Err(PianoError::Wire(format!(
@@ -1438,55 +1755,118 @@ impl IngestFeed {
                 self.next_seq
             )));
         }
-        if self.pending.len() + samples > self.hard_limit() {
+        if self.buffered + samples > self.hard_limit() {
             return Err(PianoError::Wire(format!(
                 "feed backlog of {} + {samples} samples exceeds the {} hard limit \
                  (sender ignored Busy); drop the feed",
-                self.pending.len(),
+                self.buffered,
                 self.hard_limit()
             )));
         }
         self.next_seq += seq_span;
         match msg {
-            Message::AudioChunk { samples, .. } => self.pending.extend(samples.iter().copied()),
+            Message::AudioChunk { samples, .. } => self.push_seg(samples.clone()),
             Message::AudioBatch { chunks, .. } => {
-                for chunk in chunks {
-                    self.pending.extend(chunk.iter().copied());
+                for chunk in chunks.iter() {
+                    self.push_seg(chunk.clone());
                 }
             }
             Message::AudioBatchI16 { chunks, .. } => {
-                for chunk in chunks {
-                    self.pending.extend(chunk.iter().map(|&q| q as f64));
-                }
+                // Quantized audio must widen to f64 exactly once; a pool
+                // makes that one copy land in a recycled slab.
+                let widened = match &self.pool {
+                    Some(pool) => {
+                        let mut buf = pool.acquire_f64();
+                        let v = buf.as_mut_vec();
+                        v.reserve(samples);
+                        for chunk in chunks.iter() {
+                            v.extend(chunk.iter().map(|&q| q as f64));
+                        }
+                        Samples::Pooled(buf.freeze())
+                    }
+                    None => {
+                        let mut v = Vec::with_capacity(samples);
+                        for chunk in chunks.iter() {
+                            v.extend(chunk.iter().map(|&q| q as f64));
+                        }
+                        Samples::Owned(v)
+                    }
+                };
+                self.push_seg(widened);
             }
             // Non-audio messages were rejected by the first match above.
             _ => {}
         }
-        self.peak_buffered = self.peak_buffered.max(self.pending.len());
-        if self.pending.len() > self.high_water && !self.awaiting_credit {
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        if self.buffered > self.high_water && !self.awaiting_credit {
             self.awaiting_credit = true;
             self.replies.push_back(Message::Busy {
                 session: self.session,
-                buffered_samples: self.pending.len() as u64,
+                buffered_samples: self.buffered as u64,
                 high_water: self.high_water as u64,
             });
         }
         Ok(samples)
     }
 
+    /// Buffers one sample run by reference (pooled runs: a refcount
+    /// bump; owned runs: the clone the caller already paid for).
+    fn push_seg(&mut self, buf: Samples) {
+        if buf.is_empty() {
+            return;
+        }
+        self.buffered += buf.len();
+        self.pending.push_back(PendingSeg { buf, lo: 0 });
+    }
+
+    /// Streams up to `max` pending samples in stream order into `sink`,
+    /// as one slice per buffered segment — the zero-copy form of
+    /// [`take_pending`](Self::take_pending): samples go straight from
+    /// the decoder's slabs to the scan without an intermediate vector.
+    /// Decision equivalence is unaffected by the slice boundaries (the
+    /// streaming scan is chunking-invariant; see
+    /// `tests/streaming_equivalence.rs`). Returns the number of samples
+    /// drained; flow-control credits are issued exactly as
+    /// [`take_pending`](Self::take_pending) does.
+    pub fn drain_pending(&mut self, max: usize, mut sink: impl FnMut(&[f64])) -> usize {
+        let budget = max.min(self.buffered);
+        let mut drained = 0usize;
+        while drained < budget {
+            let Some(seg) = self.pending.front_mut() else {
+                break;
+            };
+            let avail = seg.buf.len().saturating_sub(seg.lo);
+            if avail == 0 {
+                self.pending.pop_front();
+                continue;
+            }
+            let take = avail.min(budget - drained);
+            if let Some(run) = seg.buf.get(seg.lo..seg.lo + take) {
+                sink(run);
+            }
+            seg.lo += take;
+            drained += take;
+            if seg.lo >= seg.buf.len() {
+                self.pending.pop_front();
+            }
+        }
+        self.buffered -= drained;
+        if self.awaiting_credit && self.buffered <= self.low_water {
+            self.awaiting_credit = false;
+            self.replies.push_back(Message::Credit {
+                session: self.session,
+                samples: (self.high_water - self.buffered) as u64,
+            });
+        }
+        drained
+    }
+
     /// Takes up to `max` pending samples in stream order for scanning.
     /// Crossing back under the low-water mark after a
     /// [`Message::Busy`] queues the sender's [`Message::Credit`].
     pub fn take_pending(&mut self, max: usize) -> Vec<f64> {
-        let n = max.min(self.pending.len());
-        let taken: Vec<f64> = self.pending.drain(..n).collect();
-        if self.awaiting_credit && self.pending.len() <= self.low_water {
-            self.awaiting_credit = false;
-            self.replies.push_back(Message::Credit {
-                session: self.session,
-                samples: (self.high_water - self.pending.len()) as u64,
-            });
-        }
+        let mut taken = Vec::with_capacity(max.min(self.buffered));
+        self.drain_pending(max, |run| taken.extend_from_slice(run));
         taken
     }
 
@@ -1565,7 +1945,7 @@ mod tests {
             let msg = Message::AudioChunk {
                 session: 0xFEED_F00D,
                 seq: 41,
-                samples,
+                samples: samples.into(),
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
@@ -1580,14 +1960,14 @@ mod tests {
             let chunk = Message::AudioChunk {
                 session: 9,
                 seq: 3,
-                samples: vec![0.25, bad, -0.5],
+                samples: vec![0.25, bad, -0.5].into(),
             };
             let err = Message::decode(&chunk.encode()).unwrap_err().to_string();
             assert!(err.contains("non-finite"), "unhelpful message: {err}");
             let batch = Message::AudioBatch {
                 session: 9,
                 start_seq: 3,
-                chunks: vec![vec![1.0; 4], vec![0.0, bad]],
+                chunks: vec![vec![1.0; 4], vec![0.0, bad]].into(),
             };
             let err = Message::decode(&batch.encode()).unwrap_err().to_string();
             assert!(err.contains("non-finite"), "unhelpful message: {err}");
@@ -1596,7 +1976,7 @@ mod tests {
         let msg = Message::AudioChunk {
             session: 9,
             seq: 3,
-            samples: vec![f64::MAX, f64::MIN, 0.0],
+            samples: vec![f64::MAX, f64::MIN, 0.0].into(),
         };
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
@@ -1606,7 +1986,7 @@ mod tests {
         let msg = Message::AudioChunk {
             session: 5,
             seq: 1,
-            samples: vec![1.0, -2.0, 3.5],
+            samples: vec![1.0, -2.0, 3.5].into(),
         };
         let bytes = msg.encode();
         for cut in [1, 9, 13, 16, bytes.len() - 1] {
@@ -1628,7 +2008,7 @@ mod tests {
         let _ = Message::AudioChunk {
             session: 1,
             seq: 0,
-            samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES + 1],
+            samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES + 1].into(),
         }
         .encode();
     }
@@ -1782,7 +2162,7 @@ mod tests {
             let msg = Message::AudioBatch {
                 session: 0xBEEF,
                 start_seq: 17,
-                chunks,
+                chunks: chunks.into(),
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
@@ -1793,7 +2173,7 @@ mod tests {
         let msg = Message::AudioBatch {
             session: 9,
             start_seq: 3,
-            chunks: vec![vec![1.0], vec![2.0, 3.0]],
+            chunks: vec![vec![1.0], vec![2.0, 3.0]].into(),
         };
         let bytes = msg.encode();
         for cut in [1, 8, 12, 14, 18, bytes.len() - 1] {
@@ -1813,7 +2193,7 @@ mod tests {
         let _ = Message::AudioBatch {
             session: 1,
             start_seq: 0,
-            chunks: vec![Vec::new(); MAX_AUDIO_BATCH_CHUNKS + 1],
+            chunks: vec![Vec::new(); MAX_AUDIO_BATCH_CHUNKS + 1].into(),
         }
         .encode();
     }
@@ -1827,7 +2207,7 @@ mod tests {
         let _ = Message::AudioBatch {
             session: 1,
             start_seq: 0,
-            chunks: vec![chunk; n],
+            chunks: vec![chunk; n].into(),
         }
         .encode();
     }
@@ -1889,7 +2269,7 @@ mod tests {
             let msg = Message::AudioBatchI16 {
                 session: 0xC0DEC,
                 start_seq: 3,
-                chunks,
+                chunks: chunks.into(),
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
@@ -1900,7 +2280,7 @@ mod tests {
         let msg = Message::AudioBatchI16 {
             session: 9,
             start_seq: 0,
-            chunks: vec![vec![100, -200, 30_000], vec![-30_000]],
+            chunks: vec![vec![100, -200, 30_000], vec![-30_000]].into(),
         };
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
@@ -1990,7 +2370,7 @@ mod tests {
         let silence = Message::AudioBatchI16 {
             session: 1,
             start_seq: 0,
-            chunks: vec![vec![0i16; 4096]],
+            chunks: vec![vec![0i16; 4096]].into(),
         };
         assert!(silence.encode().len() < 4096 + 64);
         // A band-limited tone mixture (what recordings actually carry)
@@ -2005,7 +2385,7 @@ mod tests {
         let msg = Message::AudioBatchI16 {
             session: 1,
             start_seq: 0,
-            chunks: vec![tone],
+            chunks: vec![tone].into(),
         };
         let compressed = msg.encode().len();
         let raw = 8 * n;
@@ -2066,7 +2446,7 @@ mod tests {
         feed.accept(&Message::AudioChunk {
             session: 5,
             seq: 0,
-            samples: vec![1.0; 150],
+            samples: vec![1.0; 150].into(),
         })
         .unwrap();
         assert!(feed.is_busy(), "over the mark");
@@ -2080,7 +2460,7 @@ mod tests {
         feed.accept(&Message::AudioChunk {
             session: 5,
             seq: 1,
-            samples: vec![1.0; 10],
+            samples: vec![1.0; 10].into(),
         })
         .unwrap();
         assert!(matches!(feed.poll_reply(), Some(Message::Busy { .. })));
@@ -2173,7 +2553,7 @@ mod tests {
         feed.accept(&Message::AudioBatchI16 {
             session: 3,
             start_seq: 0,
-            chunks: vec![vec![5, -6, 7], vec![-32_768]],
+            chunks: vec![vec![5, -6, 7], vec![-32_768]].into(),
         })
         .unwrap();
         assert_eq!(feed.next_seq(), 2);
@@ -2231,7 +2611,7 @@ mod tests {
             Message::AudioChunk {
                 session: 1,
                 seq: 0,
-                samples: vec![1.0, 2.0, 3.0],
+                samples: vec![1.0, 2.0, 3.0].into(),
             },
             Message::Credit {
                 session: 1,
@@ -2294,13 +2674,13 @@ mod tests {
         feed.accept(&Message::AudioChunk {
             session: 7,
             seq: 0,
-            samples: vec![0.0; 300],
+            samples: vec![0.0; 300].into(),
         })
         .unwrap();
         feed.accept(&Message::AudioBatch {
             session: 7,
             start_seq: 1,
-            chunks: vec![vec![0.0; 300], vec![0.0; 300]],
+            chunks: vec![vec![0.0; 300], vec![0.0; 300]].into(),
         })
         .unwrap();
         assert_eq!(feed.next_seq(), 3);
@@ -2311,7 +2691,7 @@ mod tests {
         feed.accept(&Message::AudioChunk {
             session: 7,
             seq: 3,
-            samples: vec![0.0; 200],
+            samples: vec![0.0; 200].into(),
         })
         .unwrap();
         assert!(feed.is_busy());
@@ -2328,7 +2708,7 @@ mod tests {
         feed.accept(&Message::AudioChunk {
             session: 7,
             seq: 4,
-            samples: vec![0.0; 100],
+            samples: vec![0.0; 100].into(),
         })
         .unwrap();
         assert!(feed.poll_reply().is_none());
@@ -2353,14 +2733,14 @@ mod tests {
             .accept(&Message::AudioChunk {
                 session: 8,
                 seq: 5,
-                samples: vec![],
+                samples: vec![].into(),
             })
             .is_err());
         assert!(feed
             .accept(&Message::AudioChunk {
                 session: 7,
                 seq: 99,
-                samples: vec![],
+                samples: vec![].into(),
             })
             .is_err());
         assert!(feed
@@ -2383,7 +2763,7 @@ mod tests {
             feed.accept(&Message::AudioChunk {
                 session: 1,
                 seq,
-                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES],
+                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES].into(),
             })
             .unwrap();
             seq += 1;
@@ -2396,7 +2776,7 @@ mod tests {
             .accept(&Message::AudioChunk {
                 session: 1,
                 seq,
-                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES],
+                samples: vec![0.0; MAX_AUDIO_CHUNK_SAMPLES].into(),
             })
             .unwrap_err();
         assert!(err.to_string().contains("hard limit"), "{err}");
@@ -2408,7 +2788,7 @@ mod tests {
             .accept(&Message::AudioChunk {
                 session: 1,
                 seq,
-                samples: vec![0.0; 8],
+                samples: vec![0.0; 8].into(),
             })
             .is_ok());
     }
@@ -2419,7 +2799,7 @@ mod tests {
         let frame = Message::AudioChunk {
             session: 1,
             seq: 0,
-            samples: vec![0.5; 8_192],
+            samples: vec![0.5; 8_192].into(),
         }
         .encode_framed();
         // Several frames past the compaction slack: the consumed prefix

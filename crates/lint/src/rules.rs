@@ -63,6 +63,7 @@ fn wire_scope(path: &str) -> bool {
         || path == "crates/core/src/wire.rs"
         || path == "crates/core/src/stream.rs"
         || path == "crates/core/src/sync.rs"
+        || path == "crates/core/src/pool.rs"
 }
 
 fn determinism_scope(path: &str) -> bool {

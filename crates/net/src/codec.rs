@@ -62,10 +62,14 @@ pub fn quantize_chunks(chunks: &[Vec<f64>]) -> Vec<Vec<i16>> {
 }
 
 /// Widens decoded i16 chunks back to the `f64` samples the scan consumes.
-pub fn widen_chunks(chunks: &[Vec<i16>]) -> Vec<Vec<f64>> {
+///
+/// Accepts any chunk representation that exposes its samples as a slice —
+/// plain `Vec<i16>` chunks or the pooled [`piano_core::wire::Samples`]
+/// handles a decoded [`Message::AudioBatchI16`] carries.
+pub fn widen_chunks<C: AsRef<[i16]>>(chunks: &[C]) -> Vec<Vec<f64>> {
     chunks
         .iter()
-        .map(|c| c.iter().map(|&q| q as f64).collect())
+        .map(|c| c.as_ref().iter().map(|&q| q as f64).collect())
         .collect()
 }
 
@@ -82,12 +86,12 @@ pub fn encode_audio_batch(
         WireCodec::Raw => Message::AudioBatch {
             session,
             start_seq,
-            chunks: chunks.to_vec(),
+            chunks: chunks.to_vec().into(),
         },
         WireCodec::I16Delta => Message::AudioBatchI16 {
             session,
             start_seq,
-            chunks: quantize_chunks(chunks),
+            chunks: quantize_chunks(chunks).into(),
         },
     }
 }
@@ -142,7 +146,7 @@ mod tests {
         let raw = Message::AudioBatch {
             session: 9,
             start_seq: 2,
-            chunks: chunks.clone(),
+            chunks: chunks.clone().into(),
         };
         assert_eq!(
             raw_framed_audio_bytes(&raw),
@@ -157,7 +161,7 @@ mod tests {
         let chunk = Message::AudioChunk {
             session: 9,
             seq: 0,
-            samples: vec![4.0; 11],
+            samples: vec![4.0; 11].into(),
         };
         assert_eq!(
             raw_framed_audio_bytes(&chunk),

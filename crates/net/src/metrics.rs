@@ -109,8 +109,8 @@ pub(crate) struct FeedState {
 pub(crate) fn audio_samples(msg: &Message) -> usize {
     match msg {
         Message::AudioChunk { samples, .. } => samples.len(),
-        Message::AudioBatch { chunks, .. } => chunks.iter().map(Vec::len).sum(),
-        Message::AudioBatchI16 { chunks, .. } => chunks.iter().map(Vec::len).sum(),
+        Message::AudioBatch { chunks, .. } => chunks.total_samples(),
+        Message::AudioBatchI16 { chunks, .. } => chunks.total_samples(),
         Message::RecheckAudio { samples, .. } => samples.len(),
         _ => 0,
     }

@@ -85,6 +85,7 @@ use piano_core::error::PianoError;
 use piano_core::piano::{AuthDecision, DenialReason};
 use piano_core::stream::{AuthSession, DropCause, ServiceStats, SessionId, ShardedAuthService};
 use piano_core::sync::OrderedMutex;
+use piano_core::pool::FramePool;
 use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
 
 use crate::codec;
@@ -176,9 +177,11 @@ struct Inbox {
     shutdown: bool,
 }
 
-/// One queued hub scan.
+/// One queued hub scan. The hub waveform is shared, not copied: every
+/// scan round (and every caller holding the same recording) bumps one
+/// refcount instead of cloning megabytes of samples.
 struct ScanRequest {
-    hub: Vec<f64>,
+    hub: Arc<[f64]>,
     tick: usize,
 }
 
@@ -339,6 +342,11 @@ struct Shared {
     /// Largest per-connection resident footprint observed, in bytes —
     /// what the `net_ingest` bench divides the memory budget by.
     conn_bytes_peak: AtomicU64,
+    /// Server-wide slab pool audio frames decode into: every
+    /// connection's [`FrameReader`] and [`IngestFeed`] draw from (and
+    /// recycle to) this one pool, so steady-state ingestion reuses a
+    /// bounded working set instead of allocating per frame.
+    pool: FramePool,
 }
 
 /// The readiness-reactor ingest server over a [`ShardedAuthService`].
@@ -372,6 +380,7 @@ impl ReactorServer {
                 inbox: OrderedMutex::new(rank::INBOX, "reactor.inbox", Inbox::default()),
                 core: OrderedMutex::new(rank::CORE, "reactor.core", Some(Core::new())),
                 conn_bytes_peak: AtomicU64::new(0),
+                pool: FramePool::new(),
             }),
         }
     }
@@ -523,10 +532,18 @@ impl ReactorServer {
     /// Blocks until the reactor has run the scan — call
     /// [`start`](Self::start) first.
     pub fn scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        self.scan_and_decide_arc(hub_audio.into(), tick)
+    }
+
+    /// [`scan_and_decide`](Self::scan_and_decide) without the waveform
+    /// copy: the reactor borrows the caller's shared recording. Hosts
+    /// that scan the same hub recording across rounds (or hold it for
+    /// their own bookkeeping) should prefer this.
+    pub fn scan_and_decide_arc(&self, hub_audio: Arc<[f64]>, tick: usize) -> usize {
         {
             let mut inbox = self.shared.inbox.lock();
             inbox.scan = Some(ScanRequest {
-                hub: hub_audio.to_vec(),
+                hub: hub_audio,
                 tick,
             });
         }
@@ -635,11 +652,18 @@ impl ReactorServer {
     /// number of per-round sessions that decided. Blocks until the
     /// reactor has served the round — call [`start`](Self::start) first.
     pub fn recheck_scan_and_decide(&self, hub_audio: &[f64], tick: usize) -> usize {
+        self.recheck_scan_and_decide_arc(hub_audio.into(), tick)
+    }
+
+    /// [`recheck_scan_and_decide`](Self::recheck_scan_and_decide)
+    /// without the waveform copy — see
+    /// [`scan_and_decide_arc`](Self::scan_and_decide_arc).
+    pub fn recheck_scan_and_decide_arc(&self, hub_audio: Arc<[f64]>, tick: usize) -> usize {
         let round = self.shared.progress.lock().recheck_round;
         {
             let mut inbox = self.shared.inbox.lock();
             inbox.recheck_scan = Some(ScanRequest {
-                hub: hub_audio.to_vec(),
+                hub: hub_audio,
                 tick,
             });
         }
@@ -763,7 +787,7 @@ impl ReactorServer {
         }
         let mut conn = Conn {
             t,
-            reader: FrameReader::new(),
+            reader: FrameReader::with_pool(sh.pool.clone()),
             armed_gen: 0,
             next_deadline: Instant::now() + sh.cfg.handshake_timeout,
             eof: false,
@@ -1070,7 +1094,11 @@ impl ReactorServer {
             id,
             wire_session,
             voucher,
-            feed: IngestFeed::new(wire_session, sh.cfg.high_water),
+            feed: {
+                let mut feed = IngestFeed::new(wire_session, sh.cfg.high_water);
+                feed.set_pool(sh.pool.clone());
+                feed
+            },
             ended: false,
             started: Instant::now(),
         });
@@ -1163,9 +1191,15 @@ impl ReactorServer {
         // Drain one scan chunk per turn — the simulated scan rate that
         // makes watermark backpressure observable, same as the threaded
         // server's loop cadence.
-        let samples = state.feed.take_pending(sh.cfg.drain_chunk);
-        if !samples.is_empty() {
-            let _ = state.voucher.push_audio(&samples);
+        // Drain straight from the feed's pooled segments into the
+        // voucher — no staging copy. Segment boundaries only affect
+        // chunking, which the scan is invariant to.
+        {
+            let st = &mut *state;
+            let voucher = &mut st.voucher;
+            st.feed.drain_pending(sh.cfg.drain_chunk, |run| {
+                let _ = voucher.push_audio(run);
+            });
         }
         while let Some(reply) = state.feed.poll_reply() {
             match &reply {

@@ -98,6 +98,7 @@ use piano_core::error::PianoError;
 use piano_core::piano::{AuthDecision, DenialReason};
 use piano_core::stream::{AuthService, AuthSession, DropCause, ServiceStats, SessionId};
 use piano_core::sync::OrderedMutex;
+use piano_core::pool::FramePool;
 use piano_core::wire::{FrameReader, IngestFeed, Message, WireCodec};
 
 use crate::codec;
@@ -282,6 +283,11 @@ struct Shared {
     /// so a `Resume` probe that raced ahead of the suspension wakes
     /// immediately instead of polling.
     suspended_cv: Condvar,
+    /// Server-wide slab pool audio frames decode into: every
+    /// connection's [`FrameReader`] and [`IngestFeed`] draw from (and
+    /// recycle to) this one pool, so steady-state ingestion reuses a
+    /// bounded working set instead of allocating per frame.
+    pool: FramePool,
 }
 
 /// Lock ranks of the [`Shared`] mutexes: acquisition must ascend.
@@ -317,6 +323,7 @@ impl ServerLoop {
                 ids: OrderedMutex::new(rank::IDS, "server.ids", Vec::new()),
                 suspended: OrderedMutex::new(rank::SUSPENDED, "server.suspended", HashMap::new()),
                 suspended_cv: Condvar::new(),
+                pool: FramePool::new(),
             }),
         }
     }
@@ -426,7 +433,7 @@ impl ServerLoop {
     fn handle_connection<T: Transport>(&self, mut t: T) -> Result<ConnOutcome, ConnError> {
         let sh = &*self.shared;
         sh.counters.connections.fetch_add(1, Ordering::Relaxed);
-        let mut reader = FrameReader::new();
+        let mut reader = FrameReader::with_pool(sh.pool.clone());
         let mut buf = vec![0u8; READ_BUF_BYTES];
 
         let hs_deadline = Instant::now() + sh.cfg.handshake_timeout;
@@ -516,7 +523,11 @@ impl ServerLoop {
                     id,
                     wire_session,
                     voucher,
-                    feed: IngestFeed::new(wire_session, sh.cfg.high_water),
+                    feed: {
+                        let mut feed = IngestFeed::new(wire_session, sh.cfg.high_water);
+                        feed.set_pool(sh.pool.clone());
+                        feed
+                    },
                     ended: false,
                     started: Instant::now(),
                 })
@@ -864,10 +875,14 @@ impl ServerLoop {
                     }
                 }
             }
-            let samples = state.feed.take_pending(sh.cfg.drain_chunk);
-            if !samples.is_empty() {
-                let _ = state.voucher.push_audio(&samples);
-            }
+            // Drain straight from the feed's pooled segments into the
+            // voucher — no staging copy. Segment boundaries only affect
+            // chunking, which the scan is invariant to.
+            let st = &mut *state;
+            let voucher = &mut st.voucher;
+            st.feed.drain_pending(sh.cfg.drain_chunk, |run| {
+                let _ = voucher.push_audio(run);
+            });
             while let Some(reply) = state.feed.poll_reply() {
                 match &reply {
                     Message::Busy { .. } => {

@@ -423,8 +423,9 @@ fn run_reactor_fleet(fault_seed: Option<u64>, feeds: usize, codec: WireCodec, re
         .wait_for_reports_timeout(feeds, Duration::from_secs(120))
         .expect("fleet reports");
     assert_eq!(reported, feeds, "every feed reports");
-    let hub = hub_recording_reactor(&server);
-    let decided = server.scan_and_decide(&hub, 16_384);
+    // Hand the recording to the reactor by refcount, not by copy.
+    let hub: std::sync::Arc<[f64]> = hub_recording_reactor(&server).into();
+    let decided = server.scan_and_decide_arc(hub, 16_384);
     assert_eq!(decided, feeds, "every session decides");
     if rechallenge {
         drive_recheck_rounds_reactor(&server, feeds);
@@ -695,8 +696,8 @@ fn drive_recheck_rounds_reactor(server: &ReactorServer, feeds: usize) {
             .expect("round reports");
         assert_eq!(ready, feeds, "round {round}: every standing feed answers");
         let ids = server.recheck_session_ids();
-        let hub = hub_recording_sharded(server.service(), &ids);
-        let decided = server.recheck_scan_and_decide(&hub, 16_384);
+        let hub: std::sync::Arc<[f64]> = hub_recording_sharded(server.service(), &ids).into();
+        let decided = server.recheck_scan_and_decide_arc(hub, 16_384);
         assert_eq!(decided, feeds, "round {round}: every re-check decides");
         println!("  round {round}: {decided}/{feeds} standing sessions re-verified");
     }

@@ -19,7 +19,7 @@ fn roundtrip(chunks: Vec<Vec<i16>>) {
     let msg = Message::AudioBatchI16 {
         session: 0x51,
         start_seq: 7,
-        chunks,
+        chunks: chunks.into(),
     };
     let decoded = Message::decode(&msg.encode()).expect("well-formed batch");
     assert_eq!(decoded, msg);
@@ -39,7 +39,7 @@ proptest! {
             .iter()
             .map(|&n| (0..n).map(|_| rng.gen_range(i32::from(i16::MIN)..=i32::from(i16::MAX)) as i16).collect())
             .collect();
-        let msg = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks };
+        let msg = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks: chunks.into() };
         let bytes = msg.encode();
         prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
     }
@@ -53,7 +53,7 @@ proptest! {
         use rand::Rng;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let chunk: Vec<i16> = (0..len).map(|_| rng.gen_range(-32768i32..=32767) as i16).collect();
-        let bytes = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks: vec![chunk] }.encode();
+        let bytes = Message::AudioBatchI16 { session: 1, start_seq: 0, chunks: vec![chunk].into() }.encode();
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         prop_assert!(cut < bytes.len());
         prop_assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
@@ -94,7 +94,7 @@ fn worst_case_delta_sequences_roundtrip_and_stay_compressed() {
         let msg = Message::AudioBatchI16 {
             session: 3,
             start_seq: 0,
-            chunks: vec![chunk],
+            chunks: vec![chunk].into(),
         };
         let encoded = msg.encode();
         assert_eq!(Message::decode(&encoded).unwrap(), msg);

@@ -145,12 +145,12 @@ fn framed_stream_survives_any_transport_segmentation() {
             0 => Message::AudioChunk {
                 session: 9,
                 seq: i as u32,
-                samples: vec![i as f64; 100 + i],
+                samples: vec![i as f64; 100 + i].into(),
             },
             1 => Message::AudioBatchI16 {
                 session: 9,
                 start_seq: i as u32,
-                chunks: vec![(0..50 + i).map(|j| (j * 31) as i16).collect()],
+                chunks: vec![(0..50 + i).map(|j| (j * 31) as i16).collect::<Vec<i16>>()].into(),
             },
             2 => Message::Busy {
                 session: 9,
@@ -314,7 +314,7 @@ fn sender_ignoring_busy_past_the_hard_limit_is_dropped() {
         let msg = Message::AudioBatch {
             session,
             start_seq: seq,
-            chunks: vec![chunk.clone(); 4],
+            chunks: vec![chunk.clone(); 4].into(),
         };
         seq += 4;
         if t.write_all(&msg.encode_framed()).is_err() {

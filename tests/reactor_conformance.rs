@@ -128,9 +128,11 @@ fn reactor_decisions(feeds: usize, codec: WireCodec, shards: usize) -> Vec<AuthD
         .collect();
 
     assert_eq!(server.wait_for_reports(feeds), feeds, "every feed reports");
-    let hub = hub_recording_reactor(&server);
+    // The zero-copy scan entry point: the reactor borrows this shared
+    // recording instead of cloning the waveform into its inbox.
+    let hub: std::sync::Arc<[f64]> = hub_recording_reactor(&server).into();
     assert_eq!(
-        server.scan_and_decide(&hub, 16_384),
+        server.scan_and_decide_arc(hub, 16_384),
         feeds,
         "every session decides"
     );

@@ -35,7 +35,7 @@ proptest! {
             .enumerate()
             .map(|(i, &n)| chunk_samples(n, seed ^ i as u64))
             .collect();
-        let msg = Message::AudioBatch { session, start_seq, chunks };
+        let msg = Message::AudioBatch { session, start_seq, chunks: chunks.into() };
         let bytes = msg.encode();
         prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
     }
@@ -51,7 +51,7 @@ proptest! {
             .enumerate()
             .map(|(i, &n)| chunk_samples(n, seed ^ i as u64))
             .collect();
-        let bytes = Message::AudioBatch { session: 1, start_seq: 0, chunks }.encode();
+        let bytes = Message::AudioBatch { session: 1, start_seq: 0, chunks: chunks.into() }.encode();
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         prop_assert!(cut < bytes.len());
         prop_assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
@@ -70,12 +70,12 @@ proptest! {
                 0 => Message::AudioChunk {
                     session: seed,
                     seq: i as u32,
-                    samples: chunk_samples(i * 37 % 300, seed ^ i as u64),
+                    samples: chunk_samples(i * 37 % 300, seed ^ i as u64).into(),
                 },
                 1 => Message::AudioBatch {
                     session: seed,
                     start_seq: i as u32,
-                    chunks: vec![chunk_samples(64, seed ^ i as u64), Vec::new()],
+                    chunks: vec![chunk_samples(64, seed ^ i as u64), Vec::new()].into(),
                 },
                 2 => Message::Busy {
                     session: seed,
@@ -121,7 +121,7 @@ proptest! {
                 let m = Message::AudioChunk {
                     session: 42,
                     seq,
-                    samples: chunk_samples(chunk_len, i as u64),
+                    samples: chunk_samples(chunk_len, i as u64).into(),
                 };
                 seq += 1;
                 m
@@ -131,7 +131,8 @@ proptest! {
                     start_seq: seq,
                     chunks: (0..n_chunks)
                         .map(|j| chunk_samples(chunk_len, (i * 31 + j) as u64))
-                        .collect(),
+                        .collect::<Vec<_>>()
+                        .into(),
                 };
                 seq += n_chunks as u32;
                 m
@@ -146,14 +147,14 @@ proptest! {
                 .accept(&Message::AudioChunk {
                     session: 42,
                     seq: seq + 1,
-                    samples: vec![0.0; 4],
+                    samples: vec![0.0; 4].into(),
                 })
                 .is_err());
             prop_assert!(feed
                 .accept(&Message::AudioChunk {
                     session: 43,
                     seq,
-                    samples: vec![0.0; 4],
+                    samples: vec![0.0; 4].into(),
                 })
                 .is_err());
             prop_assert_eq!(feed.next_seq(), seq);
@@ -200,7 +201,7 @@ fn frame_cap_admits_the_largest_legal_batch_and_nothing_larger() {
     let framed = Message::AudioBatch {
         session: 1,
         start_seq: 0,
-        chunks,
+        chunks: chunks.into(),
     }
     .encode_framed();
     assert!(framed.len() - 4 <= MAX_FRAME_BYTES);
